@@ -1,0 +1,444 @@
+//! User-behaviour analyses — the directions the paper opens but leaves
+//! out of scope:
+//!
+//! * §3.2: "One may investigate this further by observing the
+//!   correlations between the number of files provided and asked for" —
+//!   [`BehaviorStats::provide_ask_correlation`];
+//! * §4: "it makes it possible to study and model user behaviors,
+//!   communities of interests, how files spread among users" —
+//!   [`BehaviorStats::interest_similarity`],
+//!   [`BehaviorStats::communities`], [`BehaviorStats::file_spread`];
+//! * the dataset's "wide time scale": growth curves of distinct clients
+//!   and files over the capture — [`BehaviorStats::client_growth`],
+//!   [`BehaviorStats::file_growth`].
+
+use crate::histogram::IntHistogram;
+use etw_anonymize::scheme::{AnonMessage, AnonRecord};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A correlation measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Correlation {
+    /// Pearson product-moment coefficient.
+    pub pearson: f64,
+    /// Spearman rank coefficient.
+    pub spearman: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+/// Streaming accumulator for behavioural analyses.
+#[derive(Default)]
+pub struct BehaviorStats {
+    asks_by_client: HashMap<u32, HashSet<u64>>,
+    provides_by_client: HashMap<u32, HashSet<u64>>,
+    client_first_ts: HashMap<u32, u64>,
+    file_first_ts: HashMap<u64, u64>,
+    /// Per-file provider arrival times (file spread).
+    provider_arrivals: HashMap<u64, Vec<u64>>,
+}
+
+impl BehaviorStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes one dataset record.
+    pub fn observe(&mut self, r: &AnonRecord) {
+        self.client_first_ts.entry(r.peer).or_insert(r.ts_us);
+        match &r.msg {
+            AnonMessage::GetSources { files } => {
+                let set = self.asks_by_client.entry(r.peer).or_default();
+                for &f in files {
+                    set.insert(f);
+                    self.file_first_ts.entry(f).or_insert(r.ts_us);
+                }
+            }
+            AnonMessage::OfferFiles { files } => {
+                let set = self.provides_by_client.entry(r.peer).or_default();
+                for e in files {
+                    self.file_first_ts.entry(e.file).or_insert(r.ts_us);
+                    if set.insert(e.file) {
+                        self.provider_arrivals
+                            .entry(e.file)
+                            .or_default()
+                            .push(r.ts_us);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// §3.2's open question: across clients active in *both* roles, how
+    /// do provided-file and asked-file counts correlate?
+    pub fn provide_ask_correlation(&self) -> Option<Correlation> {
+        let samples: Vec<(f64, f64)> = self
+            .provides_by_client
+            .iter()
+            .filter_map(|(c, p)| {
+                self.asks_by_client
+                    .get(c)
+                    .map(|a| (p.len() as f64, a.len() as f64))
+            })
+            .collect();
+        correlation(&samples)
+    }
+
+    /// Jaccard similarity of two clients' interest (asked-file) sets.
+    pub fn interest_similarity(&self, a: u32, b: u32) -> f64 {
+        let (Some(sa), Some(sb)) = (self.asks_by_client.get(&a), self.asks_by_client.get(&b))
+        else {
+            return 0.0;
+        };
+        let inter = sa.intersection(sb).count();
+        let union = sa.len() + sb.len() - inter;
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    /// Communities of interest via co-ask label propagation: clients
+    /// sharing at least `min_shared` asked files are linked; labels
+    /// propagate to the most frequent neighbour label until stable.
+    /// Files asked by more than `max_file_audience` clients are skipped
+    /// when building edges (ubiquitous files carry no community signal
+    /// and would make the graph quadratic).
+    pub fn communities(&self, min_shared: usize, max_file_audience: usize) -> Vec<Vec<u32>> {
+        // Inverted index: file → asking clients.
+        let mut askers: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (&c, files) in &self.asks_by_client {
+            for &f in files {
+                askers.entry(f).or_default().push(c);
+            }
+        }
+        // Co-ask counts.
+        let mut shared: HashMap<(u32, u32), usize> = HashMap::new();
+        for clients in askers.values() {
+            if clients.len() < 2 || clients.len() > max_file_audience {
+                continue;
+            }
+            let mut sorted = clients.clone();
+            sorted.sort_unstable();
+            for i in 0..sorted.len() {
+                for j in i + 1..sorted.len() {
+                    *shared.entry((sorted[i], sorted[j])).or_default() += 1;
+                }
+            }
+        }
+        // Adjacency over qualifying edges.
+        let mut adj: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (&(a, b), &n) in &shared {
+            if n >= min_shared {
+                adj.entry(a).or_default().push(b);
+                adj.entry(b).or_default().push(a);
+            }
+        }
+        // Deterministic label propagation (sorted iteration order).
+        let mut labels: BTreeMap<u32, u32> = adj.keys().map(|&c| (c, c)).collect();
+        let nodes: Vec<u32> = labels.keys().copied().collect();
+        for _round in 0..20 {
+            let mut changed = false;
+            for &node in &nodes {
+                let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+                for nb in &adj[&node] {
+                    *counts.entry(labels[nb]).or_default() += 1;
+                }
+                if let Some((&best, _)) = counts
+                    .iter()
+                    .max_by_key(|&(&label, &n)| (n, std::cmp::Reverse(label)))
+                {
+                    if labels[&node] != best {
+                        labels.insert(node, best);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut groups: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for (node, label) in labels {
+            groups.entry(label).or_default().push(node);
+        }
+        let mut out: Vec<Vec<u32>> = groups.into_values().filter(|g| g.len() > 1).collect();
+        out.sort_by_key(|g| std::cmp::Reverse(g.len()));
+        out
+    }
+
+    /// Cumulative distinct clients over time: `(bucket_start_us,
+    /// cumulative_count)` at `bucket_us` resolution.
+    pub fn client_growth(&self, bucket_us: u64) -> Vec<(u64, u64)> {
+        growth_curve(self.client_first_ts.values().copied(), bucket_us)
+    }
+
+    /// Cumulative distinct files over time.
+    pub fn file_growth(&self, bucket_us: u64) -> Vec<(u64, u64)> {
+        growth_curve(self.file_first_ts.values().copied(), bucket_us)
+    }
+
+    /// §4's "how files spread among users": provider-arrival times of
+    /// one file (sorted), i.e. its adoption curve.
+    pub fn file_spread(&self, file: u64) -> Vec<u64> {
+        let mut v = self
+            .provider_arrivals
+            .get(&file)
+            .cloned()
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    /// Distribution of per-file spread *speed*: time from first to k-th
+    /// provider, for every file that reached `k` providers.
+    pub fn spread_time_to_k(&self, k: usize) -> IntHistogram {
+        assert!(k >= 2);
+        let mut h = IntHistogram::new();
+        for arrivals in self.provider_arrivals.values() {
+            if arrivals.len() >= k {
+                let mut a = arrivals.clone();
+                a.sort_unstable();
+                h.add((a[k - 1] - a[0]) / 1_000_000); // seconds
+            }
+        }
+        h
+    }
+
+    /// Clients active in both roles (diagnostics).
+    pub fn dual_role_clients(&self) -> usize {
+        self.provides_by_client
+            .keys()
+            .filter(|c| self.asks_by_client.contains_key(c))
+            .count()
+    }
+}
+
+fn growth_curve(first_seen: impl Iterator<Item = u64>, bucket_us: u64) -> Vec<(u64, u64)> {
+    assert!(bucket_us > 0);
+    let mut per_bucket: BTreeMap<u64, u64> = BTreeMap::new();
+    for ts in first_seen {
+        *per_bucket.entry(ts / bucket_us * bucket_us).or_default() += 1;
+    }
+    let mut acc = 0;
+    per_bucket
+        .into_iter()
+        .map(|(b, n)| {
+            acc += n;
+            (b, acc)
+        })
+        .collect()
+}
+
+/// Pearson + Spearman over paired samples; `None` below 3 samples or
+/// with zero variance.
+pub fn correlation(samples: &[(f64, f64)]) -> Option<Correlation> {
+    let n = samples.len();
+    if n < 3 {
+        return None;
+    }
+    let pearson = pearson(samples)?;
+    let xr = ranks(samples.iter().map(|s| s.0));
+    let yr = ranks(samples.iter().map(|s| s.1));
+    let ranked: Vec<(f64, f64)> = xr.into_iter().zip(yr).collect();
+    let spearman = pearson_raw(&ranked)?;
+    Some(Correlation {
+        pearson,
+        spearman,
+        n,
+    })
+}
+
+fn pearson(samples: &[(f64, f64)]) -> Option<f64> {
+    pearson_raw(samples)
+}
+
+fn pearson_raw(samples: &[(f64, f64)]) -> Option<f64> {
+    let n = samples.len() as f64;
+    let mx = samples.iter().map(|s| s.0).sum::<f64>() / n;
+    let my = samples.iter().map(|s| s.1).sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for &(x, y) in samples {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Average ranks (ties share the mean rank).
+fn ranks(values: impl Iterator<Item = f64>) -> Vec<f64> {
+    let vals: Vec<f64> = values.collect();
+    let mut idx: Vec<usize> = (0..vals.len()).collect();
+    idx.sort_by(|&a, &b| vals[a].partial_cmp(&vals[b]).expect("finite"));
+    let mut out = vec![0.0; vals.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && vals[idx[j + 1]] == vals[idx[i]] {
+            j += 1;
+        }
+        let mean_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = mean_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etw_anonymize::scheme::{AnonFileEntry, AnonTag, AnonTagValue};
+
+    fn ask(ts: u64, peer: u32, files: &[u64]) -> AnonRecord {
+        AnonRecord {
+            ts_us: ts,
+            peer,
+            msg: AnonMessage::GetSources {
+                files: files.to_vec(),
+            },
+        }
+    }
+
+    fn offer(ts: u64, peer: u32, files: &[u64]) -> AnonRecord {
+        AnonRecord {
+            ts_us: ts,
+            peer,
+            msg: AnonMessage::OfferFiles {
+                files: files
+                    .iter()
+                    .map(|&f| AnonFileEntry {
+                        file: f,
+                        client: peer,
+                        port: 1,
+                        tags: vec![AnonTag {
+                            name: "filesize".into(),
+                            value: AnonTagValue::UInt(1),
+                        }],
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    #[test]
+    fn correlation_perfect_and_inverse() {
+        let c = correlation(&[(1.0, 2.0), (2.0, 4.0), (3.0, 6.0), (4.0, 8.0)]).unwrap();
+        assert!((c.pearson - 1.0).abs() < 1e-12);
+        assert!((c.spearman - 1.0).abs() < 1e-12);
+        let c = correlation(&[(1.0, 8.0), (2.0, 6.0), (3.0, 4.0), (4.0, 2.0)]).unwrap();
+        assert!((c.pearson + 1.0).abs() < 1e-12);
+        assert!((c.spearman + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_monotone_nonlinear() {
+        // y = x^3: Spearman 1, Pearson < 1.
+        let pts: Vec<(f64, f64)> = (1..20).map(|x| (x as f64, (x as f64).powi(3))).collect();
+        let c = correlation(&pts).unwrap();
+        assert!((c.spearman - 1.0).abs() < 1e-12);
+        assert!(c.pearson < 0.999);
+    }
+
+    #[test]
+    fn correlation_degenerate() {
+        assert!(correlation(&[(1.0, 1.0)]).is_none());
+        assert!(correlation(&[(1.0, 5.0), (2.0, 5.0), (3.0, 5.0)]).is_none());
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(vec![10.0, 20.0, 20.0, 30.0].into_iter());
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn provide_ask_correlation_from_records() {
+        let mut b = BehaviorStats::new();
+        // Clients where provides and asks scale together.
+        for c in 1..=20u32 {
+            let files: Vec<u64> = (0..c as u64).collect();
+            b.observe(&offer(0, c, &files));
+            let asked: Vec<u64> = (100..100 + 2 * c as u64).collect();
+            b.observe(&ask(1, c, &asked));
+        }
+        let corr = b.provide_ask_correlation().unwrap();
+        assert_eq!(corr.n, 20);
+        assert!(corr.pearson > 0.99, "{corr:?}");
+        assert_eq!(b.dual_role_clients(), 20);
+    }
+
+    #[test]
+    fn interest_similarity_jaccard() {
+        let mut b = BehaviorStats::new();
+        b.observe(&ask(0, 1, &[1, 2, 3, 4]));
+        b.observe(&ask(0, 2, &[3, 4, 5, 6]));
+        b.observe(&ask(0, 3, &[100]));
+        assert!((b.interest_similarity(1, 2) - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(b.interest_similarity(1, 3), 0.0);
+        assert_eq!(b.interest_similarity(1, 99), 0.0);
+    }
+
+    #[test]
+    fn communities_separate_interest_groups() {
+        let mut b = BehaviorStats::new();
+        // Group A: clients 1-4 ask overlapping files 0-9.
+        for c in 1..=4u32 {
+            b.observe(&ask(0, c, &[0, 1, 2, 3, 4]));
+        }
+        // Group B: clients 11-14 ask files 100-104.
+        for c in 11..=14u32 {
+            b.observe(&ask(0, c, &[100, 101, 102, 103]));
+        }
+        // A loner.
+        b.observe(&ask(0, 50, &[999]));
+        let comms = b.communities(2, 100);
+        assert_eq!(comms.len(), 2, "{comms:?}");
+        let sets: Vec<HashSet<u32>> = comms
+            .iter()
+            .map(|g| g.iter().copied().collect())
+            .collect();
+        assert!(sets.contains(&[1, 2, 3, 4].into_iter().collect()));
+        assert!(sets.contains(&[11, 12, 13, 14].into_iter().collect()));
+    }
+
+    #[test]
+    fn growth_curves_cumulative() {
+        let mut b = BehaviorStats::new();
+        b.observe(&ask(0, 1, &[1]));
+        b.observe(&ask(1_000_000, 2, &[2]));
+        b.observe(&ask(1_500_000, 3, &[1])); // existing file, new client
+        b.observe(&ask(60_000_000, 1, &[3])); // existing client, new file
+        let clients = b.client_growth(1_000_000);
+        assert_eq!(clients, vec![(0, 1), (1_000_000, 3)]);
+        let files = b.file_growth(1_000_000);
+        assert_eq!(
+            files,
+            vec![(0, 1), (1_000_000, 2), (60_000_000, 3)]
+        );
+    }
+
+    #[test]
+    fn file_spread_and_speed() {
+        let mut b = BehaviorStats::new();
+        b.observe(&offer(5_000_000, 1, &[7]));
+        b.observe(&offer(2_000_000, 2, &[7]));
+        b.observe(&offer(9_000_000, 3, &[7]));
+        b.observe(&offer(2_000_000, 2, &[7])); // duplicate: not a new provider
+        assert_eq!(b.file_spread(7), vec![2_000_000, 5_000_000, 9_000_000]);
+        assert!(b.file_spread(999).is_empty());
+        let h = b.spread_time_to_k(3);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.count(7), 1); // 9s - 2s
+    }
+}

@@ -1,0 +1,347 @@
+//! The paper's §3 statistics, computed from the anonymised dataset.
+//!
+//! The paper stresses that its encoding makes these computations cheap
+//! ("Thanks to our formating, the computations needed to obtain these
+//! results have a reasonable cost"): anonymised IDs are dense integers,
+//! so per-file and per-client aggregations are direct-indexed. The
+//! accumulator exploits exactly that property.
+//!
+//! | method | figure |
+//! |---|---|
+//! | [`DatasetStats::providers_per_file`] | Fig. 4 |
+//! | [`DatasetStats::seekers_per_file`] | Fig. 5 |
+//! | [`DatasetStats::files_per_provider`] | Fig. 6 |
+//! | [`DatasetStats::files_per_seeker`] | Fig. 7 |
+//! | [`DatasetStats::size_histogram_kb`] | Fig. 8 |
+
+use crate::histogram::IntHistogram;
+use etw_anonymize::scheme::{AnonMessage, AnonRecord, AnonTagValue};
+use std::collections::HashSet;
+
+/// Streaming accumulator over dataset records.
+///
+/// Distinct (file, client) provide/ask pairs are deduplicated — the
+/// paper's distributions count *distinct clients* per file and *distinct
+/// files* per client.
+#[derive(Default)]
+pub struct DatasetStats {
+    /// Distinct (anon_file, anon_client) provider pairs.
+    provides: HashSet<(u64, u32)>,
+    /// Distinct (anon_file, anon_client) seeker pairs.
+    asks: HashSet<(u64, u32)>,
+    /// File size in KB per anon_file (first announcement wins).
+    sizes_kb: std::collections::HashMap<u64, u64>,
+    /// Occurrences of each hashed search keyword. The dataset hashes
+    /// strings but keeps them *joinable* ("keeping a coherent dataset",
+    /// §2.4) — so keyword popularity is still measurable.
+    keyword_counts: std::collections::HashMap<String, u64>,
+    /// Records observed.
+    records: u64,
+    /// Records by family: management, file search, source search,
+    /// announcement.
+    by_family: [u64; 4],
+    /// Queries vs answers.
+    queries: u64,
+}
+
+impl DatasetStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes one record.
+    pub fn observe(&mut self, r: &AnonRecord) {
+        self.records += 1;
+        let family_idx = match r.msg.family() {
+            etw_edonkey::Family::Management => 0,
+            etw_edonkey::Family::FileSearch => 1,
+            etw_edonkey::Family::SourceSearch => 2,
+            etw_edonkey::Family::Announcement => 3,
+        };
+        self.by_family[family_idx] += 1;
+        if r.msg.is_query() {
+            self.queries += 1;
+        }
+        match &r.msg {
+            AnonMessage::OfferFiles { files } => {
+                for e in files {
+                    self.provides.insert((e.file, r.peer));
+                    self.sizes_kb.entry(e.file).or_insert_with(|| {
+                        e.tags
+                            .iter()
+                            .find(|t| t.name == "filesize")
+                            .and_then(|t| match &t.value {
+                                AnonTagValue::UInt(v) => Some(*v),
+                                AnonTagValue::Hashed(_) => None,
+                            })
+                            .unwrap_or(0)
+                    });
+                }
+            }
+            AnonMessage::GetSources { files } => {
+                for &f in files {
+                    self.asks.insert((f, r.peer));
+                }
+            }
+            AnonMessage::SearchRequest { expr } => {
+                self.count_keywords(expr);
+            }
+            _ => {}
+        }
+    }
+
+    fn count_keywords(&mut self, expr: &etw_anonymize::scheme::AnonSearchExpr) {
+        use etw_anonymize::scheme::AnonSearchExpr;
+        match expr {
+            AnonSearchExpr::Bool { left, right, .. } => {
+                self.count_keywords(left);
+                self.count_keywords(right);
+            }
+            AnonSearchExpr::Keyword(h) => {
+                *self.keyword_counts.entry(h.clone()).or_default() += 1;
+            }
+            AnonSearchExpr::MetaStr { .. } | AnonSearchExpr::MetaNum { .. } => {}
+        }
+    }
+
+    /// Distribution of search-keyword popularity: for each x, the number
+    /// of (hashed) keywords searched exactly x times. Heavy-tailed like
+    /// the per-file distributions — the "communities of interest" raw
+    /// material the paper's §4 points at.
+    pub fn keyword_popularity(&self) -> IntHistogram {
+        let mut h = IntHistogram::new();
+        for &c in self.keyword_counts.values() {
+            h.add(c);
+        }
+        h
+    }
+
+    /// Distinct hashed keywords observed.
+    pub fn distinct_keywords(&self) -> usize {
+        self.keyword_counts.len()
+    }
+
+    /// Records seen.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Records per message family
+    /// `[management, file_search, source_search, announcement]`.
+    pub fn by_family(&self) -> [u64; 4] {
+        self.by_family
+    }
+
+    /// Client→server queries seen.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Distinct provider pairs (diagnostics).
+    pub fn provide_pairs(&self) -> usize {
+        self.provides.len()
+    }
+
+    /// Distinct asker pairs (diagnostics).
+    pub fn ask_pairs(&self) -> usize {
+        self.asks.len()
+    }
+
+    /// Fig. 4: for each x, the number of files provided by exactly x
+    /// clients.
+    pub fn providers_per_file(&self) -> IntHistogram {
+        group_count(self.provides.iter().map(|&(f, _)| f))
+    }
+
+    /// Fig. 5: for each x, the number of files asked for by exactly x
+    /// clients.
+    pub fn seekers_per_file(&self) -> IntHistogram {
+        group_count(self.asks.iter().map(|&(f, _)| f))
+    }
+
+    /// Fig. 6: for each x, the number of clients providing exactly x
+    /// distinct files.
+    pub fn files_per_provider(&self) -> IntHistogram {
+        group_count(self.provides.iter().map(|&(_, c)| c as u64))
+    }
+
+    /// Fig. 7: for each x, the number of clients asking for exactly x
+    /// distinct files.
+    pub fn files_per_seeker(&self) -> IntHistogram {
+        group_count(self.asks.iter().map(|&(_, c)| c as u64))
+    }
+
+    /// Fig. 8: for each file size (in KB, the dataset's anonymised
+    /// resolution), the number of distinct files with that size.
+    pub fn size_histogram_kb(&self) -> IntHistogram {
+        let mut h = IntHistogram::new();
+        for &kb in self.sizes_kb.values() {
+            h.add(kb);
+        }
+        h
+    }
+}
+
+/// Groups a multiset of keys and histograms the group sizes: the
+/// "distribution of the number of Y per X" primitive behind Figs. 4–7.
+fn group_count(keys: impl Iterator<Item = u64>) -> IntHistogram {
+    let mut counts: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for k in keys {
+        *counts.entry(k).or_default() += 1;
+    }
+    let mut h = IntHistogram::new();
+    for (_, c) in counts {
+        h.add(c);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etw_anonymize::scheme::{AnonFileEntry, AnonTag};
+
+    fn offer(peer: u32, files: &[u64]) -> AnonRecord {
+        AnonRecord {
+            ts_us: 0,
+            peer,
+            msg: AnonMessage::OfferFiles {
+                files: files
+                    .iter()
+                    .map(|&f| AnonFileEntry {
+                        file: f,
+                        client: peer,
+                        port: 4662,
+                        tags: vec![AnonTag {
+                            name: "filesize".into(),
+                            value: AnonTagValue::UInt(100 * f + 1),
+                        }],
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    fn ask(peer: u32, files: &[u64]) -> AnonRecord {
+        AnonRecord {
+            ts_us: 0,
+            peer,
+            msg: AnonMessage::GetSources {
+                files: files.to_vec(),
+            },
+        }
+    }
+
+    #[test]
+    fn providers_per_file_counts_distinct_clients() {
+        let mut s = DatasetStats::new();
+        s.observe(&offer(1, &[10, 11]));
+        s.observe(&offer(2, &[10]));
+        s.observe(&offer(2, &[10])); // duplicate announce — ignored
+        s.observe(&offer(3, &[10]));
+        let h = s.providers_per_file();
+        // File 10 has 3 providers, file 11 has 1.
+        assert_eq!(h.count(3), 1);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn files_per_provider_counts_distinct_files() {
+        let mut s = DatasetStats::new();
+        s.observe(&offer(1, &[10, 11, 12]));
+        s.observe(&offer(1, &[12])); // repeat
+        s.observe(&offer(2, &[10]));
+        let h = s.files_per_provider();
+        assert_eq!(h.count(3), 1); // client 1
+        assert_eq!(h.count(1), 1); // client 2
+    }
+
+    #[test]
+    fn seekers_and_asks_symmetric() {
+        let mut s = DatasetStats::new();
+        s.observe(&ask(1, &[5]));
+        s.observe(&ask(2, &[5]));
+        s.observe(&ask(2, &[6]));
+        let per_file = s.seekers_per_file();
+        assert_eq!(per_file.count(2), 1); // file 5: two seekers
+        assert_eq!(per_file.count(1), 1); // file 6: one
+        let per_client = s.files_per_seeker();
+        assert_eq!(per_client.count(1), 1); // client 1
+        assert_eq!(per_client.count(2), 1); // client 2
+        assert_eq!(s.ask_pairs(), 3);
+    }
+
+    #[test]
+    fn size_histogram_first_size_wins() {
+        let mut s = DatasetStats::new();
+        s.observe(&offer(1, &[7]));
+        // Client 2 announces the same file with a different (bogus) size:
+        // the accumulator keeps the first.
+        let mut r = offer(2, &[7]);
+        if let AnonMessage::OfferFiles { files } = &mut r.msg {
+            files[0].tags[0].value = AnonTagValue::UInt(9_999);
+        }
+        s.observe(&r);
+        let h = s.size_histogram_kb();
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.count(701), 1); // 100*7+1
+    }
+
+    #[test]
+    fn family_accounting() {
+        let mut s = DatasetStats::new();
+        s.observe(&offer(1, &[1]));
+        s.observe(&ask(1, &[1]));
+        s.observe(&AnonRecord {
+            ts_us: 0,
+            peer: 0,
+            msg: AnonMessage::StatusRequest { challenge: 0 },
+        });
+        assert_eq!(s.records(), 3);
+        assert_eq!(s.by_family(), [1, 0, 1, 1]);
+        assert_eq!(s.queries(), 3);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let s = DatasetStats::new();
+        assert_eq!(s.providers_per_file().total(), 0);
+        assert_eq!(s.size_histogram_kb().total(), 0);
+        assert_eq!(s.keyword_popularity().total(), 0);
+        assert_eq!(s.distinct_keywords(), 0);
+    }
+
+    #[test]
+    fn keyword_popularity_counts_hashed_terms() {
+        use etw_anonymize::scheme::AnonSearchExpr;
+        let mut s = DatasetStats::new();
+        let search = |kw: &str| AnonRecord {
+            ts_us: 0,
+            peer: 0,
+            msg: AnonMessage::SearchRequest {
+                expr: AnonSearchExpr::Keyword(kw.to_owned()),
+            },
+        };
+        s.observe(&search("aaaa"));
+        s.observe(&search("aaaa"));
+        s.observe(&search("bbbb"));
+        // Nested expressions count every keyword leaf.
+        s.observe(&AnonRecord {
+            ts_us: 0,
+            peer: 1,
+            msg: AnonMessage::SearchRequest {
+                expr: AnonSearchExpr::Bool {
+                    op: "and",
+                    left: Box::new(AnonSearchExpr::Keyword("aaaa".into())),
+                    right: Box::new(AnonSearchExpr::Keyword("cccc".into())),
+                },
+            },
+        });
+        assert_eq!(s.distinct_keywords(), 3);
+        let h = s.keyword_popularity();
+        assert_eq!(h.count(3), 1); // "aaaa"
+        assert_eq!(h.count(1), 2); // "bbbb", "cccc"
+    }
+}

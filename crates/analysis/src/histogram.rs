@@ -1,0 +1,190 @@
+//! Integer histograms and distributions.
+//!
+//! Every figure in the paper's §3 is a histogram over non-negative
+//! integers: "for each value x on the horizontal axis the number of
+//! files/clients with property x". [`IntHistogram`] is that object, plus
+//! the log-binning helper used when plotting heavy tails.
+
+use std::collections::HashMap;
+
+/// A sparse histogram over `u64` values.
+#[derive(Clone, Default, Debug)]
+pub struct IntHistogram {
+    counts: HashMap<u64, u64>,
+    total: u64,
+}
+
+impl IntHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation of `value`.
+    pub fn add(&mut self, value: u64) {
+        *self.counts.entry(value).or_default() += 1;
+        self.total += 1;
+    }
+
+    /// Adds `n` observations of `value`.
+    pub fn add_n(&mut self, value: u64, n: u64) {
+        if n > 0 {
+            *self.counts.entry(value).or_default() += n;
+            self.total += n;
+        }
+    }
+
+    /// Observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct values seen.
+    pub fn distinct_values(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count for one value.
+    pub fn count(&self, value: u64) -> u64 {
+        self.counts.get(&value).copied().unwrap_or(0)
+    }
+
+    /// `(value, count)` pairs sorted by value — the paper's plotted form.
+    pub fn sorted_points(&self) -> Vec<(u64, u64)> {
+        let mut pts: Vec<(u64, u64)> = self.counts.iter().map(|(&v, &c)| (v, c)).collect();
+        pts.sort_unstable_by_key(|&(v, _)| v);
+        pts
+    }
+
+    /// Largest observed value.
+    pub fn max_value(&self) -> Option<u64> {
+        self.counts.keys().max().copied()
+    }
+
+    /// Mean of the observations.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u128 = self
+            .counts
+            .iter()
+            .map(|(&v, &c)| v as u128 * c as u128)
+            .sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &IntHistogram) {
+        for (&v, &c) in &other.counts {
+            self.add_n(v, c);
+        }
+    }
+
+    /// Log-binned view: geometric bins with the given ratio (> 1), each
+    /// bin reported as `(geometric_center, total_count)`. Standard
+    /// presentation for heavy-tailed data like Figs. 4–7.
+    pub fn log_binned(&self, ratio: f64) -> Vec<(f64, u64)> {
+        assert!(ratio > 1.0);
+        let mut bins: HashMap<i32, u64> = HashMap::new();
+        for (&v, &c) in &self.counts {
+            if v == 0 {
+                *bins.entry(i32::MIN).or_default() += c;
+                continue;
+            }
+            let bin = (v as f64).ln() / ratio.ln();
+            *bins.entry(bin.floor() as i32).or_default() += c;
+        }
+        let mut out: Vec<(f64, u64)> = bins
+            .into_iter()
+            .map(|(b, c)| {
+                let center = if b == i32::MIN {
+                    0.0
+                } else {
+                    ratio.powf(b as f64 + 0.5)
+                };
+                (center, c)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite centers"));
+        out
+    }
+}
+
+impl FromIterator<u64> for IntHistogram {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        let mut h = IntHistogram::new();
+        for v in iter {
+            h.add(v);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_counting() {
+        let mut h = IntHistogram::new();
+        for v in [1u64, 1, 2, 5, 5, 5] {
+            h.add(v);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(5), 3);
+        assert_eq!(h.count(9), 0);
+        assert_eq!(h.distinct_values(), 3);
+        assert_eq!(h.max_value(), Some(5));
+        assert_eq!(h.sorted_points(), vec![(1, 2), (2, 1), (5, 3)]);
+    }
+
+    #[test]
+    fn mean_matches() {
+        let h: IntHistogram = [2u64, 4, 6].into_iter().collect();
+        assert!((h.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(IntHistogram::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn add_n_and_merge() {
+        let mut a = IntHistogram::new();
+        a.add_n(3, 10);
+        a.add_n(3, 0); // no-op
+        let mut b = IntHistogram::new();
+        b.add_n(3, 5);
+        b.add_n(7, 1);
+        a.merge(&b);
+        assert_eq!(a.count(3), 15);
+        assert_eq!(a.count(7), 1);
+        assert_eq!(a.total(), 16);
+    }
+
+    #[test]
+    fn log_binning_conserves_mass() {
+        let h: IntHistogram = (1u64..1000).collect();
+        let bins = h.log_binned(2.0);
+        let total: u64 = bins.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, h.total());
+        // Bin centers strictly increasing.
+        for w in bins.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn log_binning_handles_zero() {
+        let mut h = IntHistogram::new();
+        h.add(0);
+        h.add(1);
+        let bins = h.log_binned(10.0);
+        assert_eq!(bins[0], (0.0, 1));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let h: IntHistogram = vec![1u64, 2, 3].into_iter().collect();
+        assert_eq!(h.total(), 3);
+    }
+}

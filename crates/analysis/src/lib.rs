@@ -1,0 +1,39 @@
+//! # etw-analysis — analyses of the anonymised dataset
+//!
+//! Implements §3 of *"Ten weeks in the life of an eDonkey server"*: the
+//! "basic analysis" the authors run on the released dataset, plus the
+//! fitting and peak-detection machinery their prose relies on.
+//!
+//! * [`histogram`] — sparse integer histograms with log binning;
+//! * [`distributions`] — the accumulator computing Figs. 4–8 from
+//!   dataset records;
+//! * [`powerlaw`] — log-log least-squares fitting with R² (the paper's
+//!   "reasonably well fitted by a power-law" / "far from power-laws"
+//!   distinction);
+//! * [`peaks`] — spike detection (the 52-query peak, the 700 MB peak);
+//! * [`timeseries`] — per-second loss series utilities (Fig. 2);
+//! * [`report`] — plain-text emitters for figures and tables;
+//! * [`behavior`] — the §3.2/§4 extensions: provide/ask correlation,
+//!   communities of interest, file-spread and growth curves;
+//! * [`cardinality`] — HyperLogLog distinct counting, the sublinear
+//!   answer to the paper's "counting the number of distinct fileID
+//!   observed" challenge.
+
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod cardinality;
+pub mod distributions;
+pub mod histogram;
+pub mod peaks;
+pub mod powerlaw;
+pub mod report;
+pub mod timeseries;
+
+pub use behavior::{correlation, BehaviorStats, Correlation};
+pub use cardinality::HyperLogLog;
+pub use distributions::DatasetStats;
+pub use histogram::IntHistogram;
+pub use peaks::{find_peaks, Peak};
+pub use powerlaw::{fit_histogram, fit_points, PowerLawFit};
+pub use timeseries::SparseSeries;

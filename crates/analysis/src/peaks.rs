@@ -1,0 +1,119 @@
+//! Peak detection in histograms.
+//!
+//! Two of the paper's observations are *peaks*: the spike of clients
+//! asking for exactly 52 files (Fig. 7) and the file-size spikes at
+//! 700 MB and friends (Fig. 8). The detector below finds histogram
+//! values whose count towers over their local neighbourhood.
+
+use crate::histogram::IntHistogram;
+
+/// One detected peak.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Peak {
+    /// The x value of the peak.
+    pub value: u64,
+    /// Count at the peak.
+    pub count: u64,
+    /// Ratio of the peak count to the median count in its neighbourhood.
+    pub prominence: f64,
+}
+
+/// Finds values whose count is at least `min_prominence` times the
+/// median count within a window of ±`window` *points* (not x distance)
+/// around them, considering only values with count ≥ `min_count`.
+/// Returned peaks are sorted by descending prominence.
+pub fn find_peaks(
+    h: &IntHistogram,
+    window: usize,
+    min_prominence: f64,
+    min_count: u64,
+) -> Vec<Peak> {
+    let pts = h.sorted_points();
+    let mut peaks = Vec::new();
+    for (i, &(v, c)) in pts.iter().enumerate() {
+        if c < min_count {
+            continue;
+        }
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(pts.len());
+        let mut neighbours: Vec<u64> = pts[lo..hi]
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| lo + j != i)
+            .map(|(_, &(_, c))| c)
+            .collect();
+        if neighbours.is_empty() {
+            continue;
+        }
+        neighbours.sort_unstable();
+        let median = neighbours[neighbours.len() / 2].max(1);
+        let prominence = c as f64 / median as f64;
+        if prominence >= min_prominence {
+            peaks.push(Peak {
+                value: v,
+                count: c,
+                prominence,
+            });
+        }
+    }
+    peaks.sort_by(|a, b| b.prominence.partial_cmp(&a.prominence).expect("finite"));
+    peaks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_histogram_with_spike(spike_at: u64, spike: u64) -> IntHistogram {
+        let mut h = IntHistogram::new();
+        for v in 1u64..=100 {
+            h.add_n(v, 1000 / v); // smooth decay
+        }
+        h.add_n(spike_at, spike);
+        h
+    }
+
+    #[test]
+    fn detects_injected_spike() {
+        let h = smooth_histogram_with_spike(52, 5_000);
+        let peaks = find_peaks(&h, 5, 10.0, 100);
+        assert!(!peaks.is_empty());
+        assert_eq!(peaks[0].value, 52);
+        assert!(peaks[0].prominence > 100.0);
+    }
+
+    #[test]
+    fn smooth_histogram_has_no_peaks() {
+        let mut h = IntHistogram::new();
+        for v in 1u64..=100 {
+            h.add_n(v, 1000 / v);
+        }
+        let peaks = find_peaks(&h, 5, 10.0, 1);
+        assert!(peaks.is_empty(), "{peaks:?}");
+    }
+
+    #[test]
+    fn multiple_peaks_sorted_by_prominence() {
+        let mut h = smooth_histogram_with_spike(52, 3_000);
+        h.add_n(80, 50_000);
+        let peaks = find_peaks(&h, 5, 10.0, 100);
+        assert!(peaks.len() >= 2);
+        assert_eq!(peaks[0].value, 80);
+        assert_eq!(peaks[1].value, 52);
+        assert!(peaks[0].prominence >= peaks[1].prominence);
+    }
+
+    #[test]
+    fn min_count_filters_noise() {
+        let mut h = IntHistogram::new();
+        h.add_n(1, 2);
+        h.add_n(1_000_000, 1); // isolated single observation
+        let peaks = find_peaks(&h, 3, 1.5, 10);
+        assert!(peaks.is_empty());
+    }
+
+    #[test]
+    fn empty_histogram() {
+        assert!(find_peaks(&IntHistogram::new(), 3, 2.0, 1).is_empty());
+    }
+}

@@ -1,0 +1,165 @@
+//! Power-law fitting on log-log axes.
+//!
+//! The paper observes that "the decrease of the distribution of the
+//! number of clients providing each file is reasonably well fitted by a
+//! power-law" (Fig. 4) and also notes where distributions are *not*
+//! power laws (Figs. 6–7, which have "several regimes"). The fitter here
+//! is the standard least-squares line in log-log space, with R² as the
+//! goodness measure used to make exactly that distinction.
+
+use crate::histogram::IntHistogram;
+
+/// A fitted power law `y ≈ c · x^(-alpha)` with its goodness of fit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerLawFit {
+    /// Decay exponent (positive for decreasing distributions).
+    pub alpha: f64,
+    /// Log10 of the prefactor `c`.
+    pub log10_c: f64,
+    /// Coefficient of determination in log-log space.
+    pub r2: f64,
+    /// Points used in the fit.
+    pub n_points: usize,
+}
+
+impl PowerLawFit {
+    /// Predicted `y` at `x` under the fit.
+    pub fn predict(&self, x: f64) -> f64 {
+        10f64.powf(self.log10_c - self.alpha * x.log10())
+    }
+}
+
+/// Fits `y = c · x^(-alpha)` through `(x, y)` points with `x, y > 0`.
+/// Returns `None` with fewer than 3 usable points.
+pub fn fit_points(points: &[(f64, f64)]) -> Option<PowerLawFit> {
+    let usable: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(x, y)| x > 0.0 && y > 0.0)
+        .map(|&(x, y)| (x.log10(), y.log10()))
+        .collect();
+    let n = usable.len();
+    if n < 3 {
+        return None;
+    }
+    let nf = n as f64;
+    let sum_x: f64 = usable.iter().map(|p| p.0).sum();
+    let sum_y: f64 = usable.iter().map(|p| p.1).sum();
+    let mean_x = sum_x / nf;
+    let mean_y = sum_y / nf;
+    let sxx: f64 = usable.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+    let sxy: f64 = usable
+        .iter()
+        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
+        .sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_tot: f64 = usable.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = usable
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Some(PowerLawFit {
+        alpha: -slope,
+        log10_c: intercept,
+        r2,
+        n_points: n,
+    })
+}
+
+/// Fits a histogram's `(value, count)` points, log-binned first to
+/// de-noise the tail (ratio 1.5), as is standard for empirical degree
+/// distributions. Bin totals are normalised by bin width (density),
+/// without which log binning biases the measured exponent by exactly 1.
+pub fn fit_histogram(h: &IntHistogram) -> Option<PowerLawFit> {
+    let ratio = 1.5f64;
+    let mut bins: std::collections::HashMap<i32, u64> = std::collections::HashMap::new();
+    for (v, c) in h.sorted_points() {
+        if v == 0 {
+            continue;
+        }
+        let b = ((v as f64).ln() / ratio.ln()).floor() as i32;
+        *bins.entry(b).or_default() += c;
+    }
+    let pts: Vec<(f64, f64)> = bins
+        .into_iter()
+        .map(|(b, total)| {
+            let lo = ratio.powi(b);
+            let hi = ratio.powi(b + 1);
+            let center = (lo * hi).sqrt();
+            (center, total as f64 / (hi - lo))
+        })
+        .collect();
+    fit_points(&pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_power_law_recovered() {
+        // y = 1000 x^-2
+        let pts: Vec<(f64, f64)> = (1..100)
+            .map(|x| (x as f64, 1000.0 * (x as f64).powf(-2.0)))
+            .collect();
+        let fit = fit_points(&pts).unwrap();
+        assert!((fit.alpha - 2.0).abs() < 1e-9, "alpha {}", fit.alpha);
+        assert!((fit.log10_c - 3.0).abs() < 1e-9);
+        assert!(fit.r2 > 0.999999);
+        assert!((fit.predict(10.0) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noisy_power_law_good_r2() {
+        let mut seed = 12345u64;
+        let mut noise = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) * 0.4 + 0.8
+        };
+        let pts: Vec<(f64, f64)> = (1..200)
+            .map(|x| (x as f64, 5000.0 * (x as f64).powf(-1.5) * noise()))
+            .collect();
+        let fit = fit_points(&pts).unwrap();
+        assert!((fit.alpha - 1.5).abs() < 0.1, "alpha {}", fit.alpha);
+        assert!(fit.r2 > 0.95, "r2 {}", fit.r2);
+    }
+
+    #[test]
+    fn exponential_is_a_bad_power_law() {
+        // The R² discriminates shapes, as the paper's prose does.
+        let pts: Vec<(f64, f64)> = (1..60)
+            .map(|x| (x as f64, 1e6 * (-0.3 * x as f64).exp()))
+            .collect();
+        let fit = fit_points(&pts).unwrap();
+        assert!(fit.r2 < 0.92, "r2 {}", fit.r2);
+    }
+
+    #[test]
+    fn too_few_points() {
+        assert!(fit_points(&[(1.0, 1.0), (2.0, 0.5)]).is_none());
+        assert!(fit_points(&[]).is_none());
+        // Points with zero/negative coordinates are discarded.
+        assert!(fit_points(&[(0.0, 5.0), (1.0, 1.0), (-2.0, 3.0)]).is_none());
+    }
+
+    #[test]
+    fn histogram_fit_pipeline() {
+        // Build a histogram whose counts decay as a power law.
+        let mut h = IntHistogram::new();
+        for v in 1u64..=500 {
+            let count = (100_000.0 * (v as f64).powf(-1.8)).round() as u64;
+            h.add_n(v, count.max(if v < 100 { 1 } else { 0 }));
+        }
+        let fit = fit_histogram(&h).unwrap();
+        assert!((fit.alpha - 1.8).abs() < 0.35, "alpha {}", fit.alpha);
+        assert!(fit.r2 > 0.9, "r2 {}", fit.r2);
+    }
+}

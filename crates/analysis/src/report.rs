@@ -1,0 +1,143 @@
+//! Plain-text emitters for figures and tables.
+//!
+//! The repro binary prints each figure as a gnuplot-ready two-column
+//! series plus a short caption block, and the T1 summary as an aligned
+//! table. Keeping the output format here (rather than in the binary)
+//! lets tests pin it.
+
+use crate::histogram::IntHistogram;
+use crate::powerlaw::PowerLawFit;
+
+/// Renders a histogram as `x y` lines (the paper's plotted form).
+pub fn distribution_series(h: &IntHistogram) -> String {
+    let mut out = String::new();
+    for (x, y) in h.sorted_points() {
+        out.push_str(&format!("{x} {y}\n"));
+    }
+    out
+}
+
+/// Renders `(x, y)` pairs as `x y` lines.
+pub fn series_u64(points: &[(u64, u64)]) -> String {
+    let mut out = String::new();
+    for &(x, y) in points {
+        out.push_str(&format!("{x} {y}\n"));
+    }
+    out
+}
+
+/// Renders float-x series.
+pub fn series_f64(points: &[(f64, u64)]) -> String {
+    let mut out = String::new();
+    for &(x, y) in points {
+        out.push_str(&format!("{x:.6} {y}\n"));
+    }
+    out
+}
+
+/// One line summarising a power-law fit.
+pub fn describe_fit(fit: &Option<PowerLawFit>) -> String {
+    match fit {
+        Some(f) => format!(
+            "power-law fit: alpha={:.3} r2={:.4} ({} log-bins)",
+            f.alpha, f.r2, f.n_points
+        ),
+        None => "power-law fit: not enough points".to_owned(),
+    }
+}
+
+/// A two-column aligned key/value table (the T1 summary format).
+pub struct KvTable {
+    rows: Vec<(String, String)>,
+}
+
+impl Default for KvTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KvTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        KvTable { rows: Vec::new() }
+    }
+
+    /// Adds a row.
+    pub fn row(&mut self, key: impl Into<String>, value: impl ToString) -> &mut Self {
+        self.rows.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let width = self.rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (k, v) in &self.rows {
+            out.push_str(&format!("{k:<width$}  {v}\n"));
+        }
+        out
+    }
+}
+
+/// Formats large counts with thousands separators, as the paper prints
+/// them ("8 867 052 380 messages").
+pub fn grouped(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(' ');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_series_format() {
+        let h: IntHistogram = [1u64, 1, 3].into_iter().collect();
+        assert_eq!(distribution_series(&h), "1 2\n3 1\n");
+    }
+
+    #[test]
+    fn kv_table_alignment() {
+        let mut t = KvTable::new();
+        t.row("short", 1).row("a much longer key", 22);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // Values start at the same column.
+        let col0 = lines[0].find('1').unwrap();
+        let col1 = lines[1].find("22").unwrap();
+        assert_eq!(col0, col1);
+    }
+
+    #[test]
+    fn grouped_thousands() {
+        assert_eq!(grouped(0), "0");
+        assert_eq!(grouped(999), "999");
+        assert_eq!(grouped(1_000), "1 000");
+        assert_eq!(grouped(8_867_052_380), "8 867 052 380");
+    }
+
+    #[test]
+    fn fit_description() {
+        assert!(describe_fit(&None).contains("not enough"));
+        let f = crate::powerlaw::fit_points(
+            &(1..20)
+                .map(|x| (x as f64, 100.0 * (x as f64).powf(-1.0)))
+                .collect::<Vec<_>>(),
+        );
+        assert!(describe_fit(&f).contains("alpha=1.000"));
+    }
+
+    #[test]
+    fn series_emitters() {
+        assert_eq!(series_u64(&[(1, 2), (3, 4)]), "1 2\n3 4\n");
+        assert_eq!(series_f64(&[(0.5, 2)]), "0.500000 2\n");
+    }
+}

@@ -1,0 +1,102 @@
+//! Time-series helpers for Fig. 2 (losses per second over ten weeks,
+//! with cumulative inset).
+
+/// A sparse per-second series `(second, value)`; seconds with value 0
+/// are omitted.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SparseSeries {
+    /// Sorted `(second, value)` points.
+    pub points: Vec<(u64, u64)>,
+}
+
+impl SparseSeries {
+    /// Builds from points (sorted internally).
+    pub fn new(mut points: Vec<(u64, u64)>) -> Self {
+        points.sort_unstable_by_key(|&(s, _)| s);
+        SparseSeries { points }
+    }
+
+    /// Sum of all values.
+    pub fn total(&self) -> u64 {
+        self.points.iter().map(|&(_, v)| v).sum()
+    }
+
+    /// Cumulative curve (step function at the observed points).
+    pub fn cumulative(&self) -> Vec<(u64, u64)> {
+        let mut acc = 0;
+        self.points
+            .iter()
+            .map(|&(s, v)| {
+                acc += v;
+                (s, acc)
+            })
+            .collect()
+    }
+
+    /// Re-buckets into intervals of `bucket_secs`, returning
+    /// `(bucket_start_sec, total)` — used to render a 6-million-point
+    /// ten-week series at plotable resolution.
+    pub fn bucketed(&self, bucket_secs: u64) -> Vec<(u64, u64)> {
+        assert!(bucket_secs > 0);
+        let mut out: Vec<(u64, u64)> = Vec::new();
+        for &(s, v) in &self.points {
+            let b = s / bucket_secs * bucket_secs;
+            match out.last_mut() {
+                Some((bs, total)) if *bs == b => *total += v,
+                _ => out.push((b, v)),
+            }
+        }
+        out
+    }
+
+    /// Converts x to weeks for plotting against the paper's axis.
+    pub fn in_weeks(&self) -> Vec<(f64, u64)> {
+        const WEEK: f64 = 7.0 * 86_400.0;
+        self.points
+            .iter()
+            .map(|&(s, v)| (s as f64 / WEEK, v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_and_totals() {
+        let s = SparseSeries::new(vec![(30, 2), (10, 1), (20, 4)]);
+        assert_eq!(s.points, vec![(10, 1), (20, 4), (30, 2)]);
+        assert_eq!(s.total(), 7);
+    }
+
+    #[test]
+    fn cumulative_is_monotone() {
+        let s = SparseSeries::new(vec![(1, 5), (3, 2), (9, 1)]);
+        assert_eq!(s.cumulative(), vec![(1, 5), (3, 7), (9, 8)]);
+    }
+
+    #[test]
+    fn bucketing_conserves_mass() {
+        let s = SparseSeries::new((0..1000u64).map(|i| (i, 1)).collect());
+        let b = s.bucketed(100);
+        assert_eq!(b.len(), 10);
+        assert!(b.iter().all(|&(_, v)| v == 100));
+        assert_eq!(b.iter().map(|&(_, v)| v).sum::<u64>(), s.total());
+    }
+
+    #[test]
+    fn weeks_axis() {
+        let s = SparseSeries::new(vec![(7 * 86_400, 3)]);
+        let w = s.in_weeks();
+        assert!((w[0].0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = SparseSeries::default();
+        assert_eq!(s.total(), 0);
+        assert!(s.cumulative().is_empty());
+        assert!(s.bucketed(10).is_empty());
+    }
+}

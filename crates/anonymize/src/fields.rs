@@ -1,0 +1,113 @@
+//! Field-level anonymisers (paper §2.4).
+//!
+//! * file sizes: stored in kilo-bytes instead of bytes — "this precision
+//!   reduction seems enough to protect this information";
+//! * strings (search strings, filenames, server descriptions): replaced
+//!   by their MD5 hex digest;
+//! * timestamps: replaced by time elapsed since the capture began (our
+//!   virtual clock is already relative, so this is the identity — kept
+//!   explicit so the policy is visible and testable).
+
+use crate::md5::{hex_digest, md5};
+
+/// Reduces a byte-precise file size to kilo-bytes (floor division, the
+/// paper's "precision reduction").
+#[inline]
+pub fn anonymize_filesize(bytes: u64) -> u64 {
+    bytes / 1024
+}
+
+/// Replaces a string by its MD5 hex digest.
+pub fn anonymize_string(s: &str) -> String {
+    hex_digest(&md5(s.as_bytes()))
+}
+
+/// Timestamps: the dataset stores time elapsed since the beginning of the
+/// capture, in microseconds. Virtual time is already origin-relative;
+/// this function documents (and pins in tests) that no absolute time may
+/// leak.
+#[inline]
+pub fn anonymize_timestamp(relative_us: u64) -> u64 {
+    relative_us
+}
+
+/// A memoising string anonymiser: real traffic repeats the same filenames
+/// and keywords enormously (popular files are announced by thousands of
+/// clients), so hashing each occurrence is wasted work. The cache maps
+/// seen strings to their digests.
+#[derive(Default)]
+pub struct StringAnonymizer {
+    cache: std::collections::HashMap<String, String>,
+    hits: u64,
+    misses: u64,
+}
+
+impl StringAnonymizer {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the MD5 hex of `s`, memoised.
+    pub fn anonymize(&mut self, s: &str) -> String {
+        if let Some(d) = self.cache.get(s) {
+            self.hits += 1;
+            return d.clone();
+        }
+        self.misses += 1;
+        let d = anonymize_string(s);
+        self.cache.insert(s.to_owned(), d.clone());
+        d
+    }
+
+    /// `(cache_hits, cache_misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of distinct strings seen.
+    pub fn distinct(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filesize_floor_to_kb() {
+        assert_eq!(anonymize_filesize(0), 0);
+        assert_eq!(anonymize_filesize(1023), 0);
+        assert_eq!(anonymize_filesize(1024), 1);
+        assert_eq!(anonymize_filesize(700 * 1024 * 1024), 700 * 1024);
+        // Two files differing only below 1 KB become indistinguishable —
+        // the privacy property the paper relies on.
+        assert_eq!(anonymize_filesize(5000), anonymize_filesize(5120 - 1));
+    }
+
+    #[test]
+    fn string_is_md5_hex() {
+        assert_eq!(anonymize_string("abc"), "900150983cd24fb0d6963f7d28e17f72");
+        assert_eq!(anonymize_string("").len(), 32);
+    }
+
+    #[test]
+    fn timestamps_stay_relative() {
+        assert_eq!(anonymize_timestamp(0), 0);
+        assert_eq!(anonymize_timestamp(123_456), 123_456);
+    }
+
+    #[test]
+    fn cache_consistency() {
+        let mut a = StringAnonymizer::new();
+        let d1 = a.anonymize("blue oyster cult");
+        let d2 = a.anonymize("blue oyster cult");
+        assert_eq!(d1, d2);
+        assert_eq!(d1, anonymize_string("blue oyster cult"));
+        assert_eq!(a.stats(), (1, 1));
+        assert_eq!(a.distinct(), 1);
+        a.anonymize("other");
+        assert_eq!(a.distinct(), 2);
+    }
+}

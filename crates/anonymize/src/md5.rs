@@ -1,0 +1,223 @@
+//! MD5 message digest (RFC 1321), implemented from scratch.
+//!
+//! The paper anonymises "search strings, filenames, and server
+//! descriptions … by their md5 hash code, which provides satisfying
+//! anonymisation while keeping a coherent dataset" (§2.4). This is that
+//! hash. Validated against every RFC 1321 appendix A.5 test vector.
+
+/// Digest size in bytes.
+pub const DIGEST_LEN: usize = 16;
+
+const BLOCK_LEN: usize = 64;
+
+/// Per-round left-rotation amounts.
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+/// Binary integer parts of abs(sin(i+1)) * 2^32 (RFC 1321 T table).
+const K: [u32; 64] = [
+    0xd76a_a478, 0xe8c7_b756, 0x2420_70db, 0xc1bd_ceee, //
+    0xf57c_0faf, 0x4787_c62a, 0xa830_4613, 0xfd46_9501, //
+    0x6980_98d8, 0x8b44_f7af, 0xffff_5bb1, 0x895c_d7be, //
+    0x6b90_1122, 0xfd98_7193, 0xa679_438e, 0x49b4_0821, //
+    0xf61e_2562, 0xc040_b340, 0x265e_5a51, 0xe9b6_c7aa, //
+    0xd62f_105d, 0x0244_1453, 0xd8a1_e681, 0xe7d3_fbc8, //
+    0x21e1_cde6, 0xc337_07d6, 0xf4d5_0d87, 0x455a_14ed, //
+    0xa9e3_e905, 0xfcef_a3f8, 0x676f_02d9, 0x8d2a_4c8a, //
+    0xfffa_3942, 0x8771_f681, 0x6d9d_6122, 0xfde5_380c, //
+    0xa4be_ea44, 0x4bde_cfa9, 0xf6bb_4b60, 0xbebf_bc70, //
+    0x289b_7ec6, 0xeaa1_27fa, 0xd4ef_3085, 0x0488_1d05, //
+    0xd9d4_d039, 0xe6db_99e5, 0x1fa2_7cf8, 0xc4ac_5665, //
+    0xf429_2244, 0x432a_ff97, 0xab94_23a7, 0xfc93_a039, //
+    0x655b_59c3, 0x8f0c_cc92, 0xffef_f47d, 0x8584_5dd1, //
+    0x6fa8_7e4f, 0xfe2c_e6e0, 0xa301_4314, 0x4e08_11a1, //
+    0xf753_7e82, 0xbd3a_f235, 0x2ad7_d2bb, 0xeb86_d391,
+];
+
+/// Incremental MD5 hasher.
+#[derive(Clone)]
+pub struct Md5 {
+    state: [u32; 4],
+    len: u64,
+    buf: [u8; BLOCK_LEN],
+    buf_len: usize,
+}
+
+impl Default for Md5 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Md5 {
+    /// Creates a hasher in the RFC 1321 initial state.
+    pub fn new() -> Self {
+        Md5 {
+            state: [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476],
+            len: 0,
+            buf: [0u8; BLOCK_LEN],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = (BLOCK_LEN - self.buf_len).min(rest.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == BLOCK_LEN {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while rest.len() >= BLOCK_LEN {
+            let (block, tail) = rest.split_at(BLOCK_LEN);
+            let mut b = [0u8; BLOCK_LEN];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+    }
+
+    /// Pads and returns the digest.
+    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+        let bit_len = self.len.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buf_len != BLOCK_LEN - 8 {
+            self.update(&[0]);
+        }
+        self.len = 0;
+        self.update(&bit_len.to_le_bytes());
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        let mut m = [0u32; 16];
+        for (i, w) in m.iter_mut().enumerate() {
+            *w = u32::from_le_bytes([
+                block[i * 4],
+                block[i * 4 + 1],
+                block[i * 4 + 2],
+                block[i * 4 + 3],
+            ]);
+        }
+        let [mut a, mut b, mut c, mut d] = self.state;
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            b = b.wrapping_add(
+                a.wrapping_add(f)
+                    .wrapping_add(K[i])
+                    .wrapping_add(m[g])
+                    .rotate_left(S[i]),
+            );
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+    }
+}
+
+/// One-shot MD5.
+pub fn md5(data: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut h = Md5::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Hex rendering of a digest (the form stored in the XML dataset).
+pub fn hex_digest(d: &[u8; DIGEST_LEN]) -> String {
+    let mut s = String::with_capacity(32);
+    for b in d {
+        use std::fmt::Write;
+        let _ = write!(s, "{b:02x}");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1321_vectors() {
+        let cases: &[(&[u8], &str)] = &[
+            (b"", "d41d8cd98f00b204e9800998ecf8427e"),
+            (b"a", "0cc175b9c0f1b6a831c399e269772661"),
+            (b"abc", "900150983cd24fb0d6963f7d28e17f72"),
+            (b"message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+            (
+                b"abcdefghijklmnopqrstuvwxyz",
+                "c3fcd3d76192e4007dfb496cca67e13b",
+            ),
+            (
+                b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                "d174ab98d277d9f5a5611c2c9f419d9f",
+            ),
+            (
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+                "57edf4a22be3c955ac49da2e2107b67a",
+            ),
+        ];
+        for (input, want) in cases {
+            assert_eq!(hex_digest(&md5(input)), *want, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0u32..777).map(|i| (i % 253) as u8).collect();
+        let whole = md5(&data);
+        for chunk in [1usize, 7, 63, 64, 65, 200] {
+            let mut h = Md5::new();
+            for p in data.chunks(chunk) {
+                h.update(p);
+            }
+            assert_eq!(h.finalize(), whole, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn padding_boundaries() {
+        for n in [55usize, 56, 63, 64, 119, 120, 128] {
+            let data = vec![0x5au8; n];
+            let d = md5(&data);
+            let mut h = Md5::new();
+            h.update(&data[..n / 3]);
+            h.update(&data[n / 3..]);
+            assert_eq!(h.finalize(), d, "len {n}");
+        }
+    }
+
+    #[test]
+    fn hex_digest_formats() {
+        assert_eq!(hex_digest(&[0u8; 16]), "0".repeat(32));
+        assert_eq!(hex_digest(&[0xff; 16]), "f".repeat(32));
+    }
+}

@@ -1,0 +1,557 @@
+//! Whole-record anonymisation: eDonkey messages → anonymised dataset
+//! records (paper §2.4).
+//!
+//! Every sensitive field is rewritten with its dedicated method:
+//!
+//! | field | method |
+//! |---|---|
+//! | clientID (incl. server IPs in server lists) | order of appearance ([`crate::clientid`]) |
+//! | fileID | order of appearance ([`crate::fileid`]) |
+//! | search strings, filenames, string metadata, server descriptions | MD5 ([`crate::fields`]) |
+//! | file sizes (tags and numeric search constraints) | bytes → kilo-bytes |
+//! | timestamps | relative to capture start |
+//!
+//! Non-sensitive integers (ports, source counts, challenges) pass
+//! through: they carry the behavioural signal the dataset exists to
+//! preserve.
+
+use crate::clientid::{ClientIdAnonymizer, DirectArrayAnonymizer};
+use crate::fields::{anonymize_filesize, StringAnonymizer};
+use crate::fileid::{BucketedArrays, ByteSelector, FileIdAnonymizer};
+use etw_edonkey::messages::{Family, Message};
+use etw_edonkey::search::{BoolOp, NumCmp, SearchExpr};
+use etw_edonkey::tags::{special, Tag, TagName, TagValue};
+
+/// An anonymised metadata tag.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AnonTag {
+    /// Human-readable tag name (tag *names* are protocol constants, not
+    /// user data, and stay in clear — as in the released dataset's
+    /// formal specification).
+    pub name: String,
+    /// Anonymised value.
+    pub value: AnonTagValue,
+}
+
+/// An anonymised tag value.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AnonTagValue {
+    /// MD5 hex of the original string.
+    Hashed(String),
+    /// Integer value; file sizes are already reduced to kilo-bytes.
+    UInt(u64),
+}
+
+/// An anonymised file entry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AnonFileEntry {
+    /// Anonymised fileID.
+    pub file: u64,
+    /// Anonymised clientID of the provider.
+    pub client: u32,
+    /// TCP port (not sensitive).
+    pub port: u16,
+    /// Anonymised tags.
+    pub tags: Vec<AnonTag>,
+}
+
+/// An anonymised search expression (structure preserved, strings hashed).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AnonSearchExpr {
+    /// Boolean node.
+    Bool {
+        /// Connective ("and" / "or" / "andnot").
+        op: &'static str,
+        /// Left operand.
+        left: Box<AnonSearchExpr>,
+        /// Right operand.
+        right: Box<AnonSearchExpr>,
+    },
+    /// Hashed keyword.
+    Keyword(String),
+    /// Metadata string constraint with hashed value.
+    MetaStr {
+        /// Tag name in clear.
+        name: String,
+        /// MD5 hex of the required value.
+        value: String,
+    },
+    /// Numeric constraint (file sizes reduced to KB).
+    MetaNum {
+        /// Tag name in clear.
+        name: String,
+        /// ">=" or "<=".
+        cmp: &'static str,
+        /// Bound (KB for file sizes).
+        value: u64,
+    },
+}
+
+/// An anonymised message: same shape as [`Message`], sensitive fields
+/// rewritten.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AnonMessage {
+    /// Status request.
+    StatusRequest {
+        /// Echo token (not sensitive).
+        challenge: u32,
+    },
+    /// Status answer.
+    StatusResponse {
+        /// Echo token.
+        challenge: u32,
+        /// Connected users.
+        users: u32,
+        /// Indexed files.
+        files: u32,
+    },
+    /// Description request.
+    ServerDescRequest,
+    /// Description answer (hashed, per the paper: "server descriptions
+    /// are encoded by their md5 hash code").
+    ServerDescResponse {
+        /// MD5 hex of the server name.
+        name: String,
+        /// MD5 hex of the description.
+        description: String,
+    },
+    /// Server-list request.
+    GetServerList,
+    /// Server-list answer; server IPs are IP addresses and anonymised
+    /// through the clientID encoder.
+    ServerList {
+        /// `(anon_ip, port)` pairs.
+        servers: Vec<(u32, u16)>,
+    },
+    /// Search request.
+    SearchRequest {
+        /// Anonymised expression.
+        expr: AnonSearchExpr,
+    },
+    /// Search answer.
+    SearchResponse {
+        /// Anonymised results.
+        results: Vec<AnonFileEntry>,
+    },
+    /// Source request.
+    GetSources {
+        /// Anonymised fileIDs.
+        files: Vec<u64>,
+    },
+    /// Source answer.
+    FoundSources {
+        /// Anonymised fileID.
+        file: u64,
+        /// `(anon_client, port)` pairs.
+        sources: Vec<(u32, u16)>,
+    },
+    /// Announcement.
+    OfferFiles {
+        /// Announced files. The *announcing* client is the message
+        /// sender, recorded in the record envelope.
+        files: Vec<AnonFileEntry>,
+    },
+}
+
+impl AnonMessage {
+    /// Message family (same taxonomy as the cleartext message).
+    pub fn family(&self) -> Family {
+        match self {
+            AnonMessage::StatusRequest { .. }
+            | AnonMessage::StatusResponse { .. }
+            | AnonMessage::ServerDescRequest
+            | AnonMessage::ServerDescResponse { .. }
+            | AnonMessage::GetServerList
+            | AnonMessage::ServerList { .. } => Family::Management,
+            AnonMessage::SearchRequest { .. } | AnonMessage::SearchResponse { .. } => {
+                Family::FileSearch
+            }
+            AnonMessage::GetSources { .. } | AnonMessage::FoundSources { .. } => {
+                Family::SourceSearch
+            }
+            AnonMessage::OfferFiles { .. } => Family::Announcement,
+        }
+    }
+
+    /// True for client→server queries.
+    pub fn is_query(&self) -> bool {
+        matches!(
+            self,
+            AnonMessage::StatusRequest { .. }
+                | AnonMessage::ServerDescRequest
+                | AnonMessage::GetServerList
+                | AnonMessage::SearchRequest { .. }
+                | AnonMessage::GetSources { .. }
+                | AnonMessage::OfferFiles { .. }
+        )
+    }
+}
+
+/// A dataset record: one anonymised message with its envelope.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AnonRecord {
+    /// Microseconds since capture start.
+    pub ts_us: u64,
+    /// Anonymised clientID of the peer the server was talking to (the
+    /// sender for queries, the recipient for answers).
+    pub peer: u32,
+    /// The anonymised message.
+    pub msg: AnonMessage,
+}
+
+/// The full §2.4 anonymisation pipeline, holding the stateful encoders.
+pub struct AnonymizationScheme<C, F> {
+    clients: C,
+    files: F,
+    strings: StringAnonymizer,
+}
+
+/// The paper's configuration: direct array for clientIDs, bucketed sorted
+/// arrays with the fixed byte selector for fileIDs.
+pub type PaperScheme = AnonymizationScheme<DirectArrayAnonymizer, BucketedArrays>;
+
+impl PaperScheme {
+    /// Builds the paper's scheme with a clientID space of
+    /// `client_width_bits` (32 = the paper's 16 GB table).
+    pub fn paper(client_width_bits: u32) -> Self {
+        AnonymizationScheme::new(
+            DirectArrayAnonymizer::new(client_width_bits),
+            BucketedArrays::new(ByteSelector::ALTERNATIVE),
+        )
+    }
+}
+
+impl<C: ClientIdAnonymizer, F: FileIdAnonymizer> AnonymizationScheme<C, F> {
+    /// Builds a scheme from explicit encoders (benchmarks swap baselines
+    /// in here).
+    pub fn new(clients: C, files: F) -> Self {
+        AnonymizationScheme {
+            clients,
+            files,
+            strings: StringAnonymizer::new(),
+        }
+    }
+
+    /// Anonymises one message with its envelope.
+    pub fn anonymize(
+        &mut self,
+        ts_us: u64,
+        peer: etw_edonkey::ClientId,
+        msg: &Message,
+    ) -> AnonRecord {
+        AnonRecord {
+            ts_us: crate::fields::anonymize_timestamp(ts_us),
+            peer: self.clients.anonymize(peer),
+            msg: self.anonymize_message(msg),
+        }
+    }
+
+    /// Distinct clientIDs seen (dataset headline number).
+    pub fn distinct_clients(&self) -> u32 {
+        self.clients.distinct()
+    }
+
+    /// Distinct fileIDs seen (dataset headline number).
+    pub fn distinct_files(&self) -> u64 {
+        self.files.distinct()
+    }
+
+    /// The fileID encoder (Fig. 3 reads its bucket sizes).
+    pub fn file_encoder(&self) -> &F {
+        &self.files
+    }
+
+    /// The clientID encoder.
+    pub fn client_encoder(&self) -> &C {
+        &self.clients
+    }
+
+    fn anonymize_message(&mut self, msg: &Message) -> AnonMessage {
+        match msg {
+            Message::StatusRequest { challenge } => AnonMessage::StatusRequest {
+                challenge: *challenge,
+            },
+            Message::StatusResponse {
+                challenge,
+                users,
+                files,
+            } => AnonMessage::StatusResponse {
+                challenge: *challenge,
+                users: *users,
+                files: *files,
+            },
+            Message::ServerDescRequest => AnonMessage::ServerDescRequest,
+            Message::ServerDescResponse { name, description } => {
+                AnonMessage::ServerDescResponse {
+                    name: self.strings.anonymize(name),
+                    description: self.strings.anonymize(description),
+                }
+            }
+            Message::GetServerList => AnonMessage::GetServerList,
+            Message::ServerList { servers } => AnonMessage::ServerList {
+                servers: servers
+                    .iter()
+                    .map(|s| {
+                        (
+                            self.clients.anonymize(etw_edonkey::ClientId(s.ip)),
+                            s.port,
+                        )
+                    })
+                    .collect(),
+            },
+            Message::SearchRequest { expr } => AnonMessage::SearchRequest {
+                expr: self.anonymize_expr(expr),
+            },
+            Message::SearchResponse { results } => AnonMessage::SearchResponse {
+                results: results.iter().map(|e| self.anonymize_entry(e)).collect(),
+            },
+            Message::GetSources { file_ids } => AnonMessage::GetSources {
+                files: file_ids.iter().map(|id| self.files.anonymize(id)).collect(),
+            },
+            Message::FoundSources { file_id, sources } => AnonMessage::FoundSources {
+                file: self.files.anonymize(file_id),
+                sources: sources
+                    .iter()
+                    .map(|s| (self.clients.anonymize(s.client_id), s.port))
+                    .collect(),
+            },
+            Message::OfferFiles { files } => AnonMessage::OfferFiles {
+                files: files.iter().map(|e| self.anonymize_entry(e)).collect(),
+            },
+        }
+    }
+
+    fn anonymize_entry(&mut self, e: &etw_edonkey::FileEntry) -> AnonFileEntry {
+        AnonFileEntry {
+            file: self.files.anonymize(&e.file_id),
+            client: self.clients.anonymize(e.client_id),
+            port: e.port,
+            tags: e.tags.0.iter().map(|t| self.anonymize_tag(t)).collect(),
+        }
+    }
+
+    fn anonymize_tag(&mut self, t: &Tag) -> AnonTag {
+        let is_filesize = matches!(t.name, TagName::Special(special::FILESIZE));
+        let value = match &t.value {
+            TagValue::Str(s) => AnonTagValue::Hashed(self.strings.anonymize(s)),
+            TagValue::U32(v) if is_filesize => {
+                AnonTagValue::UInt(anonymize_filesize(*v as u64))
+            }
+            TagValue::U32(v) => AnonTagValue::UInt(*v as u64),
+        };
+        AnonTag {
+            name: t.name.to_string(),
+            value,
+        }
+    }
+
+    fn anonymize_expr(&mut self, e: &SearchExpr) -> AnonSearchExpr {
+        match e {
+            SearchExpr::Bool { op, left, right } => AnonSearchExpr::Bool {
+                op: match op {
+                    BoolOp::And => "and",
+                    BoolOp::Or => "or",
+                    BoolOp::AndNot => "andnot",
+                },
+                left: Box::new(self.anonymize_expr(left)),
+                right: Box::new(self.anonymize_expr(right)),
+            },
+            SearchExpr::Keyword(k) => AnonSearchExpr::Keyword(self.strings.anonymize(k)),
+            SearchExpr::MetaStr { name, value } => AnonSearchExpr::MetaStr {
+                name: name.to_string(),
+                value: self.strings.anonymize(value),
+            },
+            SearchExpr::MetaNum { name, cmp, value } => {
+                let is_filesize = matches!(name, TagName::Special(special::FILESIZE));
+                AnonSearchExpr::MetaNum {
+                    name: name.to_string(),
+                    cmp: match cmp {
+                        NumCmp::Min => ">=",
+                        NumCmp::Max => "<=",
+                    },
+                    value: if is_filesize {
+                        anonymize_filesize(*value as u64)
+                    } else {
+                        *value as u64
+                    },
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::anonymize_string;
+    use etw_edonkey::ids::{ClientId, FileId};
+    use etw_edonkey::messages::{FileEntry, Source};
+    use etw_edonkey::tags::TagList;
+
+    fn scheme() -> PaperScheme {
+        PaperScheme::paper(16)
+    }
+
+    #[test]
+    fn peer_and_ids_are_order_of_appearance() {
+        let mut s = scheme();
+        let m = Message::GetSources {
+            file_ids: vec![FileId([1; 16]), FileId([2; 16]), FileId([1; 16])],
+        };
+        let r = s.anonymize(10, ClientId(100), &m);
+        assert_eq!(r.peer, 0);
+        assert_eq!(r.ts_us, 10);
+        match r.msg {
+            AnonMessage::GetSources { files } => assert_eq!(files, vec![0, 1, 0]),
+            other => panic!("{other:?}"),
+        }
+        // Second message from another peer.
+        let r2 = s.anonymize(20, ClientId(200), &m);
+        assert_eq!(r2.peer, 1);
+        assert_eq!(s.distinct_clients(), 2);
+        assert_eq!(s.distinct_files(), 2);
+    }
+
+    #[test]
+    fn filenames_hashed_filesizes_in_kb() {
+        let mut s = scheme();
+        let entry = FileEntry {
+            file_id: FileId([9; 16]),
+            client_id: ClientId(5),
+            port: 4662,
+            tags: TagList(vec![
+                Tag::str(special::FILENAME, "secret song.mp3"),
+                Tag::u32(special::FILESIZE, 5 * 1024 * 1024),
+                Tag::u32(special::SOURCES, 3),
+            ]),
+        };
+        let r = s.anonymize(0, ClientId(5), &Message::OfferFiles { files: vec![entry] });
+        match r.msg {
+            AnonMessage::OfferFiles { files } => {
+                let tags = &files[0].tags;
+                assert_eq!(
+                    tags[0].value,
+                    AnonTagValue::Hashed(anonymize_string("secret song.mp3"))
+                );
+                assert_eq!(tags[1].value, AnonTagValue::UInt(5 * 1024));
+                // SOURCES count is not a filesize: passes through.
+                assert_eq!(tags[2].value, AnonTagValue::UInt(3));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn search_strings_hashed_structure_kept() {
+        let mut s = scheme();
+        let expr = SearchExpr::and(
+            SearchExpr::keyword("pink floyd"),
+            SearchExpr::MetaNum {
+                name: TagName::Special(special::FILESIZE),
+                cmp: NumCmp::Min,
+                value: 2048,
+            },
+        );
+        let r = s.anonymize(0, ClientId(1), &Message::SearchRequest { expr });
+        match r.msg {
+            AnonMessage::SearchRequest {
+                expr: AnonSearchExpr::Bool { op, left, right },
+            } => {
+                assert_eq!(op, "and");
+                assert_eq!(
+                    *left,
+                    AnonSearchExpr::Keyword(anonymize_string("pink floyd"))
+                );
+                assert_eq!(
+                    *right,
+                    AnonSearchExpr::MetaNum {
+                        name: "filesize".into(),
+                        cmp: ">=",
+                        value: 2, // 2048 bytes → 2 KB
+                    }
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_string_same_hash_across_messages() {
+        let mut s = scheme();
+        let q = Message::SearchRequest {
+            expr: SearchExpr::keyword("beatles"),
+        };
+        let r1 = s.anonymize(0, ClientId(1), &q);
+        let r2 = s.anonymize(1, ClientId(2), &q);
+        let k = |r: &AnonRecord| match &r.msg {
+            AnonMessage::SearchRequest {
+                expr: AnonSearchExpr::Keyword(k),
+            } => k.clone(),
+            other => panic!("{other:?}"),
+        };
+        // Coherence: the dataset remains joinable on hashed strings.
+        assert_eq!(k(&r1), k(&r2));
+    }
+
+    #[test]
+    fn found_sources_encode_providers() {
+        let mut s = scheme();
+        let m = Message::FoundSources {
+            file_id: FileId([3; 16]),
+            sources: vec![
+                Source {
+                    client_id: ClientId(1000),
+                    port: 4662,
+                },
+                Source {
+                    client_id: ClientId(2000),
+                    port: 4672,
+                },
+            ],
+        };
+        // peer is a third client
+        let r = s.anonymize(0, ClientId(3000), &m);
+        match r.msg {
+            AnonMessage::FoundSources { file, sources } => {
+                assert_eq!(file, 0);
+                // peer got 0, then providers 1 and 2
+                assert_eq!(sources, vec![(1, 4662), (2, 4672)]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn server_desc_hashed() {
+        let mut s = scheme();
+        let m = Message::ServerDescResponse {
+            name: "DonkeyServer No1".into(),
+            description: "we index things".into(),
+        };
+        let r = s.anonymize(0, ClientId(1), &m);
+        match r.msg {
+            AnonMessage::ServerDescResponse { name, description } => {
+                assert_eq!(name, anonymize_string("DonkeyServer No1"));
+                assert_eq!(description, anonymize_string("we index things"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn family_and_direction_preserved() {
+        let mut s = scheme();
+        let cases: Vec<Message> = vec![
+            Message::StatusRequest { challenge: 1 },
+            Message::SearchRequest {
+                expr: SearchExpr::keyword("x"),
+            },
+            Message::OfferFiles { files: vec![] },
+        ];
+        for m in cases {
+            let r = s.anonymize(0, ClientId(1), &m);
+            assert_eq!(r.msg.family(), m.family());
+            assert_eq!(r.msg.is_query(), m.is_client_to_server());
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the anonymisation structures: all
+//! implementations must agree with a reference oracle, values must be a
+//! dense 0..N prefix, and the scheme must be deterministic and
+//! repetition-consistent.
+
+use etw_anonymize::clientid::{
+    BTreeAnonymizer, ClientIdAnonymizer, DirectArrayAnonymizer, HashMapAnonymizer,
+};
+use etw_anonymize::fileid::{
+    BucketedArrays, ByteSelector, FileIdAnonymizer, HashMapFileAnonymizer, SingleSortedArray,
+};
+use etw_anonymize::fields::anonymize_filesize;
+use etw_anonymize::scheme::PaperScheme;
+use etw_edonkey::ids::{ClientId, FileId};
+use etw_edonkey::messages::Message;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// Differential test: every clientID encoder computes the identical
+    /// order-of-appearance function.
+    #[test]
+    fn clientid_encoders_agree(stream in prop::collection::vec(0u32..(1 << 14), 1..500)) {
+        let mut reference: HashMap<u32, u32> = HashMap::new();
+        let mut direct = DirectArrayAnonymizer::new(14);
+        let mut hash = HashMapAnonymizer::new();
+        let mut btree = BTreeAnonymizer::new();
+        for &raw in &stream {
+            let n = reference.len() as u32;
+            let want = *reference.entry(raw).or_insert(n);
+            let id = ClientId(raw);
+            prop_assert_eq!(direct.anonymize(id), want);
+            prop_assert_eq!(hash.anonymize(id), want);
+            prop_assert_eq!(btree.anonymize(id), want);
+        }
+        prop_assert_eq!(direct.distinct() as usize, reference.len());
+    }
+
+    /// Differential test for the fileID encoders, under both byte
+    /// selectors and with pollution mixed in.
+    #[test]
+    fn fileid_encoders_agree(
+        identities in prop::collection::vec(0u64..300, 1..400),
+        forged in prop::collection::vec(0u64..100, 0..100),
+    ) {
+        let mut stream: Vec<FileId> = identities.iter().map(|&i| FileId::of_identity(i)).collect();
+        stream.extend(forged.iter().map(|&c| FileId::forged(c, [0x00, 0x00])));
+        let mut reference: HashMap<FileId, u64> = HashMap::new();
+        let mut first = BucketedArrays::new(ByteSelector::FIRST_TWO);
+        let mut alt = BucketedArrays::new(ByteSelector::ALTERNATIVE);
+        let mut single = SingleSortedArray::new();
+        let mut hash = HashMapFileAnonymizer::new();
+        for id in &stream {
+            let n = reference.len() as u64;
+            let want = *reference.entry(*id).or_insert(n);
+            prop_assert_eq!(first.anonymize(id), want);
+            prop_assert_eq!(alt.anonymize(id), want);
+            prop_assert_eq!(single.anonymize(id), want);
+            prop_assert_eq!(hash.anonymize(id), want);
+        }
+        // Bucket sizes always sum to the number of distinct IDs.
+        prop_assert_eq!(
+            first.bucket_sizes().iter().sum::<usize>() as u64,
+            first.distinct()
+        );
+        prop_assert_eq!(
+            alt.bucket_sizes().iter().sum::<usize>() as u64,
+            alt.distinct()
+        );
+    }
+
+    /// Anonymised values form a dense prefix 0..N-1 — the property the
+    /// paper highlights as making "further use of the dataset much
+    /// easier".
+    #[test]
+    fn values_form_dense_prefix(stream in prop::collection::vec(0u32..2048, 1..300)) {
+        let mut a = DirectArrayAnonymizer::new(11);
+        let mut seen = std::collections::HashSet::new();
+        for &raw in &stream {
+            seen.insert(a.anonymize(ClientId(raw)));
+        }
+        let n = a.distinct();
+        prop_assert_eq!(seen.len() as u32, n);
+        for v in 0..n {
+            prop_assert!(seen.contains(&v), "hole at {}", v);
+        }
+    }
+
+    /// Filesize anonymisation is monotone and bounded by 1 KB resolution.
+    #[test]
+    fn filesize_kb_properties(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(anonymize_filesize(lo) <= anonymize_filesize(hi));
+        prop_assert!(lo / 1024 == anonymize_filesize(lo));
+    }
+
+    /// Scheme determinism: anonymising the same stream twice with fresh
+    /// schemes yields identical records.
+    #[test]
+    fn scheme_deterministic(
+        peers in prop::collection::vec(0u32..(1 << 12), 1..60),
+        ids in prop::collection::vec(0u64..50, 1..60),
+    ) {
+        let msgs: Vec<(ClientId, Message)> = peers
+            .iter()
+            .zip(ids.iter())
+            .map(|(&p, &i)| {
+                (
+                    ClientId(p),
+                    Message::GetSources {
+                        file_ids: vec![FileId::of_identity(i)],
+                    },
+                )
+            })
+            .collect();
+        let run = || {
+            let mut s = PaperScheme::paper(12);
+            msgs.iter()
+                .enumerate()
+                .map(|(k, (p, m))| s.anonymize(k as u64, *p, m))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

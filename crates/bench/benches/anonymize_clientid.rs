@@ -1,0 +1,103 @@
+//! Ablation A1 — clientID anonymiser data structures (paper §2.4).
+//!
+//! The paper claims classical structures (hashtables, trees) are "too
+//! slow and/or too space consuming" for billions of lookups, and uses a
+//! direct-index array instead. This bench reproduces the comparison on
+//! a realistic stream: mostly repeat lookups (every message carries a
+//! clientID) with a steady trickle of first sightings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use etw_anonymize::clientid::{
+    BTreeAnonymizer, ClientIdAnonymizer, DirectArrayAnonymizer, HashMapAnonymizer,
+};
+use etw_edonkey::ids::ClientId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A stream with the capture's access pattern: heavy repetition over a
+/// growing population.
+fn stream(n_ops: usize, space_bits: u32, seed: u64) -> Vec<ClientId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let space = 1u32 << space_bits;
+    (0..n_ops)
+        .map(|_| {
+            // 90% of messages come from recently active clients.
+            if rng.gen_bool(0.9) {
+                ClientId(rng.gen_range(0..space / 64))
+            } else {
+                ClientId(rng.gen_range(0..space))
+            }
+        })
+        .collect()
+}
+
+fn bench_clientid(c: &mut Criterion) {
+    let ops = 200_000usize;
+    let bits = 20u32;
+    let ids = stream(ops, bits, 42);
+
+    let mut group = c.benchmark_group("anonymize_clientid");
+    group.throughput(Throughput::Elements(ops as u64));
+
+    group.bench_function(BenchmarkId::new("direct_array", ops), |b| {
+        b.iter(|| {
+            let mut a = DirectArrayAnonymizer::new(bits);
+            let mut acc = 0u64;
+            for &id in &ids {
+                acc = acc.wrapping_add(a.anonymize(id) as u64);
+            }
+            acc
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("hashmap", ops), |b| {
+        b.iter(|| {
+            let mut a = HashMapAnonymizer::new();
+            let mut acc = 0u64;
+            for &id in &ids {
+                acc = acc.wrapping_add(a.anonymize(id) as u64);
+            }
+            acc
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("btreemap", ops), |b| {
+        b.iter(|| {
+            let mut a = BTreeAnonymizer::new();
+            let mut acc = 0u64;
+            for &id in &ids {
+                acc = acc.wrapping_add(a.anonymize(id) as u64);
+            }
+            acc
+        })
+    });
+
+    group.finish();
+
+    // Lookup-only phase (the dominant operation once the population
+    // saturates: "an overwhelming number of searches … must be
+    // performed").
+    let mut direct = DirectArrayAnonymizer::new(bits);
+    let mut hash = HashMapAnonymizer::new();
+    let mut btree = BTreeAnonymizer::new();
+    for &id in &ids {
+        direct.anonymize(id);
+        hash.anonymize(id);
+        btree.anonymize(id);
+    }
+    let mut group = c.benchmark_group("clientid_lookup_only");
+    group.throughput(Throughput::Elements(ops as u64));
+    group.bench_function("direct_array", |b| {
+        b.iter(|| ids.iter().filter_map(|&id| direct.lookup(id)).count())
+    });
+    group.bench_function("hashmap", |b| {
+        b.iter(|| ids.iter().filter_map(|&id| hash.lookup(id)).count())
+    });
+    group.bench_function("btreemap", |b| {
+        b.iter(|| ids.iter().filter_map(|&id| btree.lookup(id)).count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_clientid);
+criterion_main!(benches);

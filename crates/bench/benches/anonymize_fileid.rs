@@ -1,0 +1,99 @@
+//! Ablation A2 — fileID anonymiser structures (paper §2.4, Fig. 3).
+//!
+//! Three comparisons from the paper's own reasoning:
+//!
+//! 1. a single sorted array ("insertion has a prohibitive cost") vs the
+//!    65 536 bucketed arrays vs a hashmap;
+//! 2. the bucketed arrays under *clean* MD4-uniform traffic vs traffic
+//!    with forged-ID pollution — under the FIRST_TWO selector, the
+//!    polluted buckets blow up and insertion cost explodes with them;
+//! 3. the pollution-resistant ALTERNATIVE byte selector on the same
+//!    polluted traffic.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use etw_anonymize::fileid::{
+    BucketedArrays, ByteSelector, FileIdAnonymizer, HashMapFileAnonymizer, SingleSortedArray,
+};
+use etw_edonkey::ids::FileId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Clean stream: uniform MD4 IDs with repetition.
+fn clean_stream(n_ops: usize, distinct: u64, seed: u64) -> Vec<FileId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_ops)
+        .map(|_| FileId::of_identity(rng.gen_range(0..distinct)))
+        .collect()
+}
+
+/// Polluted stream: the paper's observed mix — a majority of forged IDs
+/// with constant prefixes landing in buckets 0/256.
+fn polluted_stream(n_ops: usize, distinct: u64, seed: u64) -> Vec<FileId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_ops)
+        .map(|_| {
+            if rng.gen_bool(0.55) {
+                let prefix = if rng.gen_bool(0.5) {
+                    [0x00, 0x00]
+                } else {
+                    [0x00, 0x01]
+                };
+                FileId::forged(rng.gen_range(0..distinct), prefix)
+            } else {
+                FileId::of_identity(rng.gen_range(0..distinct))
+            }
+        })
+        .collect()
+}
+
+fn run<A: FileIdAnonymizer>(mut a: A, ids: &[FileId]) -> u64 {
+    let mut acc = 0u64;
+    for id in ids {
+        acc = acc.wrapping_add(a.anonymize(id));
+    }
+    acc
+}
+
+fn bench_structures(c: &mut Criterion) {
+    let ops = 100_000usize;
+    let distinct = 40_000u64;
+    let clean = clean_stream(ops, distinct, 7);
+
+    let mut group = c.benchmark_group("fileid_structures_clean");
+    group.throughput(Throughput::Elements(ops as u64));
+    group.sample_size(20);
+    group.bench_function("bucketed_arrays", |b| {
+        b.iter(|| run(BucketedArrays::new(ByteSelector::ALTERNATIVE), &clean))
+    });
+    group.bench_function("single_sorted_array", |b| {
+        b.iter(|| run(SingleSortedArray::new(), &clean))
+    });
+    group.bench_function("hashmap", |b| {
+        b.iter(|| run(HashMapFileAnonymizer::new(), &clean))
+    });
+    group.finish();
+}
+
+fn bench_pollution(c: &mut Criterion) {
+    let ops = 100_000usize;
+    let distinct = 40_000u64;
+    let clean = clean_stream(ops, distinct, 7);
+    let polluted = polluted_stream(ops, distinct, 8);
+
+    let mut group = c.benchmark_group("fileid_selector_vs_pollution");
+    group.throughput(Throughput::Elements(ops as u64));
+    group.sample_size(20);
+    group.bench_function("first_two_bytes/clean", |b| {
+        b.iter(|| run(BucketedArrays::new(ByteSelector::FIRST_TWO), &clean))
+    });
+    group.bench_function("first_two_bytes/polluted", |b| {
+        b.iter(|| run(BucketedArrays::new(ByteSelector::FIRST_TWO), &polluted))
+    });
+    group.bench_function("alternative_bytes/polluted", |b| {
+        b.iter(|| run(BucketedArrays::new(ByteSelector::ALTERNATIVE), &polluted))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_structures, bench_pollution);
+criterion_main!(benches);

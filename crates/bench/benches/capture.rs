@@ -1,0 +1,82 @@
+//! Ablation A4 — capture ring sizing (the Fig. 2 mechanism).
+//!
+//! Measures the cost of the fluid ring model itself (it must be cheap:
+//! Fig. 2 simulates 6 million seconds), and reports — via criterion's
+//! bench labels over a capacity sweep — how ring capacity trades against
+//! loss under the same bursty offered load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use etw_netsim::capture::CaptureBuffer;
+use etw_netsim::clock::VirtualTime;
+use etw_netsim::traffic::{Burst, RateModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bursty_model(horizon: u64) -> RateModel {
+    let mut m = RateModel::new(5_200.0, 0.45, 0.10, horizon, 0, 1);
+    m.set_bursts(vec![
+        Burst {
+            start_sec: horizon / 4,
+            duration_sec: 30,
+            amplitude: 9.0,
+        },
+        Burst {
+            start_sec: horizon / 2,
+            duration_sec: 60,
+            amplitude: 12.0,
+        },
+    ]);
+    m
+}
+
+fn bench_capture(c: &mut Criterion) {
+    let horizon = 20_000u64;
+    let model = bursty_model(horizon);
+
+    // Pre-sample arrivals so the bench isolates the ring.
+    let mut rng = StdRng::seed_from_u64(5);
+    let arrivals: Vec<u64> = (0..horizon)
+        .map(|s| model.sample_arrivals(VirtualTime::from_secs(s), &mut rng))
+        .collect();
+    let offered: u64 = arrivals.iter().sum();
+
+    let mut group = c.benchmark_group("capture_ring");
+    group.throughput(Throughput::Elements(offered));
+    group.sample_size(10);
+    for capacity in [1_024u64, 8_192, 65_536] {
+        group.bench_with_input(
+            BenchmarkId::new("simulate_horizon", capacity),
+            &capacity,
+            |b, &cap| {
+                b.iter(|| {
+                    let mut ring = CaptureBuffer::new(cap, 26_000.0);
+                    for (s, &n) in arrivals.iter().enumerate() {
+                        ring.offer_batch(VirtualTime::from_secs(s as u64), n);
+                    }
+                    ring.lost()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Print the loss-vs-capacity ablation table once (criterion output
+    // captures stdout in the log).
+    println!("\ncapture ring ablation (offered {offered} packets, drain 26k pps):");
+    println!("{:>10} {:>12} {:>12}", "capacity", "lost", "loss ratio");
+    for capacity in [256u64, 1_024, 4_096, 8_192, 16_384, 65_536, 262_144] {
+        let mut ring = CaptureBuffer::new(capacity, 26_000.0);
+        for (s, &n) in arrivals.iter().enumerate() {
+            ring.offer_batch(VirtualTime::from_secs(s as u64), n);
+        }
+        println!(
+            "{:>10} {:>12} {:>12.2e}",
+            capacity,
+            ring.lost(),
+            ring.lost() as f64 / offered as f64
+        );
+    }
+}
+
+criterion_group!(benches, bench_capture);
+criterion_main!(benches);

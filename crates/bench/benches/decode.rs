@@ -1,0 +1,158 @@
+//! Ablation A3 — decoder throughput (paper §2.3).
+//!
+//! The whole capture chain must keep up with the link in real time; the
+//! paper's server averaged ≈1 600 eDonkey UDP messages/second with peaks
+//! far above. This bench measures (a) full two-step decoding over a
+//! realistic message mix, (b) the structural-validation early-reject on
+//! garbage, and (c) the wire path (ethernet→IP→UDP) on top.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use etw_core::wirepath::{encapsulate, Direction, WireDecoder};
+use etw_edonkey::decoder::{validate, Decoder};
+use etw_edonkey::ids::{ClientId, FileId};
+use etw_edonkey::messages::{FileEntry, Message, Source};
+use etw_edonkey::search::SearchExpr;
+use etw_edonkey::tags::{special, Tag, TagList};
+use etw_netsim::clock::VirtualTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A realistic message mix (mostly source searches, some metadata
+/// searches, announcements, management — per the four families).
+fn message_mix(n: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let msg = match rng.gen_range(0..10) {
+                0..=4 => Message::GetSources {
+                    file_ids: vec![FileId::of_identity(i as u64 % 5000)],
+                },
+                5 => Message::SearchRequest {
+                    expr: SearchExpr::and(
+                        SearchExpr::keyword("blue"),
+                        SearchExpr::keyword("album"),
+                    ),
+                },
+                6 => Message::FoundSources {
+                    file_id: FileId::of_identity(i as u64 % 5000),
+                    sources: (0..rng.gen_range(1..20))
+                        .map(|k| Source {
+                            client_id: ClientId(0x0100_0000 + k),
+                            port: 4662,
+                        })
+                        .collect(),
+                },
+                7..=8 => Message::OfferFiles {
+                    files: (0..rng.gen_range(1..12))
+                        .map(|k| FileEntry {
+                            file_id: FileId::of_identity((i * 31 + k) as u64 % 9000),
+                            client_id: ClientId(i as u32 % 0xffff),
+                            port: 4662,
+                            tags: TagList(vec![
+                                Tag::str(special::FILENAME, "some file name here.mp3"),
+                                Tag::u32(special::FILESIZE, 4_000_000),
+                            ]),
+                        })
+                        .collect(),
+                },
+                _ => Message::StatusRequest {
+                    challenge: rng.gen(),
+                },
+            };
+            msg.encode()
+        })
+        .collect()
+}
+
+fn garbage_mix(n: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(2..100);
+            let mut v = vec![0u8; len];
+            rng.fill(&mut v[..]);
+            v[0] = 0xE3; // eDonkey marker so it reaches validation
+            v
+        })
+        .collect()
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let n = 50_000usize;
+    let msgs = message_mix(n, 3);
+    let garbage = garbage_mix(n, 4);
+
+    let mut group = c.benchmark_group("decode");
+    group.throughput(Throughput::Elements(n as u64));
+
+    group.bench_function("two_step_valid_mix", |b| {
+        b.iter(|| {
+            let mut d = Decoder::new();
+            for m in &msgs {
+                let _ = d.push(m);
+            }
+            d.stats().decoded
+        })
+    });
+
+    group.bench_function("validation_only_valid_mix", |b| {
+        b.iter(|| msgs.iter().filter(|m| validate(m).is_ok()).count())
+    });
+
+    group.bench_function("two_step_garbage", |b| {
+        b.iter(|| {
+            let mut d = Decoder::new();
+            for m in &garbage {
+                let _ = d.push(m);
+            }
+            d.stats().structurally_invalid
+        })
+    });
+
+    group.bench_function("validation_only_garbage", |b| {
+        b.iter(|| garbage.iter().filter(|m| validate(m).is_err()).count())
+    });
+    group.finish();
+
+    // The full wire path: frames in, messages out.
+    let frames: Vec<Vec<u8>> = msgs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, m)| {
+            encapsulate(
+                m.clone(),
+                ClientId(i as u32 % 0xffff),
+                4672,
+                Direction::ToServer,
+                i as u16,
+                1500,
+            )
+            .into_iter()
+            .map(|f| f.to_bytes())
+        })
+        .collect();
+    let mut group = c.benchmark_group("wire_path");
+    group.throughput(Throughput::Elements(frames.len() as u64));
+    group.sample_size(20);
+    group.bench_function("frames_to_messages", |b| {
+        b.iter(|| {
+            let mut wire = WireDecoder::new();
+            let mut decoder = Decoder::new();
+            let mut n = 0u64;
+            for f in &frames {
+                if let etw_core::wirepath::Recovered::Udp { payload, .. } =
+                    wire.push(VirtualTime::ZERO, f)
+                {
+                    if let etw_edonkey::decoder::DecodeOutcome::Ok(_) = decoder.push(&payload) {
+                        n += 1;
+                    }
+                }
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decode);
+criterion_main!(benches);

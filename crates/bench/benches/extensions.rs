@@ -1,0 +1,156 @@
+//! Benches for the extension subsystems: the LZSS dataset codec
+//! (footnote 3's compression) and TCP flow reconstruction (the
+//! conclusion's proposed measurement).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use etw_anonymize::scheme::{AnonMessage, AnonRecord};
+use etw_edonkey::ids::{ClientId, FileId};
+use etw_edonkey::messages::{FileEntry, Message};
+use etw_edonkey::stream::{encode_stream, StreamDecoder};
+use etw_edonkey::tags::{special, Tag, TagList};
+use etw_netsim::flows::{FlowOutcome, FlowReassembler};
+use etw_netsim::tcp::segmentize;
+use etw_xmlout::compress::{compress, decompress};
+use etw_xmlout::writer::to_xml_string;
+
+/// A representative dataset document (~1 MB of XML).
+fn dataset_xml() -> String {
+    let records: Vec<AnonRecord> = (0..8_000u64)
+        .map(|i| AnonRecord {
+            ts_us: i * 1_000,
+            peer: (i % 500) as u32,
+            msg: AnonMessage::GetSources {
+                files: vec![i % 900, (i * 7) % 900],
+            },
+        })
+        .collect();
+    to_xml_string(&records)
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let xml = dataset_xml();
+    let packed = compress(xml.as_bytes());
+    println!(
+        "dataset codec: {} -> {} bytes ({:.1}x)",
+        xml.len(),
+        packed.len(),
+        xml.len() as f64 / packed.len() as f64
+    );
+    let mut group = c.benchmark_group("dataset_codec");
+    group.throughput(Throughput::Bytes(xml.len() as u64));
+    group.sample_size(20);
+    group.bench_function("compress", |b| b.iter(|| compress(xml.as_bytes()).len()));
+    group.bench_function("decompress", |b| {
+        b.iter(|| decompress(&packed).unwrap().len())
+    });
+    group.finish();
+}
+
+fn bench_tcp_flows(c: &mut Criterion) {
+    // 20 flows of 500 messages each.
+    let flows: Vec<Vec<etw_netsim::tcp::TcpSegment>> = (0..20u32)
+        .map(|f| {
+            let msgs: Vec<Message> = (0..500)
+                .map(|i| Message::OfferFiles {
+                    files: vec![FileEntry {
+                        file_id: FileId::of_identity(i as u64),
+                        client_id: ClientId(f),
+                        port: 4662,
+                        tags: TagList(vec![
+                            Tag::str(special::FILENAME, "some shared file.mp3"),
+                            Tag::u32(special::FILESIZE, 4_000_000),
+                        ]),
+                    }],
+                })
+                .collect();
+            segmentize(f, 2, 1_000, 4661, f * 99, &encode_stream(&msgs), 1460)
+        })
+        .collect();
+    let total_segments: usize = flows.iter().map(Vec::len).sum();
+
+    let mut group = c.benchmark_group("tcp_flows");
+    group.throughput(Throughput::Elements(total_segments as u64));
+    group.sample_size(20);
+    group.bench_function("reassemble_and_decode", |b| {
+        b.iter(|| {
+            let mut reasm = FlowReassembler::new();
+            let mut decoded = 0u64;
+            for segs in &flows {
+                for seg in segs {
+                    if let Some(FlowOutcome::Complete(bytes)) = reasm.push(seg) {
+                        let mut d = StreamDecoder::new();
+                        decoded += d.push(&bytes).len() as u64;
+                    }
+                }
+            }
+            assert_eq!(decoded, 20 * 500);
+            decoded
+        })
+    });
+    group.finish();
+}
+
+/// Distinct-count ablation: the paper's "counting the number of distinct
+/// fileID observed" challenge. The anonymiser gets the count for free
+/// but pays O(distinct) memory; a HyperLogLog sketch answers in 16 KB.
+fn bench_distinct_counting(c: &mut Criterion) {
+    use etw_analysis::cardinality::{hash_bytes, HyperLogLog};
+    use std::collections::HashSet;
+
+    let ids: Vec<FileId> = (0..300_000u64)
+        .map(|i| FileId::of_identity(i % 120_000))
+        .collect();
+
+    let mut group = c.benchmark_group("distinct_fileids");
+    group.throughput(Throughput::Elements(ids.len() as u64));
+    group.sample_size(10);
+    group.bench_function("hashset_exact", |b| {
+        b.iter(|| {
+            let set: HashSet<&FileId> = ids.iter().collect();
+            set.len()
+        })
+    });
+    group.bench_function("hyperloglog_p14", |b| {
+        b.iter(|| {
+            let mut hll = HyperLogLog::new(14);
+            for id in &ids {
+                hll.insert_hash(hash_bytes(id.as_bytes()));
+            }
+            hll.estimate() as u64
+        })
+    });
+    group.bench_function("order_of_appearance_store", |b| {
+        use etw_anonymize::fileid::{BucketedArrays, ByteSelector, FileIdAnonymizer};
+        b.iter(|| {
+            let mut store = BucketedArrays::new(ByteSelector::ALTERNATIVE);
+            for id in &ids {
+                store.anonymize(id);
+            }
+            store.distinct()
+        })
+    });
+    group.finish();
+
+    // Accuracy/memory table.
+    let mut hll = HyperLogLog::new(14);
+    for id in &ids {
+        hll.insert_hash(hash_bytes(id.as_bytes()));
+    }
+    let exact = ids.iter().collect::<HashSet<_>>().len();
+    println!(
+        "
+distinct counting: exact {} | HLL(p=14) {:.0} ({:.2} % err, {} bytes)",
+        exact,
+        hll.estimate(),
+        100.0 * (hll.estimate() - exact as f64).abs() / exact as f64,
+        hll.memory_bytes()
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_compression,
+    bench_tcp_flows,
+    bench_distinct_counting
+);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Per-figure regeneration benches: the cost of computing each of the
+//! paper's §3 statistics from a dataset, which the paper claims is kept
+//! "reasonable" by the dense anonymised encoding.
+//!
+//! One bench per figure: Fig. 2 (loss series utilities), Fig. 3 (bucket
+//! distribution), Figs. 4–7 (degree distributions), Fig. 8 (size
+//! histogram) plus the power-law fit and peak detection used in the
+//! captions.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use etw_analysis::distributions::DatasetStats;
+use etw_analysis::peaks::find_peaks;
+use etw_analysis::powerlaw::fit_histogram;
+use etw_analysis::timeseries::SparseSeries;
+use etw_anonymize::fileid::{BucketedArrays, ByteSelector, FileIdAnonymizer};
+use etw_anonymize::scheme::AnonRecord;
+use etw_core::campaign::run_campaign;
+use etw_core::config::CampaignConfig;
+use etw_edonkey::ids::FileId;
+use std::sync::OnceLock;
+
+/// One shared dataset for all figure benches.
+fn dataset() -> &'static Vec<AnonRecord> {
+    static DATA: OnceLock<Vec<AnonRecord>> = OnceLock::new();
+    DATA.get_or_init(|| {
+        let mut config = CampaignConfig::tiny();
+        config.population.n_clients = 500;
+        config.generator.duration_secs = 3_600;
+        let mut records = Vec::new();
+        run_campaign(&config, |r| records.push(r));
+        records
+    })
+}
+
+fn accumulate(records: &[AnonRecord]) -> DatasetStats {
+    let mut stats = DatasetStats::new();
+    for r in records {
+        stats.observe(r);
+    }
+    stats
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let records = dataset();
+    let n = records.len() as u64;
+    let stats = accumulate(records);
+
+    let mut group = c.benchmark_group("figures");
+    group.throughput(Throughput::Elements(n));
+
+    group.bench_function("accumulate_dataset", |b| b.iter(|| accumulate(records)));
+
+    group.bench_function("fig4_providers_per_file", |b| {
+        b.iter(|| stats.providers_per_file().total())
+    });
+    group.bench_function("fig5_seekers_per_file", |b| {
+        b.iter(|| stats.seekers_per_file().total())
+    });
+    group.bench_function("fig6_files_per_provider", |b| {
+        b.iter(|| stats.files_per_provider().total())
+    });
+    group.bench_function("fig7_files_per_seeker_with_peak", |b| {
+        b.iter(|| {
+            let h = stats.files_per_seeker();
+            find_peaks(&h, 5, 3.0, 5).len()
+        })
+    });
+    group.bench_function("fig8_size_histogram_with_peaks", |b| {
+        b.iter(|| {
+            let h = stats.size_histogram_kb();
+            find_peaks(&h, 8, 10.0, 5).len()
+        })
+    });
+    group.bench_function("powerlaw_fit_fig4", |b| {
+        let h = stats.providers_per_file();
+        b.iter(|| fit_histogram(&h))
+    });
+    group.finish();
+
+    // Fig. 2: time-series utilities over a long sparse loss series.
+    let series = SparseSeries::new((0..100_000u64).step_by(37).map(|s| (s, s % 7)).collect());
+    let mut group = c.benchmark_group("fig2_series");
+    group.throughput(Throughput::Elements(series.points.len() as u64));
+    group.bench_function("cumulative", |b| b.iter(|| series.cumulative().len()));
+    group.bench_function("bucketed_1h", |b| b.iter(|| series.bucketed(3_600).len()));
+    group.finish();
+
+    // Fig. 3: bucket-size extraction from a loaded store.
+    let mut store = BucketedArrays::new(ByteSelector::ALTERNATIVE);
+    for i in 0..50_000u64 {
+        store.anonymize(&FileId::of_identity(i));
+    }
+    let mut group = c.benchmark_group("fig3_buckets");
+    group.bench_function("bucket_sizes_histogram", |b| {
+        b.iter(|| {
+            let sizes = store.bucket_sizes();
+            let h: etw_analysis::histogram::IntHistogram =
+                sizes.iter().map(|&s| s as u64).collect();
+            h.distinct_values()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Ablation A5 — pipeline parallelism and the T1 regeneration cost.
+//!
+//! The paper's processing "is able to decode udp traffic in real-time,
+//! which is crucial in our context". Here we measure the whole capture
+//! machine (generator → server → wire → decode → anonymise) end to end,
+//! sweeping the number of decode workers, and report the achieved
+//! messages/second so the real-time claim can be checked against any
+//! target link rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use etw_core::campaign::run_campaign;
+use etw_core::config::CampaignConfig;
+
+fn bench_config() -> CampaignConfig {
+    let mut c = CampaignConfig::tiny();
+    c.population.n_clients = 400;
+    c.generator.duration_secs = 1_200;
+    c
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    // Calibrate message count once.
+    let mut config = bench_config();
+    let probe = run_campaign(&config, |_| {});
+    let records = probe.records;
+
+    let mut group = c.benchmark_group("pipeline_end_to_end");
+    group.throughput(Throughput::Elements(records));
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        config.decode_workers = workers;
+        let cfg = config.clone();
+        group.bench_with_input(
+            BenchmarkId::new("decode_workers", workers),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    let mut n = 0u64;
+                    let report = run_campaign(cfg, |_| n += 1);
+                    assert_eq!(report.records, n);
+                    n
+                })
+            },
+        );
+    }
+    group.finish();
+
+    println!(
+        "\npipeline T1 probe: {} records per run — compare the per-run time above \
+         against the paper's real-time requirement (~1 600 msg/s average link rate).",
+        records
+    );
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! # etw-bench — benchmark harness
+//!
+//! Criterion benches regenerating the paper's evaluation:
+//!
+//! | bench | reproduces |
+//! |---|---|
+//! | `anonymize_clientid` | ablation A1: direct array vs hashtable vs tree (§2.4) |
+//! | `anonymize_fileid` | ablation A2: bucketed sorted arrays vs baselines; byte selector under pollution (§2.4, Fig. 3) |
+//! | `decode` | ablation A3: two-step decoder throughput, early reject (§2.3) |
+//! | `capture` | ablation A4: ring capacity vs loss (Fig. 2 mechanics) |
+//! | `pipeline` | ablation A5: end-to-end capture machine, worker sweep (Fig. 1) |
+//! | `figures` | per-figure statistic extraction cost (§3) |
+//! | `extensions` | LZSS dataset codec throughput (§2.4 fn.3), TCP flow reconstruction (conclusion), distinct-counting ablation (§1) |
+//!
+//! Run with `cargo bench -p etw-bench` (or `cargo bench -p etw-bench --bench decode`).

@@ -1,0 +1,164 @@
+//! Campaign configuration: one knob set for the whole measurement stack.
+
+use etw_anonymize::fileid::ByteSelector;
+use etw_workload::catalog::CatalogParams;
+use etw_workload::clients::PopulationParams;
+use etw_workload::generator::GeneratorParams;
+
+/// Everything the campaign driver needs.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Master seed; every stage derives its own stream from it.
+    pub seed: u64,
+    /// File catalog parameters.
+    pub catalog: CatalogParams,
+    /// Client population parameters.
+    pub population: PopulationParams,
+    /// Traffic generator parameters.
+    pub generator: GeneratorParams,
+    /// Capture ring capacity in packets (the paper's libpcap kernel
+    /// buffer).
+    pub capture_ring: u64,
+    /// Capture drain rate in packets/second.
+    pub capture_drain_pps: f64,
+    /// Link MTU (fragmentation threshold).
+    pub mtu: usize,
+    /// Fraction of client queries whose bytes are corrupted on the wire
+    /// (buggy client software; paper §2.3: 0.68 % undecodable).
+    pub p_corrupt: f64,
+    /// Within corrupted messages, fraction using a *structural*
+    /// corruption (paper: 78 % of undecodable were structurally
+    /// incorrect).
+    pub p_corrupt_structural: f64,
+    /// Per-query probability of an extra unrelated UDP datagram on the
+    /// link (other applications; decodes as non-eDonkey).
+    pub p_udp_noise: f64,
+    /// Per-query probability of an extra TCP packet on the link (the
+    /// paper's capture was ~half TCP; the decoder ignores it).
+    pub p_tcp_noise: f64,
+    /// clientID anonymiser width in bits (32 = the paper's 16 GB array).
+    pub client_space_bits: u32,
+    /// Byte pair indexing the fileID anonymisation arrays.
+    pub fileid_selector: ByteSelector,
+    /// Decoder worker threads in the pipeline.
+    pub decode_workers: usize,
+    /// Also maintain a FIRST_TWO-bytes bucketed store so Fig. 3 can
+    /// compare both selectors in one run.
+    pub track_fig3: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        // The "scale ≈ 1e-4 of the paper" preset from DESIGN.md §4:
+        // ~10 k clients, 50 k files, one virtual week, a few million
+        // messages.
+        let population = PopulationParams::default();
+        CampaignConfig {
+            seed: 0xED0/*nkey*/,
+            catalog: CatalogParams::default(),
+            client_space_bits: population.id_space_bits,
+            population,
+            generator: GeneratorParams::default(),
+            capture_ring: 4096,
+            capture_drain_pps: 50_000.0,
+            mtu: 1500,
+            p_corrupt: 0.0068,
+            p_corrupt_structural: 0.78,
+            p_udp_noise: 0.01,
+            p_tcp_noise: 0.8,
+            fileid_selector: ByteSelector::ALTERNATIVE,
+            decode_workers: 4,
+            track_fig3: true,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// A seconds-long configuration for tests and doc examples.
+    pub fn tiny() -> Self {
+        let population = PopulationParams {
+            n_clients: 200,
+            id_space_bits: 16,
+            scanner_max_asks: 500,
+            heavy_max_shared: 300,
+            ..PopulationParams::default()
+        };
+        CampaignConfig {
+            catalog: CatalogParams {
+                n_files: 1_500,
+                ..CatalogParams::default()
+            },
+            client_space_bits: population.id_space_bits,
+            population,
+            generator: GeneratorParams {
+                duration_secs: 1_800,
+                ..GeneratorParams::default()
+            },
+            decode_workers: 2,
+            ..CampaignConfig::default()
+        }
+    }
+
+    /// Sanity checks cross-field invariants; call before running.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.population.id_space_bits != self.client_space_bits {
+            return Err(format!(
+                "population draws {}-bit clientIDs but the anonymiser array covers {} bits",
+                self.population.id_space_bits, self.client_space_bits
+            ));
+        }
+        if self.mtu < 576 {
+            return Err("mtu below the IPv4 minimum of 576".into());
+        }
+        if !(0.0..=1.0).contains(&self.p_corrupt)
+            || !(0.0..=1.0).contains(&self.p_corrupt_structural)
+            || !(0.0..=1.0).contains(&self.p_udp_noise)
+            || !(0.0..=1.0).contains(&self.p_tcp_noise)
+        {
+            return Err("probabilities must be in [0,1]".into());
+        }
+        if self.decode_workers == 0 {
+            return Err("need at least one decode worker".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        CampaignConfig::default().validate().unwrap();
+        CampaignConfig::tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn mismatched_id_space_rejected() {
+        let mut c = CampaignConfig::tiny();
+        c.client_space_bits = 8;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn tiny_mtu_rejected() {
+        let mut c = CampaignConfig::tiny();
+        c.mtu = 100;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let mut c = CampaignConfig::tiny();
+        c.decode_workers = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn bad_probability_rejected() {
+        let mut c = CampaignConfig::tiny();
+        c.p_corrupt = 1.5;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! # etw-core — the capture machine
+//!
+//! Orchestrates the full reproduction of the paper's measurement
+//! (Fig. 1): the traffic source (workload + server), the lossy capture,
+//! the parallel decode pipeline, the sequential anonymiser and the
+//! dataset sink.
+//!
+//! * [`config`] — one configuration struct for the whole campaign;
+//! * [`wirepath`] — messages ⇄ ethernet frames (down- and up-path);
+//! * [`pipeline`] — the staged concurrent capture pipeline with
+//!   deterministic output ordering;
+//! * [`campaign`] — the end-to-end driver producing a [`campaign::CampaignReport`];
+//! * [`summary`] — the T1 headline-numbers table.
+//!
+//! ## Example
+//!
+//! ```
+//! use etw_core::campaign::run_campaign;
+//! use etw_core::config::CampaignConfig;
+//!
+//! let mut records = 0u64;
+//! let report = run_campaign(&CampaignConfig::tiny(), |_record| records += 1);
+//! assert_eq!(report.records, records);
+//! assert!(report.distinct_clients > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod config;
+pub mod pipeline;
+pub mod summary;
+pub mod wirepath;
+
+pub use campaign::{run_campaign, CampaignReport, CaptureSide};
+pub use config::CampaignConfig;
+pub use pipeline::{run_capture_pipeline, PipelineStats, TimedFrame};
+pub use summary::{render_t1, t1_key_values};

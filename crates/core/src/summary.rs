@@ -1,0 +1,111 @@
+//! The T1 dataset summary: the headline numbers the paper reports in
+//! §2.2–§2.5 (packets captured and lost, UDP datagrams, fragments,
+//! malformed messages, eDonkey messages and the undecodable fractions,
+//! distinct clients and files).
+
+use crate::campaign::CampaignReport;
+use etw_analysis::report::{grouped, KvTable};
+
+/// Renders the T1 table for a campaign report, with the paper's own
+/// values alongside for comparison (theirs at full scale, ours at
+/// simulation scale — EXPERIMENTS.md compares the *ratios*).
+pub fn render_t1(r: &CampaignReport) -> String {
+    let mut t = KvTable::new();
+    let d = &r.pipeline.decoder;
+    t.row("ethernet frames offered", grouped(r.capture.offered))
+        .row("ethernet frames captured", grouped(r.capture.captured))
+        .row(
+            "ethernet frames lost (paper: 250 266 / 31 555 295 781)",
+            grouped(r.capture.lost),
+        )
+        .row("tcp packets (skipped, as in the paper)", grouped(r.pipeline.not_udp))
+        .row(
+            "udp datagrams recovered (paper: 14 124 818 158 pkts)",
+            grouped(r.pipeline.udp_datagrams),
+        )
+        .row(
+            "fragmented datagrams (paper: 2 981 fragments)",
+            grouped(r.pipeline.fragmented_datagrams),
+        )
+        .row(
+            "eDonkey messages handled (paper: 949 873 704 udp)",
+            grouped(d.handled - d.not_edonkey),
+        )
+        .row("messages decoded", grouped(d.decoded))
+        .row(
+            "undecodable fraction (paper: 0.68 %)",
+            format!("{:.3} %", 100.0 * d.undecoded_fraction()),
+        )
+        .row(
+            "structurally incorrect among undecodable (paper: 78 %)",
+            format!("{:.1} %", 100.0 * d.structural_fraction_of_undecoded()),
+        )
+        .row(
+            "dataset records (paper: 8 867 052 380 messages)",
+            grouped(r.records),
+        )
+        .row(
+            "distinct clientIDs (paper: 89 884 526)",
+            grouped(r.distinct_clients as u64),
+        )
+        .row(
+            "distinct fileIDs (paper: 275 461 212)",
+            grouped(r.distinct_files),
+        );
+    t.render()
+}
+
+/// Machine-readable key=value form of the same summary (consumed by
+/// EXPERIMENTS tooling).
+pub fn t1_key_values(r: &CampaignReport) -> Vec<(&'static str, f64)> {
+    let d = &r.pipeline.decoder;
+    vec![
+        ("frames_offered", r.capture.offered as f64),
+        ("frames_captured", r.capture.captured as f64),
+        ("frames_lost", r.capture.lost as f64),
+        (
+            "loss_ratio",
+            r.capture.lost as f64 / r.capture.offered.max(1) as f64,
+        ),
+        ("udp_datagrams", r.pipeline.udp_datagrams as f64),
+        (
+            "fragmented_datagrams",
+            r.pipeline.fragmented_datagrams as f64,
+        ),
+        ("edonkey_handled", (d.handled - d.not_edonkey) as f64),
+        ("decoded", d.decoded as f64),
+        ("undecoded_fraction", d.undecoded_fraction()),
+        (
+            "structural_fraction",
+            d.structural_fraction_of_undecoded(),
+        ),
+        ("records", r.records as f64),
+        ("distinct_clients", r.distinct_clients as f64),
+        ("distinct_files", r.distinct_files as f64),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_campaign;
+    use crate::config::CampaignConfig;
+
+    #[test]
+    fn t1_renders_all_rows() {
+        let report = run_campaign(&CampaignConfig::tiny(), |_| {});
+        let text = render_t1(&report);
+        for needle in [
+            "ethernet frames captured",
+            "udp datagrams",
+            "undecodable fraction",
+            "distinct clientIDs",
+            "distinct fileIDs",
+        ] {
+            assert!(text.contains(needle), "missing row: {needle}\n{text}");
+        }
+        let kv = t1_key_values(&report);
+        assert_eq!(kv.len(), 13);
+        assert!(kv.iter().all(|(_, v)| v.is_finite()));
+    }
+}

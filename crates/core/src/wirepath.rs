@@ -1,0 +1,336 @@
+//! The wire path: application messages down to ethernet frames and back.
+//!
+//! Down-path (the simulated network): eDonkey message → UDP datagram →
+//! IPv4 packet(s) (fragmenting at the MTU) → ethernet frames.
+//! Up-path (the capture machine): frame → IPv4 → reassembly → UDP →
+//! eDonkey payload.
+
+use bytes::Bytes;
+use etw_edonkey::ids::ClientId;
+use etw_netsim::clock::VirtualTime;
+use etw_netsim::frag::{fragment, Reassembler};
+use etw_netsim::packet::{EthernetFrame, Ipv4Packet, UdpDatagram, PROTO_TCP, PROTO_UDP};
+
+/// The simulated server's IPv4 address.
+pub const SERVER_IP: u32 = 0x5216_0a01; // 82.22.10.1
+/// The server's UDP port (the classic eDonkey server UDP port).
+pub const SERVER_PORT: u16 = 4665;
+
+/// Derives a stable client IPv4 address from its clientID. High IDs *are*
+/// the address; low IDs (NATed clients) are mapped into a reserved /8 so
+/// their packets still have well-formed, distinct source addresses.
+pub fn client_ip(client: ClientId) -> u32 {
+    match client.ipv4() {
+        Some(octets) => u32::from_be_bytes(octets),
+        None => 0x0a00_0000 | client.raw(), // 10.x.y.z
+    }
+}
+
+/// Direction of a datagram on the captured link.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Client query to the server.
+    ToServer,
+    /// Server answer to a client.
+    FromServer,
+}
+
+/// Encapsulates an eDonkey payload into ethernet frames (one per IP
+/// fragment). `ident` must be unique per datagram for reassembly.
+pub fn encapsulate(
+    payload: Vec<u8>,
+    client: ClientId,
+    client_port: u16,
+    direction: Direction,
+    ident: u16,
+    mtu: usize,
+) -> Vec<EthernetFrame> {
+    let (src_ip, dst_ip, src_port, dst_port) = match direction {
+        Direction::ToServer => (client_ip(client), SERVER_IP, client_port, SERVER_PORT),
+        Direction::FromServer => (SERVER_IP, client_ip(client), SERVER_PORT, client_port),
+    };
+    let udp = UdpDatagram {
+        src_ip,
+        dst_ip,
+        src_port,
+        dst_port,
+        payload: Bytes::from(payload),
+    };
+    let ip = Ipv4Packet {
+        src: src_ip,
+        dst: dst_ip,
+        ident,
+        more_fragments: false,
+        frag_offset: 0,
+        ttl: 64,
+        protocol: PROTO_UDP,
+        payload: Bytes::from(udp.to_bytes()),
+    };
+    fragment(&ip, mtu)
+        .into_iter()
+        .map(|frag| EthernetFrame::ipv4(Bytes::from(frag.to_bytes())))
+        .collect()
+}
+
+/// Builds a TCP-looking frame (payload opaque); the decoder must skip it,
+/// as the paper restricts itself to UDP traffic.
+pub fn tcp_noise_frame(src: u32, dst: u32, payload_len: usize) -> EthernetFrame {
+    let ip = Ipv4Packet {
+        src,
+        dst,
+        ident: 0,
+        more_fragments: false,
+        frag_offset: 0,
+        ttl: 64,
+        protocol: PROTO_TCP,
+        payload: Bytes::from(vec![0u8; payload_len.max(20)]),
+    };
+    EthernetFrame::ipv4(Bytes::from(ip.to_bytes()))
+}
+
+/// What the capture machine recovers from one frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Recovered {
+    /// A complete UDP datagram (possibly after reassembly) with the peer
+    /// clientID and direction.
+    Udp {
+        /// Whose dialog this datagram belongs to.
+        peer: ClientId,
+        /// Query or answer.
+        direction: Direction,
+        /// eDonkey-level payload bytes.
+        payload: Bytes,
+        /// True if this datagram arrived fragmented.
+        was_fragmented: bool,
+    },
+    /// A fragment that did not (yet) complete a datagram.
+    FragmentPending,
+    /// Non-UDP traffic (TCP etc.) — skipped, like the paper's tcp flows.
+    NotUdp,
+    /// Traffic not involving the server's UDP port (other applications).
+    OtherPort,
+    /// Unparseable link/network-layer bytes.
+    ParseError,
+}
+
+/// Stateful up-path decoder: ethernet bytes → recovered UDP payloads.
+pub struct WireDecoder {
+    reassembler: Reassembler,
+}
+
+impl Default for WireDecoder {
+    fn default() -> Self {
+        WireDecoder {
+            reassembler: Reassembler::with_default_timeout(),
+        }
+    }
+}
+
+impl WireDecoder {
+    /// Fresh decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reassembly statistics (fragments seen, reassembled, timed out).
+    pub fn reassembly_stats(&self) -> etw_netsim::frag::ReassemblyStats {
+        self.reassembler.stats()
+    }
+
+    /// Processes one captured frame.
+    pub fn push(&mut self, now: VirtualTime, frame_bytes: &[u8]) -> Recovered {
+        let Ok(frame) = EthernetFrame::parse(frame_bytes) else {
+            return Recovered::ParseError;
+        };
+        let Ok(ip) = Ipv4Packet::parse(&frame.payload) else {
+            return Recovered::ParseError;
+        };
+        if ip.protocol != PROTO_UDP {
+            return Recovered::NotUdp;
+        }
+        let was_fragmented = ip.is_fragment();
+        let Some(whole) = self.reassembler.push(now, ip) else {
+            return Recovered::FragmentPending;
+        };
+        let Ok(udp) = UdpDatagram::parse(&whole) else {
+            return Recovered::ParseError;
+        };
+        let (peer_ip, direction) = if udp.dst_ip == SERVER_IP && udp.dst_port == SERVER_PORT {
+            (udp.src_ip, Direction::ToServer)
+        } else if udp.src_ip == SERVER_IP && udp.src_port == SERVER_PORT {
+            (udp.dst_ip, Direction::FromServer)
+        } else {
+            return Recovered::OtherPort;
+        };
+        let peer = if peer_ip & 0xff00_0000 == 0x0a00_0000 {
+            ClientId(peer_ip & 0x00ff_ffff) // undo the low-ID mapping
+        } else {
+            ClientId(peer_ip)
+        };
+        Recovered::Udp {
+            peer,
+            direction,
+            payload: udp.payload,
+            was_fragmented,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etw_edonkey::messages::Message;
+
+    fn query_bytes() -> Vec<u8> {
+        Message::StatusRequest { challenge: 7 }.encode()
+    }
+
+    #[test]
+    fn small_message_one_frame_round_trip() {
+        let client = ClientId(0x5000_1234);
+        let frames = encapsulate(
+            query_bytes(),
+            client,
+            4672,
+            Direction::ToServer,
+            1,
+            1500,
+        );
+        assert_eq!(frames.len(), 1);
+        let mut d = WireDecoder::new();
+        match d.push(VirtualTime::ZERO, &frames[0].to_bytes()) {
+            Recovered::Udp {
+                peer,
+                direction,
+                payload,
+                was_fragmented,
+            } => {
+                assert_eq!(peer, client);
+                assert_eq!(direction, Direction::ToServer);
+                assert_eq!(&payload[..], &query_bytes()[..]);
+                assert!(!was_fragmented);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn low_id_clients_mapped_and_recovered() {
+        let client = ClientId::low(777);
+        let frames = encapsulate(query_bytes(), client, 4672, Direction::ToServer, 2, 1500);
+        let mut d = WireDecoder::new();
+        match d.push(VirtualTime::ZERO, &frames[0].to_bytes()) {
+            Recovered::Udp { peer, .. } => assert_eq!(peer, client),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn big_message_fragments_and_reassembles() {
+        let payload = vec![0xE3u8; 5000];
+        let client = ClientId(0x5000_0001);
+        let frames = encapsulate(
+            payload.clone(),
+            client,
+            4672,
+            Direction::ToServer,
+            3,
+            1500,
+        );
+        assert!(frames.len() >= 4);
+        let mut d = WireDecoder::new();
+        let mut got = None;
+        for f in &frames {
+            match d.push(VirtualTime::ZERO, &f.to_bytes()) {
+                Recovered::Udp {
+                    payload,
+                    was_fragmented,
+                    ..
+                } => {
+                    assert!(was_fragmented);
+                    got = Some(payload);
+                }
+                Recovered::FragmentPending => {}
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(&got.expect("reassembled")[..], &payload[..]);
+        assert!(d.reassembly_stats().fragments >= 4);
+    }
+
+    #[test]
+    fn answer_direction_detected() {
+        let client = ClientId(0x5000_0009);
+        let frames = encapsulate(
+            Message::StatusResponse {
+                challenge: 7,
+                users: 1,
+                files: 2,
+            }
+            .encode(),
+            client,
+            4672,
+            Direction::FromServer,
+            4,
+            1500,
+        );
+        let mut d = WireDecoder::new();
+        match d.push(VirtualTime::ZERO, &frames[0].to_bytes()) {
+            Recovered::Udp {
+                peer, direction, ..
+            } => {
+                assert_eq!(peer, client);
+                assert_eq!(direction, Direction::FromServer);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn tcp_frames_skipped() {
+        let f = tcp_noise_frame(1, 2, 100);
+        let mut d = WireDecoder::new();
+        assert_eq!(d.push(VirtualTime::ZERO, &f.to_bytes()), Recovered::NotUdp);
+    }
+
+    #[test]
+    fn unrelated_udp_is_other_port() {
+        let udp = UdpDatagram {
+            src_ip: 1,
+            dst_ip: 2,
+            src_port: 53,
+            dst_port: 53,
+            payload: Bytes::from_static(b"dns-ish"),
+        };
+        let ip = Ipv4Packet {
+            src: 1,
+            dst: 2,
+            ident: 0,
+            more_fragments: false,
+            frag_offset: 0,
+            ttl: 64,
+            protocol: PROTO_UDP,
+            payload: Bytes::from(udp.to_bytes()),
+        };
+        let frame = EthernetFrame::ipv4(Bytes::from(ip.to_bytes()));
+        let mut d = WireDecoder::new();
+        assert_eq!(
+            d.push(VirtualTime::ZERO, &frame.to_bytes()),
+            Recovered::OtherPort
+        );
+    }
+
+    #[test]
+    fn garbage_is_parse_error() {
+        let mut d = WireDecoder::new();
+        assert_eq!(d.push(VirtualTime::ZERO, &[1, 2, 3]), Recovered::ParseError);
+    }
+
+    #[test]
+    fn client_ip_mapping_is_injective_for_low_ids() {
+        let a = client_ip(ClientId::low(1));
+        let b = client_ip(ClientId::low(2));
+        assert_ne!(a, b);
+        assert_eq!(a & 0xff00_0000, 0x0a00_0000);
+    }
+}

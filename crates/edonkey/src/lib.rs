@@ -1,0 +1,75 @@
+//! # etw-edonkey — the eDonkey wire protocol
+//!
+//! Protocol substrate for the reproduction of *"Ten weeks in the life of
+//! an eDonkey server"* (Aidouni, Latapy, Magnien — arXiv:0809.3415).
+//!
+//! eDonkey is a semi-distributed peer-to-peer file-exchange system built
+//! around directory servers that index files and users (paper §2.1). This
+//! crate provides everything needed to speak — and, crucially for the
+//! paper, to *decode captured* — eDonkey UDP traffic:
+//!
+//! * [`md4`] — the MD4 digest that defines fileIDs (RFC 1320, from
+//!   scratch, fully test-vectored);
+//! * [`ids`] — [`ids::FileId`] and [`ids::ClientId`]
+//!   with the high-ID/low-ID distinction;
+//! * [`tags`] — the typed metadata tag system (filename, filesize, ...);
+//! * [`search`] — boolean search-expression trees and their prefix
+//!   encoding;
+//! * [`messages`] — the four message families (management, file search,
+//!   source search, announcements) and their binary codec;
+//! * [`decoder`] — the paper's two-step decoder (structural validation,
+//!   then effective decoding) with the accounting used in §2.3;
+//! * [`corrupt`] — failure injection modelling the malformed traffic real
+//!   clients emit;
+//! * [`stream`] — TCP stream framing with resynchronisation (the layer
+//!   the paper's proposed TCP measurement extension needs);
+//! * [`session`] — the TCP login handshake with the server-side
+//!   high-ID/low-ID assignment rule of §2.1.
+//!
+//! ## Example
+//!
+//! ```
+//! use etw_edonkey::messages::Message;
+//! use etw_edonkey::search::SearchExpr;
+//! use etw_edonkey::decoder::{Decoder, DecodeOutcome};
+//!
+//! // A client asks the server for files matching two keywords…
+//! let query = Message::SearchRequest {
+//!     expr: SearchExpr::and(
+//!         SearchExpr::keyword("live"),
+//!         SearchExpr::keyword("1997"),
+//!     ),
+//! };
+//! let datagram = query.encode();
+//!
+//! // …and the capture machine decodes what it sniffed.
+//! let mut decoder = Decoder::new();
+//! match decoder.push(&datagram) {
+//!     DecodeOutcome::Ok(msg) => assert_eq!(msg, query),
+//!     other => panic!("{other:?}"),
+//! }
+//! assert_eq!(decoder.stats().decoded, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod corrupt;
+pub mod decoder;
+pub mod error;
+pub mod ids;
+pub mod md4;
+pub mod messages;
+pub mod search;
+pub mod session;
+pub mod stream;
+pub mod tags;
+pub mod wire;
+
+pub use decoder::{DecodeOutcome, Decoder, DecoderStats};
+pub use error::DecodeError;
+pub use ids::{ClientId, ClientIdKind, FileId};
+pub use messages::{Family, FileEntry, Message, ServerAddr, Source};
+pub use search::SearchExpr;
+pub use session::{IdAssigner, SessionMessage};
+pub use stream::{encode_stream, StreamDecoder, StreamStats};
+pub use tags::{Tag, TagList, TagName, TagValue};

@@ -1,0 +1,641 @@
+//! eDonkey UDP message set.
+//!
+//! The paper (§2.1) groups messages into four families; every family is
+//! represented here:
+//!
+//! * **management** — server status / description / server-list exchange;
+//! * **file searches** — metadata search requests and the server's answers
+//!   (fileID + name, size and other tags per result);
+//! * **source searches** — "who provides fileID X?" and the answers
+//!   (lists of clientID/port pairs);
+//! * **announcements** — clients publishing the list of files they offer.
+//!
+//! Wire format: every UDP datagram starts with the eDonkey protocol marker
+//! `0xE3` followed by an opcode byte and the opcode-specific payload.
+//! Multi-byte integers are little-endian (see [`crate::wire`]).
+//!
+//! Opcodes follow the historical eMule/eDonkey UDP numbering where one
+//! exists (`0x96..0x9B`, `0xA0..0xA3`); the publish ("offer files")
+//! message, which the real network sends over TCP, is carried here under
+//! its TCP opcode `0x15` — the dataset treats all dialogs uniformly and
+//! DESIGN.md §5 records this substitution.
+
+use crate::error::{DecodeError, Result};
+use crate::ids::{ClientId, FileId};
+use crate::search::SearchExpr;
+use crate::tags::TagList;
+use crate::wire::{Reader, Writer};
+
+/// eDonkey protocol marker: first byte of every message.
+pub const PROTO_EDONKEY: u8 = 0xE3;
+
+/// Opcode bytes.
+pub mod opcodes {
+    /// Client → server: global status request.
+    pub const STATUS_REQ: u8 = 0x96;
+    /// Server → client: status answer (user/file counts).
+    pub const STATUS_RES: u8 = 0x97;
+    /// Client → server: metadata search.
+    pub const SEARCH_REQ: u8 = 0x98;
+    /// Server → client: search results.
+    pub const SEARCH_RES: u8 = 0x99;
+    /// Client → server: source request for fileIDs.
+    pub const GET_SOURCES: u8 = 0x9A;
+    /// Server → client: sources for one fileID.
+    pub const FOUND_SOURCES: u8 = 0x9B;
+    /// Client → server: ask for the server's server list.
+    pub const GET_SERVER_LIST: u8 = 0xA0;
+    /// Server → client: list of (ip, port) of other servers.
+    pub const SERVER_LIST: u8 = 0xA1;
+    /// Client → server: ask for name/description.
+    pub const SERVER_DESC_REQ: u8 = 0xA2;
+    /// Server → client: name/description.
+    pub const SERVER_DESC_RES: u8 = 0xA3;
+    /// Client → server: publish the files this client provides.
+    pub const OFFER_FILES: u8 = 0x15;
+}
+
+/// A published or returned file entry: fileID plus the providing client
+/// and the metadata tags.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FileEntry {
+    /// File identifier.
+    pub file_id: FileId,
+    /// Providing client (the announcer for publishes, the provider for
+    /// search results).
+    pub client_id: ClientId,
+    /// Client TCP port.
+    pub port: u16,
+    /// Metadata tags (name, size, type, ...).
+    pub tags: TagList,
+}
+
+impl FileEntry {
+    fn encode(&self, w: &mut Writer) {
+        w.bytes(self.file_id.as_bytes());
+        w.u32(self.client_id.raw());
+        w.u16(self.port);
+        self.tags.encode(w);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self> {
+        Ok(FileEntry {
+            file_id: FileId(r.hash16()?),
+            client_id: ClientId(r.u32()?),
+            port: r.u16()?,
+            tags: TagList::decode(r)?,
+        })
+    }
+}
+
+/// A source for a file: the providing client and its TCP port.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Source {
+    /// Provider's clientID.
+    pub client_id: ClientId,
+    /// Provider's TCP port.
+    pub port: u16,
+}
+
+/// An (ip, port) pair in a server list.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ServerAddr {
+    /// Server IPv4 address (big-endian octets packed as u32).
+    pub ip: u32,
+    /// Server UDP port.
+    pub port: u16,
+}
+
+/// Any eDonkey UDP message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Message {
+    // ---- management ----
+    /// Client asks for server status; `challenge` is echoed back.
+    StatusRequest {
+        /// Echo token.
+        challenge: u32,
+    },
+    /// Server status answer.
+    StatusResponse {
+        /// Echoed token.
+        challenge: u32,
+        /// Users currently connected.
+        users: u32,
+        /// Files currently indexed.
+        files: u32,
+    },
+    /// Client asks for the server's description.
+    ServerDescRequest,
+    /// Server description answer.
+    ServerDescResponse {
+        /// Server name.
+        name: String,
+        /// Free-form description.
+        description: String,
+    },
+    /// Client asks for the list of other servers.
+    GetServerList,
+    /// Server list answer.
+    ServerList {
+        /// Known servers.
+        servers: Vec<ServerAddr>,
+    },
+
+    // ---- file searches ----
+    /// Metadata search.
+    SearchRequest {
+        /// Search expression tree.
+        expr: SearchExpr,
+    },
+    /// Search results.
+    SearchResponse {
+        /// Matching files (with provider and tags).
+        results: Vec<FileEntry>,
+    },
+
+    // ---- source searches ----
+    /// Ask for providers of the given fileIDs.
+    GetSources {
+        /// Wanted fileIDs (count implied by datagram length).
+        file_ids: Vec<FileId>,
+    },
+    /// Providers of one fileID.
+    FoundSources {
+        /// The fileID the sources are for.
+        file_id: FileId,
+        /// Known providers.
+        sources: Vec<Source>,
+    },
+
+    // ---- announcements ----
+    /// Client publishes the files it provides.
+    OfferFiles {
+        /// Announced files.
+        files: Vec<FileEntry>,
+    },
+}
+
+impl Message {
+    /// The opcode this message is carried under.
+    pub fn opcode(&self) -> u8 {
+        use opcodes::*;
+        match self {
+            Message::StatusRequest { .. } => STATUS_REQ,
+            Message::StatusResponse { .. } => STATUS_RES,
+            Message::SearchRequest { .. } => SEARCH_REQ,
+            Message::SearchResponse { .. } => SEARCH_RES,
+            Message::GetSources { .. } => GET_SOURCES,
+            Message::FoundSources { .. } => FOUND_SOURCES,
+            Message::GetServerList => GET_SERVER_LIST,
+            Message::ServerList { .. } => SERVER_LIST,
+            Message::ServerDescRequest => SERVER_DESC_REQ,
+            Message::ServerDescResponse { .. } => SERVER_DESC_RES,
+            Message::OfferFiles { .. } => OFFER_FILES,
+        }
+    }
+
+    /// True for messages sent by clients, false for server answers. This
+    /// is the query/answer split the dataset records (paper §2.5: "queries
+    /// from clients and answers to these queries from the server").
+    pub fn is_client_to_server(&self) -> bool {
+        matches!(
+            self,
+            Message::StatusRequest { .. }
+                | Message::SearchRequest { .. }
+                | Message::GetSources { .. }
+                | Message::GetServerList
+                | Message::ServerDescRequest
+                | Message::OfferFiles { .. }
+        )
+    }
+
+    /// The paper's four message families (§2.1); used by summary
+    /// statistics.
+    pub fn family(&self) -> Family {
+        match self {
+            Message::StatusRequest { .. }
+            | Message::StatusResponse { .. }
+            | Message::ServerDescRequest
+            | Message::ServerDescResponse { .. }
+            | Message::GetServerList
+            | Message::ServerList { .. } => Family::Management,
+            Message::SearchRequest { .. } | Message::SearchResponse { .. } => Family::FileSearch,
+            Message::GetSources { .. } | Message::FoundSources { .. } => Family::SourceSearch,
+            Message::OfferFiles { .. } => Family::Announcement,
+        }
+    }
+
+    /// Serialises the full datagram payload (marker + opcode + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(64);
+        w.u8(PROTO_EDONKEY);
+        w.u8(self.opcode());
+        self.encode_body(&mut w);
+        w.into_bytes()
+    }
+
+    fn encode_body(&self, w: &mut Writer) {
+        match self {
+            Message::StatusRequest { challenge } => w.u32(*challenge),
+            Message::StatusResponse {
+                challenge,
+                users,
+                files,
+            } => {
+                w.u32(*challenge);
+                w.u32(*users);
+                w.u32(*files);
+            }
+            Message::ServerDescRequest | Message::GetServerList => {}
+            Message::ServerDescResponse { name, description } => {
+                w.str16(name);
+                w.str16(description);
+            }
+            Message::ServerList { servers } => {
+                w.u8(servers.len() as u8);
+                for s in servers {
+                    w.u32(s.ip);
+                    w.u16(s.port);
+                }
+            }
+            Message::SearchRequest { expr } => expr.encode(w),
+            Message::SearchResponse { results } => {
+                w.u32(results.len() as u32);
+                for e in results {
+                    e.encode(w);
+                }
+            }
+            Message::GetSources { file_ids } => {
+                for id in file_ids {
+                    w.bytes(id.as_bytes());
+                }
+            }
+            Message::FoundSources { file_id, sources } => {
+                w.bytes(file_id.as_bytes());
+                w.u8(sources.len() as u8);
+                for s in sources {
+                    w.u32(s.client_id.raw());
+                    w.u16(s.port);
+                }
+            }
+            Message::OfferFiles { files } => {
+                w.u32(files.len() as u32);
+                for f in files {
+                    f.encode(w);
+                }
+            }
+        }
+    }
+
+    /// Parses a full datagram payload. This is the *effective decoding*
+    /// step of the paper's two-step decoder; callers wanting the combined
+    /// validation + accounting path should use [`crate::decoder::Decoder`].
+    pub fn decode(buf: &[u8]) -> Result<Message> {
+        if buf.is_empty() {
+            return Err(DecodeError::Empty);
+        }
+        if buf[0] != PROTO_EDONKEY {
+            return Err(DecodeError::NotEdonkey(buf[0]));
+        }
+        let mut r = Reader::new(&buf[1..]);
+        let op = r.u8()?;
+        let msg = Self::decode_body(op, &mut r)?;
+        r.expect_end()?;
+        Ok(msg)
+    }
+
+    fn decode_body(op: u8, r: &mut Reader) -> Result<Message> {
+        use opcodes::*;
+        Ok(match op {
+            STATUS_REQ => Message::StatusRequest {
+                challenge: r.u32()?,
+            },
+            STATUS_RES => Message::StatusResponse {
+                challenge: r.u32()?,
+                users: r.u32()?,
+                files: r.u32()?,
+            },
+            SERVER_DESC_REQ => Message::ServerDescRequest,
+            SERVER_DESC_RES => Message::ServerDescResponse {
+                name: r.str16()?.to_owned(),
+                description: r.str16()?.to_owned(),
+            },
+            GET_SERVER_LIST => Message::GetServerList,
+            SERVER_LIST => {
+                let n = r.u8()? as usize;
+                if n * 6 != r.remaining() {
+                    return Err(DecodeError::Malformed("server list length mismatch"));
+                }
+                let mut servers = Vec::with_capacity(n);
+                for _ in 0..n {
+                    servers.push(ServerAddr {
+                        ip: r.u32()?,
+                        port: r.u16()?,
+                    });
+                }
+                Message::ServerList { servers }
+            }
+            SEARCH_REQ => Message::SearchRequest {
+                expr: SearchExpr::decode(r)?,
+            },
+            SEARCH_RES => {
+                let n = r.u32()? as usize;
+                // Each result is at least 16+4+2+4 = 26 bytes.
+                if n.saturating_mul(26) > r.remaining() {
+                    return Err(DecodeError::Malformed("result count exceeds payload"));
+                }
+                let mut results = Vec::with_capacity(n);
+                for _ in 0..n {
+                    results.push(FileEntry::decode(r)?);
+                }
+                Message::SearchResponse { results }
+            }
+            GET_SOURCES => {
+                if r.remaining() == 0 {
+                    return Err(DecodeError::Malformed("empty GetSources"));
+                }
+                if !r.remaining().is_multiple_of(16) {
+                    return Err(DecodeError::Malformed("GetSources not multiple of 16"));
+                }
+                let n = r.remaining() / 16;
+                let mut file_ids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    file_ids.push(FileId(r.hash16()?));
+                }
+                Message::GetSources { file_ids }
+            }
+            FOUND_SOURCES => {
+                let file_id = FileId(r.hash16()?);
+                let n = r.u8()? as usize;
+                if n * 6 != r.remaining() {
+                    return Err(DecodeError::Malformed("source list length mismatch"));
+                }
+                let mut sources = Vec::with_capacity(n);
+                for _ in 0..n {
+                    sources.push(Source {
+                        client_id: ClientId(r.u32()?),
+                        port: r.u16()?,
+                    });
+                }
+                Message::FoundSources { file_id, sources }
+            }
+            OFFER_FILES => {
+                let n = r.u32()? as usize;
+                if n.saturating_mul(26) > r.remaining() {
+                    return Err(DecodeError::Malformed("file count exceeds payload"));
+                }
+                let mut files = Vec::with_capacity(n);
+                for _ in 0..n {
+                    files.push(FileEntry::decode(r)?);
+                }
+                Message::OfferFiles { files }
+            }
+            other => return Err(DecodeError::UnknownOpcode(other)),
+        })
+    }
+}
+
+/// The four message families of paper §2.1.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Family {
+    /// Server management (status, description, server lists).
+    Management,
+    /// Metadata searches and their answers.
+    FileSearch,
+    /// Source searches and their answers.
+    SourceSearch,
+    /// Client file announcements.
+    Announcement,
+}
+
+impl Family {
+    /// All families, for iteration in summaries.
+    pub const ALL: [Family; 4] = [
+        Family::Management,
+        Family::FileSearch,
+        Family::SourceSearch,
+        Family::Announcement,
+    ];
+
+    /// Stable lowercase label (used in reports and XML).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Family::Management => "management",
+            Family::FileSearch => "file_search",
+            Family::SourceSearch => "source_search",
+            Family::Announcement => "announcement",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tags::{special, Tag};
+
+    fn sample_entry(seed: u8) -> FileEntry {
+        FileEntry {
+            file_id: FileId([seed; 16]),
+            client_id: ClientId::from_ipv4([82, 1, 2, seed]),
+            port: 4662,
+            tags: TagList(vec![
+                Tag::str(special::FILENAME, format!("file-{seed}.mp3")),
+                Tag::u32(special::FILESIZE, 3_500_000 + seed as u32),
+            ]),
+        }
+    }
+
+    fn round_trip(m: &Message) -> Message {
+        let buf = m.encode();
+        Message::decode(&buf).expect("decode")
+    }
+
+    #[test]
+    fn status_round_trip() {
+        let m = Message::StatusRequest { challenge: 0x55aa };
+        assert_eq!(round_trip(&m), m);
+        let m = Message::StatusResponse {
+            challenge: 0x55aa,
+            users: 1_234_567,
+            files: 89_000_000,
+        };
+        assert_eq!(round_trip(&m), m);
+    }
+
+    #[test]
+    fn desc_round_trip() {
+        assert_eq!(round_trip(&Message::ServerDescRequest), Message::ServerDescRequest);
+        let m = Message::ServerDescResponse {
+            name: "BigServer".into(),
+            description: "a large eDonkey index".into(),
+        };
+        assert_eq!(round_trip(&m), m);
+    }
+
+    #[test]
+    fn server_list_round_trip() {
+        assert_eq!(round_trip(&Message::GetServerList), Message::GetServerList);
+        let m = Message::ServerList {
+            servers: vec![
+                ServerAddr { ip: 1, port: 4661 },
+                ServerAddr { ip: 2, port: 4665 },
+            ],
+        };
+        assert_eq!(round_trip(&m), m);
+    }
+
+    #[test]
+    fn search_round_trip() {
+        let m = Message::SearchRequest {
+            expr: SearchExpr::and(
+                SearchExpr::keyword("concert"),
+                SearchExpr::keyword("2004"),
+            ),
+        };
+        assert_eq!(round_trip(&m), m);
+        let m = Message::SearchResponse {
+            results: vec![sample_entry(1), sample_entry(2)],
+        };
+        assert_eq!(round_trip(&m), m);
+    }
+
+    #[test]
+    fn sources_round_trip() {
+        let m = Message::GetSources {
+            file_ids: vec![FileId([1; 16]), FileId([2; 16]), FileId([3; 16])],
+        };
+        assert_eq!(round_trip(&m), m);
+        let m = Message::FoundSources {
+            file_id: FileId([9; 16]),
+            sources: vec![
+                Source {
+                    client_id: ClientId::from_ipv4([10, 0, 0, 1]),
+                    port: 4662,
+                },
+                Source {
+                    client_id: ClientId::low(77),
+                    port: 4672,
+                },
+            ],
+        };
+        assert_eq!(round_trip(&m), m);
+    }
+
+    #[test]
+    fn offer_round_trip() {
+        let m = Message::OfferFiles {
+            files: (0..5).map(sample_entry).collect(),
+        };
+        assert_eq!(round_trip(&m), m);
+    }
+
+    #[test]
+    fn wrong_protocol_marker() {
+        let mut buf = Message::GetServerList.encode();
+        buf[0] = 0xC5; // eMule extension marker, not plain eDonkey
+        assert!(matches!(
+            Message::decode(&buf),
+            Err(DecodeError::NotEdonkey(0xC5))
+        ));
+    }
+
+    #[test]
+    fn empty_datagram() {
+        assert!(matches!(Message::decode(&[]), Err(DecodeError::Empty)));
+    }
+
+    #[test]
+    fn unknown_opcode() {
+        let buf = [PROTO_EDONKEY, 0x42];
+        assert!(matches!(
+            Message::decode(&buf),
+            Err(DecodeError::UnknownOpcode(0x42))
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut buf = Message::StatusRequest { challenge: 1 }.encode();
+        buf.push(0);
+        assert!(matches!(
+            Message::decode(&buf),
+            Err(DecodeError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn get_sources_must_be_multiple_of_16() {
+        let mut buf = vec![PROTO_EDONKEY, opcodes::GET_SOURCES];
+        buf.extend_from_slice(&[0u8; 17]);
+        assert!(matches!(
+            Message::decode(&buf),
+            Err(DecodeError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn empty_get_sources_rejected() {
+        let buf = vec![PROTO_EDONKEY, opcodes::GET_SOURCES];
+        assert!(Message::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn family_classification() {
+        assert_eq!(
+            Message::StatusRequest { challenge: 0 }.family(),
+            Family::Management
+        );
+        assert_eq!(
+            Message::SearchRequest {
+                expr: SearchExpr::keyword("x")
+            }
+            .family(),
+            Family::FileSearch
+        );
+        assert_eq!(
+            Message::GetSources {
+                file_ids: vec![FileId([0; 16])]
+            }
+            .family(),
+            Family::SourceSearch
+        );
+        assert_eq!(
+            Message::OfferFiles { files: vec![] }.family(),
+            Family::Announcement
+        );
+    }
+
+    #[test]
+    fn direction_classification() {
+        assert!(Message::GetServerList.is_client_to_server());
+        assert!(!Message::ServerList { servers: vec![] }.is_client_to_server());
+        assert!(Message::OfferFiles { files: vec![] }.is_client_to_server());
+        assert!(!Message::FoundSources {
+            file_id: FileId([0; 16]),
+            sources: vec![]
+        }
+        .is_client_to_server());
+    }
+
+    #[test]
+    fn truncation_anywhere_fails() {
+        let m = Message::SearchResponse {
+            results: vec![sample_entry(3)],
+        };
+        let buf = m.encode();
+        for cut in 1..buf.len() {
+            assert!(Message::decode(&buf[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn absurd_counts_do_not_allocate() {
+        // SEARCH_RES claiming u32::MAX results with a tiny payload.
+        let mut buf = vec![PROTO_EDONKEY, opcodes::SEARCH_RES];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Message::decode(&buf),
+            Err(DecodeError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,370 @@
+//! eDonkey search expressions (paper §2.1: "file searches based on
+//! metadata like filename, size or filetype").
+//!
+//! A search request carries a boolean expression tree over keywords and
+//! metadata constraints, in the prefix encoding used by the real protocol:
+//!
+//! ```text
+//! expr := 0x00 op:u8 expr expr          boolean node (op: 0=AND 1=OR 2=NOT)
+//!       | 0x01 str16                    keyword
+//!       | 0x02 str16 name16             metadata string match (value, name)
+//!       | 0x03 value:u32 cmp:u8 name16  numeric constraint (cmp: 1=min 2=max)
+//! name16 := namelen:u16 namebytes (1-byte names are the special tag names)
+//! ```
+
+use crate::error::{DecodeError, Result};
+use crate::tags::TagName;
+use crate::wire::{Reader, Writer};
+use std::fmt;
+
+/// Boolean connective of a [`SearchExpr::Bool`] node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BoolOp {
+    /// Both operands must match.
+    And,
+    /// Either operand may match.
+    Or,
+    /// Left operand must match, right must not ("AND NOT").
+    AndNot,
+}
+
+impl BoolOp {
+    fn to_wire(self) -> u8 {
+        match self {
+            BoolOp::And => 0,
+            BoolOp::Or => 1,
+            BoolOp::AndNot => 2,
+        }
+    }
+
+    fn from_wire(b: u8) -> Result<Self> {
+        match b {
+            0 => Ok(BoolOp::And),
+            1 => Ok(BoolOp::Or),
+            2 => Ok(BoolOp::AndNot),
+            _ => Err(DecodeError::Malformed("unknown boolean operator")),
+        }
+    }
+}
+
+/// Direction of a numeric constraint.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NumCmp {
+    /// Field must be at least the given value.
+    Min,
+    /// Field must be at most the given value.
+    Max,
+}
+
+impl NumCmp {
+    fn to_wire(self) -> u8 {
+        match self {
+            NumCmp::Min => 1,
+            NumCmp::Max => 2,
+        }
+    }
+
+    fn from_wire(b: u8) -> Result<Self> {
+        match b {
+            1 => Ok(NumCmp::Min),
+            2 => Ok(NumCmp::Max),
+            _ => Err(DecodeError::Malformed("unknown numeric comparator")),
+        }
+    }
+}
+
+/// A search expression tree.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SearchExpr {
+    /// Boolean combination of two sub-expressions.
+    Bool {
+        /// Connective.
+        op: BoolOp,
+        /// Left operand.
+        left: Box<SearchExpr>,
+        /// Right operand.
+        right: Box<SearchExpr>,
+    },
+    /// Free-text keyword matched against file names.
+    Keyword(String),
+    /// Metadata string equality, e.g. filetype == "Audio".
+    MetaStr {
+        /// Tag to compare.
+        name: TagName,
+        /// Required value.
+        value: String,
+    },
+    /// Numeric bound, e.g. filesize >= 100 MB.
+    MetaNum {
+        /// Tag to compare.
+        name: TagName,
+        /// Comparison direction.
+        cmp: NumCmp,
+        /// Bound value.
+        value: u32,
+    },
+}
+
+/// Maximum tree depth the decoder accepts. Real clients never nest deeply;
+/// a depth bound turns attacker-controlled recursion into a decode error.
+pub const MAX_DEPTH: usize = 32;
+
+impl SearchExpr {
+    /// Convenience: `a AND b`.
+    pub fn and(left: SearchExpr, right: SearchExpr) -> Self {
+        SearchExpr::Bool {
+            op: BoolOp::And,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Convenience: `a OR b`.
+    pub fn or(left: SearchExpr, right: SearchExpr) -> Self {
+        SearchExpr::Bool {
+            op: BoolOp::Or,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Convenience: keyword node.
+    pub fn keyword(s: impl Into<String>) -> Self {
+        SearchExpr::Keyword(s.into())
+    }
+
+    /// Collects every keyword in the tree (used by the server's index and
+    /// by the anonymiser, which hashes search strings).
+    pub fn keywords(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_keywords(&mut out);
+        out
+    }
+
+    fn collect_keywords<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            SearchExpr::Bool { left, right, .. } => {
+                left.collect_keywords(out);
+                right.collect_keywords(out);
+            }
+            SearchExpr::Keyword(k) => out.push(k),
+            SearchExpr::MetaStr { .. } | SearchExpr::MetaNum { .. } => {}
+        }
+    }
+
+    /// Serialises the tree in prefix order.
+    pub fn encode(&self, w: &mut Writer) {
+        match self {
+            SearchExpr::Bool { op, left, right } => {
+                w.u8(0x00);
+                w.u8(op.to_wire());
+                left.encode(w);
+                right.encode(w);
+            }
+            SearchExpr::Keyword(s) => {
+                w.u8(0x01);
+                w.str16(s);
+            }
+            SearchExpr::MetaStr { name, value } => {
+                w.u8(0x02);
+                w.str16(value);
+                encode_name(name, w);
+            }
+            SearchExpr::MetaNum { name, cmp, value } => {
+                w.u8(0x03);
+                w.u32(*value);
+                w.u8(cmp.to_wire());
+                encode_name(name, w);
+            }
+        }
+    }
+
+    /// Parses a prefix-encoded tree.
+    pub fn decode(r: &mut Reader) -> Result<Self> {
+        Self::decode_depth(r, 0)
+    }
+
+    fn decode_depth(r: &mut Reader, depth: usize) -> Result<Self> {
+        if depth > MAX_DEPTH {
+            return Err(DecodeError::Malformed("search expression too deep"));
+        }
+        match r.u8()? {
+            0x00 => {
+                let op = BoolOp::from_wire(r.u8()?)?;
+                let left = Self::decode_depth(r, depth + 1)?;
+                let right = Self::decode_depth(r, depth + 1)?;
+                Ok(SearchExpr::Bool {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                })
+            }
+            0x01 => Ok(SearchExpr::Keyword(r.str16()?.to_owned())),
+            0x02 => {
+                let value = r.str16()?.to_owned();
+                let name = decode_name(r)?;
+                Ok(SearchExpr::MetaStr { name, value })
+            }
+            0x03 => {
+                let value = r.u32()?;
+                let cmp = NumCmp::from_wire(r.u8()?)?;
+                let name = decode_name(r)?;
+                Ok(SearchExpr::MetaNum { name, cmp, value })
+            }
+            other => Err(DecodeError::UnknownSearchNode(other)),
+        }
+    }
+}
+
+fn encode_name(name: &TagName, w: &mut Writer) {
+    match name {
+        TagName::Special(b) => {
+            w.u16(1);
+            w.u8(*b);
+        }
+        TagName::Named(s) => w.str16(s),
+    }
+}
+
+fn decode_name(r: &mut Reader) -> Result<TagName> {
+    let len = r.u16()? as usize;
+    if len == 0 {
+        return Err(DecodeError::Malformed("empty constraint name"));
+    }
+    if len == 1 {
+        Ok(TagName::Special(r.u8()?))
+    } else {
+        let bytes = r.take(len)?;
+        let s = std::str::from_utf8(bytes)
+            .map_err(|_| DecodeError::Malformed("constraint name not utf-8"))?;
+        Ok(TagName::Named(s.to_owned()))
+    }
+}
+
+impl fmt::Display for SearchExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchExpr::Bool { op, left, right } => {
+                let sym = match op {
+                    BoolOp::And => "AND",
+                    BoolOp::Or => "OR",
+                    BoolOp::AndNot => "AND-NOT",
+                };
+                write!(f, "({left} {sym} {right})")
+            }
+            SearchExpr::Keyword(k) => write!(f, "\"{k}\""),
+            SearchExpr::MetaStr { name, value } => write!(f, "{name}=\"{value}\""),
+            SearchExpr::MetaNum { name, cmp, value } => {
+                let sym = match cmp {
+                    NumCmp::Min => ">=",
+                    NumCmp::Max => "<=",
+                };
+                write!(f, "{name}{sym}{value}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tags::special;
+
+    fn round_trip(e: &SearchExpr) -> SearchExpr {
+        let mut w = Writer::new();
+        e.encode(&mut w);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        let got = SearchExpr::decode(&mut r).unwrap();
+        r.expect_end().unwrap();
+        got
+    }
+
+    #[test]
+    fn keyword_round_trip() {
+        let e = SearchExpr::keyword("madonna");
+        assert_eq!(round_trip(&e), e);
+    }
+
+    #[test]
+    fn compound_round_trip() {
+        let e = SearchExpr::and(
+            SearchExpr::or(SearchExpr::keyword("live"), SearchExpr::keyword("album")),
+            SearchExpr::MetaNum {
+                name: TagName::Special(special::FILESIZE),
+                cmp: NumCmp::Min,
+                value: 1_000_000,
+            },
+        );
+        assert_eq!(round_trip(&e), e);
+    }
+
+    #[test]
+    fn meta_str_round_trip() {
+        let e = SearchExpr::MetaStr {
+            name: TagName::Special(special::FILETYPE),
+            value: "Audio".into(),
+        };
+        assert_eq!(round_trip(&e), e);
+    }
+
+    #[test]
+    fn named_constraint_round_trip() {
+        let e = SearchExpr::MetaNum {
+            name: TagName::Named("bitrate".into()),
+            cmp: NumCmp::Max,
+            value: 320,
+        };
+        assert_eq!(round_trip(&e), e);
+    }
+
+    #[test]
+    fn keywords_collected_in_order() {
+        let e = SearchExpr::and(
+            SearchExpr::keyword("a"),
+            SearchExpr::or(SearchExpr::keyword("b"), SearchExpr::keyword("c")),
+        );
+        assert_eq!(e.keywords(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn depth_bound_enforced() {
+        // Hand-encode a pathological left-spine deeper than MAX_DEPTH.
+        let mut w = Writer::new();
+        for _ in 0..(MAX_DEPTH + 2) {
+            w.u8(0x00); // bool node
+            w.u8(0); // AND
+        }
+        w.u8(0x01);
+        w.str16("x");
+        let buf = w.into_bytes();
+        let err = SearchExpr::decode(&mut Reader::new(&buf)).unwrap_err();
+        assert!(matches!(err, DecodeError::Malformed(_)));
+    }
+
+    #[test]
+    fn unknown_node_discriminator() {
+        let err = SearchExpr::decode(&mut Reader::new(&[0x7f])).unwrap_err();
+        assert!(matches!(err, DecodeError::UnknownSearchNode(0x7f)));
+    }
+
+    #[test]
+    fn truncated_tree_fails_cleanly() {
+        let e = SearchExpr::and(SearchExpr::keyword("aa"), SearchExpr::keyword("bb"));
+        let mut w = Writer::new();
+        e.encode(&mut w);
+        let buf = w.into_bytes();
+        for cut in 0..buf.len() {
+            assert!(
+                SearchExpr::decode(&mut Reader::new(&buf[..cut])).is_err(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn display_renders_tree() {
+        let e = SearchExpr::and(SearchExpr::keyword("x"), SearchExpr::keyword("y"));
+        assert_eq!(format!("{e}"), "(\"x\" AND \"y\")");
+    }
+}

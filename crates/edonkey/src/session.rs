@@ -1,0 +1,277 @@
+//! eDonkey TCP session messages (the connection-oriented half of the
+//! protocol).
+//!
+//! The paper's capture was ~half TCP (§2.2) — the connection-oriented
+//! side of eDonkey, where clients *log in* to the server and receive
+//! their clientID (the high-ID/low-ID assignment of §2.1: "a 24 bits
+//! number" for clients that are not directly reachable). This module
+//! implements that handshake's messages and the server-side ID
+//! assignment rule, so the TCP measurement extension has real content to
+//! decode:
+//!
+//! ```text
+//! client → LoginRequest { user_hash, claimed port, tags (name, version) }
+//! server → IdChange { assigned clientID }          (high if reachable)
+//! server → ServerMessage { greeting text }
+//! ```
+//!
+//! Wire format reuses the [`crate::wire`] primitives, with the TCP
+//! opcodes of the historical protocol (login 0x01, server message 0x38,
+//! id change 0x40).
+
+use crate::error::{DecodeError, Result};
+use crate::ids::{ClientId, LOW_ID_LIMIT};
+use crate::tags::TagList;
+use crate::wire::{Reader, Writer};
+
+/// TCP session opcodes.
+pub mod opcodes {
+    /// Client → server login.
+    pub const LOGIN_REQUEST: u8 = 0x01;
+    /// Server → client free-text message.
+    pub const SERVER_MESSAGE: u8 = 0x38;
+    /// Server → client clientID assignment.
+    pub const ID_CHANGE: u8 = 0x40;
+}
+
+/// A TCP session message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SessionMessage {
+    /// The login a client sends on connect.
+    LoginRequest {
+        /// The client's self-chosen 128-bit user hash (identity across
+        /// sessions; *not* the clientID).
+        user_hash: [u8; 16],
+        /// The clientID the client claims (0 on first connect).
+        client_id: ClientId,
+        /// The TCP port the client listens on.
+        port: u16,
+        /// Metadata tags (client name, version).
+        tags: TagList,
+    },
+    /// Free-text message from the server (greetings, warnings).
+    ServerMessage {
+        /// The text.
+        text: String,
+    },
+    /// The server's clientID assignment.
+    IdChange {
+        /// Assigned clientID (the IP for reachable clients, a 24-bit
+        /// low ID otherwise).
+        new_id: ClientId,
+    },
+}
+
+impl SessionMessage {
+    /// Opcode byte.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            SessionMessage::LoginRequest { .. } => opcodes::LOGIN_REQUEST,
+            SessionMessage::ServerMessage { .. } => opcodes::SERVER_MESSAGE,
+            SessionMessage::IdChange { .. } => opcodes::ID_CHANGE,
+        }
+    }
+
+    /// Serialises marker + opcode + body (datagram form; use
+    /// [`crate::stream`]-style framing for the TCP stream itself).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(48);
+        w.u8(crate::messages::PROTO_EDONKEY);
+        w.u8(self.opcode());
+        match self {
+            SessionMessage::LoginRequest {
+                user_hash,
+                client_id,
+                port,
+                tags,
+            } => {
+                w.bytes(user_hash);
+                w.u32(client_id.raw());
+                w.u16(*port);
+                tags.encode(&mut w);
+            }
+            SessionMessage::ServerMessage { text } => {
+                w.str16(text);
+            }
+            SessionMessage::IdChange { new_id } => {
+                w.u32(new_id.raw());
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a session message.
+    pub fn decode(buf: &[u8]) -> Result<SessionMessage> {
+        if buf.is_empty() {
+            return Err(DecodeError::Empty);
+        }
+        if buf[0] != crate::messages::PROTO_EDONKEY {
+            return Err(DecodeError::NotEdonkey(buf[0]));
+        }
+        let mut r = Reader::new(&buf[1..]);
+        let op = r.u8()?;
+        let msg = match op {
+            opcodes::LOGIN_REQUEST => SessionMessage::LoginRequest {
+                user_hash: r.hash16()?,
+                client_id: ClientId(r.u32()?),
+                port: r.u16()?,
+                tags: TagList::decode(&mut r)?,
+            },
+            opcodes::SERVER_MESSAGE => SessionMessage::ServerMessage {
+                text: r.str16()?.to_owned(),
+            },
+            opcodes::ID_CHANGE => SessionMessage::IdChange {
+                new_id: ClientId(r.u32()?),
+            },
+            other => return Err(DecodeError::UnknownOpcode(other)),
+        };
+        r.expect_end()?;
+        Ok(msg)
+    }
+}
+
+/// Server-side clientID assignment (§2.1): directly reachable clients
+/// get their IP as clientID (high ID); NATed/firewalled clients get the
+/// next 24-bit low ID.
+pub struct IdAssigner {
+    next_low: u32,
+}
+
+impl Default for IdAssigner {
+    fn default() -> Self {
+        // Real servers start low IDs at 1 (0 is reserved).
+        IdAssigner { next_low: 1 }
+    }
+}
+
+impl IdAssigner {
+    /// Fresh assigner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assigns a clientID for a connecting client with source address
+    /// `ip`, `reachable` iff the server could connect back to it.
+    pub fn assign(&mut self, ip: u32, reachable: bool) -> ClientId {
+        if reachable && ip >= LOW_ID_LIMIT {
+            ClientId(ip)
+        } else {
+            let id = self.next_low;
+            self.next_low += 1;
+            assert!(
+                self.next_low < LOW_ID_LIMIT,
+                "low-ID space exhausted (16M concurrent NATed clients)"
+            );
+            ClientId::low(id)
+        }
+    }
+
+    /// Low IDs handed out so far.
+    pub fn low_ids_assigned(&self) -> u32 {
+        self.next_low - 1
+    }
+}
+
+/// The server's side of a login handshake: assign an ID and greet.
+pub fn handshake_response(
+    assigner: &mut IdAssigner,
+    source_ip: u32,
+    reachable: bool,
+    greeting: &str,
+) -> Vec<SessionMessage> {
+    vec![
+        SessionMessage::IdChange {
+            new_id: assigner.assign(source_ip, reachable),
+        },
+        SessionMessage::ServerMessage {
+            text: greeting.to_owned(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ClientIdKind;
+    use crate::tags::{special, Tag};
+
+    fn sample_login() -> SessionMessage {
+        SessionMessage::LoginRequest {
+            user_hash: [7; 16],
+            client_id: ClientId(0),
+            port: 4662,
+            tags: TagList(vec![
+                Tag::str(special::FILENAME, "a user name"), // name tag id reused
+                Tag::u32(special::VERSION, 60),
+            ]),
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        for msg in [
+            sample_login(),
+            SessionMessage::ServerMessage {
+                text: "welcome to the simulated donkey".into(),
+            },
+            SessionMessage::IdChange {
+                new_id: ClientId(0x5216_0a02),
+            },
+        ] {
+            let buf = msg.encode();
+            assert_eq!(SessionMessage::decode(&buf).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let buf = sample_login().encode();
+        for cut in 1..buf.len() {
+            assert!(SessionMessage::decode(&buf[..cut]).is_err(), "cut {cut}");
+        }
+        let mut padded = buf.clone();
+        padded.push(0);
+        assert!(matches!(
+            SessionMessage::decode(&padded),
+            Err(DecodeError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn unknown_opcode() {
+        let buf = [crate::messages::PROTO_EDONKEY, 0x77];
+        assert!(matches!(
+            SessionMessage::decode(&buf),
+            Err(DecodeError::UnknownOpcode(0x77))
+        ));
+    }
+
+    #[test]
+    fn id_assignment_rules() {
+        let mut a = IdAssigner::new();
+        // Reachable public client: IP becomes the ID.
+        let ip = u32::from_be_bytes([82, 10, 20, 30]);
+        let id = a.assign(ip, true);
+        assert_eq!(id.raw(), ip);
+        assert_eq!(id.kind(), ClientIdKind::High);
+        // Unreachable client: sequential low ID.
+        let id1 = a.assign(u32::from_be_bytes([82, 10, 20, 31]), false);
+        let id2 = a.assign(u32::from_be_bytes([82, 10, 20, 32]), false);
+        assert_eq!(id1, ClientId::low(1));
+        assert_eq!(id2, ClientId::low(2));
+        assert_eq!(a.low_ids_assigned(), 2);
+        // A client whose IP is itself in the low range (cannot be used
+        // as a high ID) gets a low ID even if reachable.
+        let id3 = a.assign(100, true);
+        assert_eq!(id3.kind(), ClientIdKind::Low);
+    }
+
+    #[test]
+    fn handshake_shape() {
+        let mut a = IdAssigner::new();
+        let msgs = handshake_response(&mut a, u32::from_be_bytes([82, 1, 1, 1]), true, "hi");
+        assert_eq!(msgs.len(), 2);
+        assert!(matches!(msgs[0], SessionMessage::IdChange { .. }));
+        assert!(matches!(msgs[1], SessionMessage::ServerMessage { .. }));
+    }
+}

@@ -1,0 +1,250 @@
+//! Little-endian wire primitives shared by the codec.
+//!
+//! `Reader` is a non-consuming cursor over a byte slice; every accessor
+//! returns [`DecodeError::Truncated`] instead of panicking, so the decoder
+//! can classify short messages as structurally invalid (paper §2.3: the
+//! decoder first performs "a structural validation of messages, based on
+//! their expected length").
+
+use crate::error::{DecodeError, Result};
+
+/// Cursor over a received byte slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps `buf` with the cursor at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current cursor offset from the start of the buffer.
+    #[inline]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Consumes exactly `n` bytes.
+    #[inline]
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated {
+                wanted: n,
+                available: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u16.
+    #[inline]
+    pub fn u16(&mut self) -> Result<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian u32.
+    #[inline]
+    pub fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian u64.
+    #[inline]
+    pub fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Reads a 16-byte hash.
+    #[inline]
+    pub fn hash16(&mut self) -> Result<[u8; 16]> {
+        let b = self.take(16)?;
+        let mut a = [0u8; 16];
+        a.copy_from_slice(b);
+        Ok(a)
+    }
+
+    /// Reads a `len:u16`-prefixed UTF-8 string.
+    pub fn str16(&mut self) -> Result<&'a str> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).map_err(|_| DecodeError::Malformed("string not utf-8"))
+    }
+
+    /// Asserts the whole buffer was consumed.
+    pub fn expect_end(&self) -> Result<()> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes(self.remaining()))
+        }
+    }
+}
+
+/// Growable output buffer with little-endian writers.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Writer with pre-reserved capacity (hot paths know their sizes).
+    pub fn with_capacity(cap: usize) -> Self {
+        Writer {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends one byte.
+    #[inline]
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian u16.
+    #[inline]
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u32.
+    #[inline]
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u64.
+    #[inline]
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes.
+    #[inline]
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a `len:u16`-prefixed string.
+    pub fn str16(&mut self, s: &str) {
+        debug_assert!(s.len() <= u16::MAX as usize);
+        self.u16(s.len() as u16);
+        self.bytes(s.as_bytes());
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finishes and returns the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        let mut w = Writer::new();
+        w.u8(0xab);
+        w.u16(0x1234);
+        w.u32(0xdead_beef);
+        w.u64(0x0123_4567_89ab_cdef);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 0xab);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), 0x0123_4567_89ab_cdef);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn little_endian_on_the_wire() {
+        let mut w = Writer::new();
+        w.u32(1);
+        assert_eq!(w.into_bytes(), vec![1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn truncation_reports_sizes() {
+        let mut r = Reader::new(&[1, 2]);
+        match r.u32() {
+            Err(DecodeError::Truncated { wanted, available }) => {
+                assert_eq!((wanted, available), (4, 2));
+            }
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn str16_round_trip_and_invalid_utf8() {
+        let mut w = Writer::new();
+        w.str16("héllo");
+        let buf = w.into_bytes();
+        assert_eq!(Reader::new(&buf).str16().unwrap(), "héllo");
+
+        let bad = [2u8, 0, 0xff, 0xfe];
+        assert!(matches!(
+            Reader::new(&bad).str16(),
+            Err(DecodeError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let r = Reader::new(&[0u8; 3]);
+        assert!(matches!(r.expect_end(), Err(DecodeError::TrailingBytes(3))));
+    }
+
+    #[test]
+    fn take_does_not_overconsume_on_error() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert!(r.take(5).is_err());
+        // Failed take must leave the cursor untouched.
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(r.take(3).unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn hash16_round_trip() {
+        let h = [7u8; 16];
+        let mut w = Writer::new();
+        w.bytes(&h);
+        assert_eq!(Reader::new(&w.into_bytes()).hash16().unwrap(), h);
+    }
+}

@@ -1,0 +1,159 @@
+//! Virtual time for the simulated capture.
+//!
+//! The paper's dataset replaces absolute timestamps with "the time elapsed
+//! since the beginning of the capture" (§2.4). The simulation adopts that
+//! convention from the start: all timestamps are [`VirtualTime`] offsets
+//! from the capture origin, with microsecond resolution (the resolution of
+//! a pcap record header).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Microseconds elapsed since the beginning of the capture.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct VirtualTime(pub u64);
+
+/// A span of virtual time, in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct Duration(pub u64);
+
+impl VirtualTime {
+    /// The capture origin.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// Builds from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        VirtualTime(s * 1_000_000)
+    }
+
+    /// Whole seconds since origin (floor).
+    pub fn as_secs(&self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds since origin as a float.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Microsecond remainder within the current second.
+    pub fn subsec_micros(&self) -> u32 {
+        (self.0 % 1_000_000) as u32
+    }
+
+    /// Weeks since origin as a float (the x-axis of the paper's Fig. 2).
+    pub fn as_weeks_f64(&self) -> f64 {
+        self.as_secs_f64() / Duration::WEEK.as_secs_f64()
+    }
+}
+
+impl Duration {
+    /// One second.
+    pub const SECOND: Duration = Duration(1_000_000);
+    /// One minute.
+    pub const MINUTE: Duration = Duration(60 * 1_000_000);
+    /// One hour.
+    pub const HOUR: Duration = Duration(3_600 * 1_000_000);
+    /// One day.
+    pub const DAY: Duration = Duration(86_400 * 1_000_000);
+    /// One week.
+    pub const WEEK: Duration = Duration(7 * 86_400 * 1_000_000);
+
+    /// Builds from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000)
+    }
+
+    /// Builds from fractional seconds (saturating at zero).
+    pub fn from_secs_f64(s: f64) -> Self {
+        Duration((s.max(0.0) * 1e6) as u64)
+    }
+
+    /// Whole seconds (floor).
+    pub fn as_secs(&self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Scales the span by `k` (used by campaign scaling).
+    pub fn scale(&self, k: f64) -> Duration {
+        Duration((self.0 as f64 * k) as u64)
+    }
+}
+
+impl Add<Duration> for VirtualTime {
+    type Output = VirtualTime;
+    fn add(self, rhs: Duration) -> VirtualTime {
+        VirtualTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for VirtualTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<VirtualTime> for VirtualTime {
+    type Output = Duration;
+    fn sub(self, rhs: VirtualTime) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<Duration> for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:06}s", self.as_secs(), self.subsec_micros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let t = VirtualTime::from_secs(90) + Duration(500_000);
+        assert_eq!(t.as_secs(), 90);
+        assert_eq!(t.subsec_micros(), 500_000);
+        assert!((t.as_secs_f64() - 90.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn week_axis() {
+        let t = VirtualTime::ZERO + Duration::WEEK + Duration::WEEK;
+        assert!((t.as_weeks_f64() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        let a = VirtualTime::from_secs(1);
+        let b = VirtualTime::from_secs(5);
+        assert_eq!(b - a, Duration::from_secs(4));
+        assert_eq!(a - b, Duration(0));
+    }
+
+    #[test]
+    fn display_format() {
+        let t = VirtualTime(1_230_045);
+        assert_eq!(format!("{t}"), "1.230045s");
+    }
+
+    #[test]
+    fn duration_scaling() {
+        assert_eq!(Duration::from_secs(100).scale(0.25), Duration::from_secs(25));
+        assert_eq!(Duration::from_secs_f64(1.5), Duration(1_500_000));
+        assert_eq!(Duration::from_secs_f64(-1.0), Duration(0));
+    }
+}

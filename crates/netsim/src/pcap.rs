@@ -1,0 +1,250 @@
+//! pcap file framing (the on-disk format of the paper's first stage).
+//!
+//! The capture machine receives "a copy of the traffic" and stores it in
+//! libpcap's classic format before decoding (paper Fig. 1: "PCAP capture →
+//! PCAP decoding and formatting"). We implement the original pcap file
+//! layout — magic `0xa1b2c3d4`, version 2.4, ethernet link type — so the
+//! simulated capture stream is byte-compatible with the real ecosystem.
+
+use crate::clock::VirtualTime;
+
+/// pcap magic number (microsecond timestamps, native byte order; we write
+/// little-endian, the common case the paper's x86 capture machine wrote).
+pub const MAGIC: u32 = 0xa1b2_c3d4;
+/// Link type: Ethernet.
+pub const LINKTYPE_ETHERNET: u32 = 1;
+/// Global header length.
+pub const GLOBAL_HEADER_LEN: usize = 24;
+/// Per-record header length.
+pub const RECORD_HEADER_LEN: usize = 16;
+
+/// Errors when reading a pcap stream.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PcapError {
+    /// Stream shorter than a header.
+    Short,
+    /// Magic number unrecognised.
+    BadMagic(u32),
+    /// Record claims more captured bytes than remain.
+    TruncatedRecord,
+    /// caplen exceeds the file's snaplen or the original length.
+    InvalidCaplen,
+}
+
+/// One captured record: a timestamp and the (possibly snaplen-truncated)
+/// frame bytes, plus the original on-the-wire length.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PcapRecord {
+    /// Capture timestamp.
+    pub ts: VirtualTime,
+    /// Original frame length on the wire.
+    pub orig_len: u32,
+    /// Captured bytes (`len <= orig_len`, truncated to snaplen).
+    pub data: Vec<u8>,
+}
+
+/// Streaming pcap writer.
+pub struct PcapWriter {
+    buf: Vec<u8>,
+    snaplen: u32,
+    records: u64,
+}
+
+impl PcapWriter {
+    /// Starts a stream with the given snaplen (65535 captures everything).
+    pub fn new(snaplen: u32) -> Self {
+        let mut buf = Vec::with_capacity(4096);
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.extend_from_slice(&2u16.to_le_bytes()); // version major
+        buf.extend_from_slice(&4u16.to_le_bytes()); // version minor
+        buf.extend_from_slice(&0i32.to_le_bytes()); // thiszone
+        buf.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
+        buf.extend_from_slice(&snaplen.to_le_bytes());
+        buf.extend_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
+        PcapWriter {
+            buf,
+            snaplen,
+            records: 0,
+        }
+    }
+
+    /// Appends one frame, truncating to snaplen.
+    pub fn write(&mut self, ts: VirtualTime, frame: &[u8]) {
+        let caplen = (frame.len() as u32).min(self.snaplen);
+        self.buf
+            .extend_from_slice(&(ts.as_secs() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&ts.subsec_micros().to_le_bytes());
+        self.buf.extend_from_slice(&caplen.to_le_bytes());
+        self.buf
+            .extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&frame[..caplen as usize]);
+        self.records += 1;
+    }
+
+    /// Records written so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Finishes and returns the stream bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Pull reader over a pcap byte stream.
+pub struct PcapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    snaplen: u32,
+}
+
+impl<'a> PcapReader<'a> {
+    /// Validates the global header and positions at the first record.
+    pub fn new(buf: &'a [u8]) -> Result<Self, PcapError> {
+        if buf.len() < GLOBAL_HEADER_LEN {
+            return Err(PcapError::Short);
+        }
+        let magic = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+        if magic != MAGIC {
+            return Err(PcapError::BadMagic(magic));
+        }
+        let snaplen = u32::from_le_bytes([buf[16], buf[17], buf[18], buf[19]]);
+        Ok(PcapReader {
+            buf,
+            pos: GLOBAL_HEADER_LEN,
+            snaplen,
+        })
+    }
+
+    /// The stream's snaplen.
+    pub fn snaplen(&self) -> u32 {
+        self.snaplen
+    }
+
+    /// Reads the next record, or `Ok(None)` at a clean end of stream.
+    pub fn next_record(&mut self) -> Result<Option<PcapRecord>, PcapError> {
+        if self.pos == self.buf.len() {
+            return Ok(None);
+        }
+        if self.buf.len() - self.pos < RECORD_HEADER_LEN {
+            return Err(PcapError::Short);
+        }
+        let h = &self.buf[self.pos..self.pos + RECORD_HEADER_LEN];
+        let ts_sec = u32::from_le_bytes([h[0], h[1], h[2], h[3]]) as u64;
+        let ts_usec = u32::from_le_bytes([h[4], h[5], h[6], h[7]]) as u64;
+        let caplen = u32::from_le_bytes([h[8], h[9], h[10], h[11]]);
+        let orig_len = u32::from_le_bytes([h[12], h[13], h[14], h[15]]);
+        if caplen > self.snaplen || caplen > orig_len {
+            return Err(PcapError::InvalidCaplen);
+        }
+        let start = self.pos + RECORD_HEADER_LEN;
+        let end = start + caplen as usize;
+        if end > self.buf.len() {
+            return Err(PcapError::TruncatedRecord);
+        }
+        self.pos = end;
+        Ok(Some(PcapRecord {
+            ts: VirtualTime(ts_sec * 1_000_000 + ts_usec),
+            orig_len,
+            data: self.buf[start..end].to_vec(),
+        }))
+    }
+}
+
+impl<'a> Iterator for PcapReader<'a> {
+    type Item = Result<PcapRecord, PcapError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut w = PcapWriter::new(65_535);
+        w.write(VirtualTime(1_000_123), b"frame-one");
+        w.write(VirtualTime(2_500_000), b"frame-two-longer");
+        assert_eq!(w.records(), 2);
+        let bytes = w.into_bytes();
+        let mut r = PcapReader::new(&bytes).unwrap();
+        let a = r.next_record().unwrap().unwrap();
+        assert_eq!(a.ts, VirtualTime(1_000_123));
+        assert_eq!(a.data, b"frame-one");
+        assert_eq!(a.orig_len, 9);
+        let b = r.next_record().unwrap().unwrap();
+        assert_eq!(b.data, b"frame-two-longer");
+        assert!(r.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn snaplen_truncates_but_keeps_orig_len() {
+        let mut w = PcapWriter::new(4);
+        w.write(VirtualTime::ZERO, b"0123456789");
+        let bytes = w.into_bytes();
+        let mut r = PcapReader::new(&bytes).unwrap();
+        assert_eq!(r.snaplen(), 4);
+        let rec = r.next_record().unwrap().unwrap();
+        assert_eq!(rec.data, b"0123");
+        assert_eq!(rec.orig_len, 10);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = PcapWriter::new(100).into_bytes();
+        bytes[0] ^= 0xff;
+        match PcapReader::new(&bytes) {
+            Err(PcapError::BadMagic(_)) => {}
+            Err(other) => panic!("wrong error: {other:?}"),
+            Ok(_) => panic!("bad magic accepted"),
+        }
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let mut w = PcapWriter::new(100);
+        w.write(VirtualTime::ZERO, b"abcdef");
+        let bytes = w.into_bytes();
+        // Cut inside the record data.
+        let cut = &bytes[..bytes.len() - 3];
+        let mut r = PcapReader::new(cut).unwrap();
+        assert_eq!(r.next_record(), Err(PcapError::TruncatedRecord));
+    }
+
+    #[test]
+    fn header_too_short() {
+        assert_eq!(PcapReader::new(&[0u8; 10]).err(), Some(PcapError::Short));
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let mut w = PcapWriter::new(65_535);
+        for i in 0..5u8 {
+            w.write(VirtualTime::from_secs(i as u64), &[i; 3]);
+        }
+        let bytes = w.into_bytes();
+        let recs: Vec<_> = PcapReader::new(&bytes)
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(recs.len(), 5);
+        assert_eq!(recs[4].data, vec![4; 3]);
+    }
+
+    #[test]
+    fn caplen_exceeding_snaplen_rejected() {
+        // Hand-craft a record whose caplen lies about the snaplen.
+        let mut w = PcapWriter::new(8);
+        w.write(VirtualTime::ZERO, b"x");
+        let mut bytes = w.into_bytes();
+        // caplen field of record 0 is at GLOBAL_HEADER_LEN + 8.
+        let off = GLOBAL_HEADER_LEN + 8;
+        bytes[off..off + 4].copy_from_slice(&100u32.to_le_bytes());
+        let mut r = PcapReader::new(&bytes).unwrap();
+        assert_eq!(r.next_record(), Err(PcapError::InvalidCaplen));
+    }
+}

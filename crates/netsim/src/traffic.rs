@@ -1,0 +1,277 @@
+//! Offered-traffic model for the capture link.
+//!
+//! The paper's server saw ≈31.5 G ethernet packets in ten weeks — an
+//! average of ≈5 200 packets/s — with "traffic peaks" occasionally
+//! overflowing the libpcap kernel buffer (§2.2, Fig. 2). The model here
+//! reproduces that regime: a diurnal/weekly base rate modulated by rare
+//! flash bursts, sampled as a Poisson process.
+
+use crate::clock::VirtualTime;
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::TAU;
+
+/// A flash-crowd burst: a short multiplicative spike in the offered rate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Burst {
+    /// Burst start.
+    pub start_sec: u64,
+    /// Burst length in seconds.
+    pub duration_sec: u64,
+    /// Multiplier applied to the base rate during the burst.
+    pub amplitude: f64,
+}
+
+/// Deterministic offered-rate model.
+///
+/// `rate(t) = base · diurnal(t) · weekly(t) · burst(t)` where diurnal is a
+/// day-period sinusoid, weekly dips at the week boundary (weekend shape),
+/// and burst is 1.0 outside bursts.
+#[derive(Clone, Debug)]
+pub struct RateModel {
+    /// Mean packets per second.
+    pub base_pps: f64,
+    /// Diurnal modulation depth in [0, 1).
+    pub diurnal_depth: f64,
+    /// Weekly modulation depth in [0, 1).
+    pub weekly_depth: f64,
+    /// Flash bursts, sorted by start time.
+    bursts: Vec<Burst>,
+}
+
+impl RateModel {
+    /// Builds a model with `n_bursts` random bursts over `horizon_sec`,
+    /// deterministic in `seed`.
+    pub fn new(
+        base_pps: f64,
+        diurnal_depth: f64,
+        weekly_depth: f64,
+        horizon_sec: u64,
+        n_bursts: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(base_pps > 0.0);
+        assert!((0.0..1.0).contains(&diurnal_depth));
+        assert!((0.0..1.0).contains(&weekly_depth));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7261_7465); // "rate"
+        let mut bursts: Vec<Burst> = (0..n_bursts)
+            .map(|_| {
+                // Pareto-ish amplitudes: mostly mild (2-4x), with a heavy
+                // tail up to ~11x. Only the tail exceeds a well-provisioned
+                // capture drain, which is what makes losses rare (Fig. 2).
+                let u: f64 = rng.gen_range(0.1..1.0);
+                Burst {
+                    start_sec: rng.gen_range(0..horizon_sec.max(1)),
+                    duration_sec: rng.gen_range(5..90),
+                    amplitude: 1.5 + 1.0 / u,
+                }
+            })
+            .collect();
+        bursts.sort_by_key(|b| b.start_sec);
+        RateModel {
+            base_pps,
+            diurnal_depth,
+            weekly_depth,
+            bursts,
+        }
+    }
+
+    /// A calm model with no bursts (baseline for capture ablations).
+    pub fn calm(base_pps: f64) -> Self {
+        RateModel {
+            base_pps,
+            diurnal_depth: 0.0,
+            weekly_depth: 0.0,
+            bursts: Vec::new(),
+        }
+    }
+
+    /// Offered rate in packets/second at time `t`.
+    pub fn rate_at(&self, t: VirtualTime) -> f64 {
+        let secs = t.as_secs_f64();
+        let day_phase = secs / 86_400.0;
+        // Peak in the evening (phase shift), trough in the early morning.
+        let diurnal = 1.0 + self.diurnal_depth * (TAU * (day_phase - 0.33)).sin();
+        let week_phase = secs / (7.0 * 86_400.0);
+        let weekly = 1.0 + self.weekly_depth * (TAU * week_phase).sin();
+        let burst = self.burst_multiplier(t.as_secs());
+        self.base_pps * diurnal * weekly * burst
+    }
+
+    fn burst_multiplier(&self, sec: u64) -> f64 {
+        // Bursts are few; linear scan over those that could cover `sec`.
+        for b in &self.bursts {
+            if b.start_sec > sec {
+                break;
+            }
+            if sec < b.start_sec + b.duration_sec {
+                return b.amplitude;
+            }
+        }
+        1.0
+    }
+
+    /// The bursts of this model (for tests and reporting).
+    pub fn bursts(&self) -> &[Burst] {
+        &self.bursts
+    }
+
+    /// Replaces the burst schedule (sorted by start time internally).
+    /// Used by experiments that need hand-placed bursts.
+    pub fn set_bursts(&mut self, mut bursts: Vec<Burst>) {
+        bursts.sort_by_key(|b| b.start_sec);
+        self.bursts = bursts;
+    }
+
+    /// Samples the number of packet arrivals in the one-second interval
+    /// starting at `t`.
+    pub fn sample_arrivals<R: Rng + ?Sized>(&self, t: VirtualTime, rng: &mut R) -> u64 {
+        poisson(self.rate_at(t), rng)
+    }
+}
+
+/// Samples a Poisson variate with mean `lambda`.
+///
+/// Knuth's product method below λ=30; Gaussian approximation above (the
+/// rates involved here are thousands per second, where the approximation
+/// error is far below the model's own uncertainty).
+pub fn poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let g = normal(rng);
+        let v = lambda + lambda.sqrt() * g;
+        v.max(0.0).round() as u64
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (TAU * u2).cos()
+}
+
+/// An exponential inter-arrival sampler (for event-driven generators).
+#[derive(Clone, Copy, Debug)]
+pub struct Exponential {
+    /// Rate parameter (events per second).
+    pub rate: f64,
+}
+
+impl Distribution<f64> for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -u.ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calm_model_is_flat() {
+        let m = RateModel::calm(1000.0);
+        for s in [0u64, 3600, 86_400, 604_800] {
+            assert!((m.rate_at(VirtualTime::from_secs(s)) - 1000.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn diurnal_modulation_oscillates() {
+        let m = RateModel {
+            base_pps: 1000.0,
+            diurnal_depth: 0.5,
+            weekly_depth: 0.0,
+            bursts: Vec::new(),
+        };
+        let rates: Vec<f64> = (0..24)
+            .map(|h| m.rate_at(VirtualTime::from_secs(h * 3600)))
+            .collect();
+        let max = rates.iter().cloned().fold(f64::MIN, f64::max);
+        let min = rates.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max > 1400.0, "max {max}");
+        assert!(min < 600.0, "min {min}");
+        // Same hour next day gives the same rate (periodicity).
+        let r0 = m.rate_at(VirtualTime::from_secs(7 * 3600));
+        let r1 = m.rate_at(VirtualTime::from_secs(86_400 + 7 * 3600));
+        assert!((r0 - r1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bursts_multiply_rate() {
+        let mut m = RateModel::calm(100.0);
+        m.bursts = vec![Burst {
+            start_sec: 50,
+            duration_sec: 10,
+            amplitude: 8.0,
+        }];
+        assert!((m.rate_at(VirtualTime::from_secs(49)) - 100.0).abs() < 1e-9);
+        assert!((m.rate_at(VirtualTime::from_secs(55)) - 800.0).abs() < 1e-9);
+        assert!((m.rate_at(VirtualTime::from_secs(60)) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_is_deterministic_in_seed() {
+        let a = RateModel::new(5000.0, 0.4, 0.1, 6_048_000, 40, 9);
+        let b = RateModel::new(5000.0, 0.4, 0.1, 6_048_000, 40, 9);
+        assert_eq!(a.bursts(), b.bursts());
+    }
+
+    #[test]
+    fn poisson_mean_close_to_lambda() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for lambda in [0.5f64, 5.0, 50.0, 5000.0] {
+            let n = 3000;
+            let total: u64 = (0..n).map(|_| poisson(lambda, &mut rng)).sum();
+            let mean = total as f64 / n as f64;
+            let tol = 4.0 * (lambda / n as f64).sqrt() + 0.05;
+            assert!(
+                (mean - lambda).abs() < tol.max(lambda * 0.05),
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(poisson(0.0, &mut rng), 0);
+        assert_eq!(poisson(-3.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = Exponential { rate: 4.0 };
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn sampled_arrivals_track_rate() {
+        let m = RateModel::calm(2000.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let total: u64 = (0..200)
+            .map(|s| m.sample_arrivals(VirtualTime::from_secs(s), &mut rng))
+            .sum();
+        let mean = total as f64 / 200.0;
+        assert!((mean - 2000.0).abs() < 60.0, "mean {mean}");
+    }
+}

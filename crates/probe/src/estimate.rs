@@ -1,0 +1,113 @@
+//! Population-size estimators for active measurement.
+//!
+//! A client probing a directory server only sees the files its queries
+//! surface — a *sample* of the index. Estimating the index size from
+//! samples is the classic capture–recapture problem; estimating how much
+//! is still unseen from the sample's frequency profile is the
+//! species-richness problem. Both are implemented here:
+//!
+//! * [`lincoln_petersen`] / [`chapman`] — two-sample capture–recapture;
+//! * [`chao1`] — lower-bound richness from singleton/doubleton counts.
+
+/// Two-sample Lincoln–Petersen estimate of population size.
+///
+/// `n1` marked in sample one, `n2` in sample two, `m` recaptured in
+/// both. Returns `None` when `m == 0` (estimator undefined).
+pub fn lincoln_petersen(n1: u64, n2: u64, m: u64) -> Option<f64> {
+    if m == 0 {
+        return None;
+    }
+    Some(n1 as f64 * n2 as f64 / m as f64)
+}
+
+/// Chapman's bias-corrected capture–recapture estimator — well-defined
+/// even with zero recaptures and nearly unbiased for small samples.
+pub fn chapman(n1: u64, n2: u64, m: u64) -> f64 {
+    ((n1 + 1) as f64) * ((n2 + 1) as f64) / ((m + 1) as f64) - 1.0
+}
+
+/// Chao1 species-richness lower bound: observed species `s_obs`, with
+/// `f1` seen exactly once and `f2` exactly twice.
+pub fn chao1(s_obs: u64, f1: u64, f2: u64) -> f64 {
+    if f2 == 0 {
+        // Bias-corrected form for f2 = 0.
+        s_obs as f64 + f1 as f64 * (f1 as f64 - 1.0) / 2.0
+    } else {
+        s_obs as f64 + f1 as f64 * f1 as f64 / (2.0 * f2 as f64)
+    }
+}
+
+/// Variance of the Chapman estimator (for confidence intervals).
+pub fn chapman_variance(n1: u64, n2: u64, m: u64) -> f64 {
+    let (n1, n2, m) = (n1 as f64, n2 as f64, m as f64);
+    (n1 + 1.0) * (n2 + 1.0) * (n1 - m) * (n2 - m) / ((m + 1.0) * (m + 1.0) * (m + 2.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn lincoln_petersen_exact_cases() {
+        // Sample 1 marks 100 of 1000; sample 2 of 100 should recapture
+        // ~10 → estimate 1000.
+        assert_eq!(lincoln_petersen(100, 100, 10), Some(1000.0));
+        assert_eq!(lincoln_petersen(10, 10, 0), None);
+    }
+
+    #[test]
+    fn chapman_defined_at_zero_recaptures() {
+        let est = chapman(10, 10, 0);
+        assert!((est - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chapman_close_to_lp_for_large_m() {
+        let lp = lincoln_petersen(5000, 5000, 500).unwrap();
+        let ch = chapman(5000, 5000, 500);
+        assert!((lp - ch).abs() / lp < 0.01, "{lp} vs {ch}");
+    }
+
+    #[test]
+    fn capture_recapture_recovers_simulated_population() {
+        // Ground truth: N = 20_000. Two independent uniform samples.
+        let n = 20_000u64;
+        let mut rng = StdRng::seed_from_u64(77);
+        let sample = |rng: &mut StdRng| -> std::collections::HashSet<u64> {
+            (0..3_000).map(|_| rng.gen_range(0..n)).collect()
+        };
+        let s1 = sample(&mut rng);
+        let s2 = sample(&mut rng);
+        let m = s1.intersection(&s2).count() as u64;
+        let est = chapman(s1.len() as u64, s2.len() as u64, m);
+        let err = (est - n as f64).abs() / n as f64;
+        assert!(err < 0.1, "estimate {est} vs {n} (err {err})");
+        // Variance is positive and the true value is inside ±4σ.
+        let sd = chapman_variance(s1.len() as u64, s2.len() as u64, m).sqrt();
+        assert!(sd > 0.0);
+        assert!((est - n as f64).abs() < 4.0 * sd, "{est} ± {sd} vs {n}");
+    }
+
+    #[test]
+    fn chao1_behaviour() {
+        // No singletons: nothing suggests unseen mass.
+        assert_eq!(chao1(100, 0, 10), 100.0);
+        // Many singletons, few doubletons: large unseen mass.
+        assert!(chao1(100, 50, 5) > 300.0);
+        // f2 = 0 fallback.
+        assert_eq!(chao1(10, 4, 0), 10.0 + 6.0);
+    }
+
+    #[test]
+    fn chao1_never_below_observed() {
+        for s in [1u64, 10, 1000] {
+            for f1 in [0u64, 1, 50] {
+                for f2 in [0u64, 1, 50] {
+                    assert!(chao1(s, f1, f2) >= s as f64);
+                }
+            }
+        }
+    }
+}

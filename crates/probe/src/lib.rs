@@ -1,0 +1,47 @@
+//! # etw-probe — active client-side measurement
+//!
+//! The paper's capture is passive and server-side; its introduction
+//! situates it as "complementary of … client-side passive or active
+//! measurements", and the conclusion proposes "measuring the eDonkey
+//! activity using complementary methods (active measurements from
+//! clients, for instance)". This crate is that complementary method:
+//!
+//! * [`prober`] — a protocol-speaking crawler: keyword sweeps + source
+//!   enumeration against a directory server;
+//! * [`estimate`] — capture–recapture (Lincoln–Petersen, Chapman) and
+//!   species-richness (Chao1) estimators of what the probe *cannot* see;
+//! * [`prober::popularity_bias`] — quantifies the sampling bias the
+//!   paper warns about (§3, citing Stutzbach et al.): keyword probing
+//!   over-represents popular files.
+//!
+//! ## Example
+//!
+//! ```
+//! use etw_edonkey::{ClientId, FileId, Message};
+//! use etw_edonkey::messages::FileEntry;
+//! use etw_edonkey::tags::{special, Tag, TagList};
+//! use etw_probe::prober::ActiveProber;
+//! use etw_server::engine::ServerEngine;
+//!
+//! let mut server = ServerEngine::default();
+//! server.handle(ClientId(42), &Message::OfferFiles { files: vec![FileEntry {
+//!     file_id: FileId([1; 16]),
+//!     client_id: ClientId(42),
+//!     port: 4662,
+//!     tags: TagList(vec![
+//!         Tag::str(special::FILENAME, "sunrise mix.mp3"),
+//!         Tag::u32(special::FILESIZE, 1_000_000),
+//!     ]),
+//! }]});
+//! let mut prober = ActiveProber::new(ClientId(7), vec!["sunrise".into()], 1);
+//! let sample = prober.sweep(&mut server, 5, 10);
+//! assert_eq!(sample.files.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod estimate;
+pub mod prober;
+
+pub use estimate::{chao1, chapman, lincoln_petersen};
+pub use prober::{estimate_index_size, popularity_bias, ActiveProber, IndexEstimate, ProbeSample};

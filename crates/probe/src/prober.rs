@@ -1,0 +1,270 @@
+//! The active probing client.
+//!
+//! The paper's measurement is *passive* (capture at the server) and
+//! "complementary of … client-side passive or active measurements"
+//! (§1); its conclusion proposes "active measurements from clients" as
+//! an extension. [`ActiveProber`] is such a client: it speaks the normal
+//! protocol (keyword searches, then source queries) against a directory
+//! server and records what a client can learn — including how *biased*
+//! that view is, the caveat the paper raises via its citation of
+//! Stutzbach et al. on unbiased sampling.
+
+use etw_edonkey::ids::{ClientId, FileId};
+use etw_edonkey::messages::Message;
+use etw_edonkey::search::SearchExpr;
+use etw_server::engine::ServerEngine;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// What one probe sweep observed.
+#[derive(Clone, Debug, Default)]
+pub struct ProbeSample {
+    /// Distinct files surfaced by searches.
+    pub files: HashSet<FileId>,
+    /// Distinct providers surfaced by source queries.
+    pub sources: HashSet<ClientId>,
+    /// Source count per discovered file (from follow-up GetSources).
+    pub sources_per_file: HashMap<FileId, usize>,
+    /// Search queries spent.
+    pub searches: u64,
+    /// Source queries spent.
+    pub source_queries: u64,
+}
+
+/// An active-measurement client.
+pub struct ActiveProber {
+    /// The probing client's identity at the server.
+    pub client: ClientId,
+    dictionary: Vec<String>,
+    rng: StdRng,
+}
+
+impl ActiveProber {
+    /// Builds a prober with a keyword dictionary (the crawl vocabulary).
+    pub fn new(client: ClientId, dictionary: Vec<String>, seed: u64) -> Self {
+        assert!(!dictionary.is_empty(), "empty probe dictionary");
+        ActiveProber {
+            client,
+            dictionary,
+            rng: StdRng::seed_from_u64(seed ^ 0x7072_6f62), // "prob"
+        }
+    }
+
+    /// Runs one sweep: up to `search_budget` random-keyword searches,
+    /// each followed by source queries for every newly discovered file
+    /// (up to `source_budget` total).
+    pub fn sweep(
+        &mut self,
+        server: &mut ServerEngine,
+        search_budget: u64,
+        source_budget: u64,
+    ) -> ProbeSample {
+        let mut sample = ProbeSample::default();
+        for _ in 0..search_budget {
+            let kw = &self.dictionary[self.rng.gen_range(0..self.dictionary.len())];
+            sample.searches += 1;
+            let answers = server.handle(
+                self.client,
+                &Message::SearchRequest {
+                    expr: SearchExpr::keyword(kw.clone()),
+                },
+            );
+            let mut fresh = Vec::new();
+            for a in &answers {
+                if let Message::SearchResponse { results } = a {
+                    for r in results {
+                        if sample.files.insert(r.file_id) {
+                            fresh.push(r.file_id);
+                        }
+                    }
+                }
+            }
+            // Enumerate providers of newly discovered files.
+            for file_id in fresh {
+                if sample.source_queries >= source_budget {
+                    break;
+                }
+                sample.source_queries += 1;
+                let answers = server.handle(
+                    self.client,
+                    &Message::GetSources {
+                        file_ids: vec![file_id],
+                    },
+                );
+                for a in &answers {
+                    if let Message::FoundSources { sources, .. } = a {
+                        sample
+                            .sources_per_file
+                            .insert(file_id, sources.len());
+                        for s in sources {
+                            sample.sources.insert(s.client_id);
+                        }
+                    }
+                }
+            }
+        }
+        sample
+    }
+}
+
+/// Estimates from two independent sweeps (capture–recapture over the
+/// discovered-file sets).
+#[derive(Clone, Copy, Debug)]
+pub struct IndexEstimate {
+    /// Files seen in sweep one.
+    pub n1: u64,
+    /// Files seen in sweep two.
+    pub n2: u64,
+    /// Files seen in both.
+    pub recaptured: u64,
+    /// Chapman estimate of the indexed-file population.
+    pub estimated_files: f64,
+    /// Standard deviation of the estimate.
+    pub sd: f64,
+}
+
+/// Capture–recapture estimate of the server's index size from two
+/// sweeps.
+pub fn estimate_index_size(a: &ProbeSample, b: &ProbeSample) -> IndexEstimate {
+    let n1 = a.files.len() as u64;
+    let n2 = b.files.len() as u64;
+    let m = a.files.intersection(&b.files).count() as u64;
+    IndexEstimate {
+        n1,
+        n2,
+        recaptured: m,
+        estimated_files: crate::estimate::chapman(n1, n2, m),
+        sd: crate::estimate::chapman_variance(n1, n2, m).sqrt(),
+    }
+}
+
+/// Quantifies the sampling bias the paper warns about: the mean
+/// source-count of *probed* files versus the mean over the *whole*
+/// index. Keyword sampling surfaces popular files first, so the probed
+/// mean is an overestimate; the ratio measures by how much.
+pub fn popularity_bias(sample: &ProbeSample, server: &ServerEngine) -> Option<f64> {
+    if sample.sources_per_file.is_empty() {
+        return None;
+    }
+    let probed_mean = sample.sources_per_file.values().map(|&n| n as f64).sum::<f64>()
+        / sample.sources_per_file.len() as f64;
+    let index = server.index();
+    let total_files = index.file_count() as u64;
+    if total_files == 0 {
+        return None;
+    }
+    let mut total_sources = 0u64;
+    for slot in 0..total_files {
+        total_sources += index.file(slot as u32).sources.len() as u64;
+    }
+    let true_mean = total_sources as f64 / total_files as f64;
+    Some(probed_mean / true_mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etw_edonkey::messages::FileEntry;
+    use etw_edonkey::tags::{special, Tag, TagList};
+
+    /// A server indexing `n` files named from a small vocabulary, with a
+    /// popularity-skewed provider assignment.
+    fn populated_server(n: usize) -> (ServerEngine, Vec<String>) {
+        let mut server = ServerEngine::new(etw_server::engine::EngineConfig {
+            max_search_results: 30,
+            ..Default::default()
+        });
+        let vocab: Vec<String> = (0..60).map(|i| format!("word{i}")).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..n {
+            let w1 = &vocab[rng.gen_range(0..vocab.len())];
+            let w2 = &vocab[rng.gen_range(0..vocab.len())];
+            let name = format!("{w1} {w2} track{i}.mp3");
+            // Popular head: early files get many providers.
+            let providers = 1 + 200 / (i + 1);
+            for p in 0..providers {
+                let entry = FileEntry {
+                    file_id: FileId::of_identity(i as u64),
+                    client_id: ClientId((1000 + i * 31 + p) as u32),
+                    port: 4662,
+                    tags: TagList(vec![
+                        Tag::str(special::FILENAME, name.clone()),
+                        Tag::u32(special::FILESIZE, 4_000_000),
+                        Tag::str(special::FILETYPE, "Audio"),
+                    ]),
+                };
+                server.handle(
+                    ClientId((1000 + i * 31 + p) as u32),
+                    &Message::OfferFiles { files: vec![entry] },
+                );
+            }
+        }
+        (server, vocab)
+    }
+
+    #[test]
+    fn sweep_discovers_files_and_sources() {
+        let (mut server, vocab) = populated_server(300);
+        let mut prober = ActiveProber::new(ClientId(7), vocab, 1);
+        let sample = prober.sweep(&mut server, 100, 1_000);
+        assert!(sample.files.len() > 100, "found {}", sample.files.len());
+        assert!(!sample.sources.is_empty());
+        assert_eq!(sample.searches, 100);
+        assert!(sample.source_queries > 0);
+        // Discovered source counts match the index, modulo the server's
+        // per-answer cap (max_sources = 50 by default).
+        for (f, &n) in &sample.sources_per_file {
+            assert_eq!(n, server.index().sources_for(f, 50).len());
+        }
+    }
+
+    #[test]
+    fn capture_recapture_estimates_index_size() {
+        let (mut server, vocab) = populated_server(400);
+        let truth = server.index().file_count() as f64;
+        let mut p1 = ActiveProber::new(ClientId(7), vocab.clone(), 1);
+        let mut p2 = ActiveProber::new(ClientId(8), vocab, 2);
+        let s1 = p1.sweep(&mut server, 150, 0);
+        let s2 = p2.sweep(&mut server, 150, 0);
+        let est = estimate_index_size(&s1, &s2);
+        assert!(est.recaptured > 0);
+        // Keyword sampling is biased toward multi-keyword-matched files,
+        // so the estimate is rough — but it must be the right order of
+        // magnitude.
+        assert!(
+            est.estimated_files > truth * 0.5 && est.estimated_files < truth * 2.0,
+            "estimate {} vs truth {truth}",
+            est.estimated_files
+        );
+    }
+
+    #[test]
+    fn popularity_bias_is_positive() {
+        let (mut server, vocab) = populated_server(300);
+        let mut prober = ActiveProber::new(ClientId(7), vocab, 3);
+        // Small budget: only what the first few searches surface.
+        let sample = prober.sweep(&mut server, 10, 50);
+        let bias = popularity_bias(&sample, &server).expect("bias");
+        // The probe must not *under*-represent popular files: keyword
+        // search returns every match, so at worst the view is unbiased,
+        // and source-count ordering in answers skews it upward.
+        assert!(bias > 0.5, "bias {bias}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (mut s1, vocab) = populated_server(100);
+        let (mut s2, _) = populated_server(100);
+        let a = ActiveProber::new(ClientId(7), vocab.clone(), 9).sweep(&mut s1, 50, 100);
+        let b = ActiveProber::new(ClientId(7), vocab, 9).sweep(&mut s2, 50, 100);
+        assert_eq!(a.files, b.files);
+        assert_eq!(a.sources, b.sources);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty probe dictionary")]
+    fn empty_dictionary_rejected() {
+        let _ = ActiveProber::new(ClientId(1), Vec::new(), 0);
+    }
+}

@@ -1,0 +1,496 @@
+//! The query-answering engine: one incoming client message → the server's
+//! answer messages (paper §2.1's four families).
+
+use crate::index::{tokenize, ServerIndex};
+use etw_edonkey::ids::ClientId;
+use etw_edonkey::messages::{FileEntry, Message, ServerAddr};
+use etw_edonkey::search::{BoolOp, NumCmp, SearchExpr};
+use etw_edonkey::tags::{special, Tag, TagList, TagName};
+use std::collections::HashSet;
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Server name (appears in ServerDescResponse).
+    pub name: String,
+    /// Server description.
+    pub description: String,
+    /// Other servers advertised in ServerList answers.
+    pub peer_servers: Vec<ServerAddr>,
+    /// Maximum results in one SearchResponse.
+    pub max_search_results: usize,
+    /// Maximum sources in one FoundSources.
+    pub max_sources: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            name: "TenWeeksServer".to_owned(),
+            description: "simulated eDonkey directory server".to_owned(),
+            peer_servers: (1..=8)
+                .map(|i| ServerAddr {
+                    ip: 0x5000_0000 + i,
+                    port: 4661 + (i % 4) as u16,
+                })
+                .collect(),
+            max_search_results: 30,
+            max_sources: 50,
+        }
+    }
+}
+
+/// Per-opcode counters (server side of the T1 summary).
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Queries handled.
+    pub queries: u64,
+    /// Answers produced.
+    pub answers: u64,
+    /// Search requests seen.
+    pub searches: u64,
+    /// Source requests seen (per fileID asked).
+    pub source_asks: u64,
+    /// Files received in announcements.
+    pub published_files: u64,
+}
+
+/// The directory server.
+pub struct ServerEngine {
+    index: ServerIndex,
+    config: EngineConfig,
+    stats: EngineStats,
+}
+
+impl Default for ServerEngine {
+    fn default() -> Self {
+        Self::new(EngineConfig::default())
+    }
+}
+
+impl ServerEngine {
+    /// Builds a server with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        ServerEngine {
+            index: ServerIndex::default(),
+            config,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Read access to the index (analyses and tests).
+    pub fn index(&self) -> &ServerIndex {
+        &self.index
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Handles one client query, returning the answers the server sends
+    /// back (zero, one, or several messages).
+    pub fn handle(&mut self, client: ClientId, msg: &Message) -> Vec<Message> {
+        self.stats.queries += 1;
+        self.index.touch_client(client);
+        let answers = match msg {
+            Message::StatusRequest { challenge } => vec![Message::StatusResponse {
+                challenge: *challenge,
+                users: self.index.client_count(),
+                files: self.index.file_count(),
+            }],
+            Message::ServerDescRequest => vec![Message::ServerDescResponse {
+                name: self.config.name.clone(),
+                description: self.config.description.clone(),
+            }],
+            Message::GetServerList => vec![Message::ServerList {
+                servers: self.config.peer_servers.clone(),
+            }],
+            Message::SearchRequest { expr } => {
+                self.stats.searches += 1;
+                let results = self.search(expr);
+                vec![Message::SearchResponse { results }]
+            }
+            Message::GetSources { file_ids } => {
+                // One FoundSources answer per asked fileID, as the real
+                // server does for UDP source queries.
+                self.stats.source_asks += file_ids.len() as u64;
+                file_ids
+                    .iter()
+                    .map(|id| Message::FoundSources {
+                        file_id: *id,
+                        sources: self.index.sources_for(id, self.config.max_sources),
+                    })
+                    .collect()
+            }
+            Message::OfferFiles { files } => {
+                self.stats.published_files += files.len() as u64;
+                for f in files {
+                    let name = f.tags.filename().unwrap_or("");
+                    let size = f.tags.filesize().unwrap_or(0);
+                    let ftype = f.tags.filetype().unwrap_or("");
+                    // The announcing client is the source, with its own
+                    // id/port (entries carry them redundantly).
+                    self.index
+                        .publish(client, f.port, f.file_id, name, size, ftype);
+                }
+                Vec::new()
+            }
+            // Answers arriving at the server (should not happen in a
+            // well-formed dialog) are ignored.
+            _ => Vec::new(),
+        };
+        self.stats.answers += answers.len() as u64;
+        answers
+    }
+
+    /// Evaluates a search expression against the index: first the
+    /// keyword structure produces a bounded candidate set (pure
+    /// constraint queries are refused, as on real servers, since they
+    /// would need a full index scan), then each candidate is checked
+    /// against the complete expression semantics.
+    fn search(&self, expr: &SearchExpr) -> Vec<FileEntry> {
+        let Some(candidates) = self.eval_candidates(expr) else {
+            return Vec::new();
+        };
+        let mut slots: Vec<u32> = candidates
+            .into_iter()
+            .filter(|&slot| matches_positive(self.index.file(slot), expr))
+            .collect();
+        slots.sort_unstable();
+        slots.truncate(self.config.max_search_results);
+        slots
+            .into_iter()
+            .map(|slot| {
+                let f = self.index.file(slot);
+                // The answer lists one provider per result (real answers
+                // carry the source's id/port in the entry header) plus
+                // the metadata tags including the source count.
+                let (client_id, port) = f
+                    .sources
+                    .iter()
+                    .min_by_key(|(c, _)| **c)
+                    .map(|(c, p)| (*c, *p))
+                    .unwrap_or((ClientId(0), 0));
+                FileEntry {
+                    file_id: f.id,
+                    client_id,
+                    port,
+                    tags: TagList(vec![
+                        Tag::str(special::FILENAME, f.name.clone()),
+                        Tag::u32(special::FILESIZE, f.size),
+                        Tag::str(special::FILETYPE, f.filetype.clone()),
+                        Tag::u32(special::SOURCES, f.sources.len() as u32),
+                    ]),
+                }
+            })
+            .collect()
+    }
+
+    /// Keyword-driven candidate sets. `None` means "unconstrained by
+    /// keywords" (a pure metadata node): usable only when ANDed with a
+    /// keyword side; at the top level it is refused.
+    fn eval_candidates(&self, expr: &SearchExpr) -> Option<HashSet<u32>> {
+        match expr {
+            SearchExpr::Keyword(kw) => {
+                // Multi-word keywords (rare) must all match.
+                let mut toks = tokenize(kw).into_iter();
+                let first = toks.next()?;
+                let mut set: HashSet<u32> =
+                    self.index.files_with_keyword(&first).iter().copied().collect();
+                for t in toks {
+                    let other: HashSet<u32> =
+                        self.index.files_with_keyword(&t).iter().copied().collect();
+                    set.retain(|s| other.contains(s));
+                }
+                Some(set)
+            }
+            SearchExpr::Bool { op, left, right } => {
+                let l = self.eval_candidates(left);
+                let r = self.eval_candidates(right);
+                match op {
+                    BoolOp::And => match (l, r) {
+                        (Some(a), Some(b)) => Some(a.intersection(&b).copied().collect()),
+                        (Some(a), None) | (None, Some(a)) => Some(a),
+                        (None, None) => None,
+                    },
+                    // An OR with an unconstrained side is itself
+                    // unconstrained.
+                    BoolOp::Or => match (l, r) {
+                        (Some(a), Some(b)) => Some(a.union(&b).copied().collect()),
+                        _ => None,
+                    },
+                    // AND-NOT is bounded by its left side only.
+                    BoolOp::AndNot => l,
+                }
+            }
+            SearchExpr::MetaStr { .. } | SearchExpr::MetaNum { .. } => None,
+        }
+    }
+}
+
+/// Does `f` positively match `expr` (used for AND-NOT right side)?
+fn matches_positive(f: &crate::index::IndexedFile, expr: &SearchExpr) -> bool {
+    match expr {
+        SearchExpr::Keyword(kw) => {
+            let toks = tokenize(&f.name);
+            tokenize(kw).iter().all(|t| toks.contains(t))
+        }
+        SearchExpr::MetaStr { name, value } => match name {
+            TagName::Special(special::FILETYPE) => f.filetype.eq_ignore_ascii_case(value),
+            _ => false,
+        },
+        SearchExpr::MetaNum { name, cmp, value } => match name {
+            TagName::Special(special::FILESIZE) => match cmp {
+                NumCmp::Min => f.size >= *value,
+                NumCmp::Max => f.size <= *value,
+            },
+            _ => false,
+        },
+        SearchExpr::Bool { op, left, right } => match op {
+            BoolOp::And => matches_positive(f, left) && matches_positive(f, right),
+            BoolOp::Or => matches_positive(f, left) || matches_positive(f, right),
+            BoolOp::AndNot => matches_positive(f, left) && !matches_positive(f, right),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etw_edonkey::ids::FileId;
+
+    fn engine_with_files() -> ServerEngine {
+        let mut e = ServerEngine::default();
+        let publish = |e: &mut ServerEngine, c: u32, n: u8, name: &str, size: u32, t: &str| {
+            let entry = FileEntry {
+                file_id: FileId([n; 16]),
+                client_id: ClientId(c),
+                port: 4662,
+                tags: TagList(vec![
+                    Tag::str(special::FILENAME, name),
+                    Tag::u32(special::FILESIZE, size),
+                    Tag::str(special::FILETYPE, t),
+                ]),
+            };
+            e.handle(ClientId(c), &Message::OfferFiles { files: vec![entry] });
+        };
+        publish(&mut e, 1, 1, "blue moon live.mp3", 4_000_000, "Audio");
+        publish(&mut e, 2, 1, "blue moon live.mp3", 4_000_000, "Audio");
+        publish(&mut e, 3, 2, "blue sky.avi", 700_000_000, "Video");
+        publish(&mut e, 4, 3, "red moon.mp3", 3_000_000, "Audio");
+        e
+    }
+
+    fn search(e: &mut ServerEngine, expr: SearchExpr) -> Vec<FileEntry> {
+        match e
+            .handle(ClientId(99), &Message::SearchRequest { expr })
+            .pop()
+        {
+            Some(Message::SearchResponse { results }) => results,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn status_reports_counts() {
+        let mut e = engine_with_files();
+        let answers = e.handle(ClientId(9), &Message::StatusRequest { challenge: 5 });
+        match &answers[..] {
+            [Message::StatusResponse {
+                challenge,
+                users,
+                files,
+            }] => {
+                assert_eq!(*challenge, 5);
+                assert_eq!(*files, 3);
+                assert!(*users >= 4);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn keyword_search_finds_files() {
+        let mut e = engine_with_files();
+        let r = search(&mut e, SearchExpr::keyword("blue"));
+        assert_eq!(r.len(), 2);
+        let r = search(&mut e, SearchExpr::keyword("moon"));
+        assert_eq!(r.len(), 2);
+        let r = search(&mut e, SearchExpr::keyword("nothing"));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn and_or_not_semantics() {
+        let mut e = engine_with_files();
+        let r = search(
+            &mut e,
+            SearchExpr::and(SearchExpr::keyword("blue"), SearchExpr::keyword("moon")),
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].file_id, FileId([1; 16]));
+
+        let r = search(
+            &mut e,
+            SearchExpr::or(SearchExpr::keyword("sky"), SearchExpr::keyword("red")),
+        );
+        assert_eq!(r.len(), 2);
+
+        let r = search(
+            &mut e,
+            SearchExpr::Bool {
+                op: BoolOp::AndNot,
+                left: Box::new(SearchExpr::keyword("moon")),
+                right: Box::new(SearchExpr::keyword("red")),
+            },
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].file_id, FileId([1; 16]));
+    }
+
+    #[test]
+    fn size_constraint_filters() {
+        let mut e = engine_with_files();
+        let r = search(
+            &mut e,
+            SearchExpr::and(
+                SearchExpr::keyword("blue"),
+                SearchExpr::MetaNum {
+                    name: TagName::Special(special::FILESIZE),
+                    cmp: NumCmp::Min,
+                    value: 100_000_000,
+                },
+            ),
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].file_id, FileId([2; 16]));
+    }
+
+    #[test]
+    fn filetype_constraint_filters() {
+        let mut e = engine_with_files();
+        let r = search(
+            &mut e,
+            SearchExpr::and(
+                SearchExpr::keyword("blue"),
+                SearchExpr::MetaStr {
+                    name: TagName::Special(special::FILETYPE),
+                    value: "Audio".into(),
+                },
+            ),
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].file_id, FileId([1; 16]));
+    }
+
+    #[test]
+    fn results_carry_source_counts() {
+        use etw_edonkey::tags::TagValue;
+        let mut e = engine_with_files();
+        let r = search(&mut e, SearchExpr::keyword("live"));
+        assert_eq!(r.len(), 1);
+        match r[0].tags.get(special::SOURCES) {
+            Some(TagValue::U32(n)) => assert_eq!(*n, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn get_sources_answers_per_file() {
+        let mut e = engine_with_files();
+        let answers = e.handle(
+            ClientId(9),
+            &Message::GetSources {
+                file_ids: vec![FileId([1; 16]), FileId([0xEE; 16])],
+            },
+        );
+        assert_eq!(answers.len(), 2);
+        match &answers[0] {
+            Message::FoundSources { sources, .. } => assert_eq!(sources.len(), 2),
+            other => panic!("{other:?}"),
+        }
+        match &answers[1] {
+            Message::FoundSources { sources, .. } => assert!(sources.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn management_answers() {
+        let mut e = ServerEngine::default();
+        assert!(matches!(
+            e.handle(ClientId(1), &Message::ServerDescRequest)[..],
+            [Message::ServerDescResponse { .. }]
+        ));
+        match &e.handle(ClientId(1), &Message::GetServerList)[..] {
+            [Message::ServerList { servers }] => assert_eq!(servers.len(), 8),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn result_cap_respected() {
+        let mut e = ServerEngine::new(EngineConfig {
+            max_search_results: 3,
+            ..EngineConfig::default()
+        });
+        for i in 0..10u8 {
+            let entry = FileEntry {
+                file_id: FileId([i; 16]),
+                client_id: ClientId(1),
+                port: 4662,
+                tags: TagList(vec![
+                    Tag::str(special::FILENAME, format!("common name {i}.mp3")),
+                    Tag::u32(special::FILESIZE, 1000),
+                    Tag::str(special::FILETYPE, "Audio"),
+                ]),
+            };
+            e.handle(ClientId(1), &Message::OfferFiles { files: vec![entry] });
+        }
+        let r = match e
+            .handle(
+                ClientId(2),
+                &Message::SearchRequest {
+                    expr: SearchExpr::keyword("common"),
+                },
+            )
+            .pop()
+        {
+            Some(Message::SearchResponse { results }) => results,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut e = engine_with_files();
+        let before = e.stats();
+        assert_eq!(before.published_files, 4);
+        e.handle(ClientId(9), &Message::StatusRequest { challenge: 0 });
+        e.handle(
+            ClientId(9),
+            &Message::GetSources {
+                file_ids: vec![FileId([1; 16])],
+            },
+        );
+        let s = e.stats();
+        assert_eq!(s.queries, before.queries + 2);
+        assert_eq!(s.source_asks, 1);
+    }
+
+    #[test]
+    fn answers_directed_at_server_are_ignored() {
+        let mut e = ServerEngine::default();
+        let out = e.handle(
+            ClientId(1),
+            &Message::StatusResponse {
+                challenge: 0,
+                users: 0,
+                files: 0,
+            },
+        );
+        assert!(out.is_empty());
+    }
+}

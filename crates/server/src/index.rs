@@ -1,0 +1,266 @@
+//! The directory server's index (paper §2.1).
+//!
+//! > "These servers index files and users, and their main role is to
+//! > answer to searches for files (based on metadata like filename, size
+//! > or filetype for instance), and searches for providers (called
+//! > sources) of given files."
+//!
+//! [`ServerIndex`] maintains exactly those two tables: a file table
+//! (fileID → metadata + known sources) and an inverted keyword index over
+//! file names for metadata search.
+
+use etw_edonkey::ids::{ClientId, FileId};
+use etw_edonkey::messages::Source;
+use std::collections::{HashMap, HashSet};
+
+/// One indexed file.
+#[derive(Clone, Debug)]
+pub struct IndexedFile {
+    /// File identifier.
+    pub id: FileId,
+    /// Name from the first announcement (servers keep one canonical
+    /// name; later announces with other names are common but ignored
+    /// here).
+    pub name: String,
+    /// Size in bytes.
+    pub size: u32,
+    /// Filetype tag value.
+    pub filetype: String,
+    /// Known providers (clientID → announced port).
+    pub sources: HashMap<ClientId, u16>,
+}
+
+/// The server's in-memory index.
+pub struct ServerIndex {
+    files: Vec<IndexedFile>,
+    by_id: HashMap<FileId, u32>,
+    /// Inverted index: lowercase keyword → file slots.
+    keywords: HashMap<String, Vec<u32>>,
+    /// Clients that have announced or queried (the "users" the status
+    /// answer reports).
+    clients_seen: HashSet<ClientId>,
+    /// Cap on sources remembered per file (real servers bound this).
+    max_sources_per_file: usize,
+}
+
+impl Default for ServerIndex {
+    fn default() -> Self {
+        Self::new(500)
+    }
+}
+
+impl ServerIndex {
+    /// Creates an index remembering at most `max_sources_per_file`
+    /// providers per file.
+    pub fn new(max_sources_per_file: usize) -> Self {
+        ServerIndex {
+            files: Vec::new(),
+            by_id: HashMap::new(),
+            keywords: HashMap::new(),
+            clients_seen: HashSet::new(),
+            max_sources_per_file,
+        }
+    }
+
+    /// Number of distinct files indexed.
+    pub fn file_count(&self) -> u32 {
+        self.files.len() as u32
+    }
+
+    /// Number of distinct clients seen.
+    pub fn client_count(&self) -> u32 {
+        self.clients_seen.len() as u32
+    }
+
+    /// Records that a client interacted with the server.
+    pub fn touch_client(&mut self, client: ClientId) {
+        self.clients_seen.insert(client);
+    }
+
+    /// Indexes one announced file from `client`.
+    pub fn publish(
+        &mut self,
+        client: ClientId,
+        port: u16,
+        id: FileId,
+        name: &str,
+        size: u32,
+        filetype: &str,
+    ) {
+        self.touch_client(client);
+        let slot = match self.by_id.get(&id) {
+            Some(&slot) => slot,
+            None => {
+                let slot = self.files.len() as u32;
+                self.files.push(IndexedFile {
+                    id,
+                    name: name.to_owned(),
+                    size,
+                    filetype: filetype.to_owned(),
+                    sources: HashMap::new(),
+                });
+                self.by_id.insert(id, slot);
+                for kw in tokenize(name) {
+                    self.keywords.entry(kw).or_default().push(slot);
+                }
+                slot
+            }
+        };
+        let file = &mut self.files[slot as usize];
+        if file.sources.len() < self.max_sources_per_file
+            || file.sources.contains_key(&client)
+        {
+            file.sources.insert(client, port);
+        }
+    }
+
+    /// Files whose name contains keyword `kw` (exact token match,
+    /// lowercase).
+    pub fn files_with_keyword(&self, kw: &str) -> &[u32] {
+        self.keywords
+            .get(&kw.to_lowercase())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// File by slot.
+    pub fn file(&self, slot: u32) -> &IndexedFile {
+        &self.files[slot as usize]
+    }
+
+    /// File slot by ID.
+    pub fn slot_of(&self, id: &FileId) -> Option<u32> {
+        self.by_id.get(id).copied()
+    }
+
+    /// Up to `max` sources for `id` (arbitrary but deterministic order:
+    /// sorted by clientID, as stable output makes answers reproducible).
+    pub fn sources_for(&self, id: &FileId, max: usize) -> Vec<Source> {
+        let Some(&slot) = self.by_id.get(id) else {
+            return Vec::new();
+        };
+        let file = &self.files[slot as usize];
+        let mut srcs: Vec<Source> = file
+            .sources
+            .iter()
+            .map(|(&client_id, &port)| Source { client_id, port })
+            .collect();
+        srcs.sort_by_key(|s| s.client_id);
+        srcs.truncate(max);
+        srcs
+    }
+}
+
+/// Splits a filename into lowercase keyword tokens (alphanumeric runs),
+/// the same tokenisation clients use when building search queries.
+pub fn tokenize(name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in name.chars() {
+        if c.is_alphanumeric() {
+            cur.extend(c.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u8) -> FileId {
+        FileId([n; 16])
+    }
+
+    #[test]
+    fn tokenize_splits_and_lowercases() {
+        assert_eq!(
+            tokenize("Live Concert (2004) vol2.avi"),
+            vec!["live", "concert", "2004", "vol2", "avi"]
+        );
+        assert_eq!(tokenize(""), Vec::<String>::new());
+        assert_eq!(tokenize("---"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn publish_indexes_file_and_keywords() {
+        let mut idx = ServerIndex::default();
+        idx.publish(ClientId(1), 4662, id(1), "blue album.mp3", 5_000_000, "Audio");
+        assert_eq!(idx.file_count(), 1);
+        assert_eq!(idx.client_count(), 1);
+        assert_eq!(idx.files_with_keyword("blue").len(), 1);
+        assert_eq!(idx.files_with_keyword("album").len(), 1);
+        assert_eq!(idx.files_with_keyword("ALBUM").len(), 1);
+        assert!(idx.files_with_keyword("missing").is_empty());
+    }
+
+    #[test]
+    fn multiple_providers_accumulate() {
+        let mut idx = ServerIndex::default();
+        for c in 1..=5u32 {
+            idx.publish(ClientId(c), 4662, id(9), "x y.mp3", 1000, "Audio");
+        }
+        let sources = idx.sources_for(&id(9), 100);
+        assert_eq!(sources.len(), 5);
+        assert_eq!(idx.file_count(), 1);
+        assert_eq!(idx.client_count(), 5);
+        // Sorted by clientID.
+        for w in sources.windows(2) {
+            assert!(w[0].client_id < w[1].client_id);
+        }
+    }
+
+    #[test]
+    fn duplicate_announce_idempotent() {
+        let mut idx = ServerIndex::default();
+        idx.publish(ClientId(1), 4662, id(2), "a b.mp3", 10, "Audio");
+        idx.publish(ClientId(1), 4662, id(2), "a b.mp3", 10, "Audio");
+        assert_eq!(idx.sources_for(&id(2), 10).len(), 1);
+        // Keyword postings are not duplicated either.
+        assert_eq!(idx.files_with_keyword("a").len(), 1);
+    }
+
+    #[test]
+    fn sources_capped() {
+        let mut idx = ServerIndex::new(3);
+        for c in 1..=10u32 {
+            idx.publish(ClientId(c), 4662, id(7), "pop song.mp3", 10, "Audio");
+        }
+        assert_eq!(idx.sources_for(&id(7), 100).len(), 3);
+        // Existing provider can refresh its port though.
+        idx.publish(ClientId(1), 5000, id(7), "pop song.mp3", 10, "Audio");
+        let srcs = idx.sources_for(&id(7), 100);
+        assert!(srcs.iter().any(|s| s.client_id == ClientId(1) && s.port == 5000));
+    }
+
+    #[test]
+    fn sources_for_unknown_file_empty() {
+        let idx = ServerIndex::default();
+        assert!(idx.sources_for(&id(1), 10).is_empty());
+    }
+
+    #[test]
+    fn max_answer_truncates() {
+        let mut idx = ServerIndex::default();
+        for c in 1..=50u32 {
+            idx.publish(ClientId(c), 4662, id(3), "f.mp3", 1, "Audio");
+        }
+        assert_eq!(idx.sources_for(&id(3), 7).len(), 7);
+    }
+
+    #[test]
+    fn canonical_name_is_first_announced() {
+        let mut idx = ServerIndex::default();
+        idx.publish(ClientId(1), 1, id(4), "first name.mp3", 1, "Audio");
+        idx.publish(ClientId(2), 1, id(4), "other name.mp3", 1, "Audio");
+        let slot = idx.slot_of(&id(4)).unwrap();
+        assert_eq!(idx.file(slot).name, "first name.mp3");
+        // Keywords of the second name are not indexed.
+        assert!(idx.files_with_keyword("other").is_empty());
+    }
+}

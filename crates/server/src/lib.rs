@@ -1,0 +1,49 @@
+//! # etw-server — the eDonkey directory server simulator
+//!
+//! The paper captured traffic *at* a directory server; the server itself
+//! is therefore a substrate this reproduction must provide. It "indexes
+//! files and users" and answers file searches (by metadata) and source
+//! searches (by fileID) — paper §2.1.
+//!
+//! * [`index`] — the file/source tables and the inverted keyword index;
+//! * [`engine`] — query handling: one client message in, the server's
+//!   answer messages out.
+//!
+//! ## Example
+//!
+//! ```
+//! use etw_edonkey::{ClientId, FileId, Message, SearchExpr};
+//! use etw_edonkey::messages::FileEntry;
+//! use etw_edonkey::tags::{special, Tag, TagList};
+//! use etw_server::engine::ServerEngine;
+//!
+//! let mut server = ServerEngine::default();
+//! // A client announces a file…
+//! let entry = FileEntry {
+//!     file_id: FileId([1; 16]),
+//!     client_id: ClientId(42),
+//!     port: 4662,
+//!     tags: TagList(vec![
+//!         Tag::str(special::FILENAME, "sunrise acoustic.mp3"),
+//!         Tag::u32(special::FILESIZE, 4_200_000),
+//!         Tag::str(special::FILETYPE, "Audio"),
+//!     ]),
+//! };
+//! server.handle(ClientId(42), &Message::OfferFiles { files: vec![entry] });
+//! // …and another finds it by keyword.
+//! let answers = server.handle(ClientId(7), &Message::SearchRequest {
+//!     expr: SearchExpr::keyword("sunrise"),
+//! });
+//! match &answers[..] {
+//!     [Message::SearchResponse { results }] => assert_eq!(results.len(), 1),
+//!     _ => unreachable!(),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod index;
+
+pub use engine::{EngineConfig, EngineStats, ServerEngine};
+pub use index::{IndexedFile, ServerIndex};

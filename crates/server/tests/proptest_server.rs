@@ -1,0 +1,200 @@
+//! Property tests for the directory server: answers must be sound
+//! (every result actually satisfies the query) and consistent with the
+//! published state.
+
+use etw_edonkey::ids::{ClientId, FileId};
+use etw_edonkey::messages::{FileEntry, Message};
+use etw_edonkey::search::{NumCmp, SearchExpr};
+use etw_edonkey::tags::{special, Tag, TagList, TagName};
+use etw_server::engine::{EngineConfig, ServerEngine};
+use etw_server::index::tokenize;
+use proptest::prelude::*;
+
+/// A published file description.
+#[derive(Clone, Debug)]
+struct Pub {
+    id: u8,
+    client: u32,
+    words: Vec<String>,
+    size: u32,
+    audio: bool,
+}
+
+fn arb_pub() -> impl Strategy<Value = Pub> {
+    (
+        any::<u8>(),
+        1u32..500,
+        prop::collection::vec(prop_oneof![
+            Just("alpha"), Just("beta"), Just("gamma"), Just("delta"), Just("omega")
+        ], 1..4),
+        1u32..2_000_000_000,
+        any::<bool>(),
+    )
+        .prop_map(|(id, client, words, size, audio)| Pub {
+            id,
+            client,
+            words: words.into_iter().map(str::to_owned).collect(),
+            size,
+            audio,
+        })
+}
+
+fn publish_all(pubs: &[Pub]) -> ServerEngine {
+    let mut server = ServerEngine::new(EngineConfig {
+        max_search_results: 1_000, // effectively uncapped for soundness checks
+        ..EngineConfig::default()
+    });
+    for p in pubs {
+        let name = format!("{}.{}", p.words.join(" "), if p.audio { "mp3" } else { "avi" });
+        let entry = FileEntry {
+            file_id: FileId([p.id; 16]),
+            client_id: ClientId(p.client),
+            port: 4662,
+            tags: TagList(vec![
+                Tag::str(special::FILENAME, name),
+                Tag::u32(special::FILESIZE, p.size),
+                Tag::str(special::FILETYPE, if p.audio { "Audio" } else { "Video" }),
+            ]),
+        };
+        server.handle(ClientId(p.client), &Message::OfferFiles { files: vec![entry] });
+    }
+    server
+}
+
+fn search(server: &mut ServerEngine, expr: SearchExpr) -> Vec<FileEntry> {
+    match server
+        .handle(ClientId(0xFFFF), &Message::SearchRequest { expr })
+        .pop()
+    {
+        Some(Message::SearchResponse { results }) => results,
+        other => panic!("{other:?}"),
+    }
+}
+
+proptest! {
+    /// Soundness + completeness of single-keyword search: the result set
+    /// is exactly the set of indexed files whose *canonical* name (first
+    /// announcement wins) contains the keyword token.
+    #[test]
+    fn keyword_search_exact(pubs in prop::collection::vec(arb_pub(), 0..40),
+                            kw in prop_oneof![Just("alpha"), Just("omega"), Just("missing")]) {
+        let mut server = publish_all(&pubs);
+        let results = search(&mut server, SearchExpr::keyword(kw));
+        // Expected: distinct file ids whose canonical (first-announced)
+        // name contains the token.
+        let mut seen = std::collections::HashSet::new();
+        let mut expected = std::collections::HashSet::new();
+        for p in &pubs {
+            if seen.insert(p.id) && p.words.iter().any(|w| w == kw) {
+                expected.insert(FileId([p.id; 16]));
+            }
+        }
+        let got: std::collections::HashSet<FileId> =
+            results.iter().map(|r| r.file_id).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Every result of an AND query matches BOTH keywords.
+    #[test]
+    fn and_results_sound(pubs in prop::collection::vec(arb_pub(), 0..40)) {
+        let mut server = publish_all(&pubs);
+        let results = search(
+            &mut server,
+            SearchExpr::and(SearchExpr::keyword("alpha"), SearchExpr::keyword("beta")),
+        );
+        for r in &results {
+            let name = r.tags.filename().unwrap();
+            let toks = tokenize(name);
+            prop_assert!(toks.iter().any(|t| t == "alpha"), "{name}");
+            prop_assert!(toks.iter().any(|t| t == "beta"), "{name}");
+        }
+    }
+
+    /// Size constraints are honoured exactly.
+    #[test]
+    fn size_constraint_sound(pubs in prop::collection::vec(arb_pub(), 1..40),
+                             bound in 1u32..2_000_000_000) {
+        let mut server = publish_all(&pubs);
+        let results = search(
+            &mut server,
+            SearchExpr::and(
+                SearchExpr::keyword("alpha"),
+                SearchExpr::MetaNum {
+                    name: TagName::Special(special::FILESIZE),
+                    cmp: NumCmp::Min,
+                    value: bound,
+                },
+            ),
+        );
+        for r in &results {
+            prop_assert!(r.tags.filesize().unwrap() >= bound);
+        }
+    }
+
+    /// Source lists contain exactly the distinct announcing clients
+    /// (up to the answer cap) and the status counters add up.
+    #[test]
+    fn sources_match_publishers(pubs in prop::collection::vec(arb_pub(), 1..60)) {
+        let mut server = publish_all(&pubs);
+        // Pick the first published id.
+        let target = pubs[0].id;
+        let expected: std::collections::HashSet<u32> = pubs
+            .iter()
+            .filter(|p| p.id == target)
+            .map(|p| p.client)
+            .collect();
+        let answers = server.handle(
+            ClientId(0xFFFF),
+            &Message::GetSources { file_ids: vec![FileId([target; 16])] },
+        );
+        match &answers[..] {
+            [Message::FoundSources { sources, .. }] => {
+                let got: std::collections::HashSet<u32> =
+                    sources.iter().map(|s| s.client_id.raw()).collect();
+                if expected.len() <= 50 {
+                    prop_assert_eq!(got, expected);
+                } else {
+                    prop_assert_eq!(got.len(), 50);
+                    prop_assert!(got.is_subset(&expected));
+                }
+            }
+            other => prop_assert!(false, "{:?}", other),
+        }
+        // Status counters: distinct files and at least the publishing
+        // clients.
+        let distinct_files: std::collections::HashSet<u8> =
+            pubs.iter().map(|p| p.id).collect();
+        match server
+            .handle(ClientId(0xFFFF), &Message::StatusRequest { challenge: 0 })
+            .pop()
+        {
+            Some(Message::StatusResponse { files, users, .. }) => {
+                prop_assert_eq!(files as usize, distinct_files.len());
+                let distinct_clients: std::collections::HashSet<u32> =
+                    pubs.iter().map(|p| p.client).collect();
+                // +1 for the querying client 0xFFFF itself.
+                prop_assert!(users as usize >= distinct_clients.len());
+            }
+            other => prop_assert!(false, "{:?}", other),
+        }
+    }
+
+    /// AND-NOT never returns a file matching the negated keyword.
+    #[test]
+    fn andnot_excludes(pubs in prop::collection::vec(arb_pub(), 0..40)) {
+        let mut server = publish_all(&pubs);
+        let results = search(
+            &mut server,
+            SearchExpr::Bool {
+                op: etw_edonkey::search::BoolOp::AndNot,
+                left: Box::new(SearchExpr::keyword("alpha")),
+                right: Box::new(SearchExpr::keyword("beta")),
+            },
+        );
+        for r in &results {
+            let toks = tokenize(r.tags.filename().unwrap());
+            prop_assert!(toks.iter().any(|t| t == "alpha"));
+            prop_assert!(!toks.iter().any(|t| t == "beta"));
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! The synthetic file population.
+//!
+//! The catalog holds every *legitimate* file that exists in the simulated
+//! network: its fileID (an MD4 digest, as required by the anonymiser's
+//! uniformity assumption), name, size, kind, and two popularity ranks —
+//! one for *providing* (how many clients share it → Fig. 4) and one for
+//! *seeking* (how many clients search for it → Fig. 5). The two rankings
+//! are correlated but not identical, as with real content (newly released
+//! material is searched more than shared).
+
+use crate::filesizes::{FileKind, FileSizeModel};
+use crate::zipf::Zipf;
+use etw_edonkey::ids::FileId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A word pool for generating file names and the search keywords clients
+/// derive from them. Real pools are huge; 512 stems keeps names diverse
+/// enough for realistic keyword collision rates at simulation scale.
+fn keyword_pool() -> Vec<String> {
+    let stems = [
+        "live", "album", "remix", "concert", "studio", "session", "acoustic", "deluxe",
+        "edition", "remaster", "vol", "part", "best", "hits", "collection", "anthology",
+        "blue", "red", "black", "white", "golden", "silver", "midnight", "summer",
+        "winter", "spring", "autumn", "night", "day", "dawn", "dusk", "storm",
+        "river", "mountain", "ocean", "desert", "forest", "city", "street", "road",
+        "heart", "soul", "mind", "dream", "shadow", "light", "fire", "ice",
+        "king", "queen", "prince", "knight", "dragon", "wolf", "eagle", "lion",
+        "star", "moon", "sun", "planet", "galaxy", "cosmos", "nebula", "comet",
+    ];
+    let mut pool = Vec::with_capacity(stems.len() * 8);
+    for s in &stems {
+        pool.push((*s).to_owned());
+        for i in 1..8 {
+            pool.push(format!("{s}{i}"));
+        }
+    }
+    pool
+}
+
+/// One synthetic file.
+#[derive(Clone, Debug)]
+pub struct CatalogFile {
+    /// MD4-derived fileID.
+    pub id: FileId,
+    /// File name (keywords + extension).
+    pub name: String,
+    /// Size in bytes.
+    pub size: u32,
+    /// Broad content class.
+    pub kind: FileKind,
+    /// Keywords appearing in the name (lowercase).
+    pub keywords: Vec<String>,
+}
+
+/// The file population plus its popularity structure.
+pub struct Catalog {
+    files: Vec<CatalogFile>,
+    /// Zipf over *provider* popularity: rank k of this distribution maps
+    /// to file index `provide_perm[k]`.
+    provide_zipf: Zipf,
+    provide_perm: Vec<u32>,
+    /// Zipf over *search* popularity with its own permutation.
+    seek_zipf: Zipf,
+    seek_perm: Vec<u32>,
+}
+
+/// Parameters for catalog construction.
+#[derive(Clone, Debug)]
+pub struct CatalogParams {
+    /// Number of legitimate files.
+    pub n_files: usize,
+    /// Zipf exponent for provider popularity (Fig. 4 slope; ~1 gives the
+    /// paper-like decay).
+    pub provide_exponent: f64,
+    /// Zipf exponent for search popularity (Fig. 5 slope).
+    pub seek_exponent: f64,
+    /// Correlation knob in `[0,1]`: probability that a file keeps the same
+    /// rank in both rankings.
+    pub rank_correlation: f64,
+}
+
+impl Default for CatalogParams {
+    fn default() -> Self {
+        CatalogParams {
+            n_files: 50_000,
+            provide_exponent: 0.95,
+            seek_exponent: 1.05,
+            rank_correlation: 0.6,
+        }
+    }
+}
+
+impl Catalog {
+    /// Builds a deterministic catalog.
+    pub fn generate(params: &CatalogParams, seed: u64) -> Self {
+        assert!(params.n_files > 0);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6361_7461); // "cata"
+        let pool = keyword_pool();
+        let size_model = FileSizeModel::paper_like();
+        let mut files = Vec::with_capacity(params.n_files);
+        for i in 0..params.n_files {
+            let (size, kind) = size_model.sample(&mut rng);
+            let n_kw = rng.gen_range(2..=4);
+            let keywords: Vec<String> = (0..n_kw)
+                .map(|_| pool[rng.gen_range(0..pool.len())].clone())
+                .collect();
+            let name = format!("{}.{}", keywords.join(" "), kind.extension());
+            files.push(CatalogFile {
+                id: FileId::of_identity(i as u64),
+                name,
+                size,
+                kind,
+                keywords,
+            });
+        }
+        // Provider ranking: a random permutation of files.
+        let mut provide_perm: Vec<u32> = (0..params.n_files as u32).collect();
+        shuffle(&mut provide_perm, &mut rng);
+        // Seek ranking: correlated with the provider ranking — keep rank
+        // with probability `rank_correlation`, else move to a random slot.
+        let mut seek_perm = provide_perm.clone();
+        for k in 0..seek_perm.len() {
+            if !rng.gen_bool(params.rank_correlation) {
+                let j = rng.gen_range(0..seek_perm.len());
+                seek_perm.swap(k, j);
+            }
+        }
+        Catalog {
+            files,
+            provide_zipf: Zipf::new(params.n_files, params.provide_exponent),
+            provide_perm,
+            seek_zipf: Zipf::new(params.n_files, params.seek_exponent),
+            seek_perm,
+        }
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// File by index.
+    pub fn file(&self, idx: usize) -> &CatalogFile {
+        &self.files[idx]
+    }
+
+    /// All files.
+    pub fn files(&self) -> &[CatalogFile] {
+        &self.files
+    }
+
+    /// Draws a file index with provider-popularity weighting (used when a
+    /// client picks which files it shares).
+    pub fn sample_provided<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.provide_perm[self.provide_zipf.sample(rng)] as usize
+    }
+
+    /// Draws a file index with search-popularity weighting (used when a
+    /// client picks what to look for).
+    pub fn sample_sought<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.seek_perm[self.seek_zipf.sample(rng)] as usize
+    }
+}
+
+fn shuffle<R: Rng + ?Sized>(v: &mut [u32], rng: &mut R) {
+    for i in (1..v.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn small() -> Catalog {
+        Catalog::generate(
+            &CatalogParams {
+                n_files: 2000,
+                ..CatalogParams::default()
+            },
+            7,
+        )
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Catalog::generate(&CatalogParams::default(), 3);
+        let b = Catalog::generate(&CatalogParams::default(), 3);
+        assert_eq!(a.len(), b.len());
+        for i in [0usize, 100, 4999] {
+            assert_eq!(a.file(i).id, b.file(i).id);
+            assert_eq!(a.file(i).name, b.file(i).name);
+            assert_eq!(a.file(i).size, b.file(i).size);
+        }
+    }
+
+    #[test]
+    fn file_ids_unique() {
+        let c = small();
+        let ids: HashSet<_> = c.files().iter().map(|f| f.id).collect();
+        assert_eq!(ids.len(), c.len());
+    }
+
+    #[test]
+    fn names_contain_keywords_and_extension() {
+        let c = small();
+        for f in c.files().iter().take(200) {
+            for kw in &f.keywords {
+                assert!(f.name.contains(kw.as_str()), "{} missing {kw}", f.name);
+            }
+            assert!(f.name.ends_with(f.kind.extension()));
+        }
+    }
+
+    #[test]
+    fn provider_sampling_is_skewed() {
+        let c = small();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0u32; c.len()];
+        for _ in 0..50_000 {
+            counts[c.sample_provided(&mut rng)] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let nonzero = counts.iter().filter(|&&c| c > 0).count();
+        // Heavy head…
+        assert!(max > 2000, "max {max}");
+        // …and a long populated tail.
+        assert!(nonzero > 700, "nonzero {nonzero}");
+    }
+
+    #[test]
+    fn seek_and_provide_rankings_differ_but_correlate() {
+        let c = small();
+        let mut rng = StdRng::seed_from_u64(2);
+        let top_provided: HashSet<usize> =
+            (0..2000).map(|_| c.sample_provided(&mut rng)).collect();
+        let top_sought: HashSet<usize> = (0..2000).map(|_| c.sample_sought(&mut rng)).collect();
+        let overlap = top_provided.intersection(&top_sought).count();
+        assert!(overlap > 0, "rankings should correlate");
+        assert_ne!(top_provided, top_sought, "rankings should differ");
+    }
+
+    #[test]
+    fn sampling_covers_popular_head_consistently() {
+        // The most-provided file must be hit very often.
+        let c = small();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(c.sample_provided(&mut rng)).or_insert(0u32) += 1;
+        }
+        let best = counts.values().max().copied().unwrap();
+        assert!(best > 1000, "head not heavy enough: {best}");
+    }
+}

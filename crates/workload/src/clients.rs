@@ -1,0 +1,392 @@
+//! Client behaviour classes (paper §3.2).
+//!
+//! The paper's per-client distributions are emphatically *not* simple
+//! power laws: Fig. 6 shows "an unexpected large number of clients
+//! providing a few thousands of files" (client-software limits on shared
+//! directories), and Fig. 7 shows "a clear peak for the number of peers
+//! asking for 52 files" (a query cap in a widely used client) on top of a
+//! multi-regime decay that suggests "some clients scanning the network".
+//! The class mix below generates exactly those artefacts:
+//!
+//! | class | models | figure artefact |
+//! |---|---|---|
+//! | `Casual` | ordinary users | the bulk at small x (Figs. 6–7) |
+//! | `Heavy` | power users | the heavy tails |
+//! | `Scanner` | crawlers/monitors | Fig. 7's wide high-x regime |
+//! | `CappedSearcher` | the 52-query client software | Fig. 7's spike at 52 |
+//! | `BulkSharer` | share-directory-limited clients | Fig. 6's bump at a few thousand |
+//! | `Polluter` | pollution injectors | Fig. 3's buckets 0/256 |
+
+use crate::zipf::BoundedPareto;
+use etw_edonkey::ids::ClientId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The famous query cap observed in the paper (Fig. 7): a peak of clients
+/// asking for exactly 52 files.
+pub const CAPPED_SEARCH_COUNT: u32 = 52;
+
+/// Share-directory limits producing Fig. 6's "few thousands" bump.
+pub const SHARE_LIMITS: [u32; 2] = [1_000, 2_000];
+
+/// Behaviour class of a synthetic client.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum ClientClass {
+    /// Ordinary user: a handful of shares and searches.
+    Casual,
+    /// Power user: hundreds-to-thousands of shares and searches.
+    Heavy,
+    /// Network scanner: asks about very many files, shares almost none.
+    Scanner,
+    /// Client software capped at exactly 52 distinct file queries.
+    CappedSearcher,
+    /// Client whose shared-directory size hits a software limit.
+    BulkSharer,
+    /// Pollution injector announcing forged fileIDs.
+    Polluter,
+}
+
+impl ClientClass {
+    /// All classes.
+    pub const ALL: [ClientClass; 6] = [
+        ClientClass::Casual,
+        ClientClass::Heavy,
+        ClientClass::Scanner,
+        ClientClass::CappedSearcher,
+        ClientClass::BulkSharer,
+        ClientClass::Polluter,
+    ];
+}
+
+/// Class mixture (probabilities; normalised at sampling time).
+#[derive(Clone, Copy, Debug)]
+pub struct ClassMix {
+    /// Weight of [`ClientClass::Casual`].
+    pub casual: f64,
+    /// Weight of [`ClientClass::Heavy`].
+    pub heavy: f64,
+    /// Weight of [`ClientClass::Scanner`].
+    pub scanner: f64,
+    /// Weight of [`ClientClass::CappedSearcher`].
+    pub capped: f64,
+    /// Weight of [`ClientClass::BulkSharer`].
+    pub bulk: f64,
+    /// Weight of [`ClientClass::Polluter`].
+    pub polluter: f64,
+}
+
+impl ClassMix {
+    /// Mixture tuned to reproduce the paper's figure shapes.
+    pub fn paper_like() -> Self {
+        ClassMix {
+            casual: 0.62,
+            heavy: 0.17,
+            scanner: 0.015,
+            capped: 0.12,
+            bulk: 0.055,
+            polluter: 0.02,
+        }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> ClientClass {
+        let total =
+            self.casual + self.heavy + self.scanner + self.capped + self.bulk + self.polluter;
+        let mut u = rng.gen_range(0.0..total);
+        for (w, c) in [
+            (self.casual, ClientClass::Casual),
+            (self.heavy, ClientClass::Heavy),
+            (self.scanner, ClientClass::Scanner),
+            (self.capped, ClientClass::CappedSearcher),
+            (self.bulk, ClientClass::BulkSharer),
+            (self.polluter, ClientClass::Polluter),
+        ] {
+            if u < w {
+                return c;
+            }
+            u -= w;
+        }
+        ClientClass::Casual
+    }
+}
+
+/// Static profile of one synthetic client.
+#[derive(Clone, Debug)]
+pub struct ClientProfile {
+    /// Wire clientID (drawn inside the configured ID space).
+    pub id: ClientId,
+    /// Behaviour class.
+    pub class: ClientClass,
+    /// TCP port announced to the server.
+    pub port: u16,
+    /// Legitimate files this client will announce.
+    pub n_shared: u32,
+    /// Forged fileIDs this client will announce (polluters only).
+    pub n_forged: u32,
+    /// Distinct files this client will ask about.
+    pub n_asks: u32,
+}
+
+/// Population generation parameters.
+#[derive(Clone, Debug)]
+pub struct PopulationParams {
+    /// Number of clients.
+    pub n_clients: usize,
+    /// clientIDs are drawn uniformly from `[0, 2^id_space_bits)`. Must
+    /// match the anonymiser's direct-array width.
+    pub id_space_bits: u32,
+    /// Class mixture.
+    pub mix: ClassMix,
+    /// Upper bound on a scanner's ask count (scaled to population size;
+    /// the paper's scanners reach ~1e5 asks at 90 M-client scale).
+    pub scanner_max_asks: u32,
+    /// Upper bound on a heavy client's share count.
+    pub heavy_max_shared: u32,
+}
+
+impl Default for PopulationParams {
+    fn default() -> Self {
+        PopulationParams {
+            n_clients: 10_000,
+            id_space_bits: 24,
+            mix: ClassMix::paper_like(),
+            scanner_max_asks: 20_000,
+            heavy_max_shared: 4_000,
+        }
+    }
+}
+
+/// The full synthetic client population.
+pub struct Population {
+    clients: Vec<ClientProfile>,
+}
+
+impl Population {
+    /// Generates a deterministic population.
+    pub fn generate(params: &PopulationParams, seed: u64) -> Self {
+        assert!(params.n_clients > 0);
+        assert!((1..=32).contains(&params.id_space_bits));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x706f_7075); // "popu"
+        let space = 1u64 << params.id_space_bits;
+        let mut used = std::collections::HashSet::with_capacity(params.n_clients);
+        let clients = (0..params.n_clients)
+            .map(|_| {
+                // Distinct wire IDs: real clients at one server have
+                // distinct clientIDs at any given time.
+                let id = loop {
+                    let candidate = rng.gen_range(0..space) as u32;
+                    if used.insert(candidate) {
+                        break ClientId(candidate);
+                    }
+                };
+                let class = params.mix.sample(&mut rng);
+                Self::profile(id, class, params, &mut rng)
+            })
+            .collect();
+        Population { clients }
+    }
+
+    fn profile(
+        id: ClientId,
+        class: ClientClass,
+        params: &PopulationParams,
+        rng: &mut StdRng,
+    ) -> ClientProfile {
+        let port = 4660 + rng.gen_range(0..16) as u16;
+        let (n_shared, n_forged, n_asks) = match class {
+            ClientClass::Casual => {
+                let shared = if rng.gen_bool(0.35) {
+                    0 // pure leechers
+                } else {
+                    BoundedPareto::new(1, 60, 1.4).sample(rng) as u32
+                };
+                let asks = BoundedPareto::new(1, 120, 1.25).sample(rng) as u32;
+                (shared, 0, asks)
+            }
+            ClientClass::Heavy => {
+                let shared =
+                    BoundedPareto::new(20, params.heavy_max_shared as u64, 1.05).sample(rng) as u32;
+                let asks = BoundedPareto::new(10, 3_000, 1.05).sample(rng) as u32;
+                (shared, 0, asks)
+            }
+            ClientClass::Scanner => {
+                // Scanners ask about orders of magnitude more files than
+                // anyone else; scale the floor with the configured cap so
+                // small test configurations stay valid.
+                let hi = params.scanner_max_asks.max(100) as u64;
+                let lo = (hi / 10).clamp(50, hi);
+                let asks = BoundedPareto::new(lo, hi, 0.9).sample(rng) as u32;
+                (rng.gen_range(0..5), 0, asks)
+            }
+            ClientClass::CappedSearcher => {
+                let shared = if rng.gen_bool(0.5) {
+                    0
+                } else {
+                    BoundedPareto::new(1, 40, 1.4).sample(rng) as u32
+                };
+                (shared, 0, CAPPED_SEARCH_COUNT)
+            }
+            ClientClass::BulkSharer => {
+                let limit = SHARE_LIMITS[rng.gen_range(0..SHARE_LIMITS.len())];
+                // Most limited clients sit exactly at the cap; some just
+                // below (directories slightly under the limit).
+                let shared = if rng.gen_bool(0.7) {
+                    limit
+                } else {
+                    limit - rng.gen_range(1..50)
+                };
+                let asks = BoundedPareto::new(1, 200, 1.2).sample(rng) as u32;
+                (shared, 0, asks)
+            }
+            ClientClass::Polluter => {
+                let forged = BoundedPareto::new(200, 5_000, 0.8).sample(rng) as u32;
+                (0, forged, rng.gen_range(0..10))
+            }
+        };
+        ClientProfile {
+            id,
+            class,
+            port,
+            n_shared,
+            n_forged,
+            n_asks,
+        }
+    }
+
+    /// All client profiles.
+    pub fn clients(&self) -> &[ClientProfile] {
+        &self.clients
+    }
+
+    /// Number of clients.
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// True when empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+
+    /// Clients of a given class (test/report helper).
+    pub fn of_class(&self, class: ClientClass) -> impl Iterator<Item = &ClientProfile> {
+        self.clients.iter().filter(move |c| c.class == class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop(n: usize) -> Population {
+        Population::generate(
+            &PopulationParams {
+                n_clients: n,
+                id_space_bits: 20,
+                ..PopulationParams::default()
+            },
+            11,
+        )
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = pop(2000);
+        let b = pop(2000);
+        for (x, y) in a.clients().iter().zip(b.clients()) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.class, y.class);
+            assert_eq!(x.n_shared, y.n_shared);
+        }
+    }
+
+    #[test]
+    fn ids_distinct() {
+        let p = pop(5000);
+        let ids: std::collections::HashSet<_> = p.clients().iter().map(|c| c.id).collect();
+        assert_eq!(ids.len(), p.len());
+    }
+
+    #[test]
+    fn all_classes_present_at_scale() {
+        let p = pop(5000);
+        for class in ClientClass::ALL {
+            assert!(
+                p.of_class(class).next().is_some(),
+                "class {class:?} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn capped_searchers_ask_exactly_52() {
+        let p = pop(5000);
+        for c in p.of_class(ClientClass::CappedSearcher) {
+            assert_eq!(c.n_asks, CAPPED_SEARCH_COUNT);
+        }
+        // And they are numerous enough to make a visible spike.
+        let n = p.of_class(ClientClass::CappedSearcher).count();
+        assert!(n > 300, "only {n} capped searchers");
+    }
+
+    #[test]
+    fn bulk_sharers_cluster_at_limits() {
+        let p = pop(8000);
+        let at_limit = p
+            .of_class(ClientClass::BulkSharer)
+            .filter(|c| SHARE_LIMITS.contains(&c.n_shared))
+            .count();
+        let total = p.of_class(ClientClass::BulkSharer).count();
+        assert!(total > 100);
+        assert!(
+            at_limit as f64 > 0.5 * total as f64,
+            "{at_limit}/{total} at limit"
+        );
+    }
+
+    #[test]
+    fn polluters_forge_and_share_nothing() {
+        let p = pop(8000);
+        for c in p.of_class(ClientClass::Polluter) {
+            assert_eq!(c.n_shared, 0);
+            assert!(c.n_forged >= 200);
+        }
+    }
+
+    #[test]
+    fn scanners_ask_orders_of_magnitude_more() {
+        let p = pop(8000);
+        let max_casual = p
+            .of_class(ClientClass::Casual)
+            .map(|c| c.n_asks)
+            .max()
+            .unwrap();
+        let min_scanner = p
+            .of_class(ClientClass::Scanner)
+            .map(|c| c.n_asks)
+            .min()
+            .unwrap();
+        assert!(min_scanner > max_casual);
+    }
+
+    #[test]
+    fn share_counts_span_orders_of_magnitude() {
+        let p = pop(8000);
+        let max = p.clients().iter().map(|c| c.n_shared).max().unwrap();
+        let ones = p.clients().iter().filter(|c| c.n_shared == 1).count();
+        assert!(max >= 1000, "max {max}");
+        assert!(ones > 100, "ones {ones}");
+    }
+
+    #[test]
+    fn ids_within_configured_space() {
+        let p = Population::generate(
+            &PopulationParams {
+                n_clients: 1000,
+                id_space_bits: 12,
+                ..PopulationParams::default()
+            },
+            1,
+        );
+        assert!(p.clients().iter().all(|c| c.id.raw() < (1 << 12)));
+    }
+}

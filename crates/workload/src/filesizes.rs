@@ -1,0 +1,269 @@
+//! File-size model (paper §3.3, Fig. 8).
+//!
+//! The paper's size histogram shows that "even though in principle files
+//! exchanged in P2P systems may have any size, their actual sizes are
+//! strongly related to the space capacity of classical exchange and
+//! storage supports": a large mass of small (music) files, sharp peaks at
+//! 700 MB (CD-ROM) and at its fractions (350/233/175 MB) and multiples
+//! (1.4 GB), plus a peak at 1 GB (DVD images split into 1 GB pieces).
+//!
+//! [`FileSizeModel`] is the corresponding mixture distribution. Sizes are
+//! `u32` bytes, as in the eDonkey v1 protocol (4 GB file limit).
+
+use crate::zipf::LogNormal;
+use rand::Rng;
+
+/// Mega-byte in bytes.
+pub const MB: u64 = 1024 * 1024;
+
+/// The media-support peaks of Fig. 8, in bytes.
+pub const PEAKS: [u64; 6] = [
+    700 * MB,     // CD-ROM
+    350 * MB,     // 1/2 CD
+    233 * MB,     // 1/3 CD (paper labels 230 MB)
+    175 * MB,     // 1/4 CD
+    1400 * MB,    // 2 × CD
+    1024 * MB,    // 1 GB split pieces
+];
+
+/// Mixture component weights (probabilities; sum to 1).
+#[derive(Clone, Copy, Debug)]
+pub struct SizeMixture {
+    /// Small audio files (log-normal around ~4 MB).
+    pub audio: f64,
+    /// Other small files (documents, images, software; broad log-normal).
+    pub misc_small: f64,
+    /// CD-ROM rips at 700 MB.
+    pub cd: f64,
+    /// Half/third/quarter CD pieces.
+    pub cd_fractions: f64,
+    /// Double-CD (1.4 GB).
+    pub cd_double: f64,
+    /// 1 GB split pieces of very large files.
+    pub gb_piece: f64,
+    /// Fully dispersed sizes (uniform log scale; the "any size" floor).
+    pub diffuse: f64,
+}
+
+impl SizeMixture {
+    /// Weights eyeballed from Fig. 8: the small-file mass dominates file
+    /// *counts*, the CD peaks dominate the visible spikes.
+    pub fn paper_like() -> Self {
+        SizeMixture {
+            audio: 0.55,
+            misc_small: 0.18,
+            cd: 0.09,
+            cd_fractions: 0.06,
+            cd_double: 0.02,
+            gb_piece: 0.04,
+            diffuse: 0.06,
+        }
+    }
+
+    fn total(&self) -> f64 {
+        self.audio
+            + self.misc_small
+            + self.cd
+            + self.cd_fractions
+            + self.cd_double
+            + self.gb_piece
+            + self.diffuse
+    }
+}
+
+/// The Fig. 8 file-size generator.
+#[derive(Clone, Debug)]
+pub struct FileSizeModel {
+    mixture: SizeMixture,
+    audio: LogNormal,
+    misc: LogNormal,
+}
+
+/// Broad class of a generated file (drives the filetype tag and name
+/// extension in the catalog).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum FileKind {
+    /// Music (small file).
+    Audio,
+    /// Movie / CD or DVD image (large file).
+    Video,
+    /// Documents, software, images (small to medium).
+    Other,
+}
+
+impl FileKind {
+    /// The eDonkey filetype tag value.
+    pub fn tag_value(&self) -> &'static str {
+        match self {
+            FileKind::Audio => "Audio",
+            FileKind::Video => "Video",
+            FileKind::Other => "Pro",
+        }
+    }
+
+    /// A plausible filename extension.
+    pub fn extension(&self) -> &'static str {
+        match self {
+            FileKind::Audio => "mp3",
+            FileKind::Video => "avi",
+            FileKind::Other => "zip",
+        }
+    }
+}
+
+impl Default for FileSizeModel {
+    fn default() -> Self {
+        Self::paper_like()
+    }
+}
+
+impl FileSizeModel {
+    /// The Fig. 8 mixture.
+    pub fn paper_like() -> Self {
+        FileSizeModel {
+            mixture: SizeMixture::paper_like(),
+            // Audio: median ≈ e^15.2 ≈ 4.0 MB, sd 0.45 → 2–8 MB bulk.
+            audio: LogNormal {
+                mu: 15.2,
+                sigma: 0.45,
+            },
+            // Misc: median ≈ e^13 ≈ 440 KB, broad.
+            misc: LogNormal { mu: 13.0, sigma: 1.6 },
+        }
+    }
+
+    /// Draws `(size_bytes, kind)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (u32, FileKind) {
+        let m = &self.mixture;
+        let mut u: f64 = rng.gen_range(0.0..m.total());
+        let mut take = |w: f64| {
+            if u < w {
+                true
+            } else {
+                u -= w;
+                false
+            }
+        };
+        if take(m.audio) {
+            let s = self.audio.sample(rng).clamp(100_000.0, 30e6);
+            return (s as u32, FileKind::Audio);
+        }
+        if take(m.misc_small) {
+            let s = self.misc.sample(rng).clamp(1_000.0, 100e6);
+            return (s as u32, FileKind::Other);
+        }
+        if take(m.cd) {
+            return (Self::peaked(700 * MB, rng), FileKind::Video);
+        }
+        if take(m.cd_fractions) {
+            let base = [350 * MB, 233 * MB, 175 * MB][rng.gen_range(0..3)];
+            return (Self::peaked(base, rng), FileKind::Video);
+        }
+        if take(m.cd_double) {
+            return (Self::peaked(1400 * MB, rng), FileKind::Video);
+        }
+        if take(m.gb_piece) {
+            return (Self::peaked(1024 * MB, rng), FileKind::Video);
+        }
+        // Diffuse: log-uniform between 10 KB and 2 GB.
+        let lo = (10_000f64).ln();
+        let hi = (2e9f64).ln();
+        let s = rng.gen_range(lo..hi).exp();
+        let kind = if s > 100e6 {
+            FileKind::Video
+        } else {
+            FileKind::Other
+        };
+        ((s as u64).min(u32::MAX as u64) as u32, kind)
+    }
+
+    /// A sharp peak: the nominal size, occasionally nudged by a few final
+    /// bytes (real rips differ slightly; the histogram bins of Fig. 8
+    /// still show them as spikes because sizes are plotted in KB).
+    fn peaked<R: Rng + ?Sized>(nominal: u64, rng: &mut R) -> u32 {
+        let jitter: i64 = if rng.gen_bool(0.7) {
+            0
+        } else {
+            rng.gen_range(-512..=512) * 1024
+        };
+        ((nominal as i64 + jitter).max(1) as u64).min(u32::MAX as u64) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn draw_many(n: usize) -> Vec<(u32, FileKind)> {
+        let m = FileSizeModel::paper_like();
+        let mut rng = StdRng::seed_from_u64(42);
+        (0..n).map(|_| m.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn small_files_dominate_counts() {
+        let draws = draw_many(20_000);
+        let small = draws.iter().filter(|(s, _)| *s < 50_000_000).count();
+        assert!(
+            small as f64 > 0.6 * draws.len() as f64,
+            "small fraction {}",
+            small as f64 / draws.len() as f64
+        );
+    }
+
+    #[test]
+    fn peaks_present_in_kb_histogram() {
+        let draws = draw_many(50_000);
+        let mut kb_hist: HashMap<u64, u64> = HashMap::new();
+        for (s, _) in &draws {
+            *kb_hist.entry(*s as u64 / 1024).or_default() += 1;
+        }
+        // The exact 700 MB KB bin must be a big spike.
+        let cd_bin = kb_hist.get(&(700 * 1024)).copied().unwrap_or(0);
+        assert!(cd_bin > 1000, "700MB bin count {cd_bin}");
+        let gb_bin = kb_hist.get(&(1024 * 1024)).copied().unwrap_or(0);
+        assert!(gb_bin > 400, "1GB bin count {gb_bin}");
+        // Peaks dwarf their immediate (non-jitter) neighbourhood.
+        let neighbour = kb_hist.get(&(700 * 1024 + 5_000)).copied().unwrap_or(0);
+        assert!(cd_bin > neighbour * 10);
+    }
+
+    #[test]
+    fn audio_files_are_audio_sized() {
+        let draws = draw_many(20_000);
+        for (s, kind) in draws {
+            if kind == FileKind::Audio {
+                assert!((100_000..=30_000_000).contains(&s), "audio size {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn kinds_all_represented() {
+        let draws = draw_many(5_000);
+        let mut seen = HashMap::new();
+        for (_, k) in draws {
+            *seen.entry(k).or_insert(0u32) += 1;
+        }
+        assert!(seen.len() == 3, "{seen:?}");
+        assert!(seen[&FileKind::Audio] > seen[&FileKind::Video]);
+    }
+
+    #[test]
+    fn sizes_fit_u32_protocol_limit() {
+        // By construction sizes are u32; the largest peak (1.4 GB) fits.
+        assert!(1400 * MB < u32::MAX as u64);
+        let draws = draw_many(10_000);
+        assert!(draws.iter().all(|(s, _)| *s > 0));
+    }
+
+    #[test]
+    fn kind_metadata_helpers() {
+        assert_eq!(FileKind::Audio.tag_value(), "Audio");
+        assert_eq!(FileKind::Audio.extension(), "mp3");
+        assert_eq!(FileKind::Video.extension(), "avi");
+    }
+}

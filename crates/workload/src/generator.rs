@@ -1,0 +1,700 @@
+//! The traffic generator: population + catalog → a chronological stream
+//! of client queries.
+//!
+//! Each client is a small state machine (connect → announce shares → ask
+//! about files); a binary heap merges all clients into one time-ordered
+//! event stream, so memory stays O(clients) no matter how many messages
+//! the campaign produces. The stream contains only *client queries* — the
+//! directory server (etw-server) produces the answers, exactly as in the
+//! measured system where the capture saw both directions.
+
+use crate::catalog::Catalog;
+use crate::clients::{ClientProfile, Population};
+use etw_edonkey::ids::{ClientId, FileId};
+use etw_edonkey::messages::{FileEntry, Message};
+use etw_edonkey::search::{NumCmp, SearchExpr};
+use etw_edonkey::tags::{special, Tag, TagList, TagName};
+use etw_netsim::clock::VirtualTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Generator tuning parameters.
+#[derive(Clone, Debug)]
+pub struct GeneratorParams {
+    /// Virtual campaign duration in seconds (the paper: ten weeks).
+    pub duration_secs: u64,
+    /// Probability that an ask is preceded by a metadata search (the
+    /// rest go straight to a source query, e.g. resumed downloads).
+    pub p_search_first: f64,
+    /// Probability that a search carries a file-size constraint.
+    pub p_size_constraint: f64,
+    /// Probability of a management query at connect time.
+    pub p_management: f64,
+    /// Files per OfferFiles announcement message.
+    pub announce_chunk: usize,
+    /// Probability that an announcement uses an oversized chunk (these
+    /// are the datagrams that exceed the MTU and exercise IP
+    /// fragmentation, rare as in the paper).
+    pub p_large_chunk: f64,
+    /// Weight client arrival times by a diurnal profile (evening peak,
+    /// early-morning trough) instead of uniformly. Off by default so the
+    /// calibrated figures stay seed-stable; turn on for load-realism
+    /// studies (the Fig. 2 rate model carries its own diurnal term).
+    pub diurnal: bool,
+}
+
+impl Default for GeneratorParams {
+    fn default() -> Self {
+        GeneratorParams {
+            duration_secs: 7 * 86_400, // one virtual week by default
+            p_search_first: 0.8,
+            p_size_constraint: 0.15,
+            p_management: 0.5,
+            announce_chunk: 12,
+            p_large_chunk: 0.003,
+            diurnal: false,
+        }
+    }
+}
+
+/// One client query with its envelope.
+#[derive(Clone, Debug)]
+pub struct QueryEvent {
+    /// Virtual emission time.
+    pub t: VirtualTime,
+    /// Sender.
+    pub client: ClientId,
+    /// Sender UDP port.
+    pub port: u16,
+    /// The query.
+    pub msg: Message,
+}
+
+#[derive(Clone, Debug)]
+enum Phase {
+    Connect,
+    Announce { offset: u32 },
+    AnnounceForged { offset: u32 },
+    Ask { done: u32 },
+    GetSourcesFor { file_idx: u32, done: u32 },
+    Done,
+}
+
+struct ClientState {
+    phase: Phase,
+    asked: HashSet<u32>,
+    /// Files this client shares (catalog indices, deduplicated).
+    shared: Vec<u32>,
+}
+
+/// Time-ordered query stream over the whole campaign.
+pub struct TrafficGenerator<'a> {
+    catalog: &'a Catalog,
+    profiles: &'a [ClientProfile],
+    states: Vec<ClientState>,
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    params: GeneratorParams,
+    rng: StdRng,
+    emitted: u64,
+}
+
+impl<'a> TrafficGenerator<'a> {
+    /// Builds the generator; deterministic in `seed`.
+    pub fn new(
+        catalog: &'a Catalog,
+        population: &'a Population,
+        params: GeneratorParams,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6765_6e65); // "gene"
+        let profiles = population.clients();
+        let mut heap = BinaryHeap::with_capacity(profiles.len());
+        let mut states = Vec::with_capacity(profiles.len());
+        for (i, p) in profiles.iter().enumerate() {
+            // Pick this client's share set once: repeated Zipf draws give
+            // popular files many providers (Fig. 4) while the *distinct*
+            // count per client follows the class profile (Fig. 6).
+            let mut shared = HashSet::with_capacity(p.n_shared as usize);
+            let mut attempts = 0u32;
+            while (shared.len() as u32) < p.n_shared && attempts < p.n_shared * 8 {
+                shared.insert(catalog.sample_provided(&mut rng) as u32);
+                attempts += 1;
+            }
+            // Sort: HashSet iteration order is nondeterministic and the
+            // announce order must not leak it into the message stream.
+            let mut shared: Vec<u32> = shared.into_iter().collect();
+            shared.sort_unstable();
+            // Arrival spread over the first 90% of the campaign,
+            // optionally weighted by the diurnal profile.
+            let horizon_us = (params.duration_secs * 900_000).max(1);
+            let start_us = if params.diurnal {
+                sample_diurnal_arrival(horizon_us, &mut rng)
+            } else {
+                rng.gen_range(0..horizon_us)
+            };
+            states.push(ClientState {
+                phase: Phase::Connect,
+                asked: HashSet::new(),
+                shared,
+            });
+            heap.push(Reverse((start_us, i as u32)));
+        }
+        TrafficGenerator {
+            catalog,
+            profiles,
+            states,
+            heap,
+            params,
+            rng,
+            emitted: 0,
+        }
+    }
+
+    /// Queries emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn exp_gap_us(&mut self, mean_secs: f64) -> u64 {
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        ((-u.ln() * mean_secs).min(86_400.0 * 7.0) * 1e6) as u64
+    }
+
+    fn schedule(&mut self, idx: u32, at_us: u64) {
+        if at_us < self.params.duration_secs * 1_000_000 {
+            self.heap.push(Reverse((at_us, idx)));
+        } else {
+            // Campaign over before this client finished: activity is
+            // truncated, as at the real capture's end.
+            self.states[idx as usize].phase = Phase::Done;
+        }
+    }
+
+    fn file_entry(&self, file_idx: u32, client: &ClientProfile) -> FileEntry {
+        let f = self.catalog.file(file_idx as usize);
+        FileEntry {
+            file_id: f.id,
+            client_id: client.id,
+            port: client.port,
+            tags: TagList(vec![
+                Tag::str(special::FILENAME, f.name.clone()),
+                Tag::u32(special::FILESIZE, f.size),
+                Tag::str(special::FILETYPE, f.kind.tag_value()),
+            ]),
+        }
+    }
+
+    fn forged_entry(&mut self, client_idx: u32, seq: u32, client: &ClientProfile) -> FileEntry {
+        // Pollution decoys advertise *popular* content names (that is the
+        // point of pollution) under forged IDs with constant prefixes —
+        // the phenomenon behind the paper's Fig. 3.
+        let decoy_idx = self.catalog.sample_sought(&mut self.rng);
+        let decoy = self.catalog.file(decoy_idx);
+        let prefix = if client.id.raw().is_multiple_of(2) {
+            [0x00, 0x00] // bucket 0 under first-two-bytes indexing
+        } else {
+            [0x00, 0x01] // bucket 256
+        };
+        let counter = ((client_idx as u64) << 32) | seq as u64;
+        FileEntry {
+            file_id: FileId::forged(counter, prefix),
+            client_id: client.id,
+            port: client.port,
+            tags: TagList(vec![
+                Tag::str(special::FILENAME, decoy.name.clone()),
+                // Decoys copy the real file's metadata wholesale (that is
+                // what makes pollution effective), so forged entries do
+                // not distort the Fig. 8 size histogram's shape.
+                Tag::u32(special::FILESIZE, decoy.size),
+                Tag::str(special::FILETYPE, decoy.kind.tag_value()),
+            ]),
+        }
+    }
+
+    fn search_expr(&mut self, file_idx: u32) -> SearchExpr {
+        let f = self.catalog.file(file_idx as usize);
+        let kws = &f.keywords;
+        let n = kws.len().min(1 + self.rng.gen_range(0..3));
+        let mut expr = SearchExpr::keyword(kws[0].clone());
+        for kw in kws.iter().take(n).skip(1) {
+            expr = SearchExpr::and(expr, SearchExpr::keyword(kw.clone()));
+        }
+        if self.rng.gen_bool(self.params.p_size_constraint) {
+            let half = f.size / 2;
+            expr = SearchExpr::and(
+                expr,
+                SearchExpr::MetaNum {
+                    name: TagName::Special(special::FILESIZE),
+                    cmp: NumCmp::Min,
+                    value: half,
+                },
+            );
+        }
+        expr
+    }
+
+    /// Picks the next distinct file for a client to ask about. The
+    /// distinctness matters: the paper's Fig. 7 counts *distinct* files
+    /// per client, and the 52-cap spike must stay exact.
+    fn pick_ask(&mut self, idx: u32) -> u32 {
+        for _ in 0..4 {
+            let f = self.catalog.sample_sought(&mut self.rng) as u32;
+            if !self.states[idx as usize].asked.contains(&f) {
+                self.states[idx as usize].asked.insert(f);
+                return f;
+            }
+        }
+        if self.states[idx as usize].asked.len() >= self.catalog.len() {
+            // A scanner has asked about the entire catalog; repeats are
+            // the only option left.
+            return self.catalog.sample_sought(&mut self.rng) as u32;
+        }
+        // Popular head is crowded; uniform draws terminate quickly.
+        loop {
+            let f = self.rng.gen_range(0..self.catalog.len()) as u32;
+            if self.states[idx as usize].asked.insert(f) {
+                return f;
+            }
+        }
+    }
+
+    fn chunk_size(&mut self) -> usize {
+        if self.rng.gen_bool(self.params.p_large_chunk) {
+            self.params.announce_chunk * 4
+        } else {
+            self.params.announce_chunk
+        }
+    }
+
+    /// Advances client `idx` one step; returns the query to emit now, if
+    /// any, and schedules the follow-up.
+    fn step(&mut self, idx: u32, now_us: u64) -> Option<QueryEvent> {
+        let profile = &self.profiles[idx as usize];
+        let client = profile.id;
+        let port = profile.port;
+        let t = VirtualTime(now_us);
+        let phase = self.states[idx as usize].phase.clone();
+        match phase {
+            Phase::Connect => {
+                self.states[idx as usize].phase = if !self.states[idx as usize].shared.is_empty()
+                {
+                    Phase::Announce { offset: 0 }
+                } else if profile.n_forged > 0 {
+                    Phase::AnnounceForged { offset: 0 }
+                } else {
+                    Phase::Ask { done: 0 }
+                };
+                let gap = self.exp_gap_us(2.0);
+                self.schedule(idx, now_us + gap);
+                if self.rng.gen_bool(self.params.p_management) {
+                    let msg = if self.rng.gen_bool(0.6) {
+                        Message::StatusRequest {
+                            challenge: self.rng.gen(),
+                        }
+                    } else if self.rng.gen_bool(0.5) {
+                        Message::GetServerList
+                    } else {
+                        Message::ServerDescRequest
+                    };
+                    Some(QueryEvent {
+                        t,
+                        client,
+                        port,
+                        msg,
+                    })
+                } else {
+                    None
+                }
+            }
+            Phase::Announce { offset } => {
+                let chunk = self.chunk_size();
+                let shared = &self.states[idx as usize].shared;
+                let end = (offset as usize + chunk).min(shared.len());
+                let files: Vec<FileEntry> = shared[offset as usize..end]
+                    .to_vec()
+                    .iter()
+                    .map(|&f| self.file_entry(f, profile))
+                    .collect();
+                self.states[idx as usize].phase = if end < self.states[idx as usize].shared.len()
+                {
+                    Phase::Announce {
+                        offset: end as u32,
+                    }
+                } else if profile.n_forged > 0 {
+                    Phase::AnnounceForged { offset: 0 }
+                } else {
+                    Phase::Ask { done: 0 }
+                };
+                let gap = self.exp_gap_us(3.0);
+                self.schedule(idx, now_us + gap);
+                Some(QueryEvent {
+                    t,
+                    client,
+                    port,
+                    msg: Message::OfferFiles { files },
+                })
+            }
+            Phase::AnnounceForged { offset } => {
+                let chunk = self.chunk_size() as u32;
+                let end = (offset + chunk).min(profile.n_forged);
+                let files: Vec<FileEntry> = (offset..end)
+                    .map(|seq| self.forged_entry(idx, seq, profile))
+                    .collect();
+                self.states[idx as usize].phase = if end < profile.n_forged {
+                    Phase::AnnounceForged { offset: end }
+                } else {
+                    Phase::Ask { done: 0 }
+                };
+                let gap = self.exp_gap_us(3.0);
+                self.schedule(idx, now_us + gap);
+                Some(QueryEvent {
+                    t,
+                    client,
+                    port,
+                    msg: Message::OfferFiles { files },
+                })
+            }
+            Phase::Ask { done } => {
+                if done >= profile.n_asks {
+                    self.states[idx as usize].phase = Phase::Done;
+                    return None;
+                }
+                let file_idx = self.pick_ask(idx);
+                if self.rng.gen_bool(self.params.p_search_first) {
+                    // Search now; GetSources follows in a few seconds.
+                    self.states[idx as usize].phase = Phase::GetSourcesFor { file_idx, done };
+                    let gap = self.exp_gap_us(4.0);
+                    self.schedule(idx, now_us + gap.max(500_000));
+                    let expr = self.search_expr(file_idx);
+                    Some(QueryEvent {
+                        t,
+                        client,
+                        port,
+                        msg: Message::SearchRequest { expr },
+                    })
+                } else {
+                    self.states[idx as usize].phase = Phase::Ask { done: done + 1 };
+                    let gap = self.ask_gap(idx, now_us, done + 1);
+                    self.schedule(idx, now_us + gap);
+                    let file_id = self.catalog.file(file_idx as usize).id;
+                    Some(QueryEvent {
+                        t,
+                        client,
+                        port,
+                        msg: Message::GetSources {
+                            file_ids: vec![file_id],
+                        },
+                    })
+                }
+            }
+            Phase::GetSourcesFor { file_idx, done } => {
+                self.states[idx as usize].phase = Phase::Ask { done: done + 1 };
+                let gap = self.ask_gap(idx, now_us, done + 1);
+                self.schedule(idx, now_us + gap);
+                let file_id = self.catalog.file(file_idx as usize).id;
+                Some(QueryEvent {
+                    t,
+                    client,
+                    port,
+                    msg: Message::GetSources {
+                        file_ids: vec![file_id],
+                    },
+                })
+            }
+            Phase::Done => None,
+        }
+    }
+
+    /// Mean gap sized so the client's remaining asks roughly fill the
+    /// remaining campaign time (heavy clients stay active throughout).
+    /// Pacing targets a soft deadline at 97% of the campaign so the last
+    /// ask (and its search→sources follow-up) lands inside the horizon;
+    /// only genuinely late arrivals get truncated, as at a real capture's
+    /// end.
+    fn ask_gap(&mut self, idx: u32, now_us: u64, done: u32) -> u64 {
+        let remaining_asks = self.profiles[idx as usize].n_asks.saturating_sub(done) + 1;
+        let soft_end = self.params.duration_secs * 1_000_000 / 100 * 97;
+        let remaining_secs = soft_end.saturating_sub(now_us) as f64 / 1e6;
+        let mean = (remaining_secs / remaining_asks as f64).clamp(1.0, 3_600.0);
+        self.exp_gap_us(mean)
+    }
+}
+
+/// Rejection-samples an arrival time whose density follows the daily
+/// activity cycle: peak in the evening, trough in the early morning
+/// (same shape as the Fig. 2 rate model's diurnal term).
+fn sample_diurnal_arrival<R: Rng + ?Sized>(horizon_us: u64, rng: &mut R) -> u64 {
+    use std::f64::consts::TAU;
+    loop {
+        let t = rng.gen_range(0..horizon_us);
+        let day_phase = (t as f64 / 1e6) / 86_400.0;
+        let density = 1.0 + 0.6 * (TAU * (day_phase - 0.33)).sin();
+        if rng.gen_range(0.0..1.6) < density {
+            return t;
+        }
+    }
+}
+
+impl<'a> Iterator for TrafficGenerator<'a> {
+    type Item = QueryEvent;
+
+    fn next(&mut self) -> Option<QueryEvent> {
+        while let Some(Reverse((now_us, idx))) = self.heap.pop() {
+            if let Some(ev) = self.step(idx, now_us) {
+                self.emitted += 1;
+                return Some(ev);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogParams;
+    use crate::clients::{ClientClass, PopulationParams};
+
+    fn setup(n_clients: usize, n_files: usize) -> (Catalog, Population) {
+        let catalog = Catalog::generate(
+            &CatalogParams {
+                n_files,
+                ..CatalogParams::default()
+            },
+            1,
+        );
+        let pop = Population::generate(
+            &PopulationParams {
+                n_clients,
+                id_space_bits: 20,
+                ..PopulationParams::default()
+            },
+            2,
+        );
+        (catalog, pop)
+    }
+
+    fn default_events(n_clients: usize) -> Vec<QueryEvent> {
+        let (catalog, pop) = setup(n_clients, 3000);
+        let params = GeneratorParams {
+            duration_secs: 3_600,
+            ..GeneratorParams::default()
+        };
+        TrafficGenerator::new(&catalog, &pop, params, 3).collect()
+    }
+
+    #[test]
+    fn stream_is_time_ordered() {
+        let events = default_events(300);
+        assert!(events.len() > 500, "only {} events", events.len());
+        for w in events.windows(2) {
+            assert!(w[0].t <= w[1].t);
+        }
+        let horizon = VirtualTime::from_secs(3_600);
+        assert!(events.iter().all(|e| e.t < horizon));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (catalog, pop) = setup(100, 1000);
+        let run = || -> Vec<(u64, u32)> {
+            TrafficGenerator::new(&catalog, &pop, GeneratorParams::default(), 9)
+                .take(2000)
+                .map(|e| (e.t.0, e.client.raw()))
+                .collect()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn all_queries_are_client_to_server() {
+        for e in default_events(200) {
+            assert!(e.msg.is_client_to_server(), "{:?}", e.msg);
+        }
+    }
+
+    #[test]
+    fn announcements_cover_shared_files() {
+        let (catalog, pop) = setup(150, 2000);
+        let params = GeneratorParams {
+            duration_secs: 86_400,
+            ..GeneratorParams::default()
+        };
+        let events: Vec<_> = TrafficGenerator::new(&catalog, &pop, params, 5).collect();
+        // Per client: distinct announced legit files == profile.n_shared
+        // (unless truncated by campaign end; a day is plenty here).
+        use std::collections::{HashMap, HashSet};
+        let mut announced: HashMap<u32, HashSet<FileId>> = HashMap::new();
+        for e in &events {
+            if let Message::OfferFiles { files } = &e.msg {
+                let set = announced.entry(e.client.raw()).or_default();
+                for f in files {
+                    set.insert(f.file_id);
+                }
+            }
+        }
+        let legit: HashSet<FileId> = catalog.files().iter().map(|f| f.id).collect();
+        let mut checked = 0;
+        for p in pop.clients() {
+            if p.n_shared > 0 {
+                if let Some(set) = announced.get(&p.id.raw()) {
+                    let legit_count = set.iter().filter(|id| legit.contains(id)).count();
+                    // Zipf dedup may give slightly fewer distinct files
+                    // than requested for very large shares.
+                    assert!(
+                        legit_count as u32 <= p.n_shared,
+                        "client shared more than profiled"
+                    );
+                    if p.n_shared <= 100 {
+                        assert!(
+                            legit_count as u32 >= p.n_shared.min(1),
+                            "client announced nothing"
+                        );
+                    }
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 50, "too few announcing clients checked");
+    }
+
+    #[test]
+    fn capped_clients_ask_exactly_52_distinct_files() {
+        let (catalog, pop) = setup(400, 3000);
+        let params = GeneratorParams {
+            duration_secs: 86_400,
+            ..GeneratorParams::default()
+        };
+        let events: Vec<_> = TrafficGenerator::new(&catalog, &pop, params, 7).collect();
+        use std::collections::{HashMap, HashSet};
+        let mut asked: HashMap<u32, HashSet<FileId>> = HashMap::new();
+        for e in &events {
+            if let Message::GetSources { file_ids } = &e.msg {
+                asked
+                    .entry(e.client.raw())
+                    .or_default()
+                    .extend(file_ids.iter().copied());
+            }
+        }
+        let mut at_52 = 0;
+        let mut total = 0;
+        for p in pop.of_class(ClientClass::CappedSearcher) {
+            if let Some(set) = asked.get(&p.id.raw()) {
+                // Campaign-end truncation can clip the very last ask of a
+                // late-arriving client; never more than the cap though.
+                assert!(set.len() <= 52, "capped client asked {} files", set.len());
+                total += 1;
+                if set.len() == 52 {
+                    at_52 += 1;
+                }
+            }
+        }
+        assert!(total > 20, "only {total} capped clients seen");
+        assert!(
+            at_52 as f64 > 0.8 * total as f64,
+            "spike too smeared: {at_52}/{total} at exactly 52"
+        );
+    }
+
+    #[test]
+    fn polluters_announce_forged_prefixes() {
+        let (catalog, pop) = setup(600, 2000);
+        let params = GeneratorParams {
+            duration_secs: 86_400,
+            ..GeneratorParams::default()
+        };
+        let events: Vec<_> = TrafficGenerator::new(&catalog, &pop, params, 8).collect();
+        let mut forged = 0u64;
+        for e in &events {
+            if let Message::OfferFiles { files } = &e.msg {
+                for f in files {
+                    let b = f.file_id.as_bytes();
+                    if b[0] == 0 && (b[1] == 0 || b[1] == 1) {
+                        forged += 1;
+                    }
+                }
+            }
+        }
+        assert!(forged > 500, "only {forged} forged announcements");
+    }
+
+    #[test]
+    fn searches_use_catalog_keywords() {
+        let (catalog, pop) = setup(200, 1000);
+        let events: Vec<_> = TrafficGenerator::new(
+            &catalog,
+            &pop,
+            GeneratorParams {
+                duration_secs: 3_600,
+                ..GeneratorParams::default()
+            },
+            4,
+        )
+        .collect();
+        let vocab: std::collections::HashSet<&str> = catalog
+            .files()
+            .iter()
+            .flat_map(|f| f.keywords.iter().map(String::as_str))
+            .collect();
+        let mut searches = 0;
+        for e in &events {
+            if let Message::SearchRequest { expr } = &e.msg {
+                searches += 1;
+                for kw in expr.keywords() {
+                    assert!(vocab.contains(kw), "keyword {kw} not from catalog");
+                }
+            }
+        }
+        assert!(searches > 100, "only {searches} searches");
+    }
+
+    #[test]
+    fn diurnal_arrivals_follow_the_cycle() {
+        let (catalog, pop) = setup(600, 1000);
+        let params = GeneratorParams {
+            duration_secs: 86_400, // one full day
+            diurnal: true,
+            ..GeneratorParams::default()
+        };
+        // Collect connect-phase times per 6h quadrant via first event of
+        // each client.
+        use std::collections::HashMap;
+        let mut first_seen: HashMap<u32, u64> = HashMap::new();
+        for ev in TrafficGenerator::new(&catalog, &pop, params, 6) {
+            first_seen.entry(ev.client.raw()).or_insert(ev.t.0);
+        }
+        let mut quadrants = [0u32; 4];
+        for &t in first_seen.values() {
+            quadrants[(t / 21_600_000_000).min(3) as usize] += 1;
+        }
+        // The evening quadrant (hours 12-18, containing the 0.33-phase
+        // peak shifted) must outnumber the trough quadrant.
+        let max = *quadrants.iter().max().unwrap();
+        let min = *quadrants.iter().min().unwrap();
+        assert!(
+            max as f64 > 1.5 * min as f64,
+            "no diurnal contrast: {quadrants:?}"
+        );
+    }
+
+    #[test]
+    fn emitted_counter_matches() {
+        let (catalog, pop) = setup(50, 500);
+        let mut g = TrafficGenerator::new(
+            &catalog,
+            &pop,
+            GeneratorParams {
+                duration_secs: 600,
+                ..GeneratorParams::default()
+            },
+            4,
+        );
+        let mut n = 0;
+        while g.next().is_some() {
+            n += 1;
+        }
+        assert_eq!(g.emitted(), n);
+    }
+}

@@ -1,0 +1,46 @@
+//! # etw-workload — the synthetic eDonkey population
+//!
+//! The paper measured a live population of ~90 M clients; that network no
+//! longer exists, so this crate generates a population whose *behavioural
+//! structure* matches what the paper reports (DESIGN.md §5 documents the
+//! substitution):
+//!
+//! * [`zipf`] — heavy-tailed samplers (Zipf, bounded Pareto, log-normal);
+//! * [`filesizes`] — the Fig. 8 file-size mixture (audio mass, 700 MB CD
+//!   peak and its fractions/multiples, 1 GB split pieces);
+//! * [`catalog`] — the file population with distinct provider- and
+//!   search-popularity rankings (Figs. 4–5);
+//! * [`clients`] — behaviour classes incl. the exact-52-queries client
+//!   cap (Fig. 7) and share-directory limits (Fig. 6), plus polluters
+//!   (Fig. 3);
+//! * [`generator`] — the time-ordered query stream fed to the server and
+//!   capture pipeline.
+//!
+//! ## Example
+//!
+//! ```
+//! use etw_workload::catalog::{Catalog, CatalogParams};
+//! use etw_workload::clients::{Population, PopulationParams};
+//! use etw_workload::generator::{GeneratorParams, TrafficGenerator};
+//!
+//! let catalog = Catalog::generate(&CatalogParams { n_files: 500, ..Default::default() }, 1);
+//! let population = Population::generate(
+//!     &PopulationParams { n_clients: 50, id_space_bits: 16, ..Default::default() }, 2);
+//! let params = GeneratorParams { duration_secs: 600, ..Default::default() };
+//! let queries: Vec<_> = TrafficGenerator::new(&catalog, &population, params, 3).collect();
+//! assert!(!queries.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod clients;
+pub mod filesizes;
+pub mod generator;
+pub mod zipf;
+
+pub use catalog::{Catalog, CatalogFile, CatalogParams};
+pub use clients::{ClassMix, ClientClass, ClientProfile, Population, PopulationParams};
+pub use filesizes::{FileKind, FileSizeModel};
+pub use generator::{GeneratorParams, QueryEvent, TrafficGenerator};
+pub use zipf::{BoundedPareto, LogNormal, Zipf};

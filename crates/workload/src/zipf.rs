@@ -1,0 +1,225 @@
+//! Heavy-tailed samplers for the synthetic population.
+//!
+//! The paper's basic analyses (§3) show that file popularity — both the
+//! number of providers and the number of seekers per file — decays
+//! "reasonably well fitted by a power-law", and that client behaviour
+//! spans several orders of magnitude. The generators here produce those
+//! regimes: a Zipf ranking over files and bounded Pareto draws for
+//! per-client activity volumes.
+
+use rand::Rng;
+
+/// Zipf sampler over ranks `0..n` with exponent `s`:
+/// `P(rank = k) ∝ 1 / (k+1)^s`.
+///
+/// Sampling is by inverse transform over a precomputed cumulative table —
+/// O(log n) per draw, exact, and deterministic given the RNG.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+    s: f64,
+}
+
+impl Zipf {
+    /// Builds the table for `n` ranks with exponent `s > 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "empty Zipf support");
+        assert!(s > 0.0, "exponent must be positive");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative, s }
+    }
+
+    /// Support size.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when the support is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Exponent.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("NaN in CDF"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+
+    /// Probability of a given rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        let prev = if rank == 0 {
+            0.0
+        } else {
+            self.cumulative[rank - 1]
+        };
+        self.cumulative[rank] - prev
+    }
+}
+
+/// Bounded Pareto (discrete): draws integers in `[min, max]` with tail
+/// exponent `alpha`; used for per-client volumes (files shared, searches
+/// issued), which the paper shows spanning several orders of magnitude.
+#[derive(Clone, Copy, Debug)]
+pub struct BoundedPareto {
+    /// Inclusive lower bound.
+    pub min: u64,
+    /// Inclusive upper bound.
+    pub max: u64,
+    /// Tail exponent (larger = lighter tail).
+    pub alpha: f64,
+}
+
+impl BoundedPareto {
+    /// Builds a sampler; panics on an empty range or non-positive alpha.
+    pub fn new(min: u64, max: u64, alpha: f64) -> Self {
+        assert!(min >= 1 && max >= min, "invalid Pareto range");
+        assert!(alpha > 0.0);
+        BoundedPareto { min, max, alpha }
+    }
+
+    /// Draws one value by inverse transform of the truncated CDF.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let (l, h, a) = (self.min as f64, self.max as f64 + 1.0, self.alpha);
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let la = l.powf(-a);
+        let ha = h.powf(-a);
+        let x = (la - u * (la - ha)).powf(-1.0 / a);
+        (x.floor() as u64).clamp(self.min, self.max)
+    }
+}
+
+/// Log-normal sampler (for file-size mixture components).
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal {
+    /// Mean of the underlying normal.
+    pub mu: f64,
+    /// Std-dev of the underlying normal.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Draws one value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_rank_zero_dominates() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[500]);
+        // Rank 0 frequency ≈ pmf(0) = 1/H_1000 ≈ 0.1336.
+        let f0 = counts[0] as f64 / 50_000.0;
+        assert!((f0 - z.pmf(0)).abs() < 0.01, "f0 {f0} vs pmf {}", z.pmf(0));
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(500, 1.4);
+        let total: f64 = (0..500).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.len(), 500);
+        assert!((z.exponent() - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_higher_exponent_more_skew() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let gentle = Zipf::new(1000, 0.8);
+        let steep = Zipf::new(1000, 2.0);
+        let hit0 = |z: &Zipf, rng: &mut StdRng| {
+            (0..20_000).filter(|_| z.sample(rng) == 0).count() as f64 / 20_000.0
+        };
+        assert!(hit0(&steep, &mut rng) > hit0(&gentle, &mut rng) * 2.0);
+    }
+
+    #[test]
+    fn zipf_covers_support() {
+        let z = Zipf::new(5, 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..5000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn pareto_respects_bounds() {
+        let p = BoundedPareto::new(1, 5000, 1.2);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..20_000 {
+            let v = p.sample(&mut rng);
+            assert!((1..=5000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed() {
+        let p = BoundedPareto::new(1, 100_000, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let draws: Vec<u64> = (0..50_000).map(|_| p.sample(&mut rng)).collect();
+        let ones = draws.iter().filter(|&&v| v == 1).count();
+        // P(X > 1000) ≈ 1e-3 at alpha=1 over this range → ≈50 of 50 000.
+        let big = draws.iter().filter(|&&v| v > 1_000).count();
+        // Mass concentrates at the bottom, but the tail is populated —
+        // "several orders of magnitude" as in the paper's Figs. 6–7.
+        assert!(ones > draws.len() / 4, "ones {ones}");
+        assert!(big > 15, "big {big}");
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let ln = LogNormal { mu: 15.0, sigma: 0.5 };
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut draws: Vec<f64> = (0..9001).map(|_| ln.sample(&mut rng)).collect();
+        draws.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = draws[4500];
+        let expect = 15.0f64.exp();
+        assert!(
+            (median / expect - 1.0).abs() < 0.1,
+            "median {median} vs {expect}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty Zipf support")]
+    fn zipf_rejects_empty() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Dataset storage codec (paper §2.4, footnote 3).
+//!
+//! > "We chose xml as output format because it leads to easy-to-read and
+//! > rigorously specified text files, and, once compressed, does not
+//! > have a prohibitive space cost."
+//!
+//! The capture machine therefore needs a compressor. This is an LZSS
+//! codec built from scratch (no external crates): a 32 KiB sliding
+//! window, hash-chained longest-match search, and a bit-flagged token
+//! stream. XML's heavy tag repetition is exactly the redundancy LZSS
+//! eats; dataset files compress ~6–10×.
+//!
+//! Container format:
+//!
+//! ```text
+//! "ETWZ" magic | orig_len: u64 LE | token stream
+//! token stream := { flags: u8 (MSB first), 8 tokens }*
+//! token        := literal byte                      (flag 0)
+//!               | len-3: u8, offset-1: u16 LE       (flag 1)
+//! ```
+
+/// Container magic.
+pub const MAGIC: &[u8; 4] = b"ETWZ";
+/// Sliding window size.
+pub const WINDOW: usize = 32 * 1024;
+/// Minimum match length worth encoding (a match token costs 3 bytes).
+pub const MIN_MATCH: usize = 4;
+/// Maximum encodable match length.
+pub const MAX_MATCH: usize = 255 + 3;
+
+/// Decompression failures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CompressError {
+    /// Missing or wrong magic.
+    BadMagic,
+    /// Stream ended inside a token.
+    Truncated,
+    /// A match referenced bytes before the start of the output.
+    BadReference,
+    /// Output length disagrees with the header.
+    LengthMismatch,
+}
+
+impl std::fmt::Display for CompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompressError::BadMagic => write!(f, "bad magic"),
+            CompressError::Truncated => write!(f, "truncated stream"),
+            CompressError::BadReference => write!(f, "match reference out of range"),
+            CompressError::LengthMismatch => write!(f, "declared length mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+const HASH_BITS: usize = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+const NO_POS: u32 = u32::MAX;
+/// How many chain links to follow per position (compression/speed knob).
+const MAX_CHAIN: usize = 64;
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let h = (data[i] as u32)
+        .wrapping_mul(0x9E37)
+        .wrapping_add((data[i + 1] as u32).wrapping_mul(0x79B9))
+        .wrapping_add((data[i + 2] as u32).wrapping_mul(0x0101));
+    (h as usize) & (HASH_SIZE - 1)
+}
+
+/// Compresses `data` into the container format.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + data.len() / 2);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+
+    // Token batching: flag byte position + count of tokens in it.
+    let mut flag_pos = 0usize;
+    let mut flag_count = 8u8; // forces allocation of a flag byte first
+    let mut head = vec![NO_POS; HASH_SIZE];
+    let mut chain = vec![NO_POS; data.len().max(1)];
+
+    let push_flag = |out: &mut Vec<u8>, flag_pos: &mut usize, flag_count: &mut u8, bit: bool| {
+        if *flag_count == 8 {
+            *flag_pos = out.len();
+            out.push(0);
+            *flag_count = 0;
+        }
+        if bit {
+            out[*flag_pos] |= 0x80 >> *flag_count;
+        }
+        *flag_count += 1;
+    };
+
+    let mut i = 0usize;
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash3(data, i);
+            let mut cand = head[h];
+            let mut steps = 0;
+            while cand != NO_POS && steps < MAX_CHAIN {
+                let c = cand as usize;
+                if i - c > WINDOW {
+                    break;
+                }
+                // Extend the match.
+                let limit = (data.len() - i).min(MAX_MATCH);
+                let mut l = 0usize;
+                while l < limit && data[c + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_off = i - c;
+                    if l == MAX_MATCH {
+                        break;
+                    }
+                }
+                cand = chain[c];
+                steps += 1;
+            }
+        }
+        if best_len >= MIN_MATCH {
+            push_flag(&mut out, &mut flag_pos, &mut flag_count, true);
+            out.push((best_len - 3) as u8);
+            out.extend_from_slice(&((best_off - 1) as u16).to_le_bytes());
+            // Index every position the match covers.
+            let end = i + best_len;
+            while i < end {
+                if i + 3 <= data.len() {
+                    let h = hash3(data, i);
+                    chain[i] = head[h];
+                    head[h] = i as u32;
+                }
+                i += 1;
+            }
+        } else {
+            push_flag(&mut out, &mut flag_pos, &mut flag_count, false);
+            out.push(data[i]);
+            if i + 3 <= data.len() {
+                let h = hash3(data, i);
+                chain[i] = head[h];
+                head[h] = i as u32;
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Decompresses a container produced by [`compress`].
+pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, CompressError> {
+    if stream.len() < 12 || &stream[..4] != MAGIC {
+        return Err(CompressError::BadMagic);
+    }
+    let mut len_bytes = [0u8; 8];
+    len_bytes.copy_from_slice(&stream[4..12]);
+    let orig_len = u64::from_le_bytes(len_bytes) as usize;
+    // The declared length is attacker-controlled; never allocate on its
+    // word alone. A token stream of B bytes can produce at most
+    // B/3 * MAX_MATCH output bytes (every 3-byte match token expanding
+    // maximally), so anything above that bound is a forged header.
+    let max_producible = (stream.len() - 12).saturating_mul(MAX_MATCH) / 3 + 1;
+    if orig_len > max_producible {
+        return Err(CompressError::LengthMismatch);
+    }
+    let mut out = Vec::with_capacity(orig_len);
+    let mut pos = 12usize;
+    let mut flags = 0u8;
+    let mut flag_count = 8u8;
+    while out.len() < orig_len {
+        if flag_count == 8 {
+            flags = *stream.get(pos).ok_or(CompressError::Truncated)?;
+            pos += 1;
+            flag_count = 0;
+        }
+        let is_match = flags & (0x80 >> flag_count) != 0;
+        flag_count += 1;
+        if is_match {
+            if pos + 3 > stream.len() {
+                return Err(CompressError::Truncated);
+            }
+            let len = stream[pos] as usize + 3;
+            let off = u16::from_le_bytes([stream[pos + 1], stream[pos + 2]]) as usize + 1;
+            pos += 3;
+            if off > out.len() {
+                return Err(CompressError::BadReference);
+            }
+            let start = out.len() - off;
+            // Overlapping copies are legal (run-length encoding).
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        } else {
+            let b = *stream.get(pos).ok_or(CompressError::Truncated)?;
+            pos += 1;
+            out.push(b);
+        }
+    }
+    if out.len() != orig_len {
+        return Err(CompressError::LengthMismatch);
+    }
+    Ok(out)
+}
+
+/// Convenience: compression ratio (original / compressed).
+pub fn ratio(original: usize, compressed: usize) -> f64 {
+    original as f64 / compressed.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) -> usize {
+        let c = compress(data);
+        let d = decompress(&c).expect("decompress");
+        assert_eq!(d, data, "round trip");
+        c.len()
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        assert_eq!(round_trip(b""), 12);
+        round_trip(b"a");
+        round_trip(b"ab");
+        round_trip(b"abcabcabc");
+    }
+
+    #[test]
+    fn xmlish_input_compresses_well() {
+        let record = "<dialog ts=\"123456\" peer=\"42\"><get_sources><file id=\"7\"/></get_sources></dialog>\n";
+        let doc: String = std::iter::repeat_n(record, 500).collect();
+        let c_len = round_trip(doc.as_bytes());
+        let r = ratio(doc.len(), c_len);
+        assert!(r > 8.0, "ratio {r}");
+    }
+
+    #[test]
+    fn incompressible_input_survives() {
+        // Pseudo-random bytes: expansion bounded by the flag overhead
+        // (1 bit per literal = 12.5 %).
+        let mut x = 0x12345678u64;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        let c_len = round_trip(&data);
+        assert!(c_len < data.len() + data.len() / 7 + 16);
+    }
+
+    #[test]
+    fn runs_collapse() {
+        let data = vec![0x55u8; 100_000];
+        let c_len = round_trip(&data);
+        assert!(c_len < 2_000, "run compressed to {c_len}");
+    }
+
+    #[test]
+    fn overlapping_match_semantics() {
+        // "ababab..." forces overlapping copies (offset < length).
+        let data: Vec<u8> = b"ab".iter().cycle().take(9999).copied().collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn long_matches_hit_the_cap() {
+        let mut data = b"the quick brown fox ".repeat(100);
+        data.extend_from_slice(&[1, 2, 3]);
+        round_trip(&data);
+    }
+
+    #[test]
+    fn window_boundary() {
+        // Repetition farther apart than the window cannot be matched but
+        // must still round-trip.
+        let mut data = vec![7u8; 100];
+        data.extend(std::iter::repeat_n(0u8, WINDOW + 10));
+        data.extend_from_slice(&[7u8; 100]);
+        round_trip(&data);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decompress(b"NOPE00000000"), Err(CompressError::BadMagic));
+        assert_eq!(decompress(b""), Err(CompressError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let c = compress(b"hello hello hello hello");
+        for cut in 12..c.len() {
+            let r = decompress(&c[..cut]);
+            assert!(r.is_err(), "cut {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn forged_length_header_rejected_without_allocation() {
+        // A 16-byte stream claiming a 2^60-byte original must be
+        // rejected up front (found by fuzzing: Vec::with_capacity on the
+        // attacker-controlled header was an allocation bomb).
+        let mut s = Vec::new();
+        s.extend_from_slice(MAGIC);
+        s.extend_from_slice(&(1u64 << 60).to_le_bytes());
+        s.extend_from_slice(&[0u8; 4]);
+        assert_eq!(decompress(&s), Err(CompressError::LengthMismatch));
+    }
+
+    #[test]
+    fn corrupted_reference_rejected() {
+        // Handcraft: declared len 4, one match token referencing back 200.
+        let mut s = Vec::new();
+        s.extend_from_slice(MAGIC);
+        s.extend_from_slice(&4u64.to_le_bytes());
+        s.push(0x80); // first token is a match
+        s.push(1); // len 4
+        s.extend_from_slice(&199u16.to_le_bytes()); // offset 200
+        assert_eq!(decompress(&s), Err(CompressError::BadReference));
+    }
+}

@@ -1,0 +1,114 @@
+//! XML attribute/text escaping.
+//!
+//! The dataset only ever stores hex digests, decimal integers and fixed
+//! element names, so escaping is rarely *exercised* — but the writer must
+//! be correct for any string (the paper's format is "rigorously
+//! specified", and a format that breaks on `&` would not be).
+
+/// Escapes a string for use in attribute values or text content.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape`]. Unknown entities are an error.
+pub fn unescape(s: &str) -> Result<String, UnescapeError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        let rest = &s[i + 1..];
+        let end = rest.find(';').ok_or(UnescapeError::UnterminatedEntity)?;
+        let entity = &rest[..end];
+        out.push(match entity {
+            "amp" => '&',
+            "lt" => '<',
+            "gt" => '>',
+            "quot" => '"',
+            "apos" => '\'',
+            _ => return Err(UnescapeError::UnknownEntity(entity.to_owned())),
+        });
+        // Skip the entity body and the semicolon.
+        for _ in 0..=end {
+            chars.next();
+        }
+    }
+    Ok(out)
+}
+
+/// Unescaping failures.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum UnescapeError {
+    /// `&` without a closing `;`.
+    UnterminatedEntity,
+    /// An entity name outside the XML 1.0 predefined five.
+    UnknownEntity(String),
+}
+
+impl std::fmt::Display for UnescapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnescapeError::UnterminatedEntity => write!(f, "unterminated entity"),
+            UnescapeError::UnknownEntity(e) => write!(f, "unknown entity &{e};"),
+        }
+    }
+}
+
+impl std::error::Error for UnescapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_specials() {
+        let s = r#"a & b < c > "d" 'e'"#;
+        let esc = escape(s);
+        assert!(!esc.contains('<'));
+        assert!(!esc.contains('"'));
+        assert_eq!(unescape(&esc).unwrap(), s);
+    }
+
+    #[test]
+    fn plain_strings_untouched()  {
+        assert_eq!(escape("d41d8cd98f00b204"), "d41d8cd98f00b204");
+        assert_eq!(unescape("12345").unwrap(), "12345");
+    }
+
+    #[test]
+    fn unterminated_entity_rejected() {
+        assert_eq!(unescape("a&amp"), Err(UnescapeError::UnterminatedEntity));
+    }
+
+    #[test]
+    fn unknown_entity_rejected() {
+        assert!(matches!(
+            unescape("&bogus;"),
+            Err(UnescapeError::UnknownEntity(_))
+        ));
+    }
+
+    #[test]
+    fn unicode_passes_through() {
+        let s = "héllo wörld ☺";
+        assert_eq!(unescape(&escape(s)).unwrap(), s);
+    }
+
+    #[test]
+    fn consecutive_entities() {
+        assert_eq!(unescape("&amp;&amp;&lt;").unwrap(), "&&<");
+    }
+}

@@ -1,0 +1,575 @@
+//! Pull parser for the dataset XML: proves the format round-trips and
+//! gives analyses a way to consume released datasets without re-running a
+//! capture.
+//!
+//! The parser handles the XML subset the writer emits (elements,
+//! attributes, self-closing tags, the XML declaration); it is not a
+//! general XML processor.
+
+use crate::escape::unescape;
+use etw_anonymize::scheme::{
+    AnonFileEntry, AnonMessage, AnonRecord, AnonSearchExpr, AnonTag, AnonTagValue,
+};
+
+/// Parse errors.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum XmlError {
+    /// Input ended inside a construct.
+    UnexpectedEof,
+    /// Malformed markup at byte offset.
+    Malformed(usize, &'static str),
+    /// Well-formed XML that does not follow the dataset schema.
+    Schema(String),
+}
+
+impl std::fmt::Display for XmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XmlError::UnexpectedEof => write!(f, "unexpected end of input"),
+            XmlError::Malformed(at, why) => write!(f, "malformed XML at byte {at}: {why}"),
+            XmlError::Schema(why) => write!(f, "schema violation: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// One markup event.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Token {
+    /// `<name a="v" ...>` or `<name ... />`.
+    Open {
+        /// Element name.
+        name: String,
+        /// Attributes in document order, values unescaped.
+        attrs: Vec<(String, String)>,
+        /// True for `<e/>`.
+        self_closing: bool,
+    },
+    /// `</name>`.
+    Close(String),
+}
+
+/// Streaming tokenizer over the writer's XML subset.
+pub struct Tokenizer<'a> {
+    s: &'a str,
+    pos: usize,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Starts at the beginning of `s`.
+    pub fn new(s: &'a str) -> Self {
+        Tokenizer { s, pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.s.len() && self.s.as_bytes()[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    /// Returns the next markup token, skipping the XML declaration and
+    /// inter-element whitespace. `Ok(None)` at a clean end of input.
+    pub fn next_token(&mut self) -> Result<Option<Token>, XmlError> {
+        loop {
+            self.skip_ws();
+            if self.pos >= self.s.len() {
+                return Ok(None);
+            }
+            let bytes = self.s.as_bytes();
+            if bytes[self.pos] != b'<' {
+                return Err(XmlError::Malformed(self.pos, "expected '<'"));
+            }
+            // XML declaration `<?...?>`: skip.
+            if self.s[self.pos..].starts_with("<?") {
+                let end = self.s[self.pos..]
+                    .find("?>")
+                    .ok_or(XmlError::UnexpectedEof)?;
+                self.pos += end + 2;
+                continue;
+            }
+            // Closing tag.
+            if self.s[self.pos..].starts_with("</") {
+                let end = self.s[self.pos..]
+                    .find('>')
+                    .ok_or(XmlError::UnexpectedEof)?;
+                let name = self.s[self.pos + 2..self.pos + end].trim().to_owned();
+                if name.is_empty() {
+                    return Err(XmlError::Malformed(self.pos, "empty closing tag"));
+                }
+                self.pos += end + 1;
+                return Ok(Some(Token::Close(name)));
+            }
+            // Opening tag.
+            let end = self.s[self.pos..]
+                .find('>')
+                .ok_or(XmlError::UnexpectedEof)?;
+            let inner = &self.s[self.pos + 1..self.pos + end];
+            let tag_start = self.pos;
+            self.pos += end + 1;
+            let (inner, self_closing) = match inner.strip_suffix('/') {
+                Some(rest) => (rest, true),
+                None => (inner, false),
+            };
+            let mut parts = inner.splitn(2, char::is_whitespace);
+            let name = parts
+                .next()
+                .filter(|n| !n.is_empty())
+                .ok_or(XmlError::Malformed(tag_start, "empty tag name"))?
+                .to_owned();
+            let attrs = match parts.next() {
+                Some(rest) => parse_attrs(rest, tag_start)?,
+                None => Vec::new(),
+            };
+            return Ok(Some(Token::Open {
+                name,
+                attrs,
+                self_closing,
+            }));
+        }
+    }
+}
+
+fn parse_attrs(mut s: &str, at: usize) -> Result<Vec<(String, String)>, XmlError> {
+    let mut attrs = Vec::new();
+    loop {
+        s = s.trim_start();
+        if s.is_empty() {
+            return Ok(attrs);
+        }
+        let eq = s
+            .find('=')
+            .ok_or(XmlError::Malformed(at, "attribute without '='"))?;
+        let name = s[..eq].trim().to_owned();
+        if name.is_empty() {
+            return Err(XmlError::Malformed(at, "empty attribute name"));
+        }
+        let rest = s[eq + 1..].trim_start();
+        let mut chars = rest.chars();
+        if chars.next() != Some('"') {
+            return Err(XmlError::Malformed(at, "attribute value not quoted"));
+        }
+        let close = rest[1..]
+            .find('"')
+            .ok_or(XmlError::Malformed(at, "unterminated attribute value"))?;
+        let raw = &rest[1..1 + close];
+        let value = unescape(raw).map_err(|_| XmlError::Malformed(at, "bad entity"))?;
+        attrs.push((name, value));
+        s = &rest[close + 2..];
+    }
+}
+
+/// A parsed element subtree (records are tiny; a tree per dialog is
+/// cheap and keeps the record decoding readable).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Node {
+    /// Element name.
+    pub name: String,
+    /// Attributes.
+    pub attrs: Vec<(String, String)>,
+    /// Child elements.
+    pub children: Vec<Node>,
+}
+
+impl Node {
+    /// Attribute lookup.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parsed numeric attribute.
+    pub fn attr_u64(&self, name: &str) -> Result<u64, XmlError> {
+        self.attr(name)
+            .ok_or_else(|| XmlError::Schema(format!("<{}> missing @{name}", self.name)))?
+            .parse()
+            .map_err(|_| XmlError::Schema(format!("<{}> @{name} not a number", self.name)))
+    }
+
+    /// Required string attribute.
+    pub fn attr_str(&self, name: &str) -> Result<&str, XmlError> {
+        self.attr(name)
+            .ok_or_else(|| XmlError::Schema(format!("<{}> missing @{name}", self.name)))
+    }
+}
+
+/// Reads one full element subtree starting from an already-consumed
+/// `Open` token.
+fn read_subtree(tok: &mut Tokenizer, open: Token) -> Result<Node, XmlError> {
+    let Token::Open {
+        name,
+        attrs,
+        self_closing,
+    } = open
+    else {
+        return Err(XmlError::Schema("expected element".into()));
+    };
+    let mut node = Node {
+        name,
+        attrs,
+        children: Vec::new(),
+    };
+    if self_closing {
+        return Ok(node);
+    }
+    loop {
+        match tok.next_token()?.ok_or(XmlError::UnexpectedEof)? {
+            Token::Close(n) if n == node.name => return Ok(node),
+            Token::Close(n) => {
+                return Err(XmlError::Schema(format!(
+                    "mismatched </{n}> inside <{}>",
+                    node.name
+                )))
+            }
+            open @ Token::Open { .. } => node.children.push(read_subtree(tok, open)?),
+        }
+    }
+}
+
+/// Streaming reader over a dataset document.
+pub struct DatasetReader<'a> {
+    tok: Tokenizer<'a>,
+    /// Set once `<capture>` has been consumed.
+    started: bool,
+    finished: bool,
+}
+
+impl<'a> DatasetReader<'a> {
+    /// Wraps a document.
+    pub fn new(s: &'a str) -> Self {
+        DatasetReader {
+            tok: Tokenizer::new(s),
+            started: false,
+            finished: false,
+        }
+    }
+
+    /// Returns the next dialog record, or `None` after `</capture>`.
+    pub fn next_record(&mut self) -> Result<Option<AnonRecord>, XmlError> {
+        if self.finished {
+            return Ok(None);
+        }
+        if !self.started {
+            match self.tok.next_token()? {
+                Some(Token::Open { name, .. }) if name == "capture" => self.started = true,
+                other => return Err(XmlError::Schema(format!("expected <capture>, got {other:?}"))),
+            }
+        }
+        match self.tok.next_token()? {
+            Some(Token::Close(n)) if n == "capture" => {
+                self.finished = true;
+                Ok(None)
+            }
+            Some(open @ Token::Open { .. }) => {
+                let node = read_subtree(&mut self.tok, open)?;
+                decode_record(&node).map(Some)
+            }
+            other => Err(XmlError::Schema(format!("expected <dialog>, got {other:?}"))),
+        }
+    }
+}
+
+impl<'a> Iterator for DatasetReader<'a> {
+    type Item = Result<AnonRecord, XmlError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+fn decode_record(node: &Node) -> Result<AnonRecord, XmlError> {
+    if node.name != "dialog" {
+        return Err(XmlError::Schema(format!("expected <dialog>, got <{}>", node.name)));
+    }
+    let ts_us = node.attr_u64("ts")?;
+    let peer = node.attr_u64("peer")? as u32;
+    let [msg_node] = &node.children[..] else {
+        return Err(XmlError::Schema("dialog must contain exactly one message".into()));
+    };
+    Ok(AnonRecord {
+        ts_us,
+        peer,
+        msg: decode_message(msg_node)?,
+    })
+}
+
+fn decode_message(n: &Node) -> Result<AnonMessage, XmlError> {
+    match n.name.as_str() {
+        "status_req" => Ok(AnonMessage::StatusRequest {
+            challenge: n.attr_u64("challenge")? as u32,
+        }),
+        "status_res" => Ok(AnonMessage::StatusResponse {
+            challenge: n.attr_u64("challenge")? as u32,
+            users: n.attr_u64("users")? as u32,
+            files: n.attr_u64("files")? as u32,
+        }),
+        "desc_req" => Ok(AnonMessage::ServerDescRequest),
+        "desc_res" => Ok(AnonMessage::ServerDescResponse {
+            name: n.attr_str("name")?.to_owned(),
+            description: n.attr_str("desc")?.to_owned(),
+        }),
+        "server_list_req" => Ok(AnonMessage::GetServerList),
+        "server_list" => {
+            let mut servers = Vec::with_capacity(n.children.len());
+            for c in &n.children {
+                expect_name(c, "server")?;
+                servers.push((c.attr_u64("ip")? as u32, c.attr_u64("port")? as u16));
+            }
+            Ok(AnonMessage::ServerList { servers })
+        }
+        "search" => {
+            let [expr] = &n.children[..] else {
+                return Err(XmlError::Schema("search needs one expression".into()));
+            };
+            Ok(AnonMessage::SearchRequest {
+                expr: decode_expr(expr)?,
+            })
+        }
+        "search_res" => {
+            let results = n
+                .children
+                .iter()
+                .map(|c| decode_entry(c, "result"))
+                .collect::<Result<_, _>>()?;
+            Ok(AnonMessage::SearchResponse { results })
+        }
+        "get_sources" => {
+            let mut files = Vec::with_capacity(n.children.len());
+            for c in &n.children {
+                expect_name(c, "file")?;
+                files.push(c.attr_u64("id")?);
+            }
+            Ok(AnonMessage::GetSources { files })
+        }
+        "found_sources" => {
+            let file = n.attr_u64("file")?;
+            let mut sources = Vec::with_capacity(n.children.len());
+            for c in &n.children {
+                expect_name(c, "src")?;
+                sources.push((c.attr_u64("client")? as u32, c.attr_u64("port")? as u16));
+            }
+            Ok(AnonMessage::FoundSources { file, sources })
+        }
+        "offer" => {
+            let files = n
+                .children
+                .iter()
+                .map(|c| decode_entry(c, "f"))
+                .collect::<Result<_, _>>()?;
+            Ok(AnonMessage::OfferFiles { files })
+        }
+        other => Err(XmlError::Schema(format!("unknown message element <{other}>"))),
+    }
+}
+
+fn expect_name(n: &Node, want: &str) -> Result<(), XmlError> {
+    if n.name == want {
+        Ok(())
+    } else {
+        Err(XmlError::Schema(format!("expected <{want}>, got <{}>", n.name)))
+    }
+}
+
+fn decode_entry(n: &Node, elem: &str) -> Result<AnonFileEntry, XmlError> {
+    expect_name(n, elem)?;
+    let tags = n
+        .children
+        .iter()
+        .map(|c| {
+            expect_name(c, "tag")?;
+            let name = c.attr_str("name")?.to_owned();
+            let value = if let Some(h) = c.attr("hash") {
+                AnonTagValue::Hashed(h.to_owned())
+            } else {
+                AnonTagValue::UInt(c.attr_u64("uint")?)
+            };
+            Ok(AnonTag { name, value })
+        })
+        .collect::<Result<_, XmlError>>()?;
+    Ok(AnonFileEntry {
+        file: n.attr_u64("id")?,
+        client: n.attr_u64("client")? as u32,
+        port: n.attr_u64("port")? as u16,
+        tags,
+    })
+}
+
+fn decode_expr(n: &Node) -> Result<AnonSearchExpr, XmlError> {
+    match n.name.as_str() {
+        "and" | "or" | "andnot" => {
+            let [l, r] = &n.children[..] else {
+                return Err(XmlError::Schema(format!("<{}> needs two operands", n.name)));
+            };
+            let op = match n.name.as_str() {
+                "and" => "and",
+                "or" => "or",
+                _ => "andnot",
+            };
+            Ok(AnonSearchExpr::Bool {
+                op,
+                left: Box::new(decode_expr(l)?),
+                right: Box::new(decode_expr(r)?),
+            })
+        }
+        "kw" => Ok(AnonSearchExpr::Keyword(n.attr_str("hash")?.to_owned())),
+        "metastr" => Ok(AnonSearchExpr::MetaStr {
+            name: n.attr_str("name")?.to_owned(),
+            value: n.attr_str("hash")?.to_owned(),
+        }),
+        "metanum" => Ok(AnonSearchExpr::MetaNum {
+            name: n.attr_str("name")?.to_owned(),
+            cmp: if n.attr_str("cmp")? == "ge" { ">=" } else { "<=" },
+            value: n.attr_u64("value")?,
+        }),
+        other => Err(XmlError::Schema(format!("unknown expression element <{other}>"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::to_xml_string;
+
+    fn sample_records() -> Vec<AnonRecord> {
+        vec![
+            AnonRecord {
+                ts_us: 0,
+                peer: 0,
+                msg: AnonMessage::StatusRequest { challenge: 99 },
+            },
+            AnonRecord {
+                ts_us: 5,
+                peer: 1,
+                msg: AnonMessage::SearchRequest {
+                    expr: AnonSearchExpr::Bool {
+                        op: "and",
+                        left: Box::new(AnonSearchExpr::Keyword("deadbeef".into())),
+                        right: Box::new(AnonSearchExpr::MetaNum {
+                            name: "filesize".into(),
+                            cmp: ">=",
+                            value: 700,
+                        }),
+                    },
+                },
+            },
+            AnonRecord {
+                ts_us: 7,
+                peer: 0,
+                msg: AnonMessage::FoundSources {
+                    file: 3,
+                    sources: vec![(1, 4662), (2, 4672)],
+                },
+            },
+            AnonRecord {
+                ts_us: 9,
+                peer: 2,
+                msg: AnonMessage::OfferFiles {
+                    files: vec![AnonFileEntry {
+                        file: 8,
+                        client: 2,
+                        port: 4662,
+                        tags: vec![
+                            AnonTag {
+                                name: "filename".into(),
+                                value: AnonTagValue::Hashed("aa".into()),
+                            },
+                            AnonTag {
+                                name: "filesize".into(),
+                                value: AnonTagValue::UInt(5120),
+                            },
+                        ],
+                    }],
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn full_round_trip() {
+        let records = sample_records();
+        let xml = to_xml_string(&records);
+        let got: Vec<AnonRecord> = DatasetReader::new(&xml)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(got, records);
+    }
+
+    #[test]
+    fn tokenizer_basic() {
+        let mut t = Tokenizer::new("<?xml version=\"1.0\"?>\n<a x=\"1\"><b/></a>");
+        assert_eq!(
+            t.next_token().unwrap().unwrap(),
+            Token::Open {
+                name: "a".into(),
+                attrs: vec![("x".into(), "1".into())],
+                self_closing: false
+            }
+        );
+        assert_eq!(
+            t.next_token().unwrap().unwrap(),
+            Token::Open {
+                name: "b".into(),
+                attrs: vec![],
+                self_closing: true
+            }
+        );
+        assert_eq!(t.next_token().unwrap().unwrap(), Token::Close("a".into()));
+        assert!(t.next_token().unwrap().is_none());
+    }
+
+    #[test]
+    fn mismatched_close_rejected() {
+        let xml = "<capture spec=\"etw-1.0\"><dialog ts=\"0\" peer=\"0\"><status_req challenge=\"1\"/></oops></capture>";
+        let mut r = DatasetReader::new(xml);
+        assert!(r.next_record().is_err());
+    }
+
+    #[test]
+    fn truncated_document_rejected() {
+        let records = sample_records();
+        let xml = to_xml_string(&records);
+        let cut = &xml[..xml.len() - 20];
+        let result: Result<Vec<AnonRecord>, XmlError> = DatasetReader::new(cut).collect();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn schema_violations_detected() {
+        let xml = "<capture spec=\"etw-1.0\"><dialog ts=\"0\" peer=\"0\"><bogus/></dialog></capture>";
+        let err = DatasetReader::new(xml).next_record().unwrap_err();
+        assert!(matches!(err, XmlError::Schema(_)));
+
+        // Missing attribute.
+        let xml = "<capture spec=\"etw-1.0\"><dialog peer=\"0\"><status_req challenge=\"1\"/></dialog></capture>";
+        assert!(DatasetReader::new(xml).next_record().is_err());
+    }
+
+    #[test]
+    fn escaped_attributes_unescaped() {
+        let mut t = Tokenizer::new("<a v=\"x &amp; y\"/>");
+        match t.next_token().unwrap().unwrap() {
+            Token::Open { attrs, .. } => assert_eq!(attrs[0].1, "x & y"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_capture() {
+        let xml = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<capture spec=\"etw-1.0\">\n</capture>\n";
+        let records: Vec<AnonRecord> = DatasetReader::new(xml)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn reader_is_fused_after_end() {
+        let xml = to_xml_string(&sample_records());
+        let mut r = DatasetReader::new(&xml);
+        while r.next_record().unwrap().is_some() {}
+        assert!(r.next_record().unwrap().is_none());
+        assert!(r.next_record().unwrap().is_none());
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests for the dataset format: writer→reader identity over
+//! arbitrary records, and compressor round-trip over arbitrary bytes.
+
+use etw_anonymize::scheme::{
+    AnonFileEntry, AnonMessage, AnonRecord, AnonSearchExpr, AnonTag, AnonTagValue,
+};
+use etw_xmlout::compress::{compress, decompress};
+use etw_xmlout::reader::DatasetReader;
+use etw_xmlout::writer::to_xml_string;
+use proptest::prelude::*;
+
+fn arb_tag() -> impl Strategy<Value = AnonTag> {
+    (
+        "[a-z_]{1,12}",
+        prop_oneof![
+            "[0-9a-f]{32}".prop_map(AnonTagValue::Hashed),
+            any::<u64>().prop_map(AnonTagValue::UInt),
+        ],
+    )
+        .prop_map(|(name, value)| AnonTag { name, value })
+}
+
+fn arb_entry() -> impl Strategy<Value = AnonFileEntry> {
+    (
+        any::<u64>(),
+        any::<u32>(),
+        any::<u16>(),
+        prop::collection::vec(arb_tag(), 0..4),
+    )
+        .prop_map(|(file, client, port, tags)| AnonFileEntry {
+            file,
+            client,
+            port,
+            tags,
+        })
+}
+
+fn arb_expr() -> impl Strategy<Value = AnonSearchExpr> {
+    let leaf = prop_oneof![
+        "[0-9a-f]{32}".prop_map(AnonSearchExpr::Keyword),
+        ("[a-z_]{1,10}", "[0-9a-f]{32}")
+            .prop_map(|(name, value)| AnonSearchExpr::MetaStr { name, value }),
+        ("[a-z_]{1,10}", prop_oneof![Just(">="), Just("<=")], any::<u64>())
+            .prop_map(|(name, cmp, value)| AnonSearchExpr::MetaNum { name, cmp, value }),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        (
+            prop_oneof![Just("and"), Just("or"), Just("andnot")],
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, l, r)| AnonSearchExpr::Bool {
+                op,
+                left: Box::new(l),
+                right: Box::new(r),
+            })
+    })
+}
+
+fn arb_message() -> impl Strategy<Value = AnonMessage> {
+    prop_oneof![
+        any::<u32>().prop_map(|challenge| AnonMessage::StatusRequest { challenge }),
+        (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(challenge, users, files)| {
+            AnonMessage::StatusResponse {
+                challenge,
+                users,
+                files,
+            }
+        }),
+        Just(AnonMessage::ServerDescRequest),
+        ("[0-9a-f]{32}", "[0-9a-f]{32}")
+            .prop_map(|(name, description)| AnonMessage::ServerDescResponse {
+                name,
+                description
+            }),
+        Just(AnonMessage::GetServerList),
+        prop::collection::vec((any::<u32>(), any::<u16>()), 0..6)
+            .prop_map(|servers| AnonMessage::ServerList { servers }),
+        arb_expr().prop_map(|expr| AnonMessage::SearchRequest { expr }),
+        prop::collection::vec(arb_entry(), 0..4)
+            .prop_map(|results| AnonMessage::SearchResponse { results }),
+        prop::collection::vec(any::<u64>(), 1..6)
+            .prop_map(|files| AnonMessage::GetSources { files }),
+        (any::<u64>(), prop::collection::vec((any::<u32>(), any::<u16>()), 0..8))
+            .prop_map(|(file, sources)| AnonMessage::FoundSources { file, sources }),
+        prop::collection::vec(arb_entry(), 0..4)
+            .prop_map(|files| AnonMessage::OfferFiles { files }),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = AnonRecord> {
+    (any::<u64>(), any::<u32>(), arb_message()).prop_map(|(ts_us, peer, msg)| AnonRecord {
+        ts_us,
+        peer,
+        msg,
+    })
+}
+
+proptest! {
+    /// XML writer → reader is the identity on arbitrary record streams.
+    #[test]
+    fn xml_round_trip(records in prop::collection::vec(arb_record(), 0..20)) {
+        let xml = to_xml_string(&records);
+        let back: Vec<AnonRecord> = DatasetReader::new(&xml)
+            .collect::<Result<_, _>>()
+            .expect("parse");
+        prop_assert_eq!(back, records);
+    }
+
+    /// LZSS compress → decompress is the identity on arbitrary bytes.
+    #[test]
+    fn compress_round_trip(data in prop::collection::vec(any::<u8>(), 0..5_000)) {
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).expect("decompress"), data);
+    }
+
+    /// Compressing structured (repetitive) data shrinks it.
+    #[test]
+    fn compression_shrinks_repetition(unit in prop::collection::vec(any::<u8>(), 4..50),
+                                      reps in 50usize..200) {
+        let data: Vec<u8> = unit.iter().cycle().take(unit.len() * reps).copied().collect();
+        let c = compress(&data);
+        prop_assert!(c.len() < data.len() / 3,
+            "only {} -> {}", data.len(), c.len());
+    }
+
+    /// The reader is total: arbitrary input never panics — it returns
+    /// records or errors.
+    #[test]
+    fn reader_never_panics(input in "[ -~<>/\"=]{0,400}") {
+        let mut reader = DatasetReader::new(&input);
+        for _ in 0..500 {
+            match reader.next_record() {
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    /// Nor does the decompressor, on arbitrary container bytes.
+    #[test]
+    fn decompress_never_panics(mut bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = decompress(&bytes);
+        // Even with a valid magic prefix and lying length fields.
+        if bytes.len() >= 12 {
+            bytes[..4].copy_from_slice(b"ETWZ");
+            let _ = decompress(&bytes);
+        }
+    }
+
+    /// The compressed dataset round-trips through XML too: compress the
+    /// document, decompress, reparse, same records.
+    #[test]
+    fn compressed_dataset_round_trip(records in prop::collection::vec(arb_record(), 1..10)) {
+        let xml = to_xml_string(&records);
+        let stored = compress(xml.as_bytes());
+        let restored = String::from_utf8(decompress(&stored).unwrap()).unwrap();
+        let back: Vec<AnonRecord> = DatasetReader::new(&restored)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        prop_assert_eq!(back, records);
+    }
+}

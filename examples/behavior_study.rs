@@ -1,0 +1,104 @@
+//! Behaviour study — runs the analyses the paper lists as opened-up
+//! research directions (§3.2 and §4): provide/ask correlation,
+//! communities of interest, growth curves, and file-spread speed.
+//!
+//! ```text
+//! cargo run --release --example behavior_study
+//! ```
+
+use edonkey_ten_weeks::analysis::behavior::BehaviorStats;
+use edonkey_ten_weeks::analysis::report::grouped;
+use edonkey_ten_weeks::analysis::{fit_histogram, DatasetStats};
+use edonkey_ten_weeks::core::{run_campaign, CampaignConfig};
+
+fn main() {
+    let mut config = CampaignConfig::tiny();
+    config.population.n_clients = 600;
+    config.generator.duration_secs = 6 * 3_600;
+
+    let mut behavior = BehaviorStats::new();
+    let mut stats = DatasetStats::new();
+    let report = run_campaign(&config, |r| {
+        behavior.observe(&r);
+        stats.observe(&r);
+    });
+    println!(
+        "campaign: {} records, {} clients, {} files\n",
+        grouped(report.records),
+        grouped(report.distinct_clients as u64),
+        grouped(report.distinct_files)
+    );
+
+    // §3.2: correlation between files provided and files asked for.
+    println!("== provide/ask correlation (paper §3.2's open question) ==");
+    match behavior.provide_ask_correlation() {
+        Some(c) => println!(
+            "  over {} dual-role clients: Pearson {:.3}, Spearman {:.3}",
+            c.n, c.pearson, c.spearman
+        ),
+        None => println!("  not enough dual-role clients"),
+    }
+    println!(
+        "  ({} clients both provide and ask)\n",
+        behavior.dual_role_clients()
+    );
+
+    // §4: communities of interest.
+    println!("== communities of interest (co-asked files, label propagation) ==");
+    let comms = behavior.communities(3, 50);
+    println!("  {} communities of size >= 2", comms.len());
+    for (i, c) in comms.iter().take(5).enumerate() {
+        println!("  community #{i}: {} clients", c.len());
+    }
+    println!();
+
+    // Wide-time-scale growth curves.
+    println!("== growth of the observed population (hourly buckets) ==");
+    let hours = |us: u64| us / 3_600_000_000;
+    for (ts, n) in behavior.client_growth(3_600_000_000) {
+        println!("  after hour {:>2}: {:>6} distinct clients", hours(ts) + 1, n);
+    }
+    println!();
+
+    // Keyword popularity: strings are hashed but joinable (§2.4), so
+    // search-term popularity remains analysable from the dataset.
+    println!("== search keyword popularity (hashed but joinable) ==");
+    let kw = stats.keyword_popularity();
+    println!(
+        "  {} distinct hashed keywords, most-searched keyword used {} times",
+        grouped(stats.distinct_keywords() as u64),
+        kw.max_value().unwrap_or(0)
+    );
+    if let Some(fit) = fit_histogram(&kw) {
+        println!(
+            "  popularity distribution: alpha={:.2}, r2={:.3}",
+            fit.alpha, fit.r2
+        );
+    }
+    println!();
+
+    // §4: how files spread among users.
+    println!("== file spread: time from 1st to 5th provider ==");
+    let h = behavior.spread_time_to_k(5);
+    if h.total() == 0 {
+        println!("  no file reached 5 providers at this scale");
+    } else {
+        let pts = h.sorted_points();
+        let median_idx = h.total() / 2;
+        let mut acc = 0;
+        let mut median = 0;
+        for (v, c) in &pts {
+            acc += c;
+            if acc > median_idx {
+                median = *v;
+                break;
+            }
+        }
+        println!(
+            "  {} files reached 5 providers; median spread time {}s, fastest {}s",
+            h.total(),
+            median,
+            pts.first().map(|p| p.0).unwrap_or(0),
+        );
+    }
+}

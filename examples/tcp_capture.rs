@@ -1,0 +1,115 @@
+//! TCP capture — a working demonstration of the measurement the paper
+//! could not do (§2.2) and proposed as future work: capture eDonkey TCP
+//! sessions, reconstruct the flows, decode the login handshake and the
+//! message stream, and quantify what capture loss costs.
+//!
+//! ```text
+//! cargo run --release --example tcp_capture
+//! ```
+
+use edonkey_ten_weeks::edonkey::ids::ClientId;
+use edonkey_ten_weeks::edonkey::messages::{FileEntry, Message};
+use edonkey_ten_weeks::edonkey::session::{handshake_response, IdAssigner, SessionMessage};
+use edonkey_ten_weeks::edonkey::stream::{encode_stream, StreamDecoder};
+use edonkey_ten_weeks::edonkey::tags::{special, Tag, TagList};
+use edonkey_ten_weeks::edonkey::{FileId, SearchExpr};
+use edonkey_ten_weeks::netsim::flows::{FlowOutcome, FlowReassembler};
+use edonkey_ten_weeks::netsim::tcp::segmentize;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds one client's TCP session: login handshake bytes prepended to a
+/// run of ordinary messages.
+fn session_stream(client_ip: u32, assigner: &mut IdAssigner, n_msgs: usize) -> Vec<u8> {
+    // Login (the session messages use the same framing as the rest).
+    let login = SessionMessage::LoginRequest {
+        user_hash: {
+            let mut h = [0u8; 16];
+            h[..4].copy_from_slice(&client_ip.to_be_bytes());
+            h
+        },
+        client_id: ClientId(0),
+        port: 4662,
+        tags: TagList(vec![Tag::u32(special::VERSION, 60)]),
+    };
+    // The server answers in its own direction; here we only build the
+    // client→server stream, but run the handshake to exercise the ID
+    // assignment rule.
+    let reachable = !client_ip.is_multiple_of(4); // 25 % NATed clients
+    let _answers = handshake_response(assigner, client_ip, reachable, "welcome");
+
+    let mut msgs = Vec::with_capacity(n_msgs);
+    for i in 0..n_msgs {
+        msgs.push(match i % 3 {
+            0 => Message::SearchRequest {
+                expr: SearchExpr::keyword(format!("term{}", i % 11)),
+            },
+            1 => Message::GetSources {
+                file_ids: vec![FileId::of_identity(i as u64)],
+            },
+            _ => Message::OfferFiles {
+                files: vec![FileEntry {
+                    file_id: FileId::of_identity(i as u64 * 31),
+                    client_id: ClientId(client_ip),
+                    port: 4662,
+                    tags: TagList(vec![
+                        Tag::str(special::FILENAME, format!("shared item {i}.mp3")),
+                        Tag::u32(special::FILESIZE, 3_000_000),
+                    ]),
+                }],
+            },
+        });
+    }
+    let mut stream = Vec::new();
+    // Frame the login like any other message: marker + len + body.
+    let login_frame = login.encode();
+    stream.push(0xE3);
+    stream.extend_from_slice(&((login_frame.len() - 1) as u32).to_le_bytes());
+    stream.extend_from_slice(&login_frame[1..]);
+    stream.extend_from_slice(&encode_stream(&msgs));
+    stream
+}
+
+fn main() {
+    let mut assigner = IdAssigner::new();
+    let n_flows = 200u32;
+    let msgs_per_flow = 1_500usize; // ~60 KB sessions, ~45 segments
+
+    for loss_pct in [0.0, 0.1, 0.5, 1.0, 2.0] {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut reasm = FlowReassembler::new();
+        let mut complete = 0u64;
+        let mut decoded_msgs = 0u64;
+        let mut segments = 0u64;
+        for f in 0..n_flows {
+            let ip = 0x5200_0000 + f;
+            let stream = session_stream(ip, &mut assigner, msgs_per_flow);
+            let segs = segmentize(ip, 0x5216_0a01, 40_000, 4661, f * 7, &stream, 1460);
+            for seg in &segs {
+                segments += 1;
+                if rng.gen_bool(loss_pct / 100.0) {
+                    continue;
+                }
+                if let Some(FlowOutcome::Complete(bytes)) = reasm.push(seg) {
+                    complete += 1;
+                    let mut d = StreamDecoder::new();
+                    decoded_msgs += d.push(&bytes).len() as u64;
+                }
+            }
+        }
+        println!(
+            "segment loss {loss_pct:>4.1} %: {complete:>4}/{n_flows} flows complete, \
+             {decoded_msgs:>6} messages decoded ({segments} segments seen)",
+        );
+    }
+    println!(
+        "\nNATed clients received low IDs 1..{} from the server's assigner — the 24-bit \
+         clientID of the paper's §2.1.",
+        assigner.low_ids_assigned()
+    );
+    println!(
+        "The collapse above — percent-level segment loss destroying most flows — is the paper's \
+         §2.2 footnote, measured. (See tests/tcp_extension.rs for the resynchronising decoder \
+         that recovers most messages anyway.)"
+    );
+}

@@ -1,0 +1,232 @@
+//! Dataset toolbox for the released XML format — the utility a consumer
+//! of the paper's public dataset would want.
+//!
+//! ```text
+//! etwtool validate   <dataset[.etwz]>        check against the formal spec
+//! etwtool stats      <dataset[.etwz]>        record counts + §3 quick stats
+//! etwtool head       <dataset[.etwz]> [N]    print the first N records
+//! etwtool compress   <in.xml> <out.etwz>     LZSS storage codec
+//! etwtool decompress <in.etwz> <out.xml>
+//! etwtool spec                               print the format specification
+//! ```
+//!
+//! Compressed inputs are detected by magic and decompressed on the fly.
+
+use edonkey_ten_weeks::analysis::report::{grouped, KvTable};
+use edonkey_ten_weeks::analysis::DatasetStats;
+use edonkey_ten_weeks::xmlout::compress::{compress, decompress, MAGIC};
+use edonkey_ten_weeks::xmlout::reader::DatasetReader;
+use edonkey_ten_weeks::xmlout::schema::{validate, SPEC};
+use std::fs;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("head") => cmd_head(&args[1..]),
+        Some("compress") => cmd_compress(&args[1..]),
+        Some("decompress") => cmd_decompress(&args[1..]),
+        Some("split") => cmd_split(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
+        Some("spec") => {
+            println!("{SPEC}");
+            Ok(())
+        }
+        _ => {
+            eprintln!(
+                "usage: etwtool <validate|stats|head|compress|decompress|split|merge|spec> [args]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("etwtool: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Loads a dataset file, transparently decompressing `.etwz` containers.
+fn load(path: &str) -> Result<String, String> {
+    let bytes = fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let bytes = if bytes.len() >= 4 && &bytes[..4] == MAGIC {
+        decompress(&bytes).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        bytes
+    };
+    String::from_utf8(bytes).map_err(|_| format!("{path}: not valid UTF-8"))
+}
+
+fn one_arg<'a>(args: &'a [String], what: &str) -> Result<&'a str, String> {
+    args.first()
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing {what}"))
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let path = one_arg(args, "dataset path")?;
+    let xml = load(path)?;
+    let report = validate(&xml).map_err(|e| format!("INVALID: {e}"))?;
+    println!("OK: {} records conform to etw-1.0", grouped(report.records));
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let path = one_arg(args, "dataset path")?;
+    let xml = load(path)?;
+    let mut stats = DatasetStats::new();
+    let mut first_ts = u64::MAX;
+    let mut last_ts = 0u64;
+    for record in DatasetReader::new(&xml) {
+        let r = record.map_err(|e| e.to_string())?;
+        first_ts = first_ts.min(r.ts_us);
+        last_ts = last_ts.max(r.ts_us);
+        stats.observe(&r);
+    }
+    let mut t = KvTable::new();
+    t.row("records", grouped(stats.records()))
+        .row("queries", grouped(stats.queries()))
+        .row(
+            "span",
+            if stats.records() == 0 {
+                "-".to_owned()
+            } else {
+                format!("{:.1} hours", (last_ts - first_ts) as f64 / 3.6e9)
+            },
+        );
+    let fam = stats.by_family();
+    for (name, n) in [
+        ("management", fam[0]),
+        ("file searches", fam[1]),
+        ("source searches", fam[2]),
+        ("announcements", fam[3]),
+    ] {
+        t.row(format!("  {name}"), grouped(n));
+    }
+    let prov = stats.providers_per_file();
+    let seek = stats.files_per_seeker();
+    let sizes = stats.size_histogram_kb();
+    t.row("files with providers", grouped(prov.total()))
+        .row(
+            "max providers for one file",
+            prov.max_value().unwrap_or(0),
+        )
+        .row("clients asking", grouped(seek.total()))
+        .row("clients asking exactly 52 files", seek.count(52))
+        .row("files sized", grouped(sizes.total()))
+        .row("files at exactly 700 MB", sizes.count(700 * 1024));
+    print!("{}", t.render());
+    Ok(())
+}
+
+fn cmd_head(args: &[String]) -> Result<(), String> {
+    let path = one_arg(args, "dataset path")?;
+    let n: usize = args
+        .get(1)
+        .map(|s| s.parse().map_err(|_| format!("bad count {s}")))
+        .transpose()?
+        .unwrap_or(10);
+    let xml = load(path)?;
+    for (i, record) in DatasetReader::new(&xml).take(n).enumerate() {
+        let r = record.map_err(|e| e.to_string())?;
+        println!("#{i} {r:?}");
+    }
+    Ok(())
+}
+
+fn cmd_compress(args: &[String]) -> Result<(), String> {
+    let [input, output] = args else {
+        return Err("usage: compress <in.xml> <out.etwz>".into());
+    };
+    let data = fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let packed = compress(&data);
+    fs::write(output, &packed).map_err(|e| format!("{output}: {e}"))?;
+    println!(
+        "{} -> {} bytes ({:.1}x)",
+        data.len(),
+        packed.len(),
+        data.len() as f64 / packed.len().max(1) as f64
+    );
+    Ok(())
+}
+
+/// Splits a dataset into N time-contiguous chunks (`<out>.partK.xml`),
+/// as large captures are released (the paper's dataset ships in pieces).
+fn cmd_split(args: &[String]) -> Result<(), String> {
+    let [input, parts] = args else {
+        return Err("usage: split <dataset[.etwz]> <n-parts>".into());
+    };
+    let n: usize = parts.parse().map_err(|_| format!("bad part count {parts}"))?;
+    if n == 0 {
+        return Err("part count must be positive".into());
+    }
+    let xml = load(input)?;
+    let records: Vec<_> = DatasetReader::new(&xml)
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    let per_part = records.len().div_ceil(n.max(1)).max(1);
+    let stem = input.trim_end_matches(".etwz").trim_end_matches(".xml");
+    for (k, chunk) in records.chunks(per_part).enumerate() {
+        let path = format!("{stem}.part{k}.xml");
+        let file = fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
+        let mut w = edonkey_ten_weeks::xmlout::writer::DatasetWriter::new(
+            std::io::BufWriter::new(file),
+        )
+        .map_err(|e| e.to_string())?;
+        for r in chunk {
+            w.write_record(r).map_err(|e| e.to_string())?;
+        }
+        w.finish().map_err(|e| e.to_string())?;
+        println!("wrote {path} ({} records)", chunk.len());
+    }
+    Ok(())
+}
+
+/// Merges dataset chunks back into one document, checking that record
+/// timestamps stay non-decreasing across the seam.
+fn cmd_merge(args: &[String]) -> Result<(), String> {
+    if args.len() < 2 {
+        return Err("usage: merge <out.xml> <part.xml>...".into());
+    }
+    let output = &args[0];
+    let file = fs::File::create(output).map_err(|e| format!("{output}: {e}"))?;
+    let mut w =
+        edonkey_ten_weeks::xmlout::writer::DatasetWriter::new(std::io::BufWriter::new(file))
+            .map_err(|e| e.to_string())?;
+    let mut last_ts = 0u64;
+    let mut total = 0u64;
+    for part in &args[1..] {
+        let xml = load(part)?;
+        for record in DatasetReader::new(&xml) {
+            let r = record.map_err(|e| format!("{part}: {e}"))?;
+            if r.ts_us < last_ts {
+                return Err(format!(
+                    "{part}: timestamps regress across parts ({} < {last_ts}); \
+                     merge parts in capture order",
+                    r.ts_us
+                ));
+            }
+            last_ts = r.ts_us;
+            w.write_record(&r).map_err(|e| e.to_string())?;
+            total += 1;
+        }
+    }
+    w.finish().map_err(|e| e.to_string())?;
+    println!("wrote {output} ({} records)", grouped(total));
+    Ok(())
+}
+
+fn cmd_decompress(args: &[String]) -> Result<(), String> {
+    let [input, output] = args else {
+        return Err("usage: decompress <in.etwz> <out.xml>".into());
+    };
+    let data = fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let plain = decompress(&data).map_err(|e| format!("{input}: {e}"))?;
+    fs::write(output, &plain).map_err(|e| format!("{output}: {e}"))?;
+    println!("{} -> {} bytes", data.len(), plain.len());
+    Ok(())
+}

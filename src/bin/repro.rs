@@ -1,0 +1,316 @@
+//! Regenerates every table and figure of "Ten weeks in the life of an
+//! eDonkey server" from the simulated measurement stack.
+//!
+//! ```text
+//! repro [--tiny] [--out DIR] <t1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|all>
+//! ```
+//!
+//! * `t1`   — the dataset summary numbers (§2.2–2.5)
+//! * `fig2` — packet losses per second + cumulative, over ten virtual
+//!   weeks (full-duration fluid simulation of the capture ring)
+//! * `fig3` — fileID anonymisation-array sizes after one virtual week,
+//!   first-two-bytes vs alternative byte selector
+//! * `fig4`–`fig7` — the provider/seeker degree distributions
+//! * `fig8` — the file-size histogram
+//! * `all`  — everything, sharing one campaign run
+//!
+//! Each figure writes a gnuplot-ready `.dat` series under `--out`
+//! (default `results/`) and prints a caption with the quantities the
+//! paper calls out.
+
+use edonkey_ten_weeks::analysis::report::{describe_fit, grouped, series_f64, series_u64};
+use edonkey_ten_weeks::analysis::{find_peaks, fit_histogram, DatasetStats, IntHistogram, SparseSeries};
+use edonkey_ten_weeks::core::{render_t1, run_campaign, CampaignConfig, CampaignReport};
+use edonkey_ten_weeks::netsim::capture::{CaptureBuffer, LossRecorder};
+use edonkey_ten_weeks::netsim::clock::VirtualTime;
+use edonkey_ten_weeks::netsim::traffic::RateModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+struct Args {
+    tiny: bool,
+    out: PathBuf,
+    what: String,
+    /// Virtual campaign length in weeks (default 1; the paper ran 10).
+    weeks: u64,
+}
+
+fn parse_args() -> Args {
+    let mut tiny = false;
+    let mut out = PathBuf::from("results");
+    let mut what = String::from("all");
+    let mut weeks = 1u64;
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--tiny" => tiny = true,
+            "--weeks" => {
+                weeks = argv
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--weeks needs a positive integer");
+                        std::process::exit(2);
+                    })
+            }
+            "--out" => {
+                out = PathBuf::from(argv.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                }))
+            }
+            "-h" | "--help" => {
+                println!(
+                    "usage: repro [--tiny] [--weeks N] [--out DIR] <t1|fig2|fig3|fig4..fig8|all>"
+                );
+                std::process::exit(0);
+            }
+            w => what = w.to_owned(),
+        }
+    }
+    Args {
+        tiny,
+        out,
+        what,
+        weeks,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    fs::create_dir_all(&args.out).expect("create output dir");
+    let needs_campaign = args.what != "fig2";
+    let campaign = needs_campaign.then(|| run_campaign_once(args.tiny, args.weeks));
+
+    match args.what.as_str() {
+        "t1" => t1(campaign.as_ref().unwrap()),
+        "fig2" => fig2(&args.out, args.tiny),
+        "fig3" => fig3(campaign.as_ref().unwrap(), &args.out),
+        "fig4" => fig_distribution(campaign.as_ref().unwrap(), &args.out, 4),
+        "fig5" => fig_distribution(campaign.as_ref().unwrap(), &args.out, 5),
+        "fig6" => fig_distribution(campaign.as_ref().unwrap(), &args.out, 6),
+        "fig7" => fig_distribution(campaign.as_ref().unwrap(), &args.out, 7),
+        "fig8" => fig8(campaign.as_ref().unwrap(), &args.out),
+        "all" => {
+            let c = campaign.as_ref().unwrap();
+            t1(c);
+            fig2(&args.out, args.tiny);
+            fig3(c, &args.out);
+            for fig in 4..=7 {
+                fig_distribution(c, &args.out, fig);
+            }
+            fig8(c, &args.out);
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}; try --help");
+            std::process::exit(2);
+        }
+    }
+}
+
+struct CampaignRun {
+    report: CampaignReport,
+    stats: DatasetStats,
+}
+
+fn run_campaign_once(tiny: bool, weeks: u64) -> CampaignRun {
+    let mut config = if tiny {
+        CampaignConfig::tiny()
+    } else {
+        CampaignConfig::default()
+    };
+    if !tiny {
+        // The paper's campaign ran ten weeks; message volume scales
+        // linearly with virtual duration (~6 min/week at default scale).
+        config.generator.duration_secs = weeks.max(1) * 7 * 86_400;
+    }
+    eprintln!(
+        "running campaign: {} clients, {} files, {} virtual seconds, seed {}",
+        config.population.n_clients,
+        config.catalog.n_files,
+        config.generator.duration_secs,
+        config.seed
+    );
+    let started = Instant::now();
+    let mut stats = DatasetStats::new();
+    let report = run_campaign(&config, |record| stats.observe(&record));
+    eprintln!(
+        "campaign done in {:.1}s: {} records",
+        started.elapsed().as_secs_f64(),
+        grouped(report.records)
+    );
+    CampaignRun { report, stats }
+}
+
+fn write(out: &Path, name: &str, contents: &str) {
+    let path = out.join(name);
+    fs::write(&path, contents).expect("write series");
+    println!("  wrote {}", path.display());
+}
+
+fn t1(c: &CampaignRun) {
+    println!("== T1: dataset summary (paper §2.2–2.5) ==");
+    print!("{}", render_t1(&c.report));
+    println!();
+}
+
+/// Fig. 2 runs at the paper's FULL temporal scale: ten weeks of seconds,
+/// fluid capture-ring model. (The message-level campaign is scaled down;
+/// the loss process does not need messages, only rates.)
+fn fig2(out: &Path, tiny: bool) {
+    println!("== Fig. 2: ethernet packet losses per second, ten weeks ==");
+    let weeks = if tiny { 1 } else { 10 };
+    let horizon = weeks * 7 * 86_400u64;
+    // Paper-like regime: ~5200 pps mean over the whole capture, rare
+    // flash bursts; a 64k-packet kernel ring drained comfortably above
+    // the diurnal peak, so that only the tail of the burst distribution
+    // overflows it — which is what makes the loss ratio ~1e-5 while
+    // Fig. 2 still shows visible loss events.
+    let model = RateModel::new(5_200.0, 0.45, 0.10, horizon, 26 * weeks as usize, 0xF162);
+    let mut ring = CaptureBuffer::new(65_536, 68_000.0);
+    let mut recorder = LossRecorder::new();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut offered = 0u64;
+    for s in 0..horizon {
+        let t = VirtualTime::from_secs(s);
+        let n = model.sample_arrivals(t, &mut rng);
+        offered += n;
+        ring.offer_batch(t, n);
+        recorder.tick(s, &ring);
+    }
+    let series = SparseSeries::new(recorder.losses_per_sec.clone());
+    println!(
+        "  offered {} packets, captured {}, lost {} (ratio {:.2e}; paper: 250 266 / 31 555 295 781 = 7.9e-6)",
+        grouped(offered),
+        grouped(ring.captured()),
+        grouped(ring.lost()),
+        ring.lost() as f64 / offered as f64
+    );
+    println!(
+        "  loss events in {} distinct seconds out of {}",
+        series.points.len(),
+        horizon
+    );
+    write(out, "fig2_losses_per_sec.dat", &series_f64(&series.in_weeks()));
+    let cum: Vec<(f64, u64)> = series
+        .cumulative()
+        .into_iter()
+        .map(|(s, v)| (s as f64 / (7.0 * 86_400.0), v))
+        .collect();
+    write(out, "fig2_cumulative.dat", &series_f64(&cum));
+}
+
+fn fig3(c: &CampaignRun, out: &Path) {
+    println!("== Fig. 3: fileID anonymisation array sizes (bucket size distribution) ==");
+    let first = c
+        .report
+        .bucket_sizes_first_two
+        .as_ref()
+        .expect("campaign ran with track_fig3");
+    let alt = &c.report.bucket_sizes_alternative;
+    let hist = |sizes: &[usize]| -> IntHistogram {
+        sizes.iter().map(|&s| s as u64).collect()
+    };
+    let h_first = hist(first);
+    let h_alt = hist(alt);
+    let max_first = first.iter().copied().max().unwrap_or(0);
+    let max_alt = alt.iter().copied().max().unwrap_or(0);
+    println!(
+        "  first-two-bytes: max bucket {} (bucket 0: {}, bucket 256: {}) — paper: 24 024 in bucket 0",
+        max_first, first[0], first[256]
+    );
+    println!(
+        "  alternative bytes: max bucket {} — paper: 819",
+        max_alt
+    );
+    println!(
+        "  imbalance ratio first/alt = {:.1} (paper: 24 024 / 819 = 29.3)",
+        max_first as f64 / max_alt.max(1) as f64
+    );
+    // The figure plots bucket size (x) vs number of buckets (y).
+    write(out, "fig3_first_two_bytes.dat", &distribution(&h_first));
+    write(out, "fig3_alternative_bytes.dat", &distribution(&h_alt));
+}
+
+fn distribution(h: &IntHistogram) -> String {
+    series_u64(&h.sorted_points())
+}
+
+fn fig_distribution(c: &CampaignRun, out: &Path, fig: u8) {
+    let (h, title, file, paper_note) = match fig {
+        4 => (
+            c.stats.providers_per_file(),
+            "Fig. 4: #clients providing each file",
+            "fig4_providers_per_file.dat",
+            "paper: power-law-ish decay; >3.5M files with a single provider",
+        ),
+        5 => (
+            c.stats.seekers_per_file(),
+            "Fig. 5: #clients asking for each file",
+            "fig5_seekers_per_file.dat",
+            "paper: power-law-ish decay, most-wanted file asked by ~150k clients",
+        ),
+        6 => (
+            c.stats.files_per_provider(),
+            "Fig. 6: #files provided by each client",
+            "fig6_files_per_provider.dat",
+            "paper: NOT a power law; bump at a few thousand files (client limits)",
+        ),
+        7 => (
+            c.stats.files_per_seeker(),
+            "Fig. 7: #files asked by each client",
+            "fig7_files_per_seeker.dat",
+            "paper: multi-regime; sharp peak at exactly 52 queries",
+        ),
+        _ => unreachable!(),
+    };
+    println!("== {title} ==");
+    println!("  ({paper_note})");
+    println!(
+        "  population: {} (max x = {})",
+        grouped(h.total()),
+        h.max_value().unwrap_or(0)
+    );
+    println!("  {}", describe_fit(&fit_histogram(&h)));
+    if fig == 7 {
+        let peaks = find_peaks(&h, 5, 5.0, 10);
+        match peaks.iter().find(|p| p.value == 52) {
+            Some(p) => println!(
+                "  peak at 52 detected: {} clients, prominence {:.0}x",
+                grouped(p.count),
+                p.prominence
+            ),
+            None => println!("  WARNING: no 52-peak detected"),
+        }
+    }
+    if fig == 6 {
+        let at_limits: u64 = [1000u64, 2000].iter().map(|&x| h.count(x)).sum();
+        println!("  clients at share-limit plateau values (1000/2000): {at_limits}");
+    }
+    write(out, file, &distribution(&h));
+}
+
+fn fig8(c: &CampaignRun, out: &Path) {
+    println!("== Fig. 8: file size distribution ==");
+    let h = c.stats.size_histogram_kb();
+    println!("  {} distinct files with a known size", grouped(h.total()));
+    // The paper's annotated peaks, in KB.
+    let expected = [
+        ("175 MB", 175 * 1024u64),
+        ("233 MB", 233 * 1024),
+        ("350 MB", 350 * 1024),
+        ("700 MB", 700 * 1024),
+        ("1 GB", 1024 * 1024),
+        ("1.4 GB", 1400 * 1024),
+    ];
+    for (label, kb) in expected {
+        println!("  files at exactly {label}: {}", grouped(h.count(kb)));
+    }
+    let peaks = find_peaks(&h, 8, 20.0, 20);
+    let peak_kbs: Vec<u64> = peaks.iter().map(|p| p.value).take(10).collect();
+    println!("  top detected peaks (KB): {peak_kbs:?}");
+    write(out, "fig8_file_sizes_kb.dat", &distribution(&h));
+}

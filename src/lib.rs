@@ -1,0 +1,48 @@
+//! # edonkey-ten-weeks
+//!
+//! A full-system reproduction of **"Ten weeks in the life of an eDonkey
+//! server"** (Frédéric Aidouni, Matthieu Latapy, Clémence Magnien —
+//! arXiv:0809.3415, HotP2P/IPDPS 2009): the measurement stack, the
+//! real-time anonymisation pipeline, the XML dataset, and the analyses
+//! behind every figure in the paper.
+//!
+//! This crate re-exports the workspace members under one roof:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`edonkey`] | `etw-edonkey` | the eDonkey wire protocol and two-step decoder |
+//! | [`netsim`] | `etw-netsim` | ethernet/IP/UDP, fragmentation, lossy libpcap-style capture |
+//! | [`workload`] | `etw-workload` | the synthetic client population and traffic generator |
+//! | [`server`] | `etw-server` | the directory server (file/source index, search answering) |
+//! | [`anonymize`] | `etw-anonymize` | MD5 + order-of-appearance clientID/fileID encoders |
+//! | [`xmlout`] | `etw-xmlout` | the XML dialog dataset (writer, parser, formal spec) |
+//! | [`analysis`] | `etw-analysis` | histograms, power-law fits, peaks, time series |
+//! | [`core`] | `etw-core` | the capture-machine pipeline and campaign driver |
+//! | [`probe`] | `etw-probe` | active client-side measurement (the paper's proposed extension) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use edonkey_ten_weeks::core::{run_campaign, CampaignConfig};
+//! use edonkey_ten_weeks::analysis::DatasetStats;
+//!
+//! // Simulate a (tiny) capture campaign and analyse the dataset.
+//! let mut stats = DatasetStats::new();
+//! let report = run_campaign(&CampaignConfig::tiny(), |record| stats.observe(&record));
+//! assert!(report.distinct_clients > 0);
+//! let fig4 = stats.providers_per_file(); // Fig. 4 of the paper
+//! assert!(fig4.total() > 0);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `src/bin/repro.rs` for the
+//! binary that regenerates every table and figure of the paper.
+
+pub use etw_analysis as analysis;
+pub use etw_anonymize as anonymize;
+pub use etw_core as core;
+pub use etw_edonkey as edonkey;
+pub use etw_netsim as netsim;
+pub use etw_probe as probe;
+pub use etw_server as server;
+pub use etw_workload as workload;
+pub use etw_xmlout as xmlout;
