@@ -404,10 +404,7 @@ mod tests {
         b.observe(&ask(0, 50, &[999]));
         let comms = b.communities(2, 100);
         assert_eq!(comms.len(), 2, "{comms:?}");
-        let sets: Vec<HashSet<u32>> = comms
-            .iter()
-            .map(|g| g.iter().copied().collect())
-            .collect();
+        let sets: Vec<HashSet<u32>> = comms.iter().map(|g| g.iter().copied().collect()).collect();
         assert!(sets.contains(&[1, 2, 3, 4].into_iter().collect()));
         assert!(sets.contains(&[11, 12, 13, 14].into_iter().collect()));
     }
@@ -422,10 +419,7 @@ mod tests {
         let clients = b.client_growth(1_000_000);
         assert_eq!(clients, vec![(0, 1), (1_000_000, 3)]);
         let files = b.file_growth(1_000_000);
-        assert_eq!(
-            files,
-            vec![(0, 1), (1_000_000, 2), (60_000_000, 3)]
-        );
+        assert_eq!(files, vec![(0, 1), (1_000_000, 2), (60_000_000, 3)]);
     }
 
     #[test]

@@ -47,10 +47,7 @@ pub fn fit_points(points: &[(f64, f64)]) -> Option<PowerLawFit> {
     let mean_x = sum_x / nf;
     let mean_y = sum_y / nf;
     let sxx: f64 = usable.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
-    let sxy: f64 = usable
-        .iter()
-        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
-        .sum();
+    let sxy: f64 = usable.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
     if sxx == 0.0 {
         return None;
     }

@@ -76,11 +76,33 @@ impl ByteSelector {
 /// Number of buckets (two index bytes).
 pub const NUM_BUCKETS: usize = 1 << 16;
 
+/// Running work counters for a [`BucketedArrays`] store: how deep its
+/// binary searches probe and how much sorted insertion shifts. This is
+/// the per-operation cost Fig. 3 is about — under a bad selector the
+/// oversized buckets show up here as growing probe depths and shift
+/// distances long before wall-clock time degrades visibly.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Encode operations performed (`anonymize` calls).
+    pub probes: u64,
+    /// Total binary-search comparisons across all probes.
+    pub comparisons: u64,
+    /// Deepest single probe, in comparisons.
+    pub max_probe_depth: u64,
+    /// First-sight insertions.
+    pub inserts: u64,
+    /// Total elements shifted right by sorted insertions.
+    pub shifted: u64,
+    /// Largest single insertion shift.
+    pub max_shift: u64,
+}
+
 /// The paper's structure: 65 536 sorted arrays of `(fileID, value)`.
 pub struct BucketedArrays {
     selector: ByteSelector,
     buckets: Vec<Vec<(FileId, u64)>>,
     next: u64,
+    probe_stats: ProbeStats,
 }
 
 impl BucketedArrays {
@@ -90,7 +112,13 @@ impl BucketedArrays {
             selector,
             buckets: vec![Vec::new(); NUM_BUCKETS],
             next: 0,
+            probe_stats: ProbeStats::default(),
         }
+    }
+
+    /// Accumulated probe/insertion work counters.
+    pub fn probe_stats(&self) -> ProbeStats {
+        self.probe_stats
     }
 
     /// The selector in use.
@@ -119,14 +147,27 @@ impl BucketedArrays {
 impl FileIdAnonymizer for BucketedArrays {
     fn anonymize(&mut self, id: &FileId) -> u64 {
         let bucket = &mut self.buckets[self.selector.index(id)];
-        match bucket.binary_search_by(|(k, _)| k.cmp(id)) {
+        let mut depth = 0u64;
+        let found = bucket.binary_search_by(|(k, _)| {
+            depth += 1;
+            k.cmp(id)
+        });
+        self.probe_stats.probes += 1;
+        self.probe_stats.comparisons += depth;
+        self.probe_stats.max_probe_depth = self.probe_stats.max_probe_depth.max(depth);
+        match found {
             Ok(pos) => bucket[pos].1,
             Err(pos) => {
                 let v = self.next;
                 self.next += 1;
                 // Sorted insertion: the cost the bucket splitting keeps
                 // small, and the cost that explodes in Fig. 3's oversized
-                // buckets.
+                // buckets. The shift distance is that cost, element by
+                // element.
+                let shift = (bucket.len() - pos) as u64;
+                self.probe_stats.inserts += 1;
+                self.probe_stats.shifted += shift;
+                self.probe_stats.max_shift = self.probe_stats.max_shift.max(shift);
                 bucket.insert(pos, (*id, v));
                 v
             }
@@ -313,7 +354,11 @@ mod tests {
         for i in 0..4000u64 {
             // Paper-observed prefixes: bucket 0 ("00 00") and 256
             // ("00 01" under little-endian two-byte index).
-            let prefix = if i % 2 == 0 { [0x00, 0x00] } else { [0x00, 0x01] };
+            let prefix = if i % 2 == 0 {
+                [0x00, 0x00]
+            } else {
+                [0x00, 0x01]
+            };
             let id = FileId::forged(i, prefix);
             first.anonymize(&id);
             alt.anonymize(&id);
@@ -347,6 +392,41 @@ mod tests {
         assert_eq!(sizes.len(), NUM_BUCKETS);
         assert_eq!(sizes.iter().sum::<usize>(), 500);
         assert!((b.mean_bucket_size() - 500.0 / 65_536.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probe_stats_track_search_and_insert_work() {
+        let mut b = BucketedArrays::new(ByteSelector::ALTERNATIVE);
+        assert_eq!(b.probe_stats(), ProbeStats::default());
+        for i in 0..1_000u64 {
+            b.anonymize(&FileId::of_identity(i));
+        }
+        for i in 0..1_000u64 {
+            b.anonymize(&FileId::of_identity(i)); // all hits, no inserts
+        }
+        let s = b.probe_stats();
+        assert_eq!(s.probes, 2_000);
+        assert_eq!(s.inserts, 1_000);
+        // Probes into empty buckets compare zero times, but each of the
+        // 1 000 second-pass hits compares at least once.
+        assert!(
+            s.comparisons >= 1_000,
+            "hits must compare at least once each (saw {})",
+            s.comparisons
+        );
+        assert!(s.max_probe_depth >= 1);
+        // Uniform input keeps buckets tiny, so shifts stay tiny too.
+        assert!(s.max_shift <= b.max_bucket_size() as u64);
+
+        // A polluted bucket drives insertion shifts up.
+        let mut polluted = BucketedArrays::new(ByteSelector::FIRST_TWO);
+        for i in 0..500u64 {
+            polluted.anonymize(&FileId::forged(i, [0x00, 0x00]));
+        }
+        assert!(
+            polluted.probe_stats().shifted > b.probe_stats().shifted,
+            "concentrated inserts must shift more than uniform ones"
+        );
     }
 
     #[test]

@@ -281,22 +281,15 @@ impl<C: ClientIdAnonymizer, F: FileIdAnonymizer> AnonymizationScheme<C, F> {
                 files: *files,
             },
             Message::ServerDescRequest => AnonMessage::ServerDescRequest,
-            Message::ServerDescResponse { name, description } => {
-                AnonMessage::ServerDescResponse {
-                    name: self.strings.anonymize(name),
-                    description: self.strings.anonymize(description),
-                }
-            }
+            Message::ServerDescResponse { name, description } => AnonMessage::ServerDescResponse {
+                name: self.strings.anonymize(name),
+                description: self.strings.anonymize(description),
+            },
             Message::GetServerList => AnonMessage::GetServerList,
             Message::ServerList { servers } => AnonMessage::ServerList {
                 servers: servers
                     .iter()
-                    .map(|s| {
-                        (
-                            self.clients.anonymize(etw_edonkey::ClientId(s.ip)),
-                            s.port,
-                        )
-                    })
+                    .map(|s| (self.clients.anonymize(etw_edonkey::ClientId(s.ip)), s.port))
                     .collect(),
             },
             Message::SearchRequest { expr } => AnonMessage::SearchRequest {
@@ -334,9 +327,7 @@ impl<C: ClientIdAnonymizer, F: FileIdAnonymizer> AnonymizationScheme<C, F> {
         let is_filesize = matches!(t.name, TagName::Special(special::FILESIZE));
         let value = match &t.value {
             TagValue::Str(s) => AnonTagValue::Hashed(self.strings.anonymize(s)),
-            TagValue::U32(v) if is_filesize => {
-                AnonTagValue::UInt(anonymize_filesize(*v as u64))
-            }
+            TagValue::U32(v) if is_filesize => AnonTagValue::UInt(anonymize_filesize(*v as u64)),
             TagValue::U32(v) => AnonTagValue::UInt(*v as u64),
         };
         AnonTag {

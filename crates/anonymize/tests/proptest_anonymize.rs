@@ -6,10 +6,10 @@
 use etw_anonymize::clientid::{
     BTreeAnonymizer, ClientIdAnonymizer, DirectArrayAnonymizer, HashMapAnonymizer,
 };
+use etw_anonymize::fields::anonymize_filesize;
 use etw_anonymize::fileid::{
     BucketedArrays, ByteSelector, FileIdAnonymizer, HashMapFileAnonymizer, SingleSortedArray,
 };
-use etw_anonymize::fields::anonymize_filesize;
 use etw_anonymize::scheme::PaperScheme;
 use etw_edonkey::ids::{ClientId, FileId};
 use etw_edonkey::messages::Message;

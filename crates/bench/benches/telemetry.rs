@@ -1,0 +1,135 @@
+//! Ablation A6 — what does watching the machine cost?
+//!
+//! The telemetry registry claims to be cheap enough to leave on for a
+//! whole campaign: relaxed atomics on the hot paths, clock reads only
+//! where a histogram is explicitly timed. This bench runs the same
+//! campaign three ways — unobserved, against a disabled registry, and
+//! fully instrumented with health snapshots — so the overhead of each
+//! layer is a column apart. The instrumented run should stay within a
+//! few percent of the unobserved one.
+//!
+//! Micro-benches below isolate the primitive costs (counter add,
+//! histogram record, metered channel transfer).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use etw_core::campaign::{run_campaign, run_campaign_observed};
+use etw_core::config::CampaignConfig;
+use etw_telemetry::channel::metered_bounded;
+use etw_telemetry::Registry;
+
+fn bench_config() -> CampaignConfig {
+    let mut c = CampaignConfig::tiny();
+    c.population.n_clients = 400;
+    c.generator.duration_secs = 1_200;
+    c.health_interval_secs = 300;
+    c
+}
+
+fn bench_campaign_overhead(c: &mut Criterion) {
+    let config = bench_config();
+    let probe = run_campaign(&config, |_| {});
+    let records = probe.records;
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.throughput(Throughput::Elements(records));
+    group.sample_size(10);
+    group.bench_function("campaign_unobserved", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            run_campaign(&config, |_| n += 1);
+            n
+        })
+    });
+    group.bench_function("campaign_disabled_registry", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            run_campaign_observed(&config, &Registry::disabled(), |_| n += 1);
+            n
+        })
+    });
+    group.bench_function("campaign_instrumented", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            let registry = Registry::new();
+            let report = run_campaign_observed(&config, &registry, |_| n += 1);
+            assert!(!report.health.is_empty());
+            n
+        })
+    });
+    group.finish();
+
+    // Headline number: best-of-3 each way, so the overhead claim is in
+    // the bench output itself rather than left to mental arithmetic.
+    let time = |f: &dyn Fn()| {
+        (0..3)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                f();
+                t.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    let plain = time(&|| {
+        run_campaign(&config, |_| {});
+    });
+    let instrumented = time(&|| {
+        let registry = Registry::new();
+        run_campaign_observed(&config, &registry, |_| {});
+    });
+    let overhead = (instrumented.as_secs_f64() / plain.as_secs_f64() - 1.0) * 100.0;
+    println!(
+        "\ntelemetry overhead: instrumented {:.3}s vs unobserved {:.3}s = {overhead:+.1}% \
+         (target: < 5%)\n",
+        instrumented.as_secs_f64(),
+        plain.as_secs_f64(),
+    );
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let registry = Registry::new();
+    let counter = registry.counter("bench.counter");
+    let disabled = Registry::disabled().counter("bench.counter");
+    let histogram = registry.histogram("bench.histogram");
+
+    let mut group = c.benchmark_group("telemetry_primitives");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("counter_add", |b| b.iter(|| counter.add(1)));
+    group.bench_function("counter_add_disabled", |b| b.iter(|| disabled.add(1)));
+    group.bench_function("histogram_record", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            histogram.record(v)
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("metered_channel");
+    group.throughput(Throughput::Elements(1));
+    let (plain_tx, plain_rx) = crossbeam::channel::bounded::<u64>(1024);
+    group.bench_function("plain_send_recv", |b| {
+        b.iter(|| {
+            plain_tx.send(42).unwrap();
+            plain_rx.recv().unwrap()
+        })
+    });
+    let (tx, rx) = metered_bounded::<u64>(1024, &registry, "bench");
+    group.bench_function("metered_send_recv", |b| {
+        b.iter(|| {
+            tx.send(42).unwrap();
+            rx.recv().unwrap()
+        })
+    });
+    let (dtx, drx) = metered_bounded::<u64>(1024, &Registry::disabled(), "bench");
+    group.bench_function("metered_send_recv_disabled", |b| {
+        b.iter(|| {
+            dtx.send(42).unwrap();
+            drx.recv().unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign_overhead, bench_primitives);
+criterion_main!(benches);

@@ -3,16 +3,18 @@
 //! the paper reports.
 
 use crate::config::CampaignConfig;
-use crate::pipeline::{run_capture_pipeline, PipelineStats, TimedFrame};
+use crate::pipeline::{run_capture_pipeline_observed, PipelineStats, TimedFrame};
 use crate::wirepath::{encapsulate, tcp_noise_frame, Direction, SERVER_IP};
 use etw_anonymize::fileid::{BucketedArrays, ByteSelector};
 use etw_anonymize::scheme::AnonRecord;
-use etw_anonymize::DirectArrayAnonymizer;
 use etw_anonymize::AnonymizationScheme;
+use etw_anonymize::DirectArrayAnonymizer;
 use etw_edonkey::messages::Message;
 use etw_netsim::capture::{CaptureBuffer, LossRecorder};
 use etw_netsim::clock::VirtualTime;
 use etw_server::engine::{EngineConfig, ServerEngine};
+use etw_telemetry::health::{HealthRecorder, HealthSeries};
+use etw_telemetry::{Counter, Gauge, Registry};
 use etw_workload::catalog::Catalog;
 use etw_workload::clients::Population;
 use etw_workload::generator::TrafficGenerator;
@@ -64,6 +66,10 @@ pub struct CampaignReport {
     /// The dataset records accumulated by the caller-provided sink?
     /// No — records stream through `on_record`; this is their count.
     pub records: u64,
+    /// Periodic machine-health records (empty unless the campaign ran
+    /// through [`run_campaign_observed`] with an enabled registry and a
+    /// non-zero `health_interval_secs`).
+    pub health: HealthSeries,
 }
 
 /// Streams frames for the whole campaign: generator events → server
@@ -82,8 +88,23 @@ struct FrameStream<'a> {
     p_udp_noise: f64,
     p_tcp_noise: f64,
     last_tick_sec: u64,
+    last_virtual_us: u64,
     stats: Arc<Mutex<CaptureSide>>,
     finished: bool,
+    /// Health snapshotter, driven by the per-second tick. The producer
+    /// thread owns the stream, so the finished series is handed back
+    /// through the shared slot (same pattern as `stats`).
+    health: Option<HealthRecorder>,
+    // Hands the recorder (plus the final virtual timestamp) back to the
+    // driver when the producer ends; the driver cuts the last record
+    // only after the sink has drained, so the final snapshot matches
+    // the report's totals.
+    health_out: Arc<Mutex<Option<(HealthRecorder, u64)>>>,
+    queries_ctr: Counter,
+    answers_ctr: Counter,
+    /// Live campaign progress for concurrent observers (`etwtool
+    /// monitor` polls this from another thread).
+    virtual_secs_gauge: Gauge,
 }
 
 impl<'a> FrameStream<'a> {
@@ -107,10 +128,16 @@ impl<'a> FrameStream<'a> {
     }
 
     fn tick_loss(&mut self, now: VirtualTime) {
+        self.last_virtual_us = self.last_virtual_us.max(now.0);
         let sec = now.as_secs();
         if sec > self.last_tick_sec {
             self.loss_recorder.tick(self.last_tick_sec, &self.capture);
             self.last_tick_sec = sec;
+            self.capture.sample_telemetry();
+            self.virtual_secs_gauge.set(sec as i64);
+            if let Some(h) = self.health.as_mut() {
+                h.observe(now.0);
+            }
         }
     }
 
@@ -134,9 +161,17 @@ impl<'a> FrameStream<'a> {
             self.server.handle(ev.client, &ev.msg)
         };
         self.stats.lock().queries_generated += 1;
+        self.queries_ctr.inc();
 
         let ident = self.next_ident();
-        for f in encapsulate(bytes, ev.client, ev.port, Direction::ToServer, ident, self.mtu) {
+        for f in encapsulate(
+            bytes,
+            ev.client,
+            ev.port,
+            Direction::ToServer,
+            ident,
+            self.mtu,
+        ) {
             self.offer(ev.t, f.to_bytes());
         }
         // Answers leave the server within the same microsecond tick as
@@ -145,6 +180,7 @@ impl<'a> FrameStream<'a> {
         // and therefore the dataset — globally time-ordered.
         for a in answers {
             self.stats.lock().answers_generated += 1;
+            self.answers_ctr.inc();
             // Server answers get garbled in flight too (NAT middleboxes,
             // truncating resolvers...): the paper's undecodable fraction
             // is over ALL handled messages, both directions.
@@ -171,8 +207,7 @@ impl<'a> FrameStream<'a> {
             let flight = self.rng.gen_range(1..=4);
             for _ in 0..flight {
                 self.stats.lock().tcp_noise += 1;
-                let f =
-                    tcp_noise_frame(self.rng.gen(), SERVER_IP, self.rng.gen_range(40..1400));
+                let f = tcp_noise_frame(self.rng.gen(), SERVER_IP, self.rng.gen_range(40..1400));
                 self.offer(ev.t, f.to_bytes());
             }
         }
@@ -225,8 +260,13 @@ impl<'a> FrameStream<'a> {
         if !self.finished {
             self.finished = true;
             self.loss_recorder.tick(self.last_tick_sec, &self.capture);
+            self.capture.sample_telemetry();
             let mut s = self.stats.lock();
             s.losses_per_sec = self.loss_recorder.losses_per_sec.clone();
+            drop(s);
+            if let Some(h) = self.health.take() {
+                *self.health_out.lock() = Some((h, self.last_virtual_us));
+            }
         }
     }
 }
@@ -248,8 +288,21 @@ impl<'a> Iterator for FrameStream<'a> {
 }
 
 /// Runs a full campaign, streaming anonymised records into `on_record`.
-pub fn run_campaign(
+pub fn run_campaign(config: &CampaignConfig, on_record: impl FnMut(AnonRecord)) -> CampaignReport {
+    run_campaign_observed(config, &Registry::disabled(), on_record)
+}
+
+/// [`run_campaign`] with live telemetry: the capture ring, every
+/// pipeline stage, and the application-level generators report into
+/// `registry` while the campaign runs (see
+/// [`run_capture_pipeline_observed`] and `CaptureBuffer::attach_telemetry`
+/// for the metric names), and a [`HealthRecorder`] cuts a snapshot
+/// every `config.health_interval_secs` of virtual time. Callers holding
+/// a clone of `registry` can snapshot it concurrently from another
+/// thread — that is what `etwtool monitor` does.
+pub fn run_campaign_observed(
     config: &CampaignConfig,
+    registry: &Registry,
     mut on_record: impl FnMut(AnonRecord),
 ) -> CampaignReport {
     config.validate().expect("invalid campaign configuration");
@@ -279,10 +332,13 @@ pub fn run_campaign(
         max_search_results: 15,
         ..EngineConfig::default()
     };
+    let mut capture = CaptureBuffer::new(config.capture_ring, config.capture_drain_pps);
+    capture.attach_telemetry(registry);
+    let health_out: Arc<Mutex<Option<(HealthRecorder, u64)>>> = Arc::new(Mutex::new(None));
     let frames = FrameStream {
         generator,
         server: ServerEngine::new(server_config),
-        capture: CaptureBuffer::new(config.capture_ring, config.capture_drain_pps),
+        capture,
         loss_recorder: LossRecorder::new(),
         pending: VecDeque::new(),
         rng: StdRng::seed_from_u64(config.seed ^ 4),
@@ -293,8 +349,17 @@ pub fn run_campaign(
         p_udp_noise: config.p_udp_noise,
         p_tcp_noise: config.p_tcp_noise,
         last_tick_sec: 0,
+        last_virtual_us: 0,
         stats: Arc::clone(&capture_stats),
         finished: false,
+        health: Some(HealthRecorder::new(
+            registry.clone(),
+            config.health_interval_secs,
+        )),
+        health_out: Arc::clone(&health_out),
+        queries_ctr: registry.counter("campaign.queries_total"),
+        answers_ctr: registry.counter("campaign.answers_total"),
+        virtual_secs_gauge: registry.gauge("campaign.virtual_secs"),
     };
 
     let scheme = AnonymizationScheme::new(
@@ -305,17 +370,47 @@ pub fn run_campaign(
         .track_fig3
         .then(|| BucketedArrays::new(ByteSelector::FIRST_TWO));
 
-    let (pipeline, scheme, fig3) = run_capture_pipeline(
+    let (pipeline, scheme, fig3) = run_capture_pipeline_observed(
         frames,
         config.decode_workers,
         scheme,
         fig3,
+        registry,
         &mut on_record,
     );
+
+    // Surface the anonymiser's probe work: counters the health file and
+    // the prometheus dump can report alongside the pipeline stages.
+    let probes = scheme.file_encoder().probe_stats();
+    registry
+        .gauge("anon.fileid.probes_total")
+        .set(probes.probes as i64);
+    registry
+        .gauge("anon.fileid.comparisons_total")
+        .set(probes.comparisons as i64);
+    registry
+        .gauge("anon.fileid.max_probe_depth")
+        .set(probes.max_probe_depth as i64);
+    registry
+        .gauge("anon.fileid.inserts_total")
+        .set(probes.inserts as i64);
+    registry
+        .gauge("anon.fileid.shifted_total")
+        .set(probes.shifted as i64);
+    registry
+        .gauge("anon.fileid.max_shift")
+        .set(probes.max_shift as i64);
 
     let capture = Arc::try_unwrap(capture_stats)
         .expect("no other capture-stats holders")
         .into_inner();
+    // Cut the final health record only now, after the sink has drained,
+    // so its snapshot agrees with the report's totals.
+    let health = health_out
+        .lock()
+        .take()
+        .map(|(h, virtual_us)| h.finish(virtual_us))
+        .unwrap_or_default();
     CampaignReport {
         records: pipeline.records,
         distinct_clients: scheme.distinct_clients(),
@@ -324,7 +419,45 @@ pub fn run_campaign(
         bucket_sizes_first_two: fig3.map(|f| f.bucket_sizes()),
         pipeline,
         capture,
+        health,
     }
+}
+
+/// Renders a [`HealthSeries`] as a gnuplot-ready `.dat` table, one row
+/// per health record. Columns (all cumulative unless noted):
+///
+/// 1. virtual time (s)    2. wall time (s)
+/// 3. interval RTF        4. cumulative RTF (virtual s / wall s)
+/// 5. frames produced     6. frames decoded
+/// 7. records emitted     8. ring packets lost
+/// 9. decode_in stalls   10. decode_in queue depth (instantaneous)
+/// 11. decode_out queue depth (instantaneous)
+/// 12. reorder depth high-water mark
+pub fn render_health_dat(health: &HealthSeries) -> String {
+    let mut out = String::from(
+        "# virtual_s wall_s rtf_interval rtf_cumulative frames_produced \
+         frames_decoded records ring_lost decode_in_stalls \
+         decode_in_depth decode_out_depth reorder_depth_hwm\n",
+    );
+    for r in &health.records {
+        let s = &r.snapshot;
+        out.push_str(&format!(
+            "{} {:.3} {:.1} {:.1} {} {} {} {} {} {} {} {}\n",
+            r.virtual_secs(),
+            r.wall_secs,
+            r.rtf_interval,
+            r.rtf_cumulative,
+            s.counter("stage.producer.frames_total"),
+            s.counter("stage.decode.frames_total"),
+            s.counter("stage.sink.records_total"),
+            s.counter("ring.lost_total"),
+            s.counter("chan.decode_in.stalls_total"),
+            s.gauge("chan.decode_in.depth"),
+            s.gauge("chan.decode_out.depth"),
+            s.gauge("stage.reorder.depth_hwm"),
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -421,6 +554,61 @@ mod tests {
         assert!(
             report.pipeline.decoder.not_edonkey > 0,
             "no UDP noise classified"
+        );
+    }
+
+    #[test]
+    fn observed_campaign_cuts_health_records() {
+        let registry = Registry::new();
+        let mut config = CampaignConfig::tiny();
+        config.health_interval_secs = 600;
+        let report = run_campaign_observed(&config, &registry, |_| {});
+
+        // tiny() runs 1800 virtual seconds → boundaries at 600, 1200,
+        // 1800 (+ a final cut only if time advanced past the last one).
+        assert!(
+            (3..=4).contains(&report.health.records.len()),
+            "expected 3-4 health records, got {}",
+            report.health.records.len()
+        );
+        let mut prev_virtual = 0;
+        let mut prev_frames = 0;
+        for rec in &report.health.records {
+            assert!(rec.virtual_us > prev_virtual, "virtual time must advance");
+            prev_virtual = rec.virtual_us;
+            assert!(rec.rtf_interval > 0.0 && rec.rtf_interval.is_finite());
+            let frames = rec.snapshot.counter("stage.producer.frames_total");
+            assert!(frames >= prev_frames, "counters must be monotone");
+            prev_frames = frames;
+        }
+
+        // The final snapshot agrees with the report's own accounting.
+        let last = &report.health.records.last().unwrap().snapshot;
+        assert_eq!(last.counter("ring.offered_total"), report.capture.offered);
+        assert_eq!(last.counter("ring.captured_total"), report.capture.captured);
+        assert_eq!(last.counter("ring.lost_total"), report.capture.lost);
+        assert_eq!(last.counter("stage.sink.records_total"), report.records);
+        assert_eq!(
+            last.counter("campaign.queries_total"),
+            report.capture.queries_generated
+        );
+        assert_eq!(
+            last.counter("campaign.answers_total"),
+            report.capture.answers_generated
+        );
+    }
+
+    #[test]
+    fn unobserved_campaign_matches_observed() {
+        // The disabled registry must not perturb the simulation.
+        let plain = run_campaign(&CampaignConfig::tiny(), |_| {});
+        let observed = run_campaign_observed(&CampaignConfig::tiny(), &Registry::new(), |_| {});
+        assert_eq!(plain.records, observed.records);
+        assert_eq!(plain.capture.offered, observed.capture.offered);
+        assert_eq!(plain.capture.lost, observed.capture.lost);
+        assert!(
+            plain.health.is_empty(),
+            "plain run must carry no health data"
         );
     }
 }

@@ -45,6 +45,10 @@ pub struct CampaignConfig {
     /// Also maintain a FIRST_TWO-bytes bucketed store so Fig. 3 can
     /// compare both selectors in one run.
     pub track_fig3: bool,
+    /// Virtual seconds between machine-health snapshots (0 disables
+    /// them). Only consulted by `run_campaign_observed`; a snapshot is
+    /// cut each time virtual time crosses an interval boundary.
+    pub health_interval_secs: u64,
 }
 
 impl Default for CampaignConfig {
@@ -54,7 +58,7 @@ impl Default for CampaignConfig {
         // messages.
         let population = PopulationParams::default();
         CampaignConfig {
-            seed: 0xED0/*nkey*/,
+            seed: 0xED0, /*nkey*/
             catalog: CatalogParams::default(),
             client_space_bits: population.id_space_bits,
             population,
@@ -69,6 +73,7 @@ impl Default for CampaignConfig {
             fileid_selector: ByteSelector::ALTERNATIVE,
             decode_workers: 4,
             track_fig3: true,
+            health_interval_secs: 3_600,
         }
     }
 }

@@ -32,7 +32,11 @@ pub mod pipeline;
 pub mod summary;
 pub mod wirepath;
 
-pub use campaign::{run_campaign, CampaignReport, CaptureSide};
+pub use campaign::{
+    render_health_dat, run_campaign, run_campaign_observed, CampaignReport, CaptureSide,
+};
 pub use config::CampaignConfig;
-pub use pipeline::{run_capture_pipeline, PipelineStats, TimedFrame};
+pub use pipeline::{
+    run_capture_pipeline, run_capture_pipeline_observed, PipelineStats, TimedFrame,
+};
 pub use summary::{render_t1, t1_key_values};

@@ -18,7 +18,10 @@ pub fn render_t1(r: &CampaignReport) -> String {
             "ethernet frames lost (paper: 250 266 / 31 555 295 781)",
             grouped(r.capture.lost),
         )
-        .row("tcp packets (skipped, as in the paper)", grouped(r.pipeline.not_udp))
+        .row(
+            "tcp packets (skipped, as in the paper)",
+            grouped(r.pipeline.not_udp),
+        )
         .row(
             "udp datagrams recovered (paper: 14 124 818 158 pkts)",
             grouped(r.pipeline.udp_datagrams),
@@ -75,10 +78,7 @@ pub fn t1_key_values(r: &CampaignReport) -> Vec<(&'static str, f64)> {
         ("edonkey_handled", (d.handled - d.not_edonkey) as f64),
         ("decoded", d.decoded as f64),
         ("undecoded_fraction", d.undecoded_fraction()),
-        (
-            "structural_fraction",
-            d.structural_fraction_of_undecoded(),
-        ),
+        ("structural_fraction", d.structural_fraction_of_undecoded()),
         ("records", r.records as f64),
         ("distinct_clients", r.distinct_clients as f64),
         ("distinct_files", r.distinct_files as f64),

@@ -188,14 +188,7 @@ mod tests {
     #[test]
     fn small_message_one_frame_round_trip() {
         let client = ClientId(0x5000_1234);
-        let frames = encapsulate(
-            query_bytes(),
-            client,
-            4672,
-            Direction::ToServer,
-            1,
-            1500,
-        );
+        let frames = encapsulate(query_bytes(), client, 4672, Direction::ToServer, 1, 1500);
         assert_eq!(frames.len(), 1);
         let mut d = WireDecoder::new();
         match d.push(VirtualTime::ZERO, &frames[0].to_bytes()) {
@@ -229,14 +222,7 @@ mod tests {
     fn big_message_fragments_and_reassembles() {
         let payload = vec![0xE3u8; 5000];
         let client = ClientId(0x5000_0001);
-        let frames = encapsulate(
-            payload.clone(),
-            client,
-            4672,
-            Direction::ToServer,
-            3,
-            1500,
-        );
+        let frames = encapsulate(payload.clone(), client, 4672, Direction::ToServer, 3, 1500);
         assert!(frames.len() >= 4);
         let mut d = WireDecoder::new();
         let mut got = None;

@@ -22,7 +22,9 @@ fn arb_frame() -> impl Strategy<Value = TimedFrame> {
         // A legitimate encapsulated message (sometimes truncated).
         (any::<u32>(), 0u32..(1 << 16), any::<u16>(), 0usize..3).prop_map(
             |(ts, client, ident, cut)| {
-                let msg = Message::StatusRequest { challenge: ident as u32 };
+                let msg = Message::StatusRequest {
+                    challenge: ident as u32,
+                };
                 let frames = encapsulate(
                     msg.encode(),
                     ClientId(client),

@@ -88,7 +88,7 @@ pub fn corrupt<R: Rng + ?Sized>(buf: &mut Vec<u8>, kind: Corruption, rng: &mut R
                 return false;
             }
             let i = rng.gen_range(2..buf.len());
-            buf[i] ^= 1 << rng.gen_range(0..8);
+            buf[i] ^= 1u8 << rng.gen_range(0..8);
             true
         }
     }
@@ -97,7 +97,7 @@ pub fn corrupt<R: Rng + ?Sized>(buf: &mut Vec<u8>, kind: Corruption, rng: &mut R
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::decoder::{Decoder, DecodeOutcome};
+    use crate::decoder::{DecodeOutcome, Decoder};
     use crate::messages::Message;
     use crate::search::SearchExpr;
     use rand::rngs::StdRng;

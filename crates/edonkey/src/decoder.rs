@@ -379,9 +379,6 @@ mod tests {
         // validation, not by decode.
         let mut buf = Message::StatusRequest { challenge: 1 }.encode();
         buf.push(0xff);
-        assert!(matches!(
-            validate(&buf),
-            Err(DecodeError::TrailingBytes(1))
-        ));
+        assert!(matches!(validate(&buf), Err(DecodeError::TrailingBytes(1))));
     }
 }

@@ -464,7 +464,10 @@ mod tests {
 
     #[test]
     fn desc_round_trip() {
-        assert_eq!(round_trip(&Message::ServerDescRequest), Message::ServerDescRequest);
+        assert_eq!(
+            round_trip(&Message::ServerDescRequest),
+            Message::ServerDescRequest
+        );
         let m = Message::ServerDescResponse {
             name: "BigServer".into(),
             description: "a large eDonkey index".into(),
@@ -487,10 +490,7 @@ mod tests {
     #[test]
     fn search_round_trip() {
         let m = Message::SearchRequest {
-            expr: SearchExpr::and(
-                SearchExpr::keyword("concert"),
-                SearchExpr::keyword("2004"),
-            ),
+            expr: SearchExpr::and(SearchExpr::keyword("concert"), SearchExpr::keyword("2004")),
         };
         assert_eq!(round_trip(&m), m);
         let m = Message::SearchResponse {

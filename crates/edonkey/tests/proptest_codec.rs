@@ -53,14 +53,13 @@ fn arb_entry() -> impl Strategy<Value = FileEntry> {
 fn arb_expr() -> impl Strategy<Value = SearchExpr> {
     let leaf = prop_oneof![
         "[a-z0-9 ]{1,20}".prop_map(SearchExpr::Keyword),
-        ("[ -~]{0,16}", arb_tag_name()).prop_map(|(value, name)| SearchExpr::MetaStr {
-            name,
-            value
-        }),
-        (any::<u32>(), arb_tag_name(), prop_oneof![
-            Just(NumCmp::Min),
-            Just(NumCmp::Max)
-        ])
+        ("[ -~]{0,16}", arb_tag_name())
+            .prop_map(|(value, name)| SearchExpr::MetaStr { name, value }),
+        (
+            any::<u32>(),
+            arb_tag_name(),
+            prop_oneof![Just(NumCmp::Min), Just(NumCmp::Max)]
+        )
             .prop_map(|(value, name, cmp)| SearchExpr::MetaNum { name, cmp, value }),
     ];
     leaf.prop_recursive(4, 24, 2, |inner| {
@@ -88,9 +87,8 @@ fn arb_message() -> impl Strategy<Value = Message> {
             }
         }),
         Just(Message::ServerDescRequest),
-        ("[ -~]{0,30}", "[ -~]{0,60}").prop_map(|(name, description)| {
-            Message::ServerDescResponse { name, description }
-        }),
+        ("[ -~]{0,30}", "[ -~]{0,60}")
+            .prop_map(|(name, description)| { Message::ServerDescResponse { name, description } }),
         Just(Message::GetServerList),
         prop::collection::vec(
             (any::<u32>(), any::<u16>()).prop_map(|(ip, port)| ServerAddr { ip, port }),
@@ -105,10 +103,8 @@ fn arb_message() -> impl Strategy<Value = Message> {
         (
             arb_file_id(),
             prop::collection::vec(
-                (arb_client_id(), any::<u16>()).prop_map(|(client_id, port)| Source {
-                    client_id,
-                    port
-                }),
+                (arb_client_id(), any::<u16>())
+                    .prop_map(|(client_id, port)| Source { client_id, port }),
                 0..30
             )
         )

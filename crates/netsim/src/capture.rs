@@ -14,6 +14,60 @@
 //! total shown in the figure's inset.
 
 use crate::clock::VirtualTime;
+use etw_telemetry::{Counter, Histogram, Registry};
+
+/// Live metric handles for a [`CaptureBuffer`], attached via
+/// [`CaptureBuffer::attach_telemetry`]. Keeps the machine-health view
+/// of the ring: totals, occupancy samples, and the length of each
+/// consecutive-loss run (the paper's loss bursts in Fig. 2 overflow the
+/// ring in bursts, not as a uniform trickle).
+#[derive(Clone, Debug)]
+struct RingTelemetry {
+    offered: Counter,
+    captured: Counter,
+    lost: Counter,
+    /// Ring occupancy in packets, sampled once per virtual second.
+    occupancy: Histogram,
+    /// Length of each completed run of consecutive drops.
+    drop_bursts: Histogram,
+    /// Drops since the last accepted packet (current run length).
+    burst: u64,
+}
+
+impl RingTelemetry {
+    fn new(registry: &Registry) -> RingTelemetry {
+        RingTelemetry {
+            offered: registry.counter("ring.offered_total"),
+            captured: registry.counter("ring.captured_total"),
+            lost: registry.counter("ring.lost_total"),
+            occupancy: registry.histogram("ring.occupancy_pkts"),
+            drop_bursts: registry.histogram("ring.drop_burst_pkts"),
+            burst: 0,
+        }
+    }
+
+    #[inline]
+    fn on_offer(&mut self, accepted: bool) {
+        self.offered.inc();
+        if accepted {
+            self.captured.inc();
+            if self.burst > 0 {
+                self.drop_bursts.record(self.burst);
+                self.burst = 0;
+            }
+        } else {
+            self.lost.inc();
+            self.burst += 1;
+        }
+    }
+
+    fn flush_burst(&mut self) {
+        if self.burst > 0 {
+            self.drop_bursts.record(self.burst);
+            self.burst = 0;
+        }
+    }
+}
 
 /// Finite kernel capture ring drained at a bounded rate.
 ///
@@ -36,6 +90,8 @@ pub struct CaptureBuffer {
     captured: u64,
     /// Packets dropped (kernel loss counter).
     lost: u64,
+    /// Optional live metrics.
+    telemetry: Option<RingTelemetry>,
 }
 
 impl CaptureBuffer {
@@ -50,7 +106,16 @@ impl CaptureBuffer {
             last: VirtualTime::ZERO,
             captured: 0,
             lost: 0,
+            telemetry: None,
         }
+    }
+
+    /// Mirrors the ring's activity into `registry` (metrics
+    /// `ring.offered_total`, `ring.captured_total`, `ring.lost_total`,
+    /// `ring.occupancy_pkts`, `ring.drop_burst_pkts`). A disabled
+    /// registry attaches no-op handles.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = Some(RingTelemetry::new(registry));
     }
 
     /// Offers one packet at time `now`; returns `true` if captured,
@@ -58,13 +123,29 @@ impl CaptureBuffer {
     /// non-decreasing.
     pub fn offer(&mut self, now: VirtualTime) -> bool {
         self.advance(now);
-        if self.occupancy + 1.0 > self.capacity as f64 {
+        let accepted = if self.occupancy + 1.0 > self.capacity as f64 {
             self.lost += 1;
             false
         } else {
             self.occupancy += 1.0;
             self.captured += 1;
             true
+        };
+        if let Some(t) = &mut self.telemetry {
+            t.on_offer(accepted);
+        }
+        accepted
+    }
+
+    /// Samples current occupancy into the attached telemetry (call once
+    /// per virtual second; a tick-rate signal, not per-packet). Also
+    /// closes out a loss burst still in progress, so burst lengths are
+    /// bounded by observation granularity rather than left dangling.
+    pub fn sample_telemetry(&mut self) {
+        let occupancy = self.occupancy as u64;
+        if let Some(t) = &mut self.telemetry {
+            t.occupancy.record(occupancy);
+            t.flush_burst();
         }
     }
 
@@ -238,6 +319,25 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_mirrors_ring_activity() {
+        let reg = Registry::new();
+        let mut buf = CaptureBuffer::new(10, 100.0);
+        buf.attach_telemetry(&reg);
+        buf.offer_batch(VirtualTime::from_secs(0), 1000);
+        buf.sample_telemetry();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("ring.offered_total"), 1000);
+        assert_eq!(snap.counter("ring.captured_total"), buf.captured());
+        assert_eq!(snap.counter("ring.lost_total"), buf.lost());
+        assert!(buf.lost() > 0, "test needs overload");
+        assert_eq!(snap.histogram("ring.occupancy_pkts").unwrap().count, 1);
+        // Every lost packet belongs to exactly one recorded burst.
+        let bursts = snap.histogram("ring.drop_burst_pkts").unwrap();
+        assert!(bursts.count >= 1);
+        assert_eq!(bursts.sum, buf.lost());
+    }
+
+    #[test]
     fn occupancy_drains_over_time() {
         let mut buf = CaptureBuffer::new(1000, 100.0);
         buf.offer_batch(VirtualTime::ZERO, 50);
@@ -262,9 +362,21 @@ mod tests {
         // One tail burst that exceeds the 10k pps drain, two mild ones
         // that do not.
         let bursts = vec![
-            Burst { start_sec: 3_000, duration_sec: 20, amplitude: 3.0 },
-            Burst { start_sec: 9_000, duration_sec: 15, amplitude: 9.0 },
-            Burst { start_sec: 15_000, duration_sec: 30, amplitude: 2.5 },
+            Burst {
+                start_sec: 3_000,
+                duration_sec: 20,
+                amplitude: 3.0,
+            },
+            Burst {
+                start_sec: 9_000,
+                duration_sec: 15,
+                amplitude: 9.0,
+            },
+            Burst {
+                start_sec: 15_000,
+                duration_sec: 30,
+                amplitude: 2.5,
+            },
         ];
         model.set_bursts(bursts);
         let mut buf = CaptureBuffer::new(4096, 10_000.0);

@@ -152,7 +152,10 @@ mod tests {
 
     #[test]
     fn duration_scaling() {
-        assert_eq!(Duration::from_secs(100).scale(0.25), Duration::from_secs(25));
+        assert_eq!(
+            Duration::from_secs(100).scale(0.25),
+            Duration::from_secs(25)
+        );
         assert_eq!(Duration::from_secs_f64(1.5), Duration(1_500_000));
         assert_eq!(Duration::from_secs_f64(-1.0), Duration(0));
     }

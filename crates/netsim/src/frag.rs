@@ -179,8 +179,7 @@ impl Reassembler {
     pub fn expire(&mut self, now: VirtualTime) {
         let timeout = self.timeout;
         let before = self.partials.len();
-        self.partials
-            .retain(|_, p| (now - p.first_seen) < timeout);
+        self.partials.retain(|_, p| (now - p.first_seen) < timeout);
         self.stats.timed_out += (before - self.partials.len()) as u64;
     }
 

@@ -58,8 +58,8 @@ pub mod tcp;
 pub mod traffic;
 
 pub use capture::{CaptureBuffer, LossRecorder};
-pub use flows::{FlowOutcome, FlowReassembler, FlowStats};
 pub use clock::{Duration, VirtualTime};
+pub use flows::{FlowOutcome, FlowReassembler, FlowStats};
 pub use frag::{fragment, Reassembler, ReassemblyStats};
 pub use packet::{EthernetFrame, Ipv4Packet, ParseError, UdpDatagram};
 pub use pcap::{PcapReader, PcapRecord, PcapWriter};

@@ -140,8 +140,7 @@ impl Ipv4Packet {
         h[1] = 0; // tos
         h[2..4].copy_from_slice(&(total_len as u16).to_be_bytes());
         h[4..6].copy_from_slice(&self.ident.to_be_bytes());
-        let flags_frag =
-            ((self.more_fragments as u16) << 13) | (self.frag_offset & 0x1fff);
+        let flags_frag = ((self.more_fragments as u16) << 13) | (self.frag_offset & 0x1fff);
         h[6..8].copy_from_slice(&flags_frag.to_be_bytes());
         h[8] = self.ttl;
         h[9] = self.protocol;

@@ -73,7 +73,8 @@ impl PcapWriter {
         let caplen = (frame.len() as u32).min(self.snaplen);
         self.buf
             .extend_from_slice(&(ts.as_secs() as u32).to_le_bytes());
-        self.buf.extend_from_slice(&ts.subsec_micros().to_le_bytes());
+        self.buf
+            .extend_from_slice(&ts.subsec_micros().to_le_bytes());
         self.buf.extend_from_slice(&caplen.to_le_bytes());
         self.buf
             .extend_from_slice(&(frame.len() as u32).to_le_bytes());

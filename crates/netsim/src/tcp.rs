@@ -273,10 +273,7 @@ mod tests {
 
     #[test]
     fn short_and_bad_offset() {
-        assert_eq!(
-            TcpSegment::parse(1, 2, &[0u8; 10]),
-            Err(TcpError::Short)
-        );
+        assert_eq!(TcpSegment::parse(1, 2, &[0u8; 10]), Err(TcpError::Short));
         let seg = sample();
         let mut raw = seg.to_bytes();
         raw[12] = 3 << 4; // offset below minimum

@@ -2,8 +2,8 @@
 //! fragmentation identity, capture conservation, pcap stream integrity.
 
 use bytes::Bytes;
-use etw_netsim::clock::VirtualTime;
 use etw_netsim::capture::CaptureBuffer;
+use etw_netsim::clock::VirtualTime;
 use etw_netsim::frag::{fragment, Reassembler};
 use etw_netsim::packet::{internet_checksum, Ipv4Packet, UdpDatagram, PROTO_UDP};
 use etw_netsim::pcap::{PcapReader, PcapWriter};

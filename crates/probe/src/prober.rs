@@ -94,9 +94,7 @@ impl ActiveProber {
                 );
                 for a in &answers {
                     if let Message::FoundSources { sources, .. } = a {
-                        sample
-                            .sources_per_file
-                            .insert(file_id, sources.len());
+                        sample.sources_per_file.insert(file_id, sources.len());
                         for s in sources {
                             sample.sources.insert(s.client_id);
                         }
@@ -147,7 +145,11 @@ pub fn popularity_bias(sample: &ProbeSample, server: &ServerEngine) -> Option<f6
     if sample.sources_per_file.is_empty() {
         return None;
     }
-    let probed_mean = sample.sources_per_file.values().map(|&n| n as f64).sum::<f64>()
+    let probed_mean = sample
+        .sources_per_file
+        .values()
+        .map(|&n| n as f64)
+        .sum::<f64>()
         / sample.sources_per_file.len() as f64;
     let index = server.index();
     let total_files = index.file_count() as u64;

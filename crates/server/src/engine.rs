@@ -196,8 +196,12 @@ impl ServerEngine {
                 // Multi-word keywords (rare) must all match.
                 let mut toks = tokenize(kw).into_iter();
                 let first = toks.next()?;
-                let mut set: HashSet<u32> =
-                    self.index.files_with_keyword(&first).iter().copied().collect();
+                let mut set: HashSet<u32> = self
+                    .index
+                    .files_with_keyword(&first)
+                    .iter()
+                    .copied()
+                    .collect();
                 for t in toks {
                     let other: HashSet<u32> =
                         self.index.files_with_keyword(&t).iter().copied().collect();

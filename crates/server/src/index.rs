@@ -107,9 +107,7 @@ impl ServerIndex {
             }
         };
         let file = &mut self.files[slot as usize];
-        if file.sources.len() < self.max_sources_per_file
-            || file.sources.contains_key(&client)
-        {
+        if file.sources.len() < self.max_sources_per_file || file.sources.contains_key(&client) {
             file.sources.insert(client, port);
         }
     }
@@ -190,7 +188,14 @@ mod tests {
     #[test]
     fn publish_indexes_file_and_keywords() {
         let mut idx = ServerIndex::default();
-        idx.publish(ClientId(1), 4662, id(1), "blue album.mp3", 5_000_000, "Audio");
+        idx.publish(
+            ClientId(1),
+            4662,
+            id(1),
+            "blue album.mp3",
+            5_000_000,
+            "Audio",
+        );
         assert_eq!(idx.file_count(), 1);
         assert_eq!(idx.client_count(), 1);
         assert_eq!(idx.files_with_keyword("blue").len(), 1);
@@ -235,7 +240,9 @@ mod tests {
         // Existing provider can refresh its port though.
         idx.publish(ClientId(1), 5000, id(7), "pop song.mp3", 10, "Audio");
         let srcs = idx.sources_for(&id(7), 100);
-        assert!(srcs.iter().any(|s| s.client_id == ClientId(1) && s.port == 5000));
+        assert!(srcs
+            .iter()
+            .any(|s| s.client_id == ClientId(1) && s.port == 5000));
     }
 
     #[test]

@@ -24,9 +24,16 @@ fn arb_pub() -> impl Strategy<Value = Pub> {
     (
         any::<u8>(),
         1u32..500,
-        prop::collection::vec(prop_oneof![
-            Just("alpha"), Just("beta"), Just("gamma"), Just("delta"), Just("omega")
-        ], 1..4),
+        prop::collection::vec(
+            prop_oneof![
+                Just("alpha"),
+                Just("beta"),
+                Just("gamma"),
+                Just("delta"),
+                Just("omega")
+            ],
+            1..4,
+        ),
         1u32..2_000_000_000,
         any::<bool>(),
     )
@@ -45,7 +52,11 @@ fn publish_all(pubs: &[Pub]) -> ServerEngine {
         ..EngineConfig::default()
     });
     for p in pubs {
-        let name = format!("{}.{}", p.words.join(" "), if p.audio { "mp3" } else { "avi" });
+        let name = format!(
+            "{}.{}",
+            p.words.join(" "),
+            if p.audio { "mp3" } else { "avi" }
+        );
         let entry = FileEntry {
             file_id: FileId([p.id; 16]),
             client_id: ClientId(p.client),
@@ -56,7 +67,10 @@ fn publish_all(pubs: &[Pub]) -> ServerEngine {
                 Tag::str(special::FILETYPE, if p.audio { "Audio" } else { "Video" }),
             ]),
         };
-        server.handle(ClientId(p.client), &Message::OfferFiles { files: vec![entry] });
+        server.handle(
+            ClientId(p.client),
+            &Message::OfferFiles { files: vec![entry] },
+        );
     }
     server
 }

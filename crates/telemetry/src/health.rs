@@ -1,0 +1,224 @@
+//! Virtual-time health snapshots.
+//!
+//! A campaign simulates weeks of virtual time in minutes of wall time.
+//! The [`HealthRecorder`] sits on the pipeline's producer thread (which
+//! observes every virtual-second tick) and cuts a [`HealthRecord`] each
+//! time virtual time crosses an interval boundary: the full metric
+//! [`Snapshot`] plus wall-clock progress and the real-time factor (how
+//! many virtual seconds elapsed per wall second). A sagging RTF or a
+//! climbing queue depth between records is the reproduction's
+//! equivalent of the paper's capture machine falling behind the link.
+
+use crate::{Registry, Snapshot};
+use std::time::Instant;
+
+const MICROS_PER_SEC: u64 = 1_000_000;
+
+/// One periodic health observation.
+#[derive(Clone, Debug)]
+pub struct HealthRecord {
+    /// Virtual time of the cut, in microseconds since campaign start.
+    pub virtual_us: u64,
+    /// Wall-clock seconds since the recorder started.
+    pub wall_secs: f64,
+    /// Virtual seconds per wall second over the last interval.
+    pub rtf_interval: f64,
+    /// Virtual seconds per wall second since the recorder started.
+    pub rtf_cumulative: f64,
+    /// Metric values at the cut.
+    pub snapshot: Snapshot,
+}
+
+impl HealthRecord {
+    /// Virtual time in whole seconds.
+    pub fn virtual_secs(&self) -> u64 {
+        self.virtual_us / MICROS_PER_SEC
+    }
+}
+
+/// The completed output of a [`HealthRecorder`].
+#[derive(Clone, Debug, Default)]
+pub struct HealthSeries {
+    /// Records in virtual-time order.
+    pub records: Vec<HealthRecord>,
+}
+
+impl HealthSeries {
+    /// Whether any records were cut.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Per-interval delta of a counter across consecutive records
+    /// (first entry is the counter's value at the first record).
+    pub fn counter_deltas(&self, name: &str) -> Vec<u64> {
+        let mut prev = 0u64;
+        self.records
+            .iter()
+            .map(|r| {
+                let v = r.snapshot.counter(name);
+                let d = v.saturating_sub(prev);
+                prev = v;
+                d
+            })
+            .collect()
+    }
+}
+
+/// Cuts periodic [`HealthRecord`]s from a [`Registry`] as virtual time
+/// advances. Inert when built with `interval_secs == 0` or a disabled
+/// registry.
+#[derive(Debug)]
+pub struct HealthRecorder {
+    registry: Registry,
+    interval_us: u64,
+    next_cut_us: u64,
+    start_wall: Instant,
+    last_cut_wall: Instant,
+    last_cut_virtual_us: u64,
+    records: Vec<HealthRecord>,
+}
+
+impl HealthRecorder {
+    /// A recorder cutting a record each `interval_secs` of virtual
+    /// time. `interval_secs == 0` disables recording.
+    pub fn new(registry: Registry, interval_secs: u64) -> HealthRecorder {
+        let now = Instant::now();
+        let interval_us = interval_secs.saturating_mul(MICROS_PER_SEC);
+        HealthRecorder {
+            interval_us,
+            next_cut_us: interval_us,
+            registry,
+            start_wall: now,
+            last_cut_wall: now,
+            last_cut_virtual_us: 0,
+            records: Vec::new(),
+        }
+    }
+
+    /// Whether this recorder will ever cut a record.
+    pub fn is_enabled(&self) -> bool {
+        self.interval_us > 0 && self.registry.is_enabled()
+    }
+
+    /// Notes that virtual time has reached `virtual_us`; cuts one
+    /// record if an interval boundary was crossed since the last cut.
+    /// Cheap when no boundary was crossed (one comparison).
+    #[inline]
+    pub fn observe(&mut self, virtual_us: u64) {
+        if self.interval_us == 0 || virtual_us < self.next_cut_us {
+            return;
+        }
+        self.cut(virtual_us);
+        // One record per crossing, however far time jumped; the next
+        // boundary is relative to where virtual time actually is.
+        self.next_cut_us = (virtual_us / self.interval_us + 1) * self.interval_us;
+    }
+
+    /// Cuts a final record at `virtual_us` (if time advanced past the
+    /// last cut) and returns the finished series.
+    pub fn finish(mut self, virtual_us: u64) -> HealthSeries {
+        if self.is_enabled() && virtual_us > self.last_cut_virtual_us {
+            self.cut(virtual_us);
+        }
+        HealthSeries {
+            records: self.records,
+        }
+    }
+
+    fn cut(&mut self, virtual_us: u64) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        let now = Instant::now();
+        let wall_total = now.duration_since(self.start_wall).as_secs_f64();
+        let wall_interval = now.duration_since(self.last_cut_wall).as_secs_f64();
+        let virt_total = virtual_us as f64 / MICROS_PER_SEC as f64;
+        let virt_interval = (virtual_us - self.last_cut_virtual_us) as f64 / MICROS_PER_SEC as f64;
+        self.records.push(HealthRecord {
+            virtual_us,
+            wall_secs: wall_total,
+            rtf_interval: rtf(virt_interval, wall_interval),
+            rtf_cumulative: rtf(virt_total, wall_total),
+            snapshot: self.registry.snapshot(),
+        });
+        self.last_cut_wall = now;
+        self.last_cut_virtual_us = virtual_us;
+    }
+}
+
+/// Virtual-over-wall ratio, guarding the division: a sub-microsecond
+/// wall interval reports the ratio against 1 µs instead of infinity.
+fn rtf(virtual_secs: f64, wall_secs: f64) -> f64 {
+    virtual_secs / wall_secs.max(1e-6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn cuts_once_per_interval_boundary() {
+        let reg = Registry::new();
+        let frames = reg.counter("frames");
+        let mut rec = HealthRecorder::new(reg, 10);
+        assert!(rec.is_enabled());
+        for sec in 0..35u64 {
+            frames.add(100);
+            rec.observe(sec * MICROS_PER_SEC);
+        }
+        let series = rec.finish(35 * MICROS_PER_SEC);
+        let virt: Vec<u64> = series.records.iter().map(|r| r.virtual_secs()).collect();
+        assert_eq!(virt, vec![10, 20, 30, 35]);
+        // Monotone in both clocks.
+        for pair in series.records.windows(2) {
+            assert!(pair[1].virtual_us > pair[0].virtual_us);
+            assert!(pair[1].wall_secs >= pair[0].wall_secs);
+        }
+        // Counter deltas reflect the 100/sec rate at 10-sec intervals.
+        let deltas = series.counter_deltas("frames");
+        assert_eq!(deltas[0], 1100); // 11 ticks seen by the first cut
+        assert_eq!(deltas[1], 1000);
+        assert_eq!(deltas[2], 1000);
+    }
+
+    #[test]
+    fn rtf_is_positive_and_finite() {
+        let reg = Registry::new();
+        let mut rec = HealthRecorder::new(reg, 1);
+        rec.observe(MICROS_PER_SEC);
+        rec.observe(2 * MICROS_PER_SEC);
+        let series = rec.finish(2 * MICROS_PER_SEC);
+        for r in &series.records {
+            assert!(r.rtf_interval.is_finite());
+            assert!(r.rtf_interval > 0.0);
+            assert!(r.rtf_cumulative.is_finite());
+        }
+    }
+
+    #[test]
+    fn zero_interval_or_disabled_registry_is_inert() {
+        let mut rec = HealthRecorder::new(Registry::new(), 0);
+        assert!(!rec.is_enabled());
+        rec.observe(1_000 * MICROS_PER_SEC);
+        assert!(rec.finish(2_000 * MICROS_PER_SEC).is_empty());
+
+        let mut rec = HealthRecorder::new(Registry::disabled(), 5);
+        assert!(!rec.is_enabled());
+        rec.observe(1_000 * MICROS_PER_SEC);
+        assert!(rec.finish(2_000 * MICROS_PER_SEC).is_empty());
+    }
+
+    #[test]
+    fn long_jumps_cut_single_records() {
+        let reg = Registry::new();
+        let mut rec = HealthRecorder::new(reg, 10);
+        rec.observe(95 * MICROS_PER_SEC); // jumped over 9 boundaries
+        rec.observe(96 * MICROS_PER_SEC); // inside the new interval
+        rec.observe(101 * MICROS_PER_SEC);
+        let series = rec.finish(101 * MICROS_PER_SEC);
+        let virt: Vec<u64> = series.records.iter().map(|r| r.virtual_secs()).collect();
+        assert_eq!(virt, vec![95, 101]);
+    }
+}

@@ -19,14 +19,70 @@ use rand::{Rng, SeedableRng};
 /// enough for realistic keyword collision rates at simulation scale.
 fn keyword_pool() -> Vec<String> {
     let stems = [
-        "live", "album", "remix", "concert", "studio", "session", "acoustic", "deluxe",
-        "edition", "remaster", "vol", "part", "best", "hits", "collection", "anthology",
-        "blue", "red", "black", "white", "golden", "silver", "midnight", "summer",
-        "winter", "spring", "autumn", "night", "day", "dawn", "dusk", "storm",
-        "river", "mountain", "ocean", "desert", "forest", "city", "street", "road",
-        "heart", "soul", "mind", "dream", "shadow", "light", "fire", "ice",
-        "king", "queen", "prince", "knight", "dragon", "wolf", "eagle", "lion",
-        "star", "moon", "sun", "planet", "galaxy", "cosmos", "nebula", "comet",
+        "live",
+        "album",
+        "remix",
+        "concert",
+        "studio",
+        "session",
+        "acoustic",
+        "deluxe",
+        "edition",
+        "remaster",
+        "vol",
+        "part",
+        "best",
+        "hits",
+        "collection",
+        "anthology",
+        "blue",
+        "red",
+        "black",
+        "white",
+        "golden",
+        "silver",
+        "midnight",
+        "summer",
+        "winter",
+        "spring",
+        "autumn",
+        "night",
+        "day",
+        "dawn",
+        "dusk",
+        "storm",
+        "river",
+        "mountain",
+        "ocean",
+        "desert",
+        "forest",
+        "city",
+        "street",
+        "road",
+        "heart",
+        "soul",
+        "mind",
+        "dream",
+        "shadow",
+        "light",
+        "fire",
+        "ice",
+        "king",
+        "queen",
+        "prince",
+        "knight",
+        "dragon",
+        "wolf",
+        "eagle",
+        "lion",
+        "star",
+        "moon",
+        "sun",
+        "planet",
+        "galaxy",
+        "cosmos",
+        "nebula",
+        "comet",
     ];
     let mut pool = Vec::with_capacity(stems.len() * 8);
     for s in &stems {
@@ -240,8 +296,7 @@ mod tests {
     fn seek_and_provide_rankings_differ_but_correlate() {
         let c = small();
         let mut rng = StdRng::seed_from_u64(2);
-        let top_provided: HashSet<usize> =
-            (0..2000).map(|_| c.sample_provided(&mut rng)).collect();
+        let top_provided: HashSet<usize> = (0..2000).map(|_| c.sample_provided(&mut rng)).collect();
         let top_sought: HashSet<usize> = (0..2000).map(|_| c.sample_sought(&mut rng)).collect();
         let overlap = top_provided.intersection(&top_sought).count();
         assert!(overlap > 0, "rankings should correlate");

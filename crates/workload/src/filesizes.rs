@@ -18,12 +18,12 @@ pub const MB: u64 = 1024 * 1024;
 
 /// The media-support peaks of Fig. 8, in bytes.
 pub const PEAKS: [u64; 6] = [
-    700 * MB,     // CD-ROM
-    350 * MB,     // 1/2 CD
-    233 * MB,     // 1/3 CD (paper labels 230 MB)
-    175 * MB,     // 1/4 CD
-    1400 * MB,    // 2 × CD
-    1024 * MB,    // 1 GB split pieces
+    700 * MB,  // CD-ROM
+    350 * MB,  // 1/2 CD
+    233 * MB,  // 1/3 CD (paper labels 230 MB)
+    175 * MB,  // 1/4 CD
+    1400 * MB, // 2 × CD
+    1024 * MB, // 1 GB split pieces
 ];
 
 /// Mixture component weights (probabilities; sum to 1).
@@ -128,7 +128,10 @@ impl FileSizeModel {
                 sigma: 0.45,
             },
             // Misc: median ≈ e^13 ≈ 440 KB, broad.
-            misc: LogNormal { mu: 13.0, sigma: 1.6 },
+            misc: LogNormal {
+                mu: 13.0,
+                sigma: 1.6,
+            },
         }
     }
 

@@ -278,8 +278,7 @@ impl<'a> TrafficGenerator<'a> {
         let phase = self.states[idx as usize].phase.clone();
         match phase {
             Phase::Connect => {
-                self.states[idx as usize].phase = if !self.states[idx as usize].shared.is_empty()
-                {
+                self.states[idx as usize].phase = if !self.states[idx as usize].shared.is_empty() {
                     Phase::Announce { offset: 0 }
                 } else if profile.n_forged > 0 {
                     Phase::AnnounceForged { offset: 0 }
@@ -317,11 +316,8 @@ impl<'a> TrafficGenerator<'a> {
                     .iter()
                     .map(|&f| self.file_entry(f, profile))
                     .collect();
-                self.states[idx as usize].phase = if end < self.states[idx as usize].shared.len()
-                {
-                    Phase::Announce {
-                        offset: end as u32,
-                    }
+                self.states[idx as usize].phase = if end < self.states[idx as usize].shared.len() {
+                    Phase::Announce { offset: end as u32 }
                 } else if profile.n_forged > 0 {
                     Phase::AnnounceForged { offset: 0 }
                 } else {

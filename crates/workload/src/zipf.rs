@@ -205,7 +205,10 @@ mod tests {
 
     #[test]
     fn lognormal_median_is_exp_mu() {
-        let ln = LogNormal { mu: 15.0, sigma: 0.5 };
+        let ln = LogNormal {
+            mu: 15.0,
+            sigma: 0.5,
+        };
         let mut rng = StdRng::seed_from_u64(6);
         let mut draws: Vec<f64> = (0..9001).map(|_| ln.sample(&mut rng)).collect();
         draws.sort_by(|a, b| a.partial_cmp(b).unwrap());

@@ -83,7 +83,7 @@ mod tests {
     }
 
     #[test]
-    fn plain_strings_untouched()  {
+    fn plain_strings_untouched() {
         assert_eq!(escape("d41d8cd98f00b204"), "d41d8cd98f00b204");
         assert_eq!(unescape("12345").unwrap(), "12345");
     }

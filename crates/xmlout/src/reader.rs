@@ -254,7 +254,11 @@ impl<'a> DatasetReader<'a> {
         if !self.started {
             match self.tok.next_token()? {
                 Some(Token::Open { name, .. }) if name == "capture" => self.started = true,
-                other => return Err(XmlError::Schema(format!("expected <capture>, got {other:?}"))),
+                other => {
+                    return Err(XmlError::Schema(format!(
+                        "expected <capture>, got {other:?}"
+                    )))
+                }
             }
         }
         match self.tok.next_token()? {
@@ -266,7 +270,9 @@ impl<'a> DatasetReader<'a> {
                 let node = read_subtree(&mut self.tok, open)?;
                 decode_record(&node).map(Some)
             }
-            other => Err(XmlError::Schema(format!("expected <dialog>, got {other:?}"))),
+            other => Err(XmlError::Schema(format!(
+                "expected <dialog>, got {other:?}"
+            ))),
         }
     }
 }
@@ -281,12 +287,17 @@ impl<'a> Iterator for DatasetReader<'a> {
 
 fn decode_record(node: &Node) -> Result<AnonRecord, XmlError> {
     if node.name != "dialog" {
-        return Err(XmlError::Schema(format!("expected <dialog>, got <{}>", node.name)));
+        return Err(XmlError::Schema(format!(
+            "expected <dialog>, got <{}>",
+            node.name
+        )));
     }
     let ts_us = node.attr_u64("ts")?;
     let peer = node.attr_u64("peer")? as u32;
     let [msg_node] = &node.children[..] else {
-        return Err(XmlError::Schema("dialog must contain exactly one message".into()));
+        return Err(XmlError::Schema(
+            "dialog must contain exactly one message".into(),
+        ));
     };
     Ok(AnonRecord {
         ts_us,
@@ -360,7 +371,9 @@ fn decode_message(n: &Node) -> Result<AnonMessage, XmlError> {
                 .collect::<Result<_, _>>()?;
             Ok(AnonMessage::OfferFiles { files })
         }
-        other => Err(XmlError::Schema(format!("unknown message element <{other}>"))),
+        other => Err(XmlError::Schema(format!(
+            "unknown message element <{other}>"
+        ))),
     }
 }
 
@@ -368,7 +381,10 @@ fn expect_name(n: &Node, want: &str) -> Result<(), XmlError> {
     if n.name == want {
         Ok(())
     } else {
-        Err(XmlError::Schema(format!("expected <{want}>, got <{}>", n.name)))
+        Err(XmlError::Schema(format!(
+            "expected <{want}>, got <{}>",
+            n.name
+        )))
     }
 }
 
@@ -420,10 +436,16 @@ fn decode_expr(n: &Node) -> Result<AnonSearchExpr, XmlError> {
         }),
         "metanum" => Ok(AnonSearchExpr::MetaNum {
             name: n.attr_str("name")?.to_owned(),
-            cmp: if n.attr_str("cmp")? == "ge" { ">=" } else { "<=" },
+            cmp: if n.attr_str("cmp")? == "ge" {
+                ">="
+            } else {
+                "<="
+            },
             value: n.attr_u64("value")?,
         }),
-        other => Err(XmlError::Schema(format!("unknown expression element <{other}>"))),
+        other => Err(XmlError::Schema(format!(
+            "unknown expression element <{other}>"
+        ))),
     }
 }
 
@@ -490,9 +512,7 @@ mod tests {
     fn full_round_trip() {
         let records = sample_records();
         let xml = to_xml_string(&records);
-        let got: Vec<AnonRecord> = DatasetReader::new(&xml)
-            .collect::<Result<_, _>>()
-            .unwrap();
+        let got: Vec<AnonRecord> = DatasetReader::new(&xml).collect::<Result<_, _>>().unwrap();
         assert_eq!(got, records);
     }
 
@@ -537,7 +557,8 @@ mod tests {
 
     #[test]
     fn schema_violations_detected() {
-        let xml = "<capture spec=\"etw-1.0\"><dialog ts=\"0\" peer=\"0\"><bogus/></dialog></capture>";
+        let xml =
+            "<capture spec=\"etw-1.0\"><dialog ts=\"0\" peer=\"0\"><bogus/></dialog></capture>";
         let err = DatasetReader::new(xml).next_record().unwrap_err();
         assert!(matches!(err, XmlError::Schema(_)));
 
@@ -557,10 +578,9 @@ mod tests {
 
     #[test]
     fn empty_capture() {
-        let xml = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<capture spec=\"etw-1.0\">\n</capture>\n";
-        let records: Vec<AnonRecord> = DatasetReader::new(xml)
-            .collect::<Result<_, _>>()
-            .unwrap();
+        let xml =
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<capture spec=\"etw-1.0\">\n</capture>\n";
+        let records: Vec<AnonRecord> = DatasetReader::new(xml).collect::<Result<_, _>>().unwrap();
         assert!(records.is_empty());
     }
 

@@ -7,9 +7,7 @@
 //! memory — the paper's capture machine wrote continuously for ten weeks.
 
 use crate::escape::escape;
-use etw_anonymize::scheme::{
-    AnonFileEntry, AnonMessage, AnonRecord, AnonSearchExpr, AnonTagValue,
-};
+use etw_anonymize::scheme::{AnonFileEntry, AnonMessage, AnonRecord, AnonSearchExpr, AnonTagValue};
 use std::io::{self, Write};
 
 /// Streaming dataset writer.
@@ -198,7 +196,9 @@ mod tests {
         assert!(xml.starts_with("<?xml"));
         assert!(xml.contains("<capture spec=\"etw-1.0\">"));
         assert!(xml.contains("<dialog ts=\"123456\" peer=\"7\">"));
-        assert!(xml.contains("<get_sources><file id=\"0\"/><file id=\"1\"/><file id=\"2\"/></get_sources>"));
+        assert!(xml.contains(
+            "<get_sources><file id=\"0\"/><file id=\"1\"/><file id=\"2\"/></get_sources>"
+        ));
         assert!(xml.trim_end().ends_with("</capture>"));
     }
 

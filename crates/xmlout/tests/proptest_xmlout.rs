@@ -40,7 +40,11 @@ fn arb_expr() -> impl Strategy<Value = AnonSearchExpr> {
         "[0-9a-f]{32}".prop_map(AnonSearchExpr::Keyword),
         ("[a-z_]{1,10}", "[0-9a-f]{32}")
             .prop_map(|(name, value)| AnonSearchExpr::MetaStr { name, value }),
-        ("[a-z_]{1,10}", prop_oneof![Just(">="), Just("<=")], any::<u64>())
+        (
+            "[a-z_]{1,10}",
+            prop_oneof![Just(">="), Just("<=")],
+            any::<u64>()
+        )
             .prop_map(|(name, cmp, value)| AnonSearchExpr::MetaNum { name, cmp, value }),
     ];
     leaf.prop_recursive(3, 12, 2, |inner| {
@@ -69,10 +73,7 @@ fn arb_message() -> impl Strategy<Value = AnonMessage> {
         }),
         Just(AnonMessage::ServerDescRequest),
         ("[0-9a-f]{32}", "[0-9a-f]{32}")
-            .prop_map(|(name, description)| AnonMessage::ServerDescResponse {
-                name,
-                description
-            }),
+            .prop_map(|(name, description)| AnonMessage::ServerDescResponse { name, description }),
         Just(AnonMessage::GetServerList),
         prop::collection::vec((any::<u32>(), any::<u16>()), 0..6)
             .prop_map(|servers| AnonMessage::ServerList { servers }),
@@ -81,7 +82,10 @@ fn arb_message() -> impl Strategy<Value = AnonMessage> {
             .prop_map(|results| AnonMessage::SearchResponse { results }),
         prop::collection::vec(any::<u64>(), 1..6)
             .prop_map(|files| AnonMessage::GetSources { files }),
-        (any::<u64>(), prop::collection::vec((any::<u32>(), any::<u16>()), 0..8))
+        (
+            any::<u64>(),
+            prop::collection::vec((any::<u32>(), any::<u16>()), 0..8)
+        )
             .prop_map(|(file, sources)| AnonMessage::FoundSources { file, sources }),
         prop::collection::vec(arb_entry(), 0..4)
             .prop_map(|files| AnonMessage::OfferFiles { files }),

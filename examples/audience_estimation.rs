@@ -44,7 +44,10 @@ fn main() {
     ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
     println!("\ntop 10 files by audience (distinct clients asking):");
-    println!("{:>10} {:>9} {:>10} {:>13}", "anonFile", "audience", "providers", "demand/supply");
+    println!(
+        "{:>10} {:>9} {:>10} {:>13}",
+        "anonFile", "audience", "providers", "demand/supply"
+    );
     for &(file, audience) in ranked.iter().take(10) {
         let supply = providers.get(&file).map(HashSet::len).unwrap_or(0);
         let ratio = audience as f64 / supply.max(1) as f64;

@@ -56,7 +56,11 @@ fn main() {
     println!("== growth of the observed population (hourly buckets) ==");
     let hours = |us: u64| us / 3_600_000_000;
     for (ts, n) in behavior.client_growth(3_600_000_000) {
-        println!("  after hour {:>2}: {:>6} distinct clients", hours(ts) + 1, n);
+        println!(
+            "  after hour {:>2}: {:>6} distinct clients",
+            hours(ts) + 1,
+            n
+        );
     }
     println!();
 

@@ -11,11 +11,11 @@
 //! about a "rigorously specified" released format).
 
 use edonkey_ten_weeks::core::{run_campaign, CampaignConfig};
-use edonkey_ten_weeks::netsim::pcap::PcapWriter;
 use edonkey_ten_weeks::netsim::clock::VirtualTime;
+use edonkey_ten_weeks::netsim::pcap::PcapWriter;
 use edonkey_ten_weeks::xmlout::reader::DatasetReader;
-use edonkey_ten_weeks::xmlout::writer::DatasetWriter;
 use edonkey_ten_weeks::xmlout::schema::SPEC;
+use edonkey_ten_weeks::xmlout::writer::DatasetWriter;
 use std::fs;
 use std::io::BufWriter;
 use std::path::PathBuf;

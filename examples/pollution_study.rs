@@ -13,13 +13,11 @@
 //! cargo run --release --example pollution_study
 //! ```
 
-use edonkey_ten_weeks::anonymize::fileid::{
-    BucketedArrays, ByteSelector, FileIdAnonymizer,
-};
+use edonkey_ten_weeks::anonymize::fileid::{BucketedArrays, ByteSelector, FileIdAnonymizer};
+use edonkey_ten_weeks::edonkey::Message;
 use edonkey_ten_weeks::workload::catalog::{Catalog, CatalogParams};
 use edonkey_ten_weeks::workload::clients::{ClassMix, Population, PopulationParams};
 use edonkey_ten_weeks::workload::generator::{GeneratorParams, TrafficGenerator};
-use edonkey_ten_weeks::edonkey::Message;
 
 fn main() {
     let catalog = Catalog::generate(

@@ -60,10 +60,13 @@ fn main() {
             SearchExpr::keyword("concert"),
         ),
     };
-    println!("  expression: {}", match &query {
-        Message::SearchRequest { expr } => expr.to_string(),
-        _ => unreachable!(),
-    });
+    println!(
+        "  expression: {}",
+        match &query {
+            Message::SearchRequest { expr } => expr.to_string(),
+            _ => unreachable!(),
+        }
+    );
     let answers = server.handle(bob, &query);
     let Message::SearchResponse { results } = &answers[0] else {
         panic!("expected results");

@@ -7,6 +7,7 @@
 //! etwtool head       <dataset[.etwz]> [N]    print the first N records
 //! etwtool compress   <in.xml> <out.etwz>     LZSS storage codec
 //! etwtool decompress <in.etwz> <out.xml>
+//! etwtool monitor    [--tiny] [--weeks N]    run a campaign with live telemetry
 //! etwtool spec                               print the format specification
 //! ```
 //!
@@ -14,11 +15,14 @@
 
 use edonkey_ten_weeks::analysis::report::{grouped, KvTable};
 use edonkey_ten_weeks::analysis::DatasetStats;
+use edonkey_ten_weeks::core::{run_campaign_observed, CampaignConfig};
+use edonkey_ten_weeks::telemetry::{Registry, Snapshot};
 use edonkey_ten_weeks::xmlout::compress::{compress, decompress, MAGIC};
 use edonkey_ten_weeks::xmlout::reader::DatasetReader;
 use edonkey_ten_weeks::xmlout::schema::{validate, SPEC};
 use std::fs;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,13 +34,14 @@ fn main() -> ExitCode {
         Some("decompress") => cmd_decompress(&args[1..]),
         Some("split") => cmd_split(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
+        Some("monitor") => cmd_monitor(&args[1..]),
         Some("spec") => {
             println!("{SPEC}");
             Ok(())
         }
         _ => {
             eprintln!(
-                "usage: etwtool <validate|stats|head|compress|decompress|split|merge|spec> [args]"
+                "usage: etwtool <validate|stats|head|compress|decompress|split|merge|monitor|spec> [args]"
             );
             return ExitCode::from(2);
         }
@@ -111,10 +116,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     let seek = stats.files_per_seeker();
     let sizes = stats.size_histogram_kb();
     t.row("files with providers", grouped(prov.total()))
-        .row(
-            "max providers for one file",
-            prov.max_value().unwrap_or(0),
-        )
+        .row("max providers for one file", prov.max_value().unwrap_or(0))
         .row("clients asking", grouped(seek.total()))
         .row("clients asking exactly 52 files", seek.count(52))
         .row("files sized", grouped(sizes.total()))
@@ -160,7 +162,9 @@ fn cmd_split(args: &[String]) -> Result<(), String> {
     let [input, parts] = args else {
         return Err("usage: split <dataset[.etwz]> <n-parts>".into());
     };
-    let n: usize = parts.parse().map_err(|_| format!("bad part count {parts}"))?;
+    let n: usize = parts
+        .parse()
+        .map_err(|_| format!("bad part count {parts}"))?;
     if n == 0 {
         return Err("part count must be positive".into());
     }
@@ -173,10 +177,9 @@ fn cmd_split(args: &[String]) -> Result<(), String> {
     for (k, chunk) in records.chunks(per_part).enumerate() {
         let path = format!("{stem}.part{k}.xml");
         let file = fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
-        let mut w = edonkey_ten_weeks::xmlout::writer::DatasetWriter::new(
-            std::io::BufWriter::new(file),
-        )
-        .map_err(|e| e.to_string())?;
+        let mut w =
+            edonkey_ten_weeks::xmlout::writer::DatasetWriter::new(std::io::BufWriter::new(file))
+                .map_err(|e| e.to_string())?;
         for r in chunk {
             w.write_record(r).map_err(|e| e.to_string())?;
         }
@@ -218,6 +221,114 @@ fn cmd_merge(args: &[String]) -> Result<(), String> {
     w.finish().map_err(|e| e.to_string())?;
     println!("wrote {output} ({} records)", grouped(total));
     Ok(())
+}
+
+/// Runs a campaign on a worker thread while the foreground polls the
+/// shared metric registry — the operator's view of the capture machine
+/// keeping up (or not) with its own virtual link.
+///
+/// ```text
+/// etwtool monitor [--tiny] [--weeks N] [--refresh-ms MS] [--prom FILE]
+/// ```
+fn cmd_monitor(args: &[String]) -> Result<(), String> {
+    let mut tiny = false;
+    let mut weeks = 1u64;
+    let mut refresh_ms = 500u64;
+    let mut prom: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tiny" => tiny = true,
+            "--weeks" => {
+                weeks = it
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or("--weeks needs a positive integer")?
+            }
+            "--refresh-ms" => {
+                refresh_ms = it
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or("--refresh-ms needs a positive integer")?
+            }
+            "--prom" => {
+                prom = Some(it.next().ok_or("--prom needs a file path")?.clone());
+            }
+            other => return Err(format!("unknown monitor option {other:?}")),
+        }
+    }
+
+    let mut config = if tiny {
+        CampaignConfig::tiny()
+    } else {
+        let mut c = CampaignConfig::default();
+        c.generator.duration_secs = weeks.max(1) * 7 * 86_400;
+        c
+    };
+    // Cut health records often enough that even a tiny run shows a few.
+    config.health_interval_secs = if tiny { 300 } else { 3_600 };
+    let total_virtual_secs = config.generator.duration_secs;
+
+    let registry = Registry::new();
+    let worker_registry = registry.clone();
+    let worker = std::thread::spawn(move || {
+        let mut records = 0u64;
+        let report = run_campaign_observed(&config, &worker_registry, |_| records += 1);
+        (report, records)
+    });
+
+    println!(
+        "monitoring campaign ({} virtual s; refresh every {refresh_ms} ms)",
+        grouped(total_virtual_secs)
+    );
+    let mut prev = Snapshot::default();
+    loop {
+        let done = worker.is_finished();
+        let snap = registry.snapshot();
+        print_status_line(&snap, &prev, refresh_ms, total_virtual_secs);
+        prev = snap;
+        if done {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(refresh_ms));
+    }
+    let (report, records) = worker.join().map_err(|_| "campaign thread panicked")?;
+
+    println!(
+        "campaign finished: {} records, {} health snapshots, ring lost {}",
+        grouped(records),
+        report.health.records.len(),
+        grouped(report.capture.lost)
+    );
+    if let Some(path) = prom {
+        let text = registry.snapshot().render_prometheus();
+        fs::write(&path, text).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// One line of operator-facing vitals, with per-refresh rates.
+fn print_status_line(snap: &Snapshot, prev: &Snapshot, refresh_ms: u64, total_secs: u64) {
+    let per_sec = |name: &str| {
+        let d = snap.counter_delta(prev, name);
+        d as f64 * 1_000.0 / refresh_ms.max(1) as f64
+    };
+    let virtual_secs = snap.gauge("campaign.virtual_secs").max(0) as u64;
+    println!(
+        "virt {:>7}s/{} ({:>5.1}%) | frames {:>11} ({:>9.0}/s) | records {:>11} | \
+         lost {:>6} | q_in {:>4} | q_out {:>4} | stalls {:>4}",
+        virtual_secs,
+        grouped(total_secs),
+        virtual_secs as f64 * 100.0 / total_secs.max(1) as f64,
+        grouped(snap.counter("stage.producer.frames_total")),
+        per_sec("stage.producer.frames_total"),
+        grouped(snap.counter("stage.sink.records_total")),
+        snap.counter("ring.lost_total"),
+        snap.gauge("chan.decode_in.depth"),
+        snap.gauge("chan.decode_out.depth"),
+        snap.counter("chan.decode_in.stalls_total"),
+    );
 }
 
 fn cmd_decompress(args: &[String]) -> Result<(), String> {

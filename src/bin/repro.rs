@@ -12,6 +12,8 @@
 //!   first-two-bytes vs alternative byte selector
 //! * `fig4`–`fig7` — the provider/seeker degree distributions
 //! * `fig8` — the file-size histogram
+//! * `health` — capture-machine telemetry: periodic health snapshots
+//!   (`health_*.dat`) and a final Prometheus dump (`health_*.prom`)
 //! * `all`  — everything, sharing one campaign run
 //!
 //! Each figure writes a gnuplot-ready `.dat` series under `--out`
@@ -19,11 +21,16 @@
 //! paper calls out.
 
 use edonkey_ten_weeks::analysis::report::{describe_fit, grouped, series_f64, series_u64};
-use edonkey_ten_weeks::analysis::{find_peaks, fit_histogram, DatasetStats, IntHistogram, SparseSeries};
-use edonkey_ten_weeks::core::{render_t1, run_campaign, CampaignConfig, CampaignReport};
+use edonkey_ten_weeks::analysis::{
+    find_peaks, fit_histogram, DatasetStats, IntHistogram, SparseSeries,
+};
+use edonkey_ten_weeks::core::{
+    render_health_dat, render_t1, run_campaign_observed, CampaignConfig, CampaignReport,
+};
 use edonkey_ten_weeks::netsim::capture::{CaptureBuffer, LossRecorder};
 use edonkey_ten_weeks::netsim::clock::VirtualTime;
 use edonkey_ten_weeks::netsim::traffic::RateModel;
+use edonkey_ten_weeks::telemetry::Registry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fs;
@@ -48,13 +55,10 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--tiny" => tiny = true,
             "--weeks" => {
-                weeks = argv
-                    .next()
-                    .and_then(|w| w.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--weeks needs a positive integer");
-                        std::process::exit(2);
-                    })
+                weeks = argv.next().and_then(|w| w.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--weeks needs a positive integer");
+                    std::process::exit(2);
+                })
             }
             "--out" => {
                 out = PathBuf::from(argv.next().unwrap_or_else(|| {
@@ -64,7 +68,7 @@ fn parse_args() -> Args {
             }
             "-h" | "--help" => {
                 println!(
-                    "usage: repro [--tiny] [--weeks N] [--out DIR] <t1|fig2|fig3|fig4..fig8|all>"
+                    "usage: repro [--tiny] [--weeks N] [--out DIR] <t1|fig2|fig3|fig4..fig8|health|all>"
                 );
                 std::process::exit(0);
             }
@@ -94,6 +98,7 @@ fn main() {
         "fig6" => fig_distribution(campaign.as_ref().unwrap(), &args.out, 6),
         "fig7" => fig_distribution(campaign.as_ref().unwrap(), &args.out, 7),
         "fig8" => fig8(campaign.as_ref().unwrap(), &args.out),
+        "health" => health(campaign.as_ref().unwrap(), &args.out, args.tiny),
         "all" => {
             let c = campaign.as_ref().unwrap();
             t1(c);
@@ -103,6 +108,7 @@ fn main() {
                 fig_distribution(c, &args.out, fig);
             }
             fig8(c, &args.out);
+            health(c, &args.out, args.tiny);
         }
         other => {
             eprintln!("unknown experiment {other:?}; try --help");
@@ -114,6 +120,8 @@ fn main() {
 struct CampaignRun {
     report: CampaignReport,
     stats: DatasetStats,
+    /// Final telemetry state, for the Prometheus dump.
+    final_snapshot: edonkey_ten_weeks::telemetry::Snapshot,
 }
 
 fn run_campaign_once(tiny: bool, weeks: u64) -> CampaignRun {
@@ -122,7 +130,11 @@ fn run_campaign_once(tiny: bool, weeks: u64) -> CampaignRun {
     } else {
         CampaignConfig::default()
     };
-    if !tiny {
+    if tiny {
+        // tiny() spans 1800 virtual seconds; the default hourly health
+        // interval would cut a single record.
+        config.health_interval_secs = 300;
+    } else {
         // The paper's campaign ran ten weeks; message volume scales
         // linearly with virtual duration (~6 min/week at default scale).
         config.generator.duration_secs = weeks.max(1) * 7 * 86_400;
@@ -136,13 +148,18 @@ fn run_campaign_once(tiny: bool, weeks: u64) -> CampaignRun {
     );
     let started = Instant::now();
     let mut stats = DatasetStats::new();
-    let report = run_campaign(&config, |record| stats.observe(&record));
+    let registry = Registry::new();
+    let report = run_campaign_observed(&config, &registry, |record| stats.observe(&record));
     eprintln!(
         "campaign done in {:.1}s: {} records",
         started.elapsed().as_secs_f64(),
         grouped(report.records)
     );
-    CampaignRun { report, stats }
+    CampaignRun {
+        report,
+        stats,
+        final_snapshot: registry.snapshot(),
+    }
 }
 
 fn write(out: &Path, name: &str, contents: &str) {
@@ -194,7 +211,11 @@ fn fig2(out: &Path, tiny: bool) {
         series.points.len(),
         horizon
     );
-    write(out, "fig2_losses_per_sec.dat", &series_f64(&series.in_weeks()));
+    write(
+        out,
+        "fig2_losses_per_sec.dat",
+        &series_f64(&series.in_weeks()),
+    );
     let cum: Vec<(f64, u64)> = series
         .cumulative()
         .into_iter()
@@ -211,9 +232,7 @@ fn fig3(c: &CampaignRun, out: &Path) {
         .as_ref()
         .expect("campaign ran with track_fig3");
     let alt = &c.report.bucket_sizes_alternative;
-    let hist = |sizes: &[usize]| -> IntHistogram {
-        sizes.iter().map(|&s| s as u64).collect()
-    };
+    let hist = |sizes: &[usize]| -> IntHistogram { sizes.iter().map(|&s| s as u64).collect() };
     let h_first = hist(first);
     let h_alt = hist(alt);
     let max_first = first.iter().copied().max().unwrap_or(0);
@@ -222,10 +241,7 @@ fn fig3(c: &CampaignRun, out: &Path) {
         "  first-two-bytes: max bucket {} (bucket 0: {}, bucket 256: {}) — paper: 24 024 in bucket 0",
         max_first, first[0], first[256]
     );
-    println!(
-        "  alternative bytes: max bucket {} — paper: 819",
-        max_alt
-    );
+    println!("  alternative bytes: max bucket {} — paper: 819", max_alt);
     println!(
         "  imbalance ratio first/alt = {:.1} (paper: 24 024 / 819 = 29.3)",
         max_first as f64 / max_alt.max(1) as f64
@@ -291,6 +307,50 @@ fn fig_distribution(c: &CampaignRun, out: &Path, fig: u8) {
         println!("  clients at share-limit plateau values (1000/2000): {at_limits}");
     }
     write(out, file, &distribution(&h));
+}
+
+/// Machine health over the campaign: the capture machine's own vital
+/// signs, the reproduction's answer to the paper's "the server handled
+/// the load" aside. Writes the snapshot series as a gnuplot table and
+/// the final registry state in Prometheus text exposition.
+fn health(c: &CampaignRun, out: &Path, tiny: bool) {
+    println!("== machine health: capture-pipeline telemetry ==");
+    let h = &c.report.health;
+    if h.is_empty() {
+        println!("  no health records (health_interval_secs = 0?)");
+        return;
+    }
+    let last = h.records.last().unwrap();
+    println!(
+        "  {} snapshots over {} virtual s ({:.1}s wall, cumulative RTF {:.0}x)",
+        h.records.len(),
+        last.virtual_secs(),
+        last.wall_secs,
+        last.rtf_cumulative
+    );
+    let snap = &c.final_snapshot;
+    println!(
+        "  ring: offered {} / lost {}; decode_in stalls {}; reorder depth hwm {}",
+        grouped(snap.counter("ring.offered_total")),
+        grouped(snap.counter("ring.lost_total")),
+        snap.counter("chan.decode_in.stalls_total"),
+        snap.gauge("stage.reorder.depth_hwm"),
+    );
+    if let Some(service) = snap.histogram("stage.decode.service_ns") {
+        println!(
+            "  decode service time: mean {:.0} ns, p50 ≤ {} ns, p99 ≤ {} ns",
+            service.mean(),
+            service.quantile(0.50),
+            service.quantile(0.99),
+        );
+    }
+    let scale = if tiny { "tiny" } else { "campaign" };
+    write(out, &format!("health_{scale}.dat"), &render_health_dat(h));
+    write(
+        out,
+        &format!("health_{scale}.prom"),
+        &snap.render_prometheus(),
+    );
 }
 
 fn fig8(c: &CampaignRun, out: &Path) {

@@ -18,6 +18,7 @@
 //! | [`xmlout`] | `etw-xmlout` | the XML dialog dataset (writer, parser, formal spec) |
 //! | [`analysis`] | `etw-analysis` | histograms, power-law fits, peaks, time series |
 //! | [`core`] | `etw-core` | the capture-machine pipeline and campaign driver |
+//! | [`telemetry`] | `etw-telemetry` | lock-free metrics registry and virtual-time health snapshots |
 //! | [`probe`] | `etw-probe` | active client-side measurement (the paper's proposed extension) |
 //!
 //! ## Quickstart
@@ -44,5 +45,6 @@ pub use etw_edonkey as edonkey;
 pub use etw_netsim as netsim;
 pub use etw_probe as probe;
 pub use etw_server as server;
+pub use etw_telemetry as telemetry;
 pub use etw_workload as workload;
 pub use etw_xmlout as xmlout;

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/anonymize_clientid-61d0f03b1b9b5b6b.d: crates/bench/benches/anonymize_clientid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanonymize_clientid-61d0f03b1b9b5b6b.rmeta: crates/bench/benches/anonymize_clientid.rs Cargo.toml
+
+crates/bench/benches/anonymize_clientid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/anonymize_fileid-71f9f0eafcc360c7.d: crates/bench/benches/anonymize_fileid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanonymize_fileid-71f9f0eafcc360c7.rmeta: crates/bench/benches/anonymize_fileid.rs Cargo.toml
+
+crates/bench/benches/anonymize_fileid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/capture-2f9db59bc1b194e0.d: crates/bench/benches/capture.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcapture-2f9db59bc1b194e0.rmeta: crates/bench/benches/capture.rs Cargo.toml
+
+crates/bench/benches/capture.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decode-ff7ed0c96fb9f579.d: crates/bench/benches/decode.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecode-ff7ed0c96fb9f579.rmeta: crates/bench/benches/decode.rs Cargo.toml
+
+crates/bench/benches/decode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

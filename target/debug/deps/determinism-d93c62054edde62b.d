@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-d93c62054edde62b.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-d93c62054edde62b: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-f947ccf0dc5e8486.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-f947ccf0dc5e8486: tests/determinism.rs
+
+tests/determinism.rs:

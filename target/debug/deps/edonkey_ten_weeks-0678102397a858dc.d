@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edonkey_ten_weeks-0678102397a858dc.d: src/lib.rs
+
+/root/repo/target/debug/deps/edonkey_ten_weeks-0678102397a858dc: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/edonkey_ten_weeks-43b8d8ee437fef0c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libedonkey_ten_weeks-43b8d8ee437fef0c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libedonkey_ten_weeks-43b8d8ee437fef0c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edonkey_ten_weeks-8187003f2e16b90b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedonkey_ten_weeks-8187003f2e16b90b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

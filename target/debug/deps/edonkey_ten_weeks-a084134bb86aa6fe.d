@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/edonkey_ten_weeks-a084134bb86aa6fe.d: src/lib.rs
+
+/root/repo/target/debug/deps/libedonkey_ten_weeks-a084134bb86aa6fe.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libedonkey_ten_weeks-a084134bb86aa6fe.rmeta: src/lib.rs
+
+src/lib.rs:

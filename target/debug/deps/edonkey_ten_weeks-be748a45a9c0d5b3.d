@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edonkey_ten_weeks-be748a45a9c0d5b3.d: src/lib.rs
+
+/root/repo/target/debug/deps/edonkey_ten_weeks-be748a45a9c0d5b3: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edonkey_ten_weeks-d8f8e3bc5a5db701.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedonkey_ten_weeks-d8f8e3bc5a5db701.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

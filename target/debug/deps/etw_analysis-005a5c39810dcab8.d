@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/etw_analysis-005a5c39810dcab8.d: crates/analysis/src/lib.rs crates/analysis/src/behavior.rs crates/analysis/src/cardinality.rs crates/analysis/src/distributions.rs crates/analysis/src/histogram.rs crates/analysis/src/peaks.rs crates/analysis/src/powerlaw.rs crates/analysis/src/report.rs crates/analysis/src/timeseries.rs
+
+/root/repo/target/debug/deps/etw_analysis-005a5c39810dcab8: crates/analysis/src/lib.rs crates/analysis/src/behavior.rs crates/analysis/src/cardinality.rs crates/analysis/src/distributions.rs crates/analysis/src/histogram.rs crates/analysis/src/peaks.rs crates/analysis/src/powerlaw.rs crates/analysis/src/report.rs crates/analysis/src/timeseries.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/behavior.rs:
+crates/analysis/src/cardinality.rs:
+crates/analysis/src/distributions.rs:
+crates/analysis/src/histogram.rs:
+crates/analysis/src/peaks.rs:
+crates/analysis/src/powerlaw.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/timeseries.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/etw_analysis-a5266c2a7bb3bdcd.d: crates/analysis/src/lib.rs crates/analysis/src/behavior.rs crates/analysis/src/cardinality.rs crates/analysis/src/distributions.rs crates/analysis/src/histogram.rs crates/analysis/src/peaks.rs crates/analysis/src/powerlaw.rs crates/analysis/src/report.rs crates/analysis/src/timeseries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libetw_analysis-a5266c2a7bb3bdcd.rmeta: crates/analysis/src/lib.rs crates/analysis/src/behavior.rs crates/analysis/src/cardinality.rs crates/analysis/src/distributions.rs crates/analysis/src/histogram.rs crates/analysis/src/peaks.rs crates/analysis/src/powerlaw.rs crates/analysis/src/report.rs crates/analysis/src/timeseries.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/behavior.rs:
+crates/analysis/src/cardinality.rs:
+crates/analysis/src/distributions.rs:
+crates/analysis/src/histogram.rs:
+crates/analysis/src/peaks.rs:
+crates/analysis/src/powerlaw.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/timeseries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

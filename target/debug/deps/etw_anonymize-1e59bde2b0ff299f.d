@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/etw_anonymize-1e59bde2b0ff299f.d: crates/anonymize/src/lib.rs crates/anonymize/src/clientid.rs crates/anonymize/src/fields.rs crates/anonymize/src/fileid.rs crates/anonymize/src/md5.rs crates/anonymize/src/scheme.rs Cargo.toml
+
+/root/repo/target/debug/deps/libetw_anonymize-1e59bde2b0ff299f.rmeta: crates/anonymize/src/lib.rs crates/anonymize/src/clientid.rs crates/anonymize/src/fields.rs crates/anonymize/src/fileid.rs crates/anonymize/src/md5.rs crates/anonymize/src/scheme.rs Cargo.toml
+
+crates/anonymize/src/lib.rs:
+crates/anonymize/src/clientid.rs:
+crates/anonymize/src/fields.rs:
+crates/anonymize/src/fileid.rs:
+crates/anonymize/src/md5.rs:
+crates/anonymize/src/scheme.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

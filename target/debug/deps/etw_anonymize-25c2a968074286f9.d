@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/etw_anonymize-25c2a968074286f9.d: crates/anonymize/src/lib.rs crates/anonymize/src/clientid.rs crates/anonymize/src/fields.rs crates/anonymize/src/fileid.rs crates/anonymize/src/md5.rs crates/anonymize/src/scheme.rs
+
+/root/repo/target/debug/deps/etw_anonymize-25c2a968074286f9: crates/anonymize/src/lib.rs crates/anonymize/src/clientid.rs crates/anonymize/src/fields.rs crates/anonymize/src/fileid.rs crates/anonymize/src/md5.rs crates/anonymize/src/scheme.rs
+
+crates/anonymize/src/lib.rs:
+crates/anonymize/src/clientid.rs:
+crates/anonymize/src/fields.rs:
+crates/anonymize/src/fileid.rs:
+crates/anonymize/src/md5.rs:
+crates/anonymize/src/scheme.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/etw_anonymize-52dd9aef4d756f5b.d: crates/anonymize/src/lib.rs crates/anonymize/src/clientid.rs crates/anonymize/src/fields.rs crates/anonymize/src/fileid.rs crates/anonymize/src/md5.rs crates/anonymize/src/scheme.rs
+
+/root/repo/target/debug/deps/libetw_anonymize-52dd9aef4d756f5b.rlib: crates/anonymize/src/lib.rs crates/anonymize/src/clientid.rs crates/anonymize/src/fields.rs crates/anonymize/src/fileid.rs crates/anonymize/src/md5.rs crates/anonymize/src/scheme.rs
+
+/root/repo/target/debug/deps/libetw_anonymize-52dd9aef4d756f5b.rmeta: crates/anonymize/src/lib.rs crates/anonymize/src/clientid.rs crates/anonymize/src/fields.rs crates/anonymize/src/fileid.rs crates/anonymize/src/md5.rs crates/anonymize/src/scheme.rs
+
+crates/anonymize/src/lib.rs:
+crates/anonymize/src/clientid.rs:
+crates/anonymize/src/fields.rs:
+crates/anonymize/src/fileid.rs:
+crates/anonymize/src/md5.rs:
+crates/anonymize/src/scheme.rs:

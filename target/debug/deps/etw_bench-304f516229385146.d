@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/etw_bench-304f516229385146.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libetw_bench-304f516229385146.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

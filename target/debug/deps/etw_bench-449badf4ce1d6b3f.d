@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/etw_bench-449badf4ce1d6b3f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/etw_bench-449badf4ce1d6b3f: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

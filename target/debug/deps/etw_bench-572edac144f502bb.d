@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/etw_bench-572edac144f502bb.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libetw_bench-572edac144f502bb.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libetw_bench-572edac144f502bb.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

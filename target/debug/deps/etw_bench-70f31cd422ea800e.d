@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/etw_bench-70f31cd422ea800e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libetw_bench-70f31cd422ea800e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libetw_bench-70f31cd422ea800e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/etw_bench-94f6ea05ba6c75b6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/etw_bench-94f6ea05ba6c75b6: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/etw_core-1b1ae06d23791015.d: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/config.rs crates/core/src/pipeline.rs crates/core/src/summary.rs crates/core/src/wirepath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libetw_core-1b1ae06d23791015.rmeta: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/config.rs crates/core/src/pipeline.rs crates/core/src/summary.rs crates/core/src/wirepath.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/campaign.rs:
+crates/core/src/config.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/summary.rs:
+crates/core/src/wirepath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

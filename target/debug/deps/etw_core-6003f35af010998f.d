@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/etw_core-6003f35af010998f.d: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/config.rs crates/core/src/pipeline.rs crates/core/src/summary.rs crates/core/src/wirepath.rs
+
+/root/repo/target/debug/deps/etw_core-6003f35af010998f: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/config.rs crates/core/src/pipeline.rs crates/core/src/summary.rs crates/core/src/wirepath.rs
+
+crates/core/src/lib.rs:
+crates/core/src/campaign.rs:
+crates/core/src/config.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/summary.rs:
+crates/core/src/wirepath.rs:

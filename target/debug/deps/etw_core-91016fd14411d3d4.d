@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/etw_core-91016fd14411d3d4.d: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/config.rs crates/core/src/pipeline.rs crates/core/src/summary.rs crates/core/src/wirepath.rs
+
+/root/repo/target/debug/deps/libetw_core-91016fd14411d3d4.rlib: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/config.rs crates/core/src/pipeline.rs crates/core/src/summary.rs crates/core/src/wirepath.rs
+
+/root/repo/target/debug/deps/libetw_core-91016fd14411d3d4.rmeta: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/config.rs crates/core/src/pipeline.rs crates/core/src/summary.rs crates/core/src/wirepath.rs
+
+crates/core/src/lib.rs:
+crates/core/src/campaign.rs:
+crates/core/src/config.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/summary.rs:
+crates/core/src/wirepath.rs:

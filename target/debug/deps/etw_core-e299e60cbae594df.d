@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/etw_core-e299e60cbae594df.d: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/config.rs crates/core/src/pipeline.rs crates/core/src/summary.rs crates/core/src/wirepath.rs
+
+/root/repo/target/debug/deps/libetw_core-e299e60cbae594df.rlib: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/config.rs crates/core/src/pipeline.rs crates/core/src/summary.rs crates/core/src/wirepath.rs
+
+/root/repo/target/debug/deps/libetw_core-e299e60cbae594df.rmeta: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/config.rs crates/core/src/pipeline.rs crates/core/src/summary.rs crates/core/src/wirepath.rs
+
+crates/core/src/lib.rs:
+crates/core/src/campaign.rs:
+crates/core/src/config.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/summary.rs:
+crates/core/src/wirepath.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/etw_edonkey-00085c5ee8a43db0.d: crates/edonkey/src/lib.rs crates/edonkey/src/corrupt.rs crates/edonkey/src/decoder.rs crates/edonkey/src/error.rs crates/edonkey/src/ids.rs crates/edonkey/src/md4.rs crates/edonkey/src/messages.rs crates/edonkey/src/search.rs crates/edonkey/src/session.rs crates/edonkey/src/stream.rs crates/edonkey/src/tags.rs crates/edonkey/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libetw_edonkey-00085c5ee8a43db0.rmeta: crates/edonkey/src/lib.rs crates/edonkey/src/corrupt.rs crates/edonkey/src/decoder.rs crates/edonkey/src/error.rs crates/edonkey/src/ids.rs crates/edonkey/src/md4.rs crates/edonkey/src/messages.rs crates/edonkey/src/search.rs crates/edonkey/src/session.rs crates/edonkey/src/stream.rs crates/edonkey/src/tags.rs crates/edonkey/src/wire.rs Cargo.toml
+
+crates/edonkey/src/lib.rs:
+crates/edonkey/src/corrupt.rs:
+crates/edonkey/src/decoder.rs:
+crates/edonkey/src/error.rs:
+crates/edonkey/src/ids.rs:
+crates/edonkey/src/md4.rs:
+crates/edonkey/src/messages.rs:
+crates/edonkey/src/search.rs:
+crates/edonkey/src/session.rs:
+crates/edonkey/src/stream.rs:
+crates/edonkey/src/tags.rs:
+crates/edonkey/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/etw_edonkey-0585e5c2c6f5899e.d: crates/edonkey/src/lib.rs crates/edonkey/src/corrupt.rs crates/edonkey/src/decoder.rs crates/edonkey/src/error.rs crates/edonkey/src/ids.rs crates/edonkey/src/md4.rs crates/edonkey/src/messages.rs crates/edonkey/src/search.rs crates/edonkey/src/session.rs crates/edonkey/src/stream.rs crates/edonkey/src/tags.rs crates/edonkey/src/wire.rs
+
+/root/repo/target/debug/deps/etw_edonkey-0585e5c2c6f5899e: crates/edonkey/src/lib.rs crates/edonkey/src/corrupt.rs crates/edonkey/src/decoder.rs crates/edonkey/src/error.rs crates/edonkey/src/ids.rs crates/edonkey/src/md4.rs crates/edonkey/src/messages.rs crates/edonkey/src/search.rs crates/edonkey/src/session.rs crates/edonkey/src/stream.rs crates/edonkey/src/tags.rs crates/edonkey/src/wire.rs
+
+crates/edonkey/src/lib.rs:
+crates/edonkey/src/corrupt.rs:
+crates/edonkey/src/decoder.rs:
+crates/edonkey/src/error.rs:
+crates/edonkey/src/ids.rs:
+crates/edonkey/src/md4.rs:
+crates/edonkey/src/messages.rs:
+crates/edonkey/src/search.rs:
+crates/edonkey/src/session.rs:
+crates/edonkey/src/stream.rs:
+crates/edonkey/src/tags.rs:
+crates/edonkey/src/wire.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/etw_edonkey-5b90695baa6225a0.d: crates/edonkey/src/lib.rs crates/edonkey/src/corrupt.rs crates/edonkey/src/decoder.rs crates/edonkey/src/error.rs crates/edonkey/src/ids.rs crates/edonkey/src/md4.rs crates/edonkey/src/messages.rs crates/edonkey/src/search.rs crates/edonkey/src/session.rs crates/edonkey/src/stream.rs crates/edonkey/src/tags.rs crates/edonkey/src/wire.rs
+
+/root/repo/target/debug/deps/libetw_edonkey-5b90695baa6225a0.rlib: crates/edonkey/src/lib.rs crates/edonkey/src/corrupt.rs crates/edonkey/src/decoder.rs crates/edonkey/src/error.rs crates/edonkey/src/ids.rs crates/edonkey/src/md4.rs crates/edonkey/src/messages.rs crates/edonkey/src/search.rs crates/edonkey/src/session.rs crates/edonkey/src/stream.rs crates/edonkey/src/tags.rs crates/edonkey/src/wire.rs
+
+/root/repo/target/debug/deps/libetw_edonkey-5b90695baa6225a0.rmeta: crates/edonkey/src/lib.rs crates/edonkey/src/corrupt.rs crates/edonkey/src/decoder.rs crates/edonkey/src/error.rs crates/edonkey/src/ids.rs crates/edonkey/src/md4.rs crates/edonkey/src/messages.rs crates/edonkey/src/search.rs crates/edonkey/src/session.rs crates/edonkey/src/stream.rs crates/edonkey/src/tags.rs crates/edonkey/src/wire.rs
+
+crates/edonkey/src/lib.rs:
+crates/edonkey/src/corrupt.rs:
+crates/edonkey/src/decoder.rs:
+crates/edonkey/src/error.rs:
+crates/edonkey/src/ids.rs:
+crates/edonkey/src/md4.rs:
+crates/edonkey/src/messages.rs:
+crates/edonkey/src/search.rs:
+crates/edonkey/src/session.rs:
+crates/edonkey/src/stream.rs:
+crates/edonkey/src/tags.rs:
+crates/edonkey/src/wire.rs:

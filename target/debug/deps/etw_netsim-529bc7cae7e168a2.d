@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/etw_netsim-529bc7cae7e168a2.d: crates/netsim/src/lib.rs crates/netsim/src/capture.rs crates/netsim/src/clock.rs crates/netsim/src/flows.rs crates/netsim/src/frag.rs crates/netsim/src/packet.rs crates/netsim/src/pcap.rs crates/netsim/src/tcp.rs crates/netsim/src/traffic.rs
+
+/root/repo/target/debug/deps/libetw_netsim-529bc7cae7e168a2.rlib: crates/netsim/src/lib.rs crates/netsim/src/capture.rs crates/netsim/src/clock.rs crates/netsim/src/flows.rs crates/netsim/src/frag.rs crates/netsim/src/packet.rs crates/netsim/src/pcap.rs crates/netsim/src/tcp.rs crates/netsim/src/traffic.rs
+
+/root/repo/target/debug/deps/libetw_netsim-529bc7cae7e168a2.rmeta: crates/netsim/src/lib.rs crates/netsim/src/capture.rs crates/netsim/src/clock.rs crates/netsim/src/flows.rs crates/netsim/src/frag.rs crates/netsim/src/packet.rs crates/netsim/src/pcap.rs crates/netsim/src/tcp.rs crates/netsim/src/traffic.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/capture.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/flows.rs:
+crates/netsim/src/frag.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/pcap.rs:
+crates/netsim/src/tcp.rs:
+crates/netsim/src/traffic.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/etw_netsim-c23e83983653a481.d: crates/netsim/src/lib.rs crates/netsim/src/capture.rs crates/netsim/src/clock.rs crates/netsim/src/flows.rs crates/netsim/src/frag.rs crates/netsim/src/packet.rs crates/netsim/src/pcap.rs crates/netsim/src/tcp.rs crates/netsim/src/traffic.rs
+
+/root/repo/target/debug/deps/libetw_netsim-c23e83983653a481.rlib: crates/netsim/src/lib.rs crates/netsim/src/capture.rs crates/netsim/src/clock.rs crates/netsim/src/flows.rs crates/netsim/src/frag.rs crates/netsim/src/packet.rs crates/netsim/src/pcap.rs crates/netsim/src/tcp.rs crates/netsim/src/traffic.rs
+
+/root/repo/target/debug/deps/libetw_netsim-c23e83983653a481.rmeta: crates/netsim/src/lib.rs crates/netsim/src/capture.rs crates/netsim/src/clock.rs crates/netsim/src/flows.rs crates/netsim/src/frag.rs crates/netsim/src/packet.rs crates/netsim/src/pcap.rs crates/netsim/src/tcp.rs crates/netsim/src/traffic.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/capture.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/flows.rs:
+crates/netsim/src/frag.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/pcap.rs:
+crates/netsim/src/tcp.rs:
+crates/netsim/src/traffic.rs:

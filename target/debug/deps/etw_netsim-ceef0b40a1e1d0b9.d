@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/etw_netsim-ceef0b40a1e1d0b9.d: crates/netsim/src/lib.rs crates/netsim/src/capture.rs crates/netsim/src/clock.rs crates/netsim/src/flows.rs crates/netsim/src/frag.rs crates/netsim/src/packet.rs crates/netsim/src/pcap.rs crates/netsim/src/tcp.rs crates/netsim/src/traffic.rs
+
+/root/repo/target/debug/deps/etw_netsim-ceef0b40a1e1d0b9: crates/netsim/src/lib.rs crates/netsim/src/capture.rs crates/netsim/src/clock.rs crates/netsim/src/flows.rs crates/netsim/src/frag.rs crates/netsim/src/packet.rs crates/netsim/src/pcap.rs crates/netsim/src/tcp.rs crates/netsim/src/traffic.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/capture.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/flows.rs:
+crates/netsim/src/frag.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/pcap.rs:
+crates/netsim/src/tcp.rs:
+crates/netsim/src/traffic.rs:

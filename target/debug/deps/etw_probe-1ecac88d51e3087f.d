@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/etw_probe-1ecac88d51e3087f.d: crates/probe/src/lib.rs crates/probe/src/estimate.rs crates/probe/src/prober.rs Cargo.toml
+
+/root/repo/target/debug/deps/libetw_probe-1ecac88d51e3087f.rmeta: crates/probe/src/lib.rs crates/probe/src/estimate.rs crates/probe/src/prober.rs Cargo.toml
+
+crates/probe/src/lib.rs:
+crates/probe/src/estimate.rs:
+crates/probe/src/prober.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/etw_probe-8bf3b5c5a726417e.d: crates/probe/src/lib.rs crates/probe/src/estimate.rs crates/probe/src/prober.rs
+
+/root/repo/target/debug/deps/etw_probe-8bf3b5c5a726417e: crates/probe/src/lib.rs crates/probe/src/estimate.rs crates/probe/src/prober.rs
+
+crates/probe/src/lib.rs:
+crates/probe/src/estimate.rs:
+crates/probe/src/prober.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/etw_probe-b3a0306d230d59a9.d: crates/probe/src/lib.rs crates/probe/src/estimate.rs crates/probe/src/prober.rs
+
+/root/repo/target/debug/deps/etw_probe-b3a0306d230d59a9: crates/probe/src/lib.rs crates/probe/src/estimate.rs crates/probe/src/prober.rs
+
+crates/probe/src/lib.rs:
+crates/probe/src/estimate.rs:
+crates/probe/src/prober.rs:

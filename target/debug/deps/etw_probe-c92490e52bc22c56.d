@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/etw_probe-c92490e52bc22c56.d: crates/probe/src/lib.rs crates/probe/src/estimate.rs crates/probe/src/prober.rs
+
+/root/repo/target/debug/deps/libetw_probe-c92490e52bc22c56.rlib: crates/probe/src/lib.rs crates/probe/src/estimate.rs crates/probe/src/prober.rs
+
+/root/repo/target/debug/deps/libetw_probe-c92490e52bc22c56.rmeta: crates/probe/src/lib.rs crates/probe/src/estimate.rs crates/probe/src/prober.rs
+
+crates/probe/src/lib.rs:
+crates/probe/src/estimate.rs:
+crates/probe/src/prober.rs:

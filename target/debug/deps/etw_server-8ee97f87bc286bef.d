@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/etw_server-8ee97f87bc286bef.d: crates/server/src/lib.rs crates/server/src/engine.rs crates/server/src/index.rs
+
+/root/repo/target/debug/deps/libetw_server-8ee97f87bc286bef.rlib: crates/server/src/lib.rs crates/server/src/engine.rs crates/server/src/index.rs
+
+/root/repo/target/debug/deps/libetw_server-8ee97f87bc286bef.rmeta: crates/server/src/lib.rs crates/server/src/engine.rs crates/server/src/index.rs
+
+crates/server/src/lib.rs:
+crates/server/src/engine.rs:
+crates/server/src/index.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/etw_server-8ff5ec6faa80303e.d: crates/server/src/lib.rs crates/server/src/engine.rs crates/server/src/index.rs
+
+/root/repo/target/debug/deps/etw_server-8ff5ec6faa80303e: crates/server/src/lib.rs crates/server/src/engine.rs crates/server/src/index.rs
+
+crates/server/src/lib.rs:
+crates/server/src/engine.rs:
+crates/server/src/index.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/etw_server-df39b3fcc46726d9.d: crates/server/src/lib.rs crates/server/src/engine.rs crates/server/src/index.rs Cargo.toml
+
+/root/repo/target/debug/deps/libetw_server-df39b3fcc46726d9.rmeta: crates/server/src/lib.rs crates/server/src/engine.rs crates/server/src/index.rs Cargo.toml
+
+crates/server/src/lib.rs:
+crates/server/src/engine.rs:
+crates/server/src/index.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

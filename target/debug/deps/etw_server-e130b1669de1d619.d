@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/etw_server-e130b1669de1d619.d: crates/server/src/lib.rs crates/server/src/engine.rs crates/server/src/index.rs Cargo.toml
+
+/root/repo/target/debug/deps/libetw_server-e130b1669de1d619.rmeta: crates/server/src/lib.rs crates/server/src/engine.rs crates/server/src/index.rs Cargo.toml
+
+crates/server/src/lib.rs:
+crates/server/src/engine.rs:
+crates/server/src/index.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

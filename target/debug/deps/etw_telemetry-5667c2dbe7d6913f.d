@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/etw_telemetry-5667c2dbe7d6913f.d: crates/telemetry/src/lib.rs crates/telemetry/src/channel.rs crates/telemetry/src/health.rs Cargo.toml
+
+/root/repo/target/debug/deps/libetw_telemetry-5667c2dbe7d6913f.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/channel.rs crates/telemetry/src/health.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/channel.rs:
+crates/telemetry/src/health.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

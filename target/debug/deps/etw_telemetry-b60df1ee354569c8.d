@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/etw_telemetry-b60df1ee354569c8.d: crates/telemetry/src/lib.rs crates/telemetry/src/channel.rs crates/telemetry/src/health.rs
+
+/root/repo/target/debug/deps/etw_telemetry-b60df1ee354569c8: crates/telemetry/src/lib.rs crates/telemetry/src/channel.rs crates/telemetry/src/health.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/channel.rs:
+crates/telemetry/src/health.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/etw_telemetry-d211d8cc5eb0714f.d: crates/telemetry/src/lib.rs crates/telemetry/src/channel.rs crates/telemetry/src/health.rs Cargo.toml
+
+/root/repo/target/debug/deps/libetw_telemetry-d211d8cc5eb0714f.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/channel.rs crates/telemetry/src/health.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/channel.rs:
+crates/telemetry/src/health.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

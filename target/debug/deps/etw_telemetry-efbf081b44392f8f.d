@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/etw_telemetry-efbf081b44392f8f.d: crates/telemetry/src/lib.rs crates/telemetry/src/channel.rs crates/telemetry/src/health.rs
+
+/root/repo/target/debug/deps/libetw_telemetry-efbf081b44392f8f.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/channel.rs crates/telemetry/src/health.rs
+
+/root/repo/target/debug/deps/libetw_telemetry-efbf081b44392f8f.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/channel.rs crates/telemetry/src/health.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/channel.rs:
+crates/telemetry/src/health.rs:

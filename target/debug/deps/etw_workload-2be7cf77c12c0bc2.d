@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/etw_workload-2be7cf77c12c0bc2.d: crates/workload/src/lib.rs crates/workload/src/catalog.rs crates/workload/src/clients.rs crates/workload/src/filesizes.rs crates/workload/src/generator.rs crates/workload/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libetw_workload-2be7cf77c12c0bc2.rmeta: crates/workload/src/lib.rs crates/workload/src/catalog.rs crates/workload/src/clients.rs crates/workload/src/filesizes.rs crates/workload/src/generator.rs crates/workload/src/zipf.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/catalog.rs:
+crates/workload/src/clients.rs:
+crates/workload/src/filesizes.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

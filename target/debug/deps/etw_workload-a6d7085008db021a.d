@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/etw_workload-a6d7085008db021a.d: crates/workload/src/lib.rs crates/workload/src/catalog.rs crates/workload/src/clients.rs crates/workload/src/filesizes.rs crates/workload/src/generator.rs crates/workload/src/zipf.rs
+
+/root/repo/target/debug/deps/libetw_workload-a6d7085008db021a.rlib: crates/workload/src/lib.rs crates/workload/src/catalog.rs crates/workload/src/clients.rs crates/workload/src/filesizes.rs crates/workload/src/generator.rs crates/workload/src/zipf.rs
+
+/root/repo/target/debug/deps/libetw_workload-a6d7085008db021a.rmeta: crates/workload/src/lib.rs crates/workload/src/catalog.rs crates/workload/src/clients.rs crates/workload/src/filesizes.rs crates/workload/src/generator.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/catalog.rs:
+crates/workload/src/clients.rs:
+crates/workload/src/filesizes.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/zipf.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/etw_workload-c8b6a4722d96660c.d: crates/workload/src/lib.rs crates/workload/src/catalog.rs crates/workload/src/clients.rs crates/workload/src/filesizes.rs crates/workload/src/generator.rs crates/workload/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libetw_workload-c8b6a4722d96660c.rmeta: crates/workload/src/lib.rs crates/workload/src/catalog.rs crates/workload/src/clients.rs crates/workload/src/filesizes.rs crates/workload/src/generator.rs crates/workload/src/zipf.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/catalog.rs:
+crates/workload/src/clients.rs:
+crates/workload/src/filesizes.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

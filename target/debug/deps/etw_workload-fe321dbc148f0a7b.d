@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/etw_workload-fe321dbc148f0a7b.d: crates/workload/src/lib.rs crates/workload/src/catalog.rs crates/workload/src/clients.rs crates/workload/src/filesizes.rs crates/workload/src/generator.rs crates/workload/src/zipf.rs
+
+/root/repo/target/debug/deps/etw_workload-fe321dbc148f0a7b: crates/workload/src/lib.rs crates/workload/src/catalog.rs crates/workload/src/clients.rs crates/workload/src/filesizes.rs crates/workload/src/generator.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/catalog.rs:
+crates/workload/src/clients.rs:
+crates/workload/src/filesizes.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/zipf.rs:

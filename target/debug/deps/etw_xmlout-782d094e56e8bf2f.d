@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/etw_xmlout-782d094e56e8bf2f.d: crates/xmlout/src/lib.rs crates/xmlout/src/compress.rs crates/xmlout/src/escape.rs crates/xmlout/src/reader.rs crates/xmlout/src/schema.rs crates/xmlout/src/writer.rs
+
+/root/repo/target/debug/deps/etw_xmlout-782d094e56e8bf2f: crates/xmlout/src/lib.rs crates/xmlout/src/compress.rs crates/xmlout/src/escape.rs crates/xmlout/src/reader.rs crates/xmlout/src/schema.rs crates/xmlout/src/writer.rs
+
+crates/xmlout/src/lib.rs:
+crates/xmlout/src/compress.rs:
+crates/xmlout/src/escape.rs:
+crates/xmlout/src/reader.rs:
+crates/xmlout/src/schema.rs:
+crates/xmlout/src/writer.rs:

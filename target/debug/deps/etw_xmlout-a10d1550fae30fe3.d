@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/etw_xmlout-a10d1550fae30fe3.d: crates/xmlout/src/lib.rs crates/xmlout/src/compress.rs crates/xmlout/src/escape.rs crates/xmlout/src/reader.rs crates/xmlout/src/schema.rs crates/xmlout/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libetw_xmlout-a10d1550fae30fe3.rmeta: crates/xmlout/src/lib.rs crates/xmlout/src/compress.rs crates/xmlout/src/escape.rs crates/xmlout/src/reader.rs crates/xmlout/src/schema.rs crates/xmlout/src/writer.rs Cargo.toml
+
+crates/xmlout/src/lib.rs:
+crates/xmlout/src/compress.rs:
+crates/xmlout/src/escape.rs:
+crates/xmlout/src/reader.rs:
+crates/xmlout/src/schema.rs:
+crates/xmlout/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/etw_xmlout-bd2a0884bf8d8b0c.d: crates/xmlout/src/lib.rs crates/xmlout/src/compress.rs crates/xmlout/src/escape.rs crates/xmlout/src/reader.rs crates/xmlout/src/schema.rs crates/xmlout/src/writer.rs
+
+/root/repo/target/debug/deps/libetw_xmlout-bd2a0884bf8d8b0c.rlib: crates/xmlout/src/lib.rs crates/xmlout/src/compress.rs crates/xmlout/src/escape.rs crates/xmlout/src/reader.rs crates/xmlout/src/schema.rs crates/xmlout/src/writer.rs
+
+/root/repo/target/debug/deps/libetw_xmlout-bd2a0884bf8d8b0c.rmeta: crates/xmlout/src/lib.rs crates/xmlout/src/compress.rs crates/xmlout/src/escape.rs crates/xmlout/src/reader.rs crates/xmlout/src/schema.rs crates/xmlout/src/writer.rs
+
+crates/xmlout/src/lib.rs:
+crates/xmlout/src/compress.rs:
+crates/xmlout/src/escape.rs:
+crates/xmlout/src/reader.rs:
+crates/xmlout/src/schema.rs:
+crates/xmlout/src/writer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/etwtool-0bda6ec92af8fc22.d: src/bin/etwtool.rs
+
+/root/repo/target/debug/deps/etwtool-0bda6ec92af8fc22: src/bin/etwtool.rs
+
+src/bin/etwtool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/etwtool-1230afa410272202.d: src/bin/etwtool.rs
+
+/root/repo/target/debug/deps/etwtool-1230afa410272202: src/bin/etwtool.rs
+
+src/bin/etwtool.rs:

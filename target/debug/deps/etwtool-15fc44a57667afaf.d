@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/etwtool-15fc44a57667afaf.d: src/bin/etwtool.rs
+
+/root/repo/target/debug/deps/etwtool-15fc44a57667afaf: src/bin/etwtool.rs
+
+src/bin/etwtool.rs:

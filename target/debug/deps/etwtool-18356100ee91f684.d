@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/etwtool-18356100ee91f684.d: src/bin/etwtool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libetwtool-18356100ee91f684.rmeta: src/bin/etwtool.rs Cargo.toml
+
+src/bin/etwtool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/etwtool-1e859e08ff90e66c.d: src/bin/etwtool.rs
+
+/root/repo/target/debug/deps/etwtool-1e859e08ff90e66c: src/bin/etwtool.rs
+
+src/bin/etwtool.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/etwtool_cli-03b6f38d6b0db468.d: tests/etwtool_cli.rs
+
+/root/repo/target/debug/deps/etwtool_cli-03b6f38d6b0db468: tests/etwtool_cli.rs
+
+tests/etwtool_cli.rs:
+
+# env-dep:CARGO_BIN_EXE_etwtool=/root/repo/target/debug/etwtool

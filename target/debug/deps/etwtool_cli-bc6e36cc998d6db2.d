@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/etwtool_cli-bc6e36cc998d6db2.d: tests/etwtool_cli.rs
+
+/root/repo/target/debug/deps/etwtool_cli-bc6e36cc998d6db2: tests/etwtool_cli.rs
+
+tests/etwtool_cli.rs:
+
+# env-dep:CARGO_BIN_EXE_etwtool=/root/repo/target/debug/etwtool

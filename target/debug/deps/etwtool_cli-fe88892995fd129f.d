@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/etwtool_cli-fe88892995fd129f.d: tests/etwtool_cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libetwtool_cli-fe88892995fd129f.rmeta: tests/etwtool_cli.rs Cargo.toml
+
+tests/etwtool_cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_etwtool=placeholder:etwtool
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

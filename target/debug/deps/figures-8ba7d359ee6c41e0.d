@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-8ba7d359ee6c41e0.d: tests/figures.rs
+
+/root/repo/target/debug/deps/figures-8ba7d359ee6c41e0: tests/figures.rs
+
+tests/figures.rs:

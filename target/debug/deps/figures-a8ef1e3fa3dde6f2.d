@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-a8ef1e3fa3dde6f2.d: tests/figures.rs
+
+/root/repo/target/debug/deps/figures-a8ef1e3fa3dde6f2: tests/figures.rs
+
+tests/figures.rs:

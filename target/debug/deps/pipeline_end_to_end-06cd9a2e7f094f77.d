@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_end_to_end-06cd9a2e7f094f77.d: tests/pipeline_end_to_end.rs
+
+/root/repo/target/debug/deps/pipeline_end_to_end-06cd9a2e7f094f77: tests/pipeline_end_to_end.rs
+
+tests/pipeline_end_to_end.rs:

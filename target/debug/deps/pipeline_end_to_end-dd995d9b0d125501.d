@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_end_to_end-dd995d9b0d125501.d: tests/pipeline_end_to_end.rs
+
+/root/repo/target/debug/deps/pipeline_end_to_end-dd995d9b0d125501: tests/pipeline_end_to_end.rs
+
+tests/pipeline_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_anonymize-36a3b65b308da481.d: crates/anonymize/tests/proptest_anonymize.rs
+
+/root/repo/target/debug/deps/proptest_anonymize-36a3b65b308da481: crates/anonymize/tests/proptest_anonymize.rs
+
+crates/anonymize/tests/proptest_anonymize.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_anonymize-4343a304366489d6.d: crates/anonymize/tests/proptest_anonymize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_anonymize-4343a304366489d6.rmeta: crates/anonymize/tests/proptest_anonymize.rs Cargo.toml
+
+crates/anonymize/tests/proptest_anonymize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

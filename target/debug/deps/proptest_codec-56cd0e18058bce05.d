@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_codec-56cd0e18058bce05.d: crates/edonkey/tests/proptest_codec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_codec-56cd0e18058bce05.rmeta: crates/edonkey/tests/proptest_codec.rs Cargo.toml
+
+crates/edonkey/tests/proptest_codec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

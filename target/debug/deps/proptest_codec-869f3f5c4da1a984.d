@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_codec-869f3f5c4da1a984.d: crates/edonkey/tests/proptest_codec.rs
+
+/root/repo/target/debug/deps/proptest_codec-869f3f5c4da1a984: crates/edonkey/tests/proptest_codec.rs
+
+crates/edonkey/tests/proptest_codec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_netsim-9007bc9e2aa9fd5f.d: crates/netsim/tests/proptest_netsim.rs
+
+/root/repo/target/debug/deps/proptest_netsim-9007bc9e2aa9fd5f: crates/netsim/tests/proptest_netsim.rs
+
+crates/netsim/tests/proptest_netsim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_netsim-d1b3fd90e710b9c0.d: crates/netsim/tests/proptest_netsim.rs
+
+/root/repo/target/debug/deps/proptest_netsim-d1b3fd90e710b9c0: crates/netsim/tests/proptest_netsim.rs
+
+crates/netsim/tests/proptest_netsim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_netsim-d8563d09ffe4c5a7.d: crates/netsim/tests/proptest_netsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_netsim-d8563d09ffe4c5a7.rmeta: crates/netsim/tests/proptest_netsim.rs Cargo.toml
+
+crates/netsim/tests/proptest_netsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

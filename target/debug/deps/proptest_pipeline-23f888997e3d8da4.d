@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_pipeline-23f888997e3d8da4.d: crates/core/tests/proptest_pipeline.rs
+
+/root/repo/target/debug/deps/proptest_pipeline-23f888997e3d8da4: crates/core/tests/proptest_pipeline.rs
+
+crates/core/tests/proptest_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_pipeline-b16ac779b6d09033.d: crates/core/tests/proptest_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_pipeline-b16ac779b6d09033.rmeta: crates/core/tests/proptest_pipeline.rs Cargo.toml
+
+crates/core/tests/proptest_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_pipeline-e98a420ee8f44e99.d: crates/core/tests/proptest_pipeline.rs
+
+/root/repo/target/debug/deps/proptest_pipeline-e98a420ee8f44e99: crates/core/tests/proptest_pipeline.rs
+
+crates/core/tests/proptest_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_server-09ef5b7c1809a623.d: crates/server/tests/proptest_server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_server-09ef5b7c1809a623.rmeta: crates/server/tests/proptest_server.rs Cargo.toml
+
+crates/server/tests/proptest_server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

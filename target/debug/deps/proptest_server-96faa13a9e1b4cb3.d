@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_server-96faa13a9e1b4cb3.d: crates/server/tests/proptest_server.rs
+
+/root/repo/target/debug/deps/proptest_server-96faa13a9e1b4cb3: crates/server/tests/proptest_server.rs
+
+crates/server/tests/proptest_server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_workload-149925bc4080b2eb.d: crates/workload/tests/proptest_workload.rs
+
+/root/repo/target/debug/deps/proptest_workload-149925bc4080b2eb: crates/workload/tests/proptest_workload.rs
+
+crates/workload/tests/proptest_workload.rs:

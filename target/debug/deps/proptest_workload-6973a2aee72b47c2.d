@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_workload-6973a2aee72b47c2.d: crates/workload/tests/proptest_workload.rs
+
+/root/repo/target/debug/deps/proptest_workload-6973a2aee72b47c2: crates/workload/tests/proptest_workload.rs
+
+crates/workload/tests/proptest_workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_workload-7c0540d7362ec356.d: crates/workload/tests/proptest_workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_workload-7c0540d7362ec356.rmeta: crates/workload/tests/proptest_workload.rs Cargo.toml
+
+crates/workload/tests/proptest_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

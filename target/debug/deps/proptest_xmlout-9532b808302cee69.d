@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_xmlout-9532b808302cee69.d: crates/xmlout/tests/proptest_xmlout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_xmlout-9532b808302cee69.rmeta: crates/xmlout/tests/proptest_xmlout.rs Cargo.toml
+
+crates/xmlout/tests/proptest_xmlout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

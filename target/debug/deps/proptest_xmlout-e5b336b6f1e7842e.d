@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_xmlout-e5b336b6f1e7842e.d: crates/xmlout/tests/proptest_xmlout.rs
+
+/root/repo/target/debug/deps/proptest_xmlout-e5b336b6f1e7842e: crates/xmlout/tests/proptest_xmlout.rs
+
+crates/xmlout/tests/proptest_xmlout.rs:

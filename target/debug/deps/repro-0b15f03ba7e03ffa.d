@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-0b15f03ba7e03ffa.d: src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-0b15f03ba7e03ffa: src/bin/repro.rs
+
+src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-3df196fe992a0d89.d: src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-3df196fe992a0d89: src/bin/repro.rs
+
+src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-67a5c4998864a99a.d: src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-67a5c4998864a99a: src/bin/repro.rs
+
+src/bin/repro.rs:

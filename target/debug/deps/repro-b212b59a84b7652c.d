@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-b212b59a84b7652c.d: src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-b212b59a84b7652c: src/bin/repro.rs
+
+src/bin/repro.rs:

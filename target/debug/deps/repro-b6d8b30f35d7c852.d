@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-b6d8b30f35d7c852.d: src/bin/repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-b6d8b30f35d7c852.rmeta: src/bin/repro.rs Cargo.toml
+
+src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tcp_extension-3f2078801866c80c.d: tests/tcp_extension.rs
+
+/root/repo/target/debug/deps/tcp_extension-3f2078801866c80c: tests/tcp_extension.rs
+
+tests/tcp_extension.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tcp_extension-968d7e6991c9c6a7.d: tests/tcp_extension.rs
+
+/root/repo/target/debug/deps/tcp_extension-968d7e6991c9c6a7: tests/tcp_extension.rs
+
+tests/tcp_extension.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tcp_extension-c31d9336bd7f1513.d: tests/tcp_extension.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtcp_extension-c31d9336bd7f1513.rmeta: tests/tcp_extension.rs Cargo.toml
+
+tests/tcp_extension.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry-1dc8932cab2d040d.d: crates/bench/benches/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry-1dc8932cab2d040d.rmeta: crates/bench/benches/telemetry.rs Cargo.toml
+
+crates/bench/benches/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_health-b9f2328c48a72ff5.d: tests/telemetry_health.rs
+
+/root/repo/target/debug/deps/telemetry_health-b9f2328c48a72ff5: tests/telemetry_health.rs
+
+tests/telemetry_health.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_health-d9c2541a0bfaddb3.d: tests/telemetry_health.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_health-d9c2541a0bfaddb3.rmeta: tests/telemetry_health.rs Cargo.toml
+
+tests/telemetry_health.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

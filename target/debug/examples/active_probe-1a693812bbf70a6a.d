@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/active_probe-1a693812bbf70a6a.d: examples/active_probe.rs
+
+/root/repo/target/debug/examples/active_probe-1a693812bbf70a6a: examples/active_probe.rs
+
+examples/active_probe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/active_probe-3626764305247ee8.d: examples/active_probe.rs Cargo.toml
+
+/root/repo/target/debug/examples/libactive_probe-3626764305247ee8.rmeta: examples/active_probe.rs Cargo.toml
+
+examples/active_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

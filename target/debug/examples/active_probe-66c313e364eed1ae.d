@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/active_probe-66c313e364eed1ae.d: examples/active_probe.rs
+
+/root/repo/target/debug/examples/active_probe-66c313e364eed1ae: examples/active_probe.rs
+
+examples/active_probe.rs:

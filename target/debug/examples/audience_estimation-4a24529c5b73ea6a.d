@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/audience_estimation-4a24529c5b73ea6a.d: examples/audience_estimation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaudience_estimation-4a24529c5b73ea6a.rmeta: examples/audience_estimation.rs Cargo.toml
+
+examples/audience_estimation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

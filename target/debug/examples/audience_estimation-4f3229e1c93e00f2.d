@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/audience_estimation-4f3229e1c93e00f2.d: examples/audience_estimation.rs
+
+/root/repo/target/debug/examples/audience_estimation-4f3229e1c93e00f2: examples/audience_estimation.rs
+
+examples/audience_estimation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/audience_estimation-d8283d161847a9b2.d: examples/audience_estimation.rs
+
+/root/repo/target/debug/examples/audience_estimation-d8283d161847a9b2: examples/audience_estimation.rs
+
+examples/audience_estimation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/behavior_study-2f5b0710d377e5c5.d: examples/behavior_study.rs
+
+/root/repo/target/debug/examples/behavior_study-2f5b0710d377e5c5: examples/behavior_study.rs
+
+examples/behavior_study.rs:

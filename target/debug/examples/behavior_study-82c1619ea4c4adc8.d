@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/behavior_study-82c1619ea4c4adc8.d: examples/behavior_study.rs
+
+/root/repo/target/debug/examples/behavior_study-82c1619ea4c4adc8: examples/behavior_study.rs
+
+examples/behavior_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/behavior_study-b1857374235d813a.d: examples/behavior_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbehavior_study-b1857374235d813a.rmeta: examples/behavior_study.rs Cargo.toml
+
+examples/behavior_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

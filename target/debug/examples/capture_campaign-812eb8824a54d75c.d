@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capture_campaign-812eb8824a54d75c.d: examples/capture_campaign.rs
+
+/root/repo/target/debug/examples/capture_campaign-812eb8824a54d75c: examples/capture_campaign.rs
+
+examples/capture_campaign.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/capture_campaign-9d4ed3be680ff0bd.d: examples/capture_campaign.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcapture_campaign-9d4ed3be680ff0bd.rmeta: examples/capture_campaign.rs Cargo.toml
+
+examples/capture_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

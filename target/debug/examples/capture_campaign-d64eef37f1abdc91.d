@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capture_campaign-d64eef37f1abdc91.d: examples/capture_campaign.rs
+
+/root/repo/target/debug/examples/capture_campaign-d64eef37f1abdc91: examples/capture_campaign.rs
+
+examples/capture_campaign.rs:

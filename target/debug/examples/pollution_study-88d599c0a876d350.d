@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pollution_study-88d599c0a876d350.d: examples/pollution_study.rs
+
+/root/repo/target/debug/examples/pollution_study-88d599c0a876d350: examples/pollution_study.rs
+
+examples/pollution_study.rs:

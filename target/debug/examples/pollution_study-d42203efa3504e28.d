@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pollution_study-d42203efa3504e28.d: examples/pollution_study.rs
+
+/root/repo/target/debug/examples/pollution_study-d42203efa3504e28: examples/pollution_study.rs
+
+examples/pollution_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pollution_study-fd5e137261651139.d: examples/pollution_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpollution_study-fd5e137261651139.rmeta: examples/pollution_study.rs Cargo.toml
+
+examples/pollution_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

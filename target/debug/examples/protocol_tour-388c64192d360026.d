@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protocol_tour-388c64192d360026.d: examples/protocol_tour.rs
+
+/root/repo/target/debug/examples/protocol_tour-388c64192d360026: examples/protocol_tour.rs
+
+examples/protocol_tour.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/protocol_tour-c196bec679b17bfe.d: examples/protocol_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprotocol_tour-c196bec679b17bfe.rmeta: examples/protocol_tour.rs Cargo.toml
+
+examples/protocol_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

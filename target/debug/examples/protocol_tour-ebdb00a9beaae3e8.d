@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protocol_tour-ebdb00a9beaae3e8.d: examples/protocol_tour.rs
+
+/root/repo/target/debug/examples/protocol_tour-ebdb00a9beaae3e8: examples/protocol_tour.rs
+
+examples/protocol_tour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0305d0b372f9baab.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0305d0b372f9baab: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6e5d0afb5188ee8a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6e5d0afb5188ee8a: examples/quickstart.rs
+
+examples/quickstart.rs:

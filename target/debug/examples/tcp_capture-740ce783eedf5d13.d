@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tcp_capture-740ce783eedf5d13.d: examples/tcp_capture.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtcp_capture-740ce783eedf5d13.rmeta: examples/tcp_capture.rs Cargo.toml
+
+examples/tcp_capture.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tcp_capture-a79410e21ec53069.d: examples/tcp_capture.rs
+
+/root/repo/target/debug/examples/tcp_capture-a79410e21ec53069: examples/tcp_capture.rs
+
+examples/tcp_capture.rs:

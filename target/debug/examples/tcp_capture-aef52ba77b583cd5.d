@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tcp_capture-aef52ba77b583cd5.d: examples/tcp_capture.rs
+
+/root/repo/target/debug/examples/tcp_capture-aef52ba77b583cd5: examples/tcp_capture.rs
+
+examples/tcp_capture.rs:

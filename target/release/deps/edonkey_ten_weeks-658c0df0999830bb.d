@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/edonkey_ten_weeks-658c0df0999830bb.d: src/lib.rs
+
+/root/repo/target/release/deps/libedonkey_ten_weeks-658c0df0999830bb.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libedonkey_ten_weeks-658c0df0999830bb.rmeta: src/lib.rs
+
+src/lib.rs:

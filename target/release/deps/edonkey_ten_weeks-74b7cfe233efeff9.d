@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/edonkey_ten_weeks-74b7cfe233efeff9.d: src/lib.rs
+
+/root/repo/target/release/deps/libedonkey_ten_weeks-74b7cfe233efeff9.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libedonkey_ten_weeks-74b7cfe233efeff9.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/edonkey_ten_weeks-eefc09a596637065.d: src/lib.rs
+
+/root/repo/target/release/deps/libedonkey_ten_weeks-eefc09a596637065.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libedonkey_ten_weeks-eefc09a596637065.rmeta: src/lib.rs
+
+src/lib.rs:

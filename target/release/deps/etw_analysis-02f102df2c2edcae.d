@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/etw_analysis-02f102df2c2edcae.d: crates/analysis/src/lib.rs crates/analysis/src/behavior.rs crates/analysis/src/cardinality.rs crates/analysis/src/distributions.rs crates/analysis/src/histogram.rs crates/analysis/src/peaks.rs crates/analysis/src/powerlaw.rs crates/analysis/src/report.rs crates/analysis/src/timeseries.rs
+
+/root/repo/target/release/deps/libetw_analysis-02f102df2c2edcae.rlib: crates/analysis/src/lib.rs crates/analysis/src/behavior.rs crates/analysis/src/cardinality.rs crates/analysis/src/distributions.rs crates/analysis/src/histogram.rs crates/analysis/src/peaks.rs crates/analysis/src/powerlaw.rs crates/analysis/src/report.rs crates/analysis/src/timeseries.rs
+
+/root/repo/target/release/deps/libetw_analysis-02f102df2c2edcae.rmeta: crates/analysis/src/lib.rs crates/analysis/src/behavior.rs crates/analysis/src/cardinality.rs crates/analysis/src/distributions.rs crates/analysis/src/histogram.rs crates/analysis/src/peaks.rs crates/analysis/src/powerlaw.rs crates/analysis/src/report.rs crates/analysis/src/timeseries.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/behavior.rs:
+crates/analysis/src/cardinality.rs:
+crates/analysis/src/distributions.rs:
+crates/analysis/src/histogram.rs:
+crates/analysis/src/peaks.rs:
+crates/analysis/src/powerlaw.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/timeseries.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/etw_anonymize-21287346ff6743e2.d: crates/anonymize/src/lib.rs crates/anonymize/src/clientid.rs crates/anonymize/src/fields.rs crates/anonymize/src/fileid.rs crates/anonymize/src/md5.rs crates/anonymize/src/scheme.rs
+
+/root/repo/target/release/deps/libetw_anonymize-21287346ff6743e2.rlib: crates/anonymize/src/lib.rs crates/anonymize/src/clientid.rs crates/anonymize/src/fields.rs crates/anonymize/src/fileid.rs crates/anonymize/src/md5.rs crates/anonymize/src/scheme.rs
+
+/root/repo/target/release/deps/libetw_anonymize-21287346ff6743e2.rmeta: crates/anonymize/src/lib.rs crates/anonymize/src/clientid.rs crates/anonymize/src/fields.rs crates/anonymize/src/fileid.rs crates/anonymize/src/md5.rs crates/anonymize/src/scheme.rs
+
+crates/anonymize/src/lib.rs:
+crates/anonymize/src/clientid.rs:
+crates/anonymize/src/fields.rs:
+crates/anonymize/src/fileid.rs:
+crates/anonymize/src/md5.rs:
+crates/anonymize/src/scheme.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/etw_bench-668673760c4186a5.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libetw_bench-668673760c4186a5.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libetw_bench-668673760c4186a5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/etw_core-9f4c4555081cf9a8.d: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/config.rs crates/core/src/pipeline.rs crates/core/src/summary.rs crates/core/src/wirepath.rs
+
+/root/repo/target/release/deps/libetw_core-9f4c4555081cf9a8.rlib: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/config.rs crates/core/src/pipeline.rs crates/core/src/summary.rs crates/core/src/wirepath.rs
+
+/root/repo/target/release/deps/libetw_core-9f4c4555081cf9a8.rmeta: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/config.rs crates/core/src/pipeline.rs crates/core/src/summary.rs crates/core/src/wirepath.rs
+
+crates/core/src/lib.rs:
+crates/core/src/campaign.rs:
+crates/core/src/config.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/summary.rs:
+crates/core/src/wirepath.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/etw_edonkey-b43b46801cad3dee.d: crates/edonkey/src/lib.rs crates/edonkey/src/corrupt.rs crates/edonkey/src/decoder.rs crates/edonkey/src/error.rs crates/edonkey/src/ids.rs crates/edonkey/src/md4.rs crates/edonkey/src/messages.rs crates/edonkey/src/search.rs crates/edonkey/src/session.rs crates/edonkey/src/stream.rs crates/edonkey/src/tags.rs crates/edonkey/src/wire.rs
+
+/root/repo/target/release/deps/libetw_edonkey-b43b46801cad3dee.rlib: crates/edonkey/src/lib.rs crates/edonkey/src/corrupt.rs crates/edonkey/src/decoder.rs crates/edonkey/src/error.rs crates/edonkey/src/ids.rs crates/edonkey/src/md4.rs crates/edonkey/src/messages.rs crates/edonkey/src/search.rs crates/edonkey/src/session.rs crates/edonkey/src/stream.rs crates/edonkey/src/tags.rs crates/edonkey/src/wire.rs
+
+/root/repo/target/release/deps/libetw_edonkey-b43b46801cad3dee.rmeta: crates/edonkey/src/lib.rs crates/edonkey/src/corrupt.rs crates/edonkey/src/decoder.rs crates/edonkey/src/error.rs crates/edonkey/src/ids.rs crates/edonkey/src/md4.rs crates/edonkey/src/messages.rs crates/edonkey/src/search.rs crates/edonkey/src/session.rs crates/edonkey/src/stream.rs crates/edonkey/src/tags.rs crates/edonkey/src/wire.rs
+
+crates/edonkey/src/lib.rs:
+crates/edonkey/src/corrupt.rs:
+crates/edonkey/src/decoder.rs:
+crates/edonkey/src/error.rs:
+crates/edonkey/src/ids.rs:
+crates/edonkey/src/md4.rs:
+crates/edonkey/src/messages.rs:
+crates/edonkey/src/search.rs:
+crates/edonkey/src/session.rs:
+crates/edonkey/src/stream.rs:
+crates/edonkey/src/tags.rs:
+crates/edonkey/src/wire.rs:

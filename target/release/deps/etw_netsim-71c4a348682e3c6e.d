@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/etw_netsim-71c4a348682e3c6e.d: crates/netsim/src/lib.rs crates/netsim/src/capture.rs crates/netsim/src/clock.rs crates/netsim/src/flows.rs crates/netsim/src/frag.rs crates/netsim/src/packet.rs crates/netsim/src/pcap.rs crates/netsim/src/tcp.rs crates/netsim/src/traffic.rs
+
+/root/repo/target/release/deps/libetw_netsim-71c4a348682e3c6e.rlib: crates/netsim/src/lib.rs crates/netsim/src/capture.rs crates/netsim/src/clock.rs crates/netsim/src/flows.rs crates/netsim/src/frag.rs crates/netsim/src/packet.rs crates/netsim/src/pcap.rs crates/netsim/src/tcp.rs crates/netsim/src/traffic.rs
+
+/root/repo/target/release/deps/libetw_netsim-71c4a348682e3c6e.rmeta: crates/netsim/src/lib.rs crates/netsim/src/capture.rs crates/netsim/src/clock.rs crates/netsim/src/flows.rs crates/netsim/src/frag.rs crates/netsim/src/packet.rs crates/netsim/src/pcap.rs crates/netsim/src/tcp.rs crates/netsim/src/traffic.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/capture.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/flows.rs:
+crates/netsim/src/frag.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/pcap.rs:
+crates/netsim/src/tcp.rs:
+crates/netsim/src/traffic.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/etw_probe-c46da98e2c5c8497.d: crates/probe/src/lib.rs crates/probe/src/estimate.rs crates/probe/src/prober.rs
+
+/root/repo/target/release/deps/libetw_probe-c46da98e2c5c8497.rlib: crates/probe/src/lib.rs crates/probe/src/estimate.rs crates/probe/src/prober.rs
+
+/root/repo/target/release/deps/libetw_probe-c46da98e2c5c8497.rmeta: crates/probe/src/lib.rs crates/probe/src/estimate.rs crates/probe/src/prober.rs
+
+crates/probe/src/lib.rs:
+crates/probe/src/estimate.rs:
+crates/probe/src/prober.rs:

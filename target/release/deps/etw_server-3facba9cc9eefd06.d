@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/etw_server-3facba9cc9eefd06.d: crates/server/src/lib.rs crates/server/src/engine.rs crates/server/src/index.rs
+
+/root/repo/target/release/deps/libetw_server-3facba9cc9eefd06.rlib: crates/server/src/lib.rs crates/server/src/engine.rs crates/server/src/index.rs
+
+/root/repo/target/release/deps/libetw_server-3facba9cc9eefd06.rmeta: crates/server/src/lib.rs crates/server/src/engine.rs crates/server/src/index.rs
+
+crates/server/src/lib.rs:
+crates/server/src/engine.rs:
+crates/server/src/index.rs:

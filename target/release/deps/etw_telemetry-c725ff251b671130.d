@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/etw_telemetry-c725ff251b671130.d: crates/telemetry/src/lib.rs crates/telemetry/src/channel.rs crates/telemetry/src/health.rs
+
+/root/repo/target/release/deps/libetw_telemetry-c725ff251b671130.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/channel.rs crates/telemetry/src/health.rs
+
+/root/repo/target/release/deps/libetw_telemetry-c725ff251b671130.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/channel.rs crates/telemetry/src/health.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/channel.rs:
+crates/telemetry/src/health.rs:

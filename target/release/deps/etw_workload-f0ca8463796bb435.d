@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/etw_workload-f0ca8463796bb435.d: crates/workload/src/lib.rs crates/workload/src/catalog.rs crates/workload/src/clients.rs crates/workload/src/filesizes.rs crates/workload/src/generator.rs crates/workload/src/zipf.rs
+
+/root/repo/target/release/deps/libetw_workload-f0ca8463796bb435.rlib: crates/workload/src/lib.rs crates/workload/src/catalog.rs crates/workload/src/clients.rs crates/workload/src/filesizes.rs crates/workload/src/generator.rs crates/workload/src/zipf.rs
+
+/root/repo/target/release/deps/libetw_workload-f0ca8463796bb435.rmeta: crates/workload/src/lib.rs crates/workload/src/catalog.rs crates/workload/src/clients.rs crates/workload/src/filesizes.rs crates/workload/src/generator.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/catalog.rs:
+crates/workload/src/clients.rs:
+crates/workload/src/filesizes.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/zipf.rs:

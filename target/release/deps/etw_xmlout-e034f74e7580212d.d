@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/etw_xmlout-e034f74e7580212d.d: crates/xmlout/src/lib.rs crates/xmlout/src/compress.rs crates/xmlout/src/escape.rs crates/xmlout/src/reader.rs crates/xmlout/src/schema.rs crates/xmlout/src/writer.rs
+
+/root/repo/target/release/deps/libetw_xmlout-e034f74e7580212d.rlib: crates/xmlout/src/lib.rs crates/xmlout/src/compress.rs crates/xmlout/src/escape.rs crates/xmlout/src/reader.rs crates/xmlout/src/schema.rs crates/xmlout/src/writer.rs
+
+/root/repo/target/release/deps/libetw_xmlout-e034f74e7580212d.rmeta: crates/xmlout/src/lib.rs crates/xmlout/src/compress.rs crates/xmlout/src/escape.rs crates/xmlout/src/reader.rs crates/xmlout/src/schema.rs crates/xmlout/src/writer.rs
+
+crates/xmlout/src/lib.rs:
+crates/xmlout/src/compress.rs:
+crates/xmlout/src/escape.rs:
+crates/xmlout/src/reader.rs:
+crates/xmlout/src/schema.rs:
+crates/xmlout/src/writer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/etwtool-501d4915b61e1800.d: src/bin/etwtool.rs
+
+/root/repo/target/release/deps/etwtool-501d4915b61e1800: src/bin/etwtool.rs
+
+src/bin/etwtool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/etwtool-696994e0c43c3996.d: src/bin/etwtool.rs
+
+/root/repo/target/release/deps/etwtool-696994e0c43c3996: src/bin/etwtool.rs
+
+src/bin/etwtool.rs:

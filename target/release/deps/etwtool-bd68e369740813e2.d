@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/etwtool-bd68e369740813e2.d: src/bin/etwtool.rs
+
+/root/repo/target/release/deps/etwtool-bd68e369740813e2: src/bin/etwtool.rs
+
+src/bin/etwtool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-2030abe5094f07e0.d: src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-2030abe5094f07e0: src/bin/repro.rs
+
+src/bin/repro.rs:

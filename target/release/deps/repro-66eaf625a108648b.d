@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-66eaf625a108648b.d: src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-66eaf625a108648b: src/bin/repro.rs
+
+src/bin/repro.rs:

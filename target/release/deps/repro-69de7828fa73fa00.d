@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-69de7828fa73fa00.d: src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-69de7828fa73fa00: src/bin/repro.rs
+
+src/bin/repro.rs:

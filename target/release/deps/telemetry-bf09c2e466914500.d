@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry-bf09c2e466914500.d: crates/bench/benches/telemetry.rs
+
+/root/repo/target/release/deps/telemetry-bf09c2e466914500: crates/bench/benches/telemetry.rs
+
+crates/bench/benches/telemetry.rs:

@@ -93,7 +93,12 @@ fn split_merge_round_trip() {
     let dir = tempdir("smr");
     let ds = dataset_path(&dir);
 
-    let out = etwtool().args(["split"]).arg(&ds).arg("4").output().unwrap();
+    let out = etwtool()
+        .args(["split"])
+        .arg(&ds)
+        .arg("4")
+        .output()
+        .unwrap();
     assert!(out.status.success(), "{out:?}");
     let parts: Vec<PathBuf> = (0..4)
         .map(|k| dir.join(format!("dataset.part{k}.xml")))
@@ -130,7 +135,10 @@ fn split_merge_round_trip() {
 fn bad_usage_fails_cleanly() {
     let out = etwtool().output().unwrap();
     assert!(!out.status.success());
-    let out = etwtool().args(["validate", "/nonexistent.xml"]).output().unwrap();
+    let out = etwtool()
+        .args(["validate", "/nonexistent.xml"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let out = etwtool().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());

@@ -45,7 +45,10 @@ fn fig2_losses_are_rare_and_bursty() {
     assert_eq!(ring.captured() + ring.lost(), offered);
     let loss_seconds = recorder.losses_per_sec.len() as u64;
     // Loss is concentrated: far fewer loss-seconds than total seconds.
-    assert!(loss_seconds < horizon / 100, "loss in {loss_seconds} seconds");
+    assert!(
+        loss_seconds < horizon / 100,
+        "loss in {loss_seconds} seconds"
+    );
     // Cumulative curve is a non-decreasing step function ending at the
     // total (the Fig. 2 inset).
     let cum = recorder.cumulative();
@@ -71,10 +74,7 @@ fn fig3_first_two_bytes_pathology() {
     );
     assert!(max_first > 20 * max_alt, "{max_first} vs {max_alt}");
     // Same distinct-ID total under both selectors.
-    assert_eq!(
-        first.iter().sum::<usize>(),
-        alt.iter().sum::<usize>()
-    );
+    assert_eq!(first.iter().sum::<usize>(), alt.iter().sum::<usize>());
 }
 
 #[test]

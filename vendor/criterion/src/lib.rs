@@ -1,0 +1,299 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmark-definition surface the workspace uses —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Throughput`], [`BenchmarkId`],
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — over a simple wall-clock harness: per benchmark it warms
+//! up, sizes batches to roughly 25 ms, times `sample_size` batches, and
+//! reports the median per-iteration time plus derived throughput.
+//!
+//! There is no statistical regression analysis, HTML report, or saved
+//! baseline; the numbers are for same-run relative comparison (for
+//! example, instrumented versus uninstrumented pipelines).
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Units used to convert measured time into throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A `function_name/parameter` identifier for parameterised benchmarks.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id rendered as the bare parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark name: a string or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The rendered benchmark name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Median per-iteration time of the best sample, filled by `iter`.
+    measured: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until ~10 ms has elapsed to settle caches and
+        // estimate the per-iteration cost.
+        let warmup = Duration::from_millis(10);
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warmup {
+            std_black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_nanos() as u64 / warm_iters.max(1);
+
+        // Size each sample batch to roughly 25 ms of work.
+        let batch = (25_000_000u64 / per_iter.max(1)).clamp(1, 1_000_000);
+
+        let samples = 7usize;
+        let mut times: Vec<u64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            times.push(t.elapsed().as_nanos() as u64 / batch);
+        }
+        times.sort_unstable();
+        self.measured = Duration::from_nanos(times[samples / 2]);
+    }
+}
+
+/// A named group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    #[allow(dead_code)]
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much work one iteration performs, enabling a
+    /// throughput column in the output.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; this harness uses a fixed small
+    /// sample count, so the requested size only floors at 1.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; batches are auto-sized.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into_name();
+        let mut bencher = Bencher {
+            measured: Duration::ZERO,
+        };
+        f(&mut bencher);
+        self.report(&name, bencher.measured);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = id.into_name();
+        let mut bencher = Bencher {
+            measured: Duration::ZERO,
+        };
+        f(&mut bencher, input);
+        self.report(&name, bencher.measured);
+        self
+    }
+
+    /// Ends the group. (Output is printed per-benchmark; this exists to
+    /// mirror criterion's API.)
+    pub fn finish(self) {}
+
+    fn report(&self, bench: &str, per_iter: Duration) {
+        let nanos = per_iter.as_nanos() as f64;
+        let time = fmt_time(nanos);
+        let line = match self.throughput {
+            Some(Throughput::Elements(n)) if nanos > 0.0 => {
+                let rate = n as f64 / (nanos * 1e-9);
+                format!("time: [{time}]  thrpt: [{}]", fmt_rate(rate, "elem/s"))
+            }
+            Some(Throughput::Bytes(n)) if nanos > 0.0 => {
+                let rate = n as f64 / (nanos * 1e-9);
+                format!("time: [{time}]  thrpt: [{}]", fmt_rate(rate, "B/s"))
+            }
+            _ => format!("time: [{time}]"),
+        };
+        println!("{}/{bench:<40} {line}", self.name);
+    }
+}
+
+fn fmt_time(nanos: f64) -> String {
+    if nanos < 1e3 {
+        format!("{nanos:.2} ns")
+    } else if nanos < 1e6 {
+        format!("{:.3} µs", nanos / 1e3)
+    } else if nanos < 1e9 {
+        format!("{:.3} ms", nanos / 1e6)
+    } else {
+        format!("{:.3} s", nanos / 1e9)
+    }
+}
+
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{unit}", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}")
+    }
+}
+
+/// The benchmark manager handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepted for API compatibility with `configure_from_args`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+}
+
+/// Collects benchmark functions into a single runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups. When invoked with
+/// `--test` (as `cargo test --benches` does), each benchmark still runs
+/// its closure once via the normal path, which is the smoke-test
+/// behaviour this harness provides anyway.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_nonzero_time() {
+        let mut b = Bencher {
+            measured: Duration::ZERO,
+        };
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.measured > Duration::ZERO);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("t");
+            g.throughput(Throughput::Elements(10));
+            g.bench_function("a", |b| {
+                ran += 1;
+                b.iter(|| 1 + 1)
+            });
+            g.bench_with_input(BenchmarkId::new("b", 4), &4u32, |b, &x| b.iter(|| x * 2));
+            g.finish();
+        }
+        assert_eq!(ran, 1);
+    }
+}
