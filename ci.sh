@@ -14,6 +14,12 @@ cargo test -q --workspace
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> etwlint (repo-specific static analysis)"
+cargo run -q --release -p etwlint
+
+echo "==> etw-interleave (exhaustive schedule checks)"
+cargo test -q -p etw-interleave
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -2,7 +2,7 @@
 //! the capture machine over it, producing the dataset and every number
 //! the paper reports.
 
-use crate::config::CampaignConfig;
+use crate::config::{CampaignConfig, ConfigError};
 use crate::pipeline::{run_capture_pipeline_observed, PipelineStats, TimedFrame};
 use crate::wirepath::{encapsulate, tcp_noise_frame, Direction, SERVER_IP};
 use etw_anonymize::fileid::{BucketedArrays, ByteSelector};
@@ -303,9 +303,23 @@ pub fn run_campaign(config: &CampaignConfig, on_record: impl FnMut(AnonRecord)) 
 pub fn run_campaign_observed(
     config: &CampaignConfig,
     registry: &Registry,
-    mut on_record: impl FnMut(AnonRecord),
+    on_record: impl FnMut(AnonRecord),
 ) -> CampaignReport {
-    config.validate().expect("invalid campaign configuration");
+    // etwlint: allow(no-panic-hot-path): config errors are startup-time
+    // caller bugs, not capture-time failures; fallible callers use
+    // try_run_campaign_observed instead.
+    try_run_campaign_observed(config, registry, on_record).expect("invalid campaign configuration")
+}
+
+/// Fallible variant of [`run_campaign_observed`]: validates `config` up
+/// front and returns the typed [`ConfigError`] instead of panicking, so
+/// binaries can report bad configuration gracefully.
+pub fn try_run_campaign_observed(
+    config: &CampaignConfig,
+    registry: &Registry,
+    mut on_record: impl FnMut(AnonRecord),
+) -> Result<CampaignReport, ConfigError> {
+    config.validate()?;
     let catalog = Catalog::generate(&config.catalog, config.seed ^ 1);
     let population = Population::generate(&config.population, config.seed ^ 2);
     let generator = TrafficGenerator::new(
@@ -402,6 +416,9 @@ pub fn run_campaign_observed(
         .set(probes.max_shift as i64);
 
     let capture = Arc::try_unwrap(capture_stats)
+        // etwlint: allow(no-panic-hot-path): the pipeline has joined by
+        // here, so this Arc is provably the last holder; failure would be
+        // a refcount-leak bug worth aborting on.
         .expect("no other capture-stats holders")
         .into_inner();
     // Cut the final health record only now, after the sink has drained,
@@ -411,7 +428,7 @@ pub fn run_campaign_observed(
         .take()
         .map(|(h, virtual_us)| h.finish(virtual_us))
         .unwrap_or_default();
-    CampaignReport {
+    Ok(CampaignReport {
         records: pipeline.records,
         distinct_clients: scheme.distinct_clients(),
         distinct_files: scheme.distinct_files(),
@@ -420,7 +437,7 @@ pub fn run_campaign_observed(
         pipeline,
         capture,
         health,
-    }
+    })
 }
 
 /// Renders a [`HealthSeries`] as a gnuplot-ready `.dat` table, one row

@@ -5,6 +5,58 @@ use etw_workload::catalog::CatalogParams;
 use etw_workload::clients::PopulationParams;
 use etw_workload::generator::GeneratorParams;
 
+/// A cross-field configuration invariant violation, found by
+/// [`CampaignConfig::validate`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// Population clientID width disagrees with the anonymiser array
+    /// width.
+    IdSpaceMismatch {
+        /// Bits the population draws clientIDs from.
+        population_bits: u32,
+        /// Bits the anonymiser array covers.
+        anonymizer_bits: u32,
+    },
+    /// MTU below the IPv4 minimum of 576.
+    MtuTooSmall {
+        /// The configured MTU.
+        mtu: usize,
+    },
+    /// A probability knob outside `[0, 1]`.
+    ProbabilityOutOfRange {
+        /// Which knob.
+        field: &'static str,
+        /// Its value.
+        value: f64,
+    },
+    /// `decode_workers == 0` — the pipeline needs at least one worker.
+    NoDecodeWorkers,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::IdSpaceMismatch {
+                population_bits,
+                anonymizer_bits,
+            } => write!(
+                f,
+                "population draws {population_bits}-bit clientIDs but the \
+                 anonymiser array covers {anonymizer_bits} bits"
+            ),
+            ConfigError::MtuTooSmall { mtu } => {
+                write!(f, "mtu {mtu} below the IPv4 minimum of 576")
+            }
+            ConfigError::ProbabilityOutOfRange { field, value } => {
+                write!(f, "{field} = {value} outside [0,1]")
+            }
+            ConfigError::NoDecodeWorkers => write!(f, "need at least one decode worker"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Everything the campaign driver needs.
 #[derive(Clone, Debug)]
 pub struct CampaignConfig {
@@ -105,25 +157,28 @@ impl CampaignConfig {
     }
 
     /// Sanity checks cross-field invariants; call before running.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.population.id_space_bits != self.client_space_bits {
-            return Err(format!(
-                "population draws {}-bit clientIDs but the anonymiser array covers {} bits",
-                self.population.id_space_bits, self.client_space_bits
-            ));
+            return Err(ConfigError::IdSpaceMismatch {
+                population_bits: self.population.id_space_bits,
+                anonymizer_bits: self.client_space_bits,
+            });
         }
         if self.mtu < 576 {
-            return Err("mtu below the IPv4 minimum of 576".into());
+            return Err(ConfigError::MtuTooSmall { mtu: self.mtu });
         }
-        if !(0.0..=1.0).contains(&self.p_corrupt)
-            || !(0.0..=1.0).contains(&self.p_corrupt_structural)
-            || !(0.0..=1.0).contains(&self.p_udp_noise)
-            || !(0.0..=1.0).contains(&self.p_tcp_noise)
-        {
-            return Err("probabilities must be in [0,1]".into());
+        for (field, value) in [
+            ("p_corrupt", self.p_corrupt),
+            ("p_corrupt_structural", self.p_corrupt_structural),
+            ("p_udp_noise", self.p_udp_noise),
+            ("p_tcp_noise", self.p_tcp_noise),
+        ] {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(ConfigError::ProbabilityOutOfRange { field, value });
+            }
         }
         if self.decode_workers == 0 {
-            return Err("need at least one decode worker".into());
+            return Err(ConfigError::NoDecodeWorkers);
         }
         Ok(())
     }
@@ -164,6 +219,29 @@ mod tests {
     fn bad_probability_rejected() {
         let mut c = CampaignConfig::tiny();
         c.p_corrupt = 1.5;
-        assert!(c.validate().is_err());
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::ProbabilityOutOfRange {
+                field: "p_corrupt",
+                value: 1.5
+            })
+        );
+    }
+
+    #[test]
+    fn errors_are_typed_and_render() {
+        let mut c = CampaignConfig::tiny();
+        c.client_space_bits = 8;
+        let err = c.validate().unwrap_err();
+        assert!(matches!(err, ConfigError::IdSpaceMismatch { .. }));
+        assert!(err.to_string().contains("8 bits"));
+
+        let mut c = CampaignConfig::tiny();
+        c.mtu = 100;
+        assert_eq!(c.validate(), Err(ConfigError::MtuTooSmall { mtu: 100 }));
+
+        let mut c = CampaignConfig::tiny();
+        c.decode_workers = 0;
+        assert_eq!(c.validate(), Err(ConfigError::NoDecodeWorkers));
     }
 }

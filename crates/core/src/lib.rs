@@ -33,9 +33,10 @@ pub mod summary;
 pub mod wirepath;
 
 pub use campaign::{
-    render_health_dat, run_campaign, run_campaign_observed, CampaignReport, CaptureSide,
+    render_health_dat, run_campaign, run_campaign_observed, try_run_campaign_observed,
+    CampaignReport, CaptureSide,
 };
-pub use config::CampaignConfig;
+pub use config::{CampaignConfig, ConfigError};
 pub use pipeline::{
     run_capture_pipeline, run_capture_pipeline_observed, PipelineStats, TimedFrame,
 };

@@ -182,6 +182,9 @@ where
                 let w = route(&frame.bytes, n_workers);
                 worker_txs[w]
                     .send((seq, frame))
+                    // etwlint: allow(no-panic-hot-path): a worker hanging
+                    // up mid-run means it already panicked; propagating
+                    // beats silently dropping the rest of the trace.
                     .expect("worker hung up early");
                 produced.inc();
                 seq += 1;
@@ -240,9 +243,13 @@ where
         }
         debug_assert!(reorder.is_empty(), "holes in the sequence space");
 
+        // etwlint: allow(no-panic-hot-path): join() only errs when the
+        // joined thread panicked; re-raising is panic propagation, not a
+        // new failure mode.
         let total_frames = producer.join().expect("producer panicked");
         stats.frames = total_frames;
         for h in handles {
+            // etwlint: allow(no-panic-hot-path): panic propagation, as above
             let w = h.join().expect("worker panicked");
             stats.not_udp += w.not_udp;
             stats.other_port += w.other_port;
@@ -253,6 +260,8 @@ where
             merge_reassembly(&mut stats.reassembly, &w.reassembly);
         }
     })
+    // etwlint: allow(no-panic-hot-path): crossbeam scope() errs only when
+    // a child panicked; re-raising is panic propagation.
     .expect("pipeline scope panicked");
 
     (stats, scheme, fig3)

@@ -1,0 +1,366 @@
+//! The rule engine: per-file context (tokens, comments, suppression
+//! table, `#[cfg(test)]` spans) and the diagnostic plumbing.
+//!
+//! ## Suppression
+//!
+//! A diagnostic on line `L` is suppressed by a comment
+//! `// etwlint: allow(rule-name)` (or `allow(a, b)`) on line `L` itself
+//! or on line `L-1`. The text after the closing parenthesis is free-form
+//! and should state *why* — the self-test keeps the workspace clean, so
+//! every surviving `allow` documents a deliberate exception.
+
+use crate::tokenizer::{tokenize, Comment, Token, TokenKind, TokenStream};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule that fired.
+    pub rule: &'static str,
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// `path:line:col: rule: message` — the human-readable form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: {}: {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+
+    /// One JSON object (hand-rolled; the workspace vendors no serde).
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+            json_escape(self.rule),
+            json_escape(&self.path),
+            self.line,
+            self.col,
+            json_escape(&self.message)
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An input file: workspace-relative path plus content.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with forward slashes.
+    pub rel_path: String,
+    /// Full file text.
+    pub text: String,
+}
+
+/// Everything a rule needs to know about one file.
+pub struct FileContext {
+    /// Workspace-relative path (forward slashes).
+    pub rel_path: String,
+    /// Code tokens.
+    pub tokens: Vec<Token>,
+    /// Line → comment texts touching that line (block comments register
+    /// on every line they span).
+    comments_by_line: BTreeMap<usize, Vec<String>>,
+    /// Line → rule names allowed on that line.
+    allows: BTreeMap<usize, BTreeSet<String>>,
+    /// Line spans (inclusive) of `#[cfg(test)] mod … { … }` blocks.
+    test_spans: Vec<(usize, usize)>,
+}
+
+impl FileContext {
+    /// Builds the context for one file.
+    pub fn new(file: &SourceFile) -> FileContext {
+        let stream = tokenize(&file.text);
+        let mut comments_by_line: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+        let mut allows: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
+        for c in &stream.comments {
+            for line in c.line..=c.end_line {
+                comments_by_line
+                    .entry(line)
+                    .or_default()
+                    .push(c.text.clone());
+            }
+        }
+        for c in &stream.comments {
+            let rules = parse_allows(c);
+            if rules.is_empty() {
+                continue;
+            }
+            // An allow covers its own comment plus the rest of the
+            // contiguous comment block below it, so a multi-line `//`
+            // justification reaches the code line it ends above.
+            let mut last = c.end_line;
+            while comments_by_line.contains_key(&(last + 1)) {
+                last += 1;
+            }
+            for rule in rules {
+                for line in c.line..=last {
+                    allows.entry(line).or_default().insert(rule.clone());
+                }
+            }
+        }
+        let test_spans = find_test_spans(&stream);
+        FileContext {
+            rel_path: file.rel_path.clone(),
+            tokens: stream.tokens,
+            comments_by_line,
+            allows,
+            test_spans,
+        }
+    }
+
+    /// Whether `line` falls inside a `#[cfg(test)]` module.
+    pub fn in_test_code(&self, line: usize) -> bool {
+        self.test_spans
+            .iter()
+            .any(|&(a, b)| (a..=b).contains(&line))
+    }
+
+    /// Whether the flagged `line` carries an `etwlint: allow(rule)` on
+    /// the line itself or the line above.
+    pub fn is_allowed(&self, rule: &str, line: usize) -> bool {
+        for l in line.saturating_sub(1)..=line {
+            if let Some(set) = self.allows.get(&l) {
+                if set.contains(rule) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether a comment containing `marker` exists on `line` or within
+    /// the `lookback` lines above it (justification comments).
+    pub fn has_comment_marker(&self, marker: &str, line: usize, lookback: usize) -> bool {
+        for l in line.saturating_sub(lookback)..=line {
+            if let Some(texts) = self.comments_by_line.get(&l) {
+                if texts.iter().any(|t| t.contains(marker)) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Emits a diagnostic at a token unless suppressed; returns whether
+    /// it was suppressed.
+    pub fn report(&self, out: &mut LintSink, rule: &'static str, token: &Token, message: String) {
+        let d = Diagnostic {
+            rule,
+            path: self.rel_path.clone(),
+            line: token.line,
+            col: token.col,
+            message,
+        };
+        if self.is_allowed(rule, token.line) {
+            out.suppressed.push(d);
+        } else {
+            out.diagnostics.push(d);
+        }
+    }
+}
+
+/// Collects findings, separating suppressed ones for accounting.
+#[derive(Default, Debug)]
+pub struct LintSink {
+    /// Unsuppressed findings (these fail the gate).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings silenced by an inline `allow`.
+    pub suppressed: Vec<Diagnostic>,
+}
+
+/// Extracts rule names from `etwlint: allow(a, b)` occurrences in a
+/// comment.
+fn parse_allows(comment: &Comment) -> Vec<String> {
+    let mut rules = Vec::new();
+    let text = &comment.text;
+    let mut search = 0usize;
+    while let Some(idx) = text[search..].find("etwlint:") {
+        let rest = &text[search + idx + "etwlint:".len()..];
+        let rest = rest.trim_start();
+        if let Some(args) = rest.strip_prefix("allow(") {
+            if let Some(close) = args.find(')') {
+                for name in args[..close].split(',') {
+                    let name = name.trim();
+                    if !name.is_empty() {
+                        rules.push(name.to_string());
+                    }
+                }
+            }
+        }
+        search += idx + "etwlint:".len();
+    }
+    rules
+}
+
+/// Finds `#[cfg(test)] mod name { … }` spans by token matching. Other
+/// `#[cfg(test)]` placements (on items without braces) are ignored —
+/// the workspace convention is test *modules*.
+fn find_test_spans(stream: &TokenStream) -> Vec<(usize, usize)> {
+    let t = &stream.tokens;
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < t.len() {
+        if is_cfg_test_attr(t, i) {
+            // Skip this attribute and any further attributes, then
+            // expect `mod <name> {`.
+            let mut j = skip_attr(t, i);
+            while j < t.len() && t[j].kind == TokenKind::Punct && t[j].text == "#" {
+                j = skip_attr(t, j);
+            }
+            if j + 2 < t.len()
+                && t[j].kind == TokenKind::Ident
+                && t[j].text == "mod"
+                && t[j + 1].kind == TokenKind::Ident
+                && t[j + 2].text == "{"
+            {
+                let start_line = t[i].line;
+                let mut depth = 0usize;
+                let mut k = j + 2;
+                let mut end_line = t[k].line;
+                while k < t.len() {
+                    if t[k].kind == TokenKind::Punct {
+                        if t[k].text == "{" {
+                            depth += 1;
+                        } else if t[k].text == "}" {
+                            depth -= 1;
+                            if depth == 0 {
+                                end_line = t[k].line;
+                                break;
+                            }
+                        }
+                    }
+                    k += 1;
+                }
+                spans.push((start_line, end_line));
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Is `t[i..]` the start of exactly `#[cfg(test)]`?
+fn is_cfg_test_attr(t: &[Token], i: usize) -> bool {
+    let texts = ["#", "[", "cfg", "(", "test", ")", "]"];
+    if i + texts.len() > t.len() {
+        return false;
+    }
+    texts
+        .iter()
+        .zip(&t[i..i + texts.len()])
+        .all(|(want, tok)| tok.text == *want)
+}
+
+/// Skips one `#[…]` attribute starting at index `i` (which must point at
+/// `#`); returns the index after the closing `]`.
+fn skip_attr(t: &[Token], i: usize) -> usize {
+    let mut j = i + 1; // at `[`
+    let mut depth = 0usize;
+    while j < t.len() {
+        if t[j].kind == TokenKind::Punct {
+            if t[j].text == "[" {
+                depth += 1;
+            } else if t[j].text == "]" {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(src: &str) -> FileContext {
+        FileContext::new(&SourceFile {
+            rel_path: "x.rs".into(),
+            text: src.into(),
+        })
+    }
+
+    #[test]
+    fn allow_parsing_and_lookup() {
+        let c = ctx("let a = 1; // etwlint: allow(no-wall-clock): operator-facing timer\nlet b;");
+        assert!(c.is_allowed("no-wall-clock", 1));
+        assert!(c.is_allowed("no-wall-clock", 2)); // line below an allow line
+        assert!(!c.is_allowed("no-panic-hot-path", 1));
+        let c = ctx("// etwlint: allow(a, b)\nflagged();");
+        assert!(c.is_allowed("a", 2));
+        assert!(c.is_allowed("b", 2));
+        assert!(!c.is_allowed("a", 4));
+    }
+
+    #[test]
+    fn comment_marker_lookback() {
+        let c = ctx("// ordering: relaxed is fine here\n\nfetch_add(1, Relaxed);");
+        assert!(c.has_comment_marker("ordering:", 3, 2));
+        assert!(!c.has_comment_marker("ordering:", 3, 1));
+    }
+
+    #[test]
+    fn test_span_detection() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\nfn after() {}";
+        let c = ctx(src);
+        assert!(!c.in_test_code(1));
+        assert!(c.in_test_code(2));
+        assert!(c.in_test_code(5));
+        assert!(!c.in_test_code(7));
+    }
+
+    #[test]
+    fn cfg_test_with_extra_attrs() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests { fn f() {} }";
+        let c = ctx(src);
+        assert!(c.in_test_code(3));
+    }
+
+    #[test]
+    fn cfg_test_on_non_mod_is_ignored() {
+        let c = ctx("#[cfg(test)]\nuse std::time::Instant;\nfn f() {}");
+        assert!(!c.in_test_code(2));
+    }
+
+    #[test]
+    fn json_escaping() {
+        let d = Diagnostic {
+            rule: "r",
+            path: "a\\b.rs".into(),
+            line: 1,
+            col: 2,
+            message: "say \"hi\"".into(),
+        };
+        assert_eq!(
+            d.render_json(),
+            "{\"rule\":\"r\",\"path\":\"a\\\\b.rs\",\"line\":1,\"col\":2,\"message\":\"say \\\"hi\\\"\"}"
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! etwlint — repo-specific static analysis for the edonkey-ten-weeks
+//! workspace.
+//!
+//! clippy covers general Rust hygiene; this crate encodes the project's
+//! *domain* invariants: the capture machine must be wall-clock free and
+//! panic free on the hot path, lock-free atomics must document their
+//! memory-ordering contract, the eDonkey protocol tables must stay in
+//! sync, and the offline vendored stand-ins must stay behind the
+//! Cargo.toml boundary.
+//!
+//! The analysis is token-based (see [`tokenizer`]): a full parse is
+//! overkill for these rules, but raw string matching would false-positive
+//! on comments and literals. Diagnostics are suppressed inline with
+//! `// etwlint: allow(<rule>): <why>` on the offending line or the line
+//! above; the `tests/workspace_clean.rs` self-test keeps the repo at
+//! zero unsuppressed diagnostics so every `allow` in tree is a reviewed
+//! exception.
+
+pub mod engine;
+pub mod rules;
+pub mod tokenizer;
+
+pub use engine::{Diagnostic, FileContext, LintSink, SourceFile};
+pub use rules::{all_rules, rule_catalogue, Rule};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Unsuppressed diagnostics — non-empty fails the CI gate.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Diagnostics silenced by inline `allow` comments.
+    pub suppressed: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True when no unsuppressed diagnostics were found.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Renders the whole report as one JSON document.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"files_scanned\":");
+        out.push_str(&self.files_scanned.to_string());
+        out.push_str(",\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&d.render_json());
+        }
+        out.push_str("],\"suppressed\":[");
+        for (i, d) in self.suppressed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&d.render_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Lints a set of in-memory files against the full rule catalogue.
+///
+/// Diagnostics come back sorted by path, then line, then column, so
+/// output is deterministic regardless of input order.
+pub fn lint_files(files: &[SourceFile]) -> LintReport {
+    let ctxs: Vec<FileContext> = files.iter().map(FileContext::new).collect();
+    let mut sink = LintSink::default();
+    for rule in all_rules() {
+        for ctx in &ctxs {
+            rule.check_file(ctx, &mut sink);
+        }
+        rule.check_workspace(&ctxs, &mut sink);
+    }
+    let sort_key = |d: &Diagnostic| (d.path.clone(), d.line, d.col, d.rule);
+    sink.diagnostics.sort_by_key(sort_key);
+    sink.suppressed.sort_by_key(sort_key);
+    LintReport {
+        diagnostics: sink.diagnostics,
+        suppressed: sink.suppressed,
+        files_scanned: files.len(),
+    }
+}
+
+/// Directory names never descended into when collecting sources.
+const SKIP_DIRS: &[&str] = &[".git", "target", "vendor"];
+
+/// Collects every workspace `.rs` file under `root`, skipping `.git`,
+/// build output, and the vendored stand-ins (which are exempt by
+/// definition — they are the other side of the boundary rule).
+pub fn collect_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let text = fs::read_to_string(&path)?;
+                files.push(SourceFile {
+                    rel_path: rel,
+                    text,
+                });
+            }
+        }
+    }
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(files)
+}
+
+/// Lints everything under a workspace root on disk.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let files = collect_sources(root)?;
+    Ok(lint_files(&files))
+}
+
+/// Walks up from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! CLI for etwlint.
+//!
+//! ```text
+//! etwlint [--json] [--root DIR] [--list]
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = unsuppressed diagnostics, 2 = usage or
+//! I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    run(&args)
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut list = false;
+    let mut root: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--list" => list = true,
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => root = Some(PathBuf::from(dir)),
+                    None => {
+                        eprintln!("etwlint: --root needs a directory argument");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "-h" | "--help" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("etwlint: unknown argument `{other}`");
+                print_usage();
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    if list {
+        for (name, desc) in etwlint::rule_catalogue() {
+            println!("{name:24} {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("etwlint: cannot read current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match etwlint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("etwlint: no workspace Cargo.toml above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match etwlint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("etwlint: scan failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        for d in &report.diagnostics {
+            println!("{}", d.render());
+        }
+        eprintln!(
+            "etwlint: {} file(s) scanned, {} diagnostic(s), {} suppressed",
+            report.files_scanned,
+            report.diagnostics.len(),
+            report.suppressed.len()
+        );
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: etwlint [--json] [--root DIR] [--list]\n\
+         \n\
+         Lints the workspace against the repo-specific rule catalogue.\n\
+         --json   emit one JSON document instead of line diagnostics\n\
+         --root   workspace root (default: walk up from cwd)\n\
+         --list   print the rule catalogue and exit"
+    );
+}

@@ -1,0 +1,542 @@
+//! The rule catalogue. Each rule is token-driven (no string matching on
+//! raw source, so occurrences inside string literals or comments never
+//! fire) and either per-file (`check_file`) or workspace-wide
+//! (`check_workspace`).
+
+use crate::engine::{FileContext, LintSink};
+use crate::tokenizer::{int_value, Token, TokenKind};
+use std::collections::BTreeMap;
+
+/// A lint rule. Implement whichever granularity fits; defaults no-op.
+pub trait Rule {
+    /// Stable kebab-case identifier used in diagnostics and `allow(...)`.
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list`.
+    fn description(&self) -> &'static str;
+    /// Per-file pass.
+    fn check_file(&self, _ctx: &FileContext, _out: &mut LintSink) {}
+    /// Whole-workspace pass, run once over every file's context.
+    fn check_workspace(&self, _ctxs: &[FileContext], _out: &mut LintSink) {}
+}
+
+/// The full rule set, in diagnostic-output order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NoWallClock),
+        Box::new(NoPanicHotPath),
+        Box::new(AtomicsOrderingAudit),
+        Box::new(OpcodeCoverage),
+        Box::new(VendoredDepBoundary),
+    ]
+}
+
+fn is_ident(t: &Token, text: &str) -> bool {
+    t.kind == TokenKind::Ident && t.text == text
+}
+
+fn is_punct(t: &Token, text: &str) -> bool {
+    t.kind == TokenKind::Punct && t.text == text
+}
+
+// ---------------------------------------------------------------------------
+// no-wall-clock
+// ---------------------------------------------------------------------------
+
+/// Bans `Instant::now()` and any `SystemTime` use outside the telemetry
+/// crate (which owns the wall-clock/virtual-time boundary), benches, and
+/// tests. Simulation and decode code must derive time from
+/// `netsim::clock::VirtualTime` so runs stay deterministic and
+/// replayable.
+pub struct NoWallClock;
+
+impl NoWallClock {
+    fn exempt(path: &str) -> bool {
+        path.starts_with("crates/telemetry/")
+            || path.starts_with("crates/bench/")
+            || path.contains("/tests/")
+            || path.starts_with("tests/")
+            || path.starts_with("benches/")
+    }
+}
+
+impl Rule for NoWallClock {
+    fn name(&self) -> &'static str {
+        "no-wall-clock"
+    }
+    fn description(&self) -> &'static str {
+        "Instant::now()/SystemTime outside crates/telemetry and benches; use netsim::clock::VirtualTime"
+    }
+    fn check_file(&self, ctx: &FileContext, out: &mut LintSink) {
+        if Self::exempt(&ctx.rel_path) {
+            return;
+        }
+        let t = &ctx.tokens;
+        for i in 0..t.len() {
+            if ctx.in_test_code(t[i].line) {
+                continue;
+            }
+            if is_ident(&t[i], "Instant")
+                && i + 2 < t.len()
+                && is_punct(&t[i + 1], ":")
+                && is_punct(&t[i + 2], ":")
+                && t.get(i + 3).is_some_and(|n| is_ident(n, "now"))
+            {
+                ctx.report(
+                    out,
+                    self.name(),
+                    &t[i],
+                    "wall-clock read (`Instant::now`) outside crates/telemetry; \
+                     derive time from netsim::clock::VirtualTime"
+                        .to_string(),
+                );
+            }
+            if is_ident(&t[i], "SystemTime") {
+                ctx.report(
+                    out,
+                    self.name(),
+                    &t[i],
+                    "`SystemTime` outside crates/telemetry; capture-machine code \
+                     must be wall-clock free (netsim::clock::VirtualTime)"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// no-panic-hot-path
+// ---------------------------------------------------------------------------
+
+/// Files on the capture hot path where a panic means losing the tail of
+/// a ten-week trace. `unwrap`/`expect` and panic-family macros need an
+/// explicit justification (`// etwlint: allow(no-panic-hot-path): ...`)
+/// or a typed-error refactor.
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/core/src/pipeline.rs",
+    "crates/core/src/campaign.rs",
+    "crates/core/src/config.rs",
+    "crates/edonkey/src/decoder.rs",
+    "crates/netsim/src/capture.rs",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub struct NoPanicHotPath;
+
+impl Rule for NoPanicHotPath {
+    fn name(&self) -> &'static str {
+        "no-panic-hot-path"
+    }
+    fn description(&self) -> &'static str {
+        "unwrap/expect/panic! in capture hot-path files (core pipeline/campaign/config, decoder, ring)"
+    }
+    fn check_file(&self, ctx: &FileContext, out: &mut LintSink) {
+        if !HOT_PATH_FILES.contains(&ctx.rel_path.as_str()) {
+            return;
+        }
+        let t = &ctx.tokens;
+        for i in 0..t.len() {
+            if ctx.in_test_code(t[i].line) {
+                continue;
+            }
+            // `.unwrap` / `.expect` method calls (field accesses can't
+            // collide: those identifiers aren't used as field names here).
+            if t[i].kind == TokenKind::Ident
+                && (t[i].text == "unwrap" || t[i].text == "expect")
+                && i > 0
+                && is_punct(&t[i - 1], ".")
+                && t.get(i + 1).is_some_and(|n| is_punct(n, "("))
+            {
+                ctx.report(
+                    out,
+                    self.name(),
+                    &t[i],
+                    format!(
+                        "`.{}()` on the capture hot path can abort a ten-week run; \
+                         return a typed error or justify with an allow comment",
+                        t[i].text
+                    ),
+                );
+            }
+            // panic-family macros.
+            if t[i].kind == TokenKind::Ident
+                && PANIC_MACROS.contains(&t[i].text.as_str())
+                && t.get(i + 1).is_some_and(|n| is_punct(n, "!"))
+            {
+                ctx.report(
+                    out,
+                    self.name(),
+                    &t[i],
+                    format!("`{}!` on the capture hot path", t[i].text),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// atomics-ordering-audit
+// ---------------------------------------------------------------------------
+
+/// Memory-ordering name tokens we audit. `Ordering::Relaxed` paths and
+/// bare imported `Relaxed` both surface as one of these identifiers.
+/// `std::cmp::Ordering` variants (Less/Equal/Greater) don't collide.
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Every memory-ordering argument must carry a nearby `// ordering:`
+/// comment explaining why that ordering is sufficient; `SeqCst` is
+/// flagged even when justified (it usually papers over an unclear
+/// protocol) and needs a full `allow` to pass.
+pub struct AtomicsOrderingAudit;
+
+impl AtomicsOrderingAudit {
+    /// Lines of comment lookback accepted for a justification.
+    const LOOKBACK: usize = 3;
+}
+
+impl Rule for AtomicsOrderingAudit {
+    fn name(&self) -> &'static str {
+        "atomics-ordering-audit"
+    }
+    fn description(&self) -> &'static str {
+        "every Ordering::* use needs an `// ordering:` justification comment; SeqCst suspicious by default"
+    }
+    fn check_file(&self, ctx: &FileContext, out: &mut LintSink) {
+        let t = &ctx.tokens;
+        for i in 0..t.len() {
+            if t[i].kind != TokenKind::Ident || !ORDERINGS.contains(&t[i].text.as_str()) {
+                continue;
+            }
+            if ctx.in_test_code(t[i].line) {
+                continue;
+            }
+            // `use ... Ordering::{...}` import lines introduce the name,
+            // they are not a use site to audit.
+            if in_use_decl(t, i) {
+                continue;
+            }
+            if t[i].text == "SeqCst" {
+                ctx.report(
+                    out,
+                    self.name(),
+                    &t[i],
+                    "`SeqCst` is suspicious by default: name the acquire/release \
+                     pairing you actually need, or allow with justification"
+                        .to_string(),
+                );
+                continue;
+            }
+            if !ctx.has_comment_marker("ordering:", t[i].line, Self::LOOKBACK) {
+                ctx.report(
+                    out,
+                    self.name(),
+                    &t[i],
+                    format!(
+                        "`{}` without an `// ordering:` justification comment within \
+                         {} lines",
+                        t[i].text,
+                        Self::LOOKBACK
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Walks back from token `i` to the start of its statement (`;`, `{`,
+/// `}`) and reports whether the statement begins with `use` or `pub use`.
+fn in_use_decl(t: &[Token], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        let p = &t[j - 1];
+        if p.kind == TokenKind::Punct && (p.text == ";" || (p.text == "}" && !brace_in_use(t, j))) {
+            break;
+        }
+        if is_ident(p, "use") {
+            return true;
+        }
+        j -= 1;
+    }
+    false
+}
+
+/// A `}` directly before us may still be *inside* a `use a::{b, c}` group;
+/// treat it as a statement boundary only when no `use` keyword precedes it
+/// on the same brace nesting run. Cheap approximation: scan back up to 32
+/// tokens for `use` before a `;`.
+fn brace_in_use(t: &[Token], j: usize) -> bool {
+    let lo = j.saturating_sub(32);
+    for k in (lo..j).rev() {
+        if is_ident(&t[k], "use") {
+            return true;
+        }
+        if is_punct(&t[k], ";") {
+            return false;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// opcode-coverage
+// ---------------------------------------------------------------------------
+
+/// Cross-checks the protocol tables: every opcode constant declared in
+/// `edonkey::messages::opcodes` must (a) be matched somewhere in the
+/// decoder, (b) be used in messages.rs outside its own declaration block
+/// (encode/dispatch side), and (c) stay disjoint from the corrupt
+/// injector's unknown-opcode ranges, so fuzzed "unknown" opcodes can
+/// never alias a real message type.
+pub struct OpcodeCoverage;
+
+const MESSAGES_RS: &str = "crates/edonkey/src/messages.rs";
+const DECODER_RS: &str = "crates/edonkey/src/decoder.rs";
+const CORRUPT_RS: &str = "crates/edonkey/src/corrupt.rs";
+
+impl Rule for OpcodeCoverage {
+    fn name(&self) -> &'static str {
+        "opcode-coverage"
+    }
+    fn description(&self) -> &'static str {
+        "every opcode in edonkey::messages::opcodes must be handled by the decoder and avoided by corrupt-injection ranges"
+    }
+    fn check_workspace(&self, ctxs: &[FileContext], out: &mut LintSink) {
+        let Some(messages) = ctxs.iter().find(|c| c.rel_path == MESSAGES_RS) else {
+            return; // not this workspace's layout; nothing to check
+        };
+        let Some((opcodes, block_span)) = parse_opcode_block(&messages.tokens) else {
+            return;
+        };
+
+        let decoder = ctxs.iter().find(|c| c.rel_path == DECODER_RS);
+        let corrupt_ranges = ctxs
+            .iter()
+            .find(|c| c.rel_path == CORRUPT_RS)
+            .map(|c| hex_ranges(&c.tokens))
+            .unwrap_or_default();
+
+        for (name, value, decl_tok) in &opcodes {
+            if let Some(dec) = decoder {
+                let matched = dec
+                    .tokens
+                    .iter()
+                    .any(|t| t.kind == TokenKind::Ident && t.text == *name);
+                if !matched {
+                    messages.report(
+                        out,
+                        self.name(),
+                        decl_tok,
+                        format!("opcode `{name}` (0x{value:02x}) is never matched in {DECODER_RS}"),
+                    );
+                }
+            }
+            let used_outside = messages.tokens.iter().any(|t| {
+                t.kind == TokenKind::Ident
+                    && t.text == *name
+                    && !(block_span.0..=block_span.1).contains(&t.line)
+            });
+            if !used_outside {
+                messages.report(
+                    out,
+                    self.name(),
+                    decl_tok,
+                    format!(
+                        "opcode `{name}` (0x{value:02x}) is declared but never used \
+                         outside the opcodes block in {MESSAGES_RS}"
+                    ),
+                );
+            }
+            for &(lo, hi) in &corrupt_ranges {
+                if (lo..hi).contains(&u64::from(*value)) {
+                    messages.report(
+                        out,
+                        self.name(),
+                        decl_tok,
+                        format!(
+                            "opcode `{name}` (0x{value:02x}) falls inside the \
+                             corrupt-injection \"unknown opcode\" range \
+                             0x{lo:02x}..0x{hi:02x} in {CORRUPT_RS}; injected \
+                             corruption would alias a real message"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Parses `mod opcodes { pub const NAME: u8 = 0x..; ... }` out of the
+/// messages token stream. Returns the constants plus the block's line
+/// span.
+#[allow(clippy::type_complexity)]
+fn parse_opcode_block(t: &[Token]) -> Option<(Vec<(String, u8, Token)>, (usize, usize))> {
+    let mut i = 0;
+    let start = loop {
+        if i + 2 >= t.len() {
+            return None;
+        }
+        if is_ident(&t[i], "mod") && is_ident(&t[i + 1], "opcodes") && is_punct(&t[i + 2], "{") {
+            break i + 2;
+        }
+        i += 1;
+    };
+    let mut depth = 0usize;
+    let mut end = start;
+    let mut consts = Vec::new();
+    let mut k = start;
+    while k < t.len() {
+        if t[k].kind == TokenKind::Punct {
+            if t[k].text == "{" {
+                depth += 1;
+            } else if t[k].text == "}" {
+                depth -= 1;
+                if depth == 0 {
+                    end = k;
+                    break;
+                }
+            }
+        }
+        // const NAME : u8 = <num>
+        if is_ident(&t[k], "const")
+            && k + 5 < t.len()
+            && t[k + 1].kind == TokenKind::Ident
+            && is_punct(&t[k + 2], ":")
+            && is_ident(&t[k + 3], "u8")
+            && is_punct(&t[k + 4], "=")
+            && t[k + 5].kind == TokenKind::Num
+        {
+            if let Some(v) = int_value(&t[k + 5].text) {
+                consts.push((t[k + 1].text.clone(), v as u8, t[k + 1].clone()));
+            }
+        }
+        k += 1;
+    }
+    Some((consts, (t[start].line, t[end].line)))
+}
+
+/// Collects `0xNN..0xMM`-style numeric ranges (token pattern
+/// `Num . . Num`, optionally `..=`) anywhere in a file. Only ranges with
+/// *both* endpoints written in hex count: that is the repo convention
+/// for opcode-space literals, and it keeps plain loop bounds (`0..200`)
+/// from masquerading as injection ranges.
+fn hex_ranges(t: &[Token]) -> Vec<(u64, u64)> {
+    let is_hex = |tok: &Token| tok.text.starts_with("0x") || tok.text.starts_with("0X");
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        if t[i].kind != TokenKind::Num || !is_hex(&t[i]) {
+            continue;
+        }
+        let mut j = i + 1;
+        if j + 1 < t.len() && is_punct(&t[j], ".") && is_punct(&t[j + 1], ".") {
+            j += 2;
+            let mut inclusive = false;
+            if j < t.len() && is_punct(&t[j], "=") {
+                inclusive = true;
+                j += 1;
+            }
+            if j < t.len() && t[j].kind == TokenKind::Num && is_hex(&t[j]) {
+                if let (Some(lo), Some(hi)) = (int_value(&t[i].text), int_value(&t[j].text)) {
+                    out.push((lo, if inclusive { hi + 1 } else { hi }));
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// vendored-dep-boundary
+// ---------------------------------------------------------------------------
+
+/// The `vendor/` tree holds offline API-subset stand-ins that only
+/// `Cargo.toml` path dependencies may reference. A `vendor/` path inside
+/// Rust source (e.g. `#[path = "…/vendor/…"]`, `include!`, fs access)
+/// couples code to the stand-in layout and breaks the swap-out story.
+pub struct VendoredDepBoundary;
+
+impl Rule for VendoredDepBoundary {
+    fn name(&self) -> &'static str {
+        "vendored-dep-boundary"
+    }
+    fn description(&self) -> &'static str {
+        "no paths into the vendored stand-in tree in Rust source; only Cargo.toml may point there"
+    }
+    fn check_file(&self, ctx: &FileContext, out: &mut LintSink) {
+        for tok in &ctx.tokens {
+            if tok.kind == TokenKind::Str
+                // etwlint: allow(vendored-dep-boundary): the rule's own needle
+                && tok.text.contains("vendor/")
+            {
+                ctx.report(
+                    out,
+                    self.name(),
+                    tok,
+                    "string literal references a path into the vendored stand-in \
+                     tree; those crates are reachable only through Cargo.toml \
+                     path dependencies"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Convenience: map of rule name → description, for `--list`.
+pub fn rule_catalogue() -> BTreeMap<&'static str, &'static str> {
+    all_rules()
+        .iter()
+        .map(|r| (r.name(), r.description()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SourceFile;
+
+    fn lint_one(path: &str, src: &str) -> LintSink {
+        let ctx = FileContext::new(&SourceFile {
+            rel_path: path.into(),
+            text: src.into(),
+        });
+        let mut sink = LintSink::default();
+        for rule in all_rules() {
+            rule.check_file(&ctx, &mut sink);
+            rule.check_workspace(std::slice::from_ref(&ctx), &mut sink);
+        }
+        sink
+    }
+
+    #[test]
+    fn use_decl_is_not_a_use_site() {
+        let sink = lint_one(
+            "crates/x/src/lib.rs",
+            "use std::sync::atomic::{AtomicU64, Ordering::Relaxed};\nfn f() {}",
+        );
+        assert!(sink.diagnostics.is_empty(), "{:?}", sink.diagnostics);
+    }
+
+    #[test]
+    fn bare_relaxed_needs_justification() {
+        let sink = lint_one(
+            "crates/x/src/lib.rs",
+            "use std::sync::atomic::Ordering::Relaxed;\nfn f(a: &AtomicU64) { a.fetch_add(1, Relaxed); }",
+        );
+        assert_eq!(sink.diagnostics.len(), 1);
+        assert_eq!(sink.diagnostics[0].rule, "atomics-ordering-audit");
+        assert_eq!(sink.diagnostics[0].line, 2);
+    }
+
+    #[test]
+    fn hex_range_extraction() {
+        let ctx = FileContext::new(&SourceFile {
+            rel_path: "x.rs".into(),
+            text: "let a = rng.gen_range(0x40..0x7f); let b = 0x10..=0x13; for _ in 0..200 {}"
+                .into(),
+        });
+        assert_eq!(hex_ranges(&ctx.tokens), vec![(0x40, 0x7f), (0x10, 0x14)]);
+    }
+}

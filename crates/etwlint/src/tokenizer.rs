@@ -1,0 +1,577 @@
+//! A lightweight Rust tokenizer — just enough lexical structure for the
+//! lint rules: identifiers, literals, punctuation, and comments with
+//! exact line/column spans.
+//!
+//! This is deliberately not a full lexer. It understands everything
+//! needed to avoid false positives inside strings and comments (nested
+//! block comments, raw strings with `#` fences, byte strings, char
+//! literals vs lifetimes) and nothing more. Rules operate on the token
+//! stream plus the comment side-table, never on raw text.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal (integer or float, any base).
+    Num,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Single punctuation character (`.`, `{`, `#`, …).
+    Punct,
+}
+
+/// One lexeme with its position (1-based line and column).
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Lexeme kind.
+    pub kind: TokenKind,
+    /// The lexeme text. For [`TokenKind::Str`] this is the *content*
+    /// (delimiters stripped, escapes left as written) so rules can
+    /// search inside literals.
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: usize,
+    /// 1-based column of the first character.
+    pub col: usize,
+}
+
+/// One comment (line or block, doc or plain) with its span.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line where the comment starts.
+    pub line: usize,
+    /// 1-based line where the comment ends (same as `line` for `//`).
+    pub end_line: usize,
+}
+
+/// Result of tokenizing one file.
+#[derive(Clone, Debug, Default)]
+pub struct TokenStream {
+    /// Code tokens in order.
+    pub tokens: Vec<Token>,
+    /// Comments in order (not interleaved with `tokens`).
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Cursor<'a> {
+        Cursor {
+            chars: text.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `text`, producing code tokens and a comment side-table.
+/// Malformed input (unterminated strings/comments) is tolerated: the
+/// partial lexeme is emitted and lexing stops at end of input.
+pub fn tokenize(text: &str) -> TokenStream {
+    let mut cur = Cursor::new(text);
+    let mut out = TokenStream::default();
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' {
+            let mut ahead = cur.chars.clone();
+            ahead.next();
+            match ahead.peek() {
+                Some('/') => {
+                    lex_line_comment(&mut cur, &mut out, line);
+                    continue;
+                }
+                Some('*') => {
+                    lex_block_comment(&mut cur, &mut out, line);
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if is_ident_start(c) {
+            lex_ident_or_prefixed(&mut cur, &mut out, line, col);
+            continue;
+        }
+        if c.is_ascii_digit() {
+            lex_number(&mut cur, &mut out, line, col);
+            continue;
+        }
+        if c == '\'' {
+            lex_char_or_lifetime(&mut cur, &mut out, line, col);
+            continue;
+        }
+        if c == '"' {
+            cur.bump();
+            let content = lex_string_body(&mut cur, 0);
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text: content,
+                line,
+                col,
+            });
+            continue;
+        }
+        cur.bump();
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+fn lex_line_comment(cur: &mut Cursor, out: &mut TokenStream, line: usize) {
+    cur.bump();
+    cur.bump(); // consume `//`
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    out.comments.push(Comment {
+        text,
+        line,
+        end_line: line,
+    });
+}
+
+fn lex_block_comment(cur: &mut Cursor, out: &mut TokenStream, line: usize) {
+    cur.bump();
+    cur.bump(); // consume `/*`
+    let mut depth = 1usize;
+    let mut text = String::new();
+    while depth > 0 {
+        match cur.bump() {
+            None => break,
+            Some('*') if cur.peek() == Some('/') => {
+                cur.bump();
+                depth -= 1;
+                if depth > 0 {
+                    text.push_str("*/");
+                }
+            }
+            Some('/') if cur.peek() == Some('*') => {
+                cur.bump();
+                depth += 1;
+                text.push_str("/*");
+            }
+            Some(c) => text.push(c),
+        }
+    }
+    out.comments.push(Comment {
+        text,
+        line,
+        end_line: cur.line,
+    });
+}
+
+/// Identifier, or a string/char literal with an identifier-like prefix
+/// (`r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'x'`).
+fn lex_ident_or_prefixed(cur: &mut Cursor, out: &mut TokenStream, line: usize, col: usize) {
+    let mut ident = String::new();
+    while let Some(c) = cur.peek() {
+        if is_ident_continue(c) {
+            ident.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    // String prefixes: the prefix must be exactly r/b/br and be followed
+    // by a quote (or `#` fences for raw flavours).
+    let is_raw = ident == "r" || ident == "br";
+    let is_byte = ident == "b" || ident == "br";
+    if is_raw {
+        let mut fence = 0usize;
+        let mut ahead = cur.chars.clone();
+        while ahead.peek() == Some(&'#') {
+            ahead.next();
+            fence += 1;
+        }
+        if ahead.peek() == Some(&'"') {
+            for _ in 0..fence {
+                cur.bump();
+            }
+            cur.bump(); // opening quote
+            let content = lex_raw_string_body(cur, fence);
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text: content,
+                line,
+                col,
+            });
+            return;
+        }
+    }
+    if is_byte && cur.peek() == Some('"') {
+        cur.bump();
+        let content = lex_string_body(cur, 0);
+        out.tokens.push(Token {
+            kind: TokenKind::Str,
+            text: content,
+            line,
+            col,
+        });
+        return;
+    }
+    if is_byte && cur.peek() == Some('\'') {
+        cur.bump();
+        let content = lex_char_body(cur);
+        out.tokens.push(Token {
+            kind: TokenKind::Char,
+            text: content,
+            line,
+            col,
+        });
+        return;
+    }
+    out.tokens.push(Token {
+        kind: TokenKind::Ident,
+        text: ident,
+        line,
+        col,
+    });
+}
+
+/// Body of a normal (escaped) string; the opening quote is consumed.
+fn lex_string_body(cur: &mut Cursor, _fence: usize) -> String {
+    let mut content = String::new();
+    while let Some(c) = cur.bump() {
+        match c {
+            '"' => break,
+            '\\' => {
+                content.push('\\');
+                if let Some(escaped) = cur.bump() {
+                    content.push(escaped);
+                }
+            }
+            other => content.push(other),
+        }
+    }
+    content
+}
+
+/// Body of a raw string with `fence` `#` characters after the quote.
+fn lex_raw_string_body(cur: &mut Cursor, fence: usize) -> String {
+    let mut content = String::new();
+    'outer: while let Some(c) = cur.bump() {
+        if c == '"' {
+            // A closing quote must be followed by `fence` hashes.
+            let mut ahead = cur.chars.clone();
+            for _ in 0..fence {
+                if ahead.next() != Some('#') {
+                    content.push('"');
+                    continue 'outer;
+                }
+            }
+            for _ in 0..fence {
+                cur.bump();
+            }
+            break;
+        }
+        content.push(c);
+    }
+    content
+}
+
+/// Char literal body after the opening `'`.
+fn lex_char_body(cur: &mut Cursor) -> String {
+    let mut content = String::new();
+    while let Some(c) = cur.bump() {
+        match c {
+            '\'' => break,
+            '\\' => {
+                content.push('\\');
+                if let Some(escaped) = cur.bump() {
+                    content.push(escaped);
+                }
+            }
+            other => content.push(other),
+        }
+    }
+    content
+}
+
+/// Distinguishes `'a'` (char) from `'a` (lifetime): a lifetime is a
+/// quote followed by an identifier not closed by another quote.
+fn lex_char_or_lifetime(cur: &mut Cursor, out: &mut TokenStream, line: usize, col: usize) {
+    cur.bump(); // opening quote
+    let next = cur.peek();
+    let looks_like_lifetime = matches!(next, Some(c) if is_ident_start(c));
+    if looks_like_lifetime {
+        // Look ahead: `'a'` is a char, `'a,` / `'a>` / `'a ` a lifetime.
+        let mut ahead = cur.chars.clone();
+        let mut len = 0usize;
+        while matches!(ahead.peek(), Some(&c) if is_ident_continue(c)) {
+            ahead.next();
+            len += 1;
+        }
+        if ahead.peek() != Some(&'\'') {
+            let mut name = String::new();
+            for _ in 0..len {
+                if let Some(c) = cur.bump() {
+                    name.push(c);
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Lifetime,
+                text: name,
+                line,
+                col,
+            });
+            return;
+        }
+    }
+    let content = lex_char_body(cur);
+    out.tokens.push(Token {
+        kind: TokenKind::Char,
+        text: content,
+        line,
+        col,
+    });
+}
+
+/// Numeric literal. Hex/octal/binary literals never consume `.` so that
+/// range expressions like `0x40..0x7f` lex as two numbers; a decimal
+/// point is taken only when directly followed by a digit (so `0..n`
+/// stays a range).
+fn lex_number(cur: &mut Cursor, out: &mut TokenStream, line: usize, col: usize) {
+    let mut text = String::new();
+    let mut radix_prefix = false;
+    if cur.peek() == Some('0') {
+        text.push('0');
+        cur.bump();
+        if let Some(c) = cur.peek() {
+            if c == 'x' || c == 'o' || c == 'b' {
+                radix_prefix = true;
+                text.push(c);
+                cur.bump();
+            }
+        }
+    }
+    let mut seen_dot = false;
+    while let Some(c) = cur.peek() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            text.push(c);
+            cur.bump();
+        } else if c == '.' && !seen_dot && !radix_prefix {
+            let mut ahead = cur.chars.clone();
+            ahead.next();
+            if matches!(ahead.peek(), Some(d) if d.is_ascii_digit()) {
+                seen_dot = true;
+                text.push('.');
+                cur.bump();
+            } else {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    out.tokens.push(Token {
+        kind: TokenKind::Num,
+        text,
+        line,
+        col,
+    });
+}
+
+/// Parses an integer literal's value, honouring `0x`/`0o`/`0b` prefixes,
+/// `_` separators, and type suffixes (`0x7fu8`). Returns `None` for
+/// floats and malformed input.
+pub fn int_value(literal: &str) -> Option<u64> {
+    let t = literal.replace('_', "");
+    let (radix, digits) = match t.as_bytes() {
+        [b'0', b'x', ..] => (16, &t[2..]),
+        [b'0', b'o', ..] => (8, &t[2..]),
+        [b'0', b'b', ..] => (2, &t[2..]),
+        _ => (10, &t[..]),
+    };
+    // The value is the leading run of valid digits; what follows must be
+    // a type suffix (`u8`), not a float continuation.
+    let end = digits
+        .find(|c: char| c.to_digit(radix).is_none())
+        .unwrap_or(digits.len());
+    if end == 0 {
+        return None;
+    }
+    let suffix = &digits[end..];
+    if suffix.contains('.') || (radix == 10 && (suffix.starts_with('e') || suffix.starts_with('E')))
+    {
+        return None;
+    }
+    u64::from_str_radix(&digits[..end], radix).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let ts = tokenize("fn main() { x.unwrap(); }");
+        assert_eq!(
+            idents("fn main() { x.unwrap(); }"),
+            vec!["fn", "main", "x", "unwrap"]
+        );
+        assert!(ts.tokens.iter().any(|t| t.text == "." && t.line == 1));
+    }
+
+    #[test]
+    fn comments_are_side_tabled() {
+        let ts = tokenize("let a = 1; // trailing\n/* block\nspans */ let b = 2;");
+        assert_eq!(ts.comments.len(), 2);
+        assert_eq!(ts.comments[0].text, " trailing");
+        assert_eq!(ts.comments[0].line, 1);
+        assert_eq!(ts.comments[1].line, 2);
+        assert_eq!(ts.comments[1].end_line, 3);
+        assert!(idents("let a = 1; // unwrap()")
+            .iter()
+            .all(|i| i != "unwrap"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ts = tokenize("/* a /* b */ c */ fn f() {}");
+        assert_eq!(ts.comments.len(), 1);
+        assert_eq!(idents("/* a /* b */ c */ fn f() {}"), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        let ids = idents(r#"let s = "Instant::now() unwrap"; s.len();"#);
+        assert_eq!(ids, vec!["let", "s", "s", "len"]);
+        // etwlint: allow(vendored-dep-boundary): fixture input for the
+        // tokenizer, not a real path reference.
+        let ts = tokenize(r#"let s = "vendor/rand";"#);
+        let strs: Vec<&Token> = ts
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        // etwlint: allow(vendored-dep-boundary): fixture expectation, as above
+        assert_eq!(strs[0].text, "vendor/rand");
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let ts = tokenize(r###"let a = r#"raw "quoted" body"#; let b = b"bytes";"###);
+        let strs: Vec<String> = ts
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(
+            strs,
+            vec![r#"raw "quoted" body"#.to_string(), "bytes".into()]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let ts = tokenize("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<&Token> = ts
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "a"));
+        let chars: Vec<&Token> = ts
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn hex_ranges_lex_as_two_numbers() {
+        let ts = tokenize("rng.gen_range(0x40..0x7f)");
+        let nums: Vec<String> = ts
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0x40", "0x7f"]);
+        assert_eq!(int_value("0x40"), Some(0x40));
+        assert_eq!(int_value("0x7f"), Some(0x7f));
+    }
+
+    #[test]
+    fn floats_and_int_ranges() {
+        let ts = tokenize("let a = 1_000.5; for i in 0..n {}");
+        let nums: Vec<String> = ts
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["1_000.5", "0"]);
+        assert_eq!(int_value("1_000"), Some(1000));
+        assert_eq!(int_value("0x7fu8"), Some(0x7f));
+        assert_eq!(int_value("1_000.5"), None);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let ts = tokenize("a\n  b");
+        assert_eq!((ts.tokens[0].line, ts.tokens[0].col), (1, 1));
+        assert_eq!((ts.tokens[1].line, ts.tokens[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,383 @@
+//! Fixture tests: for every rule, a known-bad snippet must fire with the
+//! right rule/line, and the same snippet with an inline
+//! `// etwlint: allow(...)` must be suppressed.
+
+use etwlint::{lint_files, Diagnostic, SourceFile};
+
+fn file(path: &str, text: &str) -> SourceFile {
+    SourceFile {
+        rel_path: path.to_string(),
+        text: text.to_string(),
+    }
+}
+
+fn only(diags: &[Diagnostic], rule: &str) -> Vec<(usize, usize)> {
+    diags
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| (d.line, d.col))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// no-wall-clock
+// ---------------------------------------------------------------------------
+
+#[test]
+fn no_wall_clock_fires_on_instant_now_and_system_time() {
+    let report = lint_files(&[file(
+        "crates/netsim/src/foo.rs",
+        "use std::time::Instant;\n\
+         fn f() { let t = Instant::now(); }\n\
+         fn g() -> std::time::SystemTime { SystemTime::now() }\n",
+    )]);
+    let hits = only(&report.diagnostics, "no-wall-clock");
+    assert_eq!(hits.len(), 3, "{:?}", report.diagnostics);
+    assert_eq!(hits[0], (2, 18), "Instant::now span");
+    assert!(hits.iter().any(|&(l, _)| l == 3), "SystemTime flagged");
+}
+
+#[test]
+fn no_wall_clock_exempts_telemetry_bench_and_tests() {
+    let src = "fn f() { let t = Instant::now(); }";
+    for path in [
+        "crates/telemetry/src/lib.rs",
+        "crates/bench/src/lib.rs",
+        "crates/core/tests/integration.rs",
+        "tests/figures.rs",
+    ] {
+        let report = lint_files(&[file(path, src)]);
+        assert!(report.diagnostics.is_empty(), "{path} should be exempt");
+    }
+    // ...and #[cfg(test)] modules inside covered files.
+    let report = lint_files(&[file(
+        "crates/netsim/src/foo.rs",
+        "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { Instant::now(); }\n}\n",
+    )]);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn no_wall_clock_ignores_strings_and_comments() {
+    let report = lint_files(&[file(
+        "crates/netsim/src/foo.rs",
+        "// Instant::now() would be wrong here\nfn f() { let s = \"Instant::now SystemTime\"; }\n",
+    )]);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn no_wall_clock_allow_suppresses() {
+    let report = lint_files(&[file(
+        "crates/netsim/src/foo.rs",
+        "// etwlint: allow(no-wall-clock): operator-facing progress timer\n\
+         fn f() { let t = Instant::now(); }\n",
+    )]);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].rule, "no-wall-clock");
+}
+
+// ---------------------------------------------------------------------------
+// no-panic-hot-path
+// ---------------------------------------------------------------------------
+
+#[test]
+fn no_panic_hot_path_fires_in_hot_files_only() {
+    let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+               fn g(x: Option<u8>) -> u8 { x.expect(\"set\") }\n\
+               fn h() { panic!(\"boom\"); }\n\
+               fn i() { unreachable!(); }\n";
+    let report = lint_files(&[file("crates/core/src/pipeline.rs", src)]);
+    let hits = only(&report.diagnostics, "no-panic-hot-path");
+    assert_eq!(hits.len(), 4, "{:?}", report.diagnostics);
+    assert_eq!(hits[0].0, 1);
+    assert_eq!(hits[3].0, 4);
+
+    // Same source off the hot path: clean.
+    let report = lint_files(&[file("crates/probe/src/prober.rs", src)]);
+    assert!(only(&report.diagnostics, "no-panic-hot-path").is_empty());
+}
+
+#[test]
+fn no_panic_hot_path_skips_tests_and_allows() {
+    let report = lint_files(&[file(
+        "crates/core/src/campaign.rs",
+        "#[cfg(test)]\nmod tests {\n    fn t(x: Option<u8>) { x.unwrap(); }\n}\n",
+    )]);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+
+    let report = lint_files(&[file(
+        "crates/core/src/campaign.rs",
+        "fn f(x: Option<u8>) -> u8 {\n\
+         \x20   // etwlint: allow(no-panic-hot-path): checked two lines up\n\
+         \x20   x.unwrap()\n\
+         }\n",
+    )]);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    assert_eq!(report.suppressed.len(), 1);
+}
+
+#[test]
+fn no_panic_hot_path_ignores_non_call_idents() {
+    // `unwrap` as a plain ident (not `.unwrap(`) must not fire.
+    let report = lint_files(&[file(
+        "crates/core/src/config.rs",
+        "fn unwrap_config() {}\nfn f() { unwrap_config(); }\n",
+    )]);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}
+
+// ---------------------------------------------------------------------------
+// atomics-ordering-audit
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ordering_audit_requires_justification() {
+    let report = lint_files(&[file(
+        "crates/x/src/lib.rs",
+        "use std::sync::atomic::{AtomicU64, Ordering};\n\
+         fn f(a: &AtomicU64) { a.fetch_add(1, Ordering::Relaxed); }\n",
+    )]);
+    let hits = only(&report.diagnostics, "atomics-ordering-audit");
+    assert_eq!(hits.len(), 1, "{:?}", report.diagnostics);
+    assert_eq!(hits[0].0, 2);
+}
+
+#[test]
+fn ordering_audit_accepts_nearby_justification() {
+    let report = lint_files(&[file(
+        "crates/x/src/lib.rs",
+        "use std::sync::atomic::{AtomicU64, Ordering};\n\
+         // ordering: independent counter, read only at snapshot time\n\
+         fn f(a: &AtomicU64) {\n\
+         \x20   a.fetch_add(1, Ordering::Relaxed);\n\
+         }\n",
+    )]);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn ordering_audit_flags_seqcst_even_with_justification() {
+    let report = lint_files(&[file(
+        "crates/x/src/lib.rs",
+        "use std::sync::atomic::{AtomicU64, Ordering};\n\
+         // ordering: belt and braces\n\
+         fn f(a: &AtomicU64) { a.fetch_add(1, Ordering::SeqCst); }\n",
+    )]);
+    let hits = only(&report.diagnostics, "atomics-ordering-audit");
+    assert_eq!(
+        hits.len(),
+        1,
+        "SeqCst must stay flagged: {:?}",
+        report.diagnostics
+    );
+
+    // Only a full allow clears it.
+    let report = lint_files(&[file(
+        "crates/x/src/lib.rs",
+        "use std::sync::atomic::{AtomicU64, Ordering};\n\
+         // etwlint: allow(atomics-ordering-audit): total order required for test fixture\n\
+         fn f(a: &AtomicU64) { a.fetch_add(1, Ordering::SeqCst); }\n",
+    )]);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    assert_eq!(report.suppressed.len(), 1);
+}
+
+#[test]
+fn ordering_audit_ignores_imports_and_cmp_ordering() {
+    let report = lint_files(&[file(
+        "crates/x/src/lib.rs",
+        "use std::sync::atomic::Ordering::{Relaxed, SeqCst};\n\
+         pub use std::sync::atomic::Ordering::Acquire;\n\
+         use std::cmp::Ordering;\n\
+         fn f(o: Ordering) -> bool { o == Ordering::Less }\n",
+    )]);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}
+
+// ---------------------------------------------------------------------------
+// opcode-coverage
+// ---------------------------------------------------------------------------
+
+fn messages_src(extra_const: &str, dispatch_extra: &str) -> String {
+    format!(
+        "pub mod opcodes {{\n\
+         \x20   pub const STATUS_REQ: u8 = 0x96;\n\
+         \x20   pub const SEARCH_REQ: u8 = 0x98;\n\
+         {extra_const}\
+         }}\n\
+         use opcodes::*;\n\
+         pub fn opcode(m: u8) -> u8 {{\n\
+         \x20   match m {{ STATUS_REQ => STATUS_REQ, SEARCH_REQ => SEARCH_REQ, x => x }}\n\
+         }}\n\
+         {dispatch_extra}",
+    )
+}
+
+const DECODER_OK: &str = "use super::messages::opcodes::*;\n\
+    pub fn validate(op: u8) -> bool { matches!(op, STATUS_REQ | SEARCH_REQ) }\n";
+
+#[test]
+fn opcode_coverage_clean_when_tables_agree() {
+    let report = lint_files(&[
+        file("crates/edonkey/src/messages.rs", &messages_src("", "")),
+        file("crates/edonkey/src/decoder.rs", DECODER_OK),
+        file(
+            "crates/edonkey/src/corrupt.rs",
+            "pub fn unknown(r: u8) -> u8 { 0x40 + (r % 0x3f) }\nconst RANGE: std::ops::Range<u8> = 0x40..0x7f;\n",
+        ),
+    ]);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn opcode_coverage_flags_opcode_missing_from_decoder() {
+    let report = lint_files(&[
+        file(
+            "crates/edonkey/src/messages.rs",
+            &messages_src(
+                "    pub const OFFER_FILES: u8 = 0x15;\n",
+                "pub fn encode_offer() -> u8 { OFFER_FILES }\n",
+            ),
+        ),
+        file("crates/edonkey/src/decoder.rs", DECODER_OK),
+    ]);
+    let hits: Vec<&etwlint::Diagnostic> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "opcode-coverage")
+        .collect();
+    assert_eq!(hits.len(), 1, "{:?}", report.diagnostics);
+    assert!(hits[0].message.contains("OFFER_FILES"));
+    assert!(hits[0].message.contains("never matched"));
+    assert_eq!(hits[0].path, "crates/edonkey/src/messages.rs");
+    assert_eq!(hits[0].line, 4, "anchored at the const declaration");
+}
+
+#[test]
+fn opcode_coverage_flags_opcode_unused_outside_block() {
+    let report = lint_files(&[
+        file(
+            "crates/edonkey/src/messages.rs",
+            &messages_src("    pub const GHOST: u8 = 0xa9;\n", ""),
+        ),
+        file(
+            "crates/edonkey/src/decoder.rs",
+            "use super::messages::opcodes::*;\n\
+             pub fn validate(op: u8) -> bool { matches!(op, STATUS_REQ | SEARCH_REQ | GHOST) }\n",
+        ),
+    ]);
+    let hits: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "opcode-coverage")
+        .collect();
+    assert_eq!(hits.len(), 1, "{:?}", report.diagnostics);
+    assert!(hits[0].message.contains("never used"));
+}
+
+#[test]
+fn opcode_coverage_flags_overlap_with_corrupt_range() {
+    let report = lint_files(&[
+        file(
+            "crates/edonkey/src/messages.rs",
+            &messages_src(
+                "    pub const COLLIDER: u8 = 0x45;\n",
+                "pub fn enc() -> u8 { COLLIDER }\n",
+            ),
+        ),
+        file(
+            "crates/edonkey/src/decoder.rs",
+            "use super::messages::opcodes::*;\n\
+             pub fn validate(op: u8) -> bool { matches!(op, STATUS_REQ | SEARCH_REQ | COLLIDER) }\n",
+        ),
+        file(
+            "crates/edonkey/src/corrupt.rs",
+            "pub fn unknown() -> std::ops::Range<u8> { 0x40..0x7f }\n",
+        ),
+    ]);
+    let hits: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "opcode-coverage")
+        .collect();
+    assert_eq!(hits.len(), 1, "{:?}", report.diagnostics);
+    assert!(
+        hits[0].message.contains("corrupt-injection"),
+        "{}",
+        hits[0].message
+    );
+}
+
+#[test]
+fn opcode_coverage_allow_suppresses_at_declaration() {
+    let report = lint_files(&[
+        file(
+            "crates/edonkey/src/messages.rs",
+            &messages_src(
+                "    // etwlint: allow(opcode-coverage): reserved, decoder support next PR\n\
+                 \x20   pub const RESERVED: u8 = 0xa9;\n",
+                "pub fn enc() -> u8 { RESERVED }\n",
+            ),
+        ),
+        file("crates/edonkey/src/decoder.rs", DECODER_OK),
+    ]);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    assert_eq!(report.suppressed.len(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// vendored-dep-boundary
+// ---------------------------------------------------------------------------
+
+#[test]
+fn vendored_dep_boundary_fires_on_path_literal() {
+    let report = lint_files(&[file(
+        "crates/x/src/lib.rs",
+        // etwlint: allow(vendored-dep-boundary): fixture for the rule under test
+        "#[path = \"../../../vendor/rand/src/lib.rs\"]\nmod rand_inline;\n",
+    )]);
+    let hits = only(&report.diagnostics, "vendored-dep-boundary");
+    assert_eq!(hits.len(), 1, "{:?}", report.diagnostics);
+    assert_eq!(hits[0].0, 1);
+}
+
+#[test]
+fn vendored_dep_boundary_allow_suppresses() {
+    let report = lint_files(&[file(
+        "crates/x/src/lib.rs",
+        // etwlint: allow(vendored-dep-boundary): fixture for the rule under test
+        "// etwlint: allow(vendored-dep-boundary): doc string, not an import\n\
+         const NOTE: &str = \"see vendor/rand for the stand-in\";\n",
+    )]);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    assert_eq!(report.suppressed.len(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// report plumbing
+// ---------------------------------------------------------------------------
+
+#[test]
+fn diagnostics_are_sorted_and_json_renders() {
+    let report = lint_files(&[
+        file("crates/netsim/src/b.rs", "fn f() { Instant::now(); }\n"),
+        file(
+            "crates/netsim/src/a.rs",
+            "fn f() { Instant::now(); }\nfn g() { Instant::now(); }\n",
+        ),
+    ]);
+    let paths: Vec<&str> = report.diagnostics.iter().map(|d| d.path.as_str()).collect();
+    assert_eq!(
+        paths,
+        vec![
+            "crates/netsim/src/a.rs",
+            "crates/netsim/src/a.rs",
+            "crates/netsim/src/b.rs"
+        ]
+    );
+    let json = report.render_json();
+    assert!(json.starts_with("{\"files_scanned\":2,"));
+    assert!(json.contains("\"rule\":\"no-wall-clock\""));
+}

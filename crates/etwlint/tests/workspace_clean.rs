@@ -1,0 +1,48 @@
+//! Self-test: the workspace must lint clean. This is the same check the
+//! ci.sh stage performs, kept as a test so `cargo test` alone catches a
+//! new violation, and so every `// etwlint: allow` in tree is forced to
+//! survive review here.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_unsuppressed_diagnostics() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = etwlint::find_workspace_root(here).expect("workspace root above etwlint");
+    let report = etwlint::lint_workspace(&root).expect("workspace scan");
+    assert!(
+        report.files_scanned > 30,
+        "scan looks truncated: only {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace must lint clean; fix or justify:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn workspace_opcode_tables_present() {
+    // Guard against the opcode-coverage rule silently no-opping because a
+    // file moved: the real messages/decoder/corrupt sources must all be in
+    // the scan set.
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = etwlint::find_workspace_root(here).expect("workspace root above etwlint");
+    let files = etwlint::collect_sources(&root).expect("workspace scan");
+    for needed in [
+        "crates/edonkey/src/messages.rs",
+        "crates/edonkey/src/decoder.rs",
+        "crates/edonkey/src/corrupt.rs",
+    ] {
+        assert!(
+            files.iter().any(|f| f.rel_path == needed),
+            "{needed} missing from scan — opcode-coverage would no-op"
+        );
+    }
+}

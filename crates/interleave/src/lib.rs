@@ -1,0 +1,339 @@
+//! A small, loom-inspired schedule-permutation checker.
+//!
+//! PR 1's telemetry integration test checks counter conservation on
+//! *one* schedule — whatever interleaving the OS happened to produce.
+//! This crate checks *all* of them: a [`Model`] declares 2–3 "threads"
+//! as explicit step sequences over shared state, and [`Model::run`]
+//! executes every interleaving (every multiset permutation of the
+//! per-thread step sequences, preserving program order within each
+//! thread), re-running the invariants after every step and the final
+//! checks at the end of each schedule.
+//!
+//! ## Soundness and granularity
+//!
+//! Steps execute sequentially on one OS thread; atomicity is at *step*
+//! granularity. That models the real telemetry exactly as long as each
+//! step corresponds to one atomic operation (or one linearizable call)
+//! in the system under test — which is the contract of the tests in
+//! `tests/telemetry_conservation.rs`. A racy protocol is expressed by
+//! *splitting* its load and store into separate steps; the checker then
+//! finds the interleaving that loses an update (see the deliberately
+//! broken fixture in the tests).
+//!
+//! With thread lengths `(a, b, c)` the schedule count is the multinomial
+//! `(a+b+c)! / (a!·b!·c!)` — e.g. 560 for (3, 3, 2). Keep models small;
+//! exhaustiveness, not scale, is the point.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// One atomic step of a model thread: a closure over the shared state.
+pub type Step<S> = Box<dyn Fn(&mut S)>;
+
+type InvariantFn<S> = Box<dyn Fn(&S) -> Result<(), String>>;
+type FinalFn<S> = Box<dyn Fn(&mut S) -> Result<(), String>>;
+
+struct Thread<S> {
+    name: String,
+    steps: Vec<Step<S>>,
+}
+
+struct Invariant<S> {
+    name: String,
+    check: InvariantFn<S>,
+}
+
+struct FinalCheck<S> {
+    name: String,
+    check: FinalFn<S>,
+}
+
+/// A schedule-exploration model: shared state, threads, invariants.
+pub struct Model<S> {
+    setup: Box<dyn Fn() -> S>,
+    threads: Vec<Thread<S>>,
+    invariants: Vec<Invariant<S>>,
+    finals: Vec<FinalCheck<S>>,
+}
+
+/// A violated check, with the schedule that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Thread names in execution order — the failing schedule.
+    pub schedule: Vec<String>,
+    /// How many steps had executed when the check failed (0 = before
+    /// any; `schedule.len()` = at the final checks).
+    pub step: usize,
+    /// Name of the failed invariant or final check.
+    pub check: String,
+    /// The failure the check reported.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "check `{}` failed after step {} of schedule [{}]: {}",
+            self.check,
+            self.step,
+            self.schedule.join(" "),
+            self.message
+        )
+    }
+}
+
+/// Exploration statistics from a successful run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Report {
+    /// Distinct schedules executed.
+    pub schedules: u64,
+    /// Total steps executed across all schedules.
+    pub steps: u64,
+}
+
+impl<S> Model<S> {
+    /// Creates a model whose shared state is rebuilt by `setup` at the
+    /// start of every schedule.
+    pub fn new(setup: impl Fn() -> S + 'static) -> Model<S> {
+        Model {
+            setup: Box::new(setup),
+            threads: Vec::new(),
+            invariants: Vec::new(),
+            finals: Vec::new(),
+        }
+    }
+
+    /// Adds a thread: an ordered sequence of atomic steps.
+    pub fn thread(mut self, name: &str, steps: Vec<Step<S>>) -> Model<S> {
+        self.threads.push(Thread {
+            name: name.to_string(),
+            steps,
+        });
+        self
+    }
+
+    /// Adds an invariant, re-checked after every step of every schedule.
+    pub fn invariant(
+        mut self,
+        name: &str,
+        check: impl Fn(&S) -> Result<(), String> + 'static,
+    ) -> Model<S> {
+        self.invariants.push(Invariant {
+            name: name.to_string(),
+            check: Box::new(check),
+        });
+        self
+    }
+
+    /// Adds a final check, run once per schedule after all steps. Takes
+    /// `&mut S` so it can consume/finish parts of the state (e.g. call
+    /// `HealthRecorder::finish`).
+    pub fn check_final(
+        mut self,
+        name: &str,
+        check: impl Fn(&mut S) -> Result<(), String> + 'static,
+    ) -> Model<S> {
+        self.finals.push(FinalCheck {
+            name: name.to_string(),
+            check: Box::new(check),
+        });
+        self
+    }
+
+    /// Explores every schedule. Returns exploration stats, or the first
+    /// violation found.
+    pub fn run(&self) -> Result<Report, Violation> {
+        let counts: Vec<usize> = self.threads.iter().map(|t| t.steps.len()).collect();
+        let total: usize = counts.iter().sum();
+        let mut report = Report {
+            schedules: 0,
+            steps: 0,
+        };
+        let mut order = Vec::with_capacity(total);
+        self.explore(&mut counts.clone(), &mut order, total, &mut report)?;
+        Ok(report)
+    }
+
+    /// Depth-first enumeration of multiset permutations: at each slot,
+    /// pick any thread with steps remaining.
+    fn explore(
+        &self,
+        remaining: &mut [usize],
+        order: &mut Vec<usize>,
+        total: usize,
+        report: &mut Report,
+    ) -> Result<(), Violation> {
+        if order.len() == total {
+            self.execute(order, report)?;
+            return Ok(());
+        }
+        for t in 0..remaining.len() {
+            if remaining[t] == 0 {
+                continue;
+            }
+            remaining[t] -= 1;
+            order.push(t);
+            let r = self.explore(remaining, order, total, report);
+            order.pop();
+            remaining[t] += 1;
+            r?;
+        }
+        Ok(())
+    }
+
+    /// Runs one complete schedule against fresh state.
+    fn execute(&self, order: &[usize], report: &mut Report) -> Result<(), Violation> {
+        let mut state = (self.setup)();
+        let mut cursors = vec![0usize; self.threads.len()];
+        let schedule = || {
+            order
+                .iter()
+                .map(|&t| self.threads[t].name.clone())
+                .collect::<Vec<_>>()
+        };
+        for (i, &t) in order.iter().enumerate() {
+            let thread = &self.threads[t];
+            (thread.steps[cursors[t]])(&mut state);
+            cursors[t] += 1;
+            report.steps += 1;
+            for inv in &self.invariants {
+                if let Err(message) = (inv.check)(&state) {
+                    return Err(Violation {
+                        schedule: schedule(),
+                        step: i + 1,
+                        check: inv.name.clone(),
+                        message,
+                    });
+                }
+            }
+        }
+        for fin in &self.finals {
+            if let Err(message) = (fin.check)(&mut state) {
+                return Err(Violation {
+                    schedule: schedule(),
+                    step: order.len(),
+                    check: fin.name.clone(),
+                    message,
+                });
+            }
+        }
+        report.schedules += 1;
+        Ok(())
+    }
+}
+
+/// The multinomial coefficient `(Σcounts)! / Π(counts[i]!)` — the number
+/// of schedules [`Model::run`] will execute for the given per-thread
+/// step counts. Exposed so tests can assert full exploration.
+pub fn multinomial(counts: &[usize]) -> u64 {
+    let mut result: u64 = 1;
+    let mut placed: u64 = 0;
+    for &c in counts {
+        for k in 1..=c as u64 {
+            placed += 1;
+            // result *= placed; result /= k — kept exact by doing the
+            // multiply first (binomial prefix products are integral).
+            result = result * placed / k;
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    #[test]
+    fn multinomial_counts() {
+        assert_eq!(multinomial(&[3, 3, 2]), 560);
+        assert_eq!(multinomial(&[2, 2]), 6);
+        assert_eq!(multinomial(&[1, 1, 1]), 6);
+        assert_eq!(multinomial(&[5]), 1);
+        assert_eq!(multinomial(&[]), 1);
+    }
+
+    #[test]
+    fn explores_every_schedule_once() {
+        // Two threads of 2 steps each → 6 schedules, 4 steps each.
+        let model = Model::new(|| 0u64)
+            .thread(
+                "a",
+                vec![Box::new(|s: &mut u64| *s += 1), Box::new(|s| *s += 1)],
+            )
+            .thread("b", vec![Box::new(|s| *s += 10), Box::new(|s| *s += 10)])
+            .check_final("sum", |s| {
+                if *s == 22 {
+                    Ok(())
+                } else {
+                    Err(format!("sum {s}"))
+                }
+            });
+        let report = model.run().expect("all schedules conserve");
+        assert_eq!(report.schedules, multinomial(&[2, 2]));
+        assert_eq!(report.steps, 6 * 4);
+    }
+
+    #[test]
+    fn program_order_is_preserved_within_a_thread() {
+        // Thread a: push 1 then 2; thread b: push 3. In every schedule,
+        // 1 must precede 2.
+        let model = Model::new(Vec::<u32>::new)
+            .thread(
+                "a",
+                vec![
+                    Box::new(|s: &mut Vec<u32>| s.push(1)),
+                    Box::new(|s| s.push(2)),
+                ],
+            )
+            .thread("b", vec![Box::new(|s| s.push(3))])
+            .check_final("order", |s| {
+                let i1 = s.iter().position(|&x| x == 1).unwrap();
+                let i2 = s.iter().position(|&x| x == 2).unwrap();
+                if i1 < i2 {
+                    Ok(())
+                } else {
+                    Err(format!("program order violated: {s:?}"))
+                }
+            });
+        let report = model.run().expect("program order holds");
+        assert_eq!(report.schedules, 3);
+    }
+
+    #[test]
+    fn invariant_failure_reports_schedule_and_step() {
+        let model = Model::new(|| 0i64)
+            .thread("inc", vec![Box::new(|s: &mut i64| *s += 1)])
+            .thread("dec", vec![Box::new(|s| *s -= 1)])
+            .invariant("non-negative", |s| {
+                if *s >= 0 {
+                    Ok(())
+                } else {
+                    Err(format!("dipped to {s}"))
+                }
+            });
+        let v = model.run().expect_err("dec-first schedule must fail");
+        assert_eq!(v.schedule, vec!["dec".to_string(), "inc".to_string()]);
+        assert_eq!(v.step, 1);
+        assert_eq!(v.check, "non-negative");
+        assert!(v.to_string().contains("dipped to -1"));
+    }
+
+    #[test]
+    fn state_is_rebuilt_per_schedule() {
+        let builds = Rc::new(Cell::new(0u64));
+        let b = Rc::clone(&builds);
+        let model = Model::new(move || {
+            b.set(b.get() + 1);
+            0u64
+        })
+        .thread("a", vec![Box::new(|_| {})])
+        .thread("b", vec![Box::new(|_| {})]);
+        let report = model.run().unwrap();
+        assert_eq!(report.schedules, 2);
+        assert_eq!(builds.get(), 2);
+    }
+}

@@ -13,9 +13,27 @@ use etw_edonkey::ids::{ClientId, FileId};
 use etw_edonkey::messages::Message;
 use etw_edonkey::search::SearchExpr;
 use etw_server::engine::ServerEngine;
+use etw_telemetry::{Counter, Registry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
+
+/// Live metrics for the probing client (`probe.*` namespace). All
+/// handles are no-ops until [`ActiveProber::attach_telemetry`] is
+/// called, so uninstrumented probers pay nothing.
+#[derive(Clone, Debug, Default)]
+struct ProbeTelemetry {
+    /// `probe.searches_total` — search queries sent.
+    searches: Counter,
+    /// `probe.source_queries_total` — GetSources queries sent.
+    source_queries: Counter,
+    /// `probe.answers_total` — answer messages received (all kinds).
+    answers: Counter,
+    /// `probe.timeouts_total` — queries that yielded zero answers (the
+    /// simulated server never loses a datagram, so for now this counts
+    /// empty result sets; a lossy transport will feed real timeouts).
+    timeouts: Counter,
+}
 
 /// What one probe sweep observed.
 #[derive(Clone, Debug, Default)]
@@ -38,6 +56,7 @@ pub struct ActiveProber {
     pub client: ClientId,
     dictionary: Vec<String>,
     rng: StdRng,
+    telemetry: ProbeTelemetry,
 }
 
 impl ActiveProber {
@@ -48,7 +67,20 @@ impl ActiveProber {
             client,
             dictionary,
             rng: StdRng::seed_from_u64(seed ^ 0x7072_6f62), // "prob"
+            telemetry: ProbeTelemetry::default(),
         }
+    }
+
+    /// Mirrors probe activity into `registry` (metrics
+    /// `probe.searches_total`, `probe.source_queries_total`,
+    /// `probe.answers_total`, `probe.timeouts_total`).
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = ProbeTelemetry {
+            searches: registry.counter("probe.searches_total"),
+            source_queries: registry.counter("probe.source_queries_total"),
+            answers: registry.counter("probe.answers_total"),
+            timeouts: registry.counter("probe.timeouts_total"),
+        };
     }
 
     /// Runs one sweep: up to `search_budget` random-keyword searches,
@@ -64,12 +96,17 @@ impl ActiveProber {
         for _ in 0..search_budget {
             let kw = &self.dictionary[self.rng.gen_range(0..self.dictionary.len())];
             sample.searches += 1;
+            self.telemetry.searches.inc();
             let answers = server.handle(
                 self.client,
                 &Message::SearchRequest {
                     expr: SearchExpr::keyword(kw.clone()),
                 },
             );
+            self.telemetry.answers.add(answers.len() as u64);
+            if answers.is_empty() {
+                self.telemetry.timeouts.inc();
+            }
             let mut fresh = Vec::new();
             for a in &answers {
                 if let Message::SearchResponse { results } = a {
@@ -86,12 +123,17 @@ impl ActiveProber {
                     break;
                 }
                 sample.source_queries += 1;
+                self.telemetry.source_queries.inc();
                 let answers = server.handle(
                     self.client,
                     &Message::GetSources {
                         file_ids: vec![file_id],
                     },
                 );
+                self.telemetry.answers.add(answers.len() as u64);
+                if answers.is_empty() {
+                    self.telemetry.timeouts.inc();
+                }
                 for a in &answers {
                     if let Message::FoundSources { sources, .. } = a {
                         sample.sources_per_file.insert(file_id, sources.len());
@@ -268,5 +310,35 @@ mod tests {
     #[should_panic(expected = "empty probe dictionary")]
     fn empty_dictionary_rejected() {
         let _ = ActiveProber::new(ClientId(1), Vec::new(), 0);
+    }
+
+    #[test]
+    fn telemetry_counts_match_sample() {
+        let (mut server, vocab) = populated_server(200);
+        let registry = Registry::new();
+        let mut prober = ActiveProber::new(ClientId(7), vocab, 1);
+        prober.attach_telemetry(&registry);
+        let sample = prober.sweep(&mut server, 80, 500);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("probe.searches_total"), sample.searches);
+        assert_eq!(
+            snap.counter("probe.source_queries_total"),
+            sample.source_queries
+        );
+        // Every query is either answered or counted as a timeout.
+        assert!(snap.counter("probe.answers_total") > 0);
+        assert!(
+            snap.counter("probe.answers_total") + snap.counter("probe.timeouts_total")
+                >= sample.searches + sample.source_queries
+        );
+    }
+
+    #[test]
+    fn unattached_prober_records_nothing() {
+        let (mut server, vocab) = populated_server(50);
+        let mut prober = ActiveProber::new(ClientId(7), vocab, 1);
+        // No attach_telemetry: handles are no-ops and nothing panics.
+        let sample = prober.sweep(&mut server, 10, 20);
+        assert!(sample.searches == 10);
     }
 }

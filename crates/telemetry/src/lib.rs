@@ -59,12 +59,17 @@ impl Counter {
     #[inline]
     pub fn add(&self, n: u64) {
         if let Some(cell) = &self.0 {
+            // ordering: relaxed — independent event count; snapshot
+            // readers tolerate staleness and nothing is published via
+            // this cell.
             cell.fetch_add(n, Relaxed);
         }
     }
 
     /// Current value (0 for a no-op counter).
     pub fn get(&self) -> u64 {
+        // ordering: relaxed — monotone advisory read, no cross-variable
+        // ordering required.
         self.0.as_ref().map_or(0, |c| c.load(Relaxed))
     }
 
@@ -90,6 +95,8 @@ impl Gauge {
     #[inline]
     pub fn set(&self, v: i64) {
         if let Some(cell) = &self.0 {
+            // ordering: relaxed — last-writer-wins level; readers only
+            // ever sample it, never synchronise through it.
             cell.store(v, Relaxed);
         }
     }
@@ -99,6 +106,8 @@ impl Gauge {
     #[inline]
     pub fn add(&self, delta: i64) -> i64 {
         match &self.0 {
+            // ordering: relaxed — the RMW is atomic on its own cell,
+            // which is all depth accounting needs.
             Some(cell) => cell.fetch_add(delta, Relaxed) + delta,
             None => 0,
         }
@@ -106,6 +115,7 @@ impl Gauge {
 
     /// Current level (0 for a no-op gauge).
     pub fn get(&self) -> i64 {
+        // ordering: relaxed — advisory sample of the level.
         self.0.as_ref().map_or(0, |c| c.load(Relaxed))
     }
 
@@ -161,11 +171,14 @@ impl Histogram {
     #[inline]
     pub fn record(&self, v: u64) {
         if let Some(core) = &self.0 {
+            // ordering: relaxed — each cell is independently atomic; a
+            // concurrent snapshot may see (count, sum) torn relative to
+            // each other, which telemetry accepts by design.
             core.buckets[bucket_index(v)].fetch_add(1, Relaxed);
-            core.count.fetch_add(1, Relaxed);
-            core.sum.fetch_add(v, Relaxed);
-            core.min.fetch_min(v, Relaxed);
-            core.max.fetch_max(v, Relaxed);
+            core.count.fetch_add(1, Relaxed); // ordering: relaxed, as above
+            core.sum.fetch_add(v, Relaxed); // ordering: relaxed, as above
+            core.min.fetch_min(v, Relaxed); // ordering: relaxed, as above
+            core.max.fetch_max(v, Relaxed); // ordering: relaxed, as above
         }
     }
 
@@ -201,16 +214,20 @@ impl Histogram {
         match &self.0 {
             None => HistogramSnapshot::default(),
             Some(core) => {
+                // ordering: relaxed — snapshot reads are advisory and
+                // may be mutually torn under concurrent writers; totals
+                // are exact once writers quiesce.
                 let count = core.count.load(Relaxed);
                 HistogramSnapshot {
                     count,
-                    sum: core.sum.load(Relaxed),
+                    sum: core.sum.load(Relaxed), // ordering: relaxed, as above
                     min: if count == 0 {
                         0
                     } else {
-                        core.min.load(Relaxed)
+                        core.min.load(Relaxed) // ordering: relaxed, as above
                     },
-                    max: core.max.load(Relaxed),
+                    max: core.max.load(Relaxed), // ordering: relaxed, as above
+                    // ordering: relaxed, as above
                     buckets: core.buckets.iter().map(|b| b.load(Relaxed)).collect(),
                 }
             }

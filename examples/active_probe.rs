@@ -14,6 +14,7 @@ use edonkey_ten_weeks::edonkey::{ClientId, Message};
 use edonkey_ten_weeks::probe::estimate::chao1;
 use edonkey_ten_weeks::probe::prober::{estimate_index_size, popularity_bias, ActiveProber};
 use edonkey_ten_weeks::server::engine::ServerEngine;
+use edonkey_ten_weeks::telemetry::Registry;
 use edonkey_ten_weeks::workload::catalog::{Catalog, CatalogParams};
 use edonkey_ten_weeks::workload::clients::{Population, PopulationParams};
 use edonkey_ten_weeks::workload::generator::{GeneratorParams, TrafficGenerator};
@@ -68,9 +69,13 @@ fn main() {
     };
     println!("probe dictionary: {} keywords", vocab.len());
 
-    // Two independent sweeps → capture–recapture.
+    // Two independent sweeps → capture–recapture. Both probers report
+    // into one registry (the probe.* metric namespace).
+    let registry = Registry::new();
     let mut p1 = ActiveProber::new(ClientId(0x0030_0001), vocab.clone(), 10);
     let mut p2 = ActiveProber::new(ClientId(0x0030_0002), vocab.clone(), 20);
+    p1.attach_telemetry(&registry);
+    p2.attach_telemetry(&registry);
     let s1 = p1.sweep(&mut server, 400, 2_000);
     let s2 = p2.sweep(&mut server, 400, 0);
     println!(
@@ -105,6 +110,15 @@ fn main() {
         "\nChao1 on provider frequencies: observed {} files with sources, f1={f1}, f2={f2} → ≥ {:.0} files have providers",
         s1.sources_per_file.len(),
         chao1(s1.sources_per_file.len() as u64, f1, f2)
+    );
+
+    let snap = registry.snapshot();
+    println!(
+        "\nprobe telemetry: {} searches, {} source queries, {} answers, {} timeouts",
+        snap.counter("probe.searches_total"),
+        snap.counter("probe.source_queries_total"),
+        snap.counter("probe.answers_total"),
+        snap.counter("probe.timeouts_total"),
     );
 
     // The bias the paper warns about.

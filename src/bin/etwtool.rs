@@ -8,6 +8,7 @@
 //! etwtool compress   <in.xml> <out.etwz>     LZSS storage codec
 //! etwtool decompress <in.etwz> <out.xml>
 //! etwtool monitor    [--tiny] [--weeks N]    run a campaign with live telemetry
+//! etwtool lint       [--json] [--list]       repo-specific static analysis (etwlint)
 //! etwtool spec                               print the format specification
 //! ```
 //!
@@ -15,7 +16,7 @@
 
 use edonkey_ten_weeks::analysis::report::{grouped, KvTable};
 use edonkey_ten_weeks::analysis::DatasetStats;
-use edonkey_ten_weeks::core::{run_campaign_observed, CampaignConfig};
+use edonkey_ten_weeks::core::{try_run_campaign_observed, CampaignConfig};
 use edonkey_ten_weeks::telemetry::{Registry, Snapshot};
 use edonkey_ten_weeks::xmlout::compress::{compress, decompress, MAGIC};
 use edonkey_ten_weeks::xmlout::reader::DatasetReader;
@@ -35,13 +36,14 @@ fn main() -> ExitCode {
         Some("split") => cmd_split(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
         Some("monitor") => cmd_monitor(&args[1..]),
+        Some("lint") => return cmd_lint(&args[1..]),
         Some("spec") => {
             println!("{SPEC}");
             Ok(())
         }
         _ => {
             eprintln!(
-                "usage: etwtool <validate|stats|head|compress|decompress|split|merge|monitor|spec> [args]"
+                "usage: etwtool <validate|stats|head|compress|decompress|split|merge|monitor|lint|spec> [args]"
             );
             return ExitCode::from(2);
         }
@@ -273,8 +275,8 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
     let worker_registry = registry.clone();
     let worker = std::thread::spawn(move || {
         let mut records = 0u64;
-        let report = run_campaign_observed(&config, &worker_registry, |_| records += 1);
-        (report, records)
+        try_run_campaign_observed(&config, &worker_registry, |_| records += 1)
+            .map(|report| (report, records))
     });
 
     println!(
@@ -292,7 +294,10 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
         }
         std::thread::sleep(Duration::from_millis(refresh_ms));
     }
-    let (report, records) = worker.join().map_err(|_| "campaign thread panicked")?;
+    let (report, records) = worker
+        .join()
+        .map_err(|_| "campaign thread panicked")?
+        .map_err(|e| format!("invalid campaign configuration: {e}"))?;
 
     println!(
         "campaign finished: {} records, {} health snapshots, ring lost {}",
@@ -306,6 +311,81 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
         println!("wrote {path}");
     }
     Ok(())
+}
+
+/// Runs the repo-specific static-analysis pass (etwlint) over the
+/// workspace — the same catalogue the ci.sh gate enforces.
+///
+/// ```text
+/// etwtool lint [--json] [--root DIR] [--list]
+/// ```
+///
+/// Exit codes mirror the standalone binary: 0 clean, 1 unsuppressed
+/// diagnostics, 2 usage/scan error.
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut list = false;
+    let mut root: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--list" => list = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(std::path::PathBuf::from(dir)),
+                None => {
+                    eprintln!("etwtool lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("etwtool lint: unknown option {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if list {
+        for (name, desc) in etwlint::rule_catalogue() {
+            println!("{name:24} {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| etwlint::find_workspace_root(&cwd))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("etwtool lint: no workspace Cargo.toml above the current directory");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match etwlint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("etwtool lint: scan failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        for d in &report.diagnostics {
+            println!("{}", d.render());
+        }
+        eprintln!(
+            "etwtool lint: {} file(s) scanned, {} diagnostic(s), {} suppressed",
+            report.files_scanned,
+            report.diagnostics.len(),
+            report.suppressed.len()
+        );
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 /// One line of operator-facing vitals, with per-refresh rates.

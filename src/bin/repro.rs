@@ -25,7 +25,7 @@ use edonkey_ten_weeks::analysis::{
     find_peaks, fit_histogram, DatasetStats, IntHistogram, SparseSeries,
 };
 use edonkey_ten_weeks::core::{
-    render_health_dat, render_t1, run_campaign_observed, CampaignConfig, CampaignReport,
+    render_health_dat, render_t1, try_run_campaign_observed, CampaignConfig, CampaignReport,
 };
 use edonkey_ten_weeks::netsim::capture::{CaptureBuffer, LossRecorder};
 use edonkey_ten_weeks::netsim::clock::VirtualTime;
@@ -146,10 +146,16 @@ fn run_campaign_once(tiny: bool, weeks: u64) -> CampaignRun {
         config.generator.duration_secs,
         config.seed
     );
+    // etwlint: allow(no-wall-clock): operator-facing elapsed-time print
+    // in the binary, not simulation state.
     let started = Instant::now();
     let mut stats = DatasetStats::new();
     let registry = Registry::new();
-    let report = run_campaign_observed(&config, &registry, |record| stats.observe(&record));
+    let report = try_run_campaign_observed(&config, &registry, |record| stats.observe(&record))
+        .unwrap_or_else(|e| {
+            eprintln!("invalid campaign configuration: {e}");
+            std::process::exit(2);
+        });
     eprintln!(
         "campaign done in {:.1}s: {} records",
         started.elapsed().as_secs_f64(),
@@ -187,7 +193,12 @@ fn fig2(out: &Path, tiny: bool) {
     // overflows it — which is what makes the loss ratio ~1e-5 while
     // Fig. 2 still shows visible loss events.
     let model = RateModel::new(5_200.0, 0.45, 0.10, horizon, 26 * weeks as usize, 0xF162);
+    // The fluid ring reports into the same `ring.*` metrics the campaign
+    // pipeline uses, so the Fig. 2 loss account and the telemetry loss
+    // account are one and the same (ROADMAP open item).
+    let registry = Registry::new();
     let mut ring = CaptureBuffer::new(65_536, 68_000.0);
+    ring.attach_telemetry(&registry);
     let mut recorder = LossRecorder::new();
     let mut rng = StdRng::seed_from_u64(2);
     let mut offered = 0u64;
@@ -197,8 +208,16 @@ fn fig2(out: &Path, tiny: bool) {
         offered += n;
         ring.offer_batch(t, n);
         recorder.tick(s, &ring);
+        ring.sample_telemetry();
     }
     let series = SparseSeries::new(recorder.losses_per_sec.clone());
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter("ring.lost_total"),
+        recorder.total(),
+        "telemetry and recorder loss accounts must agree"
+    );
+    assert_eq!(snap.counter("ring.offered_total"), offered);
     println!(
         "  offered {} packets, captured {}, lost {} (ratio {:.2e}; paper: 250 266 / 31 555 295 781 = 7.9e-6)",
         grouped(offered),
@@ -207,9 +226,10 @@ fn fig2(out: &Path, tiny: bool) {
         ring.lost() as f64 / offered as f64
     );
     println!(
-        "  loss events in {} distinct seconds out of {}",
+        "  loss events in {} distinct seconds out of {} (telemetry agrees: ring.lost_total = {})",
         series.points.len(),
-        horizon
+        horizon,
+        grouped(snap.counter("ring.lost_total"))
     );
     write(
         out,
@@ -222,6 +242,7 @@ fn fig2(out: &Path, tiny: bool) {
         .map(|(s, v)| (s as f64 / (7.0 * 86_400.0), v))
         .collect();
     write(out, "fig2_cumulative.dat", &series_f64(&cum));
+    write(out, "fig2_ring.prom", &snap.render_prometheus());
 }
 
 fn fig3(c: &CampaignRun, out: &Path) {

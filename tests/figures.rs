@@ -6,6 +6,7 @@ use edonkey_ten_weeks::core::{run_campaign, CampaignConfig, CampaignReport};
 use edonkey_ten_weeks::netsim::capture::{CaptureBuffer, LossRecorder};
 use edonkey_ten_weeks::netsim::clock::VirtualTime;
 use edonkey_ten_weeks::netsim::traffic::RateModel;
+use edonkey_ten_weeks::telemetry::Registry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::OnceLock;
@@ -31,7 +32,9 @@ fn fig2_losses_are_rare_and_bursty() {
     // finite ring.
     let horizon = 50_000u64;
     let model = RateModel::new(5_200.0, 0.45, 0.10, horizon, 10, 0xF162);
+    let registry = Registry::new();
     let mut ring = CaptureBuffer::new(16_384, 40_000.0);
+    ring.attach_telemetry(&registry);
     let mut recorder = LossRecorder::new();
     let mut rng = StdRng::seed_from_u64(2);
     let mut offered = 0u64;
@@ -41,8 +44,16 @@ fn fig2_losses_are_rare_and_bursty() {
         offered += n;
         ring.offer_batch(t, n);
         recorder.tick(s, &ring);
+        ring.sample_telemetry();
     }
     assert_eq!(ring.captured() + ring.lost(), offered);
+    // The fluid simulation and the telemetry layer keep one loss account:
+    // ring.* metrics must agree exactly with the LossRecorder series.
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("ring.offered_total"), offered);
+    assert_eq!(snap.counter("ring.captured_total"), ring.captured());
+    assert_eq!(snap.counter("ring.lost_total"), recorder.total());
+    assert_eq!(snap.counter("ring.lost_total"), ring.lost());
     let loss_seconds = recorder.losses_per_sec.len() as u64;
     // Loss is concentrated: far fewer loss-seconds than total seconds.
     assert!(
