@@ -11,6 +11,9 @@ cargo build --release
 echo "==> cargo test -q (workspace)"
 cargo test -q --workspace
 
+echo "==> repro soak --faults (kill+resume byte identity, fault ledgers)"
+cargo run -q --release --bin repro -- soak --faults --out target/soak
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

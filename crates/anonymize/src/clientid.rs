@@ -75,6 +75,30 @@ impl DirectArrayAnonymizer {
         self.width_bits
     }
 
+    /// Raw clientIDs in order of first appearance. This is the entire
+    /// checkpointable state of the anonymiser: replaying the returned
+    /// IDs through [`ClientIdAnonymizer::anonymize`] rebuilds an
+    /// identical table, which is what [`DirectArrayAnonymizer::from_order`]
+    /// does on campaign resume.
+    pub fn appearance_order(&self) -> Vec<u32> {
+        let mut order = vec![0u32; self.next as usize];
+        for (raw, &v) in self.table.iter().enumerate() {
+            if v != UNSEEN {
+                order[v as usize] = raw as u32;
+            }
+        }
+        order
+    }
+
+    /// Rebuilds an anonymiser from a checkpointed appearance order.
+    pub fn from_order(width_bits: u32, order: &[u32]) -> Self {
+        let mut a = DirectArrayAnonymizer::new(width_bits);
+        for &raw in order {
+            a.anonymize(ClientId(raw));
+        }
+        a
+    }
+
     #[inline]
     fn index(&self, id: ClientId) -> usize {
         let raw = id.raw() as usize;

@@ -142,6 +142,33 @@ impl BucketedArrays {
     pub fn mean_bucket_size(&self) -> f64 {
         self.next as f64 / NUM_BUCKETS as f64
     }
+
+    /// fileIDs in order of first appearance — the checkpointable state
+    /// of the store. Replaying them through
+    /// [`FileIdAnonymizer::anonymize`] rebuilds identical buckets, which
+    /// is what [`BucketedArrays::from_order`] does on campaign resume.
+    pub fn appearance_order(&self) -> Vec<FileId> {
+        let mut entries: Vec<(u64, FileId)> = self
+            .buckets
+            .iter()
+            .flatten()
+            .map(|&(id, v)| (v, id))
+            .collect();
+        entries.sort_unstable_by_key(|&(v, _)| v);
+        entries.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Rebuilds a store from a checkpointed appearance order. Probe
+    /// statistics restart from zero: they describe work done by *this*
+    /// process, not by the campaign as a whole.
+    pub fn from_order(selector: ByteSelector, order: &[FileId]) -> Self {
+        let mut b = BucketedArrays::new(selector);
+        for id in order {
+            b.anonymize(id);
+        }
+        b.probe_stats = ProbeStats::default();
+        b
+    }
 }
 
 impl FileIdAnonymizer for BucketedArrays {

@@ -2,14 +2,18 @@
 //! the capture machine over it, producing the dataset and every number
 //! the paper reports.
 
+use crate::checkpoint::Checkpoint;
 use crate::config::{CampaignConfig, ConfigError};
-use crate::pipeline::{run_capture_pipeline_observed, PipelineStats, TimedFrame};
+use crate::pipeline::{
+    run_capture_pipeline_with, PipelineOptions, PipelineStats, ResumePoint, TimedFrame,
+};
 use crate::wirepath::{encapsulate, tcp_noise_frame, Direction, SERVER_IP};
 use etw_anonymize::fileid::{BucketedArrays, ByteSelector};
 use etw_anonymize::scheme::AnonRecord;
 use etw_anonymize::AnonymizationScheme;
 use etw_anonymize::DirectArrayAnonymizer;
 use etw_edonkey::messages::Message;
+use etw_faults::FaultyLink;
 use etw_netsim::capture::{CaptureBuffer, LossRecorder};
 use etw_netsim::clock::VirtualTime;
 use etw_server::engine::{EngineConfig, ServerEngine};
@@ -49,6 +53,7 @@ pub struct CaptureSide {
 }
 
 /// Everything a campaign run produces.
+#[derive(Debug)]
 pub struct CampaignReport {
     /// Pipeline statistics (decode, reassembly, records).
     pub pipeline: PipelineStats,
@@ -317,9 +322,66 @@ pub fn run_campaign_observed(
 pub fn try_run_campaign_observed(
     config: &CampaignConfig,
     registry: &Registry,
+    on_record: impl FnMut(AnonRecord),
+) -> Result<CampaignReport, ConfigError> {
+    campaign_inner(config, registry, None, on_record, |_| {})
+}
+
+/// [`try_run_campaign_observed`] plus resume checkpoints: with a nonzero
+/// `config.checkpoint_interval_secs`, `on_checkpoint` receives a
+/// [`Checkpoint`] each time virtual time crosses an interval boundary.
+/// The campaign fills everything except `writer_bytes`, which only the
+/// owner of the dataset writer knows — set it before persisting (see
+/// `repro soak`).
+pub fn try_run_campaign_checkpointed(
+    config: &CampaignConfig,
+    registry: &Registry,
+    on_record: impl FnMut(AnonRecord),
+    on_checkpoint: impl FnMut(Checkpoint),
+) -> Result<CampaignReport, ConfigError> {
+    campaign_inner(config, registry, None, on_record, on_checkpoint)
+}
+
+/// Resumes an interrupted campaign from `checkpoint`: restores the
+/// anonymiser from its appearance orders, replays the deterministic
+/// frame stream, skips the `checkpoint.records` messages already written
+/// and streams only the remainder into `on_record`. Appended to a
+/// dataset truncated to `checkpoint.writer_bytes`, the output is
+/// byte-identical to an uninterrupted run's.
+///
+/// The returned report describes the *resumed segment*: `records` counts
+/// newly written records, while `distinct_clients`/`distinct_files`
+/// cover the whole campaign (restored state included).
+pub fn try_resume_campaign_observed(
+    config: &CampaignConfig,
+    registry: &Registry,
+    checkpoint: &Checkpoint,
+    on_record: impl FnMut(AnonRecord),
+    on_checkpoint: impl FnMut(Checkpoint),
+) -> Result<CampaignReport, ConfigError> {
+    campaign_inner(config, registry, Some(checkpoint), on_record, on_checkpoint)
+}
+
+fn campaign_inner(
+    config: &CampaignConfig,
+    registry: &Registry,
+    resume: Option<&Checkpoint>,
     mut on_record: impl FnMut(AnonRecord),
+    mut on_checkpoint: impl FnMut(Checkpoint),
 ) -> Result<CampaignReport, ConfigError> {
     config.validate()?;
+    if let Some(cp) = resume {
+        if cp.seed != config.seed {
+            return Err(ConfigError::CheckpointMismatch {
+                reason: "checkpoint seed differs from the campaign seed",
+            });
+        }
+        if config.track_fig3 && cp.fig3_order.is_none() {
+            return Err(ConfigError::CheckpointMismatch {
+                reason: "config tracks Fig. 3 but the checkpoint has no tracker state",
+            });
+        }
+    }
     let catalog = Catalog::generate(&config.catalog, config.seed ^ 1);
     let population = Population::generate(&config.population, config.seed ^ 2);
     let generator = TrafficGenerator::new(
@@ -376,21 +438,58 @@ pub fn try_run_campaign_observed(
         virtual_secs_gauge: registry.gauge("campaign.virtual_secs"),
     };
 
-    let scheme = AnonymizationScheme::new(
-        DirectArrayAnonymizer::new(config.client_space_bits),
-        BucketedArrays::new(config.fileid_selector),
-    );
-    let fig3 = config
-        .track_fig3
-        .then(|| BucketedArrays::new(ByteSelector::FIRST_TWO));
+    // Resume restores the anonymiser by replaying its appearance orders;
+    // a fresh run starts empty. Either way the frame stream replays from
+    // the seed — determinism is the checkpoint's other half.
+    let (scheme, fig3) = match resume {
+        None => (
+            AnonymizationScheme::new(
+                DirectArrayAnonymizer::new(config.client_space_bits),
+                BucketedArrays::new(config.fileid_selector),
+            ),
+            config
+                .track_fig3
+                .then(|| BucketedArrays::new(ByteSelector::FIRST_TWO)),
+        ),
+        Some(cp) => (
+            AnonymizationScheme::new(
+                DirectArrayAnonymizer::from_order(config.client_space_bits, &cp.client_order),
+                BucketedArrays::from_order(config.fileid_selector, &cp.file_order),
+            ),
+            cp.fig3_order
+                .as_ref()
+                .filter(|_| config.track_fig3)
+                .map(|order| BucketedArrays::from_order(ByteSelector::FIRST_TWO, order)),
+        ),
+    };
+    let opts = PipelineOptions {
+        checkpoint_interval_us: config.checkpoint_interval_secs * 1_000_000,
+        resume: resume.map(|cp| ResumePoint {
+            records: cp.records,
+            virtual_us: cp.virtual_us,
+            next_checkpoint_us: cp.next_checkpoint_us,
+        }),
+        faults: config.faults.worker_plan(),
+    };
 
-    let (pipeline, scheme, fig3) = run_capture_pipeline_observed(
+    // The lossy link sits between the capture tap and the pipeline, so
+    // `faults.link.offered_total` equals the ring's captured count.
+    let frames: Box<dyn Iterator<Item = TimedFrame> + Send + '_> = if config.faults.link_active() {
+        Box::new(FaultyLink::new(frames, config.faults.clone(), registry))
+    } else {
+        Box::new(frames)
+    };
+
+    let seed = config.seed;
+    let (pipeline, scheme, fig3) = run_capture_pipeline_with(
         frames,
         config.decode_workers,
         scheme,
         fig3,
         registry,
+        &opts,
         &mut on_record,
+        |cut| on_checkpoint(Checkpoint::from_pipeline(seed, cut, 0)),
     );
 
     // Surface the anonymiser's probe work: counters the health file and
@@ -613,6 +712,164 @@ mod tests {
             last.counter("campaign.answers_total"),
             report.capture.answers_generated
         );
+    }
+
+    #[test]
+    fn faulty_campaign_conserves_frames_and_is_deterministic() {
+        let config = CampaignConfig::tiny_faulty();
+        let run = || {
+            let registry = Registry::new();
+            let mut records = Vec::new();
+            let report = try_run_campaign_observed(&config, &registry, |r| records.push(r))
+                .expect("valid config");
+            (report, records, registry.snapshot())
+        };
+        let (report, records, snap) = run();
+
+        // The link sits right behind the capture tap.
+        let offered = snap.counter("faults.link.offered_total");
+        assert_eq!(offered, report.capture.captured);
+        // Every fault class fired.
+        for c in [
+            "faults.link.dropped_total",
+            "faults.link.duplicated_total",
+            "faults.link.reordered_total",
+            "faults.link.delayed_total",
+            "faults.link.truncated_total",
+            "faults.link.outage_dropped_total",
+            "faults.worker.crashes_total",
+            "faults.worker.restarts_total",
+            "pipeline.shed_total",
+        ] {
+            assert!(snap.counter(c) > 0, "{c} never fired");
+        }
+        // Link ledger: frames in = frames out + losses − duplicates.
+        let delivered = snap.counter("faults.link.delivered_total");
+        assert_eq!(
+            delivered,
+            offered
+                - snap.counter("faults.link.dropped_total")
+                - snap.counter("faults.link.outage_dropped_total")
+                + snap.counter("faults.link.duplicated_total")
+        );
+        // Pipeline ledger: everything the link delivered was either shed
+        // or routed to a worker, and every routed frame got decoded.
+        assert_eq!(delivered, report.pipeline.frames + report.pipeline.shed);
+        assert_eq!(snap.counter("pipeline.shed_total"), report.pipeline.shed);
+        assert_eq!(
+            snap.counter("stage.decode.frames_total"),
+            report.pipeline.frames
+        );
+        // Crashed workers tombstone frames but the campaign survives
+        // with a usable dataset.
+        assert_eq!(
+            snap.counter("faults.worker.crashes_total"),
+            snap.counter("faults.worker.restarts_total"),
+            "crash budget not exhausted in the soak preset"
+        );
+        assert_eq!(snap.counter("faults.worker.degraded_total"), 0);
+        assert!(report.records > 500, "records {}", report.records);
+        assert_eq!(report.records as usize, records.len());
+        // Records stay time-ordered under delay/reorder/duplication: the
+        // link re-stamps delayed frames and swaps payloads, never
+        // timestamps.
+        for w in records.windows(2) {
+            assert!(w[0].ts_us <= w[1].ts_us);
+        }
+
+        // Same seed, same faults, same dataset.
+        let (report2, records2, _) = run();
+        assert_eq!(report.records, report2.records);
+        assert_eq!(records, records2);
+    }
+
+    #[test]
+    fn faulty_campaign_resumes_record_identical() {
+        let config = CampaignConfig::tiny_faulty();
+        let mut full = Vec::new();
+        let mut cps: Vec<Checkpoint> = Vec::new();
+        let report = try_run_campaign_checkpointed(
+            &config,
+            &Registry::disabled(),
+            |r| full.push(r),
+            |cp| cps.push(cp),
+        )
+        .expect("valid config");
+        // 1800 s campaign, 300 s interval → several cuts.
+        assert!(cps.len() >= 4, "only {} checkpoints", cps.len());
+        for w in cps.windows(2) {
+            assert!(w[0].records < w[1].records);
+            assert!(w[0].virtual_us < w[1].virtual_us);
+        }
+        assert_eq!(report.records as usize, full.len());
+
+        // Resume from a mid-campaign checkpoint: the tail must continue
+        // the record stream exactly, and the later cuts must be the very
+        // same cuts.
+        let cp = cps[cps.len() / 2].clone();
+        let mut tail = Vec::new();
+        let mut tail_cps: Vec<Checkpoint> = Vec::new();
+        let resumed = try_resume_campaign_observed(
+            &config,
+            &Registry::disabled(),
+            &cp,
+            |r| tail.push(r),
+            |c| tail_cps.push(c),
+        )
+        .expect("resume accepted");
+        assert_eq!(resumed.records + cp.records, full.len() as u64);
+        assert_eq!(&full[cp.records as usize..], &tail[..]);
+        let expected_tail_cps: Vec<&Checkpoint> =
+            cps.iter().filter(|c| c.records > cp.records).collect();
+        assert_eq!(expected_tail_cps.len(), tail_cps.len());
+        for (a, b) in expected_tail_cps.iter().zip(&tail_cps) {
+            assert_eq!(*a, b, "resumed checkpoint diverges");
+        }
+        // Whole-campaign identity survives the restart.
+        assert_eq!(resumed.distinct_clients, report.distinct_clients);
+        assert_eq!(resumed.distinct_files, report.distinct_files);
+        assert_eq!(
+            resumed.bucket_sizes_first_two,
+            report.bucket_sizes_first_two
+        );
+    }
+
+    #[test]
+    fn mismatched_checkpoint_rejected() {
+        let config = CampaignConfig::tiny_faulty();
+        let mut cps: Vec<Checkpoint> = Vec::new();
+        try_run_campaign_checkpointed(
+            &config,
+            &Registry::disabled(),
+            |_| {},
+            |cp| {
+                if cps.is_empty() {
+                    cps.push(cp)
+                }
+            },
+        )
+        .unwrap();
+        let cp = cps.remove(0);
+
+        let mut wrong_seed = cp.clone();
+        wrong_seed.seed ^= 1;
+        let err = try_resume_campaign_observed(
+            &config,
+            &Registry::disabled(),
+            &wrong_seed,
+            |_| {},
+            |_| {},
+        )
+        .unwrap_err();
+        assert!(matches!(err, ConfigError::CheckpointMismatch { .. }));
+        assert!(err.to_string().contains("seed"));
+
+        let mut no_fig3 = cp;
+        no_fig3.fig3_order = None;
+        let err =
+            try_resume_campaign_observed(&config, &Registry::disabled(), &no_fig3, |_| {}, |_| {})
+                .unwrap_err();
+        assert!(matches!(err, ConfigError::CheckpointMismatch { .. }));
     }
 
     #[test]

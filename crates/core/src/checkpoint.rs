@@ -1,0 +1,354 @@
+//! Resume checkpoints: a consistent cut of the campaign's sequential
+//! state, serialized to a sidecar file next to the dataset.
+//!
+//! The campaign is a deterministic function of its seed, so a checkpoint
+//! does not need to freeze the traffic generator or the decode workers —
+//! replaying the frame stream from the start reproduces them exactly.
+//! What *cannot* be replayed cheaply is re-writing the dataset, so the
+//! checkpoint records everything needed to continue the output stream
+//! byte-for-byte:
+//!
+//! * the anonymiser's appearance orders (clientIDs, fileIDs, and the
+//!   optional Fig. 3 tracker) — its entire state, in replayable form;
+//! * the count of records already written, so the resumed sink skips
+//!   exactly that many messages;
+//! * the dataset writer's byte offset, so the tail a crash left behind
+//!   (possibly torn) is truncated before appending;
+//! * the next checkpoint boundary, so a resumed run cuts the very same
+//!   checkpoints an uninterrupted run would.
+//!
+//! The sidecar is a versioned line-oriented text format ("etwckpt 1"),
+//! written atomically (temp file + rename) with a trailing `end` marker
+//! so a torn write is detected, never silently half-loaded.
+
+use crate::pipeline::PipelineCheckpoint;
+use etw_edonkey::ids::FileId;
+use std::io::Write;
+use std::path::Path;
+
+/// A campaign checkpoint: [`PipelineCheckpoint`] plus the dataset writer
+/// offset and the identity of the run it belongs to.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Campaign seed, as a guard against resuming the wrong run.
+    pub seed: u64,
+    /// Timestamp of the last message consumed before the cut, µs.
+    pub virtual_us: u64,
+    /// Boundary the next checkpoint will be cut at, µs.
+    pub next_checkpoint_us: u64,
+    /// Records written so far (== messages consumed).
+    pub records: u64,
+    /// Dataset bytes written so far (header included).
+    pub writer_bytes: u64,
+    /// clientID appearance order.
+    pub client_order: Vec<u32>,
+    /// fileID appearance order.
+    pub file_order: Vec<FileId>,
+    /// Fig. 3 FIRST_TWO tracker appearance order, if tracking.
+    pub fig3_order: Option<Vec<FileId>>,
+}
+
+/// Why a sidecar failed to load.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// Not an etwckpt file, or an unsupported version.
+    BadHeader,
+    /// The file ends before its `end` marker — a torn write.
+    Truncated,
+    /// A line failed to parse.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was expected there.
+        expected: &'static str,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::BadHeader => write!(f, "not an etwckpt v1 file"),
+            CheckpointError::Truncated => {
+                write!(f, "checkpoint truncated (missing end marker)")
+            }
+            CheckpointError::Malformed { line, expected } => {
+                write!(f, "checkpoint line {line}: expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl Checkpoint {
+    /// Pairs a pipeline cut with the run identity and writer offset.
+    pub fn from_pipeline(seed: u64, cut: PipelineCheckpoint, writer_bytes: u64) -> Self {
+        Checkpoint {
+            seed,
+            virtual_us: cut.virtual_us,
+            next_checkpoint_us: cut.next_checkpoint_us,
+            records: cut.records,
+            writer_bytes,
+            client_order: cut.client_order,
+            file_order: cut.file_order,
+            fig3_order: cut.fig3_order,
+        }
+    }
+
+    /// Serializes to the sidecar text format.
+    pub fn encode(&self) -> String {
+        let mut out =
+            String::with_capacity(64 + self.client_order.len() * 9 + self.file_order.len() * 33);
+        out.push_str("etwckpt 1\n");
+        out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!("virtual_us {}\n", self.virtual_us));
+        out.push_str(&format!("next_checkpoint_us {}\n", self.next_checkpoint_us));
+        out.push_str(&format!("records {}\n", self.records));
+        out.push_str(&format!("writer_bytes {}\n", self.writer_bytes));
+        out.push_str(&format!("clients {}\n", self.client_order.len()));
+        for id in &self.client_order {
+            out.push_str(&format!("{id}\n"));
+        }
+        out.push_str(&format!("files {}\n", self.file_order.len()));
+        for id in &self.file_order {
+            push_hex(&mut out, id);
+        }
+        match &self.fig3_order {
+            None => out.push_str("fig3 -\n"),
+            Some(order) => {
+                out.push_str(&format!("fig3 {}\n", order.len()));
+                for id in order {
+                    push_hex(&mut out, id);
+                }
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses the sidecar text format.
+    pub fn decode(s: &str) -> Result<Checkpoint, CheckpointError> {
+        let mut lines = s.lines().enumerate();
+        let mut next = |expected: &'static str| -> Result<(usize, &str), CheckpointError> {
+            match lines.next() {
+                Some((i, line)) => Ok((i + 1, line)),
+                None => {
+                    if expected == "end marker" {
+                        Err(CheckpointError::Truncated)
+                    } else {
+                        Err(CheckpointError::Malformed { line: 0, expected })
+                    }
+                }
+            }
+        };
+        let (_, header) = next("etwckpt header")?;
+        if header != "etwckpt 1" {
+            return Err(CheckpointError::BadHeader);
+        }
+        let seed = keyed_u64(next("seed")?, "seed")?;
+        let virtual_us = keyed_u64(next("virtual_us")?, "virtual_us")?;
+        let next_checkpoint_us = keyed_u64(next("next_checkpoint_us")?, "next_checkpoint_us")?;
+        let records = keyed_u64(next("records")?, "records")?;
+        let writer_bytes = keyed_u64(next("writer_bytes")?, "writer_bytes")?;
+
+        let n_clients = keyed_u64(next("clients count")?, "clients")? as usize;
+        let mut client_order = Vec::with_capacity(n_clients);
+        for _ in 0..n_clients {
+            let (line_no, line) = next("clientID line")?;
+            let id = line
+                .parse::<u32>()
+                .map_err(|_| CheckpointError::Malformed {
+                    line: line_no,
+                    expected: "a clientID integer",
+                })?;
+            client_order.push(id);
+        }
+
+        let n_files = keyed_u64(next("files count")?, "files")? as usize;
+        let mut file_order = Vec::with_capacity(n_files);
+        for _ in 0..n_files {
+            file_order.push(parse_hex(next("fileID line")?)?);
+        }
+
+        let (fig3_line_no, fig3_line) = next("fig3 count")?;
+        let fig3_order = match fig3_line.strip_prefix("fig3 ") {
+            Some("-") => None,
+            Some(count) => {
+                let n = count
+                    .parse::<usize>()
+                    .map_err(|_| CheckpointError::Malformed {
+                        line: fig3_line_no,
+                        expected: "fig3 count or '-'",
+                    })?;
+                let mut order = Vec::with_capacity(n);
+                for _ in 0..n {
+                    order.push(parse_hex(next("fig3 fileID line")?)?);
+                }
+                Some(order)
+            }
+            None => {
+                return Err(CheckpointError::Malformed {
+                    line: fig3_line_no,
+                    expected: "fig3 line",
+                })
+            }
+        };
+
+        let (end_line_no, end) = next("end marker")?;
+        if end != "end" {
+            return Err(CheckpointError::Malformed {
+                line: end_line_no,
+                expected: "end marker",
+            });
+        }
+        Ok(Checkpoint {
+            seed,
+            virtual_us,
+            next_checkpoint_us,
+            records,
+            writer_bytes,
+            client_order,
+            file_order,
+            fig3_order,
+        })
+    }
+
+    /// Writes the sidecar atomically: the bytes land in a temp file in
+    /// the same directory, then rename onto `path`. A crash mid-write
+    /// leaves the previous checkpoint intact.
+    pub fn write_atomic(&self, path: &Path) -> std::io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.encode().as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads a sidecar written by [`Checkpoint::write_atomic`].
+    pub fn read(path: &Path) -> Result<Checkpoint, CheckpointError> {
+        let text = std::fs::read_to_string(path)?;
+        Checkpoint::decode(&text)
+    }
+}
+
+fn push_hex(out: &mut String, id: &FileId) {
+    for i in 0..16 {
+        out.push_str(&format!("{:02x}", id.byte(i)));
+    }
+    out.push('\n');
+}
+
+fn parse_hex((line_no, line): (usize, &str)) -> Result<FileId, CheckpointError> {
+    let malformed = CheckpointError::Malformed {
+        line: line_no,
+        expected: "a 32-hex-digit fileID",
+    };
+    let bytes = line.as_bytes();
+    if bytes.len() != 32 {
+        return Err(malformed);
+    }
+    let mut id = [0u8; 16];
+    for (i, pair) in bytes.chunks_exact(2).enumerate() {
+        let hex = std::str::from_utf8(pair).map_err(|_| CheckpointError::Malformed {
+            line: line_no,
+            expected: "a 32-hex-digit fileID",
+        })?;
+        id[i] = u8::from_str_radix(hex, 16).map_err(|_| CheckpointError::Malformed {
+            line: line_no,
+            expected: "a 32-hex-digit fileID",
+        })?;
+    }
+    Ok(FileId(id))
+}
+
+fn keyed_u64((line_no, line): (usize, &str), key: &'static str) -> Result<u64, CheckpointError> {
+    let malformed = || CheckpointError::Malformed {
+        line: line_no,
+        expected: key,
+    };
+    let rest = line.strip_prefix(key).ok_or_else(malformed)?;
+    rest.trim().parse::<u64>().map_err(|_| malformed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            seed: 0xED0,
+            virtual_us: 123_456_789,
+            next_checkpoint_us: 300_000_000,
+            records: 4_242,
+            writer_bytes: 987_654,
+            client_order: vec![7, 0, 65_000, 3],
+            file_order: vec![FileId([0xAB; 16]), FileId::of_identity(9)],
+            fig3_order: Some(vec![FileId::of_identity(1)]),
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let cp = sample();
+        assert_eq!(Checkpoint::decode(&cp.encode()).unwrap(), cp);
+        let without_fig3 = Checkpoint {
+            fig3_order: None,
+            ..sample()
+        };
+        assert_eq!(
+            Checkpoint::decode(&without_fig3.encode()).unwrap(),
+            without_fig3
+        );
+    }
+
+    #[test]
+    fn truncated_sidecar_rejected() {
+        let text = sample().encode();
+        // Cut anywhere before the end marker: must never half-load.
+        for cut in [10, text.len() / 2, text.len() - 5] {
+            let torn = &text[..cut];
+            assert!(
+                Checkpoint::decode(torn).is_err(),
+                "accepted torn sidecar cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(matches!(
+            Checkpoint::decode("etwckpt 2\nseed 1\n"),
+            Err(CheckpointError::BadHeader)
+        ));
+        assert!(Checkpoint::decode("").is_err());
+    }
+
+    #[test]
+    fn atomic_write_read_round_trip() {
+        let dir = std::env::temp_dir().join("etw-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.etwckpt");
+        let cp = sample();
+        cp.write_atomic(&path).unwrap();
+        assert_eq!(Checkpoint::read(&path).unwrap(), cp);
+        // Overwrite with a later checkpoint: reader sees the new one.
+        let later = Checkpoint {
+            records: 9_999,
+            ..sample()
+        };
+        later.write_atomic(&path).unwrap();
+        assert_eq!(Checkpoint::read(&path).unwrap(), later);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,6 +1,7 @@
 //! Campaign configuration: one knob set for the whole measurement stack.
 
 use etw_anonymize::fileid::ByteSelector;
+use etw_faults::{DirectedRates, FaultSpec, Window};
 use etw_workload::catalog::CatalogParams;
 use etw_workload::clients::PopulationParams;
 use etw_workload::generator::GeneratorParams;
@@ -31,6 +32,19 @@ pub enum ConfigError {
     },
     /// `decode_workers == 0` — the pipeline needs at least one worker.
     NoDecodeWorkers,
+    /// A fault window with `start_us >= end_us`.
+    FaultWindowInvalid {
+        /// Window start, µs.
+        start_us: u64,
+        /// Window end, µs.
+        end_us: u64,
+    },
+    /// A checkpoint does not belong to this configuration (different
+    /// seed, or missing the Fig. 3 tracker state the config requires).
+    CheckpointMismatch {
+        /// What disagreed.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -51,6 +65,15 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "{field} = {value} outside [0,1]")
             }
             ConfigError::NoDecodeWorkers => write!(f, "need at least one decode worker"),
+            ConfigError::FaultWindowInvalid { start_us, end_us } => {
+                write!(
+                    f,
+                    "fault window [{start_us}, {end_us}) is empty or inverted"
+                )
+            }
+            ConfigError::CheckpointMismatch { reason } => {
+                write!(f, "checkpoint does not match this campaign: {reason}")
+            }
         }
     }
 }
@@ -101,6 +124,11 @@ pub struct CampaignConfig {
     /// them). Only consulted by `run_campaign_observed`; a snapshot is
     /// cut each time virtual time crosses an interval boundary.
     pub health_interval_secs: u64,
+    /// Fault injection: lossy link, outage/overload windows, worker
+    /// crash plan. The default is a perfect world.
+    pub faults: FaultSpec,
+    /// Virtual seconds between resume checkpoints (0 disables them).
+    pub checkpoint_interval_secs: u64,
 }
 
 impl Default for CampaignConfig {
@@ -126,6 +154,8 @@ impl Default for CampaignConfig {
             decode_workers: 4,
             track_fig3: true,
             health_interval_secs: 3_600,
+            faults: FaultSpec::default(),
+            checkpoint_interval_secs: 0,
         }
     }
 }
@@ -156,6 +186,49 @@ impl CampaignConfig {
         }
     }
 
+    /// [`CampaignConfig::tiny`] under adversity: every link fault class
+    /// active at realistic rates, a mid-campaign outage, two overload
+    /// windows, scheduled worker crashes, and periodic checkpoints.
+    /// This is the soak-test configuration.
+    pub fn tiny_faulty() -> Self {
+        let mut config = CampaignConfig::tiny();
+        config.faults = FaultSpec {
+            seed: config.seed ^ 0xFA17,
+            drop: DirectedRates {
+                to_server: 0.02,
+                from_server: 0.03,
+            },
+            duplicate: DirectedRates::symmetric(0.01),
+            reorder: DirectedRates::symmetric(0.02),
+            truncate: DirectedRates::symmetric(0.005),
+            delay: DirectedRates::symmetric(0.01),
+            delay_max_us: 50_000,
+            // One link blackout around minute 10 of the 30-minute run.
+            outages: vec![Window {
+                start_us: 600_000_000,
+                end_us: 615_000_000,
+            }],
+            // Two sustained-overload periods where the producer sheds.
+            overload: vec![
+                Window {
+                    start_us: 300_000_000,
+                    end_us: 360_000_000,
+                },
+                Window {
+                    start_us: 1_200_000_000,
+                    end_us: 1_260_000_000,
+                },
+            ],
+            shed_keep_every: 3,
+            worker_crash_every: 4_000,
+            max_worker_restarts: 3,
+            restart_backoff_frames: 8,
+            restart_backoff_cap: 64,
+        };
+        config.checkpoint_interval_secs = 300;
+        config
+    }
+
     /// Sanity checks cross-field invariants; call before running.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.population.id_space_bits != self.client_space_bits {
@@ -179,6 +252,12 @@ impl CampaignConfig {
         }
         if self.decode_workers == 0 {
             return Err(ConfigError::NoDecodeWorkers);
+        }
+        if let Some((field, value)) = self.faults.invalid_probability() {
+            return Err(ConfigError::ProbabilityOutOfRange { field, value });
+        }
+        if let Some((start_us, end_us)) = self.faults.invalid_window() {
+            return Err(ConfigError::FaultWindowInvalid { start_us, end_us });
         }
         Ok(())
     }

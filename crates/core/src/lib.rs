@@ -8,8 +8,11 @@
 //! * [`config`] — one configuration struct for the whole campaign;
 //! * [`wirepath`] — messages ⇄ ethernet frames (down- and up-path);
 //! * [`pipeline`] — the staged concurrent capture pipeline with
-//!   deterministic output ordering;
-//! * [`campaign`] — the end-to-end driver producing a [`campaign::CampaignReport`];
+//!   deterministic output ordering, supervised workers, load shedding
+//!   and checkpoint cuts;
+//! * [`campaign`] — the end-to-end driver producing a [`campaign::CampaignReport`],
+//!   with fault injection and checkpoint/resume entry points;
+//! * [`checkpoint`] — the resume-sidecar format;
 //! * [`summary`] — the T1 headline-numbers table.
 //!
 //! ## Example
@@ -27,17 +30,20 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod config;
 pub mod pipeline;
 pub mod summary;
 pub mod wirepath;
 
 pub use campaign::{
-    render_health_dat, run_campaign, run_campaign_observed, try_run_campaign_observed,
-    CampaignReport, CaptureSide,
+    render_health_dat, run_campaign, run_campaign_observed, try_resume_campaign_observed,
+    try_run_campaign_checkpointed, try_run_campaign_observed, CampaignReport, CaptureSide,
 };
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use config::{CampaignConfig, ConfigError};
 pub use pipeline::{
-    run_capture_pipeline, run_capture_pipeline_observed, PipelineStats, TimedFrame,
+    run_capture_pipeline, run_capture_pipeline_observed, run_capture_pipeline_with,
+    PipelineCheckpoint, PipelineOptions, PipelineStats, ResumePoint, TimedFrame,
 };
 pub use summary::{render_t1, t1_key_values};

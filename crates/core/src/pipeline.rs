@@ -15,18 +15,20 @@
 //! two restores deterministic capture order regardless of worker
 //! interleaving.
 
-use crate::wirepath::{Direction, Recovered, WireDecoder};
+use crate::wirepath::{Direction, Recovered, WireDecoder, SERVER_IP};
 use bytes::Bytes;
 use etw_anonymize::fileid::{BucketedArrays, FileIdAnonymizer};
 use etw_anonymize::scheme::{AnonRecord, PaperScheme};
 use etw_edonkey::decoder::{DecodeOutcome, Decoder, DecoderStats};
-use etw_edonkey::ids::ClientId;
+use etw_edonkey::ids::{ClientId, FileId};
 use etw_edonkey::messages::Message;
+use etw_faults::{InjectedWorkerCrash, LinkDirection, LinkFrame, WorkerFaultPlan};
 use etw_netsim::clock::VirtualTime;
 use etw_netsim::frag::ReassemblyStats;
 use etw_telemetry::channel::{metered_bounded, MeteredReceiver, MeteredSender};
 use etw_telemetry::{Counter, Gauge, Histogram, Registry};
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// One captured ethernet frame with its timestamp.
 #[derive(Clone, Debug)]
@@ -35,6 +37,37 @@ pub struct TimedFrame {
     pub ts: VirtualTime,
     /// Raw frame bytes.
     pub bytes: Vec<u8>,
+}
+
+impl LinkFrame for TimedFrame {
+    fn ts_us(&self) -> u64 {
+        self.ts.0
+    }
+    fn set_ts_us(&mut self, us: u64) {
+        self.ts = VirtualTime(us);
+    }
+    fn direction(&self) -> LinkDirection {
+        // Ethernet header is 14 bytes; IPv4 destination at +16. Frames
+        // too short to tell default to the client→server side.
+        if self.bytes.len() >= 34 {
+            let d = &self.bytes[30..34];
+            let dst = u32::from_be_bytes([d[0], d[1], d[2], d[3]]);
+            if dst == SERVER_IP {
+                return LinkDirection::ToServer;
+            }
+            return LinkDirection::FromServer;
+        }
+        LinkDirection::ToServer
+    }
+    fn wire_len(&self) -> usize {
+        self.bytes.len()
+    }
+    fn truncate_wire(&mut self, keep: usize) {
+        self.bytes.truncate(keep);
+    }
+    fn swap_wire(&mut self, other: &mut Self) {
+        std::mem::swap(&mut self.bytes, &mut other.bytes);
+    }
 }
 
 /// Counters accumulated across the pipeline.
@@ -64,6 +97,54 @@ pub struct PipelineStats {
     pub to_server: u64,
     /// Records decoded from server→client datagrams.
     pub from_server: u64,
+    /// Frames shed (dropped-and-counted) by the producer under overload
+    /// instead of blocking the capture.
+    pub shed: u64,
+}
+
+/// Where a resumed pipeline picks up: produced by a checkpoint, consumed
+/// by [`PipelineOptions::resume`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResumePoint {
+    /// Messages already consumed (and written) by the interrupted run;
+    /// the resumed sink replays and skips exactly this many.
+    pub records: u64,
+    /// Timestamp of the last consumed message, µs.
+    pub virtual_us: u64,
+    /// The next checkpoint boundary the interrupted run would have cut,
+    /// stored so the resumed run cuts the very same boundaries.
+    pub next_checkpoint_us: u64,
+}
+
+/// Knobs for the fault-tolerant pipeline entry point.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineOptions {
+    /// Cut a checkpoint whenever virtual time crosses a multiple of this
+    /// interval (0 = no checkpoints).
+    pub checkpoint_interval_us: u64,
+    /// Resume from an earlier checkpoint instead of starting fresh.
+    pub resume: Option<ResumePoint>,
+    /// Worker crash injection and overload shedding schedule.
+    pub faults: Option<WorkerFaultPlan>,
+}
+
+/// A consistent cut of the sequential stage's state, taken between two
+/// messages. Everything a resumed run needs to continue the anonymised
+/// dataset byte-for-byte.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PipelineCheckpoint {
+    /// Timestamp of the last message consumed before the cut, µs.
+    pub virtual_us: u64,
+    /// Boundary the *next* checkpoint will be cut at.
+    pub next_checkpoint_us: u64,
+    /// Messages consumed so far (== records written so far).
+    pub records: u64,
+    /// clientID appearance order of the anonymiser.
+    pub client_order: Vec<u32>,
+    /// fileID appearance order of the anonymiser.
+    pub file_order: Vec<FileId>,
+    /// Appearance order of the Fig. 3 FIRST_TWO tracker, if enabled.
+    pub fig3_order: Option<Vec<FileId>>,
 }
 
 /// A decoded message with its envelope, in capture order.
@@ -143,16 +224,73 @@ struct SinkTelemetry {
 pub fn run_capture_pipeline_observed<I>(
     frames: I,
     n_workers: usize,
+    scheme: PaperScheme,
+    fig3: Option<BucketedArrays>,
+    registry: &Registry,
+    on_record: impl FnMut(AnonRecord),
+) -> (PipelineStats, PaperScheme, Option<BucketedArrays>)
+where
+    I: Iterator<Item = TimedFrame> + Send,
+{
+    run_capture_pipeline_with(
+        frames,
+        n_workers,
+        scheme,
+        fig3,
+        registry,
+        &PipelineOptions::default(),
+        on_record,
+        |_| {},
+    )
+}
+
+/// [`run_capture_pipeline_observed`] plus the fault-tolerance surface:
+///
+/// * **Supervised workers** — with [`PipelineOptions::faults`], each
+///   decode worker wraps its per-frame work in `catch_unwind`. A crashed
+///   worker is restarted in place with fresh decoder state; during an
+///   exponential-backoff window it tombstones frames (emits the
+///   sequence step with no message) so the sink never stalls, and after
+///   `max_restarts` it degrades permanently. All events count under
+///   `faults.worker.*`.
+/// * **Load shedding** — inside the plan's overload windows the producer
+///   drops-and-counts frames (`pipeline.shed_total`) *before* sequence
+///   assignment, keeping one in `shed_keep_every`. Shedding upstream of
+///   the sequence space keeps the decision deterministic: a resumed run
+///   sheds the exact same frames.
+/// * **Checkpoints** — with a nonzero interval, the sequential sink cuts
+///   a [`PipelineCheckpoint`] the moment it meets the first message at
+///   or past the boundary (so the cut state is exactly "everything
+///   before this message"), then arms the next boundary past that
+///   message's timestamp.
+/// * **Resume** — with [`PipelineOptions::resume`], the sink replays the
+///   deterministic frame stream but skips the first `records` messages
+///   without touching anonymiser state (that state was restored from
+///   the checkpoint), then continues exactly where the interrupted run
+///   left off.
+#[allow(clippy::too_many_arguments)]
+pub fn run_capture_pipeline_with<I>(
+    frames: I,
+    n_workers: usize,
     mut scheme: PaperScheme,
     mut fig3: Option<BucketedArrays>,
     registry: &Registry,
+    opts: &PipelineOptions,
     mut on_record: impl FnMut(AnonRecord),
+    mut on_checkpoint: impl FnMut(PipelineCheckpoint),
 ) -> (PipelineStats, PaperScheme, Option<BucketedArrays>)
 where
     I: Iterator<Item = TimedFrame> + Send,
 {
     assert!(n_workers > 0);
     let mut stats = PipelineStats::default();
+    if opts
+        .faults
+        .as_ref()
+        .is_some_and(|plan| plan.crash_every > 0)
+    {
+        silence_injected_crashes();
+    }
 
     crossbeam::thread::scope(|scope| {
         let (out_tx, out_rx) = metered_bounded::<WorkerOut>(4096, registry, "decode_out");
@@ -162,23 +300,49 @@ where
             frames: registry.counter("stage.decode.frames_total"),
             service_ns: registry.histogram("stage.decode.service_ns"),
         };
-        for _ in 0..n_workers {
+        let fault_telemetry = WorkerFaultTelemetry {
+            crashes: registry.counter("faults.worker.crashes_total"),
+            restarts: registry.counter("faults.worker.restarts_total"),
+            backoff_dropped: registry.counter("faults.worker.backoff_dropped_total"),
+            degraded: registry.counter("faults.worker.degraded_total"),
+            tombstoned: registry.counter("faults.worker.tombstoned_total"),
+        };
+        for windex in 0..n_workers {
             // All worker input channels share the "decode_in" metrics,
             // so depth reads as frames queued across the stage.
             let (tx, rx) = metered_bounded::<(u64, TimedFrame)>(1024, registry, "decode_in");
             worker_txs.push(tx);
             let out_tx = out_tx.clone();
             let telemetry = decode_telemetry.clone();
-            handles.push(scope.spawn(move |_| worker_loop(rx, out_tx, telemetry)));
+            let supervision = opts
+                .faults
+                .clone()
+                .map(|plan| (windex, plan, fault_telemetry.clone()));
+            handles.push(scope.spawn(move |_| worker_loop(rx, out_tx, telemetry, supervision)));
         }
         drop(out_tx);
 
         // Producer: route frames so that all fragments of one datagram
         // land on the same worker (reassembly is per-worker state).
+        // Overload shedding happens here, before sequence assignment:
+        // the sequence space stays dense and the decision depends only
+        // on the (deterministic) frame stream, never on queue timing.
         let produced = registry.counter("stage.producer.frames_total");
+        let shed = registry.counter("pipeline.shed_total");
+        let producer_plan = opts.faults.clone();
         let producer = scope.spawn(move |_| {
             let mut seq = 0u64;
+            let mut offered = 0u64;
+            let mut shed_count = 0u64;
             for frame in frames {
+                offered += 1;
+                if let Some(plan) = &producer_plan {
+                    if plan.should_shed(frame.ts.0, offered) {
+                        shed.inc();
+                        shed_count += 1;
+                        continue;
+                    }
+                }
                 let w = route(&frame.bytes, n_workers);
                 worker_txs[w]
                     .send((seq, frame))
@@ -189,7 +353,7 @@ where
                 produced.inc();
                 seq += 1;
             }
-            seq
+            (seq, shed_count)
         });
 
         // Sink: restore sequence order, then anonymise sequentially.
@@ -202,6 +366,14 @@ where
             to_server: registry.counter("stage.sink.to_server_total"),
             from_server: registry.counter("stage.sink.from_server_total"),
         };
+        let cp_interval = opts.checkpoint_interval_us;
+        let (skip, mut last_ts, mut next_cp) = match &opts.resume {
+            Some(r) => (r.records, r.virtual_us, r.next_checkpoint_us),
+            None => (0, 0, cp_interval),
+        };
+        // Messages consumed since *stream* start, skipped ones included,
+        // so checkpoint record counts agree between full and resumed runs.
+        let mut consumed = 0u64;
         let mut reorder: BTreeMap<u64, Option<DecodedMsg>> = BTreeMap::new();
         let mut next_seq = 0u64;
         for WorkerOut::Step(seq, decoded) in out_rx.iter() {
@@ -209,6 +381,29 @@ where
             while let Some(decoded) = reorder.remove(&next_seq) {
                 next_seq += 1;
                 let Some(d) = decoded else { continue };
+                if cp_interval > 0 && d.ts.0 >= next_cp {
+                    // Cut *before* consuming this message: the state is
+                    // exactly "everything through the previous message".
+                    // During the resume skip phase this never fires: the
+                    // restored boundary lies past every skipped message.
+                    next_cp = (d.ts.0 / cp_interval + 1) * cp_interval;
+                    on_checkpoint(PipelineCheckpoint {
+                        virtual_us: last_ts,
+                        next_checkpoint_us: next_cp,
+                        records: consumed,
+                        client_order: scheme.client_encoder().appearance_order(),
+                        file_order: scheme.file_encoder().appearance_order(),
+                        fig3_order: fig3.as_ref().map(|f| f.appearance_order()),
+                    });
+                }
+                consumed += 1;
+                last_ts = d.ts.0;
+                if consumed <= skip {
+                    // Resume replay: this message was already written by
+                    // the interrupted run and its effects live in the
+                    // restored anonymiser state. Touch nothing.
+                    continue;
+                }
                 match d.direction {
                     Direction::ToServer => {
                         stats.to_server += 1;
@@ -246,8 +441,9 @@ where
         // etwlint: allow(no-panic-hot-path): join() only errs when the
         // joined thread panicked; re-raising is panic propagation, not a
         // new failure mode.
-        let total_frames = producer.join().expect("producer panicked");
+        let (total_frames, shed_count) = producer.join().expect("producer panicked");
         stats.frames = total_frames;
+        stats.shed = shed_count;
         for h in handles {
             // etwlint: allow(no-panic-hot-path): panic propagation, as above
             let w = h.join().expect("worker panicked");
@@ -267,6 +463,26 @@ where
     (stats, scheme, fig3)
 }
 
+/// Keep injected worker crashes out of stderr: they are scheduled fault
+/// events, not bugs. Genuine panics still reach the previous hook. The
+/// hook is process-global, so it is installed once and filters only by
+/// payload type.
+fn silence_injected_crashes() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info
+                .payload()
+                .downcast_ref::<InjectedWorkerCrash>()
+                .is_none()
+            {
+                previous(info);
+            }
+        }));
+    });
+}
+
 #[derive(Default)]
 struct WorkerStats {
     not_udp: u64,
@@ -278,42 +494,79 @@ struct WorkerStats {
     reassembly: ReassemblyStats,
 }
 
+/// Counters for supervised-worker fault events (shared by all workers).
+#[derive(Clone)]
+struct WorkerFaultTelemetry {
+    crashes: Counter,
+    restarts: Counter,
+    backoff_dropped: Counter,
+    degraded: Counter,
+    tombstoned: Counter,
+}
+
 fn worker_loop(
     rx: MeteredReceiver<(u64, TimedFrame)>,
     out: MeteredSender<WorkerOut>,
     telemetry: DecodeTelemetry,
+    supervision: Option<(usize, WorkerFaultPlan, WorkerFaultTelemetry)>,
 ) -> WorkerStats {
     let mut wire = WireDecoder::new();
     let mut decoder = Decoder::new();
     let mut ws = WorkerStats::default();
+    let mut received = 0u64;
+    let mut restarts = 0u32;
+    let mut backoff_left = 0u64;
+    let mut degraded = false;
     for (seq, frame) in rx.iter() {
+        received += 1;
         telemetry.frames.inc();
         let t = telemetry.service_ns.start();
-        let decoded = match wire.push(frame.ts, &frame.bytes) {
-            Recovered::Udp {
-                peer,
-                direction,
-                payload,
-                was_fragmented,
-            } => {
-                ws.udp_datagrams += 1;
-                if was_fragmented {
-                    ws.fragmented_datagrams += 1;
+        let decoded = match &supervision {
+            None => process_frame(&mut wire, &mut decoder, &mut ws, &frame),
+            Some((windex, plan, faults)) => {
+                if degraded {
+                    // Out of restart budget: tombstone everything rather
+                    // than stop the capture ("never stop the capture").
+                    faults.tombstoned.inc();
+                    None
+                } else if backoff_left > 0 {
+                    backoff_left -= 1;
+                    faults.backoff_dropped.inc();
+                    faults.tombstoned.inc();
+                    None
+                } else {
+                    let crash_due = plan.crash_due(*windex, received);
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        if crash_due {
+                            std::panic::panic_any(InjectedWorkerCrash);
+                        }
+                        process_frame(&mut wire, &mut decoder, &mut ws, &frame)
+                    }));
+                    match outcome {
+                        Ok(d) => d,
+                        Err(_) => {
+                            faults.crashes.inc();
+                            faults.tombstoned.inc();
+                            // Salvage the dead instance's accounting,
+                            // then restart with fresh decoder state: a
+                            // crash mid-frame may have left reassembly
+                            // or stream state poisoned.
+                            ws.decoder.merge(&decoder.stats());
+                            merge_reassembly(&mut ws.reassembly, &wire.reassembly_stats());
+                            wire = WireDecoder::new();
+                            decoder = Decoder::new();
+                            if restarts >= plan.max_restarts {
+                                degraded = true;
+                                faults.degraded.inc();
+                            } else {
+                                restarts += 1;
+                                faults.restarts.inc();
+                                backoff_left = plan.backoff_after(restarts);
+                            }
+                            None
+                        }
+                    }
                 }
-                decode_payload(&mut decoder, frame.ts, peer, direction, &payload)
-            }
-            Recovered::FragmentPending => None,
-            Recovered::NotUdp => {
-                ws.not_udp += 1;
-                None
-            }
-            Recovered::OtherPort => {
-                ws.other_port += 1;
-                None
-            }
-            Recovered::ParseError => {
-                ws.parse_errors += 1;
-                None
             }
         };
         telemetry.service_ns.record_since(t);
@@ -321,9 +574,44 @@ fn worker_loop(
             break;
         }
     }
-    ws.decoder = decoder.stats();
-    ws.reassembly = wire.reassembly_stats();
+    ws.decoder.merge(&decoder.stats());
+    merge_reassembly(&mut ws.reassembly, &wire.reassembly_stats());
     ws
+}
+
+fn process_frame(
+    wire: &mut WireDecoder,
+    decoder: &mut Decoder,
+    ws: &mut WorkerStats,
+    frame: &TimedFrame,
+) -> Option<DecodedMsg> {
+    match wire.push(frame.ts, &frame.bytes) {
+        Recovered::Udp {
+            peer,
+            direction,
+            payload,
+            was_fragmented,
+        } => {
+            ws.udp_datagrams += 1;
+            if was_fragmented {
+                ws.fragmented_datagrams += 1;
+            }
+            decode_payload(decoder, frame.ts, peer, direction, &payload)
+        }
+        Recovered::FragmentPending => None,
+        Recovered::NotUdp => {
+            ws.not_udp += 1;
+            None
+        }
+        Recovered::OtherPort => {
+            ws.other_port += 1;
+            None
+        }
+        Recovered::ParseError => {
+            ws.parse_errors += 1;
+            None
+        }
+    }
 }
 
 fn decode_payload(
@@ -593,6 +881,194 @@ mod tests {
         assert_eq!(snap.gauge("stage.reorder.depth"), 0);
         assert_eq!(snap.gauge("chan.decode_in.depth"), 0);
         assert_eq!(snap.gauge("chan.decode_out.depth"), 0);
+    }
+
+    fn query_msgs(n: usize) -> Vec<(u32, Message)> {
+        (0..n)
+            .map(|i| {
+                (
+                    (i % 40) as u32,
+                    Message::GetSources {
+                        file_ids: vec![FileId::of_identity(i as u64 % 17)],
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn producer_sheds_deterministically_during_overload() {
+        // 200 one-frame messages at ts = 0..200 s; overload covers
+        // [50 s, 100 s) and keeps every 2nd offered frame.
+        let frames = frames_for(&query_msgs(200));
+        let plan = WorkerFaultPlan {
+            crash_every: 0,
+            max_restarts: 0,
+            backoff_frames: 0,
+            backoff_cap: 0,
+            overload: vec![etw_faults::Window {
+                start_us: 50_000_000,
+                end_us: 100_000_000,
+            }],
+            shed_keep_every: 2,
+        };
+        let opts = PipelineOptions {
+            checkpoint_interval_us: 0,
+            resume: None,
+            faults: Some(plan),
+        };
+        let registry = Registry::new();
+        let run_once = |registry: &Registry| {
+            let mut records = Vec::new();
+            let (stats, _, _) = run_capture_pipeline_with(
+                frames.clone().into_iter(),
+                3,
+                PaperScheme::paper(16),
+                None,
+                registry,
+                &opts,
+                |r| records.push(r),
+                |_| {},
+            );
+            (stats, records)
+        };
+        let (stats, records) = run_once(&registry);
+        // 50 frames fall in the window; ordinals there alternate
+        // keep/shed, so half are shed.
+        assert_eq!(stats.shed, 25);
+        assert_eq!(stats.frames, 175);
+        assert_eq!(stats.frames + stats.shed, 200, "frames conserve");
+        assert_eq!(records.len(), 175, "survivors all decode");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("pipeline.shed_total"), stats.shed);
+        assert_eq!(snap.counter("stage.producer.frames_total"), stats.frames);
+        // Shedding is a pure function of the frame stream: re-running
+        // sheds the exact same frames.
+        let (stats2, records2) = run_once(&Registry::disabled());
+        assert_eq!(stats2.shed, stats.shed);
+        assert_eq!(records2, records);
+    }
+
+    #[test]
+    fn supervised_workers_crash_restart_then_degrade() {
+        let frames = frames_for(&query_msgs(400));
+        let plan = WorkerFaultPlan {
+            crash_every: 25,
+            max_restarts: 2,
+            backoff_frames: 2,
+            backoff_cap: 8,
+            overload: Vec::new(),
+            shed_keep_every: 0,
+        };
+        let opts = PipelineOptions {
+            checkpoint_interval_us: 0,
+            resume: None,
+            faults: Some(plan),
+        };
+        let registry = Registry::new();
+        let mut records = Vec::new();
+        let (stats, _, _) = run_capture_pipeline_with(
+            frames.into_iter(),
+            2,
+            PaperScheme::paper(16),
+            None,
+            &registry,
+            &opts,
+            |r| records.push(r),
+            |_| {},
+        );
+        let snap = registry.snapshot();
+        let crashes = snap.counter("faults.worker.crashes_total");
+        let restarts = snap.counter("faults.worker.restarts_total");
+        let degraded = snap.counter("faults.worker.degraded_total");
+        let tombstoned = snap.counter("faults.worker.tombstoned_total");
+        let backoff = snap.counter("faults.worker.backoff_dropped_total");
+        assert!(crashes > 0, "no crashes fired");
+        assert!(restarts > 0, "no restarts happened");
+        assert_eq!(degraded, 2, "both workers exhaust their budget");
+        assert!(backoff > 0);
+        // Every frame still produced exactly one sequence step: the sink
+        // never stalls and the channels drain fully.
+        assert_eq!(stats.frames, 400);
+        assert_eq!(snap.counter("chan.decode_out.sent_total"), stats.frames);
+        assert_eq!(snap.counter("stage.decode.frames_total"), stats.frames);
+        // Tombstoned frames are exactly the records gap (every survivor
+        // in this workload decodes to a record).
+        assert_eq!(stats.records, records.len() as u64);
+        assert_eq!(stats.records + tombstoned, stats.frames);
+        // Tombstones decompose into crash-consumed, backoff-dropped and
+        // degraded-mode frames.
+        let degraded_frames = tombstoned - crashes - backoff;
+        assert!(degraded_frames > 0, "degraded workers saw no traffic");
+    }
+
+    #[test]
+    fn checkpoints_cut_at_boundaries_and_resume_reproduces_tail() {
+        let frames = frames_for(&query_msgs(300));
+        let opts = PipelineOptions {
+            checkpoint_interval_us: 60_000_000, // every virtual minute
+            resume: None,
+            faults: None,
+        };
+        let mut full = Vec::new();
+        let mut cuts = Vec::new();
+        let (stats, _, _) = run_capture_pipeline_with(
+            frames.clone().into_iter(),
+            2,
+            PaperScheme::paper(16),
+            None,
+            &Registry::disabled(),
+            &opts,
+            |r| full.push(r),
+            |cp| cuts.push(cp),
+        );
+        assert_eq!(stats.records, 300);
+        assert!(cuts.len() >= 4, "expected several checkpoint cuts");
+        for w in cuts.windows(2) {
+            assert!(w[0].records < w[1].records, "cuts advance");
+            assert!(w[0].next_checkpoint_us <= w[1].virtual_us + 60_000_000);
+        }
+        // A cut's state is "everything before the boundary": each
+        // checkpoint at boundary k*60s holds exactly the messages with
+        // ts < boundary (one message per second here).
+        let first = &cuts[0];
+        assert_eq!(first.records, 60);
+        assert_eq!(first.virtual_us, 59_000_000);
+
+        // Resume from a middle checkpoint and replay: the tail must match
+        // the uninterrupted run record-for-record, and the later cuts
+        // must be identical too.
+        let cp = cuts[1].clone();
+        let scheme = PaperScheme::from_orders(
+            16,
+            ByteSelector::ALTERNATIVE,
+            &cp.client_order,
+            &cp.file_order,
+        );
+        let resume_opts = PipelineOptions {
+            checkpoint_interval_us: 60_000_000,
+            resume: Some(ResumePoint {
+                records: cp.records,
+                virtual_us: cp.virtual_us,
+                next_checkpoint_us: cp.next_checkpoint_us,
+            }),
+            faults: None,
+        };
+        let mut tail = Vec::new();
+        let mut tail_cuts = Vec::new();
+        let (rstats, _, _) = run_capture_pipeline_with(
+            frames.into_iter(),
+            4, // different worker count: output must not care
+            scheme,
+            None,
+            &Registry::disabled(),
+            &resume_opts,
+            |r| tail.push(r),
+            |c| tail_cuts.push(c),
+        );
+        assert_eq!(rstats.records, 300 - cp.records);
+        assert_eq!(&full[cp.records as usize..], &tail[..]);
+        assert_eq!(&cuts[2..], &tail_cuts[..], "resumed cuts diverge");
     }
 
     #[test]

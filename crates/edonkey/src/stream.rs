@@ -17,6 +17,7 @@
 
 use crate::error::DecodeError;
 use crate::messages::{Message, PROTO_EDONKEY};
+use etw_telemetry::{Counter, Registry};
 
 /// Serialises messages into a TCP stream.
 pub fn encode_stream(msgs: &[Message]) -> Vec<u8> {
@@ -41,11 +42,24 @@ pub struct StreamStats {
     pub skipped_bytes: u64,
 }
 
+/// Live metrics for stream decoding (`tcp.stream.*` namespace); no-ops
+/// until [`StreamDecoder::attach_telemetry`].
+#[derive(Clone, Default)]
+struct StreamTelemetry {
+    /// `tcp.stream.decoded_total`
+    decoded: Counter,
+    /// `tcp.stream.bad_frames_total`
+    bad_frames: Counter,
+    /// `tcp.stream.skipped_bytes_total`
+    skipped_bytes: Counter,
+}
+
 /// Incremental TCP stream decoder with resynchronisation.
 #[derive(Default)]
 pub struct StreamDecoder {
     buf: Vec<u8>,
     stats: StreamStats,
+    telemetry: StreamTelemetry,
 }
 
 /// Upper bound on a plausible frame length; anything larger is treated
@@ -64,6 +78,18 @@ impl StreamDecoder {
         self.stats
     }
 
+    /// Mirrors decode outcomes into `registry` under
+    /// `tcp.stream.decoded_total`, `tcp.stream.bad_frames_total` and
+    /// `tcp.stream.skipped_bytes_total`. Decoders for many flows can
+    /// share one registry: the counters aggregate across them.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = StreamTelemetry {
+            decoded: registry.counter("tcp.stream.decoded_total"),
+            bad_frames: registry.counter("tcp.stream.bad_frames_total"),
+            skipped_bytes: registry.counter("tcp.stream.skipped_bytes_total"),
+        };
+    }
+
     /// Bytes buffered awaiting a complete frame.
     pub fn pending_bytes(&self) -> usize {
         self.buf.len()
@@ -79,12 +105,14 @@ impl StreamDecoder {
                 Some(p) => p,
                 None => {
                     self.stats.skipped_bytes += self.buf.len() as u64;
+                    self.telemetry.skipped_bytes.add(self.buf.len() as u64);
                     self.buf.clear();
                     return out;
                 }
             };
             if start > 0 {
                 self.stats.skipped_bytes += start as u64;
+                self.telemetry.skipped_bytes.add(start as u64);
                 self.buf.drain(..start);
             }
             if self.buf.len() < 5 {
@@ -95,6 +123,7 @@ impl StreamDecoder {
                 // Implausible length: this 0xE3 was payload, not a
                 // frame boundary. Skip it and resync.
                 self.stats.skipped_bytes += 1;
+                self.telemetry.skipped_bytes.inc();
                 self.buf.drain(..1);
                 continue;
             }
@@ -110,6 +139,7 @@ impl StreamDecoder {
             match Message::decode(&datagram) {
                 Ok(m) => {
                     self.stats.decoded += 1;
+                    self.telemetry.decoded.inc();
                     self.buf.drain(..total);
                     out.push(m);
                 }
@@ -119,6 +149,8 @@ impl StreamDecoder {
                     // marker byte and resync.
                     self.stats.bad_frames += 1;
                     self.stats.skipped_bytes += 1;
+                    self.telemetry.bad_frames.inc();
+                    self.telemetry.skipped_bytes.inc();
                     self.buf.drain(..1);
                 }
             }
@@ -219,5 +251,37 @@ mod tests {
     fn empty_push() {
         let mut d = StreamDecoder::new();
         assert!(d.push(&[]).is_empty());
+    }
+
+    #[test]
+    fn telemetry_counters_mirror_stats() {
+        let registry = Registry::new();
+        let msgs = sample_messages();
+        // Two damaged streams through two decoders sharing the registry:
+        // counters must aggregate to the sum of both stats snapshots.
+        let mut totals = StreamStats::default();
+        for cut in [8usize, 20] {
+            let mut stream = vec![0x01, 0x02]; // leading garbage
+            stream.extend(encode_stream(&msgs));
+            stream.drain(cut..cut + 6);
+            let mut d = StreamDecoder::new();
+            d.attach_telemetry(&registry);
+            d.push(&stream);
+            let s = d.stats();
+            totals.decoded += s.decoded;
+            totals.bad_frames += s.bad_frames;
+            totals.skipped_bytes += s.skipped_bytes;
+        }
+        let snap = registry.snapshot();
+        assert!(totals.decoded > 0 && totals.skipped_bytes > 0);
+        assert_eq!(snap.counter("tcp.stream.decoded_total"), totals.decoded);
+        assert_eq!(
+            snap.counter("tcp.stream.bad_frames_total"),
+            totals.bad_frames
+        );
+        assert_eq!(
+            snap.counter("tcp.stream.skipped_bytes_total"),
+            totals.skipped_bytes
+        );
     }
 }

@@ -117,6 +117,7 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/campaign.rs",
     "crates/core/src/config.rs",
     "crates/edonkey/src/decoder.rs",
+    "crates/faults/src/lib.rs",
     "crates/netsim/src/capture.rs",
 ];
 

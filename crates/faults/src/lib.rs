@@ -1,0 +1,796 @@
+//! Deterministic fault injection for the capture machine.
+//!
+//! The paper's capture box ran for ten weeks on a real network, where
+//! datagram loss, reordering, duplication and component failure are the
+//! normal case, not the exception. This crate models those conditions
+//! *deterministically*: every fault decision is drawn from a seeded RNG
+//! or a virtual-time window, so a faulty campaign is exactly as
+//! reproducible as a perfect one — which is what makes checkpoint/resume
+//! byte-identical replay possible.
+//!
+//! Three fault surfaces share one [`FaultSpec`]:
+//!
+//! * [`FaultyLink`] — an iterator adapter slotted between the traffic
+//!   generator and the capture pipeline. Drops, duplicates, reorders,
+//!   delays and truncates frames at per-direction rates, and blacks out
+//!   entire [`Window`]s (link outages). All events are surfaced as
+//!   `faults.link.*` counters.
+//! * [`LossyChannel`] — the datagram-level view used by the active
+//!   prober: each send/receive either delivers or silently vanishes,
+//!   feeding real request-level timeouts.
+//! * [`WorkerFaultPlan`] — a schedule of injected decode-worker crashes
+//!   and overload windows, consumed by the supervised pipeline.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use etw_telemetry::{Counter, Registry};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Direction of a frame or datagram relative to the observed server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkDirection {
+    /// Client → server (requests, announcements).
+    ToServer,
+    /// Server → client (answers, status).
+    FromServer,
+}
+
+/// A fault probability applied per direction.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DirectedRates {
+    pub to_server: f64,
+    pub from_server: f64,
+}
+
+impl DirectedRates {
+    /// Same rate in both directions.
+    pub fn symmetric(rate: f64) -> Self {
+        DirectedRates {
+            to_server: rate,
+            from_server: rate,
+        }
+    }
+
+    pub fn rate(&self, dir: LinkDirection) -> f64 {
+        match dir {
+            LinkDirection::ToServer => self.to_server,
+            LinkDirection::FromServer => self.from_server,
+        }
+    }
+
+    fn any(&self) -> bool {
+        self.to_server > 0.0 || self.from_server > 0.0
+    }
+
+    fn invalid(&self) -> Option<f64> {
+        [self.to_server, self.from_server]
+            .into_iter()
+            .find(|r| !(0.0..=1.0).contains(r) || r.is_nan())
+    }
+}
+
+/// A half-open virtual-time interval `[start_us, end_us)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    pub start_us: u64,
+    pub end_us: u64,
+}
+
+impl Window {
+    pub fn contains(&self, us: u64) -> bool {
+        self.start_us <= us && us < self.end_us
+    }
+}
+
+fn in_windows(windows: &[Window], us: u64) -> bool {
+    windows.iter().any(|w| w.contains(us))
+}
+
+fn invalid_window(windows: &[Window]) -> Option<Window> {
+    windows.iter().copied().find(|w| w.start_us >= w.end_us)
+}
+
+/// Full fault configuration for a campaign. `FaultSpec::default()` is a
+/// perfect world: every rate zero, no windows, no worker crashes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Seed for all fault randomness (independent of the traffic seed).
+    pub seed: u64,
+    /// Probability a frame is silently dropped.
+    pub drop: DirectedRates,
+    /// Probability a frame is delivered twice (same timestamp).
+    pub duplicate: DirectedRates,
+    /// Probability a frame swaps wire contents with its neighbour.
+    pub reorder: DirectedRates,
+    /// Probability a frame is cut short mid-payload.
+    pub truncate: DirectedRates,
+    /// Probability a frame is held back and re-stamped later.
+    pub delay: DirectedRates,
+    /// Maximum extra latency for a delayed frame, in virtual µs.
+    pub delay_max_us: u64,
+    /// Link outages: every frame inside these windows is lost.
+    pub outages: Vec<Window>,
+    /// Overload windows: the pipeline sheds (drops-and-counts) frames
+    /// here instead of blocking the capture.
+    pub overload: Vec<Window>,
+    /// During overload, keep one frame in every `shed_keep_every`
+    /// offered (0 = shed everything inside the window).
+    pub shed_keep_every: u64,
+    /// Inject a decode-worker crash every N frames per worker (0 = off).
+    pub worker_crash_every: u64,
+    /// Restarts allowed per worker before it degrades permanently.
+    pub max_worker_restarts: u32,
+    /// Frames tombstoned after the k-th restart: `base << (k-1)`, capped.
+    pub restart_backoff_frames: u64,
+    /// Upper bound on the restart backoff.
+    pub restart_backoff_cap: u64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            seed: 0xFA17,
+            drop: DirectedRates::default(),
+            duplicate: DirectedRates::default(),
+            reorder: DirectedRates::default(),
+            truncate: DirectedRates::default(),
+            delay: DirectedRates::default(),
+            delay_max_us: 0,
+            outages: Vec::new(),
+            overload: Vec::new(),
+            shed_keep_every: 4,
+            worker_crash_every: 0,
+            max_worker_restarts: 3,
+            restart_backoff_frames: 2,
+            restart_backoff_cap: 64,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// True when the link layer has anything to do.
+    pub fn link_active(&self) -> bool {
+        self.drop.any()
+            || self.duplicate.any()
+            || self.reorder.any()
+            || self.truncate.any()
+            || (self.delay.any() && self.delay_max_us > 0)
+            || !self.outages.is_empty()
+    }
+
+    /// The worker-facing slice of the spec, or `None` when neither
+    /// crash injection nor overload shedding is configured.
+    pub fn worker_plan(&self) -> Option<WorkerFaultPlan> {
+        if self.worker_crash_every == 0 && self.overload.is_empty() {
+            return None;
+        }
+        Some(WorkerFaultPlan {
+            crash_every: self.worker_crash_every,
+            max_restarts: self.max_worker_restarts,
+            backoff_frames: self.restart_backoff_frames,
+            backoff_cap: self.restart_backoff_cap,
+            overload: self.overload.clone(),
+            shed_keep_every: self.shed_keep_every,
+        })
+    }
+
+    /// First probability outside `[0, 1]`, with its field name, if any.
+    pub fn invalid_probability(&self) -> Option<(&'static str, f64)> {
+        [
+            ("faults.drop", &self.drop),
+            ("faults.duplicate", &self.duplicate),
+            ("faults.reorder", &self.reorder),
+            ("faults.truncate", &self.truncate),
+            ("faults.delay", &self.delay),
+        ]
+        .into_iter()
+        .find_map(|(name, rates)| rates.invalid().map(|r| (name, r)))
+    }
+
+    /// First empty-or-inverted window, if any.
+    pub fn invalid_window(&self) -> Option<(u64, u64)> {
+        invalid_window(&self.outages)
+            .or_else(|| invalid_window(&self.overload))
+            .map(|w| (w.start_us, w.end_us))
+    }
+}
+
+/// Worker-level fault schedule derived from a [`FaultSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerFaultPlan {
+    pub crash_every: u64,
+    pub max_restarts: u32,
+    pub backoff_frames: u64,
+    pub backoff_cap: u64,
+    pub overload: Vec<Window>,
+    pub shed_keep_every: u64,
+}
+
+impl WorkerFaultPlan {
+    /// Should worker `worker` crash while handling its `ordinal`-th
+    /// frame (1-based)? Workers are offset so they do not all crash on
+    /// the same frame count.
+    pub fn crash_due(&self, worker: usize, ordinal: u64) -> bool {
+        self.crash_every > 0 && (ordinal + worker as u64).is_multiple_of(self.crash_every)
+    }
+
+    /// Tombstoned-frame budget after the k-th restart (1-based):
+    /// exponential backoff, capped.
+    pub fn backoff_after(&self, restart: u32) -> u64 {
+        let shift = restart.saturating_sub(1).min(63);
+        self.backoff_frames
+            .saturating_shl(shift)
+            .min(self.backoff_cap)
+    }
+
+    /// Should the producer shed the `ordinal`-th offered frame (1-based)
+    /// arriving at virtual time `ts_us`?
+    pub fn should_shed(&self, ts_us: u64, ordinal: u64) -> bool {
+        if !in_windows(&self.overload, ts_us) {
+            return false;
+        }
+        self.shed_keep_every == 0 || !ordinal.is_multiple_of(self.shed_keep_every)
+    }
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> u64 {
+        if self == 0 {
+            return 0;
+        }
+        if shift >= self.leading_zeros() {
+            u64::MAX
+        } else {
+            self << shift
+        }
+    }
+}
+
+/// Panic payload for injected worker crashes, so the supervisor's panic
+/// hook can distinguish scheduled faults from genuine bugs.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectedWorkerCrash;
+
+/// Frame interface the lossy link manipulates. Implemented by the
+/// campaign's `TimedFrame`; tests use a trivial in-crate frame.
+pub trait LinkFrame {
+    /// Capture timestamp (arrival at the tap) in virtual µs.
+    fn ts_us(&self) -> u64;
+    /// Re-stamp the frame (used when a delayed frame arrives late).
+    fn set_ts_us(&mut self, us: u64);
+    /// Which side of the tap sent it.
+    fn direction(&self) -> LinkDirection;
+    /// Bytes on the wire.
+    fn wire_len(&self) -> usize;
+    /// Cut the frame to `keep` bytes.
+    fn truncate_wire(&mut self, keep: usize);
+    /// Swap wire contents with a neighbour, keeping both timestamps:
+    /// this is how reordering looks to a tap that stamps on arrival.
+    fn swap_wire(&mut self, other: &mut Self);
+}
+
+struct LinkTelemetry {
+    offered: Counter,
+    delivered: Counter,
+    dropped: Counter,
+    duplicated: Counter,
+    reordered: Counter,
+    delayed: Counter,
+    truncated: Counter,
+    outage_dropped: Counter,
+}
+
+impl LinkTelemetry {
+    fn new(registry: &Registry) -> Self {
+        LinkTelemetry {
+            offered: registry.counter("faults.link.offered_total"),
+            delivered: registry.counter("faults.link.delivered_total"),
+            dropped: registry.counter("faults.link.dropped_total"),
+            duplicated: registry.counter("faults.link.duplicated_total"),
+            reordered: registry.counter("faults.link.reordered_total"),
+            delayed: registry.counter("faults.link.delayed_total"),
+            truncated: registry.counter("faults.link.truncated_total"),
+            outage_dropped: registry.counter("faults.link.outage_dropped_total"),
+        }
+    }
+}
+
+/// A delayed frame waiting for its release time. Ordered by
+/// `(release_us, tie)` so the heap pops in arrival order with a stable
+/// tiebreak.
+struct Held<T> {
+    release_us: u64,
+    tie: u64,
+    frame: T,
+}
+
+impl<T> PartialEq for Held<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.release_us == other.release_us && self.tie == other.tie
+    }
+}
+impl<T> Eq for Held<T> {}
+impl<T> PartialOrd for Held<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Held<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.release_us, self.tie).cmp(&(other.release_us, other.tie))
+    }
+}
+
+/// Deterministic lossy-link iterator adapter.
+///
+/// Wraps the frame source feeding the capture pipeline and applies, per
+/// frame and in this order: outage check, drop, delay, truncate,
+/// duplicate, reorder. Because the tap stamps frames on *arrival*, a
+/// delayed frame is re-stamped at its release time and a reordered pair
+/// swaps wire contents while keeping timestamps — the emitted stream
+/// stays time-ordered, exactly as a real capture would observe it.
+///
+/// Conservation ledger (checked by the soak run):
+/// `delivered = offered - dropped - outage_dropped + duplicated`.
+pub struct FaultyLink<I>
+where
+    I: Iterator,
+    I::Item: LinkFrame + Clone,
+{
+    upstream: I,
+    spec: FaultSpec,
+    rng: StdRng,
+    telemetry: LinkTelemetry,
+    /// Frames held back by the delay fault, keyed by release time.
+    held: BinaryHeap<Reverse<Held<I::Item>>>,
+    /// Frames ready to emit, in arrival order.
+    ready: VecDeque<I::Item>,
+    /// One-slot lookahead so a reorder can swap with its predecessor
+    /// before that predecessor is emitted.
+    slot: Option<I::Item>,
+    tie: u64,
+    upstream_done: bool,
+}
+
+impl<I> FaultyLink<I>
+where
+    I: Iterator,
+    I::Item: LinkFrame + Clone,
+{
+    pub fn new(upstream: I, spec: FaultSpec, registry: &Registry) -> Self {
+        let rng = StdRng::seed_from_u64(spec.seed ^ 0x6c69_6e6b); // "link"
+        FaultyLink {
+            upstream,
+            spec,
+            rng,
+            telemetry: LinkTelemetry::new(registry),
+            held: BinaryHeap::new(),
+            ready: VecDeque::new(),
+            slot: None,
+            tie: 0,
+            upstream_done: false,
+        }
+    }
+
+    fn gate(&mut self, rates: &DirectedRates, dir: LinkDirection) -> bool {
+        let rate = rates.rate(dir);
+        rate > 0.0 && self.rng.gen_bool(rate)
+    }
+
+    /// Move `frame` toward the output through the one-slot buffer.
+    fn push_out(&mut self, frame: I::Item) {
+        if let Some(prev) = self.slot.replace(frame) {
+            self.ready.push_back(prev);
+        }
+    }
+
+    /// Release every held frame due at or before `now_us`.
+    fn release_due(&mut self, now_us: u64) {
+        while let Some(Reverse(top)) = self.held.peek() {
+            if top.release_us > now_us {
+                break;
+            }
+            if let Some(Reverse(held)) = self.held.pop() {
+                let mut frame = held.frame;
+                frame.set_ts_us(held.release_us);
+                self.push_out(frame);
+            }
+        }
+    }
+
+    /// Apply the fault gates to one upstream frame.
+    fn process(&mut self, mut frame: I::Item) {
+        self.telemetry.offered.inc();
+        let now = frame.ts_us();
+        let dir = frame.direction();
+
+        if in_windows(&self.spec.outages, now) {
+            self.telemetry.outage_dropped.inc();
+            return;
+        }
+        let drop = self.spec.drop;
+        if self.gate(&drop, dir) {
+            self.telemetry.dropped.inc();
+            return;
+        }
+        let delay = self.spec.delay;
+        if self.spec.delay_max_us > 0 && self.gate(&delay, dir) {
+            let extra = self.rng.gen_range(1..=self.spec.delay_max_us);
+            self.telemetry.delayed.inc();
+            self.tie += 1;
+            self.held.push(Reverse(Held {
+                release_us: now + extra,
+                tie: self.tie,
+                frame,
+            }));
+            return;
+        }
+        let truncate = self.spec.truncate;
+        if frame.wire_len() > 1 && self.gate(&truncate, dir) {
+            let keep = self.rng.gen_range(1..frame.wire_len() as u64) as usize;
+            frame.truncate_wire(keep);
+            self.telemetry.truncated.inc();
+        }
+        let duplicate = self.spec.duplicate;
+        let dup = self.gate(&duplicate, dir);
+        let reorder = self.spec.reorder;
+        if self.gate(&reorder, dir) {
+            if let Some(prev) = self.slot.as_mut() {
+                prev.swap_wire(&mut frame);
+                self.telemetry.reordered.add(2);
+            }
+        }
+        if dup {
+            self.telemetry.duplicated.inc();
+            let copy = frame.clone();
+            self.push_out(frame);
+            self.push_out(copy);
+        } else {
+            self.push_out(frame);
+        }
+    }
+
+    /// Drain everything once upstream is exhausted.
+    fn finish_upstream(&mut self) {
+        // Remaining held frames release in order after the last frame.
+        while let Some(Reverse(held)) = self.held.pop() {
+            let mut frame = held.frame;
+            frame.set_ts_us(held.release_us);
+            self.push_out(frame);
+        }
+        if let Some(last) = self.slot.take() {
+            self.ready.push_back(last);
+        }
+    }
+}
+
+impl<I> Iterator for FaultyLink<I>
+where
+    I: Iterator,
+    I::Item: LinkFrame + Clone,
+{
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        loop {
+            if let Some(frame) = self.ready.pop_front() {
+                self.telemetry.delivered.inc();
+                return Some(frame);
+            }
+            if self.upstream_done {
+                return None;
+            }
+            match self.upstream.next() {
+                Some(frame) => {
+                    self.release_due(frame.ts_us());
+                    self.process(frame);
+                }
+                None => {
+                    self.upstream_done = true;
+                    self.finish_upstream();
+                }
+            }
+        }
+    }
+}
+
+/// Datagram-level loss model for the active prober: each send either
+/// reaches the far side or silently vanishes. Shares the outage windows
+/// with the link model but draws from its own seeded RNG so probe
+/// traffic does not perturb capture-side fault decisions.
+#[derive(Debug)]
+pub struct LossyChannel {
+    rng: StdRng,
+    drop: DirectedRates,
+    outages: Vec<Window>,
+}
+
+impl LossyChannel {
+    pub fn new(seed: u64, drop: DirectedRates, outages: Vec<Window>) -> Self {
+        LossyChannel {
+            rng: StdRng::seed_from_u64(seed ^ 0x7072_6f62), // "prob"
+            drop,
+            outages,
+        }
+    }
+
+    pub fn from_spec(spec: &FaultSpec) -> Self {
+        LossyChannel::new(spec.seed, spec.drop, spec.outages.clone())
+    }
+
+    /// Does a datagram sent in `dir` at virtual time `now_us` arrive?
+    pub fn delivers(&mut self, dir: LinkDirection, now_us: u64) -> bool {
+        if in_windows(&self.outages, now_us) {
+            return false;
+        }
+        let rate = self.drop.rate(dir);
+        !(rate > 0.0 && self.rng.gen_bool(rate))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct TestFrame {
+        ts: u64,
+        dir: LinkDirection,
+        wire: Vec<u8>,
+    }
+
+    impl LinkFrame for TestFrame {
+        fn ts_us(&self) -> u64 {
+            self.ts
+        }
+        fn set_ts_us(&mut self, us: u64) {
+            self.ts = us;
+        }
+        fn direction(&self) -> LinkDirection {
+            self.dir
+        }
+        fn wire_len(&self) -> usize {
+            self.wire.len()
+        }
+        fn truncate_wire(&mut self, keep: usize) {
+            self.wire.truncate(keep);
+        }
+        fn swap_wire(&mut self, other: &mut Self) {
+            std::mem::swap(&mut self.wire, &mut other.wire);
+        }
+    }
+
+    fn frames(n: u64) -> Vec<TestFrame> {
+        (0..n)
+            .map(|i| TestFrame {
+                ts: i * 100,
+                dir: if i % 2 == 0 {
+                    LinkDirection::ToServer
+                } else {
+                    LinkDirection::FromServer
+                },
+                wire: vec![i as u8; 64],
+            })
+            .collect()
+    }
+
+    fn run_link(spec: FaultSpec, input: Vec<TestFrame>) -> (Vec<TestFrame>, Registry) {
+        let registry = Registry::new();
+        let out: Vec<TestFrame> = FaultyLink::new(input.into_iter(), spec, &registry).collect();
+        (out, registry)
+    }
+
+    fn lossy_spec() -> FaultSpec {
+        FaultSpec {
+            seed: 7,
+            drop: DirectedRates::symmetric(0.1),
+            duplicate: DirectedRates::symmetric(0.05),
+            reorder: DirectedRates::symmetric(0.08),
+            truncate: DirectedRates::symmetric(0.04),
+            delay: DirectedRates::symmetric(0.1),
+            delay_max_us: 5_000,
+            outages: vec![Window {
+                start_us: 20_000,
+                end_us: 25_000,
+            }],
+            ..FaultSpec::default()
+        }
+    }
+
+    #[test]
+    fn default_spec_is_identity() {
+        let input = frames(500);
+        let (out, registry) = run_link(FaultSpec::default(), input.clone());
+        assert_eq!(out, input);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("faults.link.offered_total"), 500);
+        assert_eq!(snap.counter("faults.link.delivered_total"), 500);
+        assert_eq!(snap.counter("faults.link.dropped_total"), 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (a, _) = run_link(lossy_spec(), frames(2_000));
+        let (b, _) = run_link(lossy_spec(), frames(2_000));
+        assert_eq!(a, b);
+        let different = FaultSpec {
+            seed: 8,
+            ..lossy_spec()
+        };
+        let (c, _) = run_link(different, frames(2_000));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ledger_conserves_frames() {
+        let (out, registry) = run_link(lossy_spec(), frames(5_000));
+        let snap = registry.snapshot();
+        let offered = snap.counter("faults.link.offered_total");
+        let delivered = snap.counter("faults.link.delivered_total");
+        let dropped = snap.counter("faults.link.dropped_total");
+        let outage = snap.counter("faults.link.outage_dropped_total");
+        let duplicated = snap.counter("faults.link.duplicated_total");
+        assert_eq!(offered, 5_000);
+        assert_eq!(delivered, offered - dropped - outage + duplicated);
+        assert_eq!(out.len() as u64, delivered);
+        assert!(dropped > 0, "drop rate 0.1 over 5k frames must fire");
+        assert!(duplicated > 0);
+        assert!(outage > 0, "frames fall inside the outage window");
+        assert!(snap.counter("faults.link.reordered_total") > 0);
+        assert!(snap.counter("faults.link.delayed_total") > 0);
+        assert!(snap.counter("faults.link.truncated_total") > 0);
+    }
+
+    #[test]
+    fn output_stays_time_ordered() {
+        let (out, _) = run_link(lossy_spec(), frames(5_000));
+        for pair in out.windows(2) {
+            assert!(pair[0].ts <= pair[1].ts, "capture stamps on arrival");
+        }
+    }
+
+    #[test]
+    fn outage_window_drops_everything_inside() {
+        let spec = FaultSpec {
+            outages: vec![Window {
+                start_us: 100_000,
+                end_us: 200_000,
+            }],
+            ..FaultSpec::default()
+        };
+        let (out, registry) = run_link(spec, frames(3_000));
+        assert!(out.iter().all(|f| !(100_000..200_000).contains(&f.ts)));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("faults.link.outage_dropped_total"), 1_000);
+    }
+
+    #[test]
+    fn delay_restamps_at_release_time() {
+        let spec = FaultSpec {
+            delay: DirectedRates::symmetric(1.0),
+            delay_max_us: 10,
+            ..FaultSpec::default()
+        };
+        let input = frames(100);
+        let (out, registry) = run_link(spec, input.clone());
+        assert_eq!(out.len(), 100, "delay never loses frames");
+        for (f, orig) in out.iter().zip(input.iter()) {
+            assert!(f.ts > orig.ts || f.wire != orig.wire || f.ts >= orig.ts);
+        }
+        for f in &out {
+            let orig = input.iter().find(|o| o.wire == f.wire).unwrap();
+            assert!(f.ts > orig.ts && f.ts <= orig.ts + 10);
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("faults.link.delayed_total"), 100);
+    }
+
+    #[test]
+    fn reorder_swaps_wire_not_timestamps() {
+        let spec = FaultSpec {
+            reorder: DirectedRates::symmetric(1.0),
+            ..FaultSpec::default()
+        };
+        let input = frames(4);
+        let (out, _) = run_link(spec, input.clone());
+        assert_eq!(out.len(), 4);
+        let in_ts: Vec<u64> = input.iter().map(|f| f.ts).collect();
+        let out_ts: Vec<u64> = out.iter().map(|f| f.ts).collect();
+        assert_eq!(in_ts, out_ts, "timestamps keep arrival order");
+        let mut in_wires: Vec<Vec<u8>> = input.iter().map(|f| f.wire.clone()).collect();
+        let mut out_wires: Vec<Vec<u8>> = out.iter().map(|f| f.wire.clone()).collect();
+        assert_ne!(in_wires, out_wires, "contents arrive out of order");
+        in_wires.sort();
+        out_wires.sort();
+        assert_eq!(in_wires, out_wires, "no payload lost or invented");
+    }
+
+    #[test]
+    fn truncate_shortens_but_keeps_frame() {
+        let spec = FaultSpec {
+            truncate: DirectedRates::symmetric(1.0),
+            ..FaultSpec::default()
+        };
+        let (out, _) = run_link(spec, frames(50));
+        assert_eq!(out.len(), 50);
+        assert!(out.iter().all(|f| !f.wire.is_empty() && f.wire.len() < 64));
+    }
+
+    #[test]
+    fn lossy_channel_outage_and_determinism() {
+        let spec = lossy_spec();
+        let mut a = LossyChannel::from_spec(&spec);
+        let mut b = LossyChannel::from_spec(&spec);
+        for t in 0..1_000u64 {
+            let dir = if t % 2 == 0 {
+                LinkDirection::ToServer
+            } else {
+                LinkDirection::FromServer
+            };
+            assert_eq!(a.delivers(dir, t * 100), b.delivers(dir, t * 100));
+        }
+        let mut c = LossyChannel::from_spec(&spec);
+        assert!(
+            !c.delivers(LinkDirection::ToServer, 21_000),
+            "inside outage"
+        );
+    }
+
+    #[test]
+    fn worker_plan_backoff_and_shed() {
+        let spec = FaultSpec {
+            worker_crash_every: 10,
+            restart_backoff_frames: 2,
+            restart_backoff_cap: 16,
+            overload: vec![Window {
+                start_us: 0,
+                end_us: 1_000,
+            }],
+            shed_keep_every: 4,
+            ..FaultSpec::default()
+        };
+        let plan = spec.worker_plan().unwrap();
+        assert_eq!(plan.backoff_after(1), 2);
+        assert_eq!(plan.backoff_after(2), 4);
+        assert_eq!(plan.backoff_after(3), 8);
+        assert_eq!(plan.backoff_after(4), 16);
+        assert_eq!(plan.backoff_after(10), 16, "capped");
+        assert!(plan.crash_due(0, 10));
+        assert!(!plan.crash_due(0, 11));
+        assert!(plan.crash_due(1, 9), "workers offset from each other");
+        assert!(plan.should_shed(500, 1));
+        assert!(!plan.should_shed(500, 4), "every 4th frame kept");
+        assert!(!plan.should_shed(2_000, 1), "outside the window");
+        assert!(FaultSpec::default().worker_plan().is_none());
+    }
+
+    #[test]
+    fn spec_validation_catches_bad_inputs() {
+        let bad_rate = FaultSpec {
+            drop: DirectedRates {
+                to_server: 1.5,
+                from_server: 0.0,
+            },
+            ..FaultSpec::default()
+        };
+        assert_eq!(bad_rate.invalid_probability(), Some(("faults.drop", 1.5)));
+        let bad_window = FaultSpec {
+            outages: vec![Window {
+                start_us: 10,
+                end_us: 10,
+            }],
+            ..FaultSpec::default()
+        };
+        assert_eq!(bad_window.invalid_window(), Some((10, 10)));
+        assert!(FaultSpec::default().invalid_probability().is_none());
+        assert!(FaultSpec::default().invalid_window().is_none());
+        assert!(!FaultSpec::default().link_active());
+        assert!(lossy_spec().link_active());
+    }
+}

@@ -1,0 +1,269 @@
+//! Exhaustive interleaving checks over the fault-injection accounting.
+//!
+//! The soak test checks the fault ledgers on *one* schedule — whatever
+//! the OS produced. These models check *all* of them, at the step
+//! granularity the real code guarantees: the producer's shed decision,
+//! a worker's decode-or-crash, and the lossy link's per-frame fate are
+//! each one linearizable unit (a frame is handled start-to-finish by
+//! one thread before its counters are read). The invariants are the
+//! same ledger equations `repro soak --faults` asserts:
+//!
+//! * `offered == shed + sent` at the producer,
+//! * `decoded + tombstoned <= sent` everywhere, with equality once the
+//!   queue drains (no record double-counted across a worker restart,
+//!   none lost),
+//! * `delivered == offered − dropped − outage + duplicated` at the link.
+//!
+//! A deliberately broken fixture — a crash handler that both salvages
+//! *and* tombstones the in-flight frame — proves the checker catches
+//! double counting rather than vacuously passing.
+
+use etw_interleave::{multinomial, Model, Step};
+use etw_telemetry::Registry;
+use std::collections::VecDeque;
+
+/// Shared state for the producer/worker models: the telemetry registry
+/// both sides report into, and the frame queue between them.
+struct PipeState {
+    registry: Registry,
+    queue: VecDeque<u64>,
+    /// Frames offered so far (the producer's shed ordinal).
+    ordinal: u64,
+}
+
+impl PipeState {
+    fn new() -> PipeState {
+        PipeState {
+            registry: Registry::new(),
+            queue: VecDeque::new(),
+            ordinal: 0,
+        }
+    }
+}
+
+/// The producer's per-frame step: count the offer, then either shed it
+/// (overload window, same keep-every-Nth rule as the real pipeline) or
+/// enqueue it for a worker.
+fn producer_step() -> Step<PipeState> {
+    Box::new(|s: &mut PipeState| {
+        s.ordinal += 1;
+        s.registry.counter("offered").inc();
+        // Frames 2 and 3 fall in the overload window; every 2nd ordinal
+        // is kept (shed_keep_every = 2), so exactly frame 3 is shed.
+        let in_window = (2..=3).contains(&s.ordinal);
+        if in_window && !s.ordinal.is_multiple_of(2) {
+            s.registry.counter("shed").inc();
+        } else {
+            s.registry.counter("sent").inc();
+            s.queue.push_back(s.ordinal);
+        }
+    })
+}
+
+/// A worker's per-frame step: take the next frame; crash on the marked
+/// one (the in-flight frame is tombstoned, the restart is immediate),
+/// decode the rest. An empty queue is a no-op — the real worker blocks.
+fn worker_step(crash_frame: u64) -> Step<PipeState> {
+    Box::new(move |s: &mut PipeState| {
+        let Some(f) = s.queue.pop_front() else {
+            return;
+        };
+        if f == crash_frame {
+            s.registry.counter("crashes").inc();
+            s.registry.counter("restarts").inc();
+            s.registry.counter("tombstoned").inc();
+        } else {
+            s.registry.counter("decoded").inc();
+        }
+    })
+}
+
+/// Drains whatever the schedule left in the queue through the same
+/// worker logic, so the final ledger talks about every frame.
+fn drain(s: &mut PipeState, crash_frame: u64) {
+    while !s.queue.is_empty() {
+        (worker_step(crash_frame))(s);
+    }
+}
+
+#[test]
+fn shed_and_crash_accounting_conserves_on_every_schedule() {
+    const FRAMES: usize = 4;
+    const CRASH_FRAME: u64 = 2;
+    let model = Model::new(PipeState::new)
+        .thread("producer", (0..FRAMES).map(|_| producer_step()).collect())
+        .thread(
+            "worker",
+            (0..FRAMES).map(|_| worker_step(CRASH_FRAME)).collect(),
+        )
+        .invariant("producer-ledger", |s: &PipeState| {
+            let snap = s.registry.snapshot();
+            let (offered, shed, sent) = (
+                snap.counter("offered"),
+                snap.counter("shed"),
+                snap.counter("sent"),
+            );
+            if offered == shed + sent {
+                Ok(())
+            } else {
+                Err(format!("offered {offered} != shed {shed} + sent {sent}"))
+            }
+        })
+        .invariant("no-phantom-outputs", |s: &PipeState| {
+            let snap = s.registry.snapshot();
+            let out = snap.counter("decoded") + snap.counter("tombstoned");
+            let sent = snap.counter("sent");
+            if out <= sent {
+                Ok(())
+            } else {
+                Err(format!("{out} outputs from {sent} sent frames"))
+            }
+        })
+        .invariant("restart-follows-crash", |s: &PipeState| {
+            let snap = s.registry.snapshot();
+            if snap.counter("crashes") == snap.counter("restarts") {
+                Ok(())
+            } else {
+                Err("crash without restart".into())
+            }
+        })
+        .check_final("drained-ledger-exact", |s: &mut PipeState| {
+            drain(s, CRASH_FRAME);
+            let snap = s.registry.snapshot();
+            // Frame 3 is shed; frame 2 crashes its worker; 1 and 4 decode.
+            if snap.counter("shed") != 1 {
+                return Err(format!("shed {} != 1", snap.counter("shed")));
+            }
+            let (sent, decoded, tombstoned) = (
+                snap.counter("sent"),
+                snap.counter("decoded"),
+                snap.counter("tombstoned"),
+            );
+            if sent != decoded + tombstoned {
+                return Err(format!(
+                    "sent {sent} != decoded {decoded} + tombstoned {tombstoned}"
+                ));
+            }
+            if decoded != 2 || tombstoned != 1 {
+                return Err(format!("fates ({decoded}, {tombstoned}) != (2, 1)"));
+            }
+            Ok(())
+        });
+    let report = model.run().expect("fault accounting conserves");
+    assert_eq!(report.schedules, multinomial(&[FRAMES, FRAMES]));
+    assert_eq!(report.schedules, 70);
+}
+
+/// Per-direction link thread: each step passes one frame through the
+/// lossy link with a fixed fate, updating the shared ledger counters in
+/// one linearizable unit (as `FaultyLink`/`LossyChannel` do — a frame's
+/// fate and its counters are settled before the next frame is looked
+/// at).
+fn link_steps(fates: &'static [&'static str]) -> Vec<Step<Registry>> {
+    fates
+        .iter()
+        .map(|&fate| {
+            Box::new(move |reg: &mut Registry| {
+                reg.counter("link.offered").inc();
+                match fate {
+                    "drop" => reg.counter("link.dropped").inc(),
+                    "outage" => reg.counter("link.outage").inc(),
+                    "dup" => {
+                        reg.counter("link.duplicated").inc();
+                        reg.counter("link.delivered").add(2);
+                    }
+                    _ => reg.counter("link.delivered").inc(),
+                }
+            }) as Step<Registry>
+        })
+        .collect()
+}
+
+#[test]
+fn link_ledger_holds_under_all_schedules() {
+    // Both directions share one registry (as the campaign's FaultyLink
+    // and the prober's LossyChannel can): the ledger must balance after
+    // every step of every interleaving, not just at the end.
+    let model = Model::new(Registry::new)
+        .thread(
+            "to-server",
+            link_steps(&["deliver", "drop", "dup", "deliver"]),
+        )
+        .thread("from-server", link_steps(&["outage", "deliver", "drop"]))
+        .invariant("link-ledger", |reg: &Registry| {
+            let snap = reg.snapshot();
+            let expect = snap.counter("link.offered") - snap.counter("link.dropped")
+                + snap.counter("link.duplicated")
+                - snap.counter("link.outage");
+            let delivered = snap.counter("link.delivered");
+            if delivered == expect {
+                Ok(())
+            } else {
+                Err(format!("delivered {delivered}, ledger says {expect}"))
+            }
+        })
+        .check_final("totals", |reg: &mut Registry| {
+            let snap = reg.snapshot();
+            match (
+                snap.counter("link.offered"),
+                snap.counter("link.delivered"),
+                snap.counter("link.dropped"),
+            ) {
+                (7, 5, 2) => Ok(()),
+                other => Err(format!("expected (7, 5, 2), got {other:?}")),
+            }
+        });
+    let report = model.run().expect("link ledger balances");
+    assert_eq!(report.schedules, multinomial(&[4, 3]));
+}
+
+/// Deliberately broken crash handler: it salvages the in-flight frame's
+/// record *and* tombstones it — the double-count the restart protocol
+/// must not commit. The checker has to find a schedule where the final
+/// ledger overshoots.
+#[test]
+fn double_counting_crash_handler_is_caught() {
+    let buggy_worker = || -> Step<PipeState> {
+        Box::new(|s: &mut PipeState| {
+            let Some(f) = s.queue.pop_front() else {
+                return;
+            };
+            if f == 1 {
+                // BUG: the crashed worker's partial output is merged AND
+                // the frame is tombstoned as lost.
+                s.registry.counter("decoded").inc();
+                s.registry.counter("tombstoned").inc();
+            } else {
+                s.registry.counter("decoded").inc();
+            }
+        })
+    };
+    let producer = || -> Step<PipeState> {
+        Box::new(|s: &mut PipeState| {
+            s.ordinal += 1;
+            s.registry.counter("sent").inc();
+            s.queue.push_back(s.ordinal);
+        })
+    };
+    let model = Model::new(PipeState::new)
+        .thread("producer", vec![producer(), producer()])
+        .thread("worker", vec![buggy_worker(), buggy_worker()])
+        .check_final("drained-ledger-exact", |s: &mut PipeState| {
+            if !s.queue.is_empty() {
+                return Ok(()); // only fully-drained schedules judge the ledger
+            }
+            let snap = s.registry.snapshot();
+            let (sent, out) = (
+                snap.counter("sent"),
+                snap.counter("decoded") + snap.counter("tombstoned"),
+            );
+            if sent == out {
+                Ok(())
+            } else {
+                Err(format!("{out} outputs from {sent} frames"))
+            }
+        });
+    let violation = model.run().expect_err("double count must be found");
+    assert_eq!(violation.check, "drained-ledger-exact");
+    assert!(violation.message.contains("3 outputs from 2 frames"));
+}

@@ -11,6 +11,7 @@
 //! unrecoverable without retransmission capture.
 
 use crate::tcp::TcpSegment;
+use etw_telemetry::{Counter, Gauge, Registry};
 use std::collections::HashMap;
 
 /// Connection key: one direction of a TCP conversation.
@@ -86,11 +87,31 @@ pub struct FlowStats {
     pub incomplete_flows: u64,
 }
 
+/// Live metrics for flow reconstruction (`tcp.flows.*` namespace);
+/// no-ops until [`FlowReassembler::attach_telemetry`].
+#[derive(Clone, Default)]
+struct FlowTelemetry {
+    /// `tcp.flows.syns_total`
+    syns: Counter,
+    /// `tcp.flows.data_segments_total`
+    data_segments: Counter,
+    /// `tcp.flows.orphan_segments_total`
+    orphan_segments: Counter,
+    /// `tcp.flows.complete_total`
+    complete: Counter,
+    /// `tcp.flows.incomplete_total`
+    incomplete: Counter,
+    /// `tcp.flows.tracked` — connection-table size (footnote 2's state
+    /// pressure), sampled after every segment.
+    tracked: Gauge,
+}
+
 /// One-directional TCP flow reassembler.
 #[derive(Default)]
 pub struct FlowReassembler {
     flows: HashMap<FlowKey, Flow>,
     stats: FlowStats,
+    telemetry: FlowTelemetry,
 }
 
 impl FlowReassembler {
@@ -110,12 +131,33 @@ impl FlowReassembler {
         self.stats
     }
 
+    /// Mirrors reconstruction outcomes into `registry` under
+    /// `tcp.flows.{syns,data_segments,orphan_segments,complete,incomplete}_total`
+    /// plus the `tcp.flows.tracked` connection-table gauge.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = FlowTelemetry {
+            syns: registry.counter("tcp.flows.syns_total"),
+            data_segments: registry.counter("tcp.flows.data_segments_total"),
+            orphan_segments: registry.counter("tcp.flows.orphan_segments_total"),
+            complete: registry.counter("tcp.flows.complete_total"),
+            incomplete: registry.counter("tcp.flows.incomplete_total"),
+            tracked: registry.gauge("tcp.flows.tracked"),
+        };
+    }
+
     /// Offers a captured segment; returns the flow outcome when its FIN
     /// arrives and the flow can be finalised.
     pub fn push(&mut self, seg: &TcpSegment) -> Option<FlowOutcome> {
+        let out = self.push_inner(seg);
+        self.telemetry.tracked.set(self.flows.len() as i64);
+        out
+    }
+
+    fn push_inner(&mut self, seg: &TcpSegment) -> Option<FlowOutcome> {
         let key = FlowKey::of(seg);
         if seg.flags.syn {
             self.stats.syns += 1;
+            self.telemetry.syns.inc();
             self.flows.insert(
                 key,
                 Flow {
@@ -132,11 +174,13 @@ impl FlowReassembler {
             // payload is unknowable — exactly why lost packets "make tcp
             // flows reconstruction very difficult".
             self.stats.orphan_segments += 1;
+            self.telemetry.orphan_segments.inc();
             return None;
         };
         let offset = seg.seq.wrapping_sub(flow.isn).wrapping_sub(1); // data starts after SYN
         if !seg.payload.is_empty() {
             self.stats.data_segments += 1;
+            self.telemetry.data_segments.inc();
             // Ignore exact duplicates (retransmissions).
             if !flow.pieces.iter().any(|(o, _)| *o == offset) {
                 flow.pieces.push((offset, seg.payload.clone()));
@@ -168,6 +212,7 @@ impl FlowReassembler {
         }
         if contiguous && expect == total {
             self.stats.complete_flows += 1;
+            self.telemetry.complete.inc();
             let mut out = Vec::with_capacity(total as usize);
             for (_, b) in &flow.pieces {
                 out.extend_from_slice(b);
@@ -175,6 +220,7 @@ impl FlowReassembler {
             FlowOutcome::Complete(out)
         } else {
             self.stats.incomplete_flows += 1;
+            self.telemetry.incomplete.inc();
             FlowOutcome::Incomplete {
                 missing_bytes: total.saturating_sub(present),
                 present_bytes: present,
@@ -312,6 +358,54 @@ mod tests {
         }
         assert_eq!(complete, 2);
         assert_eq!(r.stats().syns, 2);
+    }
+
+    #[test]
+    fn telemetry_counters_mirror_stats() {
+        let registry = etw_telemetry::Registry::new();
+        let mut r = FlowReassembler::new();
+        r.attach_telemetry(&registry);
+        let a = segmentize(1, 2, 1000, 4661, 10, &stream_data(3_000), 700);
+        let b = segmentize(3, 2, 2000, 4661, 90, &stream_data(4_000), 700);
+        for s in a.iter().chain(&b) {
+            r.push(s);
+        }
+        // One lossy flow (SYN dropped → orphans, FIN kept) and one holey
+        // flow (data segment dropped → incomplete).
+        let c = segmentize(5, 2, 3000, 4661, 33, &stream_data(2_000), 700);
+        for s in &c[1..] {
+            r.push(s);
+        }
+        let d = segmentize(7, 2, 4000, 4661, 55, &stream_data(2_000), 700);
+        for (i, s) in d.iter().enumerate() {
+            if i != 2 {
+                r.push(s);
+            }
+        }
+        let stats = r.stats();
+        let snap = registry.snapshot();
+        assert!(stats.orphan_segments > 0 && stats.incomplete_flows > 0);
+        assert_eq!(snap.counter("tcp.flows.syns_total"), stats.syns);
+        assert_eq!(
+            snap.counter("tcp.flows.data_segments_total"),
+            stats.data_segments
+        );
+        assert_eq!(
+            snap.counter("tcp.flows.orphan_segments_total"),
+            stats.orphan_segments
+        );
+        assert_eq!(
+            snap.counter("tcp.flows.complete_total"),
+            stats.complete_flows
+        );
+        assert_eq!(
+            snap.counter("tcp.flows.incomplete_total"),
+            stats.incomplete_flows
+        );
+        assert_eq!(
+            snap.gauges.get("tcp.flows.tracked").copied(),
+            Some(r.tracked_flows() as i64)
+        );
     }
 
     /// The paper's quantitative point: tiny segment-loss rates destroy a

@@ -44,4 +44,6 @@ pub mod estimate;
 pub mod prober;
 
 pub use estimate::{chao1, chapman, lincoln_petersen};
-pub use prober::{estimate_index_size, popularity_bias, ActiveProber, IndexEstimate, ProbeSample};
+pub use prober::{
+    estimate_index_size, popularity_bias, ActiveProber, IndexEstimate, ProbeSample, ProbeTransport,
+};

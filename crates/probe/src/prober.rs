@@ -12,6 +12,7 @@
 use etw_edonkey::ids::{ClientId, FileId};
 use etw_edonkey::messages::Message;
 use etw_edonkey::search::SearchExpr;
+use etw_faults::{LinkDirection, LossyChannel};
 use etw_server::engine::ServerEngine;
 use etw_telemetry::{Counter, Registry};
 use rand::rngs::StdRng;
@@ -29,10 +30,49 @@ struct ProbeTelemetry {
     source_queries: Counter,
     /// `probe.answers_total` — answer messages received (all kinds).
     answers: Counter,
-    /// `probe.timeouts_total` — queries that yielded zero answers (the
-    /// simulated server never loses a datagram, so for now this counts
-    /// empty result sets; a lossy transport will feed real timeouts).
+    /// `probe.timeouts_total` — requests abandoned after the virtual-time
+    /// deadline expired on every retry. Only a lossy transport can
+    /// produce these: an attached [`ProbeTransport`] drops requests or
+    /// answers, and the client's deadline + bounded-retry loop gives up.
     timeouts: Counter,
+    /// `probe.retries_total` — request re-sends after an expired
+    /// deadline (each timeout is preceded by `max_retries` of these).
+    retries: Counter,
+    /// `probe.empty_answers_total` — requests the server answered with
+    /// nothing (no matches). Distinct from a timeout: the exchange
+    /// completed, there was just nothing to learn.
+    empty_answers: Counter,
+}
+
+/// A client-side UDP transport model: requests and answers cross a
+/// [`LossyChannel`], and the client enforces a virtual-time deadline
+/// with bounded exponential-backoff retries — the loop every real
+/// eDonkey client runs.
+///
+/// Time is virtual and advances only inside the prober: `rtt_us` per
+/// completed exchange, the (doubling) deadline per lost one.
+#[derive(Debug)]
+pub struct ProbeTransport {
+    link: LossyChannel,
+    /// Deadline for the first attempt, µs of virtual time; doubles on
+    /// each retry.
+    pub timeout_us: u64,
+    /// Re-sends after the first expired deadline before giving up.
+    pub max_retries: u32,
+    /// Round-trip time of a completed exchange, µs.
+    pub rtt_us: u64,
+}
+
+impl ProbeTransport {
+    /// A transport over `link` with the given deadline policy.
+    pub fn new(link: LossyChannel, timeout_us: u64, max_retries: u32, rtt_us: u64) -> Self {
+        ProbeTransport {
+            link,
+            timeout_us,
+            max_retries,
+            rtt_us,
+        }
+    }
 }
 
 /// What one probe sweep observed.
@@ -57,6 +97,8 @@ pub struct ActiveProber {
     dictionary: Vec<String>,
     rng: StdRng,
     telemetry: ProbeTelemetry,
+    transport: Option<ProbeTransport>,
+    clock_us: u64,
 }
 
 impl ActiveProber {
@@ -68,19 +110,82 @@ impl ActiveProber {
             dictionary,
             rng: StdRng::seed_from_u64(seed ^ 0x7072_6f62), // "prob"
             telemetry: ProbeTelemetry::default(),
+            transport: None,
+            clock_us: 0,
         }
     }
 
     /// Mirrors probe activity into `registry` (metrics
     /// `probe.searches_total`, `probe.source_queries_total`,
-    /// `probe.answers_total`, `probe.timeouts_total`).
+    /// `probe.answers_total`, `probe.timeouts_total`,
+    /// `probe.retries_total`, `probe.empty_answers_total`).
     pub fn attach_telemetry(&mut self, registry: &Registry) {
         self.telemetry = ProbeTelemetry {
             searches: registry.counter("probe.searches_total"),
             source_queries: registry.counter("probe.source_queries_total"),
             answers: registry.counter("probe.answers_total"),
             timeouts: registry.counter("probe.timeouts_total"),
+            retries: registry.counter("probe.retries_total"),
+            empty_answers: registry.counter("probe.empty_answers_total"),
         };
+    }
+
+    /// Routes all exchanges through a lossy transport. Without one the
+    /// prober talks to the server directly (a perfect link).
+    pub fn attach_transport(&mut self, transport: ProbeTransport) {
+        self.transport = Some(transport);
+    }
+
+    /// The prober's virtual clock, µs: advances with every exchange over
+    /// an attached transport (RTTs and expired deadlines).
+    pub fn virtual_now_us(&self) -> u64 {
+        self.clock_us
+    }
+
+    /// One request/response exchange. Over a perfect link this is a
+    /// direct call. Over a [`ProbeTransport`] the request and each
+    /// answer datagram independently survive the lossy link, and a lost
+    /// exchange costs the (doubling) deadline before the bounded retry
+    /// loop re-sends — after `max_retries` expiries the request is
+    /// abandoned and counted in `probe.timeouts_total`.
+    fn exchange(&mut self, server: &mut ServerEngine, msg: &Message) -> Vec<Message> {
+        let Some(t) = self.transport.as_mut() else {
+            let answers = server.handle(self.client, msg);
+            if answers.is_empty() {
+                self.telemetry.empty_answers.inc();
+            }
+            return answers;
+        };
+        let mut deadline = t.timeout_us;
+        for attempt in 0..=t.max_retries {
+            if t.link.delivers(LinkDirection::ToServer, self.clock_us) {
+                let answers = server.handle(self.client, msg);
+                if answers.is_empty() {
+                    // The request arrived and the server had nothing to
+                    // say: a completed exchange, not a timeout.
+                    self.clock_us += t.rtt_us;
+                    self.telemetry.empty_answers.inc();
+                    return answers;
+                }
+                let delivered: Vec<Message> = answers
+                    .into_iter()
+                    .filter(|_| t.link.delivers(LinkDirection::FromServer, self.clock_us))
+                    .collect();
+                if !delivered.is_empty() {
+                    self.clock_us += t.rtt_us;
+                    return delivered;
+                }
+                // Every answer datagram was lost: to the client this is
+                // indistinguishable from a lost request.
+            }
+            self.clock_us += deadline;
+            deadline = deadline.saturating_mul(2);
+            if attempt < t.max_retries {
+                self.telemetry.retries.inc();
+            }
+        }
+        self.telemetry.timeouts.inc();
+        Vec::new()
     }
 
     /// Runs one sweep: up to `search_budget` random-keyword searches,
@@ -94,19 +199,14 @@ impl ActiveProber {
     ) -> ProbeSample {
         let mut sample = ProbeSample::default();
         for _ in 0..search_budget {
-            let kw = &self.dictionary[self.rng.gen_range(0..self.dictionary.len())];
+            let kw = self.dictionary[self.rng.gen_range(0..self.dictionary.len())].clone();
             sample.searches += 1;
             self.telemetry.searches.inc();
-            let answers = server.handle(
-                self.client,
-                &Message::SearchRequest {
-                    expr: SearchExpr::keyword(kw.clone()),
-                },
-            );
+            let msg = Message::SearchRequest {
+                expr: SearchExpr::keyword(kw),
+            };
+            let answers = self.exchange(server, &msg);
             self.telemetry.answers.add(answers.len() as u64);
-            if answers.is_empty() {
-                self.telemetry.timeouts.inc();
-            }
             let mut fresh = Vec::new();
             for a in &answers {
                 if let Message::SearchResponse { results } = a {
@@ -124,16 +224,11 @@ impl ActiveProber {
                 }
                 sample.source_queries += 1;
                 self.telemetry.source_queries.inc();
-                let answers = server.handle(
-                    self.client,
-                    &Message::GetSources {
-                        file_ids: vec![file_id],
-                    },
-                );
+                let msg = Message::GetSources {
+                    file_ids: vec![file_id],
+                };
+                let answers = self.exchange(server, &msg);
                 self.telemetry.answers.add(answers.len() as u64);
-                if answers.is_empty() {
-                    self.telemetry.timeouts.inc();
-                }
                 for a in &answers {
                     if let Message::FoundSources { sources, .. } = a {
                         sample.sources_per_file.insert(file_id, sources.len());
@@ -325,12 +420,75 @@ mod tests {
             snap.counter("probe.source_queries_total"),
             sample.source_queries
         );
-        // Every query is either answered or counted as a timeout.
+        // Every query is either answered or completed empty; the link is
+        // perfect, so nothing can time out.
         assert!(snap.counter("probe.answers_total") > 0);
+        assert_eq!(snap.counter("probe.timeouts_total"), 0);
+        assert_eq!(snap.counter("probe.retries_total"), 0);
         assert!(
-            snap.counter("probe.answers_total") + snap.counter("probe.timeouts_total")
+            snap.counter("probe.answers_total") + snap.counter("probe.empty_answers_total")
                 >= sample.searches + sample.source_queries
         );
+    }
+
+    #[test]
+    fn lossy_transport_produces_real_timeouts() {
+        use etw_faults::DirectedRates;
+        let (mut server, vocab) = populated_server(200);
+        let registry = Registry::new();
+        let mut prober = ActiveProber::new(ClientId(7), vocab, 1);
+        prober.attach_telemetry(&registry);
+        prober.attach_transport(ProbeTransport::new(
+            LossyChannel::new(
+                42,
+                DirectedRates {
+                    to_server: 0.4,
+                    from_server: 0.2,
+                },
+                Vec::new(),
+            ),
+            500_000, // 0.5 s deadline
+            2,       // then two retries
+            30_000,  // 30 ms RTT
+        ));
+        let sample = prober.sweep(&mut server, 120, 600);
+        let snap = registry.snapshot();
+        // With a 40 % request drop rate, deadlines expire and some
+        // requests exhaust their retry budget.
+        assert!(snap.counter("probe.retries_total") > 0, "no retries");
+        assert!(snap.counter("probe.timeouts_total") > 0, "no timeouts");
+        // Retries are bounded: at most max_retries per query.
+        assert!(
+            snap.counter("probe.retries_total") <= 2 * (sample.searches + sample.source_queries)
+        );
+        // Time only moves forward, and every expiry paid at least one
+        // full deadline.
+        assert!(prober.virtual_now_us() >= 500_000 * snap.counter("probe.timeouts_total"));
+        // The sweep still learns things through the loss.
+        assert!(!sample.files.is_empty());
+    }
+
+    #[test]
+    fn lossy_transport_is_deterministic() {
+        use etw_faults::DirectedRates;
+        let run = || {
+            let (mut server, vocab) = populated_server(150);
+            let mut prober = ActiveProber::new(ClientId(7), vocab, 9);
+            prober.attach_transport(ProbeTransport::new(
+                LossyChannel::new(7, DirectedRates::symmetric(0.3), Vec::new()),
+                200_000,
+                3,
+                20_000,
+            ));
+            let sample = prober.sweep(&mut server, 60, 300);
+            (sample.files, sample.sources, prober.virtual_now_us())
+        };
+        let (f1, s1, t1) = run();
+        let (f2, s2, t2) = run();
+        assert_eq!(f1, f2);
+        assert_eq!(s1, s2);
+        assert_eq!(t1, t2, "virtual clock must be reproducible");
+        assert!(t1 > 0, "clock never advanced");
     }
 
     #[test]

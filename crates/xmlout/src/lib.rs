@@ -9,6 +9,7 @@
 //!   memory);
 //! * [`reader`] — pull parser back into `AnonRecord`s, proving
 //!   round-trip fidelity and letting analyses consume released files;
+//!   also the truncated-tail recovery used after a crashed capture;
 //! * [`schema`] — the formal specification text and a validator;
 //! * [`escape`] — XML entity escaping;
 //! * [`mod@compress`] — the LZSS storage codec behind the paper's "once
@@ -42,6 +43,6 @@ pub mod schema;
 pub mod writer;
 
 pub use compress::{compress, decompress, CompressError};
-pub use reader::{DatasetReader, XmlError};
+pub use reader::{repair_truncated, scan_valid_prefix, DatasetReader, RecoveredDataset, XmlError};
 pub use schema::{validate, ValidationReport, SPEC, SPEC_VERSION};
 pub use writer::{to_xml_string, DatasetWriter};

@@ -62,6 +62,11 @@ impl<'a> Tokenizer<'a> {
         Tokenizer { s, pos: 0 }
     }
 
+    /// Current byte offset (just past the last consumed token).
+    pub fn byte_pos(&self) -> usize {
+        self.pos
+    }
+
     fn skip_ws(&mut self) {
         while self.pos < self.s.len() && self.s.as_bytes()[self.pos].is_ascii_whitespace() {
             self.pos += 1;
@@ -86,6 +91,16 @@ impl<'a> Tokenizer<'a> {
                     .find("?>")
                     .ok_or(XmlError::UnexpectedEof)?;
                 self.pos += end + 2;
+                continue;
+            }
+            // Comment `<!--...-->`: skip. The writer's crash-recovery
+            // marker is a comment, so a recovered dataset reads back
+            // transparently.
+            if self.s[self.pos..].starts_with("<!--") {
+                let end = self.s[self.pos..]
+                    .find("-->")
+                    .ok_or(XmlError::UnexpectedEof)?;
+                self.pos += end + 3;
                 continue;
             }
             // Closing tag.
@@ -283,6 +298,88 @@ impl<'a> Iterator for DatasetReader<'a> {
     fn next(&mut self) -> Option<Self::Item> {
         self.next_record().transpose()
     }
+}
+
+impl<'a> DatasetReader<'a> {
+    /// Byte offset just past the last fully parsed construct. After a
+    /// successful [`DatasetReader::next_record`] this is the end of that
+    /// record's `</dialog>` — the truncation point recovery uses.
+    pub fn byte_pos(&self) -> usize {
+        self.tok.byte_pos()
+    }
+}
+
+/// What a crashed capture left on disk, as established by
+/// [`scan_valid_prefix`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RecoveredDataset {
+    /// Complete records in the valid prefix.
+    pub records: u64,
+    /// Bytes of the valid prefix (end of the last complete record).
+    pub valid_bytes: usize,
+    /// True when the document parsed to its `</capture>` — nothing was
+    /// lost and no repair is needed.
+    pub complete: bool,
+}
+
+/// Walks a (possibly torn) dataset document and reports the longest
+/// prefix of complete records. A hard kill can stop the writer mid-record
+/// (strict reading rejects the document, see
+/// `reader::tests::truncated_document_rejected`); this establishes how
+/// much of it is still good.
+pub fn scan_valid_prefix(s: &str) -> RecoveredDataset {
+    let mut r = DatasetReader::new(s);
+    let mut records = 0u64;
+    let mut valid_bytes = 0usize;
+    loop {
+        match r.next_record() {
+            Ok(Some(_)) => {
+                records += 1;
+                valid_bytes = r.byte_pos();
+            }
+            Ok(None) => {
+                return RecoveredDataset {
+                    records,
+                    valid_bytes: s.len(),
+                    complete: true,
+                }
+            }
+            Err(_) => {
+                return RecoveredDataset {
+                    records,
+                    valid_bytes,
+                    complete: false,
+                }
+            }
+        }
+    }
+}
+
+/// Repairs a torn dataset: keeps the valid record prefix, discards the
+/// torn tail, and closes the document with a recovery comment recording
+/// what was dropped. A complete document comes back unchanged. The
+/// repaired text parses cleanly (the marker is a comment the tokenizer
+/// skips).
+pub fn repair_truncated(s: &str) -> (String, RecoveredDataset) {
+    let scan = scan_valid_prefix(s);
+    if scan.complete {
+        return (s.to_owned(), scan);
+    }
+    let mut out = if scan.valid_bytes == 0 {
+        // Even the header was torn; emit a fresh empty document.
+        String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<capture spec=\"etw-1.0\">\n")
+    } else {
+        s[..scan.valid_bytes].to_owned()
+    };
+    if !out.ends_with('\n') {
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "<!-- etw:recovered records=\"{}\" dropped-bytes=\"{}\" -->\n</capture>\n",
+        scan.records,
+        s.len() - scan.valid_bytes
+    ));
+    (out, scan)
 }
 
 fn decode_record(node: &Node) -> Result<AnonRecord, XmlError> {
@@ -553,6 +650,46 @@ mod tests {
         let cut = &xml[..xml.len() - 20];
         let result: Result<Vec<AnonRecord>, XmlError> = DatasetReader::new(cut).collect();
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn comments_skipped_transparently() {
+        let xml = "<?xml version=\"1.0\"?>\n<capture spec=\"etw-1.0\">\n\
+                   <dialog ts=\"1\" peer=\"0\"><status_req challenge=\"9\"/></dialog>\n\
+                   <!-- etw:recovered records=\"1\" -->\n</capture>\n";
+        let records: Vec<AnonRecord> = DatasetReader::new(xml).collect::<Result<_, _>>().unwrap();
+        assert_eq!(records.len(), 1);
+    }
+
+    #[test]
+    fn scan_reports_complete_document() {
+        let xml = to_xml_string(&sample_records());
+        let scan = scan_valid_prefix(&xml);
+        assert!(scan.complete);
+        assert_eq!(scan.records, 4);
+        assert_eq!(scan.valid_bytes, xml.len());
+        let (repaired, _) = repair_truncated(&xml);
+        assert_eq!(repaired, xml, "complete documents come back unchanged");
+    }
+
+    #[test]
+    fn repair_recovers_valid_prefix_of_torn_document() {
+        let records = sample_records();
+        let xml = to_xml_string(&records);
+        // Tear the document at every byte: the repair must always yield
+        // a parseable document holding a prefix of the records.
+        for cut in 0..xml.len() {
+            let torn = &xml[..cut];
+            let (repaired, scan) = repair_truncated(torn);
+            let got: Vec<AnonRecord> = DatasetReader::new(&repaired)
+                .collect::<Result<_, _>>()
+                .unwrap_or_else(|e| panic!("repair at {cut} unparseable: {e}"));
+            assert_eq!(got.len() as u64, scan.records);
+            assert_eq!(&records[..got.len()], &got[..], "cut at {cut}");
+            if !scan.complete {
+                assert!(repaired.contains("etw:recovered"));
+            }
+        }
     }
 
     #[test]

@@ -5,28 +5,77 @@
 //! The element vocabulary is documented in [`crate::schema`]. The writer
 //! streams to any `io::Write`, never holding more than one record in
 //! memory — the paper's capture machine wrote continuously for ten weeks.
+//!
+//! Ten weeks of continuous writing also means surviving whatever happens
+//! in between, so the writer is crash-aware:
+//!
+//! * [`DatasetWriter::bytes_written`] exposes the exact output offset, so
+//!   a campaign checkpoint can record where the dataset stood;
+//! * [`DatasetWriter::resume`] continues an interrupted document (the
+//!   caller truncates it to the checkpointed offset first);
+//! * dropping an unfinished writer (a panic unwinding past it) appends a
+//!   recovery comment and the closing tag, leaving a readable document
+//!   that says it is incomplete instead of a torn one.
 
 use crate::escape::escape;
 use etw_anonymize::scheme::{AnonFileEntry, AnonMessage, AnonRecord, AnonSearchExpr, AnonTagValue};
 use std::io::{self, Write};
 
+/// Byte-counting adapter so the writer always knows its output offset.
+struct CountingWriter<W: Write> {
+    inner: W,
+    bytes: u64,
+}
+
+impl<W: Write> Write for CountingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.bytes += n as u64;
+        Ok(n)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 /// Streaming dataset writer.
 pub struct DatasetWriter<W: Write> {
-    out: W,
+    /// `None` only after `finish` handed the sink back.
+    out: Option<CountingWriter<W>>,
     records: u64,
     closed: bool,
 }
 
 impl<W: Write> DatasetWriter<W> {
     /// Starts a dataset document.
-    pub fn new(mut out: W) -> io::Result<Self> {
+    pub fn new(out: W) -> io::Result<Self> {
+        let mut out = CountingWriter {
+            inner: out,
+            bytes: 0,
+        };
         out.write_all(b"<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n")?;
         out.write_all(b"<capture spec=\"etw-1.0\">\n")?;
         Ok(DatasetWriter {
-            out,
+            out: Some(out),
             records: 0,
             closed: false,
         })
+    }
+
+    /// Continues an interrupted document: no header is written, the
+    /// record counter starts at `records` and the byte counter at
+    /// `bytes_already` (both from the checkpoint the caller restored;
+    /// the caller is responsible for truncating the underlying file to
+    /// that offset first).
+    pub fn resume(out: W, records: u64, bytes_already: u64) -> Self {
+        DatasetWriter {
+            out: Some(CountingWriter {
+                inner: out,
+                bytes: bytes_already,
+            }),
+            records,
+            closed: false,
+        }
     }
 
     /// Records written so far.
@@ -34,112 +83,126 @@ impl<W: Write> DatasetWriter<W> {
         self.records
     }
 
+    /// Bytes written so far (header included; for a resumed writer this
+    /// continues from the checkpointed offset).
+    pub fn bytes_written(&self) -> u64 {
+        self.out.as_ref().map_or(0, |o| o.bytes)
+    }
+
+    fn o(&mut self) -> &mut CountingWriter<W> {
+        // A `None` here means use-after-finish, which the type system
+        // already prevents (finish consumes self); unwrap is unreachable.
+        self.out.as_mut().expect("writer already finished")
+    }
+
     /// Writes one dialog record.
     pub fn write_record(&mut self, r: &AnonRecord) -> io::Result<()> {
         debug_assert!(!self.closed);
         self.records += 1;
-        write!(self.out, "<dialog ts=\"{}\" peer=\"{}\">", r.ts_us, r.peer)?;
+        write!(self.o(), "<dialog ts=\"{}\" peer=\"{}\">", r.ts_us, r.peer)?;
         self.write_msg(&r.msg)?;
-        self.out.write_all(b"</dialog>\n")
+        self.o().write_all(b"</dialog>\n")
     }
 
     fn write_msg(&mut self, m: &AnonMessage) -> io::Result<()> {
         match m {
             AnonMessage::StatusRequest { challenge } => {
-                write!(self.out, "<status_req challenge=\"{challenge}\"/>")
+                write!(self.o(), "<status_req challenge=\"{challenge}\"/>")
             }
             AnonMessage::StatusResponse {
                 challenge,
                 users,
                 files,
             } => write!(
-                self.out,
+                self.o(),
                 "<status_res challenge=\"{challenge}\" users=\"{users}\" files=\"{files}\"/>"
             ),
-            AnonMessage::ServerDescRequest => self.out.write_all(b"<desc_req/>"),
+            AnonMessage::ServerDescRequest => self.o().write_all(b"<desc_req/>"),
             AnonMessage::ServerDescResponse { name, description } => write!(
-                self.out,
+                self.o(),
                 "<desc_res name=\"{}\" desc=\"{}\"/>",
                 escape(name),
                 escape(description)
             ),
-            AnonMessage::GetServerList => self.out.write_all(b"<server_list_req/>"),
+            AnonMessage::GetServerList => self.o().write_all(b"<server_list_req/>"),
             AnonMessage::ServerList { servers } => {
-                self.out.write_all(b"<server_list>")?;
+                self.o().write_all(b"<server_list>")?;
                 for (ip, port) in servers {
-                    write!(self.out, "<server ip=\"{ip}\" port=\"{port}\"/>")?;
+                    write!(self.o(), "<server ip=\"{ip}\" port=\"{port}\"/>")?;
                 }
-                self.out.write_all(b"</server_list>")
+                self.o().write_all(b"</server_list>")
             }
             AnonMessage::SearchRequest { expr } => {
-                self.out.write_all(b"<search>")?;
+                self.o().write_all(b"<search>")?;
                 self.write_expr(expr)?;
-                self.out.write_all(b"</search>")
+                self.o().write_all(b"</search>")
             }
             AnonMessage::SearchResponse { results } => {
-                self.out.write_all(b"<search_res>")?;
+                self.o().write_all(b"<search_res>")?;
                 for e in results {
                     self.write_entry("result", e)?;
                 }
-                self.out.write_all(b"</search_res>")
+                self.o().write_all(b"</search_res>")
             }
             AnonMessage::GetSources { files } => {
-                self.out.write_all(b"<get_sources>")?;
+                self.o().write_all(b"<get_sources>")?;
                 for f in files {
-                    write!(self.out, "<file id=\"{f}\"/>")?;
+                    write!(self.o(), "<file id=\"{f}\"/>")?;
                 }
-                self.out.write_all(b"</get_sources>")
+                self.o().write_all(b"</get_sources>")
             }
             AnonMessage::FoundSources { file, sources } => {
-                write!(self.out, "<found_sources file=\"{file}\">")?;
+                write!(self.o(), "<found_sources file=\"{file}\">")?;
                 for (client, port) in sources {
-                    write!(self.out, "<src client=\"{client}\" port=\"{port}\"/>")?;
+                    write!(self.o(), "<src client=\"{client}\" port=\"{port}\"/>")?;
                 }
-                self.out.write_all(b"</found_sources>")
+                self.o().write_all(b"</found_sources>")
             }
             AnonMessage::OfferFiles { files } => {
-                self.out.write_all(b"<offer>")?;
+                self.o().write_all(b"<offer>")?;
                 for e in files {
                     self.write_entry("f", e)?;
                 }
-                self.out.write_all(b"</offer>")
+                self.o().write_all(b"</offer>")
             }
         }
     }
 
     fn write_entry(&mut self, elem: &str, e: &AnonFileEntry) -> io::Result<()> {
         write!(
-            self.out,
+            self.o(),
             "<{elem} id=\"{}\" client=\"{}\" port=\"{}\">",
-            e.file, e.client, e.port
+            e.file,
+            e.client,
+            e.port
         )?;
         for t in &e.tags {
             match &t.value {
                 AnonTagValue::Hashed(h) => write!(
-                    self.out,
+                    self.o(),
                     "<tag name=\"{}\" hash=\"{}\"/>",
                     escape(&t.name),
                     escape(h)
                 )?,
                 AnonTagValue::UInt(v) => {
-                    write!(self.out, "<tag name=\"{}\" uint=\"{v}\"/>", escape(&t.name))?
+                    write!(self.o(), "<tag name=\"{}\" uint=\"{v}\"/>", escape(&t.name))?
                 }
             }
         }
-        write!(self.out, "</{elem}>")
+        write!(self.o(), "</{elem}>")
     }
 
     fn write_expr(&mut self, e: &AnonSearchExpr) -> io::Result<()> {
         match e {
             AnonSearchExpr::Bool { op, left, right } => {
-                write!(self.out, "<{op}>")?;
+                write!(self.o(), "<{op}>")?;
                 self.write_expr(left)?;
                 self.write_expr(right)?;
-                write!(self.out, "</{op}>")
+                write!(self.o(), "</{op}>")
             }
-            AnonSearchExpr::Keyword(h) => write!(self.out, "<kw hash=\"{}\"/>", escape(h)),
+            AnonSearchExpr::Keyword(h) => write!(self.o(), "<kw hash=\"{}\"/>", escape(h)),
             AnonSearchExpr::MetaStr { name, value } => write!(
-                self.out,
+                self.o(),
                 "<metastr name=\"{}\" hash=\"{}\"/>",
                 escape(name),
                 escape(value)
@@ -150,7 +213,7 @@ impl<W: Write> DatasetWriter<W> {
                     _ => "le",
                 };
                 write!(
-                    self.out,
+                    self.o(),
                     "<metanum name=\"{}\" cmp=\"{cmp}\" value=\"{value}\"/>",
                     escape(name)
                 )
@@ -160,9 +223,33 @@ impl<W: Write> DatasetWriter<W> {
 
     /// Closes the document and returns the sink.
     pub fn finish(mut self) -> io::Result<W> {
-        self.out.write_all(b"</capture>\n")?;
         self.closed = true;
-        Ok(self.out)
+        let mut out = self.out.take().expect("writer already finished");
+        out.write_all(b"</capture>\n")?;
+        Ok(out.inner)
+    }
+}
+
+impl<W: Write> Drop for DatasetWriter<W> {
+    /// Last line of defence for abnormal exits that still unwind (a
+    /// panic somewhere above the writer): closes the document with a
+    /// recovery comment so what is on disk stays parseable and says it
+    /// is incomplete. Best-effort — write errors are swallowed because
+    /// panicking in drop during unwind would abort. A hard kill skips
+    /// drops entirely; that case is [`crate::reader::repair_truncated`]'s
+    /// job.
+    fn drop(&mut self) {
+        if self.closed {
+            return;
+        }
+        if let Some(out) = self.out.as_mut() {
+            let _ = write!(
+                out,
+                "<!-- etw:recovered records=\"{}\" -->\n</capture>\n",
+                self.records
+            );
+            let _ = out.flush();
+        }
     }
 }
 
@@ -210,6 +297,87 @@ mod tests {
         }
         assert_eq!(w.records(), 5);
         w.finish().unwrap();
+    }
+
+    #[test]
+    fn byte_counter_tracks_output_exactly() {
+        let mut w = DatasetWriter::new(Vec::new()).unwrap();
+        let mut offsets = vec![w.bytes_written()];
+        for _ in 0..3 {
+            w.write_record(&sample_record()).unwrap();
+            offsets.push(w.bytes_written());
+        }
+        let bytes = w.finish().unwrap();
+        // Each recorded offset is the exact prefix length at that point.
+        for (i, off) in offsets.iter().enumerate() {
+            assert!(*off <= bytes.len() as u64);
+            assert!(i == 0 || offsets[i - 1] < *off);
+        }
+        assert_eq!(
+            offsets[0],
+            bytes.len() as u64 - 3 * (offsets[1] - offsets[0]) - "</capture>\n".len() as u64
+        );
+    }
+
+    #[test]
+    fn dropped_writer_leaves_recovered_document() {
+        use std::sync::{Arc, Mutex};
+        // A shared sink survives the writer's drop.
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = Shared(Arc::new(Mutex::new(Vec::new())));
+        {
+            let mut w = DatasetWriter::new(sink.clone()).unwrap();
+            w.write_record(&sample_record()).unwrap();
+            w.write_record(&sample_record()).unwrap();
+            // No finish(): simulate an unwind past the writer.
+        }
+        let xml = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+        assert!(xml.contains("<!-- etw:recovered records=\"2\" -->"));
+        assert!(xml.trim_end().ends_with("</capture>"));
+        // The recovered document parses cleanly.
+        let got: Vec<AnonRecord> = crate::reader::DatasetReader::new(&xml)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn resumed_writer_continues_byte_identically() {
+        // Full run.
+        let mut w = DatasetWriter::new(Vec::new()).unwrap();
+        for _ in 0..5 {
+            w.write_record(&sample_record()).unwrap();
+        }
+        let full = w.finish().unwrap();
+
+        // Interrupted after 2 records at a known offset…
+        let mut w = DatasetWriter::new(Vec::new()).unwrap();
+        for _ in 0..2 {
+            w.write_record(&sample_record()).unwrap();
+        }
+        let (records, bytes) = (w.records(), w.bytes_written());
+        let mut prefix = w.finish().unwrap();
+        prefix.truncate(bytes as usize); // drop the </capture> tail
+
+        // …then resumed: no second header, counters carry on.
+        let mut w = DatasetWriter::resume(prefix, records, bytes);
+        assert_eq!(w.records(), 2);
+        assert_eq!(w.bytes_written(), bytes);
+        for _ in 0..3 {
+            w.write_record(&sample_record()).unwrap();
+        }
+        let resumed = w.finish().unwrap();
+        assert_eq!(resumed, full, "resumed dataset must be byte-identical");
     }
 
     #[test]

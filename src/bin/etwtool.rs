@@ -9,6 +9,7 @@
 //! etwtool decompress <in.etwz> <out.xml>
 //! etwtool monitor    [--tiny] [--weeks N]    run a campaign with live telemetry
 //! etwtool lint       [--json] [--list]       repo-specific static analysis (etwlint)
+//! etwtool checkpoint-inspect <file.etwckpt>  describe a resume checkpoint sidecar
 //! etwtool spec                               print the format specification
 //! ```
 //!
@@ -37,13 +38,14 @@ fn main() -> ExitCode {
         Some("merge") => cmd_merge(&args[1..]),
         Some("monitor") => cmd_monitor(&args[1..]),
         Some("lint") => return cmd_lint(&args[1..]),
+        Some("checkpoint-inspect") => cmd_checkpoint_inspect(&args[1..]),
         Some("spec") => {
             println!("{SPEC}");
             Ok(())
         }
         _ => {
             eprintln!(
-                "usage: etwtool <validate|stats|head|compress|decompress|split|merge|monitor|lint|spec> [args]"
+                "usage: etwtool <validate|stats|head|compress|decompress|split|merge|monitor|lint|checkpoint-inspect|spec> [args]"
             );
             return ExitCode::from(2);
         }
@@ -386,6 +388,40 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Describes a resume-checkpoint sidecar: the state a killed campaign
+/// restarts from (`repro soak` writes one at every cut).
+fn cmd_checkpoint_inspect(args: &[String]) -> Result<(), String> {
+    let path = one_arg(args, "checkpoint path")?;
+    let cp = edonkey_ten_weeks::core::checkpoint::Checkpoint::read(std::path::Path::new(path))
+        .map_err(|e| format!("{path}: {e}"))?;
+    let mut t = KvTable::new();
+    t.row("campaign seed", cp.seed)
+        .row(
+            "virtual time",
+            format!("{:.3} s", cp.virtual_us as f64 / 1e6),
+        )
+        .row(
+            "next checkpoint due",
+            format!("{:.3} s", cp.next_checkpoint_us as f64 / 1e6),
+        )
+        .row("records written", grouped(cp.records))
+        .row("dataset bytes at cut", grouped(cp.writer_bytes))
+        .row(
+            "distinct clients seen",
+            grouped(cp.client_order.len() as u64),
+        )
+        .row("distinct files seen", grouped(cp.file_order.len() as u64))
+        .row(
+            "Fig. 3 tracker",
+            match &cp.fig3_order {
+                Some(order) => format!("{} fileIDs", grouped(order.len() as u64)),
+                None => "absent".to_owned(),
+            },
+        );
+    print!("{}", t.render());
+    Ok(())
 }
 
 /// One line of operator-facing vitals, with per-refresh rates.

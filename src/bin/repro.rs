@@ -14,6 +14,11 @@
 //! * `fig8` — the file-size histogram
 //! * `health` — capture-machine telemetry: periodic health snapshots
 //!   (`health_*.dat`) and a final Prometheus dump (`health_*.prom`)
+//! * `soak [--faults]` — the crash-resilience gate: a lossy active
+//!   probe, a fault-injected campaign killed at a random virtual time
+//!   and resumed from its checkpoint, and the fault-ledger assertions;
+//!   exits nonzero if the rebuilt dataset is not byte-identical or any
+//!   ledger fails
 //! * `all`  — everything, sharing one campaign run
 //!
 //! Each figure writes a gnuplot-ready `.dat` series under `--out`
@@ -25,7 +30,8 @@ use edonkey_ten_weeks::analysis::{
     find_peaks, fit_histogram, DatasetStats, IntHistogram, SparseSeries,
 };
 use edonkey_ten_weeks::core::{
-    render_health_dat, render_t1, try_run_campaign_observed, CampaignConfig, CampaignReport,
+    render_health_dat, render_t1, try_resume_campaign_observed, try_run_campaign_checkpointed,
+    try_run_campaign_observed, CampaignConfig, CampaignReport, Checkpoint,
 };
 use edonkey_ten_weeks::netsim::capture::{CaptureBuffer, LossRecorder};
 use edonkey_ten_weeks::netsim::clock::VirtualTime;
@@ -43,6 +49,10 @@ struct Args {
     what: String,
     /// Virtual campaign length in weeks (default 1; the paper ran 10).
     weeks: u64,
+    /// `soak`: enable the full fault-injection spec.
+    faults: bool,
+    /// `soak`: seed for the kill-point choice (None = OS entropy).
+    soak_seed: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -50,10 +60,19 @@ fn parse_args() -> Args {
     let mut out = PathBuf::from("results");
     let mut what = String::from("all");
     let mut weeks = 1u64;
+    let mut faults = false;
+    let mut soak_seed = None;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
             "--tiny" => tiny = true,
+            "--faults" => faults = true,
+            "--soak-seed" => {
+                soak_seed = Some(argv.next().and_then(|w| w.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--soak-seed needs an integer");
+                    std::process::exit(2);
+                }))
+            }
             "--weeks" => {
                 weeks = argv.next().and_then(|w| w.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--weeks needs a positive integer");
@@ -68,7 +87,8 @@ fn parse_args() -> Args {
             }
             "-h" | "--help" => {
                 println!(
-                    "usage: repro [--tiny] [--weeks N] [--out DIR] <t1|fig2|fig3|fig4..fig8|health|all>"
+                    "usage: repro [--tiny] [--weeks N] [--out DIR] \
+                     <t1|fig2|fig3|fig4..fig8|health|soak [--faults]|all>"
                 );
                 std::process::exit(0);
             }
@@ -80,12 +100,18 @@ fn parse_args() -> Args {
         out,
         what,
         weeks,
+        faults,
+        soak_seed,
     }
 }
 
 fn main() {
     let args = parse_args();
     fs::create_dir_all(&args.out).expect("create output dir");
+    if args.what == "soak" {
+        soak(&args.out, args.faults, args.soak_seed);
+        return;
+    }
     let needs_campaign = args.what != "fig2";
     let campaign = needs_campaign.then(|| run_campaign_once(args.tiny, args.weeks));
 
@@ -394,4 +420,271 @@ fn fig8(c: &CampaignRun, out: &Path) {
     let peak_kbs: Vec<u64> = peaks.iter().map(|p| p.value).take(10).collect();
     println!("  top detected peaks (KB): {peak_kbs:?}");
     write(out, "fig8_file_sizes_kb.dat", &distribution(&h));
+}
+
+/// Accumulates soak-gate verdicts so one run reports every violation
+/// rather than stopping at the first.
+struct Gate {
+    failures: Vec<String>,
+}
+
+impl Gate {
+    fn check(&mut self, ok: bool, what: &str) {
+        if ok {
+            println!("  ok: {what}");
+        } else {
+            println!("  FAIL: {what}");
+            self.failures.push(what.to_owned());
+        }
+    }
+}
+
+/// The crash-resilience gate (`repro soak --faults`), run by ci.sh:
+///
+/// 1. an active probe over a lossy transport, so `probe.timeouts_total`
+///    and `probe.retries_total` come from real expired deadlines;
+/// 2. a fault-injected campaign streamed into a [`DatasetWriter`] with
+///    checkpoints cut every `checkpoint_interval_secs`;
+/// 3. a simulated kill at a random virtual time — the dataset file is
+///    torn at an arbitrary byte past the last checkpoint — followed by
+///    recovery (truncate to the checkpoint's writer offset) and resume;
+/// 4. the ledger assertions: byte-identical rebuilt dataset, conserving
+///    fault counters, every fault class nonzero.
+///
+/// Exits nonzero if any assertion fails.
+fn soak(out: &Path, faults: bool, soak_seed: Option<u64>) {
+    use edonkey_ten_weeks::edonkey::ids::{ClientId, FileId};
+    use edonkey_ten_weeks::edonkey::messages::{FileEntry, Message};
+    use edonkey_ten_weeks::edonkey::tags::{special, Tag, TagList};
+    use edonkey_ten_weeks::faults::{DirectedRates, LossyChannel};
+    use edonkey_ten_weeks::probe::{ActiveProber, ProbeTransport};
+    use edonkey_ten_weeks::server::engine::ServerEngine;
+    use edonkey_ten_weeks::xmlout::writer::DatasetWriter;
+    use rand::Rng;
+    use std::cell::RefCell;
+
+    // OS entropy via std's randomized hasher: no wall clock involved,
+    // and `--soak-seed` reproduces any failing run exactly.
+    let kill_seed = soak_seed.unwrap_or_else(|| {
+        use std::hash::{BuildHasher, Hasher};
+        std::collections::hash_map::RandomState::new()
+            .build_hasher()
+            .finish()
+    });
+    println!("== soak: crash-resilient campaign gate (kill seed {kill_seed}) ==");
+    let mut gate = Gate {
+        failures: Vec::new(),
+    };
+    let registry = Registry::new();
+
+    // Phase 1 — active probe over a lossy link, sharing the campaign's
+    // registry so the final health dump shows the probe's real timeouts.
+    let mut server = ServerEngine::new(edonkey_ten_weeks::server::engine::EngineConfig {
+        max_search_results: 30,
+        ..Default::default()
+    });
+    let vocab: Vec<String> = (0..40).map(|i| format!("word{i}")).collect();
+    let mut vrng = StdRng::seed_from_u64(5);
+    for i in 0..200usize {
+        let name = format!(
+            "{} {} track{i}.mp3",
+            vocab[vrng.gen_range(0..vocab.len())],
+            vocab[vrng.gen_range(0..vocab.len())]
+        );
+        let owner = ClientId((1000 + i * 31) as u32);
+        server.handle(
+            owner,
+            &Message::OfferFiles {
+                files: vec![FileEntry {
+                    file_id: FileId::of_identity(i as u64),
+                    client_id: owner,
+                    port: 4662,
+                    tags: TagList(vec![
+                        Tag::str(special::FILENAME, name),
+                        Tag::u32(special::FILESIZE, 4_000_000),
+                    ]),
+                }],
+            },
+        );
+    }
+    let mut prober = ActiveProber::new(ClientId(7), vocab, 1);
+    prober.attach_telemetry(&registry);
+    if faults {
+        prober.attach_transport(ProbeTransport::new(
+            LossyChannel::new(
+                kill_seed ^ 0x7072_6f62,
+                DirectedRates {
+                    to_server: 0.35,
+                    from_server: 0.2,
+                },
+                Vec::new(),
+            ),
+            500_000, // 0.5 s virtual deadline
+            2,       // two retries before abandoning
+            30_000,  // 30 ms RTT
+        ));
+    }
+    let sample = prober.sweep(&mut server, 150, 600);
+    println!(
+        "  probe: {} searches, {} files found, virtual clock {:.2} s",
+        sample.searches,
+        sample.files.len(),
+        prober.virtual_now_us() as f64 / 1e6
+    );
+
+    // Phase 2 — the faulty campaign, full run, dataset + checkpoints.
+    let config = if faults {
+        CampaignConfig::tiny_faulty()
+    } else {
+        let mut c = CampaignConfig::tiny();
+        c.checkpoint_interval_secs = 300;
+        c
+    };
+    let writer = RefCell::new(DatasetWriter::new(Vec::new()).expect("vec write"));
+    let cps: RefCell<Vec<Checkpoint>> = RefCell::new(Vec::new());
+    let report = try_run_campaign_checkpointed(
+        &config,
+        &registry,
+        |r| writer.borrow_mut().write_record(&r).expect("vec write"),
+        |mut cp| {
+            cp.writer_bytes = writer.borrow().bytes_written();
+            cps.borrow_mut().push(cp);
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("invalid campaign configuration: {e}");
+        std::process::exit(2);
+    });
+    let full = writer.into_inner().finish().expect("vec write");
+    let cps = cps.into_inner();
+    println!(
+        "  campaign: {} records, {} bytes, {} checkpoints",
+        grouped(report.records),
+        grouped(full.len() as u64),
+        cps.len()
+    );
+    gate.check(cps.len() >= 4, "campaign cut at least 4 checkpoints");
+
+    // Phase 3 — kill at a random virtual time. The tear lands anywhere
+    // past the first checkpoint; recovery resumes from the last
+    // checkpoint before it.
+    let mut krng = StdRng::seed_from_u64(kill_seed);
+    let tear_at = krng.gen_range(cps[0].writer_bytes as usize..full.len());
+    let cp = cps
+        .iter()
+        .rev()
+        .find(|c| c.writer_bytes as usize <= tear_at)
+        .expect("tear past the first checkpoint");
+    println!(
+        "  kill: dataset torn at byte {} (virtual ~{:.0} s); resuming from the {:.0} s checkpoint \
+         ({} records, {} bytes)",
+        grouped(tear_at as u64),
+        cp.next_checkpoint_us as f64 / 1e6,
+        cp.virtual_us as f64 / 1e6,
+        grouped(cp.records),
+        grouped(cp.writer_bytes)
+    );
+    let sidecar = out.join("soak_checkpoint.etwckpt");
+    cp.write_atomic(&sidecar).expect("write checkpoint sidecar");
+    let cp = Checkpoint::read(&sidecar).expect("read checkpoint sidecar back");
+    println!(
+        "  wrote {} (inspect with `etwtool checkpoint-inspect`)",
+        sidecar.display()
+    );
+
+    let mut torn = full[..tear_at].to_vec();
+    torn.truncate(cp.writer_bytes as usize);
+    let writer = RefCell::new(DatasetWriter::resume(torn, cp.records, cp.writer_bytes));
+    let resume_registry = Registry::new();
+    let resumed = try_resume_campaign_observed(
+        &config,
+        &resume_registry,
+        &cp,
+        |r| writer.borrow_mut().write_record(&r).expect("vec write"),
+        |_| {},
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("resume rejected: {e}");
+        std::process::exit(2);
+    });
+    let rebuilt = writer.into_inner().finish().expect("vec write");
+
+    // Phase 4 — the verdicts.
+    gate.check(
+        resumed.records + cp.records == report.records,
+        "resumed record count completes the full run's (no loss, no double count)",
+    );
+    gate.check(
+        rebuilt == full,
+        "rebuilt dataset is byte-identical to the uninterrupted run",
+    );
+    let snap = registry.snapshot();
+    gate.check(
+        snap.counter("probe.searches_total") == sample.searches,
+        "probe telemetry matches the sample",
+    );
+    if faults {
+        gate.check(
+            snap.counter("probe.timeouts_total") > 0,
+            "probe.timeouts_total nonzero (real expired deadlines)",
+        );
+        gate.check(
+            snap.counter("probe.retries_total") > 0,
+            "probe.retries_total nonzero",
+        );
+        let offered = snap.counter("faults.link.offered_total");
+        gate.check(
+            offered == report.capture.captured,
+            "faults.link.offered_total equals captured frames",
+        );
+        let delivered = snap.counter("faults.link.delivered_total");
+        gate.check(
+            delivered
+                == offered
+                    - snap.counter("faults.link.dropped_total")
+                    - snap.counter("faults.link.outage_dropped_total")
+                    + snap.counter("faults.link.duplicated_total"),
+            "link ledger: delivered = offered - dropped - outage + duplicated",
+        );
+        gate.check(
+            delivered == report.pipeline.frames + report.pipeline.shed,
+            "pipeline ledger: delivered = decoded frames + shed frames",
+        );
+        for c in [
+            "faults.link.dropped_total",
+            "faults.link.duplicated_total",
+            "faults.link.reordered_total",
+            "faults.link.delayed_total",
+            "faults.link.truncated_total",
+            "faults.link.outage_dropped_total",
+            "faults.worker.crashes_total",
+            "faults.worker.restarts_total",
+            "pipeline.shed_total",
+        ] {
+            gate.check(snap.counter(c) > 0, &format!("{c} nonzero"));
+        }
+        gate.check(
+            snap.counter("faults.worker.crashes_total")
+                == snap.counter("faults.worker.restarts_total"),
+            "every worker crash was restarted (no degradation in the soak preset)",
+        );
+        gate.check(
+            snap.counter("faults.worker.degraded_total") == 0,
+            "no worker degraded",
+        );
+    }
+    write(out, "soak.prom", &snap.render_prometheus());
+
+    if gate.failures.is_empty() {
+        println!(
+            "soak OK ({} records survived the kill)",
+            grouped(report.records)
+        );
+    } else {
+        eprintln!("soak FAILED: {} violation(s)", gate.failures.len());
+        for f in &gate.failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -42,6 +42,7 @@ pub use etw_analysis as analysis;
 pub use etw_anonymize as anonymize;
 pub use etw_core as core;
 pub use etw_edonkey as edonkey;
+pub use etw_faults as faults;
 pub use etw_netsim as netsim;
 pub use etw_probe as probe;
 pub use etw_server as server;

@@ -1,0 +1,140 @@
+//! Crash-resilience property tests: a campaign killed at a random
+//! virtual time under random fault seeds, resumed from its last
+//! checkpoint, must reproduce the uninterrupted run — record for record
+//! at the API level and **byte for byte** at the dataset-file level.
+//!
+//! This is the acceptance test of the fault-injection layer: the
+//! checkpoint protocol (anonymiser appearance orders + record count +
+//! writer offset), the deterministic replay (seeded faults included)
+//! and the writer's truncated-tail recovery have to agree, for *every*
+//! seed, not just the soak preset's.
+
+use edonkey_ten_weeks::core::campaign::{
+    try_resume_campaign_observed, try_run_campaign_checkpointed,
+};
+use edonkey_ten_weeks::core::checkpoint::Checkpoint;
+use edonkey_ten_weeks::core::config::CampaignConfig;
+use edonkey_ten_weeks::faults::Window;
+use edonkey_ten_weeks::telemetry::Registry;
+use edonkey_ten_weeks::xmlout::writer::DatasetWriter;
+use proptest::prelude::*;
+use std::cell::RefCell;
+
+/// A faster variant of the soak preset: same fault classes all active,
+/// shorter campaign, windows moved inside the shortened run.
+fn small_faulty(seed: u64) -> CampaignConfig {
+    let mut config = CampaignConfig::tiny_faulty();
+    config.seed = seed;
+    config.faults.seed = seed ^ 0xFA17;
+    config.generator.duration_secs = 600;
+    config.checkpoint_interval_secs = 120;
+    config.faults.outages = vec![Window {
+        start_us: 200_000_000,
+        end_us: 210_000_000,
+    }];
+    config.faults.overload = vec![
+        Window {
+            start_us: 100_000_000,
+            end_us: 150_000_000,
+        },
+        Window {
+            start_us: 400_000_000,
+            end_us: 450_000_000,
+        },
+    ];
+    // A third of the frames → a third of the crash schedule.
+    config.faults.worker_crash_every = 1_500;
+    config
+}
+
+/// Runs the campaign to completion, streaming records through a
+/// [`DatasetWriter`] and stamping `writer_bytes` into each checkpoint
+/// as `repro soak` does. Returns the finished document bytes, the
+/// checkpoints, and the record count.
+fn run_writing(config: &CampaignConfig) -> (Vec<u8>, Vec<Checkpoint>, u64) {
+    let writer = RefCell::new(DatasetWriter::new(Vec::new()).expect("vec write"));
+    let cps = RefCell::new(Vec::new());
+    let report = try_run_campaign_checkpointed(
+        config,
+        &Registry::disabled(),
+        |r| writer.borrow_mut().write_record(&r).expect("vec write"),
+        |mut cp| {
+            cp.writer_bytes = writer.borrow().bytes_written();
+            cps.borrow_mut().push(cp);
+        },
+    )
+    .expect("valid config");
+    let bytes = writer.into_inner().finish().expect("vec write");
+    (bytes, cps.into_inner(), report.records)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4 })]
+
+    /// Kill the campaign at a random point (a random checkpoint plus a
+    /// torn partial tail), recover, resume: the rebuilt dataset must be
+    /// byte-identical to the uninterrupted run's, and the checkpoints
+    /// cut after the kill must be the very same cuts.
+    #[test]
+    fn killed_campaign_resumes_byte_identical(
+        seed in 0u64..1_000,
+        cp_frac in 0.0f64..1.0,
+        tear_frac in 0.0f64..1.0,
+    ) {
+        let config = small_faulty(seed);
+        let (full, cps, records) = run_writing(&config);
+        prop_assert!(cps.len() >= 3, "only {} checkpoints", cps.len());
+        prop_assert!(records > 100, "only {records} records");
+
+        // The kill: the machine dies somewhere after checkpoint `cp`,
+        // leaving the dataset file torn at an arbitrary byte.
+        let cp = &cps[(cp_frac * (cps.len() - 1) as f64) as usize];
+        let tear_at = cp.writer_bytes as usize
+            + (tear_frac * (full.len() - cp.writer_bytes as usize) as f64) as usize;
+        let mut torn = full[..tear_at].to_vec();
+
+        // Recovery: truncate to the checkpoint's writer offset and
+        // resume both the writer and the campaign from the checkpoint.
+        torn.truncate(cp.writer_bytes as usize);
+        let writer = RefCell::new(DatasetWriter::resume(torn, cp.records, cp.writer_bytes));
+        let tail_cps = RefCell::new(Vec::new());
+        let resumed = try_resume_campaign_observed(
+            &config,
+            &Registry::disabled(),
+            cp,
+            |r| writer.borrow_mut().write_record(&r).expect("vec write"),
+            |mut c| {
+                c.writer_bytes = writer.borrow().bytes_written();
+                tail_cps.borrow_mut().push(c);
+            },
+        )
+        .expect("resume accepted");
+        let rebuilt = writer.into_inner().finish().expect("vec write");
+
+        prop_assert_eq!(resumed.records + cp.records, records);
+        prop_assert_eq!(rebuilt.len(), full.len());
+        prop_assert!(rebuilt == full, "rebuilt dataset diverges from the full run");
+        // Post-kill checkpoints replay identically, writer offsets
+        // included — so a second kill during the resumed run recovers
+        // the same way.
+        let expected: Vec<&Checkpoint> =
+            cps.iter().filter(|c| c.records > cp.records).collect();
+        let tail_cps = tail_cps.into_inner();
+        prop_assert_eq!(expected.len(), tail_cps.len());
+        for (a, b) in expected.iter().zip(&tail_cps) {
+            prop_assert_eq!(*a, b);
+        }
+    }
+
+    /// The checkpoint sidecar round-trips through its text encoding, so
+    /// what `repro soak` persists is what resume reads back.
+    #[test]
+    fn checkpoint_sidecar_roundtrips(seed in 0u64..1_000) {
+        let config = small_faulty(seed);
+        let (_, cps, _) = run_writing(&config);
+        for cp in &cps {
+            let decoded = Checkpoint::decode(&cp.encode()).expect("roundtrip");
+            prop_assert_eq!(cp, &decoded);
+        }
+    }
+}

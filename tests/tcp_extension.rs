@@ -159,6 +159,64 @@ fn resynchronising_decoder_recovers_partial_flows() {
 }
 
 #[test]
+fn tcp_telemetry_surfaces_reconstruction_health() {
+    // The lossy TCP pipeline with live counters attached: `tcp.flows.*`
+    // and `tcp.stream.*` must land in one shared registry and agree
+    // with each other — the monitor-surface view of §2.2's problem.
+    let registry = edonkey_ten_weeks::telemetry::Registry::new();
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut reasm = FlowReassembler::new();
+    reasm.attach_telemetry(&registry);
+    let mut decoder = StreamDecoder::new();
+    decoder.attach_telemetry(&registry);
+    for f in 0..20u32 {
+        let msgs = client_session(f + 1, 400);
+        let stream = encode_stream(&msgs);
+        let segs = segmentize(f, 2, 1000, 4661, f * 13, &stream, 1460);
+        for seg in &segs {
+            if rng.gen_bool(0.02) {
+                continue;
+            }
+            match reasm.push(seg) {
+                Some(FlowOutcome::Complete(bytes)) => {
+                    decoder.push(&bytes);
+                }
+                Some(FlowOutcome::Incomplete { pieces, .. }) => {
+                    for (_, piece) in &pieces {
+                        decoder.push(piece);
+                    }
+                }
+                None => {}
+            }
+        }
+    }
+    let snap = registry.snapshot();
+    // Flow-level counters agree with the reassembler's own stats.
+    let fs = reasm.stats();
+    assert_eq!(snap.counter("tcp.flows.syns_total"), fs.syns);
+    assert_eq!(
+        snap.counter("tcp.flows.data_segments_total"),
+        fs.data_segments
+    );
+    assert_eq!(
+        snap.counter("tcp.flows.complete_total") + snap.counter("tcp.flows.incomplete_total"),
+        fs.complete_flows + fs.incomplete_flows
+    );
+    assert!(
+        snap.counter("tcp.flows.incomplete_total") > 0,
+        "loss must show"
+    );
+    // Stream-level counters agree with the decoder and show damage.
+    let ss = decoder.stats();
+    assert_eq!(snap.counter("tcp.stream.decoded_total"), ss.decoded);
+    assert_eq!(
+        snap.counter("tcp.stream.skipped_bytes_total"),
+        ss.skipped_bytes
+    );
+    assert!(ss.decoded > 0 && ss.skipped_bytes > 0);
+}
+
+#[test]
 fn syn_pressure_tracks_connection_state() {
     // The paper's footnote: "the server receives about 5000 syn packets
     // per minute" — connection tracking state is the cost. Open many
