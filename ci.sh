@@ -14,6 +14,9 @@ cargo test -q --workspace
 echo "==> repro soak --faults (kill+resume byte identity, fault ledgers)"
 cargo run -q --release --bin repro -- soak --faults --out target/soak
 
+echo "==> repro bench --smoke (tail speedup, zero-alloc formatter, trajectory vs BENCH_PR4.json)"
+cargo run -q --release --bin repro -- bench --smoke --out target/bench
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -199,6 +199,19 @@ pub struct AnonRecord {
     pub msg: AnonMessage,
 }
 
+/// Per-batch aggregate returned by
+/// [`AnonymizationScheme::anonymize_batch`], so a batched caller can
+/// bump its telemetry counters once per batch instead of once per
+/// record (the counter touches are the per-record overhead the batched
+/// capture tail exists to hoist).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct BatchSummary {
+    /// Records anonymised in this batch.
+    pub records: u64,
+    /// How many of them are client→server queries.
+    pub queries: u64,
+}
+
 /// The full §2.4 anonymisation pipeline, holding the stateful encoders.
 pub struct AnonymizationScheme<C, F> {
     clients: C,
@@ -259,6 +272,28 @@ impl<C: ClientIdAnonymizer, F: FileIdAnonymizer> AnonymizationScheme<C, F> {
             peer: self.clients.anonymize(peer),
             msg: self.anonymize_message(msg),
         }
+    }
+
+    /// Anonymises a batch of messages, appending to `out` (the caller
+    /// recycles the `Vec` across batches, so steady state allocates
+    /// nothing for the batch container itself).
+    ///
+    /// Equivalent to calling [`anonymize`](Self::anonymize) per item in
+    /// order — the encoders are stateful, so order matters and is
+    /// preserved — but returns the per-batch [`BatchSummary`] aggregate
+    /// instead of making the caller classify every record again.
+    pub fn anonymize_batch<'a, I>(&mut self, items: I, out: &mut Vec<AnonRecord>) -> BatchSummary
+    where
+        I: IntoIterator<Item = (u64, etw_edonkey::ClientId, &'a Message)>,
+    {
+        let mut summary = BatchSummary::default();
+        for (ts_us, peer, msg) in items {
+            let r = self.anonymize(ts_us, peer, msg);
+            summary.records += 1;
+            summary.queries += u64::from(r.msg.is_query());
+            out.push(r);
+        }
+        summary
     }
 
     /// Distinct clientIDs seen (dataset headline number).
@@ -570,6 +605,56 @@ mod tests {
             let rb = b.anonymize(i, ClientId((i % 29) as u32), &m);
             assert_eq!(ra, rb, "restored scheme diverged at {i}");
         }
+    }
+
+    #[test]
+    fn batch_equals_per_record_sequence() {
+        let msgs: Vec<(u64, ClientId, Message)> = (0..200u64)
+            .map(|i| {
+                let m = match i % 3 {
+                    0 => Message::GetSources {
+                        file_ids: vec![FileId::of_identity(i % 17)],
+                    },
+                    1 => Message::SearchRequest {
+                        expr: SearchExpr::keyword("abba"),
+                    },
+                    _ => Message::StatusResponse {
+                        challenge: i as u32,
+                        users: 1,
+                        files: 2,
+                    },
+                };
+                (i, ClientId((i % 11) as u32), m)
+            })
+            .collect();
+
+        // Reference: one record at a time.
+        let mut serial = scheme();
+        let expected: Vec<AnonRecord> = msgs
+            .iter()
+            .map(|(ts, peer, m)| serial.anonymize(*ts, *peer, m))
+            .collect();
+        let expected_queries = expected.iter().filter(|r| r.msg.is_query()).count() as u64;
+
+        // Batched, in uneven chunks, recycling the output Vec.
+        let mut batched = scheme();
+        let mut got = Vec::new();
+        let mut out = Vec::new();
+        let mut total = BatchSummary::default();
+        for chunk in msgs.chunks(23) {
+            out.clear();
+            let s = batched
+                .anonymize_batch(chunk.iter().map(|(ts, peer, m)| (*ts, *peer, m)), &mut out);
+            assert_eq!(s.records, chunk.len() as u64);
+            total.records += s.records;
+            total.queries += s.queries;
+            got.extend(out.iter().cloned());
+        }
+        assert_eq!(got, expected);
+        assert_eq!(total.records, expected.len() as u64);
+        assert_eq!(total.queries, expected_queries);
+        assert_eq!(batched.distinct_clients(), serial.distinct_clients());
+        assert_eq!(batched.distinct_files(), serial.distinct_files());
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Measurement plumbing for `repro bench`: best-of-N wall timing and the
+//! `BENCH_*.json` report format.
+//!
+//! The JSON is written and parsed by hand — the workspace has no serde
+//! (offline build, vendored stand-ins only) and the format is a flat
+//! list of numbers. The parser accepts exactly what [`BenchReport::to_json`]
+//! emits, which is all the trajectory gate needs: it compares a fresh run
+//! against the committed baseline of the *same* format version.
+
+use std::time::Instant;
+
+/// One measured configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark id, e.g. `tail_batched` or `end_to_end`.
+    pub name: String,
+    /// Campaign preset the corpus came from (`tiny`, `tiny_faulty`).
+    pub preset: String,
+    /// Records (or messages, for decode benches) processed per repeat.
+    pub records: u64,
+    /// Best-of-N wall seconds for one repeat.
+    pub wall_secs: f64,
+    /// `records / wall_secs`.
+    pub records_per_sec: f64,
+    /// Steady-state allocator round-trips per record, when the bench
+    /// measures them (requires the counting allocator to be installed;
+    /// `None` otherwise).
+    pub allocs_per_record: Option<f64>,
+}
+
+/// A full `repro bench` run, serialisable as `BENCH_*.json`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchReport {
+    /// The measured configurations, in suite order.
+    pub results: Vec<BenchResult>,
+}
+
+/// Format version stamped into the JSON; bump when the schema changes so
+/// stale baselines fail loudly instead of comparing wrong fields.
+pub const SCHEMA: &str = "etw-bench-1";
+
+impl BenchReport {
+    /// Finds a result by benchmark id and preset.
+    pub fn find(&self, name: &str, preset: &str) -> Option<&BenchResult> {
+        self.results
+            .iter()
+            .find(|r| r.name == name && r.preset == preset)
+    }
+
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"name\": \"{}\", ", r.name));
+            out.push_str(&format!("\"preset\": \"{}\", ", r.preset));
+            out.push_str(&format!("\"records\": {}, ", r.records));
+            out.push_str(&format!("\"wall_secs\": {:.6}, ", r.wall_secs));
+            out.push_str(&format!("\"records_per_sec\": {:.1}, ", r.records_per_sec));
+            match r.allocs_per_record {
+                Some(a) => out.push_str(&format!("\"allocs_per_record\": {a:.3}")),
+                None => out.push_str("\"allocs_per_record\": null"),
+            }
+            out.push_str(if i + 1 == self.results.len() {
+                "}\n"
+            } else {
+                "},\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a report previously produced by [`BenchReport::to_json`].
+    /// Returns `None` on any structural surprise (including a schema
+    /// mismatch) — the caller treats that as "no usable baseline".
+    pub fn from_json(s: &str) -> Option<BenchReport> {
+        if str_field(s, "schema")? != SCHEMA {
+            return None;
+        }
+        let mut results = Vec::new();
+        // Objects inside the results array: everything between the
+        // top-level '[' and ']' split on '}' boundaries.
+        let open = s.find('[')?;
+        let close = s.rfind(']')?;
+        for obj in s[open + 1..close].split('}') {
+            let obj = obj.trim().trim_start_matches(',').trim();
+            if obj.is_empty() {
+                continue;
+            }
+            results.push(BenchResult {
+                name: str_field(obj, "name")?,
+                preset: str_field(obj, "preset")?,
+                records: num_field(obj, "records")? as u64,
+                wall_secs: num_field(obj, "wall_secs")?,
+                records_per_sec: num_field(obj, "records_per_sec")?,
+                allocs_per_record: opt_num_field(obj, "allocs_per_record"),
+            });
+        }
+        Some(BenchReport { results })
+    }
+}
+
+/// Value of `"key": "value"` within `obj`.
+fn str_field(obj: &str, key: &str) -> Option<String> {
+    let rest = field_value(obj, key)?;
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_owned())
+}
+
+/// Value of `"key": <number>` within `obj`.
+fn num_field(obj: &str, key: &str) -> Option<f64> {
+    let rest = field_value(obj, key)?;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn opt_num_field(obj: &str, key: &str) -> Option<f64> {
+    let rest = field_value(obj, key)?;
+    if rest.starts_with("null") {
+        None
+    } else {
+        num_field(obj, key)
+    }
+}
+
+/// The text immediately after `"key":`, whitespace-trimmed.
+fn field_value<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\"");
+    let at = obj.find(&pat)?;
+    let rest = obj[at + pat.len()..].trim_start();
+    Some(rest.strip_prefix(':')?.trim_start())
+}
+
+/// Runs `f` once as warmup, then `reps` measured times, returning the
+/// best (smallest) wall-clock seconds and the last repeat's output. Best
+/// rather than mean: scheduling noise only ever adds time, so the
+/// minimum is the least-noisy estimate of the work itself.
+pub fn time_best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    assert!(reps > 0);
+    let mut out = f(); // warmup (also primes caches and pools)
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        out = f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            results: vec![
+                BenchResult {
+                    name: "tail_serial".into(),
+                    preset: "tiny".into(),
+                    records: 12_345,
+                    wall_secs: 0.5,
+                    records_per_sec: 24_690.0,
+                    allocs_per_record: Some(2.125),
+                },
+                BenchResult {
+                    name: "end_to_end".into(),
+                    preset: "tiny_faulty".into(),
+                    records: 999,
+                    wall_secs: 1.25,
+                    records_per_sec: 799.2,
+                    allocs_per_record: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let report = sample();
+        let back = BenchReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(back.results.len(), 2);
+        assert_eq!(back.results[0].name, "tail_serial");
+        assert_eq!(back.results[0].records, 12_345);
+        assert_eq!(back.results[0].allocs_per_record, Some(2.125));
+        assert_eq!(back.results[1].preset, "tiny_faulty");
+        assert_eq!(back.results[1].allocs_per_record, None);
+        assert!((back.results[1].wall_secs - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let bad = sample().to_json().replace(SCHEMA, "etw-bench-0");
+        assert!(BenchReport::from_json(&bad).is_none());
+        assert!(BenchReport::from_json("not json at all").is_none());
+    }
+
+    #[test]
+    fn find_selects_by_name_and_preset() {
+        let report = sample();
+        assert!(report.find("end_to_end", "tiny_faulty").is_some());
+        assert!(report.find("end_to_end", "tiny").is_none());
+    }
+
+    #[test]
+    fn time_best_of_returns_positive() {
+        let (secs, v) = time_best_of(3, || (0..1000u64).sum::<u64>());
+        assert_eq!(v, 499_500);
+        assert!(secs >= 0.0 && secs.is_finite());
+    }
+}

@@ -13,3 +13,17 @@
 //! | `extensions` | LZSS dataset codec throughput (§2.4 fn.3), TCP flow reconstruction (conclusion), distinct-counting ablation (§1) |
 //!
 //! Run with `cargo bench -p etw-bench` (or `cargo bench -p etw-bench --bench decode`).
+//!
+//! Besides the criterion benches, this crate is the library behind
+//! `repro bench`, the benchmark trajectory gate:
+//!
+//! * [`alloc`] — allocation-counting `#[global_allocator]` wrapper, so
+//!   the zero-alloc claims of the batched tail are measured, not trusted;
+//! * [`harness`] — best-of-N timing and the `BENCH_*.json` format;
+//! * [`suite`] — the decode-only / tail-only / end-to-end measurements,
+//!   the ≥ 2× tail-speedup self-check, and the ≤ 20% end-to-end
+//!   regression gate against the committed baseline.
+
+pub mod alloc;
+pub mod harness;
+pub mod suite;

@@ -1,0 +1,476 @@
+//! The `repro bench` suite: decode-only, tail-only and end-to-end
+//! throughput, plus steady-state allocations per record in the
+//! formatter, on the `tiny` and `tiny_faulty` campaign presets.
+//!
+//! Three measurements, matching the capture machine's serial bottleneck
+//! story (the paper's "keeping up with the server" requirement):
+//!
+//! * `decode_only` — the parallelisable front: wire decapsulation plus
+//!   two-step eDonkey decoding over a realistic message mix;
+//! * `tail_serial` / `tail_batched` — the sequential tail in isolation:
+//!   the same anonymised records pushed through `DatasetWriter::write_record`
+//!   (per-record `write!` formatting) versus the batched zero-alloc
+//!   encoder + `write_encoded`. The ratio is the PR's headline number
+//!   and [`self_checks`] enforces the ≥ 2× floor;
+//! * `end_to_end` — full campaigns through the batched writer tail; the
+//!   trajectory gate compares this against the committed baseline.
+
+use crate::alloc::{counting_active, AllocSpan};
+use crate::harness::{time_best_of, BenchReport, BenchResult};
+use etw_anonymize::scheme::AnonRecord;
+use etw_core::campaign::{run_campaign, try_run_campaign_to_writer};
+use etw_core::config::CampaignConfig;
+use etw_core::pipeline::TailConfig;
+use etw_core::wirepath::{encapsulate, Direction, Recovered, WireDecoder};
+use etw_edonkey::decoder::{DecodeOutcome, Decoder};
+use etw_edonkey::ids::{ClientId, FileId};
+use etw_edonkey::messages::{FileEntry, Message, Source};
+use etw_edonkey::search::SearchExpr;
+use etw_edonkey::tags::{special, Tag, TagList};
+use etw_netsim::clock::VirtualTime;
+use etw_telemetry::Registry;
+use etw_xmlout::encode::encode_batch;
+use etw_xmlout::writer::DatasetWriter;
+use std::io;
+
+/// How the suite is run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SuiteOptions {
+    /// CI mode: one measured repeat per bench and shortened campaigns.
+    /// Throughputs (records/sec) stay comparable to a full run; absolute
+    /// record counts do not.
+    pub smoke: bool,
+}
+
+/// End-to-end throughput may regress at most this fraction against the
+/// committed baseline before [`trajectory_gate`] fails the run.
+pub const MAX_END_TO_END_REGRESSION: f64 = 0.20;
+
+/// The tail-only speedup floor [`self_checks`] enforces: the batched
+/// zero-alloc encoder must beat the per-record `write!` writer by at
+/// least this factor on `tiny`.
+pub const MIN_TAIL_SPEEDUP: f64 = 2.0;
+
+/// Records staged per formatter batch in the tail benches — the
+/// pipeline's default batch size, so the bench measures what ships.
+const TAIL_BATCH: usize = 256;
+
+fn preset(name: &str, smoke: bool) -> CampaignConfig {
+    let mut config = match name {
+        "tiny" => CampaignConfig::tiny(),
+        "tiny_faulty" => CampaignConfig::tiny_faulty(),
+        other => panic!("unknown bench preset {other:?}"),
+    };
+    if smoke {
+        config.generator.duration_secs = 600;
+    }
+    config
+}
+
+/// Runs the whole suite and returns the report, printing one line per
+/// bench to stderr as results land.
+pub fn run_suite(opts: &SuiteOptions) -> BenchReport {
+    let reps = if opts.smoke { 1 } else { 3 };
+    let mut report = BenchReport::default();
+
+    report.results.push(bench_decode_only(opts, reps));
+    eprintln!("  {}", describe(report.results.last().unwrap()));
+
+    // Tail corpus: the records a tiny campaign actually produces, so the
+    // tail benches format the real message mix (search expressions,
+    // offer lists, found sources) rather than a synthetic best case.
+    let mut corpus: Vec<AnonRecord> = Vec::new();
+    run_campaign(&preset("tiny", opts.smoke), |r| corpus.push(r));
+    assert!(!corpus.is_empty(), "corpus campaign produced no records");
+
+    // The tail passes are ~10 ms each — the same order as a scheduler
+    // timeslice, so on a busy single-core host any one pass can eat a
+    // preemption and read half its true rate. They are cheap enough to
+    // always run best-of-9: one clean window is all the measurement
+    // needs, and the 2× gate must not flake in CI.
+    for result in bench_tail(&corpus, reps.max(9)) {
+        eprintln!("  {}", describe(&result));
+        report.results.push(result);
+    }
+
+    // End-to-end carries the trajectory gate; best-of-3 keeps a single
+    // preempted campaign from reading as a >20 % regression.
+    for preset_name in ["tiny", "tiny_faulty"] {
+        let result = bench_end_to_end(preset_name, opts, reps.max(3));
+        eprintln!("  {}", describe(&result));
+        report.results.push(result);
+    }
+    report
+}
+
+fn describe(r: &BenchResult) -> String {
+    let allocs = match r.allocs_per_record {
+        Some(a) => format!(", {a:.3} allocs/record"),
+        None => String::new(),
+    };
+    format!(
+        "{}/{}: {} records in {:.3}s = {:.0} records/s{}",
+        r.name, r.preset, r.records, r.wall_secs, r.records_per_sec, allocs
+    )
+}
+
+/// The decode front in isolation: frames through the wire decoder and
+/// the two-step eDonkey decoder, single-threaded.
+fn bench_decode_only(opts: &SuiteOptions, reps: usize) -> BenchResult {
+    let n = if opts.smoke { 20_000 } else { 50_000 };
+    let frames: Vec<Vec<u8>> = message_mix(n, 0xdec0)
+        .into_iter()
+        .enumerate()
+        .flat_map(|(i, m)| {
+            encapsulate(
+                m,
+                ClientId(i as u32 % 0xffff),
+                4672,
+                Direction::ToServer,
+                i as u16,
+                1500,
+            )
+            .into_iter()
+            .map(|f| f.to_bytes())
+        })
+        .collect();
+
+    let mut run = || {
+        let mut wire = WireDecoder::new();
+        let mut decoder = Decoder::new();
+        let mut decoded = 0u64;
+        for f in &frames {
+            if let Recovered::Udp { payload, .. } = wire.push(VirtualTime::ZERO, f) {
+                if let DecodeOutcome::Ok(_) = decoder.push(&payload) {
+                    decoded += 1;
+                }
+            }
+        }
+        decoded
+    };
+    let (wall_secs, decoded) = time_best_of(reps, &mut run);
+    assert!(decoded as usize > n / 2, "decode bench mix mostly failed");
+    BenchResult {
+        name: "decode_only".into(),
+        preset: "mix".into(),
+        records: n as u64,
+        wall_secs,
+        records_per_sec: n as f64 / wall_secs,
+        allocs_per_record: None,
+    }
+}
+
+/// [`std::io::Write`] into a borrowed, recycled `Vec<u8>` — the tail
+/// benches' sink. A plain `io::sink()` would flatter the serial writer
+/// (its many small `write!` fragment writes become free); the real tail
+/// materialises every byte, so the bench does too. The buffer reaches
+/// its high-water capacity during warmup and never reallocates after.
+struct BufSink<'a>(&'a mut Vec<u8>);
+
+impl io::Write for BufSink<'_> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The sequential tail in isolation, old vs new: identical records into
+/// a recycled memory sink, once through per-record `write!` formatting
+/// and once through the batched zero-alloc encoder. Steady-state
+/// allocations are read over one extra pass after timing, when every
+/// reused buffer has reached its high-water capacity.
+fn bench_tail(corpus: &[AnonRecord], reps: usize) -> Vec<BenchResult> {
+    let n = corpus.len() as u64;
+    let mut out: Vec<u8> = Vec::new();
+
+    let mut serial = || {
+        out.clear();
+        let mut w = DatasetWriter::new(BufSink(&mut out)).expect("buffer writer");
+        for r in corpus {
+            w.write_record(r).expect("buffer write");
+        }
+        w.records()
+    };
+    let (serial_secs, written) = time_best_of(reps, &mut serial);
+    assert_eq!(written, n);
+    let serial_allocs = measure_allocs(n, &mut serial);
+
+    let mut buf: Vec<u8> = Vec::with_capacity(TAIL_BATCH * 64);
+    let mut batched = || {
+        out.clear();
+        let mut w = DatasetWriter::new(BufSink(&mut out)).expect("buffer writer");
+        for batch in corpus.chunks(TAIL_BATCH) {
+            buf.clear();
+            encode_batch(&mut buf, batch);
+            w.write_encoded(&buf, batch.len() as u64)
+                .expect("buffer write");
+        }
+        w.records()
+    };
+    let (batched_secs, written) = time_best_of(reps, &mut batched);
+    assert_eq!(written, n);
+    let batched_allocs = measure_allocs(n, &mut batched);
+
+    vec![
+        BenchResult {
+            name: "tail_serial".into(),
+            preset: "tiny".into(),
+            records: n,
+            wall_secs: serial_secs,
+            records_per_sec: n as f64 / serial_secs,
+            allocs_per_record: serial_allocs,
+        },
+        BenchResult {
+            name: "tail_batched".into(),
+            preset: "tiny".into(),
+            records: n,
+            wall_secs: batched_secs,
+            records_per_sec: n as f64 / batched_secs,
+            allocs_per_record: batched_allocs,
+        },
+    ]
+}
+
+/// Allocation events per record over one steady-state pass, or `None`
+/// when the process does not route allocations through the counting
+/// allocator (unit tests; any binary without the `#[global_allocator]`).
+fn measure_allocs(records: u64, run: &mut impl FnMut() -> u64) -> Option<f64> {
+    if !counting_active() {
+        return None;
+    }
+    let span = AllocSpan::start();
+    run();
+    Some(span.delta() as f64 / records as f64)
+}
+
+/// A full campaign through the batched writer tail into a sink.
+fn bench_end_to_end(preset_name: &str, opts: &SuiteOptions, reps: usize) -> BenchResult {
+    let config = preset(preset_name, opts.smoke);
+    let mut run = || {
+        let (report, writer) = try_run_campaign_to_writer(
+            &config,
+            &Registry::disabled(),
+            TailConfig::default(),
+            DatasetWriter::new(io::sink()).expect("sink writer"),
+            |_| {},
+        )
+        .expect("bench campaign");
+        writer.finish().expect("sink write");
+        report.records
+    };
+    let (wall_secs, records) = time_best_of(reps, &mut run);
+    BenchResult {
+        name: "end_to_end".into(),
+        preset: preset_name.into(),
+        records,
+        wall_secs,
+        records_per_sec: records as f64 / wall_secs,
+        allocs_per_record: None,
+    }
+}
+
+/// Invariants the fresh run must satisfy on its own, baseline or not:
+/// the batched tail's ≥ 2× speedup and its zero-allocation steady state.
+/// Returns human-readable failures (empty = pass).
+pub fn self_checks(fresh: &BenchReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    match (
+        fresh.find("tail_serial", "tiny"),
+        fresh.find("tail_batched", "tiny"),
+    ) {
+        (Some(serial), Some(batched)) => {
+            let speedup = batched.records_per_sec / serial.records_per_sec;
+            if speedup < MIN_TAIL_SPEEDUP {
+                failures.push(format!(
+                    "tail speedup {speedup:.2}x below the {MIN_TAIL_SPEEDUP}x floor \
+                     ({:.0} vs {:.0} records/s)",
+                    batched.records_per_sec, serial.records_per_sec
+                ));
+            }
+            match batched.allocs_per_record {
+                Some(a) if a > 0.0 => failures.push(format!(
+                    "batched formatter allocates in steady state: {a:.3} allocs/record"
+                )),
+                Some(_) => {}
+                None => failures
+                    .push("allocations unmeasured: counting allocator not installed".to_owned()),
+            }
+        }
+        _ => failures.push("tail benches missing from the run".to_owned()),
+    }
+    failures
+}
+
+/// The benchmark trajectory gate: every `end_to_end` result in
+/// `baseline` must be matched in `fresh` within
+/// [`MAX_END_TO_END_REGRESSION`]. Returns human-readable failures.
+pub fn trajectory_gate(fresh: &BenchReport, baseline: &BenchReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    for b in baseline.results.iter().filter(|r| r.name == "end_to_end") {
+        match fresh.find(&b.name, &b.preset) {
+            None => failures.push(format!(
+                "baseline bench {}/{} missing from this run",
+                b.name, b.preset
+            )),
+            Some(f) => {
+                let floor = b.records_per_sec * (1.0 - MAX_END_TO_END_REGRESSION);
+                if f.records_per_sec < floor {
+                    failures.push(format!(
+                        "end_to_end/{} regressed: {:.0} records/s < {:.0} \
+                         (baseline {:.0} − {:.0}%)",
+                        b.preset,
+                        f.records_per_sec,
+                        floor,
+                        b.records_per_sec,
+                        MAX_END_TO_END_REGRESSION * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    failures
+}
+
+/// A realistic message mix (mostly source searches, some metadata
+/// searches, announcements, management — per the paper's four message
+/// families).
+fn message_mix(n: usize, seed: u64) -> Vec<Vec<u8>> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let msg = match rng.gen_range(0..10) {
+                0..=4 => Message::GetSources {
+                    file_ids: vec![FileId::of_identity(i as u64 % 5000)],
+                },
+                5 => Message::SearchRequest {
+                    expr: SearchExpr::and(
+                        SearchExpr::keyword("blue"),
+                        SearchExpr::keyword("album"),
+                    ),
+                },
+                6 => Message::FoundSources {
+                    file_id: FileId::of_identity(i as u64 % 5000),
+                    sources: (0..rng.gen_range(1..20))
+                        .map(|k| Source {
+                            client_id: ClientId(0x0100_0000 + k),
+                            port: 4662,
+                        })
+                        .collect(),
+                },
+                7..=8 => Message::OfferFiles {
+                    files: (0..rng.gen_range(1..12))
+                        .map(|k| FileEntry {
+                            file_id: FileId::of_identity((i * 31 + k) as u64 % 9000),
+                            client_id: ClientId(i as u32 % 0xffff),
+                            port: 4662,
+                            tags: TagList(vec![
+                                Tag::str(special::FILENAME, "some file name here.mp3"),
+                                Tag::u32(special::FILESIZE, 4_000_000),
+                            ]),
+                        })
+                        .collect(),
+                },
+                _ => Message::StatusRequest {
+                    challenge: rng.gen(),
+                },
+            };
+            msg.encode()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(name: &str, preset: &str, rps: f64, allocs: Option<f64>) -> BenchResult {
+        BenchResult {
+            name: name.into(),
+            preset: preset.into(),
+            records: 1000,
+            wall_secs: 1000.0 / rps,
+            records_per_sec: rps,
+            allocs_per_record: allocs,
+        }
+    }
+
+    #[test]
+    fn trajectory_gate_flags_regression_only() {
+        let baseline = BenchReport {
+            results: vec![
+                result("end_to_end", "tiny", 10_000.0, None),
+                result("tail_batched", "tiny", 99_999.0, Some(0.0)),
+            ],
+        };
+        // 15% slower: within the 20% budget.
+        let ok = BenchReport {
+            results: vec![result("end_to_end", "tiny", 8_500.0, None)],
+        };
+        assert!(trajectory_gate(&ok, &baseline).is_empty());
+        // 30% slower: out of budget.
+        let slow = BenchReport {
+            results: vec![result("end_to_end", "tiny", 7_000.0, None)],
+        };
+        assert_eq!(trajectory_gate(&slow, &baseline).len(), 1);
+        // Missing bench is a failure too.
+        let missing = BenchReport::default();
+        assert_eq!(trajectory_gate(&missing, &baseline).len(), 1);
+        // Non-end_to_end baselines are informational, never gated.
+        let faster_tail_ignored = BenchReport {
+            results: vec![result("end_to_end", "tiny", 10_000.0, None)],
+        };
+        assert!(trajectory_gate(&faster_tail_ignored, &baseline).is_empty());
+    }
+
+    #[test]
+    fn self_checks_enforce_speedup_and_allocs() {
+        let good = BenchReport {
+            results: vec![
+                result("tail_serial", "tiny", 10_000.0, Some(1.5)),
+                result("tail_batched", "tiny", 25_000.0, Some(0.0)),
+            ],
+        };
+        assert!(self_checks(&good).is_empty());
+
+        let slow = BenchReport {
+            results: vec![
+                result("tail_serial", "tiny", 10_000.0, None),
+                result("tail_batched", "tiny", 15_000.0, Some(0.0)),
+            ],
+        };
+        assert_eq!(self_checks(&slow).len(), 1);
+
+        let leaky = BenchReport {
+            results: vec![
+                result("tail_serial", "tiny", 10_000.0, None),
+                result("tail_batched", "tiny", 25_000.0, Some(0.5)),
+            ],
+        };
+        assert_eq!(self_checks(&leaky).len(), 1);
+
+        assert_eq!(self_checks(&BenchReport::default()).len(), 1);
+    }
+
+    #[test]
+    fn tail_bench_measures_real_corpus() {
+        // A miniature corpus through both tails: counts must agree and
+        // throughputs be finite. (The 2x floor is checked in `repro
+        // bench` where timing is meaningful, not under the test runner.)
+        let mut corpus = Vec::new();
+        let mut config = CampaignConfig::tiny();
+        config.generator.duration_secs = 120;
+        run_campaign(&config, |r| corpus.push(r));
+        let results = bench_tail(&corpus, 1);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert_eq!(r.records, corpus.len() as u64);
+            assert!(r.records_per_sec.is_finite() && r.records_per_sec > 0.0);
+        }
+    }
+}

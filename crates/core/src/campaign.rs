@@ -5,11 +5,12 @@
 use crate::checkpoint::Checkpoint;
 use crate::config::{CampaignConfig, ConfigError};
 use crate::pipeline::{
-    run_capture_pipeline_with, PipelineOptions, PipelineStats, ResumePoint, TimedFrame,
+    run_capture_pipeline_batched, run_capture_pipeline_with, PipelineOptions, PipelineStats,
+    ResumePoint, TailConfig, TimedFrame,
 };
 use crate::wirepath::{encapsulate, tcp_noise_frame, Direction, SERVER_IP};
 use etw_anonymize::fileid::{BucketedArrays, ByteSelector};
-use etw_anonymize::scheme::AnonRecord;
+use etw_anonymize::scheme::{AnonRecord, PaperScheme};
 use etw_anonymize::AnonymizationScheme;
 use etw_anonymize::DirectArrayAnonymizer;
 use etw_edonkey::messages::Message;
@@ -22,11 +23,41 @@ use etw_telemetry::{Counter, Gauge, Registry};
 use etw_workload::catalog::Catalog;
 use etw_workload::clients::Population;
 use etw_workload::generator::TrafficGenerator;
+use etw_xmlout::writer::DatasetWriter;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
+use std::io::{self, Write};
 use std::sync::Arc;
+
+/// Failures of the writer-owning campaign entry points
+/// ([`try_run_campaign_to_writer`] and friends): a bad configuration, or
+/// the dataset writer's sink failing mid-campaign.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Invalid configuration or checkpoint.
+    Config(ConfigError),
+    /// The dataset writer hit an io error.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Config(e) => write!(f, "{e}"),
+            CampaignError::Io(e) => write!(f, "dataset writer failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<ConfigError> for CampaignError {
+    fn from(e: ConfigError) -> Self {
+        CampaignError::Config(e)
+    }
+}
 
 /// Capture-side counters, shared between the frame producer and the
 /// report.
@@ -362,6 +393,75 @@ pub fn try_resume_campaign_observed(
     campaign_inner(config, registry, Some(checkpoint), on_record, on_checkpoint)
 }
 
+/// Runs a campaign whose tail formats records through the batched
+/// zero-allocation encoder straight into `writer` (see
+/// [`run_capture_pipeline_batched`]): the sequential stage hands
+/// fixed-size batches to an overlapped formatter thread while a writer
+/// thread flushes finished buffers in order, so the dataset bytes are
+/// identical to feeding [`run_campaign_observed`]'s records through
+/// `DatasetWriter::write_record` one by one — only faster.
+///
+/// Checkpoints arrive with `writer_bytes` already stamped (the writer
+/// thread knows its own offset), ready to persist as-is. The writer is
+/// returned still open: call `finish()` to close the document.
+pub fn try_run_campaign_to_writer<W: Write + Send>(
+    config: &CampaignConfig,
+    registry: &Registry,
+    tail: TailConfig,
+    writer: DatasetWriter<W>,
+    on_checkpoint: impl FnMut(Checkpoint) + Send,
+) -> Result<(CampaignReport, DatasetWriter<W>), CampaignError> {
+    campaign_to_writer_inner(config, registry, None, tail, writer, on_checkpoint)
+}
+
+/// Resumes an interrupted campaign through the batched tail, appending
+/// to `writer` (restored with `DatasetWriter::resume` after truncating
+/// the file to `checkpoint.writer_bytes`). The combined file is
+/// byte-identical to an uninterrupted [`try_run_campaign_to_writer`]
+/// run — and to the serial writer's output.
+pub fn try_resume_campaign_to_writer<W: Write + Send>(
+    config: &CampaignConfig,
+    registry: &Registry,
+    checkpoint: &Checkpoint,
+    tail: TailConfig,
+    writer: DatasetWriter<W>,
+    on_checkpoint: impl FnMut(Checkpoint) + Send,
+) -> Result<(CampaignReport, DatasetWriter<W>), CampaignError> {
+    campaign_to_writer_inner(
+        config,
+        registry,
+        Some(checkpoint),
+        tail,
+        writer,
+        on_checkpoint,
+    )
+}
+
+fn campaign_to_writer_inner<W: Write + Send>(
+    config: &CampaignConfig,
+    registry: &Registry,
+    resume: Option<&Checkpoint>,
+    tail: TailConfig,
+    writer: DatasetWriter<W>,
+    mut on_checkpoint: impl FnMut(Checkpoint) + Send,
+) -> Result<(CampaignReport, DatasetWriter<W>), CampaignError> {
+    let seed = config.seed;
+    campaign_inner_core(config, registry, resume, |frames, scheme, fig3, opts| {
+        run_capture_pipeline_batched(
+            frames,
+            config.decode_workers,
+            scheme,
+            fig3,
+            registry,
+            opts,
+            tail,
+            writer,
+            |cut, writer_bytes| on_checkpoint(Checkpoint::from_pipeline(seed, cut, writer_bytes)),
+        )
+        .map_err(CampaignError::Io)
+    })
+}
+
 fn campaign_inner(
     config: &CampaignConfig,
     registry: &Registry,
@@ -369,17 +469,61 @@ fn campaign_inner(
     mut on_record: impl FnMut(AnonRecord),
     mut on_checkpoint: impl FnMut(Checkpoint),
 ) -> Result<CampaignReport, ConfigError> {
+    let seed = config.seed;
+    let result = campaign_inner_core(config, registry, resume, |frames, scheme, fig3, opts| {
+        let (stats, scheme, fig3) = run_capture_pipeline_with(
+            frames,
+            config.decode_workers,
+            scheme,
+            fig3,
+            registry,
+            opts,
+            &mut on_record,
+            |cut| on_checkpoint(Checkpoint::from_pipeline(seed, cut, 0)),
+        );
+        Ok((stats, scheme, fig3, ()))
+    });
+    match result {
+        Ok((report, ())) => Ok(report),
+        Err(CampaignError::Config(e)) => Err(e),
+        // etwlint: allow(no-panic-hot-path): the serial tail performs no
+        // io, so its closure above can only fail with Config.
+        Err(CampaignError::Io(_)) => unreachable!("serial tail does no io"),
+    }
+}
+
+/// The shared campaign body: validates, builds the world (catalog,
+/// population, generator, server, capture ring, fault link), restores or
+/// creates the anonymiser, delegates the capture run to `run_tail`
+/// (serial sink or batched writer), then assembles the report. `T`
+/// smuggles tail-specific state — the dataset writer — back out.
+fn campaign_inner_core<T>(
+    config: &CampaignConfig,
+    registry: &Registry,
+    resume: Option<&Checkpoint>,
+    run_tail: impl for<'f> FnOnce(
+        Box<dyn Iterator<Item = TimedFrame> + Send + 'f>,
+        PaperScheme,
+        Option<BucketedArrays>,
+        &PipelineOptions,
+    ) -> Result<
+        (PipelineStats, PaperScheme, Option<BucketedArrays>, T),
+        CampaignError,
+    >,
+) -> Result<(CampaignReport, T), CampaignError> {
     config.validate()?;
     if let Some(cp) = resume {
         if cp.seed != config.seed {
             return Err(ConfigError::CheckpointMismatch {
                 reason: "checkpoint seed differs from the campaign seed",
-            });
+            }
+            .into());
         }
         if config.track_fig3 && cp.fig3_order.is_none() {
             return Err(ConfigError::CheckpointMismatch {
                 reason: "config tracks Fig. 3 but the checkpoint has no tracker state",
-            });
+            }
+            .into());
         }
     }
     let catalog = Catalog::generate(&config.catalog, config.seed ^ 1);
@@ -480,17 +624,7 @@ fn campaign_inner(
         Box::new(frames)
     };
 
-    let seed = config.seed;
-    let (pipeline, scheme, fig3) = run_capture_pipeline_with(
-        frames,
-        config.decode_workers,
-        scheme,
-        fig3,
-        registry,
-        &opts,
-        &mut on_record,
-        |cut| on_checkpoint(Checkpoint::from_pipeline(seed, cut, 0)),
-    );
+    let (pipeline, scheme, fig3, extra) = run_tail(frames, scheme, fig3, &opts)?;
 
     // Surface the anonymiser's probe work: counters the health file and
     // the prometheus dump can report alongside the pipeline stages.
@@ -527,16 +661,19 @@ fn campaign_inner(
         .take()
         .map(|(h, virtual_us)| h.finish(virtual_us))
         .unwrap_or_default();
-    Ok(CampaignReport {
-        records: pipeline.records,
-        distinct_clients: scheme.distinct_clients(),
-        distinct_files: scheme.distinct_files(),
-        bucket_sizes_alternative: scheme.file_encoder().bucket_sizes(),
-        bucket_sizes_first_two: fig3.map(|f| f.bucket_sizes()),
-        pipeline,
-        capture,
-        health,
-    })
+    Ok((
+        CampaignReport {
+            records: pipeline.records,
+            distinct_clients: scheme.distinct_clients(),
+            distinct_files: scheme.distinct_files(),
+            bucket_sizes_alternative: scheme.file_encoder().bucket_sizes(),
+            bucket_sizes_first_two: fig3.map(|f| f.bucket_sizes()),
+            pipeline,
+            capture,
+            health,
+        },
+        extra,
+    ))
 }
 
 /// Renders a [`HealthSeries`] as a gnuplot-ready `.dat` table, one row
@@ -870,6 +1007,125 @@ mod tests {
             try_resume_campaign_observed(&config, &Registry::disabled(), &no_fig3, |_| {}, |_| {})
                 .unwrap_err();
         assert!(matches!(err, ConfigError::CheckpointMismatch { .. }));
+    }
+
+    /// Serial reference for the batched writer path: stream the
+    /// campaign's records through `DatasetWriter::write_record` one at a
+    /// time, stamping `writer_bytes` into each checkpoint the way `repro
+    /// soak` does.
+    fn serial_writer_run(config: &CampaignConfig) -> (CampaignReport, Vec<u8>, Vec<Checkpoint>) {
+        use std::cell::RefCell;
+        let writer = RefCell::new(DatasetWriter::new(Vec::new()).expect("vec write"));
+        let mut cps = Vec::new();
+        let report = try_run_campaign_checkpointed(
+            config,
+            &Registry::disabled(),
+            |r| writer.borrow_mut().write_record(&r).expect("vec write"),
+            |mut cp| {
+                cp.writer_bytes = writer.borrow().bytes_written();
+                cps.push(cp);
+            },
+        )
+        .expect("valid config");
+        let bytes = writer.into_inner().finish().expect("vec write");
+        (report, bytes, cps)
+    }
+
+    #[test]
+    fn writer_campaign_byte_identical_to_serial_writer() {
+        let config = CampaignConfig::tiny_faulty();
+        let (report, serial_bytes, serial_cps) = serial_writer_run(&config);
+        assert!(!serial_cps.is_empty(), "faulty preset must checkpoint");
+
+        for tail in [
+            TailConfig::default(),
+            TailConfig {
+                batch_records: 7,
+                batch_queue: 2,
+            },
+        ] {
+            let mut cps = Vec::new();
+            let (batched, writer) = try_run_campaign_to_writer(
+                &config,
+                &Registry::disabled(),
+                tail,
+                DatasetWriter::new(Vec::new()).expect("vec write"),
+                |cp| cps.push(cp),
+            )
+            .expect("batched campaign");
+            let bytes = writer.finish().expect("vec write");
+            assert_eq!(serial_bytes, bytes, "dataset bytes diverge");
+            assert_eq!(serial_cps, cps, "checkpoints diverge");
+            assert_eq!(report.records, batched.records);
+            assert_eq!(report.distinct_clients, batched.distinct_clients);
+            assert_eq!(report.distinct_files, batched.distinct_files);
+            assert_eq!(report.capture.offered, batched.capture.offered);
+        }
+    }
+
+    #[test]
+    fn writer_campaign_resumes_byte_identical() {
+        let config = CampaignConfig::tiny_faulty();
+        let (report, full_bytes, cps) = serial_writer_run(&config);
+        let cp = cps[cps.len() / 2].clone();
+
+        // Crash simulation: keep only the prefix the checkpoint
+        // vouches for, then resume through the batched tail.
+        let prefix = full_bytes[..cp.writer_bytes as usize].to_vec();
+        let mut tail_cps = Vec::new();
+        let (resumed, writer) = try_resume_campaign_to_writer(
+            &config,
+            &Registry::disabled(),
+            &cp,
+            TailConfig::default(),
+            DatasetWriter::resume(prefix, cp.records, cp.writer_bytes),
+            |c| tail_cps.push(c),
+        )
+        .expect("resume accepted");
+        let rebuilt = writer.finish().expect("vec write");
+        assert_eq!(full_bytes, rebuilt, "resumed dataset diverges");
+        let expected: Vec<&Checkpoint> = cps.iter().filter(|c| c.records > cp.records).collect();
+        assert_eq!(expected.len(), tail_cps.len());
+        for (a, b) in expected.iter().zip(&tail_cps) {
+            assert_eq!(*a, b, "resumed checkpoint diverges");
+        }
+        assert_eq!(resumed.records + cp.records, report.records);
+    }
+
+    #[test]
+    fn writer_campaign_surfaces_io_errors() {
+        /// Accepts the XML prologue, then fails: exercises the batched
+        /// tail's mid-campaign error path (writer thread drains, the
+        /// campaign returns the error instead of deadlocking).
+        struct FailAfter {
+            left: usize,
+        }
+        impl Write for FailAfter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.left < buf.len() {
+                    return Err(io::Error::new(io::ErrorKind::StorageFull, "disk full"));
+                }
+                self.left -= buf.len();
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let config = CampaignConfig::tiny();
+        let result = try_run_campaign_to_writer(
+            &config,
+            &Registry::disabled(),
+            TailConfig::default(),
+            DatasetWriter::new(FailAfter { left: 4096 }).expect("header fits"),
+            |_| {},
+        );
+        match result {
+            Err(CampaignError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::StorageFull),
+            Err(other) => panic!("expected io error, got {other}"),
+            Ok(_) => panic!("writer must fail"),
+        }
     }
 
     #[test]

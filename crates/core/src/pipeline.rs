@@ -27,7 +27,10 @@ use etw_netsim::clock::VirtualTime;
 use etw_netsim::frag::ReassemblyStats;
 use etw_telemetry::channel::{metered_bounded, MeteredReceiver, MeteredSender};
 use etw_telemetry::{Counter, Gauge, Histogram, Registry};
+use etw_xmlout::encode;
+use etw_xmlout::writer::DatasetWriter;
 use std::collections::BTreeMap;
+use std::io::{self, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// One captured ethernet frame with its timestamp.
@@ -126,6 +129,31 @@ pub struct PipelineOptions {
     pub resume: Option<ResumePoint>,
     /// Worker crash injection and overload shedding schedule.
     pub faults: Option<WorkerFaultPlan>,
+}
+
+/// Sizing knobs for the batched tail ([`run_capture_pipeline_batched`]).
+#[derive(Clone, Copy, Debug)]
+pub struct TailConfig {
+    /// Records staged per batch before the sequential stage anonymises
+    /// them as one unit and hands them to the formatter. Larger batches
+    /// amortise channel traffic and counter updates; smaller batches cut
+    /// the latency between decode and disk. The default keeps a batch
+    /// comfortably inside L2 while leaving per-batch overhead in the
+    /// noise.
+    pub batch_records: usize,
+    /// Capacity, in batches, of the formatter and writer queues. Bounds
+    /// how far formatting may run ahead of the disk (and with the
+    /// recycling pools, the total number of live batch buffers).
+    pub batch_queue: usize,
+}
+
+impl Default for TailConfig {
+    fn default() -> Self {
+        TailConfig {
+            batch_records: 256,
+            batch_queue: 4,
+        }
+    }
 }
 
 /// A consistent cut of the sequential stage's state, taken between two
@@ -293,68 +321,8 @@ where
     }
 
     crossbeam::thread::scope(|scope| {
-        let (out_tx, out_rx) = metered_bounded::<WorkerOut>(4096, registry, "decode_out");
-        let mut worker_txs = Vec::with_capacity(n_workers);
-        let mut handles = Vec::with_capacity(n_workers);
-        let decode_telemetry = DecodeTelemetry {
-            frames: registry.counter("stage.decode.frames_total"),
-            service_ns: registry.histogram("stage.decode.service_ns"),
-        };
-        let fault_telemetry = WorkerFaultTelemetry {
-            crashes: registry.counter("faults.worker.crashes_total"),
-            restarts: registry.counter("faults.worker.restarts_total"),
-            backoff_dropped: registry.counter("faults.worker.backoff_dropped_total"),
-            degraded: registry.counter("faults.worker.degraded_total"),
-            tombstoned: registry.counter("faults.worker.tombstoned_total"),
-        };
-        for windex in 0..n_workers {
-            // All worker input channels share the "decode_in" metrics,
-            // so depth reads as frames queued across the stage.
-            let (tx, rx) = metered_bounded::<(u64, TimedFrame)>(1024, registry, "decode_in");
-            worker_txs.push(tx);
-            let out_tx = out_tx.clone();
-            let telemetry = decode_telemetry.clone();
-            let supervision = opts
-                .faults
-                .clone()
-                .map(|plan| (windex, plan, fault_telemetry.clone()));
-            handles.push(scope.spawn(move |_| worker_loop(rx, out_tx, telemetry, supervision)));
-        }
-        drop(out_tx);
-
-        // Producer: route frames so that all fragments of one datagram
-        // land on the same worker (reassembly is per-worker state).
-        // Overload shedding happens here, before sequence assignment:
-        // the sequence space stays dense and the decision depends only
-        // on the (deterministic) frame stream, never on queue timing.
-        let produced = registry.counter("stage.producer.frames_total");
-        let shed = registry.counter("pipeline.shed_total");
-        let producer_plan = opts.faults.clone();
-        let producer = scope.spawn(move |_| {
-            let mut seq = 0u64;
-            let mut offered = 0u64;
-            let mut shed_count = 0u64;
-            for frame in frames {
-                offered += 1;
-                if let Some(plan) = &producer_plan {
-                    if plan.should_shed(frame.ts.0, offered) {
-                        shed.inc();
-                        shed_count += 1;
-                        continue;
-                    }
-                }
-                let w = route(&frame.bytes, n_workers);
-                worker_txs[w]
-                    .send((seq, frame))
-                    // etwlint: allow(no-panic-hot-path): a worker hanging
-                    // up mid-run means it already panicked; propagating
-                    // beats silently dropping the rest of the trace.
-                    .expect("worker hung up early");
-                produced.inc();
-                seq += 1;
-            }
-            (seq, shed_count)
-        });
+        let (out_rx, producer, handles) =
+            spawn_front(scope, frames, n_workers, registry, opts.faults.clone());
 
         // Sink: restore sequence order, then anonymise sequentially.
         let sink = SinkTelemetry {
@@ -461,6 +429,477 @@ where
     .expect("pipeline scope panicked");
 
     (stats, scheme, fig3)
+}
+
+/// A unit of work for the formatter stage, in strict capture order.
+enum FormatItem {
+    /// A run of anonymised records to render.
+    Batch(Vec<AnonRecord>),
+    /// A checkpoint cut; forwarded to the writer so it is stamped with
+    /// the exact dataset offset of everything enqueued before it.
+    Checkpoint(PipelineCheckpoint),
+}
+
+/// A unit of work for the writer stage, in strict capture order.
+enum WriteItem {
+    /// Rendered bytes covering `records` records.
+    Bytes {
+        /// The batch's rendered bytes (recycled back to the formatter).
+        buf: Vec<u8>,
+        /// Records the bytes cover, for the writer's record counter.
+        records: u64,
+    },
+    /// A checkpoint reaching its stamping point.
+    Checkpoint(PipelineCheckpoint),
+}
+
+/// Handles for the formatter stage.
+struct FormatTelemetry {
+    batches: Counter,
+    records: Counter,
+    bytes: Counter,
+    service_ns: Histogram,
+}
+
+/// Handles for the writer stage.
+struct WriteTelemetry {
+    batches: Counter,
+    bytes: Counter,
+    flush_ns: Histogram,
+}
+
+/// Anonymises the staged run of messages as one batch and hands it to
+/// the formatter, recycling record buffers through `rec_pool`. The
+/// per-record counter touches of the serial tail are hoisted here into
+/// one `add` per batch, and `stage.anonymize.service_ns` is recorded
+/// once per batch. `dirs` carries the `(to_server, from_server)` split
+/// accumulated while staging. Returns `false` when the tail has shut
+/// down (the writer hit an io error); the caller then stops batching
+/// but keeps draining the decode stage so the front never stalls.
+#[allow(clippy::too_many_arguments)]
+fn flush_tail_batch(
+    staging: &mut Vec<DecodedMsg>,
+    scheme: &mut PaperScheme,
+    rec_pool: &crossbeam::channel::Receiver<Vec<AnonRecord>>,
+    fmt_tx: &MeteredSender<FormatItem>,
+    sink: &SinkTelemetry,
+    stats: &mut PipelineStats,
+    dirs: &mut (u64, u64),
+) -> bool {
+    if staging.is_empty() {
+        return true;
+    }
+    let mut recs = rec_pool
+        .try_recv()
+        .unwrap_or_else(|| Vec::with_capacity(staging.len()));
+    let t = sink.anonymize_ns.start();
+    let summary =
+        scheme.anonymize_batch(staging.iter().map(|d| (d.ts.0, d.peer, &d.msg)), &mut recs);
+    sink.anonymize_ns.record_since(t);
+    staging.clear();
+    stats.records += summary.records;
+    stats.query_records += summary.queries;
+    sink.records.add(summary.records);
+    sink.queries.add(summary.queries);
+    sink.to_server.add(dirs.0);
+    sink.from_server.add(dirs.1);
+    stats.to_server += dirs.0;
+    stats.from_server += dirs.1;
+    *dirs = (0, 0);
+    fmt_tx.send(FormatItem::Batch(recs)).is_ok()
+}
+
+/// [`run_capture_pipeline_with`] with the serial tail replaced by the
+/// batched, overlapped one. Three stages run concurrently downstream of
+/// the decode workers:
+///
+/// ```text
+/// reorder ──► anonymise batches ──► format (zero-alloc encoder, ──► write (flush in
+///   (seq)     (stateful, seq)        reusable byte buffers)          sequence + stamp
+///                                                                    checkpoints)
+/// ```
+///
+/// * The sequential stage restores capture order, stages
+///   [`TailConfig::batch_records`] messages, anonymises each run with
+///   [`PaperScheme::anonymize_batch`] (per-record telemetry hoisted into
+///   per-batch aggregates) and sends the batch over the metered
+///   `fmt_in` channel.
+/// * The formatter renders each batch into a recycled byte buffer with
+///   [`encode::encode_batch`] — byte-identical to
+///   [`DatasetWriter::write_record`], zero heap allocations per record
+///   in steady state — reporting under `stage.format.*`.
+/// * The writer flushes completed buffers strictly in sequence through
+///   [`DatasetWriter::write_encoded`] (`stage.write.*`), so the output
+///   is byte-identical to the serial tail and `.etwckpt` offsets stay
+///   valid: a checkpoint cut travels through both queues as a marker
+///   and `on_checkpoint` fires on the writer thread with
+///   [`DatasetWriter::bytes_written`] at exactly the cut's offset.
+///
+/// Checkpoint cuts flush the staged run first, so the captured encoder
+/// state covers precisely "everything before the boundary message", as
+/// in the serial tail. On a writer io error the pipeline drains the
+/// decode stage without formatting further and returns the error.
+#[allow(clippy::too_many_arguments)]
+pub fn run_capture_pipeline_batched<I, W>(
+    frames: I,
+    n_workers: usize,
+    mut scheme: PaperScheme,
+    mut fig3: Option<BucketedArrays>,
+    registry: &Registry,
+    opts: &PipelineOptions,
+    tail: TailConfig,
+    writer: DatasetWriter<W>,
+    on_checkpoint: impl FnMut(PipelineCheckpoint, u64) + Send,
+) -> io::Result<(
+    PipelineStats,
+    PaperScheme,
+    Option<BucketedArrays>,
+    DatasetWriter<W>,
+)>
+where
+    I: Iterator<Item = TimedFrame> + Send,
+    W: Write + Send,
+{
+    assert!(n_workers > 0);
+    assert!(tail.batch_records > 0 && tail.batch_queue > 0);
+    let mut stats = PipelineStats::default();
+    if opts
+        .faults
+        .as_ref()
+        .is_some_and(|plan| plan.crash_every > 0)
+    {
+        silence_injected_crashes();
+    }
+    let mut on_checkpoint = on_checkpoint;
+
+    let (writer, io_err) = crossbeam::thread::scope(|scope| {
+        let (out_rx, producer, handles) =
+            spawn_front(scope, frames, n_workers, registry, opts.faults.clone());
+
+        // Tail plumbing: batches flow seq → format → write over metered
+        // channels; emptied buffers flow back through unmetered pools so
+        // steady state re-uses the same allocations forever. Pool
+        // capacity covers every buffer that can be in flight at once
+        // (the queues plus one in each stage's hands), so `try_send`
+        // back into a pool can only drop a buffer on the error path.
+        let pool_cap = tail.batch_queue + 2;
+        let (fmt_tx, fmt_rx) = metered_bounded::<FormatItem>(tail.batch_queue, registry, "fmt_in");
+        let (write_tx, write_rx) =
+            metered_bounded::<WriteItem>(tail.batch_queue, registry, "write_in");
+        let (rec_pool_tx, rec_pool_rx) = crossbeam::channel::bounded::<Vec<AnonRecord>>(pool_cap);
+        let (buf_pool_tx, buf_pool_rx) = crossbeam::channel::bounded::<Vec<u8>>(pool_cap);
+        for _ in 0..pool_cap {
+            let _ = rec_pool_tx.try_send(Vec::with_capacity(tail.batch_records));
+            let _ = buf_pool_tx.try_send(Vec::with_capacity(tail.batch_records * 64));
+        }
+
+        // Formatter: render one batch at a time into a recycled buffer.
+        let fmt = FormatTelemetry {
+            batches: registry.counter("stage.format.batches_total"),
+            records: registry.counter("stage.format.records_total"),
+            bytes: registry.counter("stage.format.bytes_total"),
+            service_ns: registry.histogram("stage.format.service_ns"),
+        };
+        let rec_pool_back = rec_pool_tx.clone();
+        let formatter = scope.spawn(move |_| {
+            for item in fmt_rx.iter() {
+                match item {
+                    FormatItem::Batch(mut recs) => {
+                        let mut buf = buf_pool_rx
+                            .try_recv()
+                            .unwrap_or_else(|| Vec::with_capacity(recs.len() * 64));
+                        buf.clear();
+                        let t = fmt.service_ns.start();
+                        encode::encode_batch(&mut buf, &recs);
+                        fmt.service_ns.record_since(t);
+                        fmt.batches.inc();
+                        fmt.records.add(recs.len() as u64);
+                        fmt.bytes.add(buf.len() as u64);
+                        let records = recs.len() as u64;
+                        recs.clear();
+                        let _ = rec_pool_back.try_send(recs);
+                        if write_tx.send(WriteItem::Bytes { buf, records }).is_err() {
+                            break;
+                        }
+                    }
+                    FormatItem::Checkpoint(cp) => {
+                        if write_tx.send(WriteItem::Checkpoint(cp)).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+        });
+
+        // Writer: flush buffers in sequence, stamp checkpoints with the
+        // dataset offset, recycle buffers. On an io error it keeps
+        // draining (without writing) so the formatter never stalls.
+        let wt = WriteTelemetry {
+            batches: registry.counter("stage.write.batches_total"),
+            bytes: registry.counter("stage.write.bytes_total"),
+            flush_ns: registry.histogram("stage.write.flush_ns"),
+        };
+        let writer_thread = scope.spawn(move |_| {
+            let mut w = writer;
+            let mut io_err: Option<io::Error> = None;
+            for item in write_rx.iter() {
+                match item {
+                    WriteItem::Bytes { mut buf, records } => {
+                        if io_err.is_none() {
+                            let t = wt.flush_ns.start();
+                            match w.write_encoded(&buf, records) {
+                                Ok(()) => {
+                                    wt.flush_ns.record_since(t);
+                                    wt.batches.inc();
+                                    wt.bytes.add(buf.len() as u64);
+                                }
+                                Err(e) => io_err = Some(e),
+                            }
+                        }
+                        buf.clear();
+                        let _ = buf_pool_tx.try_send(buf);
+                    }
+                    WriteItem::Checkpoint(cp) => {
+                        if io_err.is_none() {
+                            on_checkpoint(cp, w.bytes_written());
+                        }
+                    }
+                }
+            }
+            (w, io_err)
+        });
+
+        // Sequential stage: restore sequence order, stage batches.
+        let sink = SinkTelemetry {
+            reorder_depth: registry.gauge("stage.reorder.depth"),
+            reorder_depth_hwm: registry.gauge("stage.reorder.depth_hwm"),
+            anonymize_ns: registry.histogram("stage.anonymize.service_ns"),
+            records: registry.counter("stage.sink.records_total"),
+            queries: registry.counter("stage.sink.queries_total"),
+            to_server: registry.counter("stage.sink.to_server_total"),
+            from_server: registry.counter("stage.sink.from_server_total"),
+        };
+        let cp_interval = opts.checkpoint_interval_us;
+        let (skip, mut last_ts, mut next_cp) = match &opts.resume {
+            Some(r) => (r.records, r.virtual_us, r.next_checkpoint_us),
+            None => (0, 0, cp_interval),
+        };
+        let mut consumed = 0u64;
+        let mut reorder: BTreeMap<u64, Option<DecodedMsg>> = BTreeMap::new();
+        let mut next_seq = 0u64;
+        let mut staging: Vec<DecodedMsg> = Vec::with_capacity(tail.batch_records);
+        let mut dirs = (0u64, 0u64);
+        let mut tail_failed = false;
+        for WorkerOut::Step(seq, decoded) in out_rx.iter() {
+            reorder.insert(seq, decoded);
+            while let Some(decoded) = reorder.remove(&next_seq) {
+                next_seq += 1;
+                let Some(d) = decoded else { continue };
+                if cp_interval > 0 && d.ts.0 >= next_cp {
+                    // Cut *before* consuming this message. The staged
+                    // run is flushed first so the orders captured below
+                    // cover exactly "everything before the boundary",
+                    // and the marker rides the same ordered queues, so
+                    // the writer stamps it at exactly that offset.
+                    next_cp = (d.ts.0 / cp_interval + 1) * cp_interval;
+                    if !tail_failed {
+                        tail_failed = !flush_tail_batch(
+                            &mut staging,
+                            &mut scheme,
+                            &rec_pool_rx,
+                            &fmt_tx,
+                            &sink,
+                            &mut stats,
+                            &mut dirs,
+                        );
+                    }
+                    if !tail_failed {
+                        tail_failed = fmt_tx
+                            .send(FormatItem::Checkpoint(PipelineCheckpoint {
+                                virtual_us: last_ts,
+                                next_checkpoint_us: next_cp,
+                                records: consumed,
+                                client_order: scheme.client_encoder().appearance_order(),
+                                file_order: scheme.file_encoder().appearance_order(),
+                                fig3_order: fig3.as_ref().map(|f| f.appearance_order()),
+                            }))
+                            .is_err();
+                    }
+                }
+                consumed += 1;
+                last_ts = d.ts.0;
+                if consumed <= skip {
+                    // Resume replay: already written by the interrupted
+                    // run; its effects live in the restored state.
+                    continue;
+                }
+                if tail_failed {
+                    // Writer is gone: keep consuming so the decode
+                    // front drains instead of deadlocking the producer.
+                    continue;
+                }
+                match d.direction {
+                    Direction::ToServer => dirs.0 += 1,
+                    Direction::FromServer => dirs.1 += 1,
+                }
+                if let Some(fig3) = fig3.as_mut() {
+                    for id in message_file_ids(&d.msg) {
+                        fig3.anonymize(id);
+                    }
+                }
+                staging.push(d);
+                if staging.len() >= tail.batch_records {
+                    tail_failed = !flush_tail_batch(
+                        &mut staging,
+                        &mut scheme,
+                        &rec_pool_rx,
+                        &fmt_tx,
+                        &sink,
+                        &mut stats,
+                        &mut dirs,
+                    );
+                }
+            }
+            let depth = reorder.len() as i64;
+            sink.reorder_depth.set(depth);
+            if depth > sink.reorder_depth_hwm.get() {
+                sink.reorder_depth_hwm.set(depth);
+            }
+        }
+        debug_assert!(reorder.is_empty(), "holes in the sequence space");
+        if !tail_failed {
+            // Final partial batch.
+            flush_tail_batch(
+                &mut staging,
+                &mut scheme,
+                &rec_pool_rx,
+                &fmt_tx,
+                &sink,
+                &mut stats,
+                &mut dirs,
+            );
+        }
+        drop(fmt_tx);
+
+        // etwlint: allow(no-panic-hot-path): join() only errs when the
+        // joined thread panicked; re-raising is panic propagation, not a
+        // new failure mode.
+        formatter.join().expect("formatter panicked");
+        // etwlint: allow(no-panic-hot-path): panic propagation, as above
+        let (w, io_err) = writer_thread.join().expect("writer panicked");
+        // etwlint: allow(no-panic-hot-path): panic propagation, as above
+        let (total_frames, shed_count) = producer.join().expect("producer panicked");
+        stats.frames = total_frames;
+        stats.shed = shed_count;
+        for h in handles {
+            // etwlint: allow(no-panic-hot-path): panic propagation, as above
+            let worker = h.join().expect("worker panicked");
+            stats.not_udp += worker.not_udp;
+            stats.other_port += worker.other_port;
+            stats.parse_errors += worker.parse_errors;
+            stats.udp_datagrams += worker.udp_datagrams;
+            stats.fragmented_datagrams += worker.fragmented_datagrams;
+            stats.decoder.merge(&worker.decoder);
+            merge_reassembly(&mut stats.reassembly, &worker.reassembly);
+        }
+        (w, io_err)
+    })
+    // etwlint: allow(no-panic-hot-path): crossbeam scope() errs only when
+    // a child panicked; re-raising is panic propagation.
+    .expect("pipeline scope panicked");
+
+    match io_err {
+        Some(e) => Err(e),
+        None => Ok((stats, scheme, fig3, writer)),
+    }
+}
+
+/// Spawns the parallel front of the pipeline — the routing producer and
+/// the decode workers — into `scope`, wiring shared stage telemetry.
+/// Returns the sequenced worker-output channel plus the join handles:
+/// the producer yields `(frames_routed, frames_shed)`, each worker its
+/// accumulated [`WorkerStats`]. Both the serial and the batched tail sit
+/// downstream of this same front, so fault injection, shedding and
+/// sequence assignment behave identically in the two.
+type FrontHandles<'scope> = (
+    MeteredReceiver<WorkerOut>,
+    crossbeam::thread::ScopedJoinHandle<'scope, (u64, u64)>,
+    Vec<crossbeam::thread::ScopedJoinHandle<'scope, WorkerStats>>,
+);
+
+fn spawn_front<'scope, 'env, I>(
+    scope: &crossbeam::thread::Scope<'scope, 'env>,
+    frames: I,
+    n_workers: usize,
+    registry: &Registry,
+    faults: Option<WorkerFaultPlan>,
+) -> FrontHandles<'scope>
+where
+    I: Iterator<Item = TimedFrame> + Send + 'scope,
+{
+    let (out_tx, out_rx) = metered_bounded::<WorkerOut>(4096, registry, "decode_out");
+    let mut worker_txs = Vec::with_capacity(n_workers);
+    let mut handles = Vec::with_capacity(n_workers);
+    let decode_telemetry = DecodeTelemetry {
+        frames: registry.counter("stage.decode.frames_total"),
+        service_ns: registry.histogram("stage.decode.service_ns"),
+    };
+    let fault_telemetry = WorkerFaultTelemetry {
+        crashes: registry.counter("faults.worker.crashes_total"),
+        restarts: registry.counter("faults.worker.restarts_total"),
+        backoff_dropped: registry.counter("faults.worker.backoff_dropped_total"),
+        degraded: registry.counter("faults.worker.degraded_total"),
+        tombstoned: registry.counter("faults.worker.tombstoned_total"),
+    };
+    for windex in 0..n_workers {
+        // All worker input channels share the "decode_in" metrics,
+        // so depth reads as frames queued across the stage.
+        let (tx, rx) = metered_bounded::<(u64, TimedFrame)>(1024, registry, "decode_in");
+        worker_txs.push(tx);
+        let out_tx = out_tx.clone();
+        let telemetry = decode_telemetry.clone();
+        let supervision = faults
+            .clone()
+            .map(|plan| (windex, plan, fault_telemetry.clone()));
+        handles.push(scope.spawn(move |_| worker_loop(rx, out_tx, telemetry, supervision)));
+    }
+    drop(out_tx);
+
+    // Producer: route frames so that all fragments of one datagram
+    // land on the same worker (reassembly is per-worker state).
+    // Overload shedding happens here, before sequence assignment:
+    // the sequence space stays dense and the decision depends only
+    // on the (deterministic) frame stream, never on queue timing.
+    let produced = registry.counter("stage.producer.frames_total");
+    let shed = registry.counter("pipeline.shed_total");
+    let producer_plan = faults;
+    let producer = scope.spawn(move |_| {
+        let mut seq = 0u64;
+        let mut offered = 0u64;
+        let mut shed_count = 0u64;
+        for frame in frames {
+            offered += 1;
+            if let Some(plan) = &producer_plan {
+                if plan.should_shed(frame.ts.0, offered) {
+                    shed.inc();
+                    shed_count += 1;
+                    continue;
+                }
+            }
+            let w = route(&frame.bytes, n_workers);
+            worker_txs[w]
+                .send((seq, frame))
+                // etwlint: allow(no-panic-hot-path): a worker hanging
+                // up mid-run means it already panicked; propagating
+                // beats silently dropping the rest of the trace.
+                .expect("worker hung up early");
+            produced.inc();
+            seq += 1;
+        }
+        (seq, shed_count)
+    });
+
+    (out_rx, producer, handles)
 }
 
 /// Keep injected worker crashes out of stderr: they are scheduled fault
@@ -1069,6 +1508,206 @@ mod tests {
         assert_eq!(rstats.records, 300 - cp.records);
         assert_eq!(&full[cp.records as usize..], &tail[..]);
         assert_eq!(&cuts[2..], &tail_cuts[..], "resumed cuts diverge");
+    }
+
+    /// Serial reference: pipeline → `write_record`, checkpoints stamped
+    /// with the writer offset as `repro soak` does.
+    fn serial_dataset(
+        frames: Vec<TimedFrame>,
+        workers: usize,
+        opts: &PipelineOptions,
+    ) -> (Vec<u8>, Vec<(PipelineCheckpoint, u64)>, PipelineStats) {
+        use std::cell::RefCell;
+        let writer = RefCell::new(DatasetWriter::new(Vec::new()).unwrap());
+        let cps = RefCell::new(Vec::new());
+        let (stats, _, _) = run_capture_pipeline_with(
+            frames.into_iter(),
+            workers,
+            PaperScheme::paper(16),
+            None,
+            &Registry::disabled(),
+            opts,
+            |r| writer.borrow_mut().write_record(&r).unwrap(),
+            |cp| {
+                let bytes = writer.borrow().bytes_written();
+                cps.borrow_mut().push((cp, bytes));
+            },
+        );
+        let bytes = writer.into_inner().finish().unwrap();
+        (bytes, cps.into_inner(), stats)
+    }
+
+    fn batched_dataset(
+        frames: Vec<TimedFrame>,
+        workers: usize,
+        opts: &PipelineOptions,
+        tail: TailConfig,
+        registry: &Registry,
+    ) -> (Vec<u8>, Vec<(PipelineCheckpoint, u64)>, PipelineStats) {
+        let mut cps = Vec::new();
+        let (stats, _, _, writer) = run_capture_pipeline_batched(
+            frames.into_iter(),
+            workers,
+            PaperScheme::paper(16),
+            None,
+            registry,
+            opts,
+            tail,
+            DatasetWriter::new(Vec::new()).unwrap(),
+            |cp, bytes| cps.push((cp, bytes)),
+        )
+        .unwrap();
+        let bytes = writer.finish().unwrap();
+        (bytes, cps, stats)
+    }
+
+    fn mixed_msgs(n: usize) -> Vec<(u32, Message)> {
+        use etw_edonkey::search::SearchExpr;
+        (0..n)
+            .map(|i| {
+                let m = match i % 4 {
+                    0 => Message::GetSources {
+                        file_ids: vec![FileId::of_identity(i as u64 % 17)],
+                    },
+                    1 => Message::SearchRequest {
+                        expr: SearchExpr::keyword("pink floyd"),
+                    },
+                    2 => Message::StatusRequest {
+                        challenge: i as u32,
+                    },
+                    _ => Message::GetServerList,
+                };
+                ((i % 31) as u32, m)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_tail_is_byte_identical_to_serial() {
+        let frames = frames_for(&mixed_msgs(300));
+        let opts = PipelineOptions {
+            checkpoint_interval_us: 60_000_000,
+            resume: None,
+            faults: None,
+        };
+        let (serial, serial_cps, sstats) = serial_dataset(frames.clone(), 2, &opts);
+        assert!(serial_cps.len() >= 3, "want several checkpoint cuts");
+        // Batch size, queue depth and worker count must all be
+        // invisible in the output — including the partial final batch
+        // and a batch size of one.
+        for (workers, tail) in [
+            (
+                1,
+                TailConfig {
+                    batch_records: 1,
+                    batch_queue: 1,
+                },
+            ),
+            (
+                3,
+                TailConfig {
+                    batch_records: 7,
+                    batch_queue: 2,
+                },
+            ),
+            (2, TailConfig::default()),
+        ] {
+            let (batched, cps, bstats) =
+                batched_dataset(frames.clone(), workers, &opts, tail, &Registry::disabled());
+            assert!(batched == serial, "diverged with {tail:?}");
+            assert_eq!(cps, serial_cps, "checkpoints diverged with {tail:?}");
+            assert_eq!(bstats.records, sstats.records);
+            assert_eq!(bstats.query_records, sstats.query_records);
+            assert_eq!(bstats.to_server, sstats.to_server);
+            assert_eq!(bstats.from_server, sstats.from_server);
+        }
+    }
+
+    #[test]
+    fn batched_tail_reports_format_and_write_stages() {
+        let frames = frames_for(&mixed_msgs(200));
+        let registry = Registry::new();
+        let (bytes, _, stats) = batched_dataset(
+            frames,
+            2,
+            &PipelineOptions::default(),
+            TailConfig {
+                batch_records: 32,
+                batch_queue: 4,
+            },
+            &registry,
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("stage.format.records_total"), stats.records);
+        assert_eq!(snap.counter("stage.sink.records_total"), stats.records);
+        let batches = snap.counter("stage.format.batches_total");
+        assert_eq!(batches, stats.records.div_ceil(32));
+        assert_eq!(snap.counter("stage.write.batches_total"), batches);
+        // Everything formatted got written; the dataset is header +
+        // formatted bytes + footer.
+        let body = snap.counter("stage.format.bytes_total");
+        assert_eq!(snap.counter("stage.write.bytes_total"), body);
+        assert!(body > 0 && (body as usize) < bytes.len());
+        assert_eq!(
+            snap.histogram("stage.format.service_ns").unwrap().count,
+            batches
+        );
+        assert_eq!(
+            snap.histogram("stage.write.flush_ns").unwrap().count,
+            batches
+        );
+        // Tail queues fully drained at exit.
+        assert_eq!(snap.gauge("chan.fmt_in.depth"), 0);
+        assert_eq!(snap.gauge("chan.write_in.depth"), 0);
+    }
+
+    #[test]
+    fn batched_tail_resumes_from_serial_checkpoint() {
+        // A checkpoint cut by the serial tail restores into the batched
+        // one (and vice versa): the cut protocol is tail-agnostic.
+        let frames = frames_for(&mixed_msgs(300));
+        let opts = PipelineOptions {
+            checkpoint_interval_us: 60_000_000,
+            resume: None,
+            faults: None,
+        };
+        let (full, cps, _) = serial_dataset(frames.clone(), 2, &opts);
+        let (cp, cp_bytes) = cps[1].clone();
+        let scheme = PaperScheme::from_orders(
+            16,
+            ByteSelector::ALTERNATIVE,
+            &cp.client_order,
+            &cp.file_order,
+        );
+        let resume_opts = PipelineOptions {
+            checkpoint_interval_us: 60_000_000,
+            resume: Some(ResumePoint {
+                records: cp.records,
+                virtual_us: cp.virtual_us,
+                next_checkpoint_us: cp.next_checkpoint_us,
+            }),
+            faults: None,
+        };
+        let prefix = full[..cp_bytes as usize].to_vec();
+        let mut tail_cps = Vec::new();
+        let (_, _, _, writer) = run_capture_pipeline_batched(
+            frames.into_iter(),
+            4,
+            scheme,
+            None,
+            &Registry::disabled(),
+            &resume_opts,
+            TailConfig {
+                batch_records: 5,
+                batch_queue: 2,
+            },
+            DatasetWriter::resume(prefix, cp.records, cp_bytes),
+            |c, b| tail_cps.push((c, b)),
+        )
+        .unwrap();
+        let rebuilt = writer.finish().unwrap();
+        assert!(rebuilt == full, "resumed batched dataset diverges");
+        assert_eq!(&cps[2..], &tail_cps[..]);
     }
 
     #[test]

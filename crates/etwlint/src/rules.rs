@@ -24,6 +24,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(NoWallClock),
         Box::new(NoPanicHotPath),
+        Box::new(NoAllocHotLoop),
         Box::new(AtomicsOrderingAudit),
         Box::new(OpcodeCoverage),
         Box::new(VendoredDepBoundary),
@@ -447,6 +448,160 @@ fn hex_ranges(t: &[Token]) -> Vec<(u64, u64)> {
 }
 
 // ---------------------------------------------------------------------------
+// no-alloc-hot-loop
+// ---------------------------------------------------------------------------
+
+/// Files whose per-frame / per-record loops must stay allocation-free:
+/// the decode workers and batched tail in the core pipeline, and the
+/// zero-alloc XML formatter. `Vec::with_capacity` is deliberately *not*
+/// flagged — it is the sanctioned pre-size idiom and the buffer pools
+/// fall back to it on a pool miss.
+const HOT_LOOP_FILES: &[&str] = &[
+    "crates/core/src/pipeline.rs",
+    "crates/edonkey/src/decoder.rs",
+    "crates/xmlout/src/encode.rs",
+    "crates/xmlout/src/escape.rs",
+    "crates/xmlout/src/writer.rs",
+];
+
+/// `Type::new()`-style constructors that always allocate.
+const ALLOC_CTORS: &[&str] = &["Vec", "String"];
+
+/// `.method()` calls that clone into a fresh allocation.
+const ALLOC_METHODS: &[&str] = &["to_string", "to_owned", "to_vec"];
+
+/// Macros that allocate on every expansion.
+const ALLOC_MACROS: &[&str] = &["format", "vec"];
+
+/// Flags per-iteration allocations (`Vec::new`, `String::new`,
+/// `format!`, `vec!`, `.to_string()`, `.to_owned()`, `.to_vec()`) inside
+/// `for`/`while`/`loop` bodies in the capture hot-path files. The
+/// batched tail's throughput contract is zero steady-state
+/// allocations/record (`repro bench` measures it); the fix is a reused
+/// buffer (`clear()` + extend) hoisted out of the loop, or an `allow`
+/// naming the cold path it sits on.
+pub struct NoAllocHotLoop;
+
+impl Rule for NoAllocHotLoop {
+    fn name(&self) -> &'static str {
+        "no-alloc-hot-loop"
+    }
+    fn description(&self) -> &'static str {
+        "Vec::new/format!/to_string inside per-frame loops in decode-worker and formatter files"
+    }
+    fn check_file(&self, ctx: &FileContext, out: &mut LintSink) {
+        if !HOT_LOOP_FILES.contains(&ctx.rel_path.as_str()) {
+            return;
+        }
+        let t = &ctx.tokens;
+        let spans = loop_body_spans(t);
+        if spans.is_empty() {
+            return;
+        }
+        let in_loop = |i: usize| spans.iter().any(|&(a, b)| (a..=b).contains(&i));
+        for i in 0..t.len() {
+            if t[i].kind != TokenKind::Ident || !in_loop(i) || ctx.in_test_code(t[i].line) {
+                continue;
+            }
+            // `Vec::new()` / `String::new()`.
+            if ALLOC_CTORS.contains(&t[i].text.as_str())
+                && i + 3 < t.len()
+                && is_punct(&t[i + 1], ":")
+                && is_punct(&t[i + 2], ":")
+                && is_ident(&t[i + 3], "new")
+            {
+                ctx.report(
+                    out,
+                    self.name(),
+                    &t[i],
+                    format!(
+                        "`{}::new()` inside a hot-path loop; hoist a reusable \
+                         buffer out of the loop (`clear()` + extend)",
+                        t[i].text
+                    ),
+                );
+            }
+            // `format!(...)` / `vec![...]`.
+            if ALLOC_MACROS.contains(&t[i].text.as_str())
+                && t.get(i + 1).is_some_and(|n| is_punct(n, "!"))
+            {
+                ctx.report(
+                    out,
+                    self.name(),
+                    &t[i],
+                    format!(
+                        "`{}!` allocates on every iteration of a hot-path loop; \
+                         render into a reused buffer instead",
+                        t[i].text
+                    ),
+                );
+            }
+            // `.to_string()` / `.to_owned()` / `.to_vec()`.
+            if ALLOC_METHODS.contains(&t[i].text.as_str())
+                && i > 0
+                && is_punct(&t[i - 1], ".")
+                && t.get(i + 1).is_some_and(|n| is_punct(n, "("))
+            {
+                ctx.report(
+                    out,
+                    self.name(),
+                    &t[i],
+                    format!(
+                        "`.{}()` clones into a fresh allocation inside a hot-path \
+                         loop; borrow or reuse a hoisted buffer",
+                        t[i].text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Token-index spans (inclusive) of `for`/`while`/`loop` bodies,
+/// including nested ones. Light-weight by design: the body is the first
+/// `{` after the keyword, brace-matched to its close. A `for` keyword
+/// only counts as a loop when an `in` sits between it and the body —
+/// that screens out `impl Trait for Type { … }` blocks and `for<'a>`
+/// higher-ranked bounds, whose token shape is otherwise identical.
+fn loop_body_spans(t: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for i in 0..t.len() {
+        if t[i].kind != TokenKind::Ident || !matches!(t[i].text.as_str(), "for" | "while" | "loop")
+        {
+            continue;
+        }
+        let mut j = i + 1;
+        let mut saw_in = false;
+        while j < t.len() && !is_punct(&t[j], "{") {
+            if is_ident(&t[j], "in") {
+                saw_in = true;
+            }
+            j += 1;
+        }
+        if j >= t.len() || (t[i].text == "for" && !saw_in) {
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut k = j;
+        while k < t.len() {
+            if t[k].kind == TokenKind::Punct {
+                if t[k].text == "{" {
+                    depth += 1;
+                } else if t[k].text == "}" {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+            }
+            k += 1;
+        }
+        spans.push((j, k));
+    }
+    spans
+}
+
+// ---------------------------------------------------------------------------
 // vendored-dep-boundary
 // ---------------------------------------------------------------------------
 
@@ -529,6 +684,24 @@ mod tests {
         assert_eq!(sink.diagnostics.len(), 1);
         assert_eq!(sink.diagnostics[0].rule, "atomics-ordering-audit");
         assert_eq!(sink.diagnostics[0].line, 2);
+    }
+
+    #[test]
+    fn loop_spans_skip_impl_for_and_hrtb() {
+        let ctx = FileContext::new(&SourceFile {
+            rel_path: "x.rs".into(),
+            text: "impl Rule for NoWallClock { fn f(&self) { String::new(); } }\n\
+                   fn g(h: impl for<'a> Fn(&'a str)) { String::new(); }\n\
+                   fn real() { for x in 0..3 { let _ = x; } loop { break; } }"
+                .into(),
+        });
+        let spans = loop_body_spans(&ctx.tokens);
+        assert_eq!(spans.len(), 2, "{spans:?}");
+        // Both detected bodies are on line 3.
+        for (a, b) in spans {
+            assert_eq!(ctx.tokens[a].line, 3);
+            assert_eq!(ctx.tokens[b].line, 3);
+        }
     }
 
     #[test]

@@ -129,6 +129,90 @@ fn no_panic_hot_path_ignores_non_call_idents() {
 }
 
 // ---------------------------------------------------------------------------
+// no-alloc-hot-loop
+// ---------------------------------------------------------------------------
+
+#[test]
+fn no_alloc_hot_loop_fires_in_loops_in_hot_files_only() {
+    let src = "fn f(names: &[&str]) {\n\
+               \x20   for n in names {\n\
+               \x20       let owned = n.to_string();\n\
+               \x20       let mut v: Vec<u8> = Vec::new();\n\
+               \x20       let s = format!(\"{owned}\");\n\
+               \x20       v.extend(s.bytes());\n\
+               \x20   }\n\
+               \x20   let fine = String::new(); // outside any loop\n\
+               }\n";
+    let report = lint_files(&[file("crates/xmlout/src/encode.rs", src)]);
+    let hits = only(&report.diagnostics, "no-alloc-hot-loop");
+    assert_eq!(hits.len(), 3, "{:?}", report.diagnostics);
+    assert_eq!(hits[0].0, 3, "to_string flagged");
+    assert_eq!(hits[1].0, 4, "Vec::new flagged");
+    assert_eq!(hits[2].0, 5, "format! flagged");
+
+    // Same source off the hot list: clean.
+    let report = lint_files(&[file("crates/analysis/src/figures.rs", src)]);
+    assert!(only(&report.diagnostics, "no-alloc-hot-loop").is_empty());
+}
+
+#[test]
+fn no_alloc_hot_loop_handles_while_loop_and_nesting() {
+    let report = lint_files(&[file(
+        "crates/core/src/pipeline.rs",
+        "fn f(n: u32) {\n\
+         \x20   while n > 0 {\n\
+         \x20       if n == 1 { let v = vec![0u8; 4]; drop(v); }\n\
+         \x20   }\n\
+         \x20   loop {\n\
+         \x20       let b = [1u8].to_vec();\n\
+         \x20       drop(b);\n\
+         \x20   }\n\
+         }\n",
+    )]);
+    let hits = only(&report.diagnostics, "no-alloc-hot-loop");
+    assert_eq!(hits.len(), 2, "{:?}", report.diagnostics);
+    assert_eq!(hits[0].0, 3, "vec! inside nested if inside while");
+    assert_eq!(hits[1].0, 6, "to_vec inside loop");
+}
+
+#[test]
+fn no_alloc_hot_loop_ignores_impl_for_with_capacity_and_tests() {
+    // `impl … for …` blocks and `Vec::with_capacity` (the sanctioned
+    // pre-size / pool-miss idiom) must not fire.
+    let report = lint_files(&[file(
+        "crates/xmlout/src/writer.rs",
+        "impl Encoder for Fast { fn go(&self) { let s = String::new(); drop(s); } }\n\
+         fn pool(n: usize) { for _ in 0..n { let v: Vec<u8> = Vec::with_capacity(64); drop(v); } }\n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+         \x20   fn t() { for i in 0..3 { let _ = i.to_string(); } }\n\
+         }\n",
+    )]);
+    assert!(
+        only(&report.diagnostics, "no-alloc-hot-loop").is_empty(),
+        "{:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn no_alloc_hot_loop_allow_suppresses() {
+    let report = lint_files(&[file(
+        "crates/xmlout/src/escape.rs",
+        "fn f(xs: &[&str]) {\n\
+         \x20   for x in xs {\n\
+         \x20       // etwlint: allow(no-alloc-hot-loop): cold error path\n\
+         \x20       let e = x.to_owned();\n\
+         \x20       drop(e);\n\
+         \x20   }\n\
+         }\n",
+    )]);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].rule, "no-alloc-hot-loop");
+}
+
+// ---------------------------------------------------------------------------
 // atomics-ordering-audit
 // ---------------------------------------------------------------------------
 

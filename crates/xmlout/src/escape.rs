@@ -4,21 +4,70 @@
 //! element names, so escaping is rarely *exercised* — but the writer must
 //! be correct for any string (the paper's format is "rigorously
 //! specified", and a format that breaks on `&` would not be).
+//!
+//! Because the common case is a clean string, [`escape`] returns a
+//! borrowed [`Cow`] when nothing needs rewriting, and [`escape_into`]
+//! appends straight into a byte buffer so the hot formatting path never
+//! allocates at all.
+
+use std::borrow::Cow;
+
+/// Per-byte "needs an entity" table. Multi-byte UTF-8 sequences only use
+/// bytes `>= 0x80`, which never collide with the five specials, so the
+/// scan can stay on raw bytes.
+static NEEDS_ESCAPE: [bool; 256] = {
+    let mut t = [false; 256];
+    t[b'&' as usize] = true;
+    t[b'<' as usize] = true;
+    t[b'>' as usize] = true;
+    t[b'"' as usize] = true;
+    t[b'\'' as usize] = true;
+    t
+};
+
+/// The entity replacement for a byte flagged in [`NEEDS_ESCAPE`].
+fn entity(b: u8) -> &'static [u8] {
+    match b {
+        b'&' => b"&amp;",
+        b'<' => b"&lt;",
+        b'>' => b"&gt;",
+        b'"' => b"&quot;",
+        _ => b"&apos;",
+    }
+}
 
 /// Escapes a string for use in attribute values or text content.
-pub fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '&' => out.push_str("&amp;"),
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '"' => out.push_str("&quot;"),
-            '\'' => out.push_str("&apos;"),
-            _ => out.push(c),
+///
+/// Returns `Cow::Borrowed` — no allocation — when the input contains
+/// none of the five predefined specials, which is every hash digest,
+/// decimal number and protocol constant in the dataset.
+pub fn escape(s: &str) -> Cow<'_, str> {
+    if !s.bytes().any(|b| NEEDS_ESCAPE[b as usize]) {
+        return Cow::Borrowed(s);
+    }
+    let mut out = Vec::with_capacity(s.len() + 8);
+    escape_into(&mut out, s);
+    // escape_into only splices ASCII entities between valid UTF-8 runs.
+    Cow::Owned(String::from_utf8(out).expect("escaped output is utf-8"))
+}
+
+/// Appends the escaped form of `s` to `out`.
+///
+/// This is the zero-allocation path used by [`crate::encode`]: clean
+/// runs are copied with `extend_from_slice`, entities are spliced in
+/// from static tables, and nothing is allocated beyond what `out`
+/// already holds.
+pub fn escape_into(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if NEEDS_ESCAPE[b as usize] {
+            out.extend_from_slice(&bytes[start..i]);
+            out.extend_from_slice(entity(b));
+            start = i + 1;
         }
     }
-    out
+    out.extend_from_slice(&bytes[start..]);
 }
 
 /// Reverses [`escape`]. Unknown entities are an error.
@@ -39,6 +88,8 @@ pub fn unescape(s: &str) -> Result<String, UnescapeError> {
             "gt" => '>',
             "quot" => '"',
             "apos" => '\'',
+            // etwlint: allow(no-alloc-hot-loop): cold error path — allocates
+            // once on malformed input, then the whole parse aborts
             _ => return Err(UnescapeError::UnknownEntity(entity.to_owned())),
         });
         // Skip the entity body and the semicolon.
@@ -77,15 +128,37 @@ mod tests {
     fn round_trip_specials() {
         let s = r#"a & b < c > "d" 'e'"#;
         let esc = escape(s);
+        assert!(matches!(esc, Cow::Owned(_)));
         assert!(!esc.contains('<'));
         assert!(!esc.contains('"'));
         assert_eq!(unescape(&esc).unwrap(), s);
     }
 
     #[test]
-    fn plain_strings_untouched() {
-        assert_eq!(escape("d41d8cd98f00b204"), "d41d8cd98f00b204");
+    fn plain_strings_borrowed() {
+        let s = "d41d8cd98f00b204";
+        let esc = escape(s);
+        assert!(matches!(esc, Cow::Borrowed(_)), "clean input must borrow");
+        assert_eq!(esc, s);
         assert_eq!(unescape("12345").unwrap(), "12345");
+    }
+
+    #[test]
+    fn escape_into_matches_escape() {
+        for s in [
+            "",
+            "plain",
+            "a&b",
+            "<<>>",
+            "tail&",
+            "&head",
+            r#"a & b < c > "d" 'e'"#,
+            "héllo & wörld ☺",
+        ] {
+            let mut buf = Vec::new();
+            escape_into(&mut buf, s);
+            assert_eq!(String::from_utf8(buf).unwrap(), escape(s).as_ref(), "{s:?}");
+        }
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //!   round-trip fidelity and letting analyses consume released files;
 //!   also the truncated-tail recovery used after a crashed capture;
 //! * [`schema`] — the formal specification text and a validator;
-//! * [`escape`] — XML entity escaping;
+//! * [`escape`] — XML entity escaping (borrowed fast path for the
+//!   common no-escape case);
+//! * [`mod@encode`] — zero-allocation record encoder for the batched
+//!   capture tail, byte-identical to [`writer`];
 //! * [`mod@compress`] — the LZSS storage codec behind the paper's "once
 //!   compressed, does not have a prohibitive space cost" footnote.
 //!
@@ -37,12 +40,14 @@
 #![warn(missing_docs)]
 
 pub mod compress;
+pub mod encode;
 pub mod escape;
 pub mod reader;
 pub mod schema;
 pub mod writer;
 
 pub use compress::{compress, decompress, CompressError};
+pub use encode::{encode_batch, encode_record};
 pub use reader::{repair_truncated, scan_valid_prefix, DatasetReader, RecoveredDataset, XmlError};
 pub use schema::{validate, ValidationReport, SPEC, SPEC_VERSION};
 pub use writer::{to_xml_string, DatasetWriter};

@@ -95,6 +95,19 @@ impl<W: Write> DatasetWriter<W> {
         self.out.as_mut().expect("writer already finished")
     }
 
+    /// Flushes a run of pre-encoded records in one write.
+    ///
+    /// This is the buffer-reuse fast path behind the batched capture
+    /// tail: `bytes` must be the exact [`crate::encode`] rendering of
+    /// `records` records (the encoder is byte-identical to
+    /// [`write_record`](Self::write_record), so offsets and the record
+    /// counter stay consistent with the serial path).
+    pub fn write_encoded(&mut self, bytes: &[u8], records: u64) -> io::Result<()> {
+        debug_assert!(!self.closed);
+        self.records += records;
+        self.o().write_all(bytes)
+    }
+
     /// Writes one dialog record.
     pub fn write_record(&mut self, r: &AnonRecord) -> io::Result<()> {
         debug_assert!(!self.closed);

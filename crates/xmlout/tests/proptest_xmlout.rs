@@ -5,13 +5,20 @@ use etw_anonymize::scheme::{
     AnonFileEntry, AnonMessage, AnonRecord, AnonSearchExpr, AnonTag, AnonTagValue,
 };
 use etw_xmlout::compress::{compress, decompress};
+use etw_xmlout::encode::encode_batch;
 use etw_xmlout::reader::DatasetReader;
-use etw_xmlout::writer::to_xml_string;
+use etw_xmlout::writer::{to_xml_string, DatasetWriter};
 use proptest::prelude::*;
+
+/// Attribute-value text that exercises the escaper: all five XML
+/// specials plus plain characters, so the zero-alloc encoder's
+/// lookup-table escape path and the writer's `escape()` both take their
+/// dirty branches in the differential tests below.
+const ESCAPY: &str = "[a-z_&<>\"' ]{1,12}";
 
 fn arb_tag() -> impl Strategy<Value = AnonTag> {
     (
-        "[a-z_]{1,12}",
+        ESCAPY,
         prop_oneof![
             "[0-9a-f]{32}".prop_map(AnonTagValue::Hashed),
             any::<u64>().prop_map(AnonTagValue::UInt),
@@ -38,8 +45,7 @@ fn arb_entry() -> impl Strategy<Value = AnonFileEntry> {
 fn arb_expr() -> impl Strategy<Value = AnonSearchExpr> {
     let leaf = prop_oneof![
         "[0-9a-f]{32}".prop_map(AnonSearchExpr::Keyword),
-        ("[a-z_]{1,10}", "[0-9a-f]{32}")
-            .prop_map(|(name, value)| AnonSearchExpr::MetaStr { name, value }),
+        (ESCAPY, "[0-9a-f]{32}").prop_map(|(name, value)| AnonSearchExpr::MetaStr { name, value }),
         (
             "[a-z_]{1,10}",
             prop_oneof![Just(">="), Just("<=")],
@@ -72,7 +78,7 @@ fn arb_message() -> impl Strategy<Value = AnonMessage> {
             }
         }),
         Just(AnonMessage::ServerDescRequest),
-        ("[0-9a-f]{32}", "[0-9a-f]{32}")
+        (ESCAPY, ESCAPY)
             .prop_map(|(name, description)| AnonMessage::ServerDescResponse { name, description }),
         Just(AnonMessage::GetServerList),
         prop::collection::vec((any::<u32>(), any::<u16>()), 0..6)
@@ -109,6 +115,31 @@ proptest! {
             .collect::<Result<_, _>>()
             .expect("parse");
         prop_assert_eq!(back, records);
+    }
+
+    /// The zero-alloc batch encoder is byte-identical to the
+    /// `write!`-based serial writer on arbitrary records — including
+    /// attribute values that force the escaper's entity branches. This
+    /// identity is what keeps `.etwckpt` byte offsets valid when the
+    /// batched tail replaces the serial one.
+    #[test]
+    fn encoder_matches_writer_bytes(records in prop::collection::vec(arb_record(), 0..24),
+                                    batch in 1usize..9) {
+        let mut serial = DatasetWriter::new(Vec::new()).expect("vec write");
+        for r in &records {
+            serial.write_record(r).expect("vec write");
+        }
+        let serial_bytes = serial.finish().expect("vec write");
+
+        let mut batched = DatasetWriter::new(Vec::new()).expect("vec write");
+        let mut buf = Vec::new();
+        for chunk in records.chunks(batch) {
+            buf.clear();
+            encode_batch(&mut buf, chunk);
+            batched.write_encoded(&buf, chunk.len() as u64).expect("vec write");
+        }
+        let batched_bytes = batched.finish().expect("vec write");
+        prop_assert_eq!(serial_bytes, batched_bytes);
     }
 
     /// LZSS compress → decompress is the identity on arbitrary bytes.

@@ -17,11 +17,14 @@
 
 use edonkey_ten_weeks::analysis::report::{grouped, KvTable};
 use edonkey_ten_weeks::analysis::DatasetStats;
-use edonkey_ten_weeks::core::{try_run_campaign_observed, CampaignConfig};
+use edonkey_ten_weeks::core::campaign::try_run_campaign_to_writer;
+use edonkey_ten_weeks::core::pipeline::TailConfig;
+use edonkey_ten_weeks::core::CampaignConfig;
 use edonkey_ten_weeks::telemetry::{Registry, Snapshot};
 use edonkey_ten_weeks::xmlout::compress::{compress, decompress, MAGIC};
 use edonkey_ten_weeks::xmlout::reader::DatasetReader;
 use edonkey_ten_weeks::xmlout::schema::{validate, SPEC};
+use edonkey_ten_weeks::xmlout::writer::DatasetWriter;
 use std::fs;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -273,12 +276,23 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
     config.health_interval_secs = if tiny { 300 } else { 3_600 };
     let total_virtual_secs = config.generator.duration_secs;
 
+    // Drive the batched tail (anonymise→format→write) so the monitor
+    // shows the formatter/writer stage counters; the dataset itself goes
+    // to a sink — monitoring is about vitals, not output.
     let registry = Registry::new();
     let worker_registry = registry.clone();
     let worker = std::thread::spawn(move || {
-        let mut records = 0u64;
-        try_run_campaign_observed(&config, &worker_registry, |_| records += 1)
-            .map(|report| (report, records))
+        try_run_campaign_to_writer(
+            &config,
+            &worker_registry,
+            TailConfig::default(),
+            DatasetWriter::new(std::io::sink()).expect("sink write"),
+            |_| {},
+        )
+        .map(|(report, writer)| {
+            let _ = writer.finish();
+            report
+        })
     });
 
     println!(
@@ -296,14 +310,14 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
         }
         std::thread::sleep(Duration::from_millis(refresh_ms));
     }
-    let (report, records) = worker
+    let report = worker
         .join()
         .map_err(|_| "campaign thread panicked")?
-        .map_err(|e| format!("invalid campaign configuration: {e}"))?;
+        .map_err(|e| format!("campaign failed: {e}"))?;
 
     println!(
         "campaign finished: {} records, {} health snapshots, ring lost {}",
-        grouped(records),
+        grouped(report.records),
         report.health.records.len(),
         grouped(report.capture.lost)
     );
@@ -433,16 +447,22 @@ fn print_status_line(snap: &Snapshot, prev: &Snapshot, refresh_ms: u64, total_se
     let virtual_secs = snap.gauge("campaign.virtual_secs").max(0) as u64;
     println!(
         "virt {:>7}s/{} ({:>5.1}%) | frames {:>11} ({:>9.0}/s) | records {:>11} | \
-         lost {:>6} | q_in {:>4} | q_out {:>4} | stalls {:>4}",
+         fmt {:>8} batch {:>6.1} MB ({:>7.0} rec/s) | wr {:>6.1} MB | \
+         lost {:>6} | q_in {:>4} | q_fmt {:>3} | q_wr {:>3} | stalls {:>4}",
         virtual_secs,
         grouped(total_secs),
         virtual_secs as f64 * 100.0 / total_secs.max(1) as f64,
         grouped(snap.counter("stage.producer.frames_total")),
         per_sec("stage.producer.frames_total"),
         grouped(snap.counter("stage.sink.records_total")),
+        grouped(snap.counter("stage.format.batches_total")),
+        snap.counter("stage.format.bytes_total") as f64 / 1e6,
+        per_sec("stage.format.records_total"),
+        snap.counter("stage.write.bytes_total") as f64 / 1e6,
         snap.counter("ring.lost_total"),
         snap.gauge("chan.decode_in.depth"),
-        snap.gauge("chan.decode_out.depth"),
+        snap.gauge("chan.fmt_in.depth"),
+        snap.gauge("chan.write_in.depth"),
         snap.counter("chan.decode_in.stalls_total"),
     );
 }

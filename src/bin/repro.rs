@@ -19,6 +19,11 @@
 //!   and resumed from its checkpoint, and the fault-ledger assertions;
 //!   exits nonzero if the rebuilt dataset is not byte-identical or any
 //!   ledger fails
+//! * `bench [--smoke] [--baseline FILE] [--bench-out FILE]` — the
+//!   throughput suite (decode-only, tail-only serial vs batched,
+//!   end-to-end) plus steady-state allocations/record in the formatter;
+//!   writes `BENCH_PR4.json` (smoke mode instead gates against the
+//!   committed baseline and fails on a >20% end-to-end regression)
 //! * `all`  — everything, sharing one campaign run
 //!
 //! Each figure writes a gnuplot-ready `.dat` series under `--out`
@@ -29,6 +34,8 @@ use edonkey_ten_weeks::analysis::report::{describe_fit, grouped, series_f64, ser
 use edonkey_ten_weeks::analysis::{
     find_peaks, fit_histogram, DatasetStats, IntHistogram, SparseSeries,
 };
+use edonkey_ten_weeks::bench::harness::BenchReport;
+use edonkey_ten_weeks::bench::suite;
 use edonkey_ten_weeks::core::{
     render_health_dat, render_t1, try_resume_campaign_observed, try_run_campaign_checkpointed,
     try_run_campaign_observed, CampaignConfig, CampaignReport, Checkpoint,
@@ -43,6 +50,13 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+/// Route every allocation through the counting wrapper so `repro bench`
+/// can measure allocations/record in the tail. Two relaxed atomic adds
+/// per allocation — noise for every other subcommand.
+#[global_allocator]
+static ALLOC: edonkey_ten_weeks::bench::alloc::CountingAllocator =
+    edonkey_ten_weeks::bench::alloc::CountingAllocator;
+
 struct Args {
     tiny: bool,
     out: PathBuf,
@@ -53,6 +67,12 @@ struct Args {
     faults: bool,
     /// `soak`: seed for the kill-point choice (None = OS entropy).
     soak_seed: Option<u64>,
+    /// `bench`: CI mode — short runs, gate against the baseline.
+    smoke: bool,
+    /// `bench`: baseline report to gate against (default BENCH_PR4.json).
+    baseline: Option<PathBuf>,
+    /// `bench`: where to write the fresh report.
+    bench_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -62,11 +82,27 @@ fn parse_args() -> Args {
     let mut weeks = 1u64;
     let mut faults = false;
     let mut soak_seed = None;
+    let mut smoke = false;
+    let mut baseline = None;
+    let mut bench_out = None;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
             "--tiny" => tiny = true,
             "--faults" => faults = true,
+            "--smoke" => smoke = true,
+            "--baseline" => {
+                baseline = Some(PathBuf::from(argv.next().unwrap_or_else(|| {
+                    eprintln!("--baseline needs a file");
+                    std::process::exit(2);
+                })))
+            }
+            "--bench-out" => {
+                bench_out = Some(PathBuf::from(argv.next().unwrap_or_else(|| {
+                    eprintln!("--bench-out needs a file");
+                    std::process::exit(2);
+                })))
+            }
             "--soak-seed" => {
                 soak_seed = Some(argv.next().and_then(|w| w.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--soak-seed needs an integer");
@@ -88,7 +124,8 @@ fn parse_args() -> Args {
             "-h" | "--help" => {
                 println!(
                     "usage: repro [--tiny] [--weeks N] [--out DIR] \
-                     <t1|fig2|fig3|fig4..fig8|health|soak [--faults]|all>"
+                     <t1|fig2|fig3|fig4..fig8|health|soak [--faults]|\
+                     bench [--smoke] [--baseline FILE] [--bench-out FILE]|all>"
                 );
                 std::process::exit(0);
             }
@@ -102,6 +139,9 @@ fn parse_args() -> Args {
         weeks,
         faults,
         soak_seed,
+        smoke,
+        baseline,
+        bench_out,
     }
 }
 
@@ -110,6 +150,10 @@ fn main() {
     fs::create_dir_all(&args.out).expect("create output dir");
     if args.what == "soak" {
         soak(&args.out, args.faults, args.soak_seed);
+        return;
+    }
+    if args.what == "bench" {
+        bench(&args);
         return;
     }
     let needs_campaign = args.what != "fig2";
@@ -436,6 +480,88 @@ impl Gate {
             println!("  FAIL: {what}");
             self.failures.push(what.to_owned());
         }
+    }
+}
+
+/// The benchmark trajectory gate (`repro bench`), run by ci.sh in smoke
+/// mode:
+///
+/// 1. the suite — decode-only, tail-only (serial `write_record` vs
+///    batched zero-alloc encoder) and end-to-end throughput, plus
+///    steady-state allocations/record in the formatter (measured via the
+///    counting global allocator this binary installs);
+/// 2. the self-checks — batched tail ≥ 2× the serial writer on `tiny`,
+///    zero steady-state allocations/record;
+/// 3. `--smoke` only: the trajectory gate — end-to-end records/sec must
+///    stay within 20% of the committed `BENCH_PR4.json`.
+///
+/// A full run (no `--smoke`) rewrites `BENCH_PR4.json`; commit it to
+/// move the baseline. Exits nonzero on any failure.
+fn bench(args: &Args) {
+    println!(
+        "== bench: capture-machine throughput{} ==",
+        if args.smoke { " (smoke)" } else { "" }
+    );
+    let report = suite::run_suite(&suite::SuiteOptions { smoke: args.smoke });
+
+    if let (Some(serial), Some(batched)) = (
+        report.find("tail_serial", "tiny"),
+        report.find("tail_batched", "tiny"),
+    ) {
+        println!(
+            "  tail speedup: {:.2}x (serial {:.0} -> batched {:.0} records/s)",
+            batched.records_per_sec / serial.records_per_sec,
+            serial.records_per_sec,
+            batched.records_per_sec
+        );
+    }
+
+    let mut failures = suite::self_checks(&report);
+    if args.smoke {
+        let baseline_path = args
+            .baseline
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("BENCH_PR4.json"));
+        let baseline = fs::read_to_string(&baseline_path)
+            .ok()
+            .and_then(|s| BenchReport::from_json(&s));
+        match baseline {
+            Some(baseline) => {
+                let gate = suite::trajectory_gate(&report, &baseline);
+                if gate.is_empty() {
+                    println!(
+                        "  ok: end-to-end throughput within {:.0}% of {}",
+                        suite::MAX_END_TO_END_REGRESSION * 100.0,
+                        baseline_path.display()
+                    );
+                }
+                failures.extend(gate);
+            }
+            None => failures.push(format!(
+                "no usable baseline at {} (run `repro bench` and commit it)",
+                baseline_path.display()
+            )),
+        }
+    }
+
+    let out_path = args.bench_out.clone().unwrap_or_else(|| {
+        if args.smoke {
+            args.out.join("bench_smoke.json")
+        } else {
+            PathBuf::from("BENCH_PR4.json")
+        }
+    });
+    fs::write(&out_path, report.to_json()).expect("write bench report");
+    println!("  wrote {}", out_path.display());
+
+    if failures.is_empty() {
+        println!("bench OK");
+    } else {
+        eprintln!("bench FAILED: {} violation(s)", failures.len());
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
     }
 }
 

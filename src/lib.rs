@@ -40,6 +40,7 @@
 
 pub use etw_analysis as analysis;
 pub use etw_anonymize as anonymize;
+pub use etw_bench as bench;
 pub use etw_core as core;
 pub use etw_edonkey as edonkey;
 pub use etw_faults as faults;

@@ -10,10 +10,12 @@
 //! seed, not just the soak preset's.
 
 use edonkey_ten_weeks::core::campaign::{
-    try_resume_campaign_observed, try_run_campaign_checkpointed,
+    try_resume_campaign_observed, try_resume_campaign_to_writer, try_run_campaign_checkpointed,
+    try_run_campaign_to_writer,
 };
 use edonkey_ten_weeks::core::checkpoint::Checkpoint;
 use edonkey_ten_weeks::core::config::CampaignConfig;
+use edonkey_ten_weeks::core::pipeline::TailConfig;
 use edonkey_ten_weeks::faults::Window;
 use edonkey_ten_weeks::telemetry::Registry;
 use edonkey_ten_weeks::xmlout::writer::DatasetWriter;
@@ -120,6 +122,66 @@ proptest! {
         let expected: Vec<&Checkpoint> =
             cps.iter().filter(|c| c.records > cp.records).collect();
         let tail_cps = tail_cps.into_inner();
+        prop_assert_eq!(expected.len(), tail_cps.len());
+        for (a, b) in expected.iter().zip(&tail_cps) {
+            prop_assert_eq!(*a, b);
+        }
+    }
+
+    /// The batched tail under kill-anywhere: a campaign run through the
+    /// overlapped anonymise→format→write stage (random batch size) must
+    /// produce the *same bytes and the same checkpoints* as the serial
+    /// writer, and a kill at a random checkpoint resumed through the
+    /// batched tail must rebuild the serial run's dataset byte for byte.
+    /// This is the cross-implementation guarantee that lets `.etwckpt`
+    /// files written by either tail resume through the other.
+    #[test]
+    fn killed_batched_campaign_resumes_byte_identical(
+        seed in 0u64..1_000,
+        batch_records in 1usize..64,
+        cp_frac in 0.0f64..1.0,
+    ) {
+        let config = small_faulty(seed);
+        // The serial run is the reference for bytes and checkpoints.
+        let (full, cps, records) = run_writing(&config);
+        prop_assert!(cps.len() >= 3, "only {} checkpoints", cps.len());
+        let tail = TailConfig { batch_records, batch_queue: 2 };
+
+        // Uninterrupted batched run: byte- and checkpoint-identical.
+        let mut batched_cps = Vec::new();
+        let (report, writer) = try_run_campaign_to_writer(
+            &config,
+            &Registry::disabled(),
+            tail,
+            DatasetWriter::new(Vec::new()).expect("vec write"),
+            |cp| batched_cps.push(cp),
+        )
+        .expect("valid config");
+        let batched_full = writer.finish().expect("vec write");
+        prop_assert_eq!(report.records, records);
+        prop_assert!(batched_full == full, "batched tail diverges from serial writer");
+        prop_assert_eq!(&batched_cps, &cps);
+
+        // Kill after a random checkpoint; resume through the batched
+        // tail from the serial run's sidecar.
+        let cp = &cps[(cp_frac * (cps.len() - 1) as f64) as usize];
+        let torn = full[..cp.writer_bytes as usize].to_vec();
+        let mut tail_cps = Vec::new();
+        let (resumed, writer) = try_resume_campaign_to_writer(
+            &config,
+            &Registry::disabled(),
+            cp,
+            tail,
+            DatasetWriter::resume(torn, cp.records, cp.writer_bytes),
+            |c| tail_cps.push(c),
+        )
+        .expect("resume accepted");
+        let rebuilt = writer.finish().expect("vec write");
+
+        prop_assert_eq!(resumed.records + cp.records, records);
+        prop_assert!(rebuilt == full, "batched resume diverges from the full run");
+        let expected: Vec<&Checkpoint> =
+            cps.iter().filter(|c| c.records > cp.records).collect();
         prop_assert_eq!(expected.len(), tail_cps.len());
         for (a, b) in expected.iter().zip(&tail_cps) {
             prop_assert_eq!(*a, b);
