@@ -1,32 +1,118 @@
 #!/bin/sh
-# The full local gate: build, tests, lints, formatting. Run before
-# pushing; everything must be green.
-set -eu
+# The full local gate, as a staged runner. Run before pushing;
+# everything must be green.
+#
+#   ./ci.sh                 run every stage in order
+#   ./ci.sh --quick         build + test only (inner-loop smoke)
+#   ./ci.sh --stage NAME    run one stage by name (repeatable)
+#   ./ci.sh --list          print the stage names and exit
+#
+# Each stage is timed and its full output captured under
+# target/ci/<stage>.log; on failure the runner names the stage and
+# points at its log, and the final table shows per-stage wall time
+# either way.
+set -u
 
 cd "$(dirname "$0")"
 
-echo "==> cargo build --release"
-cargo build --release
+LOG_DIR=target/ci
+mkdir -p "$LOG_DIR"
 
-echo "==> cargo test -q (workspace)"
-cargo test -q --workspace
+# name|description|command — the single source of truth for stage order.
+STAGES='
+build|cargo build --release|cargo build --release
+test|workspace tests|cargo test -q --workspace
+soak|kill+resume byte identity, fault ledgers|cargo run -q --release --bin repro -- soak --faults --out target/soak
+bench|tail + anonymise speedups, trajectory vs newest BENCH_PR*.json|cargo run -q --release --bin repro -- bench --smoke --out target/bench
+matrix|campaign matrix: widths 2^24/2^16 x shards 1/4, byte-identical datasets|cargo run -q --release --bin repro -- matrix
+clippy|cargo clippy -D warnings|cargo clippy --workspace --all-targets -- -D warnings
+etwlint|repo-specific static analysis|cargo run -q --release -p etwlint
+interleave|exhaustive schedule checks (incl. shard conservation)|cargo test -q -p etw-interleave
+fmt|cargo fmt --check|cargo fmt --check
+'
 
-echo "==> repro soak --faults (kill+resume byte identity, fault ledgers)"
-cargo run -q --release --bin repro -- soak --faults --out target/soak
+QUICK_STAGES="build test"
 
-echo "==> repro bench --smoke (tail speedup, zero-alloc formatter, trajectory vs BENCH_PR4.json)"
-cargo run -q --release --bin repro -- bench --smoke --out target/bench
+stage_names() {
+    printf '%s\n' "$STAGES" | sed -n 's/^\([^|]*\)|.*/\1/p'
+}
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+stage_field() { # $1=name $2=field-number
+    printf '%s\n' "$STAGES" | grep "^$1|" | cut -d'|' -f"$2"
+}
 
-echo "==> etwlint (repo-specific static analysis)"
-cargo run -q --release -p etwlint
+selected=""
+quick=0
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --quick) quick=1 ;;
+        --stage)
+            shift
+            [ $# -gt 0 ] || { echo "ci.sh: --stage needs a name" >&2; exit 2; }
+            if ! stage_names | grep -qx "$1"; then
+                echo "ci.sh: unknown stage '$1' (try --list)" >&2
+                exit 2
+            fi
+            selected="$selected $1"
+            ;;
+        --list)
+            for s in $(stage_names); do
+                printf '  %-10s %s\n' "$s" "$(stage_field "$s" 2)"
+            done
+            exit 0
+            ;;
+        *) echo "ci.sh: unknown option '$1' (--quick | --stage NAME | --list)" >&2; exit 2 ;;
+    esac
+    shift
+done
 
-echo "==> etw-interleave (exhaustive schedule checks)"
-cargo test -q -p etw-interleave
+if [ -n "$selected" ]; then
+    run_list=$selected
+elif [ "$quick" = 1 ]; then
+    run_list=$QUICK_STAGES
+else
+    run_list=$(stage_names)
+fi
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+# Per-stage results accumulate as "name status seconds" lines for the
+# summary table. Wall time comes from date(1) so the script stays POSIX.
+SUMMARY=""
+failed=""
 
+for s in $run_list; do
+    desc=$(stage_field "$s" 2)
+    cmd=$(stage_field "$s" 3)
+    log="$LOG_DIR/$s.log"
+    echo "==> $s: $desc"
+    start=$(date +%s)
+    if sh -c "$cmd" >"$log" 2>&1; then
+        status=ok
+    else
+        status=FAIL
+        failed="$failed $s"
+    fi
+    secs=$(( $(date +%s) - start ))
+    SUMMARY="$SUMMARY$s|$status|$secs
+"
+    if [ "$status" = FAIL ]; then
+        echo "    FAILED (${secs}s) — last lines of $log:"
+        tail -n 15 "$log" | sed 's/^/    | /'
+    else
+        echo "    ok (${secs}s)"
+    fi
+done
+
+echo
+echo "stage      status  wall"
+echo "---------  ------  ------"
+printf '%s' "$SUMMARY" | while IFS='|' read -r s status secs; do
+    [ -n "$s" ] && printf '%-9s  %-6s  %4ss\n' "$s" "$status" "$secs"
+done
+
+if [ -n "$failed" ]; then
+    echo
+    echo "CI FAILED in stage(s):$failed (logs under $LOG_DIR/)"
+    exit 1
+fi
+echo
 echo "CI OK"

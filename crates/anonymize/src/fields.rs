@@ -60,6 +60,22 @@ impl StringAnonymizer {
         d
     }
 
+    /// [`anonymize`](Self::anonymize) into an existing `String`, reusing
+    /// its buffer. Digests are exactly 32 hex characters, so once a slot
+    /// has held one digest every later write fits its capacity and the
+    /// hit path allocates nothing.
+    pub fn anonymize_into(&mut self, s: &str, out: &mut String) {
+        if let Some(d) = self.cache.get(s) {
+            self.hits += 1;
+            d.clone_into(out);
+            return;
+        }
+        self.misses += 1;
+        let d = anonymize_string(s);
+        d.clone_into(out);
+        self.cache.insert(s.to_owned(), d);
+    }
+
     /// `(cache_hits, cache_misses)` so far.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)

@@ -13,7 +13,10 @@
 //!   pathology of Fig. 3 — plus baselines;
 //! * [`fields`] — file sizes to kilo-bytes, strings to MD5, timestamps
 //!   relative;
-//! * [`scheme`] — the whole-record anonymiser producing dataset records.
+//! * [`scheme`] — the whole-record anonymiser producing dataset records;
+//! * [`shard`] — the anonymiser sharded along the clientID/fileID split
+//!   (striped provisionals + sequential remap), byte-identical to the
+//!   serial scheme for any shard count.
 //!
 //! ## Example
 //!
@@ -38,6 +41,7 @@ pub mod fields;
 pub mod fileid;
 pub mod md5;
 pub mod scheme;
+pub mod shard;
 
 pub use clientid::{BTreeAnonymizer, ClientIdAnonymizer, DirectArrayAnonymizer, HashMapAnonymizer};
 pub use fields::{anonymize_filesize, anonymize_string, StringAnonymizer};
@@ -46,3 +50,7 @@ pub use fileid::{
     NUM_BUCKETS,
 };
 pub use scheme::{AnonMessage, AnonRecord, AnonymizationScheme, PaperScheme};
+pub use shard::{
+    build_sharded, collect_ids, shard_count_valid, Assembler, ClientShard, FileShard, ShardSet,
+    ShardedAnonymizer, MAX_SHARDS,
+};

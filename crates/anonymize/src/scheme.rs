@@ -296,6 +296,62 @@ impl<C: ClientIdAnonymizer, F: FileIdAnonymizer> AnonymizationScheme<C, F> {
         summary
     }
 
+    /// Like [`anonymize_batch`](Self::anonymize_batch), but `out` keeps
+    /// whatever records it held from a previous batch and they are
+    /// overwritten **in place**: strings, entry vectors and tag lists are
+    /// reused whenever the old record has the same message shape, so the
+    /// steady state allocates (almost) nothing per record. The caller
+    /// must *not* clear `out` between batches — the stale records *are*
+    /// the allocation pool. Produces exactly the records
+    /// [`anonymize_batch`](Self::anonymize_batch) would.
+    pub fn anonymize_batch_reuse<'a, I>(
+        &mut self,
+        items: I,
+        out: &mut Vec<AnonRecord>,
+    ) -> BatchSummary
+    where
+        I: IntoIterator<Item = (u64, etw_edonkey::ClientId, &'a Message)>,
+    {
+        let mut summary = BatchSummary::default();
+        let mut n = 0usize;
+        for (ts_us, peer, msg) in items {
+            summary.records += 1;
+            // `anonymize` preserves query-ness (pinned by the
+            // family_and_direction_preserved test), so classify from the
+            // cleartext message and skip re-walking the anonymised one.
+            summary.queries += u64::from(msg.is_client_to_server());
+            if n < out.len() {
+                self.anonymize_into(ts_us, peer, msg, &mut out[n]);
+            } else {
+                out.push(self.anonymize(ts_us, peer, msg));
+            }
+            n += 1;
+        }
+        out.truncate(n);
+        summary
+    }
+
+    /// Anonymises one message into an existing record slot, reusing its
+    /// heap allocations where the slot already holds the same message
+    /// shape. Equivalent to `*slot = self.anonymize(ts_us, peer, msg)`.
+    pub fn anonymize_into(
+        &mut self,
+        ts_us: u64,
+        peer: etw_edonkey::ClientId,
+        msg: &Message,
+        slot: &mut AnonRecord,
+    ) {
+        slot.ts_us = crate::fields::anonymize_timestamp(ts_us);
+        slot.peer = self.clients.anonymize(peer);
+        self.anonymize_message_into(msg, &mut slot.msg);
+    }
+
+    /// Mutable access to both id encoders; the shard assembler pokes its
+    /// pre-resolved value queues in here between batches.
+    pub(crate) fn encoders_mut(&mut self) -> (&mut C, &mut F) {
+        (&mut self.clients, &mut self.files)
+    }
+
     /// Distinct clientIDs seen (dataset headline number).
     pub fn distinct_clients(&self) -> u32 {
         self.clients.distinct()
@@ -361,6 +417,190 @@ impl<C: ClientIdAnonymizer, F: FileIdAnonymizer> AnonymizationScheme<C, F> {
             Message::OfferFiles { files } => AnonMessage::OfferFiles {
                 files: files.iter().map(|e| self.anonymize_entry(e)).collect(),
             },
+        }
+    }
+
+    fn anonymize_message_into(&mut self, msg: &Message, out: &mut AnonMessage) {
+        match (msg, out) {
+            (Message::StatusRequest { challenge }, AnonMessage::StatusRequest { challenge: c }) => {
+                *c = *challenge;
+            }
+            (
+                Message::StatusResponse {
+                    challenge,
+                    users,
+                    files,
+                },
+                AnonMessage::StatusResponse {
+                    challenge: c,
+                    users: u,
+                    files: f,
+                },
+            ) => {
+                *c = *challenge;
+                *u = *users;
+                *f = *files;
+            }
+            (Message::ServerDescRequest, AnonMessage::ServerDescRequest) => {}
+            (
+                Message::ServerDescResponse { name, description },
+                AnonMessage::ServerDescResponse {
+                    name: n,
+                    description: d,
+                },
+            ) => {
+                self.strings.anonymize_into(name, n);
+                self.strings.anonymize_into(description, d);
+            }
+            (Message::GetServerList, AnonMessage::GetServerList) => {}
+            (Message::ServerList { servers }, AnonMessage::ServerList { servers: out }) => {
+                let clients = &mut self.clients;
+                out.clear();
+                out.extend(
+                    servers
+                        .iter()
+                        .map(|s| (clients.anonymize(etw_edonkey::ClientId(s.ip)), s.port)),
+                );
+            }
+            (Message::SearchRequest { expr }, AnonMessage::SearchRequest { expr: e }) => {
+                self.anonymize_expr_into(expr, e);
+            }
+            (Message::SearchResponse { results }, AnonMessage::SearchResponse { results: out }) => {
+                self.anonymize_entries_into(results, out);
+            }
+            (Message::GetSources { file_ids }, AnonMessage::GetSources { files }) => {
+                let enc = &mut self.files;
+                files.clear();
+                files.extend(file_ids.iter().map(|id| enc.anonymize(id)));
+            }
+            (
+                Message::FoundSources { file_id, sources },
+                AnonMessage::FoundSources { file, sources: out },
+            ) => {
+                *file = self.files.anonymize(file_id);
+                let clients = &mut self.clients;
+                out.clear();
+                out.extend(
+                    sources
+                        .iter()
+                        .map(|s| (clients.anonymize(s.client_id), s.port)),
+                );
+            }
+            (Message::OfferFiles { files }, AnonMessage::OfferFiles { files: out }) => {
+                self.anonymize_entries_into(files, out);
+            }
+            // Shape changed since the last use of this slot: build fresh.
+            (m, out) => *out = self.anonymize_message(m),
+        }
+    }
+
+    fn anonymize_entries_into(
+        &mut self,
+        entries: &[etw_edonkey::FileEntry],
+        out: &mut Vec<AnonFileEntry>,
+    ) {
+        let keep = entries.len().min(out.len());
+        for (e, slot) in entries.iter().zip(out.iter_mut()) {
+            self.anonymize_entry_into(e, slot);
+        }
+        if entries.len() > keep {
+            for e in &entries[keep..] {
+                let fresh = self.anonymize_entry(e);
+                out.push(fresh);
+            }
+        } else {
+            out.truncate(entries.len());
+        }
+    }
+
+    fn anonymize_entry_into(&mut self, e: &etw_edonkey::FileEntry, slot: &mut AnonFileEntry) {
+        slot.file = self.files.anonymize(&e.file_id);
+        slot.client = self.clients.anonymize(e.client_id);
+        slot.port = e.port;
+        let keep = e.tags.0.len().min(slot.tags.len());
+        for (t, ts) in e.tags.0.iter().zip(slot.tags.iter_mut()) {
+            self.anonymize_tag_into(t, ts);
+        }
+        if e.tags.0.len() > keep {
+            for t in &e.tags.0[keep..] {
+                let fresh = self.anonymize_tag(t);
+                slot.tags.push(fresh);
+            }
+        } else {
+            slot.tags.truncate(e.tags.0.len());
+        }
+    }
+
+    fn anonymize_tag_into(&mut self, t: &Tag, out: &mut AnonTag) {
+        use std::fmt::Write as _;
+        out.name.clear();
+        let _ = write!(out.name, "{}", t.name);
+        let is_filesize = matches!(t.name, TagName::Special(special::FILESIZE));
+        match (&t.value, &mut out.value) {
+            (TagValue::Str(s), AnonTagValue::Hashed(h)) => self.strings.anonymize_into(s, h),
+            (TagValue::Str(s), v) => *v = AnonTagValue::Hashed(self.strings.anonymize(s)),
+            (TagValue::U32(x), v) => {
+                *v = AnonTagValue::UInt(if is_filesize {
+                    anonymize_filesize(*x as u64)
+                } else {
+                    *x as u64
+                });
+            }
+        }
+    }
+
+    fn anonymize_expr_into(&mut self, e: &SearchExpr, out: &mut AnonSearchExpr) {
+        use std::fmt::Write as _;
+        match (e, out) {
+            (
+                SearchExpr::Bool { op, left, right },
+                AnonSearchExpr::Bool {
+                    op: o,
+                    left: l,
+                    right: r,
+                },
+            ) => {
+                *o = match op {
+                    BoolOp::And => "and",
+                    BoolOp::Or => "or",
+                    BoolOp::AndNot => "andnot",
+                };
+                self.anonymize_expr_into(left, l);
+                self.anonymize_expr_into(right, r);
+            }
+            (SearchExpr::Keyword(k), AnonSearchExpr::Keyword(s)) => {
+                self.strings.anonymize_into(k, s);
+            }
+            (
+                SearchExpr::MetaStr { name, value },
+                AnonSearchExpr::MetaStr { name: n, value: v },
+            ) => {
+                n.clear();
+                let _ = write!(n, "{name}");
+                self.strings.anonymize_into(value, v);
+            }
+            (
+                SearchExpr::MetaNum { name, cmp, value },
+                AnonSearchExpr::MetaNum {
+                    name: n,
+                    cmp: c,
+                    value: v,
+                },
+            ) => {
+                n.clear();
+                let _ = write!(n, "{name}");
+                *c = match cmp {
+                    NumCmp::Min => ">=",
+                    NumCmp::Max => "<=",
+                };
+                let is_filesize = matches!(name, TagName::Special(special::FILESIZE));
+                *v = if is_filesize {
+                    anonymize_filesize(*value as u64)
+                } else {
+                    *value as u64
+                };
+            }
+            (e, out) => *out = self.anonymize_expr(e),
         }
     }
 
@@ -655,6 +895,111 @@ mod tests {
         assert_eq!(total.queries, expected_queries);
         assert_eq!(batched.distinct_clients(), serial.distinct_clients());
         assert_eq!(batched.distinct_files(), serial.distinct_files());
+    }
+
+    #[test]
+    fn batch_reuse_equals_fresh_construction() {
+        // Cycle every message shape so slot reuse hits both the
+        // matched-variant arms and the shape-mismatch fallback, with
+        // growing and shrinking vectors/tag lists.
+        let entry = |i: u64, ntags: usize| FileEntry {
+            file_id: FileId::of_identity(i % 13),
+            client_id: ClientId((i % 7) as u32),
+            port: 4662,
+            tags: TagList(
+                (0..ntags)
+                    .map(|t| {
+                        if t % 2 == 0 {
+                            Tag::str(special::FILENAME, format!("file {}.mp3", i % 9))
+                        } else {
+                            Tag::u32(special::FILESIZE, (i as u32 + 1) * 1024)
+                        }
+                    })
+                    .collect(),
+            ),
+        };
+        let msgs: Vec<(u64, ClientId, Message)> = (0..400u64)
+            .map(|i| {
+                let m = match i % 11 {
+                    0 => Message::StatusRequest {
+                        challenge: i as u32,
+                    },
+                    1 => Message::StatusResponse {
+                        challenge: i as u32,
+                        users: 9,
+                        files: 22,
+                    },
+                    2 => Message::ServerDescRequest,
+                    3 => Message::ServerDescResponse {
+                        name: format!("server {}", i % 3),
+                        description: "we index things".into(),
+                    },
+                    4 => Message::GetServerList,
+                    5 => Message::ServerList {
+                        servers: (0..(i % 4))
+                            .map(|k| etw_edonkey::messages::ServerAddr {
+                                ip: (k as u32) + 1,
+                                port: 4661,
+                            })
+                            .collect(),
+                    },
+                    6 => Message::SearchRequest {
+                        expr: if i % 2 == 0 {
+                            SearchExpr::keyword(format!("band {}", i % 5))
+                        } else {
+                            SearchExpr::and(
+                                SearchExpr::keyword("live"),
+                                SearchExpr::MetaNum {
+                                    name: TagName::Special(special::FILESIZE),
+                                    cmp: NumCmp::Min,
+                                    value: 2048,
+                                },
+                            )
+                        },
+                    },
+                    7 => Message::SearchResponse {
+                        results: (0..(i % 3))
+                            .map(|k| entry(i + k, (i % 4) as usize))
+                            .collect(),
+                    },
+                    8 => Message::GetSources {
+                        file_ids: (0..(i % 5)).map(|k| FileId::of_identity(k % 17)).collect(),
+                    },
+                    9 => Message::FoundSources {
+                        file_id: FileId::of_identity(i % 19),
+                        sources: (0..(i % 4))
+                            .map(|k| Source {
+                                client_id: ClientId((k % 6) as u32 + 50),
+                                port: 4662,
+                            })
+                            .collect(),
+                    },
+                    _ => Message::OfferFiles {
+                        files: (0..(i % 2 + 1)).map(|k| entry(i + k, 3)).collect(),
+                    },
+                };
+                (i, ClientId((i % 11) as u32), m)
+            })
+            .collect();
+
+        let mut fresh = scheme();
+        let mut reuse = scheme();
+        let mut out = Vec::new();
+        for chunk in msgs.chunks(37) {
+            let mut expected = Vec::new();
+            let se = fresh.anonymize_batch(
+                chunk.iter().map(|(ts, peer, m)| (*ts, *peer, m)),
+                &mut expected,
+            );
+            // NOTE: `out` is deliberately NOT cleared — stale records are
+            // the reuse pool.
+            let sr = reuse
+                .anonymize_batch_reuse(chunk.iter().map(|(ts, peer, m)| (*ts, *peer, m)), &mut out);
+            assert_eq!(out, expected);
+            assert_eq!(sr, se);
+        }
+        assert_eq!(reuse.distinct_clients(), fresh.distinct_clients());
+        assert_eq!(reuse.distinct_files(), fresh.distinct_files());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! throughput, plus steady-state allocations per record in the
 //! formatter, on the `tiny` and `tiny_faulty` campaign presets.
 //!
-//! Three measurements, matching the capture machine's serial bottleneck
+//! Four measurements, matching the capture machine's serial bottleneck
 //! story (the paper's "keeping up with the server" requirement):
 //!
 //! * `decode_only` — the parallelisable front: wire decapsulation plus
@@ -10,14 +10,22 @@
 //! * `tail_serial` / `tail_batched` — the sequential tail in isolation:
 //!   the same anonymised records pushed through `DatasetWriter::write_record`
 //!   (per-record `write!` formatting) versus the batched zero-alloc
-//!   encoder + `write_encoded`. The ratio is the PR's headline number
+//!   encoder + `write_encoded`. The ratio is PR 4's headline number
 //!   and [`self_checks`] enforces the ≥ 2× floor;
+//! * `anonymize_serial` / `anonymize_shard4` — the anonymise stage in
+//!   isolation: the same decoded message mix through the pre-PR serial
+//!   scheme (fresh record per slot) and through the clientID/fileID
+//!   shard pool's resolve→assemble→construct path, which reuses record
+//!   allocations in place. [`self_checks`] enforces the
+//!   [`MIN_ANON_SHARD_SPEEDUP`] floor;
 //! * `end_to_end` — full campaigns through the batched writer tail; the
 //!   trajectory gate compares this against the committed baseline.
 
 use crate::alloc::{counting_active, AllocSpan};
 use crate::harness::{time_best_of, BenchReport, BenchResult};
-use etw_anonymize::scheme::AnonRecord;
+use etw_anonymize::fileid::ByteSelector;
+use etw_anonymize::scheme::{AnonRecord, PaperScheme};
+use etw_anonymize::ShardedAnonymizer;
 use etw_core::campaign::{run_campaign, try_run_campaign_to_writer};
 use etw_core::config::CampaignConfig;
 use etw_core::pipeline::TailConfig;
@@ -51,9 +59,26 @@ pub const MAX_END_TO_END_REGRESSION: f64 = 0.20;
 /// least this factor on `tiny`.
 pub const MIN_TAIL_SPEEDUP: f64 = 2.0;
 
+/// The anonymise-only speedup floor [`self_checks`] enforces: the
+/// sharded anonymiser at [`ANON_SHARDS`] shards must beat the serial
+/// scheme by at least this factor on the bench mix. The win is
+/// algorithmic, not parallel, so it holds on a single-core host too:
+/// the sharded assembler constructs records in place, reusing each
+/// output slot's allocations across batches, where the serial scheme
+/// builds every record fresh into a cleared `Vec`.
+pub const MIN_ANON_SHARD_SPEEDUP: f64 = 1.5;
+
 /// Records staged per formatter batch in the tail benches — the
 /// pipeline's default batch size, so the bench measures what ships.
 const TAIL_BATCH: usize = 256;
+
+/// ClientID space for the anonymise-only benches: the CI matrix's
+/// default width, so first-appearance assignment costs what a wide
+/// campaign pays.
+const ANON_WIDTH_BITS: u32 = 24;
+
+/// Shard count for the `anonymize_shard4` row.
+const ANON_SHARDS: usize = 4;
 
 fn preset(name: &str, smoke: bool) -> CampaignConfig {
     let mut config = match name {
@@ -89,6 +114,13 @@ pub fn run_suite(opts: &SuiteOptions) -> BenchReport {
     // always run best-of-9: one clean window is all the measurement
     // needs, and the 2× gate must not flake in CI.
     for result in bench_tail(&corpus, reps.max(9)) {
+        eprintln!("  {}", describe(&result));
+        report.results.push(result);
+    }
+
+    // Anonymise-only passes are ~10 ms too; same best-of-9 rationale so
+    // the 1.5× shard gate never reads a preempted pass.
+    for result in bench_anonymize(if opts.smoke { 30_000 } else { 60_000 }, reps.max(9)) {
         eprintln!("  {}", describe(&result));
         report.results.push(result);
     }
@@ -247,6 +279,95 @@ fn measure_allocs(records: u64, run: &mut impl FnMut() -> u64) -> Option<f64> {
     Some(span.delta() as f64 / records as f64)
 }
 
+/// The anonymise stage in isolation, old vs new: the same decoded
+/// message mix staged in [`TAIL_BATCH`]-record batches, once through
+/// the serial scheme's batch API into a **cleared** `Vec` — exactly
+/// the anonymise stage the batched tail ran before this PR, paying a
+/// fresh allocation for every string, entry vector and tag list — and
+/// once through the [`ANON_SHARDS`]-shard pool's full path (collect
+/// ids, per-shard resolve, assemble, construct records **in place**),
+/// the work the sharded tail's shard and assembler threads do. The
+/// speedup is algorithmic, so it holds on a single core: the in-place
+/// construction reuses every record allocation in the shape-stable
+/// steady state this corpus models. Each repeat builds fresh encoders
+/// so every pass pays the same first-appearance assignment work.
+///
+/// The corpus cycles the four message families with fixed-arity bodies
+/// ([`anon_mix`]): [`TAIL_BATCH`] is a multiple of the period, so every
+/// record slot sees the same message shape batch after batch — the
+/// repetitive-traffic steady state in-place reuse targets. The
+/// randomized-shape case (where reuse degrades to fresh construction)
+/// is covered end-to-end by the campaign benches and their trajectory
+/// gate.
+fn bench_anonymize(n: usize, reps: usize) -> Vec<BenchResult> {
+    use std::time::Instant;
+
+    let corpus = anon_mix(n);
+
+    // Fresh encoders are built (and dropped) OUTSIDE the timed window:
+    // the 2^24-entry clientID table is memset on construction and
+    // unmapped on drop — tens of milliseconds of one-time campaign
+    // setup that would swamp the ~10 ms measured pass. The pipeline
+    // pays that once per campaign, not per batch. The extra iteration
+    // (`0..=reps`) is the untimed warmup, like [`time_best_of`]'s.
+    let mut out: Vec<AnonRecord> = Vec::new();
+    let mut serial_secs = f64::INFINITY;
+    for rep in 0..=reps {
+        let mut scheme = PaperScheme::paper(ANON_WIDTH_BITS);
+        let mut records = 0u64;
+        let t = Instant::now();
+        for chunk in corpus.chunks(TAIL_BATCH) {
+            out.clear();
+            let summary =
+                scheme.anonymize_batch(chunk.iter().map(|(t, p, m)| (*t, *p, m)), &mut out);
+            records += summary.records;
+        }
+        if rep > 0 {
+            serial_secs = serial_secs.min(t.elapsed().as_secs_f64());
+        }
+        assert_eq!(records, n as u64);
+    }
+
+    // NOT cleared between batches: the stale records are the sharded
+    // path's allocation pool, as in the pipeline.
+    let mut sharded_out: Vec<AnonRecord> = Vec::new();
+    let mut sharded_secs = f64::INFINITY;
+    for rep in 0..=reps {
+        let mut sh =
+            ShardedAnonymizer::new(ANON_WIDTH_BITS, ByteSelector::ALTERNATIVE, ANON_SHARDS);
+        let mut records = 0u64;
+        let t = Instant::now();
+        for chunk in corpus.chunks(TAIL_BATCH) {
+            let summary =
+                sh.anonymize_batch(chunk.iter().map(|(t, p, m)| (*t, *p, m)), &mut sharded_out);
+            records += summary.records;
+        }
+        if rep > 0 {
+            sharded_secs = sharded_secs.min(t.elapsed().as_secs_f64());
+        }
+        assert_eq!(records, n as u64);
+    }
+
+    vec![
+        BenchResult {
+            name: "anonymize_serial".into(),
+            preset: "mix".into(),
+            records: n as u64,
+            wall_secs: serial_secs,
+            records_per_sec: n as f64 / serial_secs,
+            allocs_per_record: None,
+        },
+        BenchResult {
+            name: format!("anonymize_shard{ANON_SHARDS}"),
+            preset: "mix".into(),
+            records: n as u64,
+            wall_secs: sharded_secs,
+            records_per_sec: n as f64 / sharded_secs,
+            allocs_per_record: None,
+        },
+    ]
+}
+
 /// A full campaign through the batched writer tail into a sink.
 fn bench_end_to_end(preset_name: &str, opts: &SuiteOptions, reps: usize) -> BenchResult {
     let config = preset(preset_name, opts.smoke);
@@ -302,6 +423,22 @@ pub fn self_checks(fresh: &BenchReport) -> Vec<String> {
         }
         _ => failures.push("tail benches missing from the run".to_owned()),
     }
+    match (
+        fresh.find("anonymize_serial", "mix"),
+        fresh.find(&format!("anonymize_shard{ANON_SHARDS}"), "mix"),
+    ) {
+        (Some(serial), Some(sharded)) => {
+            let speedup = sharded.records_per_sec / serial.records_per_sec;
+            if speedup < MIN_ANON_SHARD_SPEEDUP {
+                failures.push(format!(
+                    "anonymise-only shard speedup {speedup:.2}x below the \
+                     {MIN_ANON_SHARD_SPEEDUP}x floor ({:.0} vs {:.0} records/s)",
+                    sharded.records_per_sec, serial.records_per_sec
+                ));
+            }
+        }
+        _ => failures.push("anonymise-only benches missing from the run".to_owned()),
+    }
     failures
 }
 
@@ -337,50 +474,94 @@ pub fn trajectory_gate(fresh: &BenchReport, baseline: &BenchReport) -> Vec<Strin
 
 /// A realistic message mix (mostly source searches, some metadata
 /// searches, announcements, management — per the paper's four message
-/// families).
+/// families), encoded to wire bytes for the decode bench.
 fn message_mix(n: usize, seed: u64) -> Vec<Vec<u8>> {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
+    mix_messages(n, seed).iter().map(Message::encode).collect()
+}
+
+/// The anonymise-only corpus: the four message families in a fixed
+/// rotation with fixed-arity bodies, repeating clientIDs and fileIDs
+/// (the server sees every popular file and chatty client over and
+/// over). Deterministic and period-4, so with [`TAIL_BATCH`] a multiple
+/// of the period every record slot keeps its message shape across
+/// batches.
+fn anon_mix(n: usize) -> Vec<(u64, ClientId, Message)> {
+    (0..n as u64)
         .map(|i| {
-            let msg = match rng.gen_range(0..10) {
-                0..=4 => Message::GetSources {
-                    file_ids: vec![FileId::of_identity(i as u64 % 5000)],
+            let msg = match i % 4 {
+                0 => Message::GetSources {
+                    file_ids: vec![FileId::of_identity(i % 1_500)],
                 },
-                5 => Message::SearchRequest {
+                1 => Message::SearchRequest {
                     expr: SearchExpr::and(
                         SearchExpr::keyword("blue"),
                         SearchExpr::keyword("album"),
                     ),
                 },
-                6 => Message::FoundSources {
-                    file_id: FileId::of_identity(i as u64 % 5000),
-                    sources: (0..rng.gen_range(1..20))
+                2 => Message::FoundSources {
+                    file_id: FileId::of_identity(i % 1_500),
+                    sources: (0..3)
                         .map(|k| Source {
-                            client_id: ClientId(0x0100_0000 + k),
+                            client_id: ClientId(((i * 7 + k) % 20_000) as u32),
                             port: 4662,
                         })
                         .collect(),
                 },
-                7..=8 => Message::OfferFiles {
-                    files: (0..rng.gen_range(1..12))
-                        .map(|k| FileEntry {
-                            file_id: FileId::of_identity((i * 31 + k) as u64 % 9000),
-                            client_id: ClientId(i as u32 % 0xffff),
-                            port: 4662,
-                            tags: TagList(vec![
-                                Tag::str(special::FILENAME, "some file name here.mp3"),
-                                Tag::u32(special::FILESIZE, 4_000_000),
-                            ]),
-                        })
-                        .collect(),
-                },
-                _ => Message::StatusRequest {
-                    challenge: rng.gen(),
+                _ => Message::OfferFiles {
+                    files: vec![FileEntry {
+                        file_id: FileId::of_identity(i % 1_500),
+                        client_id: ClientId((i % 20_000) as u32),
+                        port: 4662,
+                        tags: TagList(vec![
+                            Tag::str(special::FILENAME, "some file name here.mp3"),
+                            Tag::u32(special::FILESIZE, 4_000_000),
+                        ]),
+                    }],
                 },
             };
-            msg.encode()
+            (i * 250, ClientId(((i * 13) % 20_000) as u32), msg)
+        })
+        .collect()
+}
+
+/// The same mix, decoded — the decode bench's corpus pre-encoding.
+fn mix_messages(n: usize, seed: u64) -> Vec<Message> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| match rng.gen_range(0..10) {
+            0..=4 => Message::GetSources {
+                file_ids: vec![FileId::of_identity(i as u64 % 5000)],
+            },
+            5 => Message::SearchRequest {
+                expr: SearchExpr::and(SearchExpr::keyword("blue"), SearchExpr::keyword("album")),
+            },
+            6 => Message::FoundSources {
+                file_id: FileId::of_identity(i as u64 % 5000),
+                sources: (0..rng.gen_range(1..20))
+                    .map(|k| Source {
+                        client_id: ClientId(0x0100_0000 + k),
+                        port: 4662,
+                    })
+                    .collect(),
+            },
+            7..=8 => Message::OfferFiles {
+                files: (0..rng.gen_range(1..12))
+                    .map(|k| FileEntry {
+                        file_id: FileId::of_identity((i * 31 + k) as u64 % 9000),
+                        client_id: ClientId(i as u32 % 0xffff),
+                        port: 4662,
+                        tags: TagList(vec![
+                            Tag::str(special::FILENAME, "some file name here.mp3"),
+                            Tag::u32(special::FILESIZE, 4_000_000),
+                        ]),
+                    })
+                    .collect(),
+            },
+            _ => Message::StatusRequest {
+                challenge: rng.gen(),
+            },
         })
         .collect()
 }
@@ -428,33 +609,58 @@ mod tests {
         assert!(trajectory_gate(&faster_tail_ignored, &baseline).is_empty());
     }
 
+    /// Tail rows that pass on their own, so each case below isolates
+    /// one failure.
+    fn anon_rows(serial_rps: f64, sharded_rps: f64) -> Vec<BenchResult> {
+        vec![
+            result("anonymize_serial", "mix", serial_rps, None),
+            result("anonymize_shard4", "mix", sharded_rps, None),
+        ]
+    }
+
     #[test]
     fn self_checks_enforce_speedup_and_allocs() {
+        let mut good_rows = vec![
+            result("tail_serial", "tiny", 10_000.0, Some(1.5)),
+            result("tail_batched", "tiny", 25_000.0, Some(0.0)),
+        ];
+        good_rows.extend(anon_rows(10_000.0, 20_000.0));
         let good = BenchReport {
-            results: vec![
-                result("tail_serial", "tiny", 10_000.0, Some(1.5)),
-                result("tail_batched", "tiny", 25_000.0, Some(0.0)),
-            ],
+            results: good_rows.clone(),
         };
         assert!(self_checks(&good).is_empty());
 
-        let slow = BenchReport {
-            results: vec![
-                result("tail_serial", "tiny", 10_000.0, None),
-                result("tail_batched", "tiny", 15_000.0, Some(0.0)),
-            ],
-        };
+        let mut slow_rows = vec![
+            result("tail_serial", "tiny", 10_000.0, None),
+            result("tail_batched", "tiny", 15_000.0, Some(0.0)),
+        ];
+        slow_rows.extend(anon_rows(10_000.0, 20_000.0));
+        let slow = BenchReport { results: slow_rows };
         assert_eq!(self_checks(&slow).len(), 1);
 
+        let mut leaky_rows = vec![
+            result("tail_serial", "tiny", 10_000.0, None),
+            result("tail_batched", "tiny", 25_000.0, Some(0.5)),
+        ];
+        leaky_rows.extend(anon_rows(10_000.0, 20_000.0));
         let leaky = BenchReport {
-            results: vec![
-                result("tail_serial", "tiny", 10_000.0, None),
-                result("tail_batched", "tiny", 25_000.0, Some(0.5)),
-            ],
+            results: leaky_rows,
         };
         assert_eq!(self_checks(&leaky).len(), 1);
 
-        assert_eq!(self_checks(&BenchReport::default()).len(), 1);
+        // Sharded anonymiser under the 1.5x floor: exactly one failure.
+        let mut shard_slow_rows = good_rows.clone();
+        shard_slow_rows.truncate(2);
+        shard_slow_rows.extend(anon_rows(10_000.0, 12_000.0));
+        let shard_slow = BenchReport {
+            results: shard_slow_rows,
+        };
+        let failures = self_checks(&shard_slow);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("anonymise-only shard speedup"));
+
+        // Nothing measured: both bench families reported missing.
+        assert_eq!(self_checks(&BenchReport::default()).len(), 2);
     }
 
     #[test]
@@ -470,6 +676,21 @@ mod tests {
         assert_eq!(results.len(), 2);
         for r in &results {
             assert_eq!(r.records, corpus.len() as u64);
+            assert!(r.records_per_sec.is_finite() && r.records_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn anonymize_bench_rows_agree() {
+        // Both anonymiser rows over a small mix: same record counts,
+        // finite throughputs. (The 1.5x floor is checked in `repro
+        // bench` where timing is meaningful, not under the test runner.)
+        let results = bench_anonymize(2_000, 1);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].name, "anonymize_serial");
+        assert_eq!(results[1].name, format!("anonymize_shard{ANON_SHARDS}"));
+        for r in &results {
+            assert_eq!(r.records, 2_000);
             assert!(r.records_per_sec.is_finite() && r.records_per_sec > 0.0);
         }
     }

@@ -446,6 +446,14 @@ fn campaign_to_writer_inner<W: Write + Send>(
     mut on_checkpoint: impl FnMut(Checkpoint) + Send,
 ) -> Result<(CampaignReport, DatasetWriter<W>), CampaignError> {
     let seed = config.seed;
+    // Reject a bad shard count with a typed error here, before the
+    // pipeline's assert would turn it into a panic.
+    if !etw_anonymize::shard::shard_count_valid(tail.anon_shards) {
+        return Err(ConfigError::ShardCountInvalid {
+            got: tail.anon_shards,
+        }
+        .into());
+    }
     campaign_inner_core(config, registry, resume, |frames, scheme, fig3, opts| {
         run_capture_pipeline_batched(
             frames,
@@ -1009,6 +1017,30 @@ mod tests {
         assert!(matches!(err, ConfigError::CheckpointMismatch { .. }));
     }
 
+    #[test]
+    fn bad_shard_count_is_a_typed_error() {
+        let config = CampaignConfig::tiny();
+        for got in [0, 3, 32] {
+            let err = match try_run_campaign_to_writer(
+                &config,
+                &Registry::disabled(),
+                TailConfig {
+                    anon_shards: got,
+                    ..TailConfig::default()
+                },
+                DatasetWriter::new(Vec::new()).expect("vec write"),
+                |_| {},
+            ) {
+                Err(e) => e,
+                Ok(_) => panic!("accepted anon_shards = {got}"),
+            };
+            assert!(
+                matches!(err, CampaignError::Config(ConfigError::ShardCountInvalid { got: g }) if g == got),
+                "anon_shards = {got}: {err}"
+            );
+        }
+    }
+
     /// Serial reference for the batched writer path: stream the
     /// campaign's records through `DatasetWriter::write_record` one at a
     /// time, stamping `writer_bytes` into each checkpoint the way `repro
@@ -1042,6 +1074,12 @@ mod tests {
             TailConfig {
                 batch_records: 7,
                 batch_queue: 2,
+                anon_shards: 1,
+            },
+            TailConfig {
+                batch_records: 7,
+                batch_queue: 2,
+                anon_shards: 4,
             },
         ] {
             let mut cps = Vec::new();

@@ -17,9 +17,19 @@
 //! * the next checkpoint boundary, so a resumed run cuts the very same
 //!   checkpoints an uninterrupted run would.
 //!
-//! The sidecar is a versioned line-oriented text format ("etwckpt 1"),
-//! written atomically (temp file + rename) with a trailing `end` marker
-//! so a torn write is detected, never silently half-loaded.
+//! The sidecar is a versioned line-oriented text format, written
+//! atomically (temp file + rename) with a trailing `end` marker so a
+//! torn write is detected, never silently half-loaded.
+//!
+//! Two versions exist. Version 1 (PR 4 and earlier) stores each
+//! appearance order as one flat list of ids, the global order implicit
+//! in line position. Version 2 mirrors the sharded anonymiser: ids are
+//! grouped into sixteen canonical stripes (clientIDs by `raw & 15`,
+//! fileIDs by `id.byte(0) & 15` — fixed stripe keys, deliberately
+//! independent of the run's shard count and byte-pair selector so a
+//! sidecar written at one configuration restores at any other), each
+//! entry carrying its explicit global order. Both versions decode to the
+//! same [`Checkpoint`]; encoding always writes version 2.
 
 use crate::pipeline::PipelineCheckpoint;
 use etw_edonkey::ids::FileId;
@@ -70,7 +80,9 @@ impl std::fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
-            CheckpointError::BadHeader => write!(f, "not an etwckpt v1 file"),
+            CheckpointError::BadHeader => {
+                write!(f, "not an etwckpt file (or an unsupported version)")
+            }
             CheckpointError::Truncated => {
                 write!(f, "checkpoint truncated (missing end marker)")
             }
@@ -104,24 +116,42 @@ impl Checkpoint {
         }
     }
 
-    /// Serializes to the sidecar text format.
+    /// Serializes to the sidecar text format (always version 2).
     pub fn encode(&self) -> String {
         let mut out =
-            String::with_capacity(64 + self.client_order.len() * 9 + self.file_order.len() * 33);
-        out.push_str("etwckpt 1\n");
+            String::with_capacity(96 + self.client_order.len() * 14 + self.file_order.len() * 40);
+        out.push_str("etwckpt 2\n");
         out.push_str(&format!("seed {}\n", self.seed));
         out.push_str(&format!("virtual_us {}\n", self.virtual_us));
         out.push_str(&format!("next_checkpoint_us {}\n", self.next_checkpoint_us));
         out.push_str(&format!("records {}\n", self.records));
         out.push_str(&format!("writer_bytes {}\n", self.writer_bytes));
+
         out.push_str(&format!("clients {}\n", self.client_order.len()));
-        for id in &self.client_order {
-            out.push_str(&format!("{id}\n"));
+        let mut stripes: [Vec<usize>; SIDECAR_STRIPES] = Default::default();
+        for (g, id) in self.client_order.iter().enumerate() {
+            stripes[client_stripe(*id)].push(g);
         }
+        for (s, members) in stripes.iter().enumerate() {
+            out.push_str(&format!("cstripe {s} {}\n", members.len()));
+            for &g in members {
+                out.push_str(&format!("{g} {}\n", self.client_order[g]));
+            }
+        }
+
         out.push_str(&format!("files {}\n", self.file_order.len()));
-        for id in &self.file_order {
-            push_hex(&mut out, id);
+        let mut stripes: [Vec<usize>; SIDECAR_STRIPES] = Default::default();
+        for (g, id) in self.file_order.iter().enumerate() {
+            stripes[file_stripe(id)].push(g);
         }
+        for (s, members) in stripes.iter().enumerate() {
+            out.push_str(&format!("fstripe {s} {}\n", members.len()));
+            for &g in members {
+                out.push_str(&format!("{g} "));
+                push_hex(&mut out, &self.file_order[g]);
+            }
+        }
+
         match &self.fig3_order {
             None => out.push_str("fig3 -\n"),
             Some(order) => {
@@ -135,7 +165,7 @@ impl Checkpoint {
         out
     }
 
-    /// Parses the sidecar text format.
+    /// Parses the sidecar text format, either version.
     pub fn decode(s: &str) -> Result<Checkpoint, CheckpointError> {
         let mut lines = s.lines().enumerate();
         let mut next = |expected: &'static str| -> Result<(usize, &str), CheckpointError> {
@@ -151,9 +181,11 @@ impl Checkpoint {
             }
         };
         let (_, header) = next("etwckpt header")?;
-        if header != "etwckpt 1" {
-            return Err(CheckpointError::BadHeader);
-        }
+        let version = match header {
+            "etwckpt 1" => 1,
+            "etwckpt 2" => 2,
+            _ => return Err(CheckpointError::BadHeader),
+        };
         let seed = keyed_u64(next("seed")?, "seed")?;
         let virtual_us = keyed_u64(next("virtual_us")?, "virtual_us")?;
         let next_checkpoint_us = keyed_u64(next("next_checkpoint_us")?, "next_checkpoint_us")?;
@@ -161,23 +193,101 @@ impl Checkpoint {
         let writer_bytes = keyed_u64(next("writer_bytes")?, "writer_bytes")?;
 
         let n_clients = keyed_u64(next("clients count")?, "clients")? as usize;
-        let mut client_order = Vec::with_capacity(n_clients);
-        for _ in 0..n_clients {
-            let (line_no, line) = next("clientID line")?;
-            let id = line
-                .parse::<u32>()
-                .map_err(|_| CheckpointError::Malformed {
-                    line: line_no,
-                    expected: "a clientID integer",
+        let client_order = if version == 1 {
+            // v1: flat list, global order implicit in line position.
+            let mut order = Vec::with_capacity(n_clients);
+            for _ in 0..n_clients {
+                let (line_no, line) = next("clientID line")?;
+                let id = line
+                    .parse::<u32>()
+                    .map_err(|_| CheckpointError::Malformed {
+                        line: line_no,
+                        expected: "a clientID integer",
+                    })?;
+                order.push(id);
+            }
+            order
+        } else {
+            // v2: sixteen stripes of explicit `<global_order> <id>`
+            // pairs; rebuild the flat order and insist every slot is
+            // assigned exactly once.
+            let mut order = vec![0u32; n_clients];
+            let mut filled = vec![false; n_clients];
+            for stripe in 0..SIDECAR_STRIPES {
+                let (line_no, line) = next("cstripe header")?;
+                let k = stripe_header(line, "cstripe", stripe).ok_or({
+                    CheckpointError::Malformed {
+                        line: line_no,
+                        expected: "a cstripe header in canonical order",
+                    }
                 })?;
-            client_order.push(id);
-        }
+                for _ in 0..k {
+                    let (line_no, line) = next("client stripe entry")?;
+                    let malformed = || CheckpointError::Malformed {
+                        line: line_no,
+                        expected: "a `<order> <clientID>` pair",
+                    };
+                    let (g, id) = line.split_once(' ').ok_or_else(malformed)?;
+                    let g = g.parse::<usize>().map_err(|_| malformed())?;
+                    let id = id.parse::<u32>().map_err(|_| malformed())?;
+                    if g >= n_clients || filled[g] || client_stripe(id) != stripe {
+                        return Err(malformed());
+                    }
+                    order[g] = id;
+                    filled[g] = true;
+                }
+            }
+            if filled.iter().any(|f| !f) {
+                return Err(CheckpointError::Malformed {
+                    line: 0,
+                    expected: "every client order slot assigned",
+                });
+            }
+            order
+        };
 
         let n_files = keyed_u64(next("files count")?, "files")? as usize;
-        let mut file_order = Vec::with_capacity(n_files);
-        for _ in 0..n_files {
-            file_order.push(parse_hex(next("fileID line")?)?);
-        }
+        let file_order = if version == 1 {
+            let mut order = Vec::with_capacity(n_files);
+            for _ in 0..n_files {
+                order.push(parse_hex(next("fileID line")?)?);
+            }
+            order
+        } else {
+            let mut order = vec![FileId([0; 16]); n_files];
+            let mut filled = vec![false; n_files];
+            for stripe in 0..SIDECAR_STRIPES {
+                let (line_no, line) = next("fstripe header")?;
+                let k = stripe_header(line, "fstripe", stripe).ok_or({
+                    CheckpointError::Malformed {
+                        line: line_no,
+                        expected: "an fstripe header in canonical order",
+                    }
+                })?;
+                for _ in 0..k {
+                    let (line_no, line) = next("file stripe entry")?;
+                    let malformed = || CheckpointError::Malformed {
+                        line: line_no,
+                        expected: "a `<order> <fileID>` pair",
+                    };
+                    let (g, hex) = line.split_once(' ').ok_or_else(malformed)?;
+                    let g = g.parse::<usize>().map_err(|_| malformed())?;
+                    let id = parse_hex((line_no, hex))?;
+                    if g >= n_files || filled[g] || file_stripe(&id) != stripe {
+                        return Err(malformed());
+                    }
+                    order[g] = id;
+                    filled[g] = true;
+                }
+            }
+            if filled.iter().any(|f| !f) {
+                return Err(CheckpointError::Malformed {
+                    line: 0,
+                    expected: "every file order slot assigned",
+                });
+            }
+            order
+        };
 
         let (fig3_line_no, fig3_line) = next("fig3 count")?;
         let fig3_order = match fig3_line.strip_prefix("fig3 ") {
@@ -240,6 +350,34 @@ impl Checkpoint {
         let text = std::fs::read_to_string(path)?;
         Checkpoint::decode(&text)
     }
+}
+
+/// Number of canonical sidecar stripes. Fixed at sixteen regardless of
+/// the run's `anon_shards`, so any sidecar restores at any shard count.
+const SIDECAR_STRIPES: usize = 16;
+
+/// Canonical client stripe: low four id bits (every shard partition for
+/// `anon_shards <= 16` is a coarsening of these stripes).
+fn client_stripe(id: u32) -> usize {
+    (id as usize) & (SIDECAR_STRIPES - 1)
+}
+
+/// Canonical file stripe: low four bits of byte 0. Deliberately *not*
+/// the run's byte-pair selector — the sidecar doesn't record the
+/// selector, so the stripe key must not depend on it.
+fn file_stripe(id: &FileId) -> usize {
+    (id.byte(0) as usize) & (SIDECAR_STRIPES - 1)
+}
+
+/// Parses `"<kind> <stripe> <count>"`, insisting the stripe index equals
+/// `expect` (stripes are written in canonical order).
+fn stripe_header(line: &str, kind: &str, expect: usize) -> Option<usize> {
+    let rest = line.strip_prefix(kind)?.strip_prefix(' ')?;
+    let (s, k) = rest.split_once(' ')?;
+    if s.parse::<usize>().ok()? != expect {
+        return None;
+    }
+    k.parse::<usize>().ok()
 }
 
 fn push_hex(out: &mut String, id: &FileId) {
@@ -327,11 +465,99 @@ mod tests {
 
     #[test]
     fn bad_header_rejected() {
+        // An unknown future version is a typed error, not a panic or a
+        // misparse.
         assert!(matches!(
-            Checkpoint::decode("etwckpt 2\nseed 1\n"),
+            Checkpoint::decode("etwckpt 9\nseed 1\n"),
+            Err(CheckpointError::BadHeader)
+        ));
+        assert!(matches!(
+            Checkpoint::decode("not a checkpoint\n"),
             Err(CheckpointError::BadHeader)
         ));
         assert!(Checkpoint::decode("").is_err());
+    }
+
+    /// Renders `cp` in the flat v1 sidecar layout (what PR 4-era runs
+    /// left on disk).
+    fn encode_v1(cp: &Checkpoint) -> String {
+        let mut out = String::new();
+        out.push_str("etwckpt 1\n");
+        out.push_str(&format!("seed {}\n", cp.seed));
+        out.push_str(&format!("virtual_us {}\n", cp.virtual_us));
+        out.push_str(&format!("next_checkpoint_us {}\n", cp.next_checkpoint_us));
+        out.push_str(&format!("records {}\n", cp.records));
+        out.push_str(&format!("writer_bytes {}\n", cp.writer_bytes));
+        out.push_str(&format!("clients {}\n", cp.client_order.len()));
+        for id in &cp.client_order {
+            out.push_str(&format!("{id}\n"));
+        }
+        out.push_str(&format!("files {}\n", cp.file_order.len()));
+        for id in &cp.file_order {
+            push_hex(&mut out, id);
+        }
+        match &cp.fig3_order {
+            None => out.push_str("fig3 -\n"),
+            Some(order) => {
+                out.push_str(&format!("fig3 {}\n", order.len()));
+                for id in order {
+                    push_hex(&mut out, id);
+                }
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    #[test]
+    fn v1_sidecar_still_decodes() {
+        let cp = sample();
+        assert_eq!(Checkpoint::decode(&encode_v1(&cp)).unwrap(), cp);
+        let without_fig3 = Checkpoint {
+            fig3_order: None,
+            ..sample()
+        };
+        assert_eq!(
+            Checkpoint::decode(&encode_v1(&without_fig3)).unwrap(),
+            without_fig3
+        );
+    }
+
+    #[test]
+    fn v2_striping_is_canonical_and_lossless() {
+        // Exercise every client and file stripe with interleaved orders.
+        let cp = Checkpoint {
+            client_order: (0..64).map(|i| i * 37 % 256).collect(),
+            file_order: (0..64)
+                .map(|i| FileId([(i * 23 % 256) as u8; 16]))
+                .collect(),
+            ..sample()
+        };
+        let text = cp.encode();
+        assert!(text.starts_with("etwckpt 2\n"));
+        // All sixteen stripe headers of each family appear, in order.
+        for s in 0..16 {
+            assert!(text.contains(&format!("\ncstripe {s} ")));
+            assert!(text.contains(&format!("\nfstripe {s} ")));
+        }
+        assert_eq!(Checkpoint::decode(&text).unwrap(), cp);
+    }
+
+    #[test]
+    fn v2_rejects_duplicate_or_missing_orders() {
+        let cp = sample();
+        let text = cp.encode();
+        // Duplicating a stripe entry's global order must be caught, not
+        // silently overwrite.
+        let dup = text.replacen("0 7\n", "1 7\n", 1);
+        assert!(matches!(
+            Checkpoint::decode(&dup),
+            Err(CheckpointError::Malformed { .. })
+        ));
+        // A stripe claiming fewer members than the header count leaves a
+        // slot unassigned.
+        let short = text.replacen("clients 4\n", "clients 5\n", 1);
+        assert!(Checkpoint::decode(&short).is_err());
     }
 
     #[test]

@@ -45,6 +45,11 @@ pub enum ConfigError {
         /// What disagreed.
         reason: &'static str,
     },
+    /// `anon_shards` is not a power of two in `1..=16`.
+    ShardCountInvalid {
+        /// The configured shard count.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -73,6 +78,9 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::CheckpointMismatch { reason } => {
                 write!(f, "checkpoint does not match this campaign: {reason}")
+            }
+            ConfigError::ShardCountInvalid { got } => {
+                write!(f, "anon_shards must be a power of two in 1..=16, got {got}")
             }
         }
     }

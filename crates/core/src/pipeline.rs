@@ -17,8 +17,9 @@
 
 use crate::wirepath::{Direction, Recovered, WireDecoder, SERVER_IP};
 use bytes::Bytes;
-use etw_anonymize::fileid::{BucketedArrays, FileIdAnonymizer};
+use etw_anonymize::fileid::{BucketedArrays, FileIdAnonymizer, ProbeStats};
 use etw_anonymize::scheme::{AnonRecord, PaperScheme};
+use etw_anonymize::shard::{build_sharded, collect_ids, shard_count_valid, MAX_SHARDS};
 use etw_edonkey::decoder::{DecodeOutcome, Decoder, DecoderStats};
 use etw_edonkey::ids::{ClientId, FileId};
 use etw_edonkey::messages::Message;
@@ -145,6 +146,12 @@ pub struct TailConfig {
     /// how far formatting may run ahead of the disk (and with the
     /// recycling pools, the total number of live batch buffers).
     pub batch_queue: usize,
+    /// Anonymiser shards (power of two, `1..=16`). `1` keeps the serial
+    /// anonymiser in the sequential stage; `>1` fans each batch out to a
+    /// shard pool split along the paper's clientID/fileID partition and
+    /// reassembles in sequence (byte-identical output, see
+    /// [`etw_anonymize::shard`]).
+    pub anon_shards: usize,
 }
 
 impl Default for TailConfig {
@@ -152,6 +159,7 @@ impl Default for TailConfig {
         TailConfig {
             batch_records: 256,
             batch_queue: 4,
+            anon_shards: 1,
         }
     }
 }
@@ -562,6 +570,24 @@ where
 {
     assert!(n_workers > 0);
     assert!(tail.batch_records > 0 && tail.batch_queue > 0);
+    assert!(
+        shard_count_valid(tail.anon_shards),
+        "anon_shards must be a power of two in 1..={MAX_SHARDS}, got {}",
+        tail.anon_shards
+    );
+    if tail.anon_shards > 1 {
+        return run_capture_pipeline_sharded(
+            frames,
+            n_workers,
+            scheme,
+            fig3,
+            registry,
+            opts,
+            tail,
+            writer,
+            on_checkpoint,
+        );
+    }
     let mut stats = PipelineStats::default();
     if opts
         .faults
@@ -570,7 +596,6 @@ where
     {
         silence_injected_crashes();
     }
-    let mut on_checkpoint = on_checkpoint;
 
     let (writer, io_err) = crossbeam::thread::scope(|scope| {
         let (out_rx, producer, handles) =
@@ -586,88 +611,32 @@ where
         let (fmt_tx, fmt_rx) = metered_bounded::<FormatItem>(tail.batch_queue, registry, "fmt_in");
         let (write_tx, write_rx) =
             metered_bounded::<WriteItem>(tail.batch_queue, registry, "write_in");
+        // etwlint: allow(no-unbounded-channel): bounded recycling pool, not a work queue — try_send/try_recv only, never blocks
         let (rec_pool_tx, rec_pool_rx) = crossbeam::channel::bounded::<Vec<AnonRecord>>(pool_cap);
+        // etwlint: allow(no-unbounded-channel): bounded recycling pool, as above
         let (buf_pool_tx, buf_pool_rx) = crossbeam::channel::bounded::<Vec<u8>>(pool_cap);
         for _ in 0..pool_cap {
             let _ = rec_pool_tx.try_send(Vec::with_capacity(tail.batch_records));
             let _ = buf_pool_tx.try_send(Vec::with_capacity(tail.batch_records * 64));
         }
 
-        // Formatter: render one batch at a time into a recycled buffer.
-        let fmt = FormatTelemetry {
-            batches: registry.counter("stage.format.batches_total"),
-            records: registry.counter("stage.format.records_total"),
-            bytes: registry.counter("stage.format.bytes_total"),
-            service_ns: registry.histogram("stage.format.service_ns"),
-        };
-        let rec_pool_back = rec_pool_tx.clone();
-        let formatter = scope.spawn(move |_| {
-            for item in fmt_rx.iter() {
-                match item {
-                    FormatItem::Batch(mut recs) => {
-                        let mut buf = buf_pool_rx
-                            .try_recv()
-                            .unwrap_or_else(|| Vec::with_capacity(recs.len() * 64));
-                        buf.clear();
-                        let t = fmt.service_ns.start();
-                        encode::encode_batch(&mut buf, &recs);
-                        fmt.service_ns.record_since(t);
-                        fmt.batches.inc();
-                        fmt.records.add(recs.len() as u64);
-                        fmt.bytes.add(buf.len() as u64);
-                        let records = recs.len() as u64;
-                        recs.clear();
-                        let _ = rec_pool_back.try_send(recs);
-                        if write_tx.send(WriteItem::Bytes { buf, records }).is_err() {
-                            break;
-                        }
-                    }
-                    FormatItem::Checkpoint(cp) => {
-                        if write_tx.send(WriteItem::Checkpoint(cp)).is_err() {
-                            break;
-                        }
-                    }
-                }
-            }
-        });
-
-        // Writer: flush buffers in sequence, stamp checkpoints with the
-        // dataset offset, recycle buffers. On an io error it keeps
-        // draining (without writing) so the formatter never stalls.
-        let wt = WriteTelemetry {
-            batches: registry.counter("stage.write.batches_total"),
-            bytes: registry.counter("stage.write.bytes_total"),
-            flush_ns: registry.histogram("stage.write.flush_ns"),
-        };
-        let writer_thread = scope.spawn(move |_| {
-            let mut w = writer;
-            let mut io_err: Option<io::Error> = None;
-            for item in write_rx.iter() {
-                match item {
-                    WriteItem::Bytes { mut buf, records } => {
-                        if io_err.is_none() {
-                            let t = wt.flush_ns.start();
-                            match w.write_encoded(&buf, records) {
-                                Ok(()) => {
-                                    wt.flush_ns.record_since(t);
-                                    wt.batches.inc();
-                                    wt.bytes.add(buf.len() as u64);
-                                }
-                                Err(e) => io_err = Some(e),
-                            }
-                        }
-                        buf.clear();
-                        let _ = buf_pool_tx.try_send(buf);
-                    }
-                    WriteItem::Checkpoint(cp) => {
-                        if io_err.is_none() {
-                            on_checkpoint(cp, w.bytes_written());
-                        }
-                    }
-                }
-            }
-            (w, io_err)
-        });
+        let formatter = spawn_tail_formatter(
+            scope,
+            registry,
+            fmt_rx,
+            write_tx,
+            rec_pool_tx.clone(),
+            buf_pool_rx,
+            true,
+        );
+        let writer_thread = spawn_tail_writer(
+            scope,
+            registry,
+            write_rx,
+            buf_pool_tx,
+            writer,
+            on_checkpoint,
+        );
 
         // Sequential stage: restore sequence order, stage batches.
         let sink = SinkTelemetry {
@@ -808,6 +777,628 @@ where
     // a child panicked; re-raising is panic propagation.
     .expect("pipeline scope panicked");
 
+    match io_err {
+        Some(e) => Err(e),
+        None => Ok((stats, scheme, fig3, writer)),
+    }
+}
+
+/// Spawns the formatter stage: renders record batches into recycled byte
+/// buffers with the zero-alloc encoder and forwards them (and checkpoint
+/// markers) to the writer in order. With `clear_records` the emptied
+/// record vectors go back to the pool cleared (the serial-anonymiser
+/// tail); without it they keep their contents, because the sharded
+/// assembler overwrites records in place and the stale records *are* its
+/// allocation pool.
+fn spawn_tail_formatter<'scope, 'env>(
+    scope: &crossbeam::thread::Scope<'scope, 'env>,
+    registry: &Registry,
+    fmt_rx: MeteredReceiver<FormatItem>,
+    write_tx: MeteredSender<WriteItem>,
+    rec_pool_back: crossbeam::channel::Sender<Vec<AnonRecord>>,
+    buf_pool_rx: crossbeam::channel::Receiver<Vec<u8>>,
+    clear_records: bool,
+) -> crossbeam::thread::ScopedJoinHandle<'scope, ()> {
+    let fmt = FormatTelemetry {
+        batches: registry.counter("stage.format.batches_total"),
+        records: registry.counter("stage.format.records_total"),
+        bytes: registry.counter("stage.format.bytes_total"),
+        service_ns: registry.histogram("stage.format.service_ns"),
+    };
+    scope.spawn(move |_| {
+        for item in fmt_rx.iter() {
+            match item {
+                FormatItem::Batch(mut recs) => {
+                    let mut buf = buf_pool_rx
+                        .try_recv()
+                        .unwrap_or_else(|| Vec::with_capacity(recs.len() * 64));
+                    buf.clear();
+                    let t = fmt.service_ns.start();
+                    encode::encode_batch(&mut buf, &recs);
+                    fmt.service_ns.record_since(t);
+                    fmt.batches.inc();
+                    fmt.records.add(recs.len() as u64);
+                    fmt.bytes.add(buf.len() as u64);
+                    let records = recs.len() as u64;
+                    if clear_records {
+                        recs.clear();
+                    }
+                    let _ = rec_pool_back.try_send(recs);
+                    if write_tx.send(WriteItem::Bytes { buf, records }).is_err() {
+                        break;
+                    }
+                }
+                FormatItem::Checkpoint(cp) => {
+                    if write_tx.send(WriteItem::Checkpoint(cp)).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+    })
+}
+
+/// Spawns the writer stage: flushes buffers in sequence, stamps
+/// checkpoints with the exact dataset offset, recycles buffers. On an io
+/// error it keeps draining (without writing) so upstream never stalls.
+fn spawn_tail_writer<'scope, 'env, W, F>(
+    scope: &crossbeam::thread::Scope<'scope, 'env>,
+    registry: &Registry,
+    write_rx: MeteredReceiver<WriteItem>,
+    buf_pool_tx: crossbeam::channel::Sender<Vec<u8>>,
+    writer: DatasetWriter<W>,
+    mut on_checkpoint: F,
+) -> crossbeam::thread::ScopedJoinHandle<'scope, (DatasetWriter<W>, Option<io::Error>)>
+where
+    W: Write + Send + 'scope,
+    F: FnMut(PipelineCheckpoint, u64) + Send + 'scope,
+{
+    let wt = WriteTelemetry {
+        batches: registry.counter("stage.write.batches_total"),
+        bytes: registry.counter("stage.write.bytes_total"),
+        flush_ns: registry.histogram("stage.write.flush_ns"),
+    };
+    scope.spawn(move |_| {
+        let mut w = writer;
+        let mut io_err: Option<io::Error> = None;
+        for item in write_rx.iter() {
+            match item {
+                WriteItem::Bytes { mut buf, records } => {
+                    if io_err.is_none() {
+                        let t = wt.flush_ns.start();
+                        match w.write_encoded(&buf, records) {
+                            Ok(()) => {
+                                wt.flush_ns.record_since(t);
+                                wt.batches.inc();
+                                wt.bytes.add(buf.len() as u64);
+                            }
+                            Err(e) => io_err = Some(e),
+                        }
+                    }
+                    buf.clear();
+                    let _ = buf_pool_tx.try_send(buf);
+                }
+                WriteItem::Checkpoint(cp) => {
+                    if io_err.is_none() {
+                        on_checkpoint(cp, w.bytes_written());
+                    }
+                }
+            }
+        }
+        (w, io_err)
+    })
+}
+
+/// One staged run of messages travelling to the shard pool and the
+/// assembler. The flat id arrays are the visit pass's output: every
+/// clientID/fileID the anonymiser will touch, in encoder order, so the
+/// shards scan plain arrays instead of message trees. Shared by `Arc`:
+/// each shard reads it, the assembler reads it last and reclaims the
+/// buffers.
+struct ShardBatch {
+    /// Batch sequence number (assembler matches shard results to it).
+    seq: u64,
+    msgs: Vec<DecodedMsg>,
+    client_ids: Vec<u32>,
+    file_ids: Vec<FileId>,
+}
+
+/// Sparse resolutions from one shard for one batch: `(index into the
+/// batch's id array, striped provisional)`.
+struct ShardResult {
+    seq: u64,
+    clients: Vec<(u32, u32)>,
+    files: Vec<(u32, u64)>,
+}
+
+/// A recycled pair of resolution vectors (clients, files) from the
+/// shard workers' shared free-list.
+type ResVecs = (Vec<(u32, u32)>, Vec<(u32, u64)>);
+/// The shard workers' shared resolution-vector free-list.
+type ResPool = std::sync::Arc<std::sync::Mutex<Vec<ResVecs>>>;
+
+/// Work for the assembler, in strict capture order.
+enum AsmItem {
+    Batch(std::sync::Arc<ShardBatch>),
+    /// A checkpoint cut; the assembler owns the appearance orders, so it
+    /// fills them in and forwards the completed checkpoint down the
+    /// ordered queues.
+    Checkpoint {
+        virtual_us: u64,
+        next_checkpoint_us: u64,
+        records: u64,
+        fig3_order: Option<Vec<FileId>>,
+    },
+}
+
+/// The sharded tail (`TailConfig::anon_shards > 1`): the sequential
+/// stage runs the visit pass per staged batch and fans the batch out to
+/// `anon_shards` shard workers (clientIDs split by low id bits, fileIDs
+/// by low bucket-index bits, see [`etw_anonymize::shard`]); the
+/// assembler gathers every shard's resolutions in batch order, remaps
+/// striped provisionals to global appearance orders, constructs records
+/// with allocation reuse, and feeds the same formatter/writer stages as
+/// the serial-anonymiser tail. Output and checkpoints are byte-identical
+/// to [`run_capture_pipeline_batched`] at `anon_shards = 1`.
+///
+/// ```text
+///                      ┌► shard 0 ─┐
+/// reorder ─► visit ────┼► ...      ├─► assemble ─► format ─► write
+///   (seq)    (ids)     └► shard S ─┘   (remap +
+///                 └────────────────────► construct, seq)
+/// ```
+#[allow(clippy::too_many_arguments)]
+fn run_capture_pipeline_sharded<I, W>(
+    frames: I,
+    n_workers: usize,
+    scheme: PaperScheme,
+    mut fig3: Option<BucketedArrays>,
+    registry: &Registry,
+    opts: &PipelineOptions,
+    tail: TailConfig,
+    writer: DatasetWriter<W>,
+    on_checkpoint: impl FnMut(PipelineCheckpoint, u64) + Send,
+) -> io::Result<(
+    PipelineStats,
+    PaperScheme,
+    Option<BucketedArrays>,
+    DatasetWriter<W>,
+)>
+where
+    I: Iterator<Item = TimedFrame> + Send,
+    W: Write + Send,
+{
+    let n_shards = tail.anon_shards;
+    let width_bits = scheme.client_encoder().width_bits();
+    let selector = scheme.file_encoder().selector();
+    // Split the (possibly checkpoint-restored) serial encoder state into
+    // shard + assembler state by replaying the appearance orders.
+    let client_order = scheme.client_encoder().appearance_order();
+    let file_order = scheme.file_encoder().appearance_order();
+    let (shard_sets, assembler) =
+        build_sharded(width_bits, selector, n_shards, &client_order, &file_order);
+    drop(scheme);
+
+    let mut stats = PipelineStats::default();
+    if opts
+        .faults
+        .as_ref()
+        .is_some_and(|plan| plan.crash_every > 0)
+    {
+        silence_injected_crashes();
+    }
+    let (writer, io_err, asm) = crossbeam::thread::scope(|scope| {
+        let (out_rx, producer, handles) =
+            spawn_front(scope, frames, n_workers, registry, opts.faults.clone());
+
+        // Tail plumbing. Metered, bounded work queues; unmetered bounded
+        // pool channels flow emptied buffers back upstream so steady
+        // state reuses the same allocations forever.
+        let pool_cap = tail.batch_queue + 2;
+        let (fmt_tx, fmt_rx) = metered_bounded::<FormatItem>(tail.batch_queue, registry, "fmt_in");
+        let (write_tx, write_rx) =
+            metered_bounded::<WriteItem>(tail.batch_queue, registry, "write_in");
+        // etwlint: allow(no-unbounded-channel): bounded recycling pool, not a work queue — try_send/try_recv only, never blocks
+        let (rec_pool_tx, rec_pool_rx) = crossbeam::channel::bounded::<Vec<AnonRecord>>(pool_cap);
+        // etwlint: allow(no-unbounded-channel): bounded recycling pool, as above
+        let (buf_pool_tx, buf_pool_rx) = crossbeam::channel::bounded::<Vec<u8>>(pool_cap);
+        // etwlint: allow(no-unbounded-channel): bounded recycling pool, as above
+        let (batch_pool_tx, batch_pool_rx) = crossbeam::channel::bounded::<ShardBatch>(pool_cap);
+        // The resolution-vector pool is shared by all shard workers, so
+        // it is a mutexed free-list rather than a channel (the channel
+        // stub is single-consumer). Uncontended in steady state: shards
+        // pop, the assembler pushes, each holds the lock for two Vec
+        // moves.
+        let res_pool: ResPool =
+            std::sync::Arc::new(std::sync::Mutex::new(Vec::with_capacity(2 * n_shards + 2)));
+        for _ in 0..pool_cap {
+            let _ = rec_pool_tx.try_send(Vec::with_capacity(tail.batch_records));
+            let _ = buf_pool_tx.try_send(Vec::with_capacity(tail.batch_records * 64));
+        }
+
+        let formatter = spawn_tail_formatter(
+            scope,
+            registry,
+            fmt_rx,
+            write_tx,
+            rec_pool_tx.clone(),
+            buf_pool_rx,
+            false,
+        );
+        let writer_thread = spawn_tail_writer(
+            scope,
+            registry,
+            write_rx,
+            buf_pool_tx,
+            writer,
+            on_checkpoint,
+        );
+
+        // Shard pool: every worker owns a disjoint slice of both id
+        // spaces and resolves each batch independently — no shared
+        // state, no locks. All input channels share the "shard_in"
+        // metrics (like "decode_in"); results funnel into "shard_out".
+        let (shard_out_tx, shard_out_rx) =
+            metered_bounded::<ShardResult>(2 * n_shards, registry, "shard_out");
+        let shard_batches = registry.counter("anon.shard.batches_total");
+        let shard_cids = registry.counter("anon.shard.client_ids_total");
+        let shard_fids = registry.counter("anon.shard.file_ids_total");
+        let shard_ns = registry.histogram("stage.shard.service_ns");
+        let mut shard_txs = Vec::with_capacity(n_shards);
+        let mut shard_handles = Vec::with_capacity(n_shards);
+        for mut set in shard_sets {
+            let (tx, rx) = metered_bounded::<std::sync::Arc<ShardBatch>>(
+                tail.batch_queue,
+                registry,
+                "shard_in",
+            );
+            shard_txs.push(tx);
+            let out = shard_out_tx.clone();
+            let res_pool = res_pool.clone();
+            let (batches, cids, fids, ns) = (
+                shard_batches.clone(),
+                shard_cids.clone(),
+                shard_fids.clone(),
+                shard_ns.clone(),
+            );
+            shard_handles.push(scope.spawn(move |_| {
+                for batch in rx.iter() {
+                    let (mut cres, mut fres) = res_pool
+                        .lock()
+                        // etwlint: allow(no-panic-hot-path): lock poisoning implies another pipeline thread already panicked
+                        .expect("res pool poisoned")
+                        .pop()
+                        .unwrap_or_default();
+                    let t = ns.start();
+                    set.resolve_batch(&batch.client_ids, &batch.file_ids, &mut cres, &mut fres);
+                    ns.record_since(t);
+                    batches.inc();
+                    cids.add(cres.len() as u64);
+                    fids.add(fres.len() as u64);
+                    let r = ShardResult {
+                        seq: batch.seq,
+                        clients: cres,
+                        files: fres,
+                    };
+                    if out.send(r).is_err() {
+                        break;
+                    }
+                }
+                set
+            }));
+        }
+        drop(shard_out_tx);
+
+        // Assembler: strict batch order. For each batch, gather all
+        // shards' resolutions (stashing early arrivals for later seqs),
+        // scatter + remap to final appearance orders, construct records
+        // in place, and hand them to the formatter.
+        let (asm_tx, asm_rx) = metered_bounded::<AsmItem>(tail.batch_queue, registry, "asm_in");
+        let asm_ns = registry.histogram("stage.assemble.service_ns");
+        let asm_thread = scope.spawn(move |_| {
+            let mut asm = assembler;
+            let mut stash: BTreeMap<u64, Vec<ShardResult>> = BTreeMap::new();
+            let mut failed = false;
+            for item in asm_rx.iter() {
+                match item {
+                    AsmItem::Batch(arc) => {
+                        let mut got = stash.remove(&arc.seq).unwrap_or_default();
+                        while got.len() < n_shards {
+                            match shard_out_rx.recv() {
+                                Ok(r) if r.seq == arc.seq => got.push(r),
+                                Ok(r) => stash.entry(r.seq).or_default().push(r),
+                                // Shards only hang up early on panic;
+                                // stop assembling, keep draining.
+                                Err(_) => break,
+                            }
+                        }
+                        if got.len() < n_shards {
+                            failed = true;
+                        }
+                        if failed {
+                            continue;
+                        }
+                        let t = asm_ns.start();
+                        asm.begin_batch(arc.client_ids.len(), arc.file_ids.len());
+                        for r in &got {
+                            asm.apply_clients(&r.clients);
+                            asm.apply_files(&r.files);
+                        }
+                        asm.finish_batch(&arc.client_ids, &arc.file_ids);
+                        // The pooled record vector keeps its previous
+                        // batch's records: construct overwrites them in
+                        // place (see anonymize_batch_reuse).
+                        let mut recs = rec_pool_rx.try_recv().unwrap_or_default();
+                        asm.construct(arc.msgs.iter().map(|d| (d.ts.0, d.peer, &d.msg)), &mut recs);
+                        asm_ns.record_since(t);
+                        {
+                            // etwlint: allow(no-panic-hot-path): lock
+                            // poisoning implies a prior panic, as above.
+                            let mut pool = res_pool.lock().expect("res pool poisoned");
+                            for r in got {
+                                if pool.len() < 2 * n_shards + 2 {
+                                    pool.push((r.clients, r.files));
+                                }
+                            }
+                        }
+                        failed = fmt_tx.send(FormatItem::Batch(recs)).is_err();
+                        // All shards have dropped their handles by the
+                        // time their results are in; reclaim the batch
+                        // buffers (racy against a shard's loop tail —
+                        // a failed unwrap just allocates fresh later).
+                        if let Ok(b) = std::sync::Arc::try_unwrap(arc) {
+                            let _ = batch_pool_tx.try_send(b);
+                        }
+                    }
+                    AsmItem::Checkpoint {
+                        virtual_us,
+                        next_checkpoint_us,
+                        records,
+                        fig3_order,
+                    } => {
+                        if failed {
+                            continue;
+                        }
+                        failed = fmt_tx
+                            .send(FormatItem::Checkpoint(PipelineCheckpoint {
+                                virtual_us,
+                                next_checkpoint_us,
+                                records,
+                                // etwlint: allow(no-alloc-hot-loop): checkpoint cut — runs once per interval, not per record
+                                client_order: asm.client_order().to_vec(),
+                                // etwlint: allow(no-alloc-hot-loop): checkpoint cut, as above
+                                file_order: asm.file_order().to_vec(),
+                                fig3_order,
+                            }))
+                            .is_err();
+                    }
+                }
+            }
+            asm
+        });
+
+        // Sequential stage: restore capture order, run the visit pass
+        // while staging, fan out batches.
+        let sink = SinkTelemetry {
+            reorder_depth: registry.gauge("stage.reorder.depth"),
+            reorder_depth_hwm: registry.gauge("stage.reorder.depth_hwm"),
+            anonymize_ns: registry.histogram("stage.anonymize.service_ns"),
+            records: registry.counter("stage.sink.records_total"),
+            queries: registry.counter("stage.sink.queries_total"),
+            to_server: registry.counter("stage.sink.to_server_total"),
+            from_server: registry.counter("stage.sink.from_server_total"),
+        };
+        let cp_interval = opts.checkpoint_interval_us;
+        let (skip, mut last_ts, mut next_cp) = match &opts.resume {
+            Some(r) => (r.records, r.virtual_us, r.next_checkpoint_us),
+            None => (0, 0, cp_interval),
+        };
+        let mut consumed = 0u64;
+        let mut reorder: BTreeMap<u64, Option<DecodedMsg>> = BTreeMap::new();
+        let mut next_seq = 0u64;
+        let fresh_batch = || ShardBatch {
+            seq: 0,
+            msgs: Vec::with_capacity(tail.batch_records),
+            client_ids: Vec::new(),
+            file_ids: Vec::new(),
+        };
+        let mut cur = fresh_batch();
+        let mut batch_seq = 0u64;
+        let mut queries = 0u64;
+        let mut dirs = (0u64, 0u64);
+        let mut tail_failed = false;
+        // Stages the current run: account it, stamp its sequence number
+        // and fan it out to every shard plus the assembler.
+        let flush = |cur: &mut ShardBatch,
+                     queries: &mut u64,
+                     dirs: &mut (u64, u64),
+                     batch_seq: &mut u64,
+                     stats: &mut PipelineStats|
+         -> bool {
+            if cur.msgs.is_empty() {
+                return true;
+            }
+            let records = cur.msgs.len() as u64;
+            stats.records += records;
+            stats.query_records += *queries;
+            stats.to_server += dirs.0;
+            stats.from_server += dirs.1;
+            sink.records.add(records);
+            sink.queries.add(*queries);
+            sink.to_server.add(dirs.0);
+            sink.from_server.add(dirs.1);
+            *queries = 0;
+            *dirs = (0, 0);
+            cur.seq = *batch_seq;
+            *batch_seq += 1;
+            let mut next = batch_pool_rx.try_recv().unwrap_or_else(&fresh_batch);
+            next.msgs.clear();
+            next.client_ids.clear();
+            next.file_ids.clear();
+            let arc = std::sync::Arc::new(std::mem::replace(cur, next));
+            for tx in &shard_txs {
+                if tx.send(arc.clone()).is_err() {
+                    return false;
+                }
+            }
+            asm_tx.send(AsmItem::Batch(arc)).is_ok()
+        };
+        for WorkerOut::Step(seq, decoded) in out_rx.iter() {
+            reorder.insert(seq, decoded);
+            while let Some(decoded) = reorder.remove(&next_seq) {
+                next_seq += 1;
+                let Some(d) = decoded else { continue };
+                if cp_interval > 0 && d.ts.0 >= next_cp {
+                    // Cut *before* consuming this message, staged run
+                    // flushed first — exactly as the serial tail. The
+                    // assembler completes the marker with the orders.
+                    next_cp = (d.ts.0 / cp_interval + 1) * cp_interval;
+                    if !tail_failed {
+                        tail_failed = !flush(
+                            &mut cur,
+                            &mut queries,
+                            &mut dirs,
+                            &mut batch_seq,
+                            &mut stats,
+                        );
+                    }
+                    if !tail_failed {
+                        tail_failed = asm_tx
+                            .send(AsmItem::Checkpoint {
+                                virtual_us: last_ts,
+                                next_checkpoint_us: next_cp,
+                                records: consumed,
+                                fig3_order: fig3.as_ref().map(|f| f.appearance_order()),
+                            })
+                            .is_err();
+                    }
+                }
+                consumed += 1;
+                last_ts = d.ts.0;
+                if consumed <= skip {
+                    // Resume replay: already written by the interrupted
+                    // run; its effects live in the restored state.
+                    continue;
+                }
+                if tail_failed {
+                    // Tail is gone: keep consuming so the decode front
+                    // drains instead of deadlocking the producer.
+                    continue;
+                }
+                match d.direction {
+                    Direction::ToServer => dirs.0 += 1,
+                    Direction::FromServer => dirs.1 += 1,
+                }
+                if let Some(fig3) = fig3.as_mut() {
+                    for id in message_file_ids(&d.msg) {
+                        fig3.anonymize(id);
+                    }
+                }
+                queries += u64::from(d.msg.is_client_to_server());
+                let t = sink.anonymize_ns.start();
+                collect_ids(d.peer, &d.msg, &mut cur.client_ids, &mut cur.file_ids);
+                sink.anonymize_ns.record_since(t);
+                cur.msgs.push(d);
+                if cur.msgs.len() >= tail.batch_records {
+                    tail_failed = !flush(
+                        &mut cur,
+                        &mut queries,
+                        &mut dirs,
+                        &mut batch_seq,
+                        &mut stats,
+                    );
+                }
+            }
+            let depth = reorder.len() as i64;
+            sink.reorder_depth.set(depth);
+            if depth > sink.reorder_depth_hwm.get() {
+                sink.reorder_depth_hwm.set(depth);
+            }
+        }
+        debug_assert!(reorder.is_empty(), "holes in the sequence space");
+        if !tail_failed {
+            // Final partial batch.
+            flush(
+                &mut cur,
+                &mut queries,
+                &mut dirs,
+                &mut batch_seq,
+                &mut stats,
+            );
+        }
+        drop(shard_txs);
+        drop(asm_tx);
+
+        // Shutdown order follows the data: shards, assembler, formatter,
+        // writer, then the front.
+        let mut probe = ProbeStats::default();
+        for h in shard_handles {
+            // etwlint: allow(no-panic-hot-path): join() only errs when
+            // the joined thread panicked; re-raising is panic
+            // propagation, not a new failure mode.
+            let set = h.join().expect("shard worker panicked");
+            let p = set.files.probe_stats();
+            probe.probes += p.probes;
+            probe.comparisons += p.comparisons;
+            probe.max_probe_depth = probe.max_probe_depth.max(p.max_probe_depth);
+            probe.inserts += p.inserts;
+            probe.shifted += p.shifted;
+            probe.max_shift = probe.max_shift.max(p.max_shift);
+        }
+        // Aggregate shard probe work: the per-shard bucket state dies
+        // with the workers (the returned scheme is rebuilt from orders,
+        // which zeroes its stats), so the campaign-facing numbers live
+        // under anon.shard.* instead of anon.fileid.*.
+        registry
+            .counter("anon.shard.probes_total")
+            .add(probe.probes);
+        registry
+            .counter("anon.shard.comparisons_total")
+            .add(probe.comparisons);
+        registry
+            .gauge("anon.shard.max_probe_depth")
+            .set(probe.max_probe_depth as i64);
+        registry
+            .counter("anon.shard.inserts_total")
+            .add(probe.inserts);
+        registry
+            .counter("anon.shard.shifted_total")
+            .add(probe.shifted);
+        registry
+            .gauge("anon.shard.max_shift")
+            .set(probe.max_shift as i64);
+        // etwlint: allow(no-panic-hot-path): panic propagation, as above
+        let asm = asm_thread.join().expect("assembler panicked");
+        // etwlint: allow(no-panic-hot-path): panic propagation, as above
+        formatter.join().expect("formatter panicked");
+        // etwlint: allow(no-panic-hot-path): panic propagation, as above
+        let (w, io_err) = writer_thread.join().expect("writer panicked");
+        // etwlint: allow(no-panic-hot-path): panic propagation, as above
+        let (total_frames, shed_count) = producer.join().expect("producer panicked");
+        stats.frames = total_frames;
+        stats.shed = shed_count;
+        for h in handles {
+            // etwlint: allow(no-panic-hot-path): panic propagation, as above
+            let worker = h.join().expect("worker panicked");
+            stats.not_udp += worker.not_udp;
+            stats.other_port += worker.other_port;
+            stats.parse_errors += worker.parse_errors;
+            stats.udp_datagrams += worker.udp_datagrams;
+            stats.fragmented_datagrams += worker.fragmented_datagrams;
+            stats.decoder.merge(&worker.decoder);
+            merge_reassembly(&mut stats.reassembly, &worker.reassembly);
+        }
+        (w, io_err, asm)
+    })
+    // etwlint: allow(no-panic-hot-path): crossbeam scope() errs only when
+    // a child panicked; re-raising is panic propagation.
+    .expect("pipeline scope panicked");
+
+    // Rebuild a serial-equivalent scheme from the assembler's final
+    // orders: distinct counts and bucket sizes match the serial run
+    // exactly (probe stats were aggregated above).
+    let scheme =
+        PaperScheme::from_orders(width_bits, selector, asm.client_order(), asm.file_order());
     match io_err {
         Some(e) => Err(e),
         None => Ok((stats, scheme, fig3, writer)),
@@ -1601,6 +2192,7 @@ mod tests {
                 TailConfig {
                     batch_records: 1,
                     batch_queue: 1,
+                    anon_shards: 1,
                 },
             ),
             (
@@ -1608,9 +2200,36 @@ mod tests {
                 TailConfig {
                     batch_records: 7,
                     batch_queue: 2,
+                    anon_shards: 1,
                 },
             ),
             (2, TailConfig::default()),
+            // Sharded anonymiser: the shard count must be invisible too,
+            // including a batch size of one and the awkward batch 7.
+            (
+                2,
+                TailConfig {
+                    batch_records: 1,
+                    batch_queue: 1,
+                    anon_shards: 2,
+                },
+            ),
+            (
+                3,
+                TailConfig {
+                    batch_records: 7,
+                    batch_queue: 2,
+                    anon_shards: 4,
+                },
+            ),
+            (
+                1,
+                TailConfig {
+                    batch_records: 64,
+                    batch_queue: 2,
+                    anon_shards: 8,
+                },
+            ),
         ] {
             let (batched, cps, bstats) =
                 batched_dataset(frames.clone(), workers, &opts, tail, &Registry::disabled());
@@ -1634,6 +2253,7 @@ mod tests {
             TailConfig {
                 batch_records: 32,
                 batch_queue: 4,
+                anon_shards: 1,
             },
             &registry,
         );
@@ -1659,6 +2279,70 @@ mod tests {
         // Tail queues fully drained at exit.
         assert_eq!(snap.gauge("chan.fmt_in.depth"), 0);
         assert_eq!(snap.gauge("chan.write_in.depth"), 0);
+    }
+
+    #[test]
+    fn sharded_tail_reports_shard_and_assemble_stages() {
+        let frames = frames_for(&mixed_msgs(200));
+        let registry = Registry::new();
+        let (bytes, _, stats) = batched_dataset(
+            frames,
+            2,
+            &PipelineOptions::default(),
+            TailConfig {
+                batch_records: 32,
+                batch_queue: 4,
+                anon_shards: 4,
+            },
+            &registry,
+        );
+        assert!(!bytes.is_empty());
+        let snap = registry.snapshot();
+        let batches = stats.records.div_ceil(32);
+        // Every batch visits every shard; the assembler reassembles each
+        // exactly once.
+        assert_eq!(snap.counter("anon.shard.batches_total"), batches * 4);
+        assert_eq!(
+            snap.histogram("stage.shard.service_ns").unwrap().count,
+            batches * 4
+        );
+        assert_eq!(
+            snap.histogram("stage.assemble.service_ns").unwrap().count,
+            batches
+        );
+        // Each id is resolved by exactly one shard, so the summed
+        // resolution counts cover at least one clientID per record (the
+        // peer) without double counting.
+        assert!(snap.counter("anon.shard.client_ids_total") >= stats.records);
+        // The mixed workload carries fileIDs, so the aggregated bucket
+        // probe work is visible.
+        assert!(snap.counter("anon.shard.inserts_total") > 0);
+        assert!(snap.counter("anon.shard.probes_total") > 0);
+        // Record accounting still runs through the shared tail stages.
+        assert_eq!(snap.counter("stage.format.records_total"), stats.records);
+        assert_eq!(snap.counter("stage.sink.records_total"), stats.records);
+        // All shard-pool queues fully drained at exit.
+        assert_eq!(snap.gauge("chan.shard_in.depth"), 0);
+        assert_eq!(snap.gauge("chan.shard_out.depth"), 0);
+        assert_eq!(snap.gauge("chan.asm_in.depth"), 0);
+    }
+
+    #[test]
+    fn sharded_tail_rejects_bad_shard_count() {
+        let result = std::panic::catch_unwind(|| {
+            batched_dataset(
+                frames_for(&mixed_msgs(4)),
+                1,
+                &PipelineOptions::default(),
+                TailConfig {
+                    batch_records: 8,
+                    batch_queue: 2,
+                    anon_shards: 3,
+                },
+                &Registry::disabled(),
+            )
+        });
+        assert!(result.is_err(), "non-power-of-two shard count must panic");
     }
 
     #[test]
@@ -1700,6 +2384,7 @@ mod tests {
             TailConfig {
                 batch_records: 5,
                 batch_queue: 2,
+                anon_shards: 4,
             },
             DatasetWriter::resume(prefix, cp.records, cp_bytes),
             |c, b| tail_cps.push((c, b)),

@@ -25,6 +25,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(NoWallClock),
         Box::new(NoPanicHotPath),
         Box::new(NoAllocHotLoop),
+        Box::new(NoUnboundedChannel),
         Box::new(AtomicsOrderingAudit),
         Box::new(OpcodeCoverage),
         Box::new(VendoredDepBoundary),
@@ -458,6 +459,7 @@ fn hex_ranges(t: &[Token]) -> Vec<(u64, u64)> {
 /// fall back to it on a pool miss.
 const HOT_LOOP_FILES: &[&str] = &[
     "crates/core/src/pipeline.rs",
+    "crates/anonymize/src/shard.rs",
     "crates/edonkey/src/decoder.rs",
     "crates/xmlout/src/encode.rs",
     "crates/xmlout/src/escape.rs",
@@ -602,6 +604,75 @@ fn loop_body_spans(t: &[Token]) -> Vec<(usize, usize)> {
 }
 
 // ---------------------------------------------------------------------------
+// no-unbounded-channel
+// ---------------------------------------------------------------------------
+
+/// Files where every queue between pipeline stages must be a
+/// `telemetry::channel::metered_bounded` channel: the shard fan-out made
+/// channel topology load-bearing, and an unmetered queue is invisible to
+/// the health monitor (no depth gauge, no stall accounting) while an
+/// unbounded one turns backpressure into unbounded memory growth.
+const CHANNEL_FILES: &[&str] = &[
+    "crates/core/src/pipeline.rs",
+    "crates/core/src/campaign.rs",
+    "crates/anonymize/src/shard.rs",
+];
+
+/// Raw channel constructors. `metered_bounded` is a single identifier,
+/// so the sanctioned wrapper never matches.
+const CHANNEL_CTORS: &[&str] = &["bounded", "unbounded", "channel", "sync_channel"];
+
+/// Flags raw channel construction (`bounded(..)`, `unbounded(..)`,
+/// `mpsc::channel()`, `sync_channel(..)`) in pipeline/shard files.
+/// Buffer-recycling pools are the accepted exception — they are bounded,
+/// non-blocking by construction (`try_send`/`try_recv` only), and not
+/// work queues — and each pool site carries an `allow` saying so.
+pub struct NoUnboundedChannel;
+
+impl Rule for NoUnboundedChannel {
+    fn name(&self) -> &'static str {
+        "no-unbounded-channel"
+    }
+    fn description(&self) -> &'static str {
+        "raw bounded()/unbounded()/channel() construction in pipeline/shard files; use telemetry metered_bounded"
+    }
+    fn check_file(&self, ctx: &FileContext, out: &mut LintSink) {
+        if !CHANNEL_FILES.contains(&ctx.rel_path.as_str()) {
+            return;
+        }
+        let t = &ctx.tokens;
+        for i in 0..t.len() {
+            if t[i].kind != TokenKind::Ident
+                || !CHANNEL_CTORS.contains(&t[i].text.as_str())
+                || ctx.in_test_code(t[i].line)
+            {
+                continue;
+            }
+            // A call site: `ctor(` or turbofished `ctor::<T>(`.
+            let called = t.get(i + 1).is_some_and(|n| is_punct(n, "("))
+                || (i + 3 < t.len()
+                    && is_punct(&t[i + 1], ":")
+                    && is_punct(&t[i + 2], ":")
+                    && is_punct(&t[i + 3], "<"));
+            if !called {
+                continue;
+            }
+            ctx.report(
+                out,
+                self.name(),
+                &t[i],
+                format!(
+                    "raw `{}(..)` channel in a pipeline/shard file is invisible \
+                     to the health monitor; use telemetry::channel::metered_bounded, \
+                     or justify a non-blocking recycling pool with an allow comment",
+                    t[i].text
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // vendored-dep-boundary
 // ---------------------------------------------------------------------------
 
@@ -702,6 +773,61 @@ mod tests {
             assert_eq!(ctx.tokens[a].line, 3);
             assert_eq!(ctx.tokens[b].line, 3);
         }
+    }
+
+    #[test]
+    fn raw_channels_flagged_only_in_pipeline_files() {
+        let src = "fn f() { let (tx, rx) = crossbeam::channel::bounded::<u8>(4); }";
+        let sink = lint_one("crates/core/src/pipeline.rs", src);
+        assert!(
+            sink.diagnostics
+                .iter()
+                .any(|d| d.rule == "no-unbounded-channel"),
+            "{:?}",
+            sink.diagnostics
+        );
+        // Same construction outside the channel-topology files is fine.
+        let sink = lint_one("crates/server/src/lib.rs", src);
+        assert!(sink
+            .diagnostics
+            .iter()
+            .all(|d| d.rule != "no-unbounded-channel"));
+        // The sanctioned wrapper is a single identifier — never matches.
+        let sink = lint_one(
+            "crates/core/src/pipeline.rs",
+            "fn f(r: &Registry) { let (tx, rx) = metered_bounded::<u8>(4, r, \"q\"); }",
+        );
+        assert!(sink
+            .diagnostics
+            .iter()
+            .all(|d| d.rule != "no-unbounded-channel"));
+        // A justified recycling pool is suppressed (and accounted).
+        let sink = lint_one(
+            "crates/core/src/pipeline.rs",
+            "fn f() {\n    // etwlint: allow(no-unbounded-channel): recycling pool\n    \
+             let (tx, rx) = crossbeam::channel::bounded::<u8>(4);\n}",
+        );
+        assert!(sink
+            .diagnostics
+            .iter()
+            .all(|d| d.rule != "no-unbounded-channel"));
+        assert!(sink
+            .suppressed
+            .iter()
+            .any(|d| d.rule == "no-unbounded-channel"));
+        // `mpsc::channel()` (unbounded) is flagged; a path segment named
+        // `channel` is not.
+        let sink = lint_one(
+            "crates/core/src/pipeline.rs",
+            "use telemetry::channel::metered_bounded;\nfn f() { let (tx, rx) = std::sync::mpsc::channel::<u8>(); }",
+        );
+        assert_eq!(
+            sink.diagnostics
+                .iter()
+                .filter(|d| d.rule == "no-unbounded-channel")
+                .count(),
+            1
+        );
     }
 
     #[test]

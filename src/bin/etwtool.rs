@@ -7,7 +7,7 @@
 //! etwtool head       <dataset[.etwz]> [N]    print the first N records
 //! etwtool compress   <in.xml> <out.etwz>     LZSS storage codec
 //! etwtool decompress <in.etwz> <out.xml>
-//! etwtool monitor    [--tiny] [--weeks N]    run a campaign with live telemetry
+//! etwtool monitor    [--tiny] [--weeks N] [--shards N]  run a campaign with live telemetry
 //! etwtool lint       [--json] [--list]       repo-specific static analysis (etwlint)
 //! etwtool checkpoint-inspect <file.etwckpt>  describe a resume checkpoint sidecar
 //! etwtool spec                               print the format specification
@@ -235,17 +235,24 @@ fn cmd_merge(args: &[String]) -> Result<(), String> {
 /// keeping up (or not) with its own virtual link.
 ///
 /// ```text
-/// etwtool monitor [--tiny] [--weeks N] [--refresh-ms MS] [--prom FILE]
+/// etwtool monitor [--tiny] [--weeks N] [--shards N] [--refresh-ms MS] [--prom FILE]
 /// ```
 fn cmd_monitor(args: &[String]) -> Result<(), String> {
     let mut tiny = false;
     let mut weeks = 1u64;
+    let mut shards = 1usize;
     let mut refresh_ms = 500u64;
     let mut prom: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--tiny" => tiny = true,
+            "--shards" => {
+                shards = it
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or("--shards needs a power of two in 1..=16")?
+            }
             "--weeks" => {
                 weeks = it
                     .next()
@@ -278,14 +285,25 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
 
     // Drive the batched tail (anonymise→format→write) so the monitor
     // shows the formatter/writer stage counters; the dataset itself goes
-    // to a sink — monitoring is about vitals, not output.
+    // to a sink — monitoring is about vitals, not output. `--shards N`
+    // routes the anonymise stage through the shard pool, lighting up the
+    // q_sh/q_asm columns.
+    let tail = TailConfig {
+        anon_shards: shards,
+        ..TailConfig::default()
+    };
+    if !edonkey_ten_weeks::anonymize::shard::shard_count_valid(shards) {
+        return Err(format!(
+            "--shards must be a power of two in 1..=16, got {shards}"
+        ));
+    }
     let registry = Registry::new();
     let worker_registry = registry.clone();
     let worker = std::thread::spawn(move || {
         try_run_campaign_to_writer(
             &config,
             &worker_registry,
-            TailConfig::default(),
+            tail,
             DatasetWriter::new(std::io::sink()).expect("sink write"),
             |_| {},
         )
@@ -448,7 +466,8 @@ fn print_status_line(snap: &Snapshot, prev: &Snapshot, refresh_ms: u64, total_se
     println!(
         "virt {:>7}s/{} ({:>5.1}%) | frames {:>11} ({:>9.0}/s) | records {:>11} | \
          fmt {:>8} batch {:>6.1} MB ({:>7.0} rec/s) | wr {:>6.1} MB | \
-         lost {:>6} | q_in {:>4} | q_fmt {:>3} | q_wr {:>3} | stalls {:>4}",
+         lost {:>6} | q_in {:>4} | q_sh {:>3} | q_asm {:>3} | q_fmt {:>3} | q_wr {:>3} | \
+         stalls {:>4}",
         virtual_secs,
         grouped(total_secs),
         virtual_secs as f64 * 100.0 / total_secs.max(1) as f64,
@@ -461,6 +480,11 @@ fn print_status_line(snap: &Snapshot, prev: &Snapshot, refresh_ms: u64, total_se
         snap.counter("stage.write.bytes_total") as f64 / 1e6,
         snap.counter("ring.lost_total"),
         snap.gauge("chan.decode_in.depth"),
+        // Shard-pool vitals: fan-out depth (shard_in + shard_out share
+        // the pool's channels) and the assembler's batch queue. Flat
+        // zero on a serial (--shards 1) run.
+        snap.gauge("chan.shard_in.depth") + snap.gauge("chan.shard_out.depth"),
+        snap.gauge("chan.asm_in.depth"),
         snap.gauge("chan.fmt_in.depth"),
         snap.gauge("chan.write_in.depth"),
         snap.counter("chan.decode_in.stalls_total"),

@@ -19,11 +19,17 @@
 //!   and resumed from its checkpoint, and the fault-ledger assertions;
 //!   exits nonzero if the rebuilt dataset is not byte-identical or any
 //!   ledger fails
-//! * `bench [--smoke] [--baseline FILE] [--bench-out FILE]` — the
-//!   throughput suite (decode-only, tail-only serial vs batched,
-//!   end-to-end) plus steady-state allocations/record in the formatter;
-//!   writes `BENCH_PR4.json` (smoke mode instead gates against the
-//!   committed baseline and fails on a >20% end-to-end regression)
+//! * `bench [--smoke|--record] [--baseline FILE] [--bench-out FILE]` —
+//!   the throughput suite (decode-only, tail-only serial vs batched,
+//!   anonymise-only serial vs sharded, end-to-end) plus steady-state
+//!   allocations/record in the formatter; `--record` writes the
+//!   committable `BENCH_PR5.json` baseline (smoke mode instead gates
+//!   against the newest committed `BENCH_PR<k>.json` and fails on a
+//!   >20% end-to-end regression)
+//! * `matrix` — the CI campaign matrix: clientID widths {2^24, 2^16} ×
+//!   anonymiser shard counts {1, 4}; within each width every shard
+//!   count must produce the byte-identical dataset and the identical
+//!   checkpoint cuts; exits nonzero on any divergence
 //! * `all`  — everything, sharing one campaign run
 //!
 //! Each figure writes a gnuplot-ready `.dat` series under `--out`
@@ -69,11 +75,17 @@ struct Args {
     soak_seed: Option<u64>,
     /// `bench`: CI mode — short runs, gate against the baseline.
     smoke: bool,
-    /// `bench`: baseline report to gate against (default BENCH_PR4.json).
+    /// `bench`: write the committable `BENCH_PR5.json` baseline.
+    record: bool,
+    /// `bench`: baseline report to gate against (default: the newest
+    /// committed `BENCH_PR<k>.json`).
     baseline: Option<PathBuf>,
     /// `bench`: where to write the fresh report.
     bench_out: Option<PathBuf>,
 }
+
+/// Where `repro bench --record` writes the baseline this PR commits.
+const RECORD_PATH: &str = "BENCH_PR5.json";
 
 fn parse_args() -> Args {
     let mut tiny = false;
@@ -83,6 +95,7 @@ fn parse_args() -> Args {
     let mut faults = false;
     let mut soak_seed = None;
     let mut smoke = false;
+    let mut record = false;
     let mut baseline = None;
     let mut bench_out = None;
     let mut argv = std::env::args().skip(1);
@@ -91,6 +104,7 @@ fn parse_args() -> Args {
             "--tiny" => tiny = true,
             "--faults" => faults = true,
             "--smoke" => smoke = true,
+            "--record" => record = true,
             "--baseline" => {
                 baseline = Some(PathBuf::from(argv.next().unwrap_or_else(|| {
                     eprintln!("--baseline needs a file");
@@ -125,7 +139,8 @@ fn parse_args() -> Args {
                 println!(
                     "usage: repro [--tiny] [--weeks N] [--out DIR] \
                      <t1|fig2|fig3|fig4..fig8|health|soak [--faults]|\
-                     bench [--smoke] [--baseline FILE] [--bench-out FILE]|all>"
+                     bench [--smoke|--record] [--baseline FILE] [--bench-out FILE]|\
+                     matrix|all>"
                 );
                 std::process::exit(0);
             }
@@ -140,6 +155,7 @@ fn parse_args() -> Args {
         faults,
         soak_seed,
         smoke,
+        record,
         baseline,
         bench_out,
     }
@@ -154,6 +170,10 @@ fn main() {
     }
     if args.what == "bench" {
         bench(&args);
+        return;
+    }
+    if args.what == "matrix" {
+        matrix();
         return;
     }
     let needs_campaign = args.what != "fig2";
@@ -483,20 +503,44 @@ impl Gate {
     }
 }
 
+/// The newest committed baseline: the `BENCH_PR<k>.json` in the working
+/// directory with the highest `k`. Discovering it by number (instead of
+/// hardcoding the previous PR's file) means each PR that records a new
+/// baseline automatically becomes the gate for the next one.
+fn newest_baseline() -> Option<PathBuf> {
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in fs::read_dir(".").ok()?.flatten() {
+        let name = entry.file_name();
+        let k = name
+            .to_string_lossy()
+            .strip_prefix("BENCH_PR")
+            .and_then(|r| r.strip_suffix(".json"))
+            .and_then(|k| k.parse::<u64>().ok());
+        if let Some(k) = k {
+            if best.as_ref().is_none_or(|(b, _)| k > *b) {
+                best = Some((k, entry.path()));
+            }
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
 /// The benchmark trajectory gate (`repro bench`), run by ci.sh in smoke
 /// mode:
 ///
 /// 1. the suite — decode-only, tail-only (serial `write_record` vs
-///    batched zero-alloc encoder) and end-to-end throughput, plus
+///    batched zero-alloc encoder), anonymise-only (serial scheme vs the
+///    clientID/fileID shard pool) and end-to-end throughput, plus
 ///    steady-state allocations/record in the formatter (measured via the
 ///    counting global allocator this binary installs);
 /// 2. the self-checks — batched tail ≥ 2× the serial writer on `tiny`,
-///    zero steady-state allocations/record;
+///    sharded anonymiser ≥ 1.5× the serial scheme, zero steady-state
+///    allocations/record;
 /// 3. `--smoke` only: the trajectory gate — end-to-end records/sec must
-///    stay within 20% of the committed `BENCH_PR4.json`.
+///    stay within 20% of the newest committed `BENCH_PR<k>.json`.
 ///
-/// A full run (no `--smoke`) rewrites `BENCH_PR4.json`; commit it to
-/// move the baseline. Exits nonzero on any failure.
+/// `--record` rewrites `BENCH_PR5.json`; commit it to move the
+/// baseline. Exits nonzero on any failure.
 fn bench(args: &Args) {
     println!(
         "== bench: capture-machine throughput{} ==",
@@ -515,18 +559,28 @@ fn bench(args: &Args) {
             batched.records_per_sec
         );
     }
+    if let (Some(serial), Some(sharded)) = (
+        report.find("anonymize_serial", "mix"),
+        report.find("anonymize_shard4", "mix"),
+    ) {
+        println!(
+            "  anonymise speedup: {:.2}x (serial {:.0} -> 4 shards {:.0} records/s)",
+            sharded.records_per_sec / serial.records_per_sec,
+            serial.records_per_sec,
+            sharded.records_per_sec
+        );
+    }
 
     let mut failures = suite::self_checks(&report);
     if args.smoke {
-        let baseline_path = args
-            .baseline
-            .clone()
-            .unwrap_or_else(|| PathBuf::from("BENCH_PR4.json"));
-        let baseline = fs::read_to_string(&baseline_path)
-            .ok()
-            .and_then(|s| BenchReport::from_json(&s));
-        match baseline {
-            Some(baseline) => {
+        let baseline_path = args.baseline.clone().or_else(newest_baseline);
+        let baseline = baseline_path.as_ref().and_then(|p| {
+            fs::read_to_string(p)
+                .ok()
+                .and_then(|s| BenchReport::from_json(&s))
+        });
+        match (baseline_path, baseline) {
+            (Some(baseline_path), Some(baseline)) => {
                 let gate = suite::trajectory_gate(&report, &baseline);
                 if gate.is_empty() {
                     println!(
@@ -537,18 +591,25 @@ fn bench(args: &Args) {
                 }
                 failures.extend(gate);
             }
-            None => failures.push(format!(
-                "no usable baseline at {} (run `repro bench` and commit it)",
+            (Some(baseline_path), None) => failures.push(format!(
+                "baseline {} unreadable (run `repro bench --record` and commit it)",
                 baseline_path.display()
             )),
+            (None, _) => failures.push(
+                "no committed BENCH_PR<k>.json baseline found \
+                 (run `repro bench --record` and commit it)"
+                    .to_owned(),
+            ),
         }
     }
 
     let out_path = args.bench_out.clone().unwrap_or_else(|| {
-        if args.smoke {
+        if args.record {
+            PathBuf::from(RECORD_PATH)
+        } else if args.smoke {
             args.out.join("bench_smoke.json")
         } else {
-            PathBuf::from("BENCH_PR4.json")
+            args.out.join("bench.json")
         }
     });
     fs::write(&out_path, report.to_json()).expect("write bench report");
@@ -559,6 +620,119 @@ fn bench(args: &Args) {
     } else {
         eprintln!("bench FAILED: {} violation(s)", failures.len());
         for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// The CI campaign matrix (`repro matrix`), run by ci.sh: a faulty
+/// campaign smoke at every cell of clientID width {2^24, 2^16} ×
+/// anonymiser shard count {1, 4}, each streamed through the batched
+/// tail with checkpoints. Within a width, every shard count must
+/// produce the byte-identical dataset and the identical checkpoint
+/// cuts as the serial (1-shard) cell — the sharded anonymiser's
+/// portability guarantee, exercised at both the narrow test width and
+/// the wide default where clientIDs stripe across every shard's
+/// sub-table. Exits nonzero on any divergence.
+fn matrix() {
+    use edonkey_ten_weeks::core::campaign::try_run_campaign_to_writer;
+    use edonkey_ten_weeks::core::pipeline::TailConfig;
+    use edonkey_ten_weeks::xmlout::writer::DatasetWriter;
+
+    const WIDTHS: [u32; 2] = [24, 16];
+    const SHARDS: [usize; 2] = [1, 4];
+    println!("== matrix: clientID width x anonymiser shard count ==");
+    let mut gate = Gate {
+        failures: Vec::new(),
+    };
+    println!(
+        "  {:<8} {:>6} {:>9} {:>11} {:>7}  verdict",
+        "width", "shards", "records", "bytes", "wall_s"
+    );
+    for width in WIDTHS {
+        let mut config = CampaignConfig::tiny_faulty();
+        config.population.id_space_bits = width;
+        config.client_space_bits = width;
+        config.generator.duration_secs = 600;
+        config.checkpoint_interval_secs = 120;
+        let mut reference: Option<(Vec<u8>, Vec<Checkpoint>, u64)> = None;
+        for shards in SHARDS {
+            let tail = TailConfig {
+                anon_shards: shards,
+                ..TailConfig::default()
+            };
+            // etwlint: allow(no-wall-clock): operator-facing elapsed-time
+            // print in the binary, not simulation state.
+            let started = Instant::now();
+            let mut cps: Vec<Checkpoint> = Vec::new();
+            let (report, writer) = try_run_campaign_to_writer(
+                &config,
+                &Registry::disabled(),
+                tail,
+                DatasetWriter::new(Vec::new()).expect("vec write"),
+                |cp| cps.push(cp),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("invalid matrix configuration: {e}");
+                std::process::exit(2);
+            });
+            let bytes = writer.finish().expect("vec write");
+            let verdict = match &reference {
+                None => "reference".to_owned(),
+                Some((ref_bytes, ref_cps, _)) => {
+                    if &bytes == ref_bytes && &cps == ref_cps {
+                        "identical".to_owned()
+                    } else {
+                        "DIVERGED".to_owned()
+                    }
+                }
+            };
+            println!(
+                "  2^{width:<6} {shards:>6} {:>9} {:>11} {:>7.2}  {verdict}",
+                grouped(report.records),
+                grouped(bytes.len() as u64),
+                started.elapsed().as_secs_f64()
+            );
+            match &reference {
+                None => {
+                    gate.check(
+                        cps.len() >= 2,
+                        &format!("width 2^{width}: campaign cut at least 2 checkpoints"),
+                    );
+                    gate.check(
+                        report.records > 0,
+                        &format!("width 2^{width}: campaign produced records"),
+                    );
+                    reference = Some((bytes, cps, report.records));
+                }
+                Some((ref_bytes, ref_cps, ref_records)) => {
+                    gate.check(
+                        report.records == *ref_records,
+                        &format!("width 2^{width}, {shards} shards: record count matches 1 shard"),
+                    );
+                    gate.check(
+                        &bytes == ref_bytes,
+                        &format!(
+                            "width 2^{width}, {shards} shards: dataset byte-identical to 1 shard"
+                        ),
+                    );
+                    gate.check(
+                        &cps == ref_cps,
+                        &format!(
+                            "width 2^{width}, {shards} shards: checkpoint cuts identical to 1 shard"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    if gate.failures.is_empty() {
+        println!("matrix OK ({} cells)", WIDTHS.len() * SHARDS.len());
+    } else {
+        eprintln!("matrix FAILED: {} violation(s)", gate.failures.len());
+        for f in &gate.failures {
             eprintln!("  - {f}");
         }
         std::process::exit(1);

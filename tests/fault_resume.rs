@@ -129,23 +129,29 @@ proptest! {
     }
 
     /// The batched tail under kill-anywhere: a campaign run through the
-    /// overlapped anonymise→format→write stage (random batch size) must
-    /// produce the *same bytes and the same checkpoints* as the serial
-    /// writer, and a kill at a random checkpoint resumed through the
-    /// batched tail must rebuild the serial run's dataset byte for byte.
-    /// This is the cross-implementation guarantee that lets `.etwckpt`
-    /// files written by either tail resume through the other.
+    /// overlapped anonymise→format→write stage (random batch size,
+    /// random anonymiser shard count in {1, 2, 4, 8}) must produce the
+    /// *same bytes and the same checkpoints* as the serial writer, and a
+    /// kill at a random checkpoint resumed through the batched tail must
+    /// rebuild the serial run's dataset byte for byte. This is the
+    /// cross-implementation guarantee that lets `.etwckpt` files written
+    /// by any tail at any shard count resume through any other.
     #[test]
     fn killed_batched_campaign_resumes_byte_identical(
         seed in 0u64..1_000,
         batch_records in 1usize..64,
         cp_frac in 0.0f64..1.0,
+        shard_pow in 0u32..4,
     ) {
         let config = small_faulty(seed);
         // The serial run is the reference for bytes and checkpoints.
         let (full, cps, records) = run_writing(&config);
         prop_assert!(cps.len() >= 3, "only {} checkpoints", cps.len());
-        let tail = TailConfig { batch_records, batch_queue: 2 };
+        let tail = TailConfig {
+            batch_records,
+            batch_queue: 2,
+            anon_shards: 1 << shard_pow,
+        };
 
         // Uninterrupted batched run: byte- and checkpoint-identical.
         let mut batched_cps = Vec::new();
@@ -189,14 +195,88 @@ proptest! {
     }
 
     /// The checkpoint sidecar round-trips through its text encoding, so
-    /// what `repro soak` persists is what resume reads back.
+    /// what `repro soak` persists is what resume reads back. Freshly
+    /// encoded sidecars speak version 2.
     #[test]
     fn checkpoint_sidecar_roundtrips(seed in 0u64..1_000) {
         let config = small_faulty(seed);
         let (_, cps, _) = run_writing(&config);
         for cp in &cps {
-            let decoded = Checkpoint::decode(&cp.encode()).expect("roundtrip");
+            let text = cp.encode();
+            prop_assert!(text.starts_with("etwckpt 2\n"));
+            let decoded = Checkpoint::decode(&text).expect("roundtrip");
             prop_assert_eq!(cp, &decoded);
         }
     }
+
+    /// A v1 sidecar — what a PR 4-era run left on disk — restores
+    /// through the *sharded* anonymiser byte-identically: upgrading the
+    /// binary mid-campaign loses nothing.
+    #[test]
+    fn v1_sidecar_resumes_through_sharded_tail(
+        seed in 0u64..1_000,
+        cp_frac in 0.0f64..1.0,
+    ) {
+        let config = small_faulty(seed);
+        let (full, cps, records) = run_writing(&config);
+        prop_assert!(cps.len() >= 3, "only {} checkpoints", cps.len());
+        let cp = &cps[(cp_frac * (cps.len() - 1) as f64) as usize];
+
+        // Round-trip through the legacy flat text: the decoder must
+        // treat the old file exactly like the state it encoded.
+        let decoded = Checkpoint::decode(&encode_v1(cp)).expect("v1 decodes");
+        prop_assert_eq!(cp, &decoded);
+
+        let torn = full[..cp.writer_bytes as usize].to_vec();
+        let (resumed, writer) = try_resume_campaign_to_writer(
+            &config,
+            &Registry::disabled(),
+            &decoded,
+            TailConfig { batch_records: 7, batch_queue: 2, anon_shards: 4 },
+            DatasetWriter::resume(torn, decoded.records, decoded.writer_bytes),
+            |_| {},
+        )
+        .expect("resume accepted");
+        let rebuilt = writer.finish().expect("vec write");
+        prop_assert_eq!(resumed.records + cp.records, records);
+        prop_assert!(rebuilt == full, "v1-resumed sharded dataset diverges");
+    }
+}
+
+/// Renders a checkpoint in the legacy v1 sidecar layout (flat id lists,
+/// global order implicit in line position) — a faithful copy of what the
+/// PR 4 encoder produced, kept here as the compatibility fixture.
+fn encode_v1(cp: &Checkpoint) -> String {
+    fn push_hex(out: &mut String, id: &edonkey_ten_weeks::edonkey::ids::FileId) {
+        for i in 0..16 {
+            out.push_str(&format!("{:02x}", id.byte(i)));
+        }
+        out.push('\n');
+    }
+    let mut out = String::new();
+    out.push_str("etwckpt 1\n");
+    out.push_str(&format!("seed {}\n", cp.seed));
+    out.push_str(&format!("virtual_us {}\n", cp.virtual_us));
+    out.push_str(&format!("next_checkpoint_us {}\n", cp.next_checkpoint_us));
+    out.push_str(&format!("records {}\n", cp.records));
+    out.push_str(&format!("writer_bytes {}\n", cp.writer_bytes));
+    out.push_str(&format!("clients {}\n", cp.client_order.len()));
+    for id in &cp.client_order {
+        out.push_str(&format!("{id}\n"));
+    }
+    out.push_str(&format!("files {}\n", cp.file_order.len()));
+    for id in &cp.file_order {
+        push_hex(&mut out, id);
+    }
+    match &cp.fig3_order {
+        None => out.push_str("fig3 -\n"),
+        Some(order) => {
+            out.push_str(&format!("fig3 {}\n", order.len()));
+            for id in order {
+                push_hex(&mut out, id);
+            }
+        }
+    }
+    out.push_str("end\n");
+    out
 }
