@@ -25,6 +25,7 @@ test|workspace tests|cargo test -q --workspace
 soak|kill+resume byte identity, fault ledgers|cargo run -q --release --bin repro -- soak --faults --out target/soak
 bench|tail + anonymise speedups, trajectory vs newest BENCH_PR*.json|cargo run -q --release --bin repro -- bench --smoke --out target/bench
 matrix|campaign matrix: widths 2^24/2^16 x shards 1/4, byte-identical datasets|cargo run -q --release --bin repro -- matrix
+trace|flight recorder: injected crashes must dump parseable flight_*.etwtrace|cargo run -q --release --bin etwtool -- trace-check --dir target/ci/flight
 clippy|cargo clippy -D warnings|cargo clippy --workspace --all-targets -- -D warnings
 etwlint|repo-specific static analysis|cargo run -q --release -p etwlint
 interleave|exhaustive schedule checks (incl. shard conservation)|cargo test -q -p etw-interleave

@@ -6,7 +6,7 @@ use crate::checkpoint::Checkpoint;
 use crate::config::{CampaignConfig, ConfigError};
 use crate::pipeline::{
     run_capture_pipeline_batched, run_capture_pipeline_with, PipelineOptions, PipelineStats,
-    ResumePoint, TailConfig, TimedFrame,
+    ResumePoint, TailConfig, TimedFrame, TraceOptions,
 };
 use crate::wirepath::{encapsulate, tcp_noise_frame, Direction, SERVER_IP};
 use etw_anonymize::fileid::{BucketedArrays, ByteSelector};
@@ -622,6 +622,18 @@ fn campaign_inner_core<T>(
             next_checkpoint_us: cp.next_checkpoint_us,
         }),
         faults: config.faults.worker_plan(),
+        trace: (config.trace_ring_slots > 0).then(|| {
+            if let Some(dir) = &config.trace_dump_dir {
+                // Best-effort: an unwritable dump dir degrades to
+                // in-memory recording, it never stops the capture.
+                let _ = std::fs::create_dir_all(dir);
+            }
+            TraceOptions {
+                ring_slots: config.trace_ring_slots,
+                dump_dir: config.trace_dump_dir.clone(),
+                ..TraceOptions::default()
+            }
+        }),
     };
 
     // The lossy link sits between the capture tap and the pipeline, so

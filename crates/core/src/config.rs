@@ -137,6 +137,13 @@ pub struct CampaignConfig {
     pub faults: FaultSpec,
     /// Virtual seconds between resume checkpoints (0 disables them).
     pub checkpoint_interval_secs: u64,
+    /// Span events retained per stage-thread flight-recorder ring
+    /// (0 disables the flight recorder entirely).
+    pub trace_ring_slots: usize,
+    /// Directory receiving `flight_*.etwtrace` dumps when a worker
+    /// crashes or degrades, the producer starts shedding, or a
+    /// checkpoint is cut. `None` records in memory only.
+    pub trace_dump_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for CampaignConfig {
@@ -164,6 +171,8 @@ impl Default for CampaignConfig {
             health_interval_secs: 3_600,
             faults: FaultSpec::default(),
             checkpoint_interval_secs: 0,
+            trace_ring_slots: 0,
+            trace_dump_dir: None,
         }
     }
 }

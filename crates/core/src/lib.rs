@@ -44,6 +44,6 @@ pub use checkpoint::{Checkpoint, CheckpointError};
 pub use config::{CampaignConfig, ConfigError};
 pub use pipeline::{
     run_capture_pipeline, run_capture_pipeline_observed, run_capture_pipeline_with,
-    PipelineCheckpoint, PipelineOptions, PipelineStats, ResumePoint, TimedFrame,
+    PipelineCheckpoint, PipelineOptions, PipelineStats, ResumePoint, TimedFrame, TraceOptions,
 };
 pub use summary::{render_t1, t1_key_values};

@@ -28,11 +28,18 @@ use etw_netsim::clock::VirtualTime;
 use etw_netsim::frag::ReassemblyStats;
 use etw_telemetry::channel::{metered_bounded, MeteredReceiver, MeteredSender};
 use etw_telemetry::{Counter, Gauge, Histogram, Registry};
+use etw_trace::ring::{FlightRecorder, SpanRing};
+use etw_trace::{
+    file as trace_file, wall_now_ns, SpanEvent, SpanKind, StageId, StageProfile, StageTimer,
+};
 use etw_xmlout::encode;
 use etw_xmlout::writer::DatasetWriter;
 use std::collections::BTreeMap;
 use std::io::{self, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 /// One captured ethernet frame with its timestamp.
 #[derive(Clone, Debug)]
@@ -130,6 +137,206 @@ pub struct PipelineOptions {
     pub resume: Option<ResumePoint>,
     /// Worker crash injection and overload shedding schedule.
     pub faults: Option<WorkerFaultPlan>,
+    /// Stage-span flight recorder: every stage thread keeps its last N
+    /// span events in a lock-free ring and fault events dump the merged
+    /// recorder to disk. `None` = tracing off (zero cost).
+    pub trace: Option<TraceOptions>,
+}
+
+/// Configuration of the stage-span flight recorder
+/// ([`PipelineOptions::trace`]).
+#[derive(Clone, Debug)]
+pub struct TraceOptions {
+    /// Span events retained per stage-thread ring. The recorder's memory
+    /// is fixed at `lanes × ring_slots × 40` bytes for the whole run.
+    pub ring_slots: usize,
+    /// Directory receiving `flight_<n>_<reason>_<virtual-µs>.etwtrace`
+    /// dumps when a worker crashes, degrades, the producer starts
+    /// shedding, or a checkpoint is cut. `None` records in memory only.
+    pub dump_dir: Option<PathBuf>,
+    /// Cap on dump files per run, so a crash storm cannot fill the disk.
+    pub max_dumps: u32,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions {
+            ring_slots: 256,
+            dump_dir: None,
+            max_dumps: 64,
+        }
+    }
+}
+
+// Ring-lane layout of one pipeline run:
+// `[producer, decode×W, seq, format, write, assemble, shard×S]`.
+// Lanes for stages a particular tail does not spawn stay empty and
+// merge away for free at dump time.
+fn lane_decode(w: usize) -> usize {
+    1 + w
+}
+fn lane_seq(n_workers: usize) -> usize {
+    1 + n_workers
+}
+fn lane_format(n_workers: usize) -> usize {
+    2 + n_workers
+}
+fn lane_write(n_workers: usize) -> usize {
+    3 + n_workers
+}
+fn lane_assemble(n_workers: usize) -> usize {
+    4 + n_workers
+}
+fn lane_shard(n_workers: usize, s: usize) -> usize {
+    5 + n_workers + s
+}
+
+/// Shared flight-recorder state for one pipeline run. Each stage thread
+/// writes its own single-writer ring (lane); any thread may trigger a
+/// dump, which seqlock-snapshots every lane and writes one `.etwtrace`
+/// file without pausing the writers.
+struct TraceCtx {
+    recorder: FlightRecorder,
+    dump_dir: Option<PathBuf>,
+    dumps_left: AtomicU32,
+    dump_seq: AtomicU32,
+    dumps: Counter,
+    dumps_dropped: Counter,
+}
+
+impl TraceCtx {
+    fn new(
+        t: &TraceOptions,
+        n_workers: usize,
+        n_shards: usize,
+        registry: &Registry,
+    ) -> Arc<TraceCtx> {
+        Arc::new(TraceCtx {
+            recorder: FlightRecorder::new(5 + n_workers + n_shards, t.ring_slots),
+            dump_dir: t.dump_dir.clone(),
+            dumps_left: AtomicU32::new(t.max_dumps),
+            dump_seq: AtomicU32::new(0),
+            dumps: registry.counter("trace.dumps_total"),
+            dumps_dropped: registry.counter("trace.dumps_dropped_total"),
+        })
+    }
+
+    fn lane(self: &Arc<Self>, index: usize, worker: u16) -> TraceLane {
+        TraceLane {
+            ring: self.recorder.ring(index),
+            ctx: Arc::clone(self),
+            worker,
+        }
+    }
+
+    /// Snapshots every lane and writes one flight dump, if the per-run
+    /// budget allows and a dump directory was configured.
+    fn dump(&self, reason: &str, virtual_us: u64) {
+        let Some(dir) = &self.dump_dir else { return };
+        let took = self
+            .dumps_left
+            // ordering: Relaxed — the budget is a plain counter; no data
+            // is published through it (rings publish via their seqlocks).
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1));
+        if took.is_err() {
+            self.dumps_dropped.inc();
+            return;
+        }
+        // ordering: Relaxed — only uniqueness of the file ordinal matters.
+        let n = self.dump_seq.fetch_add(1, Ordering::Relaxed);
+        let events = self.recorder.dump();
+        // etwlint: allow(no-alloc-hot-loop): fault path — dumps are
+        // budgeted and never fire on the steady-state path.
+        let path = dir.join(format!("flight_{n:03}_{reason}_{virtual_us}.etwtrace"));
+        if trace_file::write_file(&path, &events).is_ok() {
+            self.dumps.inc();
+        }
+    }
+}
+
+/// One stage thread's handle into the flight recorder.
+#[derive(Clone)]
+struct TraceLane {
+    ctx: Arc<TraceCtx>,
+    ring: Arc<SpanRing>,
+    worker: u16,
+}
+
+/// Per-thread stage instrumentation: the registry-backed
+/// [`StageProfile`] (queue-wait vs service histograms, busy/idle
+/// counters, utilisation gauge) plus an optional flight-recorder lane.
+/// Every method degenerates to a no-op when the registry is disabled
+/// and tracing is off.
+struct StageTrace {
+    stage: StageId,
+    profile: StageProfile,
+    lane: Option<TraceLane>,
+}
+
+impl StageTrace {
+    fn new(registry: &Registry, stage: StageId, lane: Option<TraceLane>) -> StageTrace {
+        StageTrace {
+            stage,
+            profile: StageProfile::new(registry, stage),
+            lane,
+        }
+    }
+
+    /// Starts the wait phase; call before blocking on the input queue.
+    fn begin(&self) -> StageTimer {
+        self.profile.begin()
+    }
+
+    /// Wait ended, service begins. Returns the wall clock at service
+    /// start for the flight-recorder span (0 when untraced).
+    fn service_begin(&self, t: &mut StageTimer) -> u64 {
+        self.profile.note_wait(t);
+        if self.lane.is_some() {
+            wall_now_ns()
+        } else {
+            0
+        }
+    }
+
+    /// Service ended: closes the histogram sample and records the span.
+    fn service_end(&self, t: &mut StageTimer, arg: u32, virtual_us: u64, wall0: u64, items: u64) {
+        self.profile.note_service(t, items);
+        if let Some(lane) = &self.lane {
+            let end = wall_now_ns();
+            lane.ring.record(SpanEvent::new(
+                self.stage,
+                SpanKind::Service,
+                lane.worker,
+                arg,
+                virtual_us,
+                end,
+                end.saturating_sub(wall0),
+            ));
+        }
+    }
+
+    /// Records an instantaneous (zero-duration) event in the lane.
+    fn event(&self, kind: SpanKind, arg: u32, virtual_us: u64) {
+        if let Some(lane) = &self.lane {
+            lane.ring.record(SpanEvent::new(
+                self.stage,
+                kind,
+                lane.worker,
+                arg,
+                virtual_us,
+                wall_now_ns(),
+                0,
+            ));
+        }
+    }
+
+    /// Records `kind`, then dumps the merged recorder (budgeted).
+    fn event_dump(&self, kind: SpanKind, reason: &str, arg: u32, virtual_us: u64) {
+        self.event(kind, arg, virtual_us);
+        if let Some(lane) = &self.lane {
+            lane.ctx.dump(reason, virtual_us);
+        }
+    }
 }
 
 /// Sizing knobs for the batched tail ([`run_capture_pipeline_batched`]).
@@ -328,11 +535,26 @@ where
         silence_injected_crashes();
     }
 
+    let trace_ctx = opts
+        .trace
+        .as_ref()
+        .map(|t| TraceCtx::new(t, n_workers, 0, registry));
     crossbeam::thread::scope(|scope| {
-        let (out_rx, producer, handles) =
-            spawn_front(scope, frames, n_workers, registry, opts.faults.clone());
+        let (out_rx, producer, handles) = spawn_front(
+            scope,
+            frames,
+            n_workers,
+            registry,
+            opts.faults.clone(),
+            trace_ctx.clone(),
+        );
 
         // Sink: restore sequence order, then anonymise sequentially.
+        let seq_trace = StageTrace::new(
+            registry,
+            StageId::Reorder,
+            trace_ctx.as_ref().map(|c| c.lane(lane_seq(n_workers), 0)),
+        );
         let sink = SinkTelemetry {
             reorder_depth: registry.gauge("stage.reorder.depth"),
             reorder_depth_hwm: registry.gauge("stage.reorder.depth_hwm"),
@@ -352,7 +574,9 @@ where
         let mut consumed = 0u64;
         let mut reorder: BTreeMap<u64, Option<DecodedMsg>> = BTreeMap::new();
         let mut next_seq = 0u64;
-        for WorkerOut::Step(seq, decoded) in out_rx.iter() {
+        let mut pt = seq_trace.begin();
+        while let Ok(WorkerOut::Step(seq, decoded)) = out_rx.recv() {
+            let w0 = seq_trace.service_begin(&mut pt);
             reorder.insert(seq, decoded);
             while let Some(decoded) = reorder.remove(&next_seq) {
                 next_seq += 1;
@@ -363,6 +587,12 @@ where
                     // During the resume skip phase this never fires: the
                     // restored boundary lies past every skipped message.
                     next_cp = (d.ts.0 / cp_interval + 1) * cp_interval;
+                    seq_trace.event_dump(
+                        SpanKind::Checkpoint,
+                        "checkpoint",
+                        consumed as u32,
+                        last_ts,
+                    );
                     on_checkpoint(PipelineCheckpoint {
                         virtual_us: last_ts,
                         next_checkpoint_us: next_cp,
@@ -411,6 +641,7 @@ where
             if depth > sink.reorder_depth_hwm.get() {
                 sink.reorder_depth_hwm.set(depth);
             }
+            seq_trace.service_end(&mut pt, depth as u32, last_ts, w0, 1);
         }
         debug_assert!(reorder.is_empty(), "holes in the sequence space");
 
@@ -597,9 +828,19 @@ where
         silence_injected_crashes();
     }
 
+    let trace_ctx = opts
+        .trace
+        .as_ref()
+        .map(|t| TraceCtx::new(t, n_workers, 0, registry));
     let (writer, io_err) = crossbeam::thread::scope(|scope| {
-        let (out_rx, producer, handles) =
-            spawn_front(scope, frames, n_workers, registry, opts.faults.clone());
+        let (out_rx, producer, handles) = spawn_front(
+            scope,
+            frames,
+            n_workers,
+            registry,
+            opts.faults.clone(),
+            trace_ctx.clone(),
+        );
 
         // Tail plumbing: batches flow seq → format → write over metered
         // channels; emptied buffers flow back through unmetered pools so
@@ -628,6 +869,9 @@ where
             rec_pool_tx.clone(),
             buf_pool_rx,
             true,
+            trace_ctx
+                .as_ref()
+                .map(|c| c.lane(lane_format(n_workers), 0)),
         );
         let writer_thread = spawn_tail_writer(
             scope,
@@ -636,9 +880,15 @@ where
             buf_pool_tx,
             writer,
             on_checkpoint,
+            trace_ctx.as_ref().map(|c| c.lane(lane_write(n_workers), 0)),
         );
 
         // Sequential stage: restore sequence order, stage batches.
+        let seq_trace = StageTrace::new(
+            registry,
+            StageId::Reorder,
+            trace_ctx.as_ref().map(|c| c.lane(lane_seq(n_workers), 0)),
+        );
         let sink = SinkTelemetry {
             reorder_depth: registry.gauge("stage.reorder.depth"),
             reorder_depth_hwm: registry.gauge("stage.reorder.depth_hwm"),
@@ -659,7 +909,9 @@ where
         let mut staging: Vec<DecodedMsg> = Vec::with_capacity(tail.batch_records);
         let mut dirs = (0u64, 0u64);
         let mut tail_failed = false;
-        for WorkerOut::Step(seq, decoded) in out_rx.iter() {
+        let mut pt = seq_trace.begin();
+        while let Ok(WorkerOut::Step(seq, decoded)) = out_rx.recv() {
+            let w0 = seq_trace.service_begin(&mut pt);
             reorder.insert(seq, decoded);
             while let Some(decoded) = reorder.remove(&next_seq) {
                 next_seq += 1;
@@ -671,6 +923,12 @@ where
                     // and the marker rides the same ordered queues, so
                     // the writer stamps it at exactly that offset.
                     next_cp = (d.ts.0 / cp_interval + 1) * cp_interval;
+                    seq_trace.event_dump(
+                        SpanKind::Checkpoint,
+                        "checkpoint",
+                        consumed as u32,
+                        last_ts,
+                    );
                     if !tail_failed {
                         tail_failed = !flush_tail_batch(
                             &mut staging,
@@ -734,6 +992,7 @@ where
             if depth > sink.reorder_depth_hwm.get() {
                 sink.reorder_depth_hwm.set(depth);
             }
+            seq_trace.service_end(&mut pt, depth as u32, last_ts, w0, 1);
         }
         debug_assert!(reorder.is_empty(), "holes in the sequence space");
         if !tail_failed {
@@ -790,6 +1049,7 @@ where
 /// tail); without it they keep their contents, because the sharded
 /// assembler overwrites records in place and the stale records *are* its
 /// allocation pool.
+#[allow(clippy::too_many_arguments)]
 fn spawn_tail_formatter<'scope, 'env>(
     scope: &crossbeam::thread::Scope<'scope, 'env>,
     registry: &Registry,
@@ -798,6 +1058,7 @@ fn spawn_tail_formatter<'scope, 'env>(
     rec_pool_back: crossbeam::channel::Sender<Vec<AnonRecord>>,
     buf_pool_rx: crossbeam::channel::Receiver<Vec<u8>>,
     clear_records: bool,
+    lane: Option<TraceLane>,
 ) -> crossbeam::thread::ScopedJoinHandle<'scope, ()> {
     let fmt = FormatTelemetry {
         batches: registry.counter("stage.format.batches_total"),
@@ -805,9 +1066,12 @@ fn spawn_tail_formatter<'scope, 'env>(
         bytes: registry.counter("stage.format.bytes_total"),
         service_ns: registry.histogram("stage.format.service_ns"),
     };
+    let trace = StageTrace::new(registry, StageId::Format, lane);
     scope.spawn(move |_| {
-        for item in fmt_rx.iter() {
-            match item {
+        let mut pt = trace.begin();
+        while let Ok(item) = fmt_rx.recv() {
+            let w0 = trace.service_begin(&mut pt);
+            let ok = match item {
                 FormatItem::Batch(mut recs) => {
                     let mut buf = buf_pool_rx
                         .try_recv()
@@ -820,19 +1084,21 @@ fn spawn_tail_formatter<'scope, 'env>(
                     fmt.records.add(recs.len() as u64);
                     fmt.bytes.add(buf.len() as u64);
                     let records = recs.len() as u64;
+                    let last_us = recs.last().map_or(0, |r| r.ts_us);
                     if clear_records {
                         recs.clear();
                     }
                     let _ = rec_pool_back.try_send(recs);
-                    if write_tx.send(WriteItem::Bytes { buf, records }).is_err() {
-                        break;
-                    }
+                    trace.service_end(&mut pt, records as u32, last_us, w0, records);
+                    write_tx.send(WriteItem::Bytes { buf, records }).is_ok()
                 }
                 FormatItem::Checkpoint(cp) => {
-                    if write_tx.send(WriteItem::Checkpoint(cp)).is_err() {
-                        break;
-                    }
+                    trace.service_end(&mut pt, cp.records as u32, cp.virtual_us, w0, 0);
+                    write_tx.send(WriteItem::Checkpoint(cp)).is_ok()
                 }
+            };
+            if !ok {
+                break;
             }
         }
     })
@@ -841,6 +1107,7 @@ fn spawn_tail_formatter<'scope, 'env>(
 /// Spawns the writer stage: flushes buffers in sequence, stamps
 /// checkpoints with the exact dataset offset, recycles buffers. On an io
 /// error it keeps draining (without writing) so upstream never stalls.
+#[allow(clippy::too_many_arguments)]
 fn spawn_tail_writer<'scope, 'env, W, F>(
     scope: &crossbeam::thread::Scope<'scope, 'env>,
     registry: &Registry,
@@ -848,6 +1115,7 @@ fn spawn_tail_writer<'scope, 'env, W, F>(
     buf_pool_tx: crossbeam::channel::Sender<Vec<u8>>,
     writer: DatasetWriter<W>,
     mut on_checkpoint: F,
+    lane: Option<TraceLane>,
 ) -> crossbeam::thread::ScopedJoinHandle<'scope, (DatasetWriter<W>, Option<io::Error>)>
 where
     W: Write + Send + 'scope,
@@ -858,10 +1126,13 @@ where
         bytes: registry.counter("stage.write.bytes_total"),
         flush_ns: registry.histogram("stage.write.flush_ns"),
     };
+    let trace = StageTrace::new(registry, StageId::Write, lane);
     scope.spawn(move |_| {
         let mut w = writer;
         let mut io_err: Option<io::Error> = None;
-        for item in write_rx.iter() {
+        let mut pt = trace.begin();
+        while let Ok(item) = write_rx.recv() {
+            let w0 = trace.service_begin(&mut pt);
             match item {
                 WriteItem::Bytes { mut buf, records } => {
                     if io_err.is_none() {
@@ -877,10 +1148,14 @@ where
                     }
                     buf.clear();
                     let _ = buf_pool_tx.try_send(buf);
+                    trace.service_end(&mut pt, records as u32, 0, w0, records);
                 }
                 WriteItem::Checkpoint(cp) => {
                     if io_err.is_none() {
+                        let virtual_us = cp.virtual_us;
+                        let records = cp.records;
                         on_checkpoint(cp, w.bytes_written());
+                        trace.service_end(&mut pt, records as u32, virtual_us, w0, 0);
                     }
                 }
             }
@@ -987,9 +1262,19 @@ where
     {
         silence_injected_crashes();
     }
+    let trace_ctx = opts
+        .trace
+        .as_ref()
+        .map(|t| TraceCtx::new(t, n_workers, n_shards, registry));
     let (writer, io_err, asm) = crossbeam::thread::scope(|scope| {
-        let (out_rx, producer, handles) =
-            spawn_front(scope, frames, n_workers, registry, opts.faults.clone());
+        let (out_rx, producer, handles) = spawn_front(
+            scope,
+            frames,
+            n_workers,
+            registry,
+            opts.faults.clone(),
+            trace_ctx.clone(),
+        );
 
         // Tail plumbing. Metered, bounded work queues; unmetered bounded
         // pool channels flow emptied buffers back upstream so steady
@@ -1024,6 +1309,9 @@ where
             rec_pool_tx.clone(),
             buf_pool_rx,
             false,
+            trace_ctx
+                .as_ref()
+                .map(|c| c.lane(lane_format(n_workers), 0)),
         );
         let writer_thread = spawn_tail_writer(
             scope,
@@ -1032,6 +1320,7 @@ where
             buf_pool_tx,
             writer,
             on_checkpoint,
+            trace_ctx.as_ref().map(|c| c.lane(lane_write(n_workers), 0)),
         );
 
         // Shard pool: every worker owns a disjoint slice of both id
@@ -1046,7 +1335,7 @@ where
         let shard_ns = registry.histogram("stage.shard.service_ns");
         let mut shard_txs = Vec::with_capacity(n_shards);
         let mut shard_handles = Vec::with_capacity(n_shards);
-        for mut set in shard_sets {
+        for (sindex, mut set) in shard_sets.into_iter().enumerate() {
             let (tx, rx) = metered_bounded::<std::sync::Arc<ShardBatch>>(
                 tail.batch_queue,
                 registry,
@@ -1061,8 +1350,17 @@ where
                 shard_fids.clone(),
                 shard_ns.clone(),
             );
+            let trace = StageTrace::new(
+                registry,
+                StageId::Shard,
+                trace_ctx
+                    .as_ref()
+                    .map(|c| c.lane(lane_shard(n_workers, sindex), sindex as u16)),
+            );
             shard_handles.push(scope.spawn(move |_| {
-                for batch in rx.iter() {
+                let mut pt = trace.begin();
+                while let Ok(batch) = rx.recv() {
+                    let w0 = trace.service_begin(&mut pt);
                     let (mut cres, mut fres) = res_pool
                         .lock()
                         // etwlint: allow(no-panic-hot-path): lock poisoning implies another pipeline thread already panicked
@@ -1075,11 +1373,13 @@ where
                     batches.inc();
                     cids.add(cres.len() as u64);
                     fids.add(fres.len() as u64);
+                    let last_us = batch.msgs.last().map_or(0, |d| d.ts.0);
                     let r = ShardResult {
                         seq: batch.seq,
                         clients: cres,
                         files: fres,
                     };
+                    trace.service_end(&mut pt, batch.seq as u32, last_us, w0, 1);
                     if out.send(r).is_err() {
                         break;
                     }
@@ -1095,11 +1395,20 @@ where
         // in place, and hand them to the formatter.
         let (asm_tx, asm_rx) = metered_bounded::<AsmItem>(tail.batch_queue, registry, "asm_in");
         let asm_ns = registry.histogram("stage.assemble.service_ns");
+        let asm_trace = StageTrace::new(
+            registry,
+            StageId::Assemble,
+            trace_ctx
+                .as_ref()
+                .map(|c| c.lane(lane_assemble(n_workers), 0)),
+        );
         let asm_thread = scope.spawn(move |_| {
             let mut asm = assembler;
             let mut stash: BTreeMap<u64, Vec<ShardResult>> = BTreeMap::new();
             let mut failed = false;
-            for item in asm_rx.iter() {
+            let mut pt = asm_trace.begin();
+            while let Ok(item) = asm_rx.recv() {
+                let w0 = asm_trace.service_begin(&mut pt);
                 match item {
                     AsmItem::Batch(arc) => {
                         let mut got = stash.remove(&arc.seq).unwrap_or_default();
@@ -1142,6 +1451,7 @@ where
                             }
                         }
                         failed = fmt_tx.send(FormatItem::Batch(recs)).is_err();
+                        let (bseq, last_us) = (arc.seq, arc.msgs.last().map_or(0, |d| d.ts.0));
                         // All shards have dropped their handles by the
                         // time their results are in; reclaim the batch
                         // buffers (racy against a shard's loop tail —
@@ -1149,6 +1459,7 @@ where
                         if let Ok(b) = std::sync::Arc::try_unwrap(arc) {
                             let _ = batch_pool_tx.try_send(b);
                         }
+                        asm_trace.service_end(&mut pt, bseq as u32, last_us, w0, 1);
                     }
                     AsmItem::Checkpoint {
                         virtual_us,
@@ -1171,6 +1482,7 @@ where
                                 fig3_order,
                             }))
                             .is_err();
+                        asm_trace.service_end(&mut pt, records as u32, virtual_us, w0, 0);
                     }
                 }
             }
@@ -1179,6 +1491,11 @@ where
 
         // Sequential stage: restore capture order, run the visit pass
         // while staging, fan out batches.
+        let seq_trace = StageTrace::new(
+            registry,
+            StageId::Reorder,
+            trace_ctx.as_ref().map(|c| c.lane(lane_seq(n_workers), 0)),
+        );
         let sink = SinkTelemetry {
             reorder_depth: registry.gauge("stage.reorder.depth"),
             reorder_depth_hwm: registry.gauge("stage.reorder.depth_hwm"),
@@ -1243,7 +1560,9 @@ where
             }
             asm_tx.send(AsmItem::Batch(arc)).is_ok()
         };
-        for WorkerOut::Step(seq, decoded) in out_rx.iter() {
+        let mut pt = seq_trace.begin();
+        while let Ok(WorkerOut::Step(seq, decoded)) = out_rx.recv() {
+            let w0 = seq_trace.service_begin(&mut pt);
             reorder.insert(seq, decoded);
             while let Some(decoded) = reorder.remove(&next_seq) {
                 next_seq += 1;
@@ -1253,6 +1572,12 @@ where
                     // flushed first — exactly as the serial tail. The
                     // assembler completes the marker with the orders.
                     next_cp = (d.ts.0 / cp_interval + 1) * cp_interval;
+                    seq_trace.event_dump(
+                        SpanKind::Checkpoint,
+                        "checkpoint",
+                        consumed as u32,
+                        last_ts,
+                    );
                     if !tail_failed {
                         tail_failed = !flush(
                             &mut cur,
@@ -1314,6 +1639,7 @@ where
             if depth > sink.reorder_depth_hwm.get() {
                 sink.reorder_depth_hwm.set(depth);
             }
+            seq_trace.service_end(&mut pt, depth as u32, last_ts, w0, 1);
         }
         debug_assert!(reorder.is_empty(), "holes in the sequence space");
         if !tail_failed {
@@ -1424,6 +1750,7 @@ fn spawn_front<'scope, 'env, I>(
     n_workers: usize,
     registry: &Registry,
     faults: Option<WorkerFaultPlan>,
+    trace_ctx: Option<Arc<TraceCtx>>,
 ) -> FrontHandles<'scope>
 where
     I: Iterator<Item = TimedFrame> + Send + 'scope,
@@ -1449,10 +1776,17 @@ where
         worker_txs.push(tx);
         let out_tx = out_tx.clone();
         let telemetry = decode_telemetry.clone();
+        let trace = StageTrace::new(
+            registry,
+            StageId::Decode,
+            trace_ctx
+                .as_ref()
+                .map(|c| c.lane(lane_decode(windex), windex as u16)),
+        );
         let supervision = faults
             .clone()
             .map(|plan| (windex, plan, fault_telemetry.clone()));
-        handles.push(scope.spawn(move |_| worker_loop(rx, out_tx, telemetry, supervision)));
+        handles.push(scope.spawn(move |_| worker_loop(rx, out_tx, telemetry, trace, supervision)));
     }
     drop(out_tx);
 
@@ -1463,17 +1797,41 @@ where
     // on the (deterministic) frame stream, never on queue timing.
     let produced = registry.counter("stage.producer.frames_total");
     let shed = registry.counter("pipeline.shed_total");
+    let producer_lane = trace_ctx.as_ref().map(|c| c.lane(0, 0));
     let producer_plan = faults;
     let producer = scope.spawn(move |_| {
         let mut seq = 0u64;
         let mut offered = 0u64;
         let mut shed_count = 0u64;
+        // Shed dumps are deduplicated per overload *burst*: within a
+        // window the kept-every-Nth frames interleave with shed ones,
+        // so contiguity can't delimit the burst — a virtual-time gap
+        // larger than any intra-window stride can.
+        const SHED_BURST_GAP_US: u64 = 5_000_000;
+        let mut last_shed_us: Option<u64> = None;
         for frame in frames {
             offered += 1;
             if let Some(plan) = &producer_plan {
                 if plan.should_shed(frame.ts.0, offered) {
                     shed.inc();
                     shed_count += 1;
+                    if let Some(lane) = &producer_lane {
+                        lane.ring.record(SpanEvent::new(
+                            StageId::Producer,
+                            SpanKind::Shed,
+                            0,
+                            offered as u32,
+                            frame.ts.0,
+                            wall_now_ns(),
+                            0,
+                        ));
+                        let new_burst = last_shed_us
+                            .is_none_or(|t| frame.ts.0.saturating_sub(t) > SHED_BURST_GAP_US);
+                        if new_burst {
+                            lane.ctx.dump("shed", frame.ts.0);
+                        }
+                    }
+                    last_shed_us = Some(frame.ts.0);
                     continue;
                 }
             }
@@ -1538,6 +1896,7 @@ fn worker_loop(
     rx: MeteredReceiver<(u64, TimedFrame)>,
     out: MeteredSender<WorkerOut>,
     telemetry: DecodeTelemetry,
+    trace: StageTrace,
     supervision: Option<(usize, WorkerFaultPlan, WorkerFaultTelemetry)>,
 ) -> WorkerStats {
     let mut wire = WireDecoder::new();
@@ -1547,9 +1906,11 @@ fn worker_loop(
     let mut restarts = 0u32;
     let mut backoff_left = 0u64;
     let mut degraded = false;
-    for (seq, frame) in rx.iter() {
+    let mut pt = trace.begin();
+    while let Ok((seq, frame)) = rx.recv() {
         received += 1;
         telemetry.frames.inc();
+        let w0 = trace.service_begin(&mut pt);
         let t = telemetry.service_ns.start();
         let decoded = match &supervision {
             None => process_frame(&mut wire, &mut decoder, &mut ws, &frame),
@@ -1585,13 +1946,21 @@ fn worker_loop(
                             merge_reassembly(&mut ws.reassembly, &wire.reassembly_stats());
                             wire = WireDecoder::new();
                             decoder = Decoder::new();
+                            trace.event_dump(SpanKind::Crash, "crash", received as u32, frame.ts.0);
                             if restarts >= plan.max_restarts {
                                 degraded = true;
                                 faults.degraded.inc();
+                                trace.event_dump(
+                                    SpanKind::Degraded,
+                                    "degraded",
+                                    restarts,
+                                    frame.ts.0,
+                                );
                             } else {
                                 restarts += 1;
                                 faults.restarts.inc();
                                 backoff_left = plan.backoff_after(restarts);
+                                trace.event(SpanKind::Restart, restarts, frame.ts.0);
                             }
                             None
                         }
@@ -1600,6 +1969,7 @@ fn worker_loop(
             }
         };
         telemetry.service_ns.record_since(t);
+        trace.service_end(&mut pt, seq as u32, frame.ts.0, w0, 1);
         if out.send(WorkerOut::Step(seq, decoded)).is_err() {
             break;
         }
@@ -1946,6 +2316,7 @@ mod tests {
             checkpoint_interval_us: 0,
             resume: None,
             faults: Some(plan),
+            trace: None,
         };
         let registry = Registry::new();
         let run_once = |registry: &Registry| {
@@ -1980,6 +2351,91 @@ mod tests {
     }
 
     #[test]
+    fn traced_faulty_run_dumps_flight_files_and_output_is_unchanged() {
+        let frames = frames_for(&query_msgs(300));
+        let plan = WorkerFaultPlan {
+            crash_every: 40,
+            max_restarts: 1,
+            backoff_frames: 2,
+            backoff_cap: 8,
+            overload: vec![etw_faults::Window {
+                start_us: 50_000_000,
+                end_us: 80_000_000,
+            }],
+            shed_keep_every: 2,
+        };
+        let dir = std::env::temp_dir().join("etw-trace-flight-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = PipelineOptions {
+            checkpoint_interval_us: 60_000_000,
+            resume: None,
+            faults: Some(plan),
+            trace: None,
+        };
+        let traced = PipelineOptions {
+            trace: Some(TraceOptions {
+                ring_slots: 64,
+                dump_dir: Some(dir.clone()),
+                max_dumps: 16,
+            }),
+            ..base.clone()
+        };
+        let run = |opts: &PipelineOptions| {
+            let mut records = Vec::new();
+            let (stats, _, _) = run_capture_pipeline_with(
+                frames.clone().into_iter(),
+                2,
+                PaperScheme::paper(16),
+                None,
+                &Registry::new(),
+                opts,
+                |r| records.push(r),
+                |_| {},
+            );
+            (stats, records)
+        };
+        let (stats_plain, recs_plain) = run(&base);
+        let (stats_traced, recs_traced) = run(&traced);
+        // Tracing is a pure observer: identical stats and records.
+        assert_eq!(recs_traced, recs_plain);
+        assert_eq!(stats_traced.shed, stats_plain.shed);
+        assert_eq!(stats_traced.records, stats_plain.records);
+
+        // Crashes, the shed burst and checkpoint cuts each dumped a
+        // flight file; every dump parses and the merged events include
+        // service spans and the fault markers.
+        let mut dumps: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        dumps.sort();
+        assert!(!dumps.is_empty(), "no flight dumps written");
+        let names: Vec<String> = dumps
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        for reason in ["_crash_", "_shed_", "_checkpoint_"] {
+            assert!(
+                names.iter().any(|n| n.contains(reason)),
+                "no {reason} dump among {names:?}"
+            );
+        }
+        let mut kinds = std::collections::BTreeSet::new();
+        for p in &dumps {
+            let events = trace_file::read_file(p).unwrap();
+            assert!(!events.is_empty(), "empty flight dump {p:?}");
+            for ev in &events {
+                kinds.insert(ev.kind().expect("valid kind").name());
+            }
+        }
+        assert!(kinds.contains("service"), "kinds: {kinds:?}");
+        assert!(kinds.contains("CRASH"), "kinds: {kinds:?}");
+        assert!(kinds.contains("checkpoint"), "kinds: {kinds:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn supervised_workers_crash_restart_then_degrade() {
         let frames = frames_for(&query_msgs(400));
         let plan = WorkerFaultPlan {
@@ -1994,6 +2450,7 @@ mod tests {
             checkpoint_interval_us: 0,
             resume: None,
             faults: Some(plan),
+            trace: None,
         };
         let registry = Registry::new();
         let mut records = Vec::new();
@@ -2039,6 +2496,7 @@ mod tests {
             checkpoint_interval_us: 60_000_000, // every virtual minute
             resume: None,
             faults: None,
+            trace: None,
         };
         let mut full = Vec::new();
         let mut cuts = Vec::new();
@@ -2083,6 +2541,7 @@ mod tests {
                 next_checkpoint_us: cp.next_checkpoint_us,
             }),
             faults: None,
+            trace: None,
         };
         let mut tail = Vec::new();
         let mut tail_cuts = Vec::new();
@@ -2180,6 +2639,7 @@ mod tests {
             checkpoint_interval_us: 60_000_000,
             resume: None,
             faults: None,
+            trace: None,
         };
         let (serial, serial_cps, sstats) = serial_dataset(frames.clone(), 2, &opts);
         assert!(serial_cps.len() >= 3, "want several checkpoint cuts");
@@ -2354,6 +2814,7 @@ mod tests {
             checkpoint_interval_us: 60_000_000,
             resume: None,
             faults: None,
+            trace: None,
         };
         let (full, cps, _) = serial_dataset(frames.clone(), 2, &opts);
         let (cp, cp_bytes) = cps[1].clone();
@@ -2371,6 +2832,7 @@ mod tests {
                 next_checkpoint_us: cp.next_checkpoint_us,
             }),
             faults: None,
+            trace: None,
         };
         let prefix = full[..cp_bytes as usize].to_vec();
         let mut tail_cps = Vec::new();

@@ -45,8 +45,9 @@ fn is_punct(t: &Token, text: &str) -> bool {
 // ---------------------------------------------------------------------------
 
 /// Bans `Instant::now()` and any `SystemTime` use outside the telemetry
-/// crate (which owns the wall-clock/virtual-time boundary), benches, and
-/// tests. Simulation and decode code must derive time from
+/// and trace crates (which own the wall-clock/virtual-time boundary —
+/// stage spans carry both clocks by design), benches, and tests.
+/// Simulation and decode code must derive time from
 /// `netsim::clock::VirtualTime` so runs stay deterministic and
 /// replayable.
 pub struct NoWallClock;
@@ -54,6 +55,7 @@ pub struct NoWallClock;
 impl NoWallClock {
     fn exempt(path: &str) -> bool {
         path.starts_with("crates/telemetry/")
+            || path.starts_with("crates/trace/")
             || path.starts_with("crates/bench/")
             || path.contains("/tests/")
             || path.starts_with("tests/")
@@ -461,6 +463,8 @@ const HOT_LOOP_FILES: &[&str] = &[
     "crates/core/src/pipeline.rs",
     "crates/anonymize/src/shard.rs",
     "crates/edonkey/src/decoder.rs",
+    "crates/trace/src/lib.rs",
+    "crates/trace/src/ring.rs",
     "crates/xmlout/src/encode.rs",
     "crates/xmlout/src/escape.rs",
     "crates/xmlout/src/writer.rs",
@@ -616,6 +620,9 @@ const CHANNEL_FILES: &[&str] = &[
     "crates/core/src/pipeline.rs",
     "crates/core/src/campaign.rs",
     "crates/anonymize/src/shard.rs",
+    "crates/trace/src/lib.rs",
+    "crates/trace/src/ring.rs",
+    "crates/trace/src/ops.rs",
 ];
 
 /// Raw channel constructors. `metered_bounded` is a single identifier,

@@ -1,0 +1,205 @@
+//! Exhaustive interleaving checks over the flight recorder's seqlock
+//! span rings.
+//!
+//! The supervisor dumps the merged recorder *while workers are still
+//! recording* — on a crash, a shed burst, a checkpoint cut. The dump
+//! must never surface a torn span (payload words from two different
+//! events) and never lose a span that was committed before the cut.
+//! These models drive the stepwise write protocol
+//! ([`SpanRing::begin_write`] / [`SpanRing::write_payload`] /
+//! [`SpanRing::commit_write`]) one atomic step at a time, with a dump
+//! step racing it, over **every** schedule.
+//!
+//! The final test is the deliberately broken fixture: a writer that
+//! commits *before* storing its payload — exactly the bug the seqlock's
+//! odd-while-writing discipline prevents — proving the checker finds
+//! the schedule where the dump reads a published-but-unwritten slot.
+
+use etw_interleave::{multinomial, Model, Step};
+use etw_trace::ring::{SpanRing, WriteTicket};
+use etw_trace::{SpanEvent, SpanKind, StageId};
+use std::sync::Arc;
+
+/// An event whose four payload words are all derived from `arg`, so a
+/// torn read (words from two different events, or a half-written slot)
+/// is detectable from the event alone.
+fn ev(worker: u16, arg: u32) -> SpanEvent {
+    SpanEvent::new(
+        StageId::Decode,
+        SpanKind::Service,
+        worker,
+        arg,
+        arg as u64 * 3,
+        arg as u64 * 10,
+        arg as u64 * 7,
+    )
+}
+
+/// `Ok` iff the event's payload words agree with its `arg` — the
+/// self-consistency a torn read would break.
+fn coherent(e: &SpanEvent) -> Result<(), String> {
+    let a = e.arg() as u64;
+    if e.virtual_us == a * 3 && e.end_wall_ns == a * 10 && e.dur_ns == a * 7 {
+        Ok(())
+    } else {
+        Err(format!(
+            "torn span: arg {} with words ({}, {}, {})",
+            a, e.virtual_us, e.end_wall_ns, e.dur_ns
+        ))
+    }
+}
+
+/// Shared state: two single-writer rings, the writers' in-flight
+/// tickets, the set of args committed so far, and what the supervisor's
+/// dump cut observed (paired with the committed-set at the cut).
+struct State {
+    rings: [Arc<SpanRing>; 2],
+    tickets: [Option<WriteTicket>; 2],
+    committed: Vec<u32>,
+    dump: Option<(Vec<SpanEvent>, Vec<u32>)>,
+}
+
+/// Args of the events pre-filled into the rings during setup — spans
+/// committed long before the cut, which no schedule may lose.
+const PREFILL: [u32; 2] = [11, 21];
+
+fn setup() -> State {
+    let rings = [Arc::new(SpanRing::new(4)), Arc::new(SpanRing::new(4))];
+    for (w, ring) in rings.iter().enumerate() {
+        ring.record(ev(w as u16, PREFILL[w]));
+    }
+    State {
+        rings,
+        tickets: [None, None],
+        committed: PREFILL.to_vec(),
+        dump: None,
+    }
+}
+
+/// The conforming write protocol as three model steps: claim (slot goes
+/// odd), store payload, commit (slot goes even, head advances).
+fn writer_steps(w: usize, arg: u32) -> Vec<Step<State>> {
+    vec![
+        Box::new(move |s: &mut State| {
+            s.tickets[w] = Some(s.rings[w].begin_write());
+        }),
+        Box::new(move |s: &mut State| {
+            let ticket = s.tickets[w].as_ref().expect("begin before payload");
+            s.rings[w].write_payload(ticket, ev(w as u16, arg));
+        }),
+        Box::new(move |s: &mut State| {
+            let ticket = s.tickets[w].take().expect("begin before commit");
+            s.rings[w].commit_write(ticket);
+            s.committed.push(arg);
+        }),
+    ]
+}
+
+/// The supervisor's dump cut as one step: merge both rings' snapshots
+/// and remember what was committed at that instant.
+fn dump_step() -> Vec<Step<State>> {
+    vec![Box::new(|s: &mut State| {
+        let mut merged = s.rings[0].snapshot();
+        merged.extend(s.rings[1].snapshot());
+        s.dump = Some((merged, s.committed.clone()));
+    })]
+}
+
+/// Every dumped span must be coherent and must have been committed; no
+/// span committed before the cut may be missing.
+fn dump_is_exact(s: &State) -> Result<(), String> {
+    let Some((dump, committed_at_cut)) = &s.dump else {
+        return Ok(()); // cut not reached yet on this schedule
+    };
+    for e in dump {
+        coherent(e)?;
+        if !s.committed.contains(&e.arg()) {
+            return Err(format!("dump surfaced uncommitted span arg {}", e.arg()));
+        }
+    }
+    for arg in committed_at_cut {
+        if !dump.iter().any(|e| e.arg() == *arg) {
+            return Err(format!("span arg {arg} committed before the cut but lost"));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn dump_cut_sees_no_torn_or_lost_span_on_any_schedule() {
+    // Two workers mid-write (3 protocol steps each) + one supervisor
+    // cutting a dump: 7!/(3!·3!·1!) = 140 schedules. On every one, the
+    // dump contains the two pre-filled spans, each committed span, and
+    // nothing torn or uncommitted.
+    let model = Model::new(setup)
+        .thread("worker-0", writer_steps(0, 12))
+        .thread("worker-1", writer_steps(1, 22))
+        .thread("supervisor", dump_step())
+        .invariant("dump-is-exact", dump_is_exact)
+        .check_final("cut-happened", |s: &mut State| {
+            let (dump, at_cut) = s.dump.as_ref().expect("supervisor always cuts");
+            // Sanity on the final state too: all four spans committed,
+            // and the cut saw at least the prefill.
+            if s.committed.len() != 4 {
+                return Err(format!("expected 4 commits, saw {:?}", s.committed));
+            }
+            if at_cut.len() < PREFILL.len() || dump.len() < PREFILL.len() {
+                return Err(format!(
+                    "cut lost the prefill: dump {} spans, {} committed at cut",
+                    dump.len(),
+                    at_cut.len()
+                ));
+            }
+            Ok(())
+        });
+    let report = model
+        .run()
+        .expect("seqlock protocol holds on all schedules");
+    assert_eq!(report.schedules, multinomial(&[3, 3, 1]));
+    assert_eq!(report.schedules, 140);
+    assert_eq!(report.steps, 140 * 7);
+}
+
+#[test]
+fn broken_commit_before_payload_is_caught() {
+    // The broken fixture: worker-0 publishes the slot as stable (commit)
+    // *before* storing its payload. A dump between those two steps reads
+    // a committed-looking slot holding the previous generation's bytes —
+    // a span the writer never wrote at this generation. The checker must
+    // find that schedule and name the uncommitted/incoherent span.
+    let broken_writer: Vec<Step<State>> = vec![
+        Box::new(|s: &mut State| {
+            s.tickets[0] = Some(s.rings[0].begin_write());
+        }),
+        Box::new(|s: &mut State| {
+            // Bug under test: commit first, claim the span as durable.
+            let ticket = s.tickets[0].take().expect("begin before commit");
+            s.rings[0].commit_write(ticket);
+            s.committed.push(12);
+        }),
+        Box::new(|s: &mut State| {
+            // Payload lands only after the commit already published it.
+            // (The ticket is spent; model the late store via a fresh
+            // generation-correct write of the same slot words — by then
+            // a concurrent dump has already read the stale payload.)
+            s.rings[0].record(ev(0, 12));
+        }),
+    ];
+    let model = Model::new(setup)
+        .thread("worker-0-broken", broken_writer)
+        .thread("supervisor", dump_step())
+        .invariant("dump-is-exact", dump_is_exact);
+    let violation = model
+        .run()
+        .expect_err("checker must catch the torn publish");
+    assert_eq!(violation.check, "dump-is-exact");
+    // The early commit publishes the slot's stale (never-written) words
+    // as a stable span: the dump surfaces a span nobody committed, and
+    // the span the writer claimed to commit is missing.
+    assert!(
+        violation.message.contains("uncommitted")
+            || violation.message.contains("lost")
+            || violation.message.contains("torn"),
+        "unexpected diagnosis: {violation}"
+    );
+}

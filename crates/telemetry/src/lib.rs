@@ -19,6 +19,9 @@
 //!   factor, full metric snapshot) from the registry.
 //! * [`Snapshot::render_prometheus`] — text exposition of a snapshot in
 //!   the Prometheus format, for scraping or offline diffing.
+//! * [`prom`] — the inverse: a parser for the text exposition format,
+//!   so tests can prove the rendering (and the `/metrics` endpoint)
+//!   round-trips instead of string-matching a few lines.
 
 #![warn(missing_docs)]
 
@@ -30,6 +33,7 @@ use std::time::Instant;
 
 pub mod channel;
 pub mod health;
+pub mod prom;
 
 /// Number of log₂ buckets in a [`Histogram`]: one per possible
 /// `bit_length(value)` for a `u64`, plus one for zero.

@@ -1,0 +1,210 @@
+//! The `.etwtrace` dump format: a compact binary container for a
+//! merged flight-recorder dump, plus the pretty-printer behind
+//! `etwtool trace-dump`.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic "ETWTRACE"
+//! 8       4     version (currently 1)
+//! 12      4     event count N
+//! 16      32×N  events: virtual_us, end_wall_ns, dur_ns, packed (u64 LE each)
+//! ```
+
+use crate::SpanEvent;
+use std::io::Write;
+use std::path::Path;
+
+/// File magic, first eight bytes of every dump.
+pub const MAGIC: &[u8; 8] = b"ETWTRACE";
+
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Bytes per serialised event.
+pub const EVENT_BYTES: usize = 32;
+
+/// Why a dump failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceFileError {
+    /// Shorter than the fixed header.
+    TooShort,
+    /// The first eight bytes are not [`MAGIC`].
+    BadMagic,
+    /// A version this reader does not understand.
+    BadVersion(u32),
+    /// The body length disagrees with the header's event count.
+    Truncated {
+        /// Events the header promised.
+        expected: u32,
+        /// Whole events actually present.
+        got: u32,
+    },
+}
+
+impl std::fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceFileError::TooShort => write!(f, "shorter than the 16-byte header"),
+            TraceFileError::BadMagic => write!(f, "missing ETWTRACE magic"),
+            TraceFileError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            TraceFileError::Truncated { expected, got } => {
+                write!(f, "header promises {expected} events but body holds {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {}
+
+/// Serialises a dump to bytes.
+pub fn to_bytes(events: &[SpanEvent]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + events.len() * EVENT_BYTES);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(events.len() as u32).to_le_bytes());
+    for ev in events {
+        out.extend_from_slice(&ev.virtual_us.to_le_bytes());
+        out.extend_from_slice(&ev.end_wall_ns.to_le_bytes());
+        out.extend_from_slice(&ev.dur_ns.to_le_bytes());
+        out.extend_from_slice(&ev.packed.to_le_bytes());
+    }
+    out
+}
+
+/// Parses a dump from bytes.
+pub fn from_bytes(bytes: &[u8]) -> Result<Vec<SpanEvent>, TraceFileError> {
+    if bytes.len() < 16 {
+        return Err(TraceFileError::TooShort);
+    }
+    if &bytes[..8] != MAGIC {
+        return Err(TraceFileError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(TraceFileError::BadVersion(version));
+    }
+    let expected = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    let body = &bytes[16..];
+    let got = (body.len() / EVENT_BYTES) as u32;
+    if got < expected || !body.len().is_multiple_of(EVENT_BYTES) {
+        return Err(TraceFileError::Truncated { expected, got });
+    }
+    let word =
+        |chunk: &[u8], i: usize| u64::from_le_bytes(chunk[i * 8..(i + 1) * 8].try_into().unwrap());
+    Ok(body
+        .chunks_exact(EVENT_BYTES)
+        .take(expected as usize)
+        .map(|c| SpanEvent {
+            virtual_us: word(c, 0),
+            end_wall_ns: word(c, 1),
+            dur_ns: word(c, 2),
+            packed: word(c, 3),
+        })
+        .collect())
+}
+
+/// Writes a dump to `path` (create/truncate).
+pub fn write_file(path: &Path, events: &[SpanEvent]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&to_bytes(events))?;
+    f.flush()
+}
+
+/// Reads and parses a dump from `path`.
+pub fn read_file(path: &Path) -> Result<Vec<SpanEvent>, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    from_bytes(&bytes).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Renders a dump as the `etwtool trace-dump` table: one line per
+/// event, wall-ordered, with both clocks and the decoded stage, kind,
+/// worker and argument.
+pub fn render_dump(events: &[SpanEvent]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>14} {:>14} {:>11} {:<10} {:<10} {:>6} {:>10}",
+        "wall_ns", "virtual_us", "dur_ns", "stage", "kind", "worker", "arg"
+    );
+    for ev in events {
+        let _ = writeln!(
+            out,
+            "{:>14} {:>14} {:>11} {:<10} {:<10} {:>6} {:>10}",
+            ev.end_wall_ns,
+            ev.virtual_us,
+            ev.dur_ns,
+            ev.stage().map_or("?", |s| s.name()),
+            ev.kind().map_or("?", |k| k.name()),
+            ev.worker(),
+            ev.arg()
+        );
+    }
+    let _ = writeln!(out, "{} event(s)", events.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SpanKind, StageId};
+
+    fn sample() -> Vec<SpanEvent> {
+        vec![
+            SpanEvent::new(StageId::Decode, SpanKind::Service, 1, 42, 1_000, 500, 120),
+            SpanEvent::new(StageId::Shard, SpanKind::Crash, 2, 4017, 2_000, 900, 0),
+        ]
+    }
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let events = sample();
+        let bytes = to_bytes(&events);
+        assert_eq!(bytes.len(), 16 + 2 * EVENT_BYTES);
+        assert_eq!(from_bytes(&bytes).unwrap(), events);
+    }
+
+    #[test]
+    fn empty_dump_round_trips() {
+        let bytes = to_bytes(&[]);
+        assert_eq!(from_bytes(&bytes).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn rejects_corrupt_inputs() {
+        assert_eq!(from_bytes(b"short"), Err(TraceFileError::TooShort));
+        let mut bad = to_bytes(&sample());
+        bad[0] = b'X';
+        assert_eq!(from_bytes(&bad), Err(TraceFileError::BadMagic));
+        let mut bad = to_bytes(&sample());
+        bad[8] = 9;
+        assert_eq!(from_bytes(&bad), Err(TraceFileError::BadVersion(9)));
+        let good = to_bytes(&sample());
+        let torn = &good[..good.len() - 8];
+        assert!(matches!(
+            from_bytes(torn),
+            Err(TraceFileError::Truncated {
+                expected: 2,
+                got: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn file_round_trip_and_render() {
+        let dir = std::env::temp_dir().join("etwtrace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flight_test.etwtrace");
+        let events = sample();
+        write_file(&path, &events).unwrap();
+        assert_eq!(read_file(&path).unwrap(), events);
+        let text = render_dump(&events);
+        assert!(text.contains("decode"));
+        assert!(text.contains("CRASH"));
+        assert!(text.contains("4017"));
+        assert!(text.contains("2 event(s)"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,301 @@
+//! The live ops surface: a tiny dependency-free blocking HTTP listener
+//! serving the campaign's vitals.
+//!
+//! Two endpoints, both read-only:
+//!
+//! * `/health.json` — the current metric snapshot as JSON (counters,
+//!   gauges, histogram summaries).
+//! * `/metrics` — the same snapshot in the Prometheus text exposition,
+//!   reusing [`etw_telemetry::Snapshot::render_prometheus`].
+//!
+//! The listener is deliberately primitive: one thread, sequential
+//! blocking accepts, a bounded read with a timeout per connection. A
+//! malformed request gets a `400`, an unknown path a `404`, and a
+//! client that drops mid-request costs nothing but the read timeout —
+//! the serve loop never dies with its connection. Request parsing is
+//! pure ([`respond`]) so tests cover routing without sockets.
+
+use etw_telemetry::{Registry, Snapshot};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Where the ops endpoints get their snapshots. Implemented by
+/// [`RegistryOps`] for a live registry; tests implement it with canned
+/// strings.
+pub trait OpsSource: Send + Sync {
+    /// The `/health.json` body.
+    fn health_json(&self) -> String;
+    /// The `/metrics` body (Prometheus text exposition).
+    fn metrics_text(&self) -> String;
+}
+
+/// An [`OpsSource`] reading a live [`Registry`].
+pub struct RegistryOps {
+    registry: Registry,
+}
+
+impl RegistryOps {
+    /// Serves snapshots of `registry`.
+    pub fn new(registry: Registry) -> RegistryOps {
+        RegistryOps { registry }
+    }
+}
+
+impl OpsSource for RegistryOps {
+    fn health_json(&self) -> String {
+        snapshot_health_json(&self.registry.snapshot())
+    }
+
+    fn metrics_text(&self) -> String {
+        self.registry.snapshot().render_prometheus()
+    }
+}
+
+/// Renders a snapshot as the `/health.json` document: counters and
+/// gauges verbatim, histograms summarised (count, sum, mean, p50, p99,
+/// min, max).
+pub fn snapshot_health_json(snap: &Snapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\"counters\":{");
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        let comma = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{comma}\"{}\":{v}", json_escape(name));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, v)) in snap.gauges.iter().enumerate() {
+        let comma = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{comma}\"{}\":{v}", json_escape(name));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        let comma = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{comma}\"{}\":{{\"count\":{},\"sum\":{},\"mean\":{:.1},\"p50\":{},\"p99\":{},\"min\":{},\"max\":{}}}",
+            json_escape(name),
+            h.count,
+            h.sum,
+            h.mean(),
+            h.quantile(0.50),
+            h.quantile(0.99),
+            h.min,
+            h.max
+        );
+    }
+    out.push_str("}}");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds the full HTTP response for one request head (everything up
+/// to the blank line). Pure, so tests exercise the routing and error
+/// paths without a socket. Returns `(status, response_bytes)`.
+pub fn respond(request_head: &str, src: &dyn OpsSource) -> (u16, Vec<u8>) {
+    let mut parts = request_head.lines().next().unwrap_or("").split_whitespace();
+    let (method, path, version) = (parts.next(), parts.next(), parts.next());
+    let (Some(method), Some(path), Some(version)) = (method, path, version) else {
+        return error_response(400, "malformed request line");
+    };
+    if !version.starts_with("HTTP/") {
+        return error_response(400, "not an HTTP request");
+    }
+    if method != "GET" {
+        return error_response(405, "only GET is supported");
+    }
+    match path {
+        "/health.json" => ok_response("application/json", src.health_json().into_bytes()),
+        "/metrics" => ok_response("text/plain; version=0.0.4", src.metrics_text().into_bytes()),
+        "/" => ok_response(
+            "text/plain",
+            b"etw ops surface: GET /health.json | GET /metrics\n".to_vec(),
+        ),
+        _ => error_response(404, "unknown path (try /health.json or /metrics)"),
+    }
+}
+
+fn ok_response(content_type: &str, body: Vec<u8>) -> (u16, Vec<u8>) {
+    let mut out = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(&body);
+    (200, out)
+}
+
+fn error_response(status: u16, reason: &str) -> (u16, Vec<u8>) {
+    let text = match status {
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let body = format!("{status} {text}: {reason}\n");
+    (
+        status,
+        format!(
+            "HTTP/1.1 {status} {text}\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .into_bytes(),
+    )
+}
+
+/// Upper bound on a request head; anything longer is rejected as
+/// malformed rather than buffered.
+const MAX_REQUEST_BYTES: usize = 4096;
+
+/// Per-connection read deadline, so a client that connects and goes
+/// silent cannot wedge the (single-threaded) serve loop.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A running ops listener; dropping it leaks the thread, call
+/// [`OpsServer::shutdown`] for an orderly stop.
+pub struct OpsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl OpsServer {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the serving thread.
+    pub fn shutdown(mut self) {
+        // ordering: Relaxed — an advisory flag; the wake-up handshake is
+        // the loopback connection below, not a memory ordering.
+        self.stop.store(true, Relaxed);
+        // Unblock the accept call with one last local connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:9100`, port 0 for an ephemeral port)
+/// and serves [`OpsSource`] snapshots until [`OpsServer::shutdown`].
+pub fn serve(addr: &str, src: Arc<dyn OpsSource>) -> std::io::Result<OpsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = stop.clone();
+    let thread = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            // ordering: Relaxed — see shutdown: the flag is advisory and
+            // carries no data; a stale read just serves one extra request.
+            if stop_flag.load(Relaxed) {
+                break;
+            }
+            if let Ok(stream) = conn {
+                // A broken connection only fails this iteration.
+                let _ = handle_connection(stream, src.as_ref());
+            }
+        }
+    });
+    Ok(OpsServer {
+        addr: local,
+        stop,
+        thread: Some(thread),
+    })
+}
+
+fn handle_connection(mut stream: TcpStream, src: &dyn OpsSource) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let mut buf = [0u8; MAX_REQUEST_BYTES];
+    let mut filled = 0usize;
+    // Read until the header terminator, the buffer limit, EOF, or the
+    // timeout — whichever comes first. A client that drops mid-request
+    // simply ends the read; whatever arrived is parsed (and likely
+    // answered 400).
+    loop {
+        if filled == buf.len() {
+            break;
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                filled += n;
+                if buf[..filled].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break, // timeout or reset: answer what we have
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..filled]);
+    let (_, response) = respond(&head, src);
+    stream.write_all(&response)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Canned;
+    impl OpsSource for Canned {
+        fn health_json(&self) -> String {
+            "{\"counters\":{}}".to_owned()
+        }
+        fn metrics_text(&self) -> String {
+            "etw_up 1\n".to_owned()
+        }
+    }
+
+    #[test]
+    fn routes_and_rejects() {
+        let (s, body) = respond("GET /health.json HTTP/1.1\r\n\r\n", &Canned);
+        assert_eq!(s, 200);
+        assert!(String::from_utf8_lossy(&body).contains("application/json"));
+        let (s, _) = respond("GET /metrics HTTP/1.1\r\n", &Canned);
+        assert_eq!(s, 200);
+        let (s, _) = respond("GET / HTTP/1.1\r\n", &Canned);
+        assert_eq!(s, 200);
+        let (s, _) = respond("GET /nope HTTP/1.1\r\n", &Canned);
+        assert_eq!(s, 404);
+        let (s, _) = respond("POST /metrics HTTP/1.1\r\n", &Canned);
+        assert_eq!(s, 405);
+        let (s, _) = respond("garbage", &Canned);
+        assert_eq!(s, 400);
+        let (s, _) = respond("", &Canned);
+        assert_eq!(s, 400);
+        let (s, _) = respond("GET /metrics SMTP", &Canned);
+        assert_eq!(s, 400);
+    }
+
+    #[test]
+    fn health_json_shape() {
+        let registry = Registry::new();
+        registry.counter("a.b").add(3);
+        registry.gauge("g").set(-4);
+        registry.histogram("h").record(100);
+        let json = snapshot_health_json(&registry.snapshot());
+        assert!(json.contains("\"a.b\":3"));
+        assert!(json.contains("\"g\":-4"));
+        assert!(json.contains("\"count\":1"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+    }
+}

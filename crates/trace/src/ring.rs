@@ -1,0 +1,354 @@
+//! The flight recorder: bounded, lock-free span rings.
+//!
+//! Each worker thread owns one [`SpanRing`] — a fixed-size ring of
+//! seqlock slots holding the worker's last N [`SpanEvent`]s. Writes are
+//! single-writer and wait-free: mark the slot's sequence word odd,
+//! store the four payload words, mark it even. A reader (the
+//! supervisor's dump) never blocks a writer: it reads the sequence
+//! word, copies the payload, re-reads the sequence word, and discards
+//! the slot if the two reads disagree or the first was odd — a torn or
+//! in-flight slot is *skipped*, never surfaced.
+//!
+//! The write path allocates nothing and the ring never grows: memory is
+//! bounded at construction to `slots × 40` bytes per worker (four
+//! payload words plus the sequence word). The stepwise API
+//! ([`SpanRing::begin_write`] / [`SpanRing::write_payload`] /
+//! [`SpanRing::commit_write`]) exists so the `etw-interleave` model can
+//! drive the protocol one atomic step at a time and prove the dump cut
+//! observes no torn or lost span on any schedule.
+
+use crate::SpanEvent;
+use std::sync::atomic::{
+    AtomicU64,
+    Ordering::{Acquire, Relaxed, Release},
+};
+use std::sync::Arc;
+
+/// Words of payload per slot ([`SpanEvent`] is four `u64`s).
+const PAYLOAD_WORDS: usize = 4;
+
+struct Slot {
+    /// Seqlock word: `2g+1` while generation `g` is being written,
+    /// `2g+2` once it is stable, 0 when never written.
+    seq: AtomicU64,
+    words: [AtomicU64; PAYLOAD_WORDS],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A write in progress, returned by [`SpanRing::begin_write`] and
+/// consumed by [`SpanRing::commit_write`]. Holding one does not block
+/// readers; an uncommitted ticket just leaves its slot marked odd, and
+/// dumps skip it.
+#[derive(Debug)]
+pub struct WriteTicket {
+    index: usize,
+    generation: u64,
+}
+
+/// A bounded single-writer span ring with seqlock slots.
+///
+/// One producer thread calls [`SpanRing::record`] (or the stepwise
+/// triple); any number of reader threads may call
+/// [`SpanRing::snapshot`] concurrently. Two threads must never write
+/// the same ring — give each worker its own via [`FlightRecorder`].
+#[derive(Debug)]
+pub struct SpanRing {
+    slots: Box<[Slot]>,
+    /// Next generation to write (generation g lands in slot g % len).
+    head: AtomicU64,
+}
+
+impl std::fmt::Debug for Slot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // ordering: relaxed — debug display only; no payload is read.
+        let seq = self.seq.load(Relaxed);
+        f.debug_struct("Slot").field("seq", &seq).finish()
+    }
+}
+
+impl SpanRing {
+    /// A ring keeping the last `slots` events (minimum 1).
+    pub fn new(slots: usize) -> SpanRing {
+        let n = slots.max(1);
+        SpanRing {
+            slots: (0..n).map(|_| Slot::new()).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (committed generations).
+    pub fn recorded(&self) -> u64 {
+        // ordering: acquire — pairs with the release store in
+        // commit_write so a reader that sees generation g also sees
+        // slot g-1's committed payload.
+        self.head.load(Acquire)
+    }
+
+    /// Records one event: the whole seqlock write protocol in one call.
+    /// Wait-free, allocation-free; overwrites the oldest event once the
+    /// ring is full.
+    #[inline]
+    pub fn record(&self, ev: SpanEvent) {
+        let ticket = self.begin_write();
+        self.write_payload(&ticket, ev);
+        self.commit_write(ticket);
+    }
+
+    /// Step 1 of the write protocol: claims the next slot and marks its
+    /// sequence word odd, so concurrent dumps skip it. Public for the
+    /// interleave model; production code uses [`SpanRing::record`].
+    pub fn begin_write(&self) -> WriteTicket {
+        // ordering: relaxed — single writer; the head value is only
+        // advanced by this thread, and publication happens via the
+        // slot's seq word and the release store in commit_write.
+        let generation = self.head.load(Relaxed);
+        let index = (generation % self.slots.len() as u64) as usize;
+        // ordering: release — readers that observe the odd value must
+        // also observe it before any payload stores that follow.
+        self.slots[index].seq.store(2 * generation + 1, Release);
+        WriteTicket { index, generation }
+    }
+
+    /// Step 2: stores the payload words into the claimed slot.
+    pub fn write_payload(&self, ticket: &WriteTicket, ev: SpanEvent) {
+        let slot = &self.slots[ticket.index];
+        let words = [ev.virtual_us, ev.end_wall_ns, ev.dur_ns, ev.packed];
+        for (w, v) in slot.words.iter().zip(words) {
+            // ordering: relaxed — the words are published by the release
+            // store of the even sequence value in commit_write; until
+            // then readers reject the slot as odd.
+            w.store(v, Relaxed);
+        }
+    }
+
+    /// Step 3: marks the slot even (stable) and advances the head.
+    pub fn commit_write(&self, ticket: WriteTicket) {
+        let slot = &self.slots[ticket.index];
+        // ordering: release — publishes the payload stores above to any
+        // reader that acquires this even sequence value.
+        slot.seq.store(2 * ticket.generation + 2, Release);
+        // ordering: release — publishes the committed generation count.
+        self.head.store(ticket.generation + 1, Release);
+    }
+
+    /// Copies every stable event out of the ring, oldest first. Slots
+    /// that are mid-write (odd sequence) or that change under the copy
+    /// (torn) are skipped — the dump only ever contains events that
+    /// were fully committed.
+    pub fn snapshot(&self) -> Vec<SpanEvent> {
+        let mut out: Vec<(u64, SpanEvent)> = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            // ordering: acquire — pairs with commit_write's release so
+            // the payload reads below see the stores of generation
+            // (s1-2)/2 when s1 is even.
+            let s1 = slot.seq.load(Acquire);
+            if s1 == 0 || s1 % 2 == 1 {
+                continue; // never written, or a write is in flight
+            }
+            // ordering: relaxed — bracketed by the two acquire loads of
+            // the sequence word; a torn read is rejected by s1 != s2.
+            let word = |k: usize| slot.words[k].load(Relaxed);
+            let ev = SpanEvent {
+                virtual_us: word(0),
+                end_wall_ns: word(1),
+                dur_ns: word(2),
+                packed: word(3),
+            };
+            // ordering: acquire — orders the payload reads above before
+            // this re-check, completing the seqlock read protocol.
+            let s2 = slot.seq.load(Acquire);
+            if s1 != s2 {
+                continue; // overwritten while copying
+            }
+            out.push(((s1 - 2) / 2, ev));
+        }
+        out.sort_by_key(|(generation, _)| *generation);
+        out.into_iter().map(|(_, ev)| ev).collect()
+    }
+}
+
+/// The merged flight recorder: one [`SpanRing`] per worker thread, plus
+/// the merge that a supervisor dumps on a crash, restart, shed or
+/// checkpoint cut. Memory is bounded at construction and never grows.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    rings: Vec<Arc<SpanRing>>,
+}
+
+impl FlightRecorder {
+    /// A recorder with `workers` rings of `slots` events each.
+    pub fn new(workers: usize, slots: usize) -> FlightRecorder {
+        FlightRecorder {
+            rings: (0..workers.max(1))
+                .map(|_| Arc::new(SpanRing::new(slots)))
+                .collect(),
+        }
+    }
+
+    /// Number of per-worker rings.
+    pub fn workers(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// The ring owned by worker `i` (clamped into range so a stage can
+    /// hand out rings without bounds bookkeeping).
+    pub fn ring(&self, i: usize) -> Arc<SpanRing> {
+        self.rings[i % self.rings.len()].clone()
+    }
+
+    /// Merges every ring's stable events, ordered by wall end time.
+    /// Safe to call while writers are still recording; in-flight spans
+    /// are skipped, committed ones are never lost.
+    pub fn dump(&self) -> Vec<SpanEvent> {
+        let mut all: Vec<SpanEvent> = Vec::new();
+        for ring in &self.rings {
+            all.extend(ring.snapshot());
+        }
+        all.sort_by_key(|ev| ev.end_wall_ns);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SpanKind, StageId};
+
+    fn ev(i: u64) -> SpanEvent {
+        SpanEvent::new(
+            StageId::Decode,
+            SpanKind::Service,
+            0,
+            i as u32,
+            i,
+            i * 10,
+            7,
+        )
+    }
+
+    #[test]
+    fn ring_keeps_the_last_n_in_order() {
+        let ring = SpanRing::new(4);
+        for i in 0..10u64 {
+            ring.record(ev(i));
+        }
+        assert_eq!(ring.recorded(), 10);
+        let snap = ring.snapshot();
+        let args: Vec<u32> = snap.iter().map(|e| e.arg()).collect();
+        assert_eq!(args, vec![6, 7, 8, 9], "last 4 of 10, oldest first");
+    }
+
+    #[test]
+    fn partial_ring_returns_only_written_slots() {
+        let ring = SpanRing::new(8);
+        ring.record(ev(1));
+        ring.record(ev(2));
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].arg(), 1);
+        assert_eq!(snap[1].arg(), 2);
+    }
+
+    #[test]
+    fn in_flight_write_is_skipped_not_torn() {
+        let ring = SpanRing::new(2);
+        ring.record(ev(5));
+        let ticket = ring.begin_write();
+        ring.write_payload(&ticket, ev(6));
+        // Not committed: the dump must contain only the committed event.
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].arg(), 5);
+        ring.commit_write(ticket);
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[1].arg(), 6);
+    }
+
+    #[test]
+    fn recorder_merges_by_wall_time() {
+        let rec = FlightRecorder::new(2, 4);
+        rec.ring(0).record(SpanEvent::new(
+            StageId::Decode,
+            SpanKind::Service,
+            0,
+            1,
+            0,
+            30,
+            0,
+        ));
+        rec.ring(1).record(SpanEvent::new(
+            StageId::Shard,
+            SpanKind::Service,
+            1,
+            2,
+            0,
+            10,
+            0,
+        ));
+        rec.ring(0).record(SpanEvent::new(
+            StageId::Decode,
+            SpanKind::Crash,
+            0,
+            3,
+            0,
+            20,
+            0,
+        ));
+        let dump = rec.dump();
+        let args: Vec<u32> = dump.iter().map(|e| e.arg()).collect();
+        assert_eq!(args, vec![2, 3, 1], "merged ordered by end_wall_ns");
+    }
+
+    #[test]
+    fn concurrent_writers_and_dumper_lose_nothing_committed() {
+        // A stress sibling of the exhaustive interleave model: two
+        // writer threads fill their own rings while the main thread
+        // dumps continuously; every dumped event must be one that a
+        // writer actually committed (no torn payloads).
+        let rec = Arc::new(FlightRecorder::new(2, 64));
+        let mut handles = Vec::new();
+        for w in 0..2u16 {
+            let ring = rec.ring(w as usize);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    ring.record(SpanEvent::new(
+                        StageId::Decode,
+                        SpanKind::Service,
+                        w,
+                        i as u32,
+                        i,
+                        crate::wall_now_ns(),
+                        i,
+                    ));
+                }
+            }));
+        }
+        for _ in 0..200 {
+            for ev in rec.dump() {
+                // A torn event would decode an impossible worker index
+                // or mismatch arg/dur (both derived from i).
+                assert!(ev.worker() < 2);
+                assert_eq!(ev.arg() as u64, ev.dur_ns, "payload words torn");
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let final_dump = rec.dump();
+        assert_eq!(final_dump.len(), 128, "both rings full");
+    }
+}

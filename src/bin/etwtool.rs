@@ -7,7 +7,10 @@
 //! etwtool head       <dataset[.etwz]> [N]    print the first N records
 //! etwtool compress   <in.xml> <out.etwz>     LZSS storage codec
 //! etwtool decompress <in.etwz> <out.xml>
-//! etwtool monitor    [--tiny] [--weeks N] [--shards N]  run a campaign with live telemetry
+//! etwtool monitor    [--tiny] [--faulty] [--top] [--weeks N] [--shards N]  run a campaign with live telemetry
+//! etwtool serve      [--addr HOST:PORT] [--tiny|--faulty]  campaign + /health.json + /metrics over HTTP
+//! etwtool trace-dump <file.etwtrace>         pretty-print a flight-recorder dump
+//! etwtool trace-check [--dir DIR]            faulty campaign must produce parseable flight dumps
 //! etwtool lint       [--json] [--list]       repo-specific static analysis (etwlint)
 //! etwtool checkpoint-inspect <file.etwckpt>  describe a resume checkpoint sidecar
 //! etwtool spec                               print the format specification
@@ -21,12 +24,16 @@ use edonkey_ten_weeks::core::campaign::try_run_campaign_to_writer;
 use edonkey_ten_weeks::core::pipeline::TailConfig;
 use edonkey_ten_weeks::core::CampaignConfig;
 use edonkey_ten_weeks::telemetry::{Registry, Snapshot};
+use edonkey_ten_weeks::trace::ops::{serve, RegistryOps};
+use edonkey_ten_weeks::trace::{file as trace_file, SpanKind};
 use edonkey_ten_weeks::xmlout::compress::{compress, decompress, MAGIC};
 use edonkey_ten_weeks::xmlout::reader::DatasetReader;
 use edonkey_ten_weeks::xmlout::schema::{validate, SPEC};
 use edonkey_ten_weeks::xmlout::writer::DatasetWriter;
 use std::fs;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() -> ExitCode {
@@ -40,6 +47,9 @@ fn main() -> ExitCode {
         Some("split") => cmd_split(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
         Some("monitor") => cmd_monitor(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("trace-dump") => cmd_trace_dump(&args[1..]),
+        Some("trace-check") => cmd_trace_check(&args[1..]),
         Some("lint") => return cmd_lint(&args[1..]),
         Some("checkpoint-inspect") => cmd_checkpoint_inspect(&args[1..]),
         Some("spec") => {
@@ -48,7 +58,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: etwtool <validate|stats|head|compress|decompress|split|merge|monitor|lint|checkpoint-inspect|spec> [args]"
+                "usage: etwtool <validate|stats|head|compress|decompress|split|merge|monitor|serve|trace-dump|trace-check|lint|checkpoint-inspect|spec> [args]"
             );
             return ExitCode::from(2);
         }
@@ -235,18 +245,38 @@ fn cmd_merge(args: &[String]) -> Result<(), String> {
 /// keeping up (or not) with its own virtual link.
 ///
 /// ```text
-/// etwtool monitor [--tiny] [--weeks N] [--shards N] [--refresh-ms MS] [--prom FILE]
+/// etwtool monitor [--tiny] [--faulty] [--top] [--weeks N] [--shards N]
+///                 [--refresh-ms MS] [--prom FILE] [--trace-dir DIR]
 /// ```
+///
+/// `--top` switches the single status line for a per-stage dashboard:
+/// one row per pipeline stage with throughput, utilisation, service
+/// p50/p99, queue-wait p99 and input-queue depth, a throughput
+/// sparkline over the last 60 samples, and the fault ledger's deltas.
+/// `--faulty` runs the soak configuration (lossy link, overload
+/// windows, scheduled worker crashes); `--trace-dir` additionally arms
+/// the flight recorder so fault events drop `flight_*.etwtrace` files
+/// there.
 fn cmd_monitor(args: &[String]) -> Result<(), String> {
     let mut tiny = false;
+    let mut faulty = false;
+    let mut top = false;
     let mut weeks = 1u64;
     let mut shards = 1usize;
     let mut refresh_ms = 500u64;
     let mut prom: Option<String> = None;
+    let mut trace_dir: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--tiny" => tiny = true,
+            "--faulty" => faulty = true,
+            "--top" => top = true,
+            "--trace-dir" => {
+                trace_dir = Some(PathBuf::from(
+                    it.next().ok_or("--trace-dir needs a directory")?,
+                ));
+            }
             "--shards" => {
                 shards = it
                     .next()
@@ -272,7 +302,9 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
         }
     }
 
-    let mut config = if tiny {
+    let mut config = if faulty {
+        CampaignConfig::tiny_faulty()
+    } else if tiny {
         CampaignConfig::tiny()
     } else {
         let mut c = CampaignConfig::default();
@@ -280,7 +312,11 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
         c
     };
     // Cut health records often enough that even a tiny run shows a few.
-    config.health_interval_secs = if tiny { 300 } else { 3_600 };
+    config.health_interval_secs = if tiny || faulty { 300 } else { 3_600 };
+    if let Some(dir) = &trace_dir {
+        config.trace_ring_slots = 256;
+        config.trace_dump_dir = Some(dir.clone());
+    }
     let total_virtual_secs = config.generator.duration_secs;
 
     // Drive the batched tail (anonymise→format→write) so the monitor
@@ -318,10 +354,15 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
         grouped(total_virtual_secs)
     );
     let mut prev = Snapshot::default();
+    let mut spark: Vec<f64> = Vec::with_capacity(60);
     loop {
         let done = worker.is_finished();
         let snap = registry.snapshot();
-        print_status_line(&snap, &prev, refresh_ms, total_virtual_secs);
+        if top {
+            print_top(&snap, &prev, refresh_ms, total_virtual_secs, &mut spark);
+        } else {
+            print_status_line(&snap, &prev, refresh_ms, total_virtual_secs);
+        }
         prev = snap;
         if done {
             break;
@@ -489,6 +530,336 @@ fn print_status_line(snap: &Snapshot, prev: &Snapshot, refresh_ms: u64, total_se
         snap.gauge("chan.write_in.depth"),
         snap.counter("chan.decode_in.stalls_total"),
     );
+}
+
+/// The `--top` dashboard: one row per pipeline stage, driven entirely
+/// by the `stage.<name>.latency_ns` / `queue_wait_ns` / `util_permille`
+/// instruments the stage-span layer maintains, plus the input-queue
+/// depth gauges. Stages that have not run yet (e.g. the shard pool on a
+/// serial tail) are omitted.
+fn print_top(
+    snap: &Snapshot,
+    prev: &Snapshot,
+    refresh_ms: u64,
+    total_secs: u64,
+    spark: &mut Vec<f64>,
+) {
+    let virtual_secs = snap.gauge("campaign.virtual_secs").max(0) as u64;
+    let frames_rate = snap.counter_delta(prev, "stage.producer.frames_total") as f64 * 1_000.0
+        / refresh_ms.max(1) as f64;
+    spark.push(frames_rate);
+    if spark.len() > 60 {
+        spark.remove(0);
+    }
+    println!(
+        "── virt {:>7}s/{} ({:>5.1}%) ─ frames {:>9.0}/s ─ records {:>11} ─ lost {} ──",
+        virtual_secs,
+        grouped(total_secs),
+        virtual_secs as f64 * 100.0 / total_secs.max(1) as f64,
+        frames_rate,
+        grouped(snap.counter("stage.sink.records_total")),
+        grouped(snap.counter("ring.lost_total")),
+    );
+    println!("   thr {}", sparkline(spark));
+    println!(
+        "   {:<9} {:>9} {:>6} {:>9} {:>9} {:>9} {:>5}",
+        "stage", "ops/s", "util\u{2030}", "p50 \u{b5}s", "p99 \u{b5}s", "wait99\u{b5}s", "q"
+    );
+    // (stage, its input-queue depth gauge)
+    for (stage, queue) in [
+        ("decode", "chan.decode_in.depth"),
+        ("reorder", "chan.decode_out.depth"),
+        ("shard", "chan.shard_in.depth"),
+        ("assemble", "chan.asm_in.depth"),
+        ("format", "chan.fmt_in.depth"),
+        ("write", "chan.write_in.depth"),
+    ] {
+        let Some(lat) = snap.histogram(&format!("stage.{stage}.latency_ns")) else {
+            continue;
+        };
+        let prev_count = prev
+            .histogram(&format!("stage.{stage}.latency_ns"))
+            .map_or(0, |h| h.count);
+        let ops = (lat.count - prev_count) as f64 * 1_000.0 / refresh_ms.max(1) as f64;
+        let wait99 = snap
+            .histogram(&format!("stage.{stage}.queue_wait_ns"))
+            .map_or(0, |h| h.quantile(0.99));
+        println!(
+            "   {:<9} {:>9.0} {:>6} {:>9.1} {:>9.1} {:>9.1} {:>5}",
+            stage,
+            ops,
+            snap.gauge(&format!("stage.{stage}.util_permille")),
+            lat.quantile(0.50) as f64 / 1e3,
+            lat.quantile(0.99) as f64 / 1e3,
+            wait99 as f64 / 1e3,
+            snap.gauge(queue),
+        );
+    }
+    // Fault ledger: per-refresh deltas, printed only when something
+    // happened in the window so a healthy run stays quiet.
+    let ledger = [
+        ("crash", "faults.worker.crashes_total"),
+        ("restart", "faults.worker.restarts_total"),
+        ("degraded", "faults.worker.degraded_total"),
+        ("shed", "pipeline.shed_total"),
+        ("link-drop", "faults.link.dropped_total"),
+        ("dump", "trace.dumps_total"),
+    ];
+    let mut line = String::new();
+    for (label, name) in ledger {
+        let d = snap.counter_delta(prev, name);
+        if d > 0 {
+            line.push_str(&format!(" +{d} {label} (tot {})", snap.counter(name)));
+        }
+    }
+    if !line.is_empty() {
+        println!("   faults{line}");
+    }
+}
+
+/// Renders samples as a fixed-height unicode sparkline, scaled to the
+/// window's maximum.
+fn sparkline(samples: &[f64]) -> String {
+    const GLYPHS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
+    let max = samples.iter().cloned().fold(0.0f64, f64::max);
+    samples
+        .iter()
+        .map(|&v| {
+            let idx = if max <= 0.0 {
+                0
+            } else {
+                ((v / max) * 7.0).round() as usize
+            };
+            GLYPHS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Runs a campaign while serving its live metric registry over HTTP:
+/// `GET /health.json` (counters, gauges, histogram summaries) and
+/// `GET /metrics` (Prometheus text format).
+///
+/// ```text
+/// etwtool serve [--addr HOST:PORT] [--tiny|--faulty] [--weeks N]
+///               [--shards N] [--linger-ms MS]
+/// ```
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:9463".to_string();
+    let mut tiny = false;
+    let mut faulty = false;
+    let mut weeks = 1u64;
+    let mut shards = 1usize;
+    let mut linger_ms = 0u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs HOST:PORT")?.clone(),
+            "--tiny" => tiny = true,
+            "--faulty" => faulty = true,
+            "--weeks" => {
+                weeks = it
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or("--weeks needs a positive integer")?
+            }
+            "--shards" => {
+                shards = it
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or("--shards needs a power of two in 1..=16")?
+            }
+            "--linger-ms" => {
+                linger_ms = it
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or("--linger-ms needs a duration in ms")?
+            }
+            other => return Err(format!("unknown serve option {other:?}")),
+        }
+    }
+    if !edonkey_ten_weeks::anonymize::shard::shard_count_valid(shards) {
+        return Err(format!(
+            "--shards must be a power of two in 1..=16, got {shards}"
+        ));
+    }
+    let mut config = if faulty {
+        CampaignConfig::tiny_faulty()
+    } else if tiny {
+        CampaignConfig::tiny()
+    } else {
+        let mut c = CampaignConfig::default();
+        c.generator.duration_secs = weeks.max(1) * 7 * 86_400;
+        c
+    };
+    config.health_interval_secs = if tiny || faulty { 300 } else { 3_600 };
+
+    let registry = Registry::new();
+    let server = serve(&addr, Arc::new(RegistryOps::new(registry.clone())))
+        .map_err(|e| format!("{addr}: {e}"))?;
+    println!(
+        "serving GET /health.json and GET /metrics on http://{}",
+        server.local_addr()
+    );
+
+    let tail = TailConfig {
+        anon_shards: shards,
+        ..TailConfig::default()
+    };
+    let worker_registry = registry.clone();
+    let worker = std::thread::spawn(move || {
+        try_run_campaign_to_writer(
+            &config,
+            &worker_registry,
+            tail,
+            DatasetWriter::new(std::io::sink()).expect("sink write"),
+            |_| {},
+        )
+        .map(|(report, writer)| {
+            let _ = writer.finish();
+            report
+        })
+    });
+    while !worker.is_finished() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let report = worker
+        .join()
+        .map_err(|_| "campaign thread panicked")?
+        .map_err(|e| format!("campaign failed: {e}"))?;
+    println!(
+        "campaign finished: {} records, {} health snapshots",
+        grouped(report.records),
+        report.health.records.len()
+    );
+    if linger_ms > 0 {
+        println!("lingering {linger_ms} ms for late scrapes");
+        std::thread::sleep(Duration::from_millis(linger_ms));
+    }
+    server.shutdown();
+    Ok(())
+}
+
+/// Pretty-prints a `flight_*.etwtrace` dump written by the pipeline's
+/// flight recorder.
+fn cmd_trace_dump(args: &[String]) -> Result<(), String> {
+    let path = one_arg(args, "trace path")?;
+    let events = trace_file::read_file(std::path::Path::new(path))?;
+    print!("{}", trace_file::render_dump(&events));
+    Ok(())
+}
+
+/// The ci `trace` gate: runs the soak configuration (scheduled worker
+/// crashes, overload, checkpoints) with the flight recorder armed and
+/// asserts the observability contract — injected crashes produced
+/// `flight_*.etwtrace` dumps, every dump parses, and the merged events
+/// contain the fault markers.
+///
+/// ```text
+/// etwtool trace-check [--dir DIR] [--shards N]
+/// ```
+fn cmd_trace_check(args: &[String]) -> Result<(), String> {
+    let mut dir = PathBuf::from("target/trace-check");
+    let mut shards = 2usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dir" => dir = PathBuf::from(it.next().ok_or("--dir needs a directory")?),
+            "--shards" => {
+                shards = it
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or("--shards needs a power of two in 1..=16")?
+            }
+            other => return Err(format!("unknown trace-check option {other:?}")),
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+
+    let mut config = CampaignConfig::tiny_faulty();
+    config.trace_ring_slots = 256;
+    config.trace_dump_dir = Some(dir.clone());
+    let registry = Registry::new();
+    let tail = TailConfig {
+        anon_shards: shards,
+        ..TailConfig::default()
+    };
+    let (report, writer) = try_run_campaign_to_writer(
+        &config,
+        &registry,
+        tail,
+        DatasetWriter::new(std::io::sink()).map_err(|e| e.to_string())?,
+        |_| {},
+    )
+    .map_err(|e| format!("campaign failed: {e}"))?;
+    let _ = writer.finish();
+
+    let snap = registry.snapshot();
+    let crashes = snap.counter("faults.worker.crashes_total");
+    if crashes == 0 {
+        return Err("fault plan injected no worker crashes — nothing to check".into());
+    }
+
+    let mut dumps: Vec<PathBuf> = fs::read_dir(&dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "etwtrace"))
+        .collect();
+    dumps.sort();
+    if dumps.is_empty() {
+        return Err(format!(
+            "{crashes} worker crash(es) but no flight dump under {}",
+            dir.display()
+        ));
+    }
+    let crash_dump = dumps
+        .iter()
+        .find(|p| p.to_string_lossy().contains("_crash_"))
+        .ok_or("no crash-triggered flight dump among the files written")?;
+
+    let mut events_total = 0usize;
+    let mut crash_events = 0usize;
+    for p in &dumps {
+        let events = trace_file::read_file(p)?;
+        if events.is_empty() {
+            return Err(format!("{}: empty flight dump", p.display()));
+        }
+        events_total += events.len();
+        crash_events += events
+            .iter()
+            .filter(|ev| ev.kind() == Some(SpanKind::Crash))
+            .count();
+    }
+    if crash_events == 0 {
+        return Err("no CRASH span event in any flight dump".into());
+    }
+
+    // The pretty-printer must accept what the recorder wrote: show the
+    // head of the crash dump as proof.
+    let rendered = trace_file::render_dump(&trace_file::read_file(crash_dump)?);
+    println!("--- {} ---", crash_dump.display());
+    for line in rendered.lines().take(12) {
+        println!("{line}");
+    }
+    println!("---");
+
+    let mut t = KvTable::new();
+    t.row("records", grouped(report.records))
+        .row("worker crashes", crashes)
+        .row(
+            "worker restarts",
+            snap.counter("faults.worker.restarts_total"),
+        )
+        .row("frames shed", grouped(snap.counter("pipeline.shed_total")))
+        .row("flight dumps", dumps.len() as u64)
+        .row("dumps recorded ok", snap.counter("trace.dumps_total"))
+        .row("span events dumped", grouped(events_total as u64))
+        .row("CRASH events", crash_events as u64);
+    print!("{}", t.render());
+    println!("trace-check OK");
+    Ok(())
 }
 
 fn cmd_decompress(args: &[String]) -> Result<(), String> {

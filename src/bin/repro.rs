@@ -23,9 +23,10 @@
 //!   the throughput suite (decode-only, tail-only serial vs batched,
 //!   anonymise-only serial vs sharded, end-to-end) plus steady-state
 //!   allocations/record in the formatter; `--record` writes the
-//!   committable `BENCH_PR5.json` baseline (smoke mode instead gates
+//!   committable `BENCH_PR6.json` baseline (smoke mode instead gates
 //!   against the newest committed `BENCH_PR<k>.json` and fails on a
-//!   >20% end-to-end regression)
+//!   regression over 20% in end-to-end throughput or in any per-stage
+//!   bench — decode-only, batched tail, sharded anonymise)
 //! * `matrix` — the CI campaign matrix: clientID widths {2^24, 2^16} ×
 //!   anonymiser shard counts {1, 4}; within each width every shard
 //!   count must produce the byte-identical dataset and the identical
@@ -75,7 +76,7 @@ struct Args {
     soak_seed: Option<u64>,
     /// `bench`: CI mode — short runs, gate against the baseline.
     smoke: bool,
-    /// `bench`: write the committable `BENCH_PR5.json` baseline.
+    /// `bench`: write the committable `BENCH_PR6.json` baseline.
     record: bool,
     /// `bench`: baseline report to gate against (default: the newest
     /// committed `BENCH_PR<k>.json`).
@@ -85,7 +86,7 @@ struct Args {
 }
 
 /// Where `repro bench --record` writes the baseline this PR commits.
-const RECORD_PATH: &str = "BENCH_PR5.json";
+const RECORD_PATH: &str = "BENCH_PR6.json";
 
 fn parse_args() -> Args {
     let mut tiny = false;
@@ -570,6 +571,17 @@ fn bench(args: &Args) {
             sharded.records_per_sec
         );
     }
+    if let (Some(plain), Some(traced)) = (
+        report.find("end_to_end", "tiny"),
+        report.find("end_to_end_traced", "tiny"),
+    ) {
+        println!(
+            "  tracing overhead: {:+.1}% (untraced {:.0} -> traced {:.0} records/s)",
+            (plain.records_per_sec / traced.records_per_sec - 1.0) * 100.0,
+            plain.records_per_sec,
+            traced.records_per_sec
+        );
+    }
 
     let mut failures = suite::self_checks(&report);
     if args.smoke {
@@ -584,12 +596,18 @@ fn bench(args: &Args) {
                 let gate = suite::trajectory_gate(&report, &baseline);
                 if gate.is_empty() {
                     println!(
-                        "  ok: end-to-end throughput within {:.0}% of {}",
-                        suite::MAX_END_TO_END_REGRESSION * 100.0,
+                        "  ok: end-to-end and per-stage throughput within {:.0}% of {}",
+                        suite::MAX_BENCH_REGRESSION * 100.0,
                         baseline_path.display()
                     );
                 }
                 failures.extend(gate);
+                // Prove the per-stage floor bites: a synthetic 25%
+                // decode slowdown against the same baseline must fail.
+                match suite::demo_gate_rejects_stage_slowdown(&baseline) {
+                    Ok(line) => println!("  {line}"),
+                    Err(why) => failures.push(why),
+                }
             }
             (Some(baseline_path), None) => failures.push(format!(
                 "baseline {} unreadable (run `repro bench --record` and commit it)",

@@ -48,5 +48,6 @@ pub use etw_netsim as netsim;
 pub use etw_probe as probe;
 pub use etw_server as server;
 pub use etw_telemetry as telemetry;
+pub use etw_trace as trace;
 pub use etw_workload as workload;
 pub use etw_xmlout as xmlout;
