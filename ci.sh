@@ -27,7 +27,7 @@ bench|tail + anonymise speedups, trajectory vs newest BENCH_PR*.json|cargo run -
 matrix|campaign matrix: widths 2^24/2^16 x shards 1/4, byte-identical datasets|cargo run -q --release --bin repro -- matrix
 trace|flight recorder: injected crashes must dump parseable flight_*.etwtrace|cargo run -q --release --bin etwtool -- trace-check --dir target/ci/flight
 clippy|cargo clippy -D warnings|cargo clippy --workspace --all-targets -- -D warnings
-etwlint|repo-specific static analysis|cargo run -q --release -p etwlint
+etwlint|repo-specific static analysis + taint pass; SARIF under target/ci/|cargo run -q --release -p etwlint && cargo run -q --release -p etwlint -- --format sarif > target/ci/etwlint.sarif && cargo test -q -p etwlint --test fixture_corpus
 interleave|exhaustive schedule checks (incl. shard conservation)|cargo test -q -p etw-interleave
 fmt|cargo fmt --check|cargo fmt --check
 '

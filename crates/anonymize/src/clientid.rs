@@ -80,6 +80,7 @@ impl DirectArrayAnonymizer {
     /// IDs through [`ClientIdAnonymizer::anonymize`] rebuilds an
     /// identical table, which is what [`DirectArrayAnonymizer::from_order`]
     /// does on campaign resume.
+    // etwlint: source(raw-id): returns the raw clientID table for checkpointing
     pub fn appearance_order(&self) -> Vec<u32> {
         let mut order = vec![0u32; self.next as usize];
         for (raw, &v) in self.table.iter().enumerate() {
@@ -91,6 +92,7 @@ impl DirectArrayAnonymizer {
     }
 
     /// Rebuilds an anonymiser from a checkpointed appearance order.
+    // etwlint: sanitize(raw-id): raw checkpoint ids are replayed into the private table
     pub fn from_order(width_bits: u32, order: &[u32]) -> Self {
         let mut a = DirectArrayAnonymizer::new(width_bits);
         for &raw in order {
@@ -113,6 +115,7 @@ impl DirectArrayAnonymizer {
 
 impl ClientIdAnonymizer for DirectArrayAnonymizer {
     #[inline]
+    // etwlint: sanitize(raw-id): raw id becomes its appearance-order index
     fn anonymize(&mut self, id: ClientId) -> u32 {
         let idx = self.index(id);
         let cell = &mut self.table[idx];
@@ -152,6 +155,7 @@ impl HashMapAnonymizer {
 }
 
 impl ClientIdAnonymizer for HashMapAnonymizer {
+    // etwlint: sanitize(raw-id): raw id becomes its appearance-order index
     fn anonymize(&mut self, id: ClientId) -> u32 {
         let next = self.map.len() as u32;
         *self.map.entry(id.raw()).or_insert(next)
@@ -184,6 +188,7 @@ impl BTreeAnonymizer {
 }
 
 impl ClientIdAnonymizer for BTreeAnonymizer {
+    // etwlint: sanitize(raw-id): raw id becomes its appearance-order index
     fn anonymize(&mut self, id: ClientId) -> u32 {
         let next = self.map.len() as u32;
         *self.map.entry(id.raw()).or_insert(next)

@@ -13,11 +13,13 @@ use crate::md5::{hex_digest, md5};
 /// Reduces a byte-precise file size to kilo-bytes (floor division, the
 /// paper's "precision reduction").
 #[inline]
+// etwlint: sanitize(raw-id): precision reduction is the published policy for sizes
 pub fn anonymize_filesize(bytes: u64) -> u64 {
     bytes / 1024
 }
 
 /// Replaces a string by its MD5 hex digest.
+// etwlint: sanitize(raw-id): MD5 digest replaces the cleartext string
 pub fn anonymize_string(s: &str) -> String {
     hex_digest(&md5(s.as_bytes()))
 }
@@ -27,6 +29,7 @@ pub fn anonymize_string(s: &str) -> String {
 /// this function documents (and pins in tests) that no absolute time may
 /// leak.
 #[inline]
+// etwlint: sanitize(raw-id): capture-relative time carries no absolute timestamp
 pub fn anonymize_timestamp(relative_us: u64) -> u64 {
     relative_us
 }
@@ -49,6 +52,7 @@ impl StringAnonymizer {
     }
 
     /// Returns the MD5 hex of `s`, memoised.
+    // etwlint: sanitize(raw-id): memoised MD5 digest of the string
     pub fn anonymize(&mut self, s: &str) -> String {
         if let Some(d) = self.cache.get(s) {
             self.hits += 1;
@@ -64,6 +68,7 @@ impl StringAnonymizer {
     /// its buffer. Digests are exactly 32 hex characters, so once a slot
     /// has held one digest every later write fits its capacity and the
     /// hit path allocates nothing.
+    // etwlint: sanitize(raw-id): memoised MD5 digest, written in place
     pub fn anonymize_into(&mut self, s: &str, out: &mut String) {
         if let Some(d) = self.cache.get(s) {
             self.hits += 1;

@@ -147,6 +147,7 @@ impl BucketedArrays {
     /// of the store. Replaying them through
     /// [`FileIdAnonymizer::anonymize`] rebuilds identical buckets, which
     /// is what [`BucketedArrays::from_order`] does on campaign resume.
+    // etwlint: source(raw-id): returns the raw fileID store for checkpointing
     pub fn appearance_order(&self) -> Vec<FileId> {
         let mut entries: Vec<(u64, FileId)> = self
             .buckets
@@ -161,6 +162,7 @@ impl BucketedArrays {
     /// Rebuilds a store from a checkpointed appearance order. Probe
     /// statistics restart from zero: they describe work done by *this*
     /// process, not by the campaign as a whole.
+    // etwlint: sanitize(raw-id): raw checkpoint ids are replayed into the private buckets
     pub fn from_order(selector: ByteSelector, order: &[FileId]) -> Self {
         let mut b = BucketedArrays::new(selector);
         for id in order {
@@ -172,6 +174,7 @@ impl BucketedArrays {
 }
 
 impl FileIdAnonymizer for BucketedArrays {
+    // etwlint: sanitize(raw-id): raw id becomes its appearance-order index
     fn anonymize(&mut self, id: &FileId) -> u64 {
         let bucket = &mut self.buckets[self.selector.index(id)];
         let mut depth = 0u64;
@@ -234,6 +237,7 @@ impl SingleSortedArray {
 }
 
 impl FileIdAnonymizer for SingleSortedArray {
+    // etwlint: sanitize(raw-id): raw id becomes its appearance-order index
     fn anonymize(&mut self, id: &FileId) -> u64 {
         match self.entries.binary_search_by(|(k, _)| k.cmp(id)) {
             Ok(pos) => self.entries[pos].1,
@@ -275,6 +279,7 @@ impl HashMapFileAnonymizer {
 }
 
 impl FileIdAnonymizer for HashMapFileAnonymizer {
+    // etwlint: sanitize(raw-id): raw id becomes its appearance-order index
     fn anonymize(&mut self, id: &FileId) -> u64 {
         let next = self.map.len() as u64;
         *self.map.entry(*id).or_insert(next)

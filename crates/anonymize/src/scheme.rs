@@ -236,6 +236,7 @@ impl PaperScheme {
     /// Rebuilds a scheme from checkpointed appearance orders (campaign
     /// resume). The string anonymiser needs no state: it is a pure
     /// function of its input (MD5), memoised only for speed.
+    // etwlint: sanitize(raw-id): raw checkpoint orders are replayed into the encoders
     pub fn from_orders(
         client_width_bits: u32,
         selector: ByteSelector,
@@ -261,6 +262,7 @@ impl<C: ClientIdAnonymizer, F: FileIdAnonymizer> AnonymizationScheme<C, F> {
     }
 
     /// Anonymises one message with its envelope.
+    // etwlint: sanitize(raw-id): the paper scheme replaces every identifier
     pub fn anonymize(
         &mut self,
         ts_us: u64,
@@ -282,6 +284,7 @@ impl<C: ClientIdAnonymizer, F: FileIdAnonymizer> AnonymizationScheme<C, F> {
     /// order — the encoders are stateful, so order matters and is
     /// preserved — but returns the per-batch [`BatchSummary`] aggregate
     /// instead of making the caller classify every record again.
+    // etwlint: sanitize(raw-id): per-item paper scheme over the batch
     pub fn anonymize_batch<'a, I>(&mut self, items: I, out: &mut Vec<AnonRecord>) -> BatchSummary
     where
         I: IntoIterator<Item = (u64, etw_edonkey::ClientId, &'a Message)>,
@@ -304,6 +307,7 @@ impl<C: ClientIdAnonymizer, F: FileIdAnonymizer> AnonymizationScheme<C, F> {
     /// must *not* clear `out` between batches — the stale records *are*
     /// the allocation pool. Produces exactly the records
     /// [`anonymize_batch`](Self::anonymize_batch) would.
+    // etwlint: sanitize(raw-id): per-item paper scheme, slots reused in place
     pub fn anonymize_batch_reuse<'a, I>(
         &mut self,
         items: I,
@@ -334,6 +338,7 @@ impl<C: ClientIdAnonymizer, F: FileIdAnonymizer> AnonymizationScheme<C, F> {
     /// Anonymises one message into an existing record slot, reusing its
     /// heap allocations where the slot already holds the same message
     /// shape. Equivalent to `*slot = self.anonymize(ts_us, peer, msg)`.
+    // etwlint: sanitize(raw-id): paper scheme into an existing record slot
     pub fn anonymize_into(
         &mut self,
         ts_us: u64,

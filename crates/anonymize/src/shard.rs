@@ -90,6 +90,7 @@ impl ClientShard {
 
     /// Striped provisional for `raw` (must be owned by this shard).
     #[inline]
+    // etwlint: sanitize(raw-id): maps a raw clientID to its provisional index
     pub fn resolve(&mut self, raw: u32) -> u32 {
         debug_assert!(self.owns(raw));
         let k = self.inner.anonymize(ClientId(raw >> self.shard_bits));
@@ -137,6 +138,7 @@ impl FileShard {
 
     /// Striped provisional for `id` (must be owned by this shard).
     #[inline]
+    // etwlint: sanitize(raw-id): maps a raw fileID to its provisional index
     pub fn resolve(&mut self, id: &FileId) -> u64 {
         debug_assert!(self.owns(id));
         self.inner.anonymize(id) * self.shards + self.shard
@@ -247,6 +249,7 @@ pub struct ResolvedClientIds {
 
 impl ClientIdAnonymizer for ResolvedClientIds {
     #[inline]
+    // etwlint: sanitize(raw-id): pops the pre-resolved appearance-order index
     fn anonymize(&mut self, _id: ClientId) -> u32 {
         let v = self.values[self.cursor];
         self.cursor += 1;
@@ -275,6 +278,7 @@ pub struct ResolvedFileIds {
 
 impl FileIdAnonymizer for ResolvedFileIds {
     #[inline]
+    // etwlint: sanitize(raw-id): pops the pre-resolved appearance-order index
     fn anonymize(&mut self, _id: &FileId) -> u64 {
         let v = self.values[self.cursor];
         self.cursor += 1;
@@ -437,11 +441,13 @@ impl Assembler {
 
     /// Global clientID appearance order so far (checkpoints snapshot
     /// this).
+    // etwlint: source(raw-id): global clientID appearance order, raw
     pub fn client_order(&self) -> &[u32] {
         &self.client_order
     }
 
     /// Global fileID appearance order so far.
+    // etwlint: source(raw-id): global fileID appearance order, raw
     pub fn file_order(&self) -> &[FileId] {
         &self.file_order
     }
@@ -521,6 +527,7 @@ impl ShardedAnonymizer {
     }
 
     /// Rebuilds from checkpointed appearance orders (campaign resume).
+    // etwlint: sanitize(raw-id): raw checkpoint orders are replayed into shard tables
     pub fn from_orders(
         width_bits: u32,
         selector: ByteSelector,
@@ -544,6 +551,7 @@ impl ShardedAnonymizer {
     /// [`AnonymizationScheme`] would. `out` keeps its stale records
     /// between calls (allocation pool), like
     /// [`AnonymizationScheme::anonymize_batch_reuse`].
+    // etwlint: sanitize(raw-id): full sharded resolve/assemble pass over the batch
     pub fn anonymize_batch<'a, I>(&mut self, items: I, out: &mut Vec<AnonRecord>) -> BatchSummary
     where
         I: Iterator<Item = (u64, ClientId, &'a Message)> + Clone,

@@ -21,15 +21,24 @@
 //! atomically (temp file + rename) with a trailing `end` marker so a
 //! torn write is detected, never silently half-loaded.
 //!
-//! Two versions exist. Version 1 (PR 4 and earlier) stores each
+//! Three versions exist. Version 1 (PR 4 and earlier) stores each
 //! appearance order as one flat list of ids, the global order implicit
 //! in line position. Version 2 mirrors the sharded anonymiser: ids are
 //! grouped into sixteen canonical stripes (clientIDs by `raw & 15`,
 //! fileIDs by `id.byte(0) & 15` — fixed stripe keys, deliberately
 //! independent of the run's shard count and byte-pair selector so a
 //! sidecar written at one configuration restores at any other), each
-//! entry carrying its explicit global order. Both versions decode to the
-//! same [`Checkpoint`]; encoding always writes version 2.
+//! entry carrying its explicit global order. Version 3 keeps the v2
+//! layout but *seals* every id payload: each clientID/fileID is XOR-masked
+//! with a keystream derived from the header fields and the entry's global
+//! order, so the sidecar never contains a raw identifier in cleartext.
+//! The seal is deterministic (decode re-derives the keystream from the
+//! plaintext header), so it is an at-rest masking layer against
+//! accidental disclosure — grep, log scrapers, backup indexing — not
+//! cryptography; the threat model for *published* artefacts is the
+//! anonymiser's, and sidecars remain operational files that must never
+//! ship. All versions decode to the same [`Checkpoint`]; encoding always
+//! writes version 3.
 
 use crate::pipeline::PipelineCheckpoint;
 use etw_edonkey::ids::FileId;
@@ -51,10 +60,13 @@ pub struct Checkpoint {
     /// Dataset bytes written so far (header included).
     pub writer_bytes: u64,
     /// clientID appearance order.
+    // etwlint: source(raw-id): resume state carries the raw clientID order
     pub client_order: Vec<u32>,
     /// fileID appearance order.
+    // etwlint: source(raw-id): resume state carries the raw fileID order
     pub file_order: Vec<FileId>,
     /// Fig. 3 FIRST_TWO tracker appearance order, if tracking.
+    // etwlint: source(raw-id): tracker order is raw fileIDs
     pub fig3_order: Option<Vec<FileId>>,
 }
 
@@ -116,11 +128,19 @@ impl Checkpoint {
         }
     }
 
-    /// Serializes to the sidecar text format (always version 2).
+    /// Keystream key for this checkpoint's sealed id payloads, derived
+    /// from header fields that decode reads before any id line.
+    fn seal_key(&self) -> u64 {
+        seal_key(self.seed, self.virtual_us, self.records)
+    }
+
+    /// Serializes to the sidecar text format (always version 3: v2
+    /// stripe layout, id payloads sealed).
     pub fn encode(&self) -> String {
+        let key = self.seal_key();
         let mut out =
             String::with_capacity(96 + self.client_order.len() * 14 + self.file_order.len() * 40);
-        out.push_str("etwckpt 2\n");
+        out.push_str("etwckpt 3\n");
         out.push_str(&format!("seed {}\n", self.seed));
         out.push_str(&format!("virtual_us {}\n", self.virtual_us));
         out.push_str(&format!("next_checkpoint_us {}\n", self.next_checkpoint_us));
@@ -135,7 +155,10 @@ impl Checkpoint {
         for (s, members) in stripes.iter().enumerate() {
             out.push_str(&format!("cstripe {s} {}\n", members.len()));
             for &g in members {
-                out.push_str(&format!("{g} {}\n", self.client_order[g]));
+                out.push_str(&format!(
+                    "{g} {}\n",
+                    seal32(key, g as u64, self.client_order[g])
+                ));
             }
         }
 
@@ -148,7 +171,7 @@ impl Checkpoint {
             out.push_str(&format!("fstripe {s} {}\n", members.len()));
             for &g in members {
                 out.push_str(&format!("{g} "));
-                push_hex(&mut out, &self.file_order[g]);
+                push_hex_bytes(&mut out, &seal_file(key, g as u64, &self.file_order[g]));
             }
         }
 
@@ -156,8 +179,8 @@ impl Checkpoint {
             None => out.push_str("fig3 -\n"),
             Some(order) => {
                 out.push_str(&format!("fig3 {}\n", order.len()));
-                for id in order {
-                    push_hex(&mut out, id);
+                for (i, id) in order.iter().enumerate() {
+                    push_hex_bytes(&mut out, &seal_file(key, FIG3_SALT ^ i as u64, id));
                 }
             }
         }
@@ -184,6 +207,7 @@ impl Checkpoint {
         let version = match header {
             "etwckpt 1" => 1,
             "etwckpt 2" => 2,
+            "etwckpt 3" => 3,
             _ => return Err(CheckpointError::BadHeader),
         };
         let seed = keyed_u64(next("seed")?, "seed")?;
@@ -191,6 +215,7 @@ impl Checkpoint {
         let next_checkpoint_us = keyed_u64(next("next_checkpoint_us")?, "next_checkpoint_us")?;
         let records = keyed_u64(next("records")?, "records")?;
         let writer_bytes = keyed_u64(next("writer_bytes")?, "writer_bytes")?;
+        let key = seal_key(seed, virtual_us, records);
 
         let n_clients = keyed_u64(next("clients count")?, "clients")? as usize;
         let client_order = if version == 1 {
@@ -229,7 +254,10 @@ impl Checkpoint {
                     };
                     let (g, id) = line.split_once(' ').ok_or_else(malformed)?;
                     let g = g.parse::<usize>().map_err(|_| malformed())?;
-                    let id = id.parse::<u32>().map_err(|_| malformed())?;
+                    let mut id = id.parse::<u32>().map_err(|_| malformed())?;
+                    if version == 3 {
+                        id = unseal32(key, g as u64, id);
+                    }
                     if g >= n_clients || filled[g] || client_stripe(id) != stripe {
                         return Err(malformed());
                     }
@@ -272,7 +300,10 @@ impl Checkpoint {
                     };
                     let (g, hex) = line.split_once(' ').ok_or_else(malformed)?;
                     let g = g.parse::<usize>().map_err(|_| malformed())?;
-                    let id = parse_hex((line_no, hex))?;
+                    let mut id = parse_hex((line_no, hex))?;
+                    if version == 3 {
+                        id = unseal_file(key, g as u64, &id);
+                    }
                     if g >= n_files || filled[g] || file_stripe(&id) != stripe {
                         return Err(malformed());
                     }
@@ -300,8 +331,12 @@ impl Checkpoint {
                         expected: "fig3 count or '-'",
                     })?;
                 let mut order = Vec::with_capacity(n);
-                for _ in 0..n {
-                    order.push(parse_hex(next("fig3 fileID line")?)?);
+                for i in 0..n {
+                    let mut id = parse_hex(next("fig3 fileID line")?)?;
+                    if version == 3 {
+                        id = unseal_file(key, FIG3_SALT ^ i as u64, &id);
+                    }
+                    order.push(id);
                 }
                 Some(order)
             }
@@ -337,11 +372,7 @@ impl Checkpoint {
     /// leaves the previous checkpoint intact.
     pub fn write_atomic(&self, path: &Path) -> std::io::Result<()> {
         let tmp = path.with_extension("tmp");
-        {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(self.encode().as_bytes())?;
-            f.sync_all()?;
-        }
+        write_sidecar_bytes(&tmp, self.encode().as_bytes())?;
         std::fs::rename(&tmp, path)
     }
 
@@ -380,11 +411,80 @@ fn stripe_header(line: &str, kind: &str, expect: usize) -> Option<usize> {
     k.parse::<usize>().ok()
 }
 
-fn push_hex(out: &mut String, id: &FileId) {
-    for i in 0..16 {
-        out.push_str(&format!("{:02x}", id.byte(i)));
+/// Every sidecar byte funnels through here; the taint pass treats this
+/// as the checkpoint sink, so anything reaching it must be sealed.
+// etwlint: sink(checkpoint): sidecar bytes reach disk here
+fn write_sidecar_bytes(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(bytes)?;
+    f.sync_all()
+}
+
+/// Mixes the seal key, a lane tag, and an entry's global order into one
+/// keystream word (splitmix64 finalizer).
+fn sidecar_mix(key: u64, lane: u64, g: u64) -> u64 {
+    let mut z =
+        key ^ lane.wrapping_mul(0xa076_1d64_78bd_642f) ^ g.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Distinguishes fig3 keystream positions from the file-order lane.
+const FIG3_SALT: u64 = 0x8000_0000_0000_0000;
+
+/// Derives the sidecar keystream key from plaintext header fields.
+fn seal_key(seed: u64, virtual_us: u64, records: u64) -> u64 {
+    seed ^ virtual_us.rotate_left(21) ^ records.rotate_left(42) ^ 0x5851_f42d_4c95_7f2d
+}
+
+/// XOR-seals one clientID for the v3 sidecar.
+// etwlint: sanitize(raw-id): deterministic seal; the sidecar stores no cleartext clientID
+fn seal32(key: u64, g: u64, raw: u32) -> u32 {
+    raw ^ (sidecar_mix(key, 1, g) as u32)
+}
+
+/// Recovers the raw clientID from its sealed v3 form.
+// etwlint: source(raw-id): unsealing reproduces the raw clientID
+fn unseal32(key: u64, g: u64, sealed: u32) -> u32 {
+    sealed ^ (sidecar_mix(key, 1, g) as u32)
+}
+
+/// XOR-seals one fileID for the v3 sidecar.
+// etwlint: sanitize(raw-id): deterministic seal; the sidecar stores no cleartext fileID
+fn seal_file(key: u64, g: u64, id: &FileId) -> [u8; 16] {
+    let mut b = *id.as_bytes();
+    mask_file(key, g, &mut b);
+    b
+}
+
+/// Recovers the raw fileID from its sealed v3 form.
+// etwlint: source(raw-id): unsealing reproduces the raw fileID
+fn unseal_file(key: u64, g: u64, sealed: &FileId) -> FileId {
+    let mut b = *sealed.as_bytes();
+    mask_file(key, g, &mut b);
+    FileId(b)
+}
+
+fn mask_file(key: u64, g: u64, b: &mut [u8; 16]) {
+    let lo = sidecar_mix(key, 2, g).to_le_bytes();
+    let hi = sidecar_mix(key, 3, g).to_le_bytes();
+    for i in 0..8 {
+        b[i] ^= lo[i];
+        b[i + 8] ^= hi[i];
+    }
+}
+
+fn push_hex_bytes(out: &mut String, bytes: &[u8; 16]) {
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
     }
     out.push('\n');
+}
+
+#[cfg(test)]
+fn push_hex(out: &mut String, id: &FileId) {
+    push_hex_bytes(out, id.as_bytes());
 }
 
 fn parse_hex((line_no, line): (usize, &str)) -> Result<FileId, CheckpointError> {
@@ -523,8 +623,68 @@ mod tests {
         );
     }
 
+    /// Renders `cp` in the v2 sidecar layout (PR 5-era runs: striped,
+    /// ids in cleartext).
+    fn encode_v2(cp: &Checkpoint) -> String {
+        let mut out = String::new();
+        out.push_str("etwckpt 2\n");
+        out.push_str(&format!("seed {}\n", cp.seed));
+        out.push_str(&format!("virtual_us {}\n", cp.virtual_us));
+        out.push_str(&format!("next_checkpoint_us {}\n", cp.next_checkpoint_us));
+        out.push_str(&format!("records {}\n", cp.records));
+        out.push_str(&format!("writer_bytes {}\n", cp.writer_bytes));
+        out.push_str(&format!("clients {}\n", cp.client_order.len()));
+        let mut stripes: [Vec<usize>; SIDECAR_STRIPES] = Default::default();
+        for (g, id) in cp.client_order.iter().enumerate() {
+            stripes[client_stripe(*id)].push(g);
+        }
+        for (s, members) in stripes.iter().enumerate() {
+            out.push_str(&format!("cstripe {s} {}\n", members.len()));
+            for &g in members {
+                out.push_str(&format!("{g} {}\n", cp.client_order[g]));
+            }
+        }
+        out.push_str(&format!("files {}\n", cp.file_order.len()));
+        let mut stripes: [Vec<usize>; SIDECAR_STRIPES] = Default::default();
+        for (g, id) in cp.file_order.iter().enumerate() {
+            stripes[file_stripe(id)].push(g);
+        }
+        for (s, members) in stripes.iter().enumerate() {
+            out.push_str(&format!("fstripe {s} {}\n", members.len()));
+            for &g in members {
+                out.push_str(&format!("{g} "));
+                push_hex(&mut out, &cp.file_order[g]);
+            }
+        }
+        match &cp.fig3_order {
+            None => out.push_str("fig3 -\n"),
+            Some(order) => {
+                out.push_str(&format!("fig3 {}\n", order.len()));
+                for id in order {
+                    push_hex(&mut out, id);
+                }
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
     #[test]
-    fn v2_striping_is_canonical_and_lossless() {
+    fn v2_sidecar_still_decodes() {
+        let cp = sample();
+        assert_eq!(Checkpoint::decode(&encode_v2(&cp)).unwrap(), cp);
+        let without_fig3 = Checkpoint {
+            fig3_order: None,
+            ..sample()
+        };
+        assert_eq!(
+            Checkpoint::decode(&encode_v2(&without_fig3)).unwrap(),
+            without_fig3
+        );
+    }
+
+    #[test]
+    fn v3_striping_is_canonical_and_lossless() {
         // Exercise every client and file stripe with interleaved orders.
         let cp = Checkpoint {
             client_order: (0..64).map(|i| i * 37 % 256).collect(),
@@ -534,7 +694,7 @@ mod tests {
             ..sample()
         };
         let text = cp.encode();
-        assert!(text.starts_with("etwckpt 2\n"));
+        assert!(text.starts_with("etwckpt 3\n"));
         // All sixteen stripe headers of each family appear, in order.
         for s in 0..16 {
             assert!(text.contains(&format!("\ncstripe {s} ")));
@@ -544,16 +704,51 @@ mod tests {
     }
 
     #[test]
-    fn v2_rejects_duplicate_or_missing_orders() {
+    fn v3_sidecar_contains_no_cleartext_ids() {
+        // Distinctive id values: the sealed sidecar must not contain
+        // their decimal or hex spellings anywhere.
+        let cp = Checkpoint {
+            client_order: vec![0xDEAD_BEEF, 0xBAD_CAFE, 41_414_141],
+            file_order: vec![FileId(*b"\xfe\xedsixteenbytes!\x99"), FileId([0xA7; 16])],
+            fig3_order: Some(vec![FileId([0x5C; 16])]),
+            ..sample()
+        };
+        let text = cp.encode();
+        for raw in [0xDEAD_BEEFu32, 0xBAD_CAFE, 41_414_141] {
+            assert!(
+                !text.contains(&format!(" {raw}\n")),
+                "cleartext clientID {raw} leaked into sidecar"
+            );
+        }
+        for id in cp.file_order.iter().chain(cp.fig3_order.iter().flatten()) {
+            let mut hex = String::new();
+            push_hex(&mut hex, id);
+            assert!(
+                !text.contains(hex.trim_end()),
+                "cleartext fileID {id} leaked into sidecar"
+            );
+        }
+        // Still loss-free.
+        assert_eq!(Checkpoint::decode(&text).unwrap(), cp);
+    }
+
+    #[test]
+    fn v3_rejects_duplicate_or_missing_orders() {
         let cp = sample();
         let text = cp.encode();
-        // Duplicating a stripe entry's global order must be caught, not
-        // silently overwrite.
-        let dup = text.replacen("0 7\n", "1 7\n", 1);
-        assert!(matches!(
-            Checkpoint::decode(&dup),
-            Err(CheckpointError::Malformed { .. })
-        ));
+        // Re-keying a stripe entry to an already-filled global order (or
+        // one whose unsealed id lands in the wrong stripe) must be
+        // caught, not silently overwrite. Flipping the order digit
+        // changes the keystream position, so the unsealed id is garbage
+        // for that stripe with overwhelming probability.
+        let key = cp.seal_key();
+        let sealed0 = format!("0 {}\n", seal32(key, 0, cp.client_order[0]));
+        let dup = text.replacen(
+            &sealed0,
+            &format!("1 {}\n", seal32(key, 0, cp.client_order[0])),
+            1,
+        );
+        assert!(Checkpoint::decode(&dup).is_err());
         // A stripe claiming fewer members than the header count leaves a
         // slot unassigned.
         let short = text.replacen("clients 4\n", "clients 5\n", 1);

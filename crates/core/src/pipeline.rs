@@ -169,7 +169,7 @@ impl Default for TraceOptions {
 }
 
 // Ring-lane layout of one pipeline run:
-// `[producer, decode×W, seq, format, write, assemble, shard×S]`.
+// `[producer, decode×W, seq, anon, format, write, assemble, shard×S]`.
 // Lanes for stages a particular tail does not spawn stay empty and
 // merge away for free at dump time.
 fn lane_decode(w: usize) -> usize {
@@ -178,17 +178,20 @@ fn lane_decode(w: usize) -> usize {
 fn lane_seq(n_workers: usize) -> usize {
     1 + n_workers
 }
-fn lane_format(n_workers: usize) -> usize {
+fn lane_anon(n_workers: usize) -> usize {
     2 + n_workers
 }
-fn lane_write(n_workers: usize) -> usize {
+fn lane_format(n_workers: usize) -> usize {
     3 + n_workers
 }
-fn lane_assemble(n_workers: usize) -> usize {
+fn lane_write(n_workers: usize) -> usize {
     4 + n_workers
 }
+fn lane_assemble(n_workers: usize) -> usize {
+    5 + n_workers
+}
 fn lane_shard(n_workers: usize, s: usize) -> usize {
-    5 + n_workers + s
+    6 + n_workers + s
 }
 
 /// Shared flight-recorder state for one pipeline run. Each stage thread
@@ -212,7 +215,7 @@ impl TraceCtx {
         registry: &Registry,
     ) -> Arc<TraceCtx> {
         Arc::new(TraceCtx {
-            recorder: FlightRecorder::new(5 + n_workers + n_shards, t.ring_slots),
+            recorder: FlightRecorder::new(6 + n_workers + n_shards, t.ring_slots),
             dump_dir: t.dump_dir.clone(),
             dumps_left: AtomicU32::new(t.max_dumps),
             dump_seq: AtomicU32::new(0),
@@ -383,10 +386,13 @@ pub struct PipelineCheckpoint {
     /// Messages consumed so far (== records written so far).
     pub records: u64,
     /// clientID appearance order of the anonymiser.
+    // etwlint: source(raw-id): checkpoint cut carries the raw clientID order
     pub client_order: Vec<u32>,
     /// fileID appearance order of the anonymiser.
+    // etwlint: source(raw-id): checkpoint cut carries the raw fileID order
     pub file_order: Vec<FileId>,
     /// Appearance order of the Fig. 3 FIRST_TWO tracker, if enabled.
+    // etwlint: source(raw-id): tracker order is raw fileIDs
     pub fig3_order: Option<Vec<FileId>>,
 }
 
@@ -394,8 +400,10 @@ pub struct PipelineCheckpoint {
 #[derive(Clone, Debug)]
 struct DecodedMsg {
     ts: VirtualTime,
+    // etwlint: source(raw-id): wire clientID of the peer
     peer: ClientId,
     direction: Direction,
+    // etwlint: source(raw-id): decoded message embeds raw ids
     msg: Message,
 }
 
@@ -749,7 +757,7 @@ fn flush_tail_batch(
 }
 
 /// [`run_capture_pipeline_with`] with the serial tail replaced by the
-/// batched, overlapped one. Three stages run concurrently downstream of
+/// batched, overlapped one. Four stages run concurrently downstream of
 /// the decode workers:
 ///
 /// ```text
@@ -758,7 +766,12 @@ fn flush_tail_batch(
 ///                                                                    checkpoints)
 /// ```
 ///
-/// * The sequential stage restores capture order, stages
+/// * The reorder stage restores capture order from the decode workers'
+///   out-of-order completions and forwards ordered runs of decoded
+///   messages over the metered `ord_in` channel, so the only work left
+///   on the serial drain path is a `BTreeMap` insert/remove.
+/// * The anonymiser stage owns the encoder state: it counts consumed
+///   messages (checkpoint cuts, resume replay), stages
 ///   [`TailConfig::batch_records`] messages, anonymises each run with
 ///   [`PaperScheme::anonymize_batch`] (per-record telemetry hoisted into
 ///   per-batch aggregates) and sends the batch over the metered
@@ -832,7 +845,7 @@ where
         .trace
         .as_ref()
         .map(|t| TraceCtx::new(t, n_workers, 0, registry));
-    let (writer, io_err) = crossbeam::thread::scope(|scope| {
+    let (writer, io_err, scheme, fig3) = crossbeam::thread::scope(|scope| {
         let (out_rx, producer, handles) = spawn_front(
             scope,
             frames,
@@ -883,11 +896,26 @@ where
             trace_ctx.as_ref().map(|c| c.lane(lane_write(n_workers), 0)),
         );
 
-        // Sequential stage: restore sequence order, stage batches.
-        let seq_trace = StageTrace::new(
+        // Ordered runs flow reorder → anonymiser over `ord_in`; the
+        // emptied chunk vectors recycle back through a pool so the
+        // serial drain path never allocates in steady state.
+        let (ord_tx, ord_rx) =
+            metered_bounded::<Vec<DecodedMsg>>(tail.batch_queue, registry, "ord_in");
+        // etwlint: allow(no-unbounded-channel): bounded recycling pool, as above
+        let (msg_pool_tx, msg_pool_rx) = crossbeam::channel::bounded::<Vec<DecodedMsg>>(pool_cap);
+        for _ in 0..pool_cap {
+            let _ = msg_pool_tx.try_send(Vec::with_capacity(tail.batch_records));
+        }
+
+        // Anonymiser stage: owns the encoder state, the consumed-record
+        // count (checkpoint cuts, resume replay) and the staging buffer.
+        // Formerly fused with the reorder loop; hoisting it off the
+        // serial drain path shortens the batched tail's critical section
+        // to the BTreeMap insert/remove (carried ROADMAP item from PR 5).
+        let anon_trace = StageTrace::new(
             registry,
-            StageId::Reorder,
-            trace_ctx.as_ref().map(|c| c.lane(lane_seq(n_workers), 0)),
+            StageId::Anonymize,
+            trace_ctx.as_ref().map(|c| c.lane(lane_anon(n_workers), 0)),
         );
         let sink = SinkTelemetry {
             reorder_depth: registry.gauge("stage.reorder.depth"),
@@ -899,84 +927,104 @@ where
             from_server: registry.counter("stage.sink.from_server_total"),
         };
         let cp_interval = opts.checkpoint_interval_us;
-        let (skip, mut last_ts, mut next_cp) = match &opts.resume {
+        let (skip, resume_ts, resume_cp) = match &opts.resume {
             Some(r) => (r.records, r.virtual_us, r.next_checkpoint_us),
             None => (0, 0, cp_interval),
         };
-        let mut consumed = 0u64;
-        let mut reorder: BTreeMap<u64, Option<DecodedMsg>> = BTreeMap::new();
-        let mut next_seq = 0u64;
-        let mut staging: Vec<DecodedMsg> = Vec::with_capacity(tail.batch_records);
-        let mut dirs = (0u64, 0u64);
-        let mut tail_failed = false;
-        let mut pt = seq_trace.begin();
-        while let Ok(WorkerOut::Step(seq, decoded)) = out_rx.recv() {
-            let w0 = seq_trace.service_begin(&mut pt);
-            reorder.insert(seq, decoded);
-            while let Some(decoded) = reorder.remove(&next_seq) {
-                next_seq += 1;
-                let Some(d) = decoded else { continue };
-                if cp_interval > 0 && d.ts.0 >= next_cp {
-                    // Cut *before* consuming this message. The staged
-                    // run is flushed first so the orders captured below
-                    // cover exactly "everything before the boundary",
-                    // and the marker rides the same ordered queues, so
-                    // the writer stamps it at exactly that offset.
-                    next_cp = (d.ts.0 / cp_interval + 1) * cp_interval;
-                    seq_trace.event_dump(
-                        SpanKind::Checkpoint,
-                        "checkpoint",
-                        consumed as u32,
-                        last_ts,
-                    );
-                    if !tail_failed {
-                        tail_failed = !flush_tail_batch(
-                            &mut staging,
-                            &mut scheme,
-                            &rec_pool_rx,
-                            &fmt_tx,
-                            &sink,
-                            &mut stats,
-                            &mut dirs,
-                        );
+        let anonymizer = {
+            scope.spawn(move |_| {
+                let mut stats = PipelineStats::default();
+                let mut last_ts = resume_ts;
+                let mut next_cp = resume_cp;
+                let mut consumed = 0u64;
+                let mut staging: Vec<DecodedMsg> = Vec::with_capacity(tail.batch_records);
+                let mut dirs = (0u64, 0u64);
+                let mut tail_failed = false;
+                let mut pt = anon_trace.begin();
+                while let Ok(mut chunk) = ord_rx.recv() {
+                    let w0 = anon_trace.service_begin(&mut pt);
+                    let items = chunk.len() as u64;
+                    for d in chunk.drain(..) {
+                        if cp_interval > 0 && d.ts.0 >= next_cp {
+                            // Cut *before* consuming this message. The
+                            // staged run is flushed first so the orders
+                            // captured below cover exactly "everything
+                            // before the boundary", and the marker rides
+                            // the same ordered queues, so the writer
+                            // stamps it at exactly that offset.
+                            next_cp = (d.ts.0 / cp_interval + 1) * cp_interval;
+                            anon_trace.event_dump(
+                                SpanKind::Checkpoint,
+                                "checkpoint",
+                                consumed as u32,
+                                last_ts,
+                            );
+                            if !tail_failed {
+                                tail_failed = !flush_tail_batch(
+                                    &mut staging,
+                                    &mut scheme,
+                                    &rec_pool_rx,
+                                    &fmt_tx,
+                                    &sink,
+                                    &mut stats,
+                                    &mut dirs,
+                                );
+                            }
+                            if !tail_failed {
+                                tail_failed = fmt_tx
+                                    .send(FormatItem::Checkpoint(PipelineCheckpoint {
+                                        virtual_us: last_ts,
+                                        next_checkpoint_us: next_cp,
+                                        records: consumed,
+                                        client_order: scheme.client_encoder().appearance_order(),
+                                        file_order: scheme.file_encoder().appearance_order(),
+                                        fig3_order: fig3.as_ref().map(|f| f.appearance_order()),
+                                    }))
+                                    .is_err();
+                            }
+                        }
+                        consumed += 1;
+                        last_ts = d.ts.0;
+                        if consumed <= skip {
+                            // Resume replay: already written by the
+                            // interrupted run; its effects live in the
+                            // restored state.
+                            continue;
+                        }
+                        if tail_failed {
+                            // Writer is gone: keep consuming so the
+                            // reorder stage drains instead of
+                            // deadlocking the producer.
+                            continue;
+                        }
+                        match d.direction {
+                            Direction::ToServer => dirs.0 += 1,
+                            Direction::FromServer => dirs.1 += 1,
+                        }
+                        if let Some(fig3) = fig3.as_mut() {
+                            for id in message_file_ids(&d.msg) {
+                                fig3.anonymize(id);
+                            }
+                        }
+                        staging.push(d);
+                        if staging.len() >= tail.batch_records {
+                            tail_failed = !flush_tail_batch(
+                                &mut staging,
+                                &mut scheme,
+                                &rec_pool_rx,
+                                &fmt_tx,
+                                &sink,
+                                &mut stats,
+                                &mut dirs,
+                            );
+                        }
                     }
-                    if !tail_failed {
-                        tail_failed = fmt_tx
-                            .send(FormatItem::Checkpoint(PipelineCheckpoint {
-                                virtual_us: last_ts,
-                                next_checkpoint_us: next_cp,
-                                records: consumed,
-                                client_order: scheme.client_encoder().appearance_order(),
-                                file_order: scheme.file_encoder().appearance_order(),
-                                fig3_order: fig3.as_ref().map(|f| f.appearance_order()),
-                            }))
-                            .is_err();
-                    }
+                    let _ = msg_pool_tx.try_send(chunk);
+                    anon_trace.service_end(&mut pt, staging.len() as u32, last_ts, w0, items);
                 }
-                consumed += 1;
-                last_ts = d.ts.0;
-                if consumed <= skip {
-                    // Resume replay: already written by the interrupted
-                    // run; its effects live in the restored state.
-                    continue;
-                }
-                if tail_failed {
-                    // Writer is gone: keep consuming so the decode
-                    // front drains instead of deadlocking the producer.
-                    continue;
-                }
-                match d.direction {
-                    Direction::ToServer => dirs.0 += 1,
-                    Direction::FromServer => dirs.1 += 1,
-                }
-                if let Some(fig3) = fig3.as_mut() {
-                    for id in message_file_ids(&d.msg) {
-                        fig3.anonymize(id);
-                    }
-                }
-                staging.push(d);
-                if staging.len() >= tail.batch_records {
-                    tail_failed = !flush_tail_batch(
+                if !tail_failed {
+                    // Final partial batch.
+                    flush_tail_batch(
                         &mut staging,
                         &mut scheme,
                         &rec_pool_rx,
@@ -986,32 +1034,77 @@ where
                         &mut dirs,
                     );
                 }
+                drop(fmt_tx);
+                (scheme, fig3, stats)
+            })
+        };
+
+        // Reorder stage: restore sequence order, forward ordered runs.
+        // This loop is the batched tail's only remaining serial section,
+        // so it does nothing but the reorder-buffer drain and the chunk
+        // hand-off.
+        let seq_trace = StageTrace::new(
+            registry,
+            StageId::Reorder,
+            trace_ctx.as_ref().map(|c| c.lane(lane_seq(n_workers), 0)),
+        );
+        let reorder_depth = registry.gauge("stage.reorder.depth");
+        let reorder_depth_hwm = registry.gauge("stage.reorder.depth_hwm");
+        let mut reorder: BTreeMap<u64, Option<DecodedMsg>> = BTreeMap::new();
+        let mut next_seq = 0u64;
+        let mut seen_ts = resume_ts;
+        let mut ord_failed = false;
+        let mut chunk: Vec<DecodedMsg> = msg_pool_rx
+            .try_recv()
+            .unwrap_or_else(|| Vec::with_capacity(tail.batch_records));
+        let mut pt = seq_trace.begin();
+        while let Ok(WorkerOut::Step(seq, decoded)) = out_rx.recv() {
+            let w0 = seq_trace.service_begin(&mut pt);
+            reorder.insert(seq, decoded);
+            while let Some(decoded) = reorder.remove(&next_seq) {
+                next_seq += 1;
+                let Some(d) = decoded else { continue };
+                seen_ts = d.ts.0;
+                if ord_failed {
+                    // Anonymiser is gone (it only exits after `ord_in`
+                    // closes or a panic): keep consuming so the decode
+                    // front drains instead of deadlocking the producer.
+                    continue;
+                }
+                chunk.push(d);
+                if chunk.len() >= tail.batch_records {
+                    let full = std::mem::replace(
+                        &mut chunk,
+                        msg_pool_rx
+                            .try_recv()
+                            .unwrap_or_else(|| Vec::with_capacity(tail.batch_records)),
+                    );
+                    ord_failed = ord_tx.send(full).is_err();
+                }
             }
             let depth = reorder.len() as i64;
-            sink.reorder_depth.set(depth);
-            if depth > sink.reorder_depth_hwm.get() {
-                sink.reorder_depth_hwm.set(depth);
+            reorder_depth.set(depth);
+            if depth > reorder_depth_hwm.get() {
+                reorder_depth_hwm.set(depth);
             }
-            seq_trace.service_end(&mut pt, depth as u32, last_ts, w0, 1);
+            seq_trace.service_end(&mut pt, depth as u32, seen_ts, w0, 1);
         }
         debug_assert!(reorder.is_empty(), "holes in the sequence space");
-        if !tail_failed {
-            // Final partial batch.
-            flush_tail_batch(
-                &mut staging,
-                &mut scheme,
-                &rec_pool_rx,
-                &fmt_tx,
-                &sink,
-                &mut stats,
-                &mut dirs,
-            );
+        if !ord_failed && !chunk.is_empty() {
+            let _ = ord_tx.send(chunk);
         }
-        drop(fmt_tx);
+        drop(ord_tx);
 
         // etwlint: allow(no-panic-hot-path): join() only errs when the
         // joined thread panicked; re-raising is panic propagation, not a
         // new failure mode.
+        let (scheme, fig3, anon_stats) = anonymizer.join().expect("anonymizer panicked");
+        stats.records += anon_stats.records;
+        stats.query_records += anon_stats.query_records;
+        stats.to_server += anon_stats.to_server;
+        stats.from_server += anon_stats.from_server;
+
+        // etwlint: allow(no-panic-hot-path): panic propagation, as above
         formatter.join().expect("formatter panicked");
         // etwlint: allow(no-panic-hot-path): panic propagation, as above
         let (w, io_err) = writer_thread.join().expect("writer panicked");
@@ -1030,7 +1123,7 @@ where
             stats.decoder.merge(&worker.decoder);
             merge_reassembly(&mut stats.reassembly, &worker.reassembly);
         }
-        (w, io_err)
+        (w, io_err, scheme, fig3)
     })
     // etwlint: allow(no-panic-hot-path): crossbeam scope() errs only when
     // a child panicked; re-raising is panic propagation.

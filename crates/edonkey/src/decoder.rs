@@ -190,6 +190,7 @@ impl Decoder {
     }
 
     /// Pushes one UDP payload through validation then decoding.
+    // etwlint: source(raw-id): decoded messages carry raw wire identifiers
     pub fn push(&mut self, buf: &[u8]) -> DecodeOutcome {
         self.stats.handled += 1;
         if let Some(&first) = buf.first() {

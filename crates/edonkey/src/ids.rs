@@ -16,6 +16,11 @@ use std::fmt;
 pub const LOW_ID_LIMIT: u32 = 0x0100_0000;
 
 /// A 128-bit eDonkey file identifier (MD4 digest of the file content).
+///
+/// Values of this type are *raw* identifiers: the published dataset may
+/// only ever contain the anonymised appearance-order index, never these
+/// bytes (paper §2.3).
+// etwlint: source(raw-id): every FileId value is a raw identifier
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FileId(pub [u8; 16]);
 
@@ -99,6 +104,10 @@ impl fmt::Display for FileId {
 ///
 /// The numeric value is kept as-is on the wire; [`ClientId::kind`] exposes
 /// the high/low distinction.
+///
+/// Values of this type are *raw* identifiers (high IDs are literal IPv4
+/// addresses) and must pass the anonymiser before reaching any output.
+// etwlint: source(raw-id): every ClientId value is a raw identifier
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ClientId(pub u32);
 

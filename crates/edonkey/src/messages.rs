@@ -107,6 +107,10 @@ pub struct ServerAddr {
 }
 
 /// Any eDonkey UDP message.
+///
+/// Messages carry raw clientIDs/fileIDs in their payload fields, so the
+/// whole type is treated as raw by the anonymisation-soundness lint.
+// etwlint: source(raw-id): message payloads embed raw clientIDs/fileIDs
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Message {
     // ---- management ----

@@ -49,7 +49,7 @@ impl Diagnostic {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -73,12 +73,41 @@ pub struct SourceFile {
     pub text: String,
 }
 
+/// Kind of a taint annotation comment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnnKind {
+    /// `etwlint: source(tag)` — the fn/field/type produces raw values.
+    Source,
+    /// `etwlint: sink(tag)` — the fn emits bytes to the outside world.
+    Sink,
+    /// `etwlint: sanitize(tag)` — the fn is a trusted cleansing boundary.
+    Sanitize,
+}
+
+/// One `etwlint: source(...)/sink(...)/sanitize(...)` comment, parsed
+/// but not yet attached to an item (the taint pass does attachment).
+#[derive(Clone, Debug)]
+pub struct Annotation {
+    /// Annotation kind.
+    pub kind: AnnKind,
+    /// The tag inside the parentheses (e.g. `raw-id`, `xml`).
+    pub tag: String,
+    /// First line of the comment carrying the annotation.
+    pub line: usize,
+    /// Last line of the contiguous comment block — the annotated item
+    /// is the next declaration after this line (or on `line` itself for
+    /// trailing comments).
+    pub applies_line: usize,
+}
+
 /// Everything a rule needs to know about one file.
 pub struct FileContext {
     /// Workspace-relative path (forward slashes).
     pub rel_path: String,
     /// Code tokens.
     pub tokens: Vec<Token>,
+    /// Taint annotations found in comments, in line order.
+    pub annotations: Vec<Annotation>,
     /// Line → comment texts touching that line (block comments register
     /// on every line they span).
     comments_by_line: BTreeMap<usize, Vec<String>>,
@@ -120,10 +149,29 @@ impl FileContext {
                 }
             }
         }
+        let mut annotations = Vec::new();
+        for c in &stream.comments {
+            for (kind, tag) in parse_annotations(c) {
+                // Like `allow`, an annotation covers the contiguous
+                // comment block it lives in; the item it annotates is
+                // the next declaration below the block.
+                let mut last = c.end_line;
+                while comments_by_line.contains_key(&(last + 1)) {
+                    last += 1;
+                }
+                annotations.push(Annotation {
+                    kind,
+                    tag,
+                    line: c.line,
+                    applies_line: last,
+                });
+            }
+        }
         let test_spans = find_test_spans(&stream);
         FileContext {
             rel_path: file.rel_path.clone(),
             tokens: stream.tokens,
+            annotations,
             comments_by_line,
             allows,
             test_spans,
@@ -212,6 +260,35 @@ fn parse_allows(comment: &Comment) -> Vec<String> {
         search += idx + "etwlint:".len();
     }
     rules
+}
+
+/// Extracts `(kind, tag)` pairs from `etwlint: source(tag)` /
+/// `sink(tag)` / `sanitize(tag)` occurrences in a comment. Text after
+/// the closing parenthesis is a free-form justification, mirroring the
+/// `allow` grammar.
+fn parse_annotations(comment: &Comment) -> Vec<(AnnKind, String)> {
+    let mut out = Vec::new();
+    let text = &comment.text;
+    let mut search = 0usize;
+    while let Some(idx) = text[search..].find("etwlint:") {
+        let rest = text[search + idx + "etwlint:".len()..].trim_start();
+        for (prefix, kind) in [
+            ("source(", AnnKind::Source),
+            ("sink(", AnnKind::Sink),
+            ("sanitize(", AnnKind::Sanitize),
+        ] {
+            if let Some(args) = rest.strip_prefix(prefix) {
+                if let Some(close) = args.find(')') {
+                    let tag = args[..close].trim();
+                    if !tag.is_empty() {
+                        out.push((kind, tag.to_string()));
+                    }
+                }
+            }
+        }
+        search += idx + "etwlint:".len();
+    }
+    out
 }
 
 /// Finds `#[cfg(test)] mod name { … }` spans by token matching. Other

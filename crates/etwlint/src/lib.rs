@@ -17,7 +17,10 @@
 //! exception.
 
 pub mod engine;
+pub mod output;
+pub mod parser;
 pub mod rules;
+pub mod taint;
 pub mod tokenizer;
 
 pub use engine::{Diagnostic, FileContext, LintSink, SourceFile};
@@ -93,9 +96,15 @@ pub fn lint_files(files: &[SourceFile]) -> LintReport {
 /// Directory names never descended into when collecting sources.
 const SKIP_DIRS: &[&str] = &[".git", "target", "vendor"];
 
+/// The known-bad snippet corpus: intentionally rule-violating sources
+/// that `tests/fixture_corpus.rs` lints under *virtual* paths. Skipped
+/// here so the workspace self-scan stays clean by construction.
+const FIXTURE_DIR: &str = "crates/etwlint/tests/fixtures";
+
 /// Collects every workspace `.rs` file under `root`, skipping `.git`,
-/// build output, and the vendored stand-ins (which are exempt by
-/// definition — they are the other side of the boundary rule).
+/// build output, the vendored stand-ins (which are exempt by
+/// definition — they are the other side of the boundary rule), and the
+/// lint-fixture corpus (intentionally bad by definition).
 pub fn collect_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
     let mut files = Vec::new();
     let mut stack = vec![root.to_path_buf()];
@@ -110,7 +119,12 @@ pub fn collect_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
                 .and_then(|n| n.to_str())
                 .unwrap_or_default();
             if path.is_dir() {
-                if !SKIP_DIRS.contains(&name) {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                if !SKIP_DIRS.contains(&name) && rel != FIXTURE_DIR {
                     stack.push(path);
                 }
             } else if name.ends_with(".rs") {

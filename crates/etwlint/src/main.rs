@@ -1,7 +1,7 @@
 //! CLI for etwlint.
 //!
 //! ```text
-//! etwlint [--json] [--root DIR] [--list]
+//! etwlint [--format text|json|sarif] [--root DIR] [--list]
 //! ```
 //!
 //! Exit codes: 0 = clean, 1 = unsuppressed diagnostics, 2 = usage or
@@ -10,19 +10,43 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     run(&args)
 }
 
 fn run(args: &[String]) -> ExitCode {
-    let mut json = false;
+    let mut format = Format::Text;
     let mut list = false;
     let mut root: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--json" => json = true,
+            // Back-compat alias for `--format json` (the pre-SARIF flag).
+            "--json" => format = Format::Json,
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("text") => format = Format::Text,
+                    Some("json") => format = Format::Json,
+                    Some("sarif") => format = Format::Sarif,
+                    Some(other) => {
+                        eprintln!("etwlint: unknown format `{other}` (text|json|sarif)");
+                        return ExitCode::from(2);
+                    }
+                    None => {
+                        eprintln!("etwlint: --format needs an argument (text|json|sarif)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--list" => list = true,
             "--root" => {
                 i += 1;
@@ -82,18 +106,20 @@ fn run(args: &[String]) -> ExitCode {
         }
     };
 
-    if json {
-        println!("{}", report.render_json());
-    } else {
-        for d in &report.diagnostics {
-            println!("{}", d.render());
+    match format {
+        Format::Json => println!("{}", etwlint::output::render_json_versioned(&report)),
+        Format::Sarif => println!("{}", etwlint::output::render_sarif(&report)),
+        Format::Text => {
+            for d in &report.diagnostics {
+                println!("{}", d.render());
+            }
+            eprintln!(
+                "etwlint: {} file(s) scanned, {} diagnostic(s), {} suppressed",
+                report.files_scanned,
+                report.diagnostics.len(),
+                report.suppressed.len()
+            );
         }
-        eprintln!(
-            "etwlint: {} file(s) scanned, {} diagnostic(s), {} suppressed",
-            report.files_scanned,
-            report.diagnostics.len(),
-            report.suppressed.len()
-        );
     }
     if report.is_clean() {
         ExitCode::SUCCESS
@@ -104,10 +130,13 @@ fn run(args: &[String]) -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage: etwlint [--json] [--root DIR] [--list]\n\
+        "usage: etwlint [--format text|json|sarif] [--root DIR] [--list]\n\
          \n\
          Lints the workspace against the repo-specific rule catalogue.\n\
-         --json   emit one JSON document instead of line diagnostics\n\
+         --format text|json|sarif\n\
+         \u{20}        line diagnostics (default), the versioned JSON report\n\
+         \u{20}        (etwlint-report/1), or a SARIF 2.1.0 log\n\
+         --json   alias for --format json\n\
          --root   workspace root (default: walk up from cwd)\n\
          --list   print the rule catalogue and exit"
     );

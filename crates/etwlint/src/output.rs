@@ -1,0 +1,128 @@
+//! Stable machine-readable lint output: a versioned JSON schema and a
+//! SARIF 2.1.0 emitter, so CI can archive and annotate findings.
+//!
+//! Both formats are hand-rolled (the workspace vendors no serde) and
+//! deterministic: diagnostics arrive pre-sorted from
+//! [`crate::lint_files`], and rule metadata is emitted in catalogue
+//! order. The JSON schema is versioned via the `schema` field
+//! (`etwlint-report/1`); breaking changes bump the suffix. Golden-file
+//! tests in `tests/format_golden.rs` pin both formats.
+
+use crate::engine::{json_escape, Diagnostic};
+use crate::rules::rule_catalogue;
+use crate::LintReport;
+
+/// Identifier of the current JSON report schema.
+pub const JSON_SCHEMA: &str = "etwlint-report/1";
+
+/// SARIF version emitted by [`render_sarif`].
+pub const SARIF_VERSION: &str = "2.1.0";
+
+/// Renders the versioned JSON report (schema `etwlint-report/1`).
+pub fn render_json_versioned(report: &LintReport) -> String {
+    let mut out = String::from("{\"schema\":\"");
+    out.push_str(JSON_SCHEMA);
+    out.push_str("\",\"files_scanned\":");
+    out.push_str(&report.files_scanned.to_string());
+    out.push_str(",\"clean\":");
+    out.push_str(if report.is_clean() { "true" } else { "false" });
+    out.push_str(",\"diagnostics\":[");
+    push_diags(&mut out, &report.diagnostics);
+    out.push_str("],\"suppressed\":[");
+    push_diags(&mut out, &report.suppressed);
+    out.push_str("]}");
+    out
+}
+
+fn push_diags(out: &mut String, diags: &[Diagnostic]) {
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&d.render_json());
+    }
+}
+
+/// Renders the report as a SARIF 2.1.0 log with one run. Suppressed
+/// findings are included with an `inSource` suppression so viewers can
+/// distinguish reviewed exceptions from clean code.
+pub fn render_sarif(report: &LintReport) -> String {
+    let mut out = String::from(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"version\":\"",
+    );
+    out.push_str(SARIF_VERSION);
+    out.push_str("\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"etwlint\",\"rules\":[");
+    for (i, (name, desc)) in rule_catalogue().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"id\":\"");
+        out.push_str(&json_escape(name));
+        out.push_str("\",\"shortDescription\":{\"text\":\"");
+        out.push_str(&json_escape(desc));
+        out.push_str("\"}}");
+    }
+    out.push_str("]}},\"results\":[");
+    let mut first = true;
+    for d in &report.diagnostics {
+        push_sarif_result(&mut out, d, false, &mut first);
+    }
+    for d in &report.suppressed {
+        push_sarif_result(&mut out, d, true, &mut first);
+    }
+    out.push_str("]}]}");
+    out
+}
+
+fn push_sarif_result(out: &mut String, d: &Diagnostic, suppressed: bool, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str("{\"ruleId\":\"");
+    out.push_str(&json_escape(d.rule));
+    out.push_str("\",\"level\":\"error\",\"message\":{\"text\":\"");
+    out.push_str(&json_escape(&d.message));
+    out.push_str("\"},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":\"");
+    out.push_str(&json_escape(&d.path));
+    out.push_str("\"},\"region\":{\"startLine\":");
+    out.push_str(&d.line.to_string());
+    out.push_str(",\"startColumn\":");
+    out.push_str(&d.col.to_string());
+    out.push_str("}}}]");
+    if suppressed {
+        out.push_str(",\"suppressions\":[{\"kind\":\"inSource\"}]");
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SourceFile;
+    use crate::lint_files;
+
+    #[test]
+    fn json_report_is_versioned() {
+        let report = lint_files(&[SourceFile {
+            rel_path: "ok.rs".into(),
+            text: "fn f() {}\n".into(),
+        }]);
+        let json = render_json_versioned(&report);
+        assert!(json.starts_with("{\"schema\":\"etwlint-report/1\""));
+        assert!(json.contains("\"clean\":true"));
+    }
+
+    #[test]
+    fn sarif_carries_rule_metadata_and_locations() {
+        let report = lint_files(&[SourceFile {
+            rel_path: "crates/core/src/pipeline.rs".into(),
+            text: "fn f() { let t = SystemTime::now(); }\n".into(),
+        }]);
+        let sarif = render_sarif(&report);
+        assert!(sarif.contains("\"version\":\"2.1.0\""));
+        assert!(sarif.contains("\"id\":\"no-wall-clock\""));
+        assert!(sarif.contains("\"uri\":\"crates/core/src/pipeline.rs\""));
+        assert!(sarif.contains("\"startLine\":1"));
+    }
+}

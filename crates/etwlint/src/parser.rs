@@ -1,0 +1,1938 @@
+//! A lightweight Rust *outline* parser on top of the tokenizer — just
+//! enough syntax for the taint pass: items (fns, impls, structs/enums,
+//! traits, mods), fn signatures, and fn bodies as expression/statement
+//! trees covering the subset of Rust this workspace actually uses.
+//!
+//! The parser is total and panic-free: anything it does not understand
+//! degrades to an opaque expression that unions the taint of whatever
+//! sub-expressions were recognised. Operator precedence is deliberately
+//! ignored — for taint propagation `a + b` is the *union* of `a` and
+//! `b`, so binary chains flatten into a single [`Expr::Group`].
+//!
+//! Guarantees relied on by `taint.rs`:
+//!
+//! * every parse function consumes at least one token on malformed
+//!   input, so parsing terminates;
+//! * `if let` / `while let` / `for` / `match` desugar their pattern
+//!   bindings into explicit binding lists, so the taint pass never sees
+//!   a pattern;
+//! * macro invocations become [`Expr::Macro`] with each depth-0
+//!   comma/semicolon chunk parsed as an expression where possible
+//!   (falling back to bare identifier extraction for pattern chunks
+//!   such as the second argument of `matches!`).
+
+use crate::tokenizer::{Token, TokenKind};
+
+/// One fn parameter: binding name(s) and the raw type text.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Primary binding name (`_` for wildcard / complex patterns the
+    /// parser could not name; `self` for receivers).
+    pub name: String,
+    /// Type text with all tokens joined by single spaces (empty for
+    /// bare `self` receivers).
+    pub ty: String,
+    /// Whether the parameter is a `&mut` reference (including
+    /// `&mut self`).
+    pub by_mut_ref: bool,
+}
+
+/// A parsed function with its body (if present).
+#[derive(Debug)]
+pub struct FnDef {
+    /// Bare fn name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, if any.
+    pub qual: Option<String>,
+    /// Line of the first token of the item *including* attributes —
+    /// annotation comments above attributes still attach.
+    pub lead_line: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// 1-based column of the `fn` keyword.
+    pub col: usize,
+    /// Parameters in order (receiver first when present).
+    pub params: Vec<Param>,
+    /// Whether the signature declares a return type.
+    pub has_ret: bool,
+    /// Body block; `None` for trait method declarations.
+    pub body: Option<Block>,
+}
+
+/// A struct/enum field (or, for enums, a variant payload is ignored —
+/// only named struct fields are recorded).
+#[derive(Debug)]
+pub struct FieldDef {
+    /// Field name.
+    pub name: String,
+    /// 1-based line of the field name.
+    pub line: usize,
+    /// Declared type text (joined tokens).
+    pub ty: String,
+}
+
+/// A struct or enum item — a target for type-level annotations.
+#[derive(Debug)]
+pub struct TypeDef {
+    /// Type name.
+    pub name: String,
+    /// Line of the first token of the item including attributes.
+    pub lead_line: usize,
+    /// Line of the `struct`/`enum` keyword.
+    pub line: usize,
+    /// Named fields (structs only).
+    pub fields: Vec<FieldDef>,
+}
+
+/// Everything the taint pass needs from one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// All fns, including those nested in impls, traits and mods.
+    pub fns: Vec<FnDef>,
+    /// All structs/enums with their named fields.
+    pub types: Vec<TypeDef>,
+    /// `type Alias = Target;` items (including associated types), as
+    /// `(alias, target-type text)` pairs.
+    pub aliases: Vec<(String, String)>,
+}
+
+/// A `{ … }` body: statements plus an optional tail expression.
+#[derive(Debug, Default)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+    /// Trailing expression (the block's value), if any.
+    pub tail: Option<Box<Expr>>,
+}
+
+/// One statement.
+#[derive(Debug)]
+pub enum Stmt {
+    /// `let <pat> = init;` — pattern flattened to its binding names.
+    Let {
+        /// Names bound by the pattern.
+        names: Vec<String>,
+        /// Initialiser (None for `let x;`).
+        init: Option<Expr>,
+    },
+    /// `target = value;` or compound `target += value;`.
+    Assign {
+        /// Place expression being assigned.
+        target: Expr,
+        /// Value expression.
+        value: Expr,
+        /// Compound assignment (`+=` …) unions into the target instead
+        /// of replacing it.
+        compound: bool,
+    },
+    /// Bare expression statement.
+    Expr(Expr),
+    /// `return expr?;`
+    Return(Option<Expr>),
+}
+
+/// One expression, reduced to what taint propagation distinguishes.
+#[derive(Debug)]
+pub enum Expr {
+    /// Path: `x`, `a::b::C`, `self`. Single lowercase segments are local
+    /// variables; everything else is treated as a constant (clean).
+    Path {
+        /// Path segments.
+        segs: Vec<String>,
+        /// Position of the first segment.
+        line: usize,
+        /// Column of the first segment.
+        col: usize,
+    },
+    /// Field access `base.name` (tuple indices become the digit text).
+    Field {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Field name.
+        name: String,
+        /// Line of the field name.
+        line: usize,
+        /// Column of the field name.
+        col: usize,
+    },
+    /// Free/path call `a::b(args)`.
+    Call {
+        /// Full callee path segments.
+        segs: Vec<String>,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Call line.
+        line: usize,
+        /// Call column.
+        col: usize,
+    },
+    /// Method call `recv.name(args)`.
+    MethodCall {
+        /// Receiver.
+        recv: Box<Expr>,
+        /// Method name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Line of the method name.
+        line: usize,
+        /// Column of the method name.
+        col: usize,
+    },
+    /// Struct literal `Name { f: e, .. }`.
+    Struct {
+        /// Struct name (last path segment).
+        name: String,
+        /// Field initialisers (shorthand `f` becomes `f: f`).
+        fields: Vec<(String, Expr)>,
+        /// Functional-update base (`..base`).
+        rest: Option<Box<Expr>>,
+        /// Line of the struct name.
+        line: usize,
+    },
+    /// Macro invocation `name!(…)` with best-effort parsed arguments.
+    Macro {
+        /// Macro name (last path segment).
+        name: String,
+        /// Depth-0 chunks parsed as expressions (or ident fallbacks).
+        args: Vec<Expr>,
+        /// Line of the macro name.
+        line: usize,
+        /// Column of the macro name.
+        col: usize,
+    },
+    /// Taint union of sub-expressions: tuples, arrays, indexing, binary
+    /// chains, casts, unrecognised forms.
+    Group(Vec<Expr>),
+    /// `&e` / `&mut e`.
+    Ref {
+        /// Referenced expression.
+        inner: Box<Expr>,
+        /// `&mut`?
+        mutable: bool,
+    },
+    /// Block expression.
+    Block(Block),
+    /// `if cond { then } else { else }` (also desugared `if let`).
+    If {
+        /// Condition (ignored for value taint).
+        cond: Box<Expr>,
+        /// Names bound by an `if let` pattern from the condition value.
+        bindings: Vec<String>,
+        /// Then block.
+        then_blk: Block,
+        /// Else branch (block or chained if).
+        else_expr: Option<Box<Expr>>,
+    },
+    /// `match scrutinee { arms }`.
+    Match {
+        /// Scrutinee.
+        scrutinee: Box<Expr>,
+        /// Arms: pattern binding names + body.
+        arms: Vec<(Vec<String>, Expr)>,
+    },
+    /// `loop`/`while`/`for` body. `for` loops also carry the iterator
+    /// expression and its bindings.
+    Loop {
+        /// Iterator/condition expression, if any.
+        source: Option<Box<Expr>>,
+        /// Names bound per iteration from `source`.
+        bindings: Vec<String>,
+        /// Loop body.
+        body: Block,
+    },
+    /// Closure `|params| body` — taint of the closure value is the
+    /// taint of its body (captures evaluated in the defining scope).
+    Closure {
+        /// Parameter names (bound clean).
+        params: Vec<String>,
+        /// Body expression.
+        body: Box<Expr>,
+    },
+    /// Literal or other taint-free atom.
+    Lit,
+}
+
+/// Parses one file's token stream into its outline.
+pub fn parse_file(tokens: &[Token]) -> ParsedFile {
+    let mut p = Parser { t: tokens, pos: 0 };
+    let mut out = ParsedFile::default();
+    p.items(&mut out, None, usize::MAX);
+    out
+}
+
+struct Parser<'a> {
+    t: &'a [Token],
+    pos: usize,
+}
+
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn",
+    "struct",
+    "enum",
+    "impl",
+    "trait",
+    "mod",
+    "use",
+    "const",
+    "static",
+    "type",
+    "union",
+    "extern",
+    "macro_rules",
+];
+
+impl<'a> Parser<'a> {
+    fn peek(&self, n: usize) -> Option<&Token> {
+        self.t.get(self.pos + n)
+    }
+
+    fn cur(&self) -> Option<&Token> {
+        self.peek(0)
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn at_punct(&self, s: &str) -> bool {
+        matches!(self.cur(), Some(t) if t.kind == TokenKind::Punct && t.text == s)
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        matches!(self.cur(), Some(t) if t.kind == TokenKind::Ident && t.text == s)
+    }
+
+    fn punct_at(&self, n: usize, s: &str) -> bool {
+        matches!(self.peek(n), Some(t) if t.kind == TokenKind::Punct && t.text == s)
+    }
+
+    fn eat_punct(&mut self, s: &str) -> bool {
+        if self.at_punct(s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self, s: &str) -> bool {
+        if self.at_ident(s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Skips a balanced `#[...]` attribute; `pos` is at `#`.
+    fn skip_attr(&mut self) {
+        self.bump(); // `#`
+        self.eat_punct("!");
+        if !self.at_punct("[") {
+            return;
+        }
+        self.skip_balanced("[", "]");
+    }
+
+    /// Skips from an opening delimiter through its matching close.
+    fn skip_balanced(&mut self, open: &str, close: &str) {
+        let mut depth = 0usize;
+        while let Some(t) = self.cur() {
+            if t.kind == TokenKind::Punct {
+                if t.text == open {
+                    depth += 1;
+                } else if t.text == close {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.bump();
+                        return;
+                    }
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips a generic parameter list starting at `<`.
+    fn skip_generics(&mut self) {
+        let mut depth = 0usize;
+        while let Some(t) = self.cur() {
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "<" => depth += 1,
+                    ">" => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            self.bump();
+                            return;
+                        }
+                    }
+                    // `->` inside `Fn(..) -> R` bounds: the `>` must not
+                    // close the generic list.
+                    "-" if self.punct_at(1, ">") => {
+                        self.bump();
+                    }
+                    _ => {}
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips type tokens until a depth-0 terminator from `stops`.
+    fn skip_type(&mut self, stops: &[&str]) {
+        let mut angle = 0usize;
+        let mut paren = 0usize;
+        while let Some(t) = self.cur() {
+            if t.kind == TokenKind::Punct {
+                let s = t.text.as_str();
+                if angle == 0 && paren == 0 && stops.contains(&s) {
+                    return;
+                }
+                match s {
+                    "<" => angle += 1,
+                    ">" => angle = angle.saturating_sub(1),
+                    "-" if self.punct_at(1, ">") => {
+                        self.bump(); // `-`; the `>` is consumed below
+                    }
+                    "(" | "[" => paren += 1,
+                    ")" | "]" => {
+                        if paren == 0 {
+                            return; // closing an outer delimiter
+                        }
+                        paren -= 1;
+                    }
+                    _ => {}
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Item scan. `qual` is the enclosing impl/trait type; parsing stops
+    /// at `end_pos` or a depth-0 `}`.
+    fn items(&mut self, out: &mut ParsedFile, qual: Option<&str>, end_pos: usize) {
+        let mut lead: Option<usize> = None;
+        while self.pos < end_pos && self.cur().is_some() {
+            if self.at_punct("}") {
+                self.bump();
+                return;
+            }
+            if self.at_punct("#") {
+                let line = self.cur().map(|t| t.line).unwrap_or(0);
+                lead.get_or_insert(line);
+                self.skip_attr();
+                continue;
+            }
+            let t = match self.cur() {
+                Some(t) => t.clone(),
+                None => return,
+            };
+            if t.kind != TokenKind::Ident {
+                lead = None;
+                self.bump();
+                continue;
+            }
+            match t.text.as_str() {
+                "pub" => {
+                    lead.get_or_insert(t.line);
+                    self.bump();
+                    // `pub(crate)` etc.
+                    if self.at_punct("(") {
+                        self.skip_balanced("(", ")");
+                    }
+                }
+                "unsafe" | "async" | "default" => {
+                    lead.get_or_insert(t.line);
+                    self.bump();
+                }
+                "const" | "static" => {
+                    // `const fn f` is a fn modifier; `const X: T = …;` an item.
+                    if matches!(self.peek(1), Some(n) if n.kind == TokenKind::Ident && (n.text == "fn" || n.text == "unsafe"))
+                    {
+                        lead.get_or_insert(t.line);
+                        self.bump();
+                    } else {
+                        self.skip_to_semi();
+                        lead = None;
+                    }
+                }
+                "fn" => {
+                    let lead_line = lead.take().unwrap_or(t.line);
+                    self.parse_fn(out, qual, lead_line);
+                }
+                "struct" | "enum" | "union" => {
+                    let lead_line = lead.take().unwrap_or(t.line);
+                    self.parse_type(out, lead_line);
+                }
+                "impl" => {
+                    lead = None;
+                    self.parse_impl(out);
+                }
+                "trait" => {
+                    lead = None;
+                    self.bump();
+                    let name = self.take_ident().unwrap_or_default();
+                    if self.at_punct("<") {
+                        self.skip_generics();
+                    }
+                    // Supertraits / where-clause: skip to the body.
+                    while self.cur().is_some() && !self.at_punct("{") && !self.at_punct(";") {
+                        if self.at_punct("<") {
+                            self.skip_generics();
+                        } else {
+                            self.bump();
+                        }
+                    }
+                    if self.eat_punct("{") {
+                        self.items(out, Some(&name), usize::MAX);
+                    } else {
+                        self.bump_or_end();
+                    }
+                }
+                "mod" => {
+                    lead = None;
+                    self.bump();
+                    self.take_ident();
+                    if self.eat_punct("{") {
+                        self.items(out, qual, usize::MAX);
+                    } else {
+                        self.eat_punct(";");
+                    }
+                }
+                "type" => {
+                    lead = None;
+                    self.bump();
+                    let alias = self.take_ident();
+                    if self.at_punct("<") {
+                        self.skip_generics();
+                    }
+                    if self.eat_punct("=") {
+                        let start = self.pos;
+                        self.skip_type(&[";"]);
+                        if let Some(alias) = alias {
+                            out.aliases
+                                .push((alias, join_tokens(&self.t[start..self.pos])));
+                        }
+                    }
+                    self.eat_punct(";");
+                }
+                "use" | "extern" | "macro_rules" => {
+                    lead = None;
+                    self.skip_to_semi_or_block();
+                }
+                _ => {
+                    lead = None;
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn bump_or_end(&mut self) {
+        if self.cur().is_some() {
+            self.bump();
+        }
+    }
+
+    fn take_ident(&mut self) -> Option<String> {
+        match self.cur() {
+            Some(t) if t.kind == TokenKind::Ident => {
+                let s = t.text.clone();
+                self.bump();
+                Some(s)
+            }
+            _ => None,
+        }
+    }
+
+    fn skip_to_semi(&mut self) {
+        let mut depth = 0usize;
+        while let Some(t) = self.cur() {
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "{" | "(" | "[" => depth += 1,
+                    "}" | ")" | "]" => {
+                        if depth == 0 {
+                            return;
+                        }
+                        depth -= 1;
+                    }
+                    ";" if depth == 0 => {
+                        self.bump();
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips to `;` or over one balanced `{ … }`, whichever comes first
+    /// (for `macro_rules!` and `extern` blocks).
+    fn skip_to_semi_or_block(&mut self) {
+        while let Some(t) = self.cur() {
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    ";" => {
+                        self.bump();
+                        return;
+                    }
+                    "{" => {
+                        self.skip_balanced("{", "}");
+                        return;
+                    }
+                    "}" => return,
+                    _ => {}
+                }
+            }
+            self.bump();
+        }
+    }
+
+    fn parse_impl(&mut self, out: &mut ParsedFile) {
+        self.bump(); // `impl`
+        if self.at_punct("<") {
+            self.skip_generics();
+        }
+        // `impl Type` or `impl Trait for Type`: the impl type is the last
+        // path segment before `{` / `where`, preferring the part after
+        // `for`.
+        let mut name = String::new();
+        let mut after_for = false;
+        while let Some(t) = self.cur() {
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "{" => break,
+                    "<" => {
+                        self.skip_generics();
+                        continue;
+                    }
+                    _ => {
+                        self.bump();
+                        continue;
+                    }
+                }
+            }
+            if t.text == "where" {
+                // Skip the clause up to the body.
+                while self.cur().is_some() && !self.at_punct("{") {
+                    if self.at_punct("<") {
+                        self.skip_generics();
+                    } else {
+                        self.bump();
+                    }
+                }
+                break;
+            }
+            if t.text == "for" {
+                after_for = true;
+                name.clear();
+                self.bump();
+                continue;
+            }
+            let _ = after_for;
+            name = t.text.clone();
+            self.bump();
+        }
+        if self.eat_punct("{") {
+            self.items(out, Some(&name), usize::MAX);
+        }
+    }
+
+    fn parse_type(&mut self, out: &mut ParsedFile, lead_line: usize) {
+        let kw = self.cur().cloned();
+        self.bump();
+        let name = self.take_ident().unwrap_or_default();
+        let line = kw.map(|t| t.line).unwrap_or(0);
+        if self.at_punct("<") {
+            self.skip_generics();
+        }
+        // where-clause before the body.
+        while self.cur().is_some()
+            && !self.at_punct("{")
+            && !self.at_punct("(")
+            && !self.at_punct(";")
+        {
+            if self.at_punct("<") {
+                self.skip_generics();
+            } else {
+                self.bump();
+            }
+        }
+        let mut fields = Vec::new();
+        if self.at_punct("(") {
+            // Tuple struct: no named fields.
+            self.skip_balanced("(", ")");
+            self.eat_punct(";");
+        } else if self.eat_punct("{") {
+            // Named fields (or enum variants, whose payloads we skip).
+            let mut depth = 0usize;
+            while let Some(t) = self.cur() {
+                if t.kind == TokenKind::Punct {
+                    match t.text.as_str() {
+                        "{" | "(" | "[" => {
+                            depth += 1;
+                            self.bump();
+                            continue;
+                        }
+                        "}" | ")" | "]" => {
+                            if depth == 0 {
+                                self.bump();
+                                break;
+                            }
+                            depth -= 1;
+                            self.bump();
+                            continue;
+                        }
+                        "#" if depth == 0 => {
+                            self.skip_attr();
+                            continue;
+                        }
+                        "<" => {
+                            self.skip_generics();
+                            continue;
+                        }
+                        _ => {
+                            self.bump();
+                            continue;
+                        }
+                    }
+                }
+                if depth == 0
+                    && t.kind == TokenKind::Ident
+                    && t.text != "pub"
+                    && self.punct_at(1, ":")
+                    && !self.punct_at(2, ":")
+                {
+                    let (fname, fline) = (t.text.clone(), t.line);
+                    self.bump(); // name
+                    self.bump(); // `:`
+                    let start = self.pos;
+                    self.skip_type(&[",", "}"]);
+                    fields.push(FieldDef {
+                        name: fname,
+                        line: fline,
+                        ty: join_tokens(&self.t[start..self.pos]),
+                    });
+                    self.eat_punct(",");
+                    continue;
+                }
+                self.bump();
+            }
+        } else {
+            self.eat_punct(";");
+        }
+        out.types.push(TypeDef {
+            name,
+            lead_line,
+            line,
+            fields,
+        });
+    }
+
+    fn parse_fn(&mut self, out: &mut ParsedFile, qual: Option<&str>, lead_line: usize) {
+        let kw = match self.cur() {
+            Some(t) => t.clone(),
+            None => return,
+        };
+        self.bump(); // `fn`
+        let name = self.take_ident().unwrap_or_default();
+        if self.at_punct("<") {
+            self.skip_generics();
+        }
+        let mut params = Vec::new();
+        if self.eat_punct("(") {
+            while self.cur().is_some() && !self.at_punct(")") {
+                let p = self.parse_param();
+                params.push(p);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.eat_punct(")");
+        }
+        let mut has_ret = false;
+        if self.at_punct("-") && self.punct_at(1, ">") {
+            has_ret = true;
+            self.bump();
+            self.bump();
+            self.skip_type(&["{", ";"]);
+        }
+        if self.at_ident("where") {
+            while self.cur().is_some() && !self.at_punct("{") && !self.at_punct(";") {
+                if self.at_punct("<") {
+                    self.skip_generics();
+                } else {
+                    self.bump();
+                }
+            }
+        }
+        let body = if self.eat_punct("{") {
+            Some(self.parse_block())
+        } else {
+            self.eat_punct(";");
+            None
+        };
+        out.fns.push(FnDef {
+            name,
+            qual: qual.map(|s| s.to_string()),
+            lead_line,
+            line: kw.line,
+            col: kw.col,
+            params,
+            has_ret,
+            body,
+        });
+    }
+
+    fn parse_param(&mut self) -> Param {
+        // Attributes on params (rare).
+        while self.at_punct("#") {
+            self.skip_attr();
+        }
+        let mut by_mut_ref = false;
+        if self.at_punct("&") {
+            self.bump();
+            if matches!(self.cur(), Some(t) if t.kind == TokenKind::Lifetime) {
+                self.bump();
+            }
+            if self.at_ident("mut") {
+                by_mut_ref = true;
+                self.bump();
+            }
+            if self.at_ident("self") {
+                self.bump();
+                return Param {
+                    name: "self".into(),
+                    ty: String::new(),
+                    by_mut_ref,
+                };
+            }
+            // `&T`-typed param without a pattern? Only valid in trait
+            // decls (`fn f(&self)` handled above); treat the rest as an
+            // unnamed type and skip it.
+            self.skip_type(&[",", ")"]);
+            return Param {
+                name: "_".into(),
+                ty: String::new(),
+                by_mut_ref,
+            };
+        }
+        if self.at_ident("mut") {
+            self.bump();
+        }
+        if self.at_ident("self") {
+            self.bump();
+            return Param {
+                name: "self".into(),
+                ty: String::new(),
+                by_mut_ref: false,
+            };
+        }
+        // Pattern params like `(a, b): (u32, u32)` — collect the names.
+        let names = if self.at_punct("(") {
+            let start = self.pos;
+            self.skip_balanced("(", ")");
+            collect_pattern_bindings(&self.t[start..self.pos])
+        } else {
+            match self.take_ident() {
+                Some(n) => vec![n],
+                None => {
+                    self.bump_or_end();
+                    Vec::new()
+                }
+            }
+        };
+        let mut ty = String::new();
+        if self.eat_punct(":") {
+            let start = self.pos;
+            self.skip_type(&[",", ")"]);
+            ty = join_tokens(&self.t[start..self.pos]);
+        }
+        let mut by_mut = false;
+        // A `&mut T` type makes the param a mutable reference.
+        let ty_trim = ty.trim_start();
+        if let Some(rest) = ty_trim.strip_prefix('&') {
+            let rest = rest.trim_start();
+            let rest = rest.strip_prefix('\'').map_or(rest, |r| {
+                r.split_once(' ').map(|(_, tail)| tail).unwrap_or("")
+            });
+            if rest.trim_start().starts_with("mut ") || rest.trim_start() == "mut" {
+                by_mut = true;
+            }
+        }
+        Param {
+            name: names.into_iter().next().unwrap_or_else(|| "_".into()),
+            ty,
+            by_mut_ref: by_mut,
+        }
+    }
+
+    // -- blocks & statements ------------------------------------------------
+
+    /// Parses a block body; the opening `{` is already consumed.
+    fn parse_block(&mut self) -> Block {
+        let mut block = Block::default();
+        loop {
+            let before = self.pos;
+            match self.cur() {
+                None => break,
+                Some(t) if t.kind == TokenKind::Punct && t.text == "}" => {
+                    self.bump();
+                    break;
+                }
+                Some(t) if t.kind == TokenKind::Punct && t.text == ";" => {
+                    self.bump();
+                    continue;
+                }
+                Some(t) if t.kind == TokenKind::Punct && t.text == "#" => {
+                    self.skip_attr();
+                    continue;
+                }
+                Some(t) if t.kind == TokenKind::Ident && t.text == "let" => {
+                    self.parse_let(&mut block);
+                }
+                Some(t) if t.kind == TokenKind::Ident && t.text == "return" => {
+                    self.bump();
+                    let e = if self.at_punct(";") || self.at_punct("}") {
+                        None
+                    } else {
+                        Some(self.parse_expr(false))
+                    };
+                    block.stmts.push(Stmt::Return(e));
+                }
+                Some(t)
+                    if t.kind == TokenKind::Ident
+                        && (t.text == "break" || t.text == "continue") =>
+                {
+                    self.bump();
+                    if matches!(self.cur(), Some(t) if t.kind == TokenKind::Lifetime) {
+                        self.bump();
+                    }
+                    if !self.at_punct(";") && !self.at_punct("}") {
+                        let e = self.parse_expr(false);
+                        block.stmts.push(Stmt::Expr(e));
+                    }
+                }
+                Some(t)
+                    if t.kind == TokenKind::Ident
+                        && ITEM_KEYWORDS.contains(&t.text.as_str())
+                        && t.text != "union" =>
+                {
+                    // Nested item inside a fn body: skip it whole. Its
+                    // fns are rare enough to ignore for taint purposes.
+                    self.skip_item_in_block();
+                }
+                _ => {
+                    let e = self.parse_expr(false);
+                    if self.at_punct("=") && !self.punct_at(1, "=") {
+                        self.bump();
+                        let v = self.parse_expr(false);
+                        block.stmts.push(Stmt::Assign {
+                            target: e,
+                            value: v,
+                            compound: false,
+                        });
+                    } else if self.is_compound_assign() {
+                        self.bump(); // op
+                        self.bump(); // `=`
+                        let v = self.parse_expr(false);
+                        block.stmts.push(Stmt::Assign {
+                            target: e,
+                            value: v,
+                            compound: true,
+                        });
+                    } else if self.at_punct("}") {
+                        self.bump();
+                        block.tail = Some(Box::new(e));
+                        break;
+                    } else {
+                        block.stmts.push(Stmt::Expr(e));
+                    }
+                }
+            }
+            if self.pos == before {
+                self.bump_or_end(); // guarantee progress
+            }
+        }
+        block
+    }
+
+    fn is_compound_assign(&self) -> bool {
+        match self.cur() {
+            Some(t)
+                if t.kind == TokenKind::Punct
+                    && matches!(
+                        t.text.as_str(),
+                        "+" | "-" | "*" | "/" | "%" | "^" | "&" | "|"
+                    ) =>
+            {
+                self.punct_at(1, "=") && !self.punct_at(2, "=")
+            }
+            _ => false,
+        }
+    }
+
+    fn skip_item_in_block(&mut self) {
+        // Consume tokens up to `;` or a balanced `{…}` body.
+        while let Some(t) = self.cur() {
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    ";" => {
+                        self.bump();
+                        return;
+                    }
+                    "{" => {
+                        self.skip_balanced("{", "}");
+                        return;
+                    }
+                    "}" => return,
+                    "<" => {
+                        self.skip_generics();
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            self.bump();
+        }
+    }
+
+    fn parse_let(&mut self, block: &mut Block) {
+        self.bump(); // `let`
+        let pat_start = self.pos;
+        self.skip_pattern(&["=", ";", ":"]);
+        let mut names = collect_pattern_bindings(&self.t[pat_start..self.pos]);
+        if self.eat_punct(":") {
+            self.skip_type(&["=", ";"]);
+        }
+        let init = if self.eat_punct("=") {
+            Some(self.parse_expr(false))
+        } else {
+            None
+        };
+        // `let … else { … }` diverging block.
+        if self.at_ident("else") {
+            self.bump();
+            if self.eat_punct("{") {
+                let b = self.parse_block();
+                block.stmts.push(Stmt::Expr(Expr::Block(b)));
+            }
+        }
+        self.eat_punct(";");
+        if names.is_empty() {
+            names.push("_".into());
+        }
+        block.stmts.push(Stmt::Let { names, init });
+    }
+
+    /// Skips pattern tokens until a depth-0 terminator.
+    fn skip_pattern(&mut self, stops: &[&str]) {
+        let mut depth = 0usize;
+        while let Some(t) = self.cur() {
+            if t.kind == TokenKind::Punct {
+                let s = t.text.as_str();
+                if depth == 0 && stops.contains(&s) {
+                    // `::` is not a stop even when `:` is.
+                    if s == ":" && self.punct_at(1, ":") {
+                        self.bump();
+                        self.bump();
+                        continue;
+                    }
+                    return;
+                }
+                match s {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => {
+                        if depth == 0 {
+                            return;
+                        }
+                        depth -= 1;
+                    }
+                    "<" => {
+                        self.skip_generics();
+                        continue;
+                    }
+                    _ => {}
+                }
+            } else if t.kind == TokenKind::Ident && depth == 0 && stops.contains(&t.text.as_str()) {
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    // -- expressions --------------------------------------------------------
+
+    /// Parses an expression. `no_struct` suppresses struct literals so
+    /// `if x {` and `match x {` terminate at the block.
+    fn parse_expr(&mut self, no_struct: bool) -> Expr {
+        let mut operands = vec![self.parse_unary(no_struct)];
+        loop {
+            let before = self.pos;
+            if self.at_ident("as") {
+                self.bump();
+                self.skip_type(&[
+                    ",", ";", ")", "]", "}", "{", "=", "+", "-", "*", "/", "<", ">", "?", ".", "&",
+                    "|",
+                ]);
+                continue;
+            }
+            if !self.eat_binop(no_struct) {
+                break;
+            }
+            // Open-ended range (`a..`): no RHS follows.
+            if self.expr_terminator(no_struct) {
+                break;
+            }
+            operands.push(self.parse_unary(no_struct));
+            if self.pos == before {
+                self.bump_or_end();
+                break;
+            }
+        }
+        if operands.len() == 1 {
+            operands.pop().unwrap()
+        } else {
+            Expr::Group(operands)
+        }
+    }
+
+    fn expr_terminator(&self, no_struct: bool) -> bool {
+        match self.cur() {
+            None => true,
+            Some(t) if t.kind == TokenKind::Punct => {
+                matches!(t.text.as_str(), ";" | ")" | "]" | "}" | ",")
+                    || (no_struct && t.text == "{")
+            }
+            _ => false,
+        }
+    }
+
+    /// Consumes one binary operator if present.
+    fn eat_binop(&mut self, _no_struct: bool) -> bool {
+        let t = match self.cur() {
+            Some(t) if t.kind == TokenKind::Punct => t,
+            _ => return false,
+        };
+        match t.text.as_str() {
+            "+" | "-" | "*" | "/" | "%" | "^" => {
+                // Not compound assignment (handled by the caller).
+                if self.punct_at(1, "=") && !self.punct_at(2, "=") {
+                    return false;
+                }
+                self.bump();
+                true
+            }
+            "&" | "|" => {
+                if self.punct_at(1, "=") && !self.punct_at(2, "=") {
+                    return false;
+                }
+                self.bump();
+                // `&&` / `||` second char.
+                let first = self.t[self.pos - 1].text.clone();
+                if self.at_punct(&first) {
+                    self.bump();
+                }
+                true
+            }
+            // Bare `=` is assignment, handled by the statement parser.
+            "=" | "!" if self.punct_at(1, "=") => {
+                self.bump();
+                self.bump();
+                true
+            }
+            "<" | ">" => {
+                self.bump();
+                // `<<`, `>>`, `<=`, `>=`.
+                if self.at_punct(self.t[self.pos - 1].text.clone().as_str()) || self.at_punct("=") {
+                    self.bump();
+                }
+                true
+            }
+            // Bare `.` is field access, handled in postfix.
+            "." if self.punct_at(1, ".") => {
+                self.bump();
+                self.bump();
+                self.eat_punct("=");
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn parse_unary(&mut self, no_struct: bool) -> Expr {
+        match self.cur() {
+            Some(t) if t.kind == TokenKind::Punct && t.text == "&" => {
+                self.bump();
+                // `&&x` double-reference.
+                let double = self.eat_punct("&");
+                let mutable = self.eat_ident("mut");
+                let inner = self.parse_unary(no_struct);
+                let e = Expr::Ref {
+                    inner: Box::new(inner),
+                    mutable,
+                };
+                if double {
+                    Expr::Ref {
+                        inner: Box::new(e),
+                        mutable: false,
+                    }
+                } else {
+                    e
+                }
+            }
+            Some(t) if t.kind == TokenKind::Punct && matches!(t.text.as_str(), "*" | "!" | "-") => {
+                self.bump();
+                self.parse_unary(no_struct)
+            }
+            _ => self.parse_postfix(no_struct),
+        }
+    }
+
+    fn parse_postfix(&mut self, no_struct: bool) -> Expr {
+        let mut e = self.parse_primary(no_struct);
+        loop {
+            let before = self.pos;
+            if self.at_punct(".") && !self.punct_at(1, ".") {
+                // Field or method.
+                let (line, col) = match self.peek(1) {
+                    Some(t) => (t.line, t.col),
+                    None => {
+                        self.bump();
+                        break;
+                    }
+                };
+                match self.peek(1) {
+                    Some(t) if t.kind == TokenKind::Ident => {
+                        let name = t.text.clone();
+                        self.bump(); // `.`
+                        self.bump(); // name
+                                     // Turbofish on methods: `.collect::<T>()`.
+                        if self.at_punct(":") && self.punct_at(1, ":") {
+                            self.bump();
+                            self.bump();
+                            if self.at_punct("<") {
+                                self.skip_generics();
+                            }
+                        }
+                        if self.at_punct("(") {
+                            let args = self.parse_args();
+                            e = Expr::MethodCall {
+                                recv: Box::new(e),
+                                name,
+                                args,
+                                line,
+                                col,
+                            };
+                        } else {
+                            e = Expr::Field {
+                                base: Box::new(e),
+                                name,
+                                line,
+                                col,
+                            };
+                        }
+                    }
+                    Some(t) if t.kind == TokenKind::Num => {
+                        let name = t.text.clone();
+                        self.bump();
+                        self.bump();
+                        e = Expr::Field {
+                            base: Box::new(e),
+                            name,
+                            line,
+                            col,
+                        };
+                    }
+                    _ => {
+                        self.bump();
+                    }
+                }
+            } else if self.at_punct("(") {
+                let args = self.parse_args();
+                e = match e {
+                    Expr::Path { segs, line, col } => Expr::Call {
+                        segs,
+                        args,
+                        line,
+                        col,
+                    },
+                    other => {
+                        // Calling a non-path (closure variable, field):
+                        // union callee and args.
+                        let mut v = vec![other];
+                        v.extend(args);
+                        Expr::Group(v)
+                    }
+                };
+            } else if self.at_punct("[") {
+                self.bump();
+                let idx = self.parse_expr(false);
+                self.eat_punct("]");
+                e = Expr::Group(vec![e, idx]);
+            } else if self.at_punct("?") {
+                self.bump();
+            } else {
+                break;
+            }
+            if self.pos == before {
+                self.bump_or_end();
+                break;
+            }
+        }
+        e
+    }
+
+    /// Parses `( … , … )` argument lists; the cursor is at `(`.
+    fn parse_args(&mut self) -> Vec<Expr> {
+        self.bump(); // `(`
+        let mut args = Vec::new();
+        while self.cur().is_some() && !self.at_punct(")") {
+            let before = self.pos;
+            args.push(self.parse_expr(false));
+            if !self.eat_punct(",") && !self.at_punct(")") && self.pos == before {
+                self.bump_or_end();
+            } else if !self.at_punct(")") {
+                self.eat_punct(",");
+            }
+        }
+        self.eat_punct(")");
+        args
+    }
+
+    fn parse_primary(&mut self, no_struct: bool) -> Expr {
+        let t = match self.cur() {
+            Some(t) => t.clone(),
+            None => return Expr::Lit,
+        };
+        match t.kind {
+            TokenKind::Num | TokenKind::Str | TokenKind::Char | TokenKind::Lifetime => {
+                self.bump();
+                Expr::Lit
+            }
+            TokenKind::Punct => match t.text.as_str() {
+                "(" => {
+                    self.bump();
+                    let mut items = Vec::new();
+                    while self.cur().is_some() && !self.at_punct(")") {
+                        let before = self.pos;
+                        items.push(self.parse_expr(false));
+                        self.eat_punct(",");
+                        if self.pos == before {
+                            self.bump_or_end();
+                        }
+                    }
+                    self.eat_punct(")");
+                    if items.len() == 1 {
+                        items.pop().unwrap()
+                    } else {
+                        Expr::Group(items)
+                    }
+                }
+                "[" => {
+                    self.bump();
+                    let mut items = Vec::new();
+                    while self.cur().is_some() && !self.at_punct("]") {
+                        let before = self.pos;
+                        items.push(self.parse_expr(false));
+                        if !self.eat_punct(",") {
+                            self.eat_punct(";"); // `[x; n]` repeat
+                        }
+                        if self.pos == before {
+                            self.bump_or_end();
+                        }
+                    }
+                    self.eat_punct("]");
+                    Expr::Group(items)
+                }
+                "{" => {
+                    self.bump();
+                    Expr::Block(self.parse_block())
+                }
+                "|" => self.parse_closure(),
+                "." => {
+                    // Leading range `..x` / `..=x`.
+                    self.bump();
+                    self.eat_punct(".");
+                    self.eat_punct("=");
+                    if self.expr_terminator(no_struct) {
+                        Expr::Lit
+                    } else {
+                        self.parse_unary(no_struct)
+                    }
+                }
+                _ => {
+                    self.bump();
+                    Expr::Lit
+                }
+            },
+            TokenKind::Ident => match t.text.as_str() {
+                "if" => self.parse_if(),
+                "match" => self.parse_match(),
+                "loop" => {
+                    self.bump();
+                    let body = if self.eat_punct("{") {
+                        self.parse_block()
+                    } else {
+                        Block::default()
+                    };
+                    Expr::Loop {
+                        source: None,
+                        bindings: Vec::new(),
+                        body,
+                    }
+                }
+                "while" => {
+                    self.bump();
+                    let (cond, bindings) = if self.at_ident("let") {
+                        self.bump();
+                        let ps = self.pos;
+                        self.skip_pattern(&["="]);
+                        let names = collect_pattern_bindings(&self.t[ps..self.pos]);
+                        self.eat_punct("=");
+                        (self.parse_expr(true), names)
+                    } else {
+                        (self.parse_expr(true), Vec::new())
+                    };
+                    let body = if self.eat_punct("{") {
+                        self.parse_block()
+                    } else {
+                        Block::default()
+                    };
+                    Expr::Loop {
+                        source: Some(Box::new(cond)),
+                        bindings,
+                        body,
+                    }
+                }
+                "for" => {
+                    self.bump();
+                    let ps = self.pos;
+                    self.skip_pattern(&["in"]);
+                    let bindings = collect_pattern_bindings(&self.t[ps..self.pos]);
+                    self.eat_ident("in");
+                    let iter = self.parse_expr(true);
+                    let body = if self.eat_punct("{") {
+                        self.parse_block()
+                    } else {
+                        Block::default()
+                    };
+                    Expr::Loop {
+                        source: Some(Box::new(iter)),
+                        bindings,
+                        body,
+                    }
+                }
+                "unsafe" => {
+                    self.bump();
+                    if self.eat_punct("{") {
+                        Expr::Block(self.parse_block())
+                    } else {
+                        Expr::Lit
+                    }
+                }
+                "move" => {
+                    self.bump();
+                    if self.at_punct("|") {
+                        self.parse_closure()
+                    } else {
+                        self.parse_unary(no_struct)
+                    }
+                }
+                "true" | "false" => {
+                    self.bump();
+                    Expr::Lit
+                }
+                _ => self.parse_path_expr(no_struct),
+            },
+        }
+    }
+
+    fn parse_closure(&mut self) -> Expr {
+        self.bump(); // `|`
+        let mut params = Vec::new();
+        if self.at_punct("|") {
+            self.bump(); // `||` empty params
+        } else {
+            while self.cur().is_some() && !self.at_punct("|") {
+                let ps = self.pos;
+                self.skip_pattern(&[":", ",", "|"]);
+                params.extend(collect_pattern_bindings(&self.t[ps..self.pos]));
+                if self.eat_punct(":") {
+                    self.skip_type(&[",", "|"]);
+                }
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.eat_punct("|");
+        }
+        if self.at_punct("-") && self.punct_at(1, ">") {
+            self.bump();
+            self.bump();
+            self.skip_type(&["{"]);
+        }
+        let body = self.parse_expr(false);
+        Expr::Closure {
+            params,
+            body: Box::new(body),
+        }
+    }
+
+    fn parse_if(&mut self) -> Expr {
+        self.bump(); // `if`
+        let (cond, bindings) = if self.at_ident("let") {
+            self.bump();
+            let ps = self.pos;
+            self.skip_pattern(&["="]);
+            let names = collect_pattern_bindings(&self.t[ps..self.pos]);
+            self.eat_punct("=");
+            (self.parse_expr(true), names)
+        } else {
+            (self.parse_expr(true), Vec::new())
+        };
+        let then_blk = if self.eat_punct("{") {
+            self.parse_block()
+        } else {
+            Block::default()
+        };
+        let else_expr = if self.at_ident("else") {
+            self.bump();
+            if self.at_ident("if") {
+                Some(Box::new(self.parse_if()))
+            } else if self.eat_punct("{") {
+                Some(Box::new(Expr::Block(self.parse_block())))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        Expr::If {
+            cond: Box::new(cond),
+            bindings,
+            then_blk,
+            else_expr,
+        }
+    }
+
+    fn parse_match(&mut self) -> Expr {
+        self.bump(); // `match`
+        let scrutinee = self.parse_expr(true);
+        let mut arms = Vec::new();
+        if self.eat_punct("{") {
+            loop {
+                let before = self.pos;
+                match self.cur() {
+                    None => break,
+                    Some(t) if t.kind == TokenKind::Punct && t.text == "}" => {
+                        self.bump();
+                        break;
+                    }
+                    Some(t) if t.kind == TokenKind::Punct && t.text == "#" => {
+                        self.skip_attr();
+                        continue;
+                    }
+                    _ => {}
+                }
+                let ps = self.pos;
+                self.skip_pattern(&["=", "if"]);
+                let mut names = collect_pattern_bindings(&self.t[ps..self.pos]);
+                if self.at_ident("if") {
+                    self.bump();
+                    let _guard = self.parse_expr(true);
+                    // Bindings from `if let` guards are rare; skip.
+                }
+                // `=>` arrow.
+                if self.at_punct("=") && self.punct_at(1, ">") {
+                    self.bump();
+                    self.bump();
+                } else if self.pos == before {
+                    self.bump_or_end();
+                    continue;
+                }
+                let body = self.parse_expr(false);
+                self.eat_punct(",");
+                names.retain(|n| n != "_");
+                arms.push((names, body));
+                if self.pos == before {
+                    self.bump_or_end();
+                }
+            }
+        }
+        Expr::Match {
+            scrutinee: Box::new(scrutinee),
+            arms,
+        }
+    }
+
+    fn parse_path_expr(&mut self, no_struct: bool) -> Expr {
+        let first = match self.cur() {
+            Some(t) => t.clone(),
+            None => return Expr::Lit,
+        };
+        let (line, col) = (first.line, first.col);
+        let mut segs = vec![first.text.clone()];
+        self.bump();
+        while self.at_punct(":") && self.punct_at(1, ":") {
+            self.bump();
+            self.bump();
+            if self.at_punct("<") {
+                self.skip_generics(); // turbofish
+                continue;
+            }
+            match self.take_ident() {
+                Some(s) => segs.push(s),
+                None => break,
+            }
+        }
+        // Macro invocation.
+        if self.at_punct("!")
+            && (self.punct_at(1, "(") || self.punct_at(1, "[") || self.punct_at(1, "{"))
+        {
+            self.bump(); // `!`
+            let (open, close) = match self.cur().map(|t| t.text.as_str()) {
+                Some("(") => ("(", ")"),
+                Some("[") => ("[", "]"),
+                _ => ("{", "}"),
+            };
+            let start = self.pos + 1;
+            self.skip_balanced(open, close);
+            let inner = &self.t[start..self.pos.saturating_sub(1).max(start)];
+            let args = parse_macro_args(inner);
+            return Expr::Macro {
+                name: segs.pop().unwrap_or_default(),
+                args,
+                line,
+                col,
+            };
+        }
+        // Struct literal.
+        if !no_struct && self.at_punct("{") && self.struct_literal_ahead() {
+            self.bump(); // `{`
+            let name = segs.last().cloned().unwrap_or_default();
+            let mut fields = Vec::new();
+            let mut rest = None;
+            while self.cur().is_some() && !self.at_punct("}") {
+                let before = self.pos;
+                if self.at_punct(".") && self.punct_at(1, ".") {
+                    self.bump();
+                    self.bump();
+                    rest = Some(Box::new(self.parse_expr(false)));
+                    break;
+                }
+                let fname = self.take_ident().unwrap_or_default();
+                if self.at_punct(":") && !self.punct_at(1, ":") {
+                    self.bump();
+                    let v = self.parse_expr(false);
+                    fields.push((fname.clone(), v));
+                } else {
+                    // Shorthand `f` ⇒ `f: f`.
+                    fields.push((
+                        fname.clone(),
+                        Expr::Path {
+                            segs: vec![fname.clone()],
+                            line,
+                            col,
+                        },
+                    ));
+                }
+                self.eat_punct(",");
+                if self.pos == before {
+                    self.bump_or_end();
+                }
+            }
+            self.eat_punct("}");
+            return Expr::Struct {
+                name,
+                fields,
+                rest,
+                line,
+            };
+        }
+        Expr::Path { segs, line, col }
+    }
+
+    /// After a path, does `{` begin a struct literal? (`Name { field: …`,
+    /// `Name { field, …`, `Name { field }`, `Name { ..base }`, `Name {}`.)
+    fn struct_literal_ahead(&self) -> bool {
+        match self.peek(1) {
+            Some(t) if t.kind == TokenKind::Ident => match self.peek(2) {
+                Some(n) if n.kind == TokenKind::Punct => {
+                    (n.text == ":" && !self.punct_at(3, ":")) || n.text == "," || n.text == "}"
+                }
+                _ => false,
+            },
+            Some(t) if t.kind == TokenKind::Punct && t.text == "." => self.punct_at(2, "."),
+            Some(t) if t.kind == TokenKind::Punct && t.text == "}" => true,
+            _ => false,
+        }
+    }
+}
+
+/// Splits a macro body at depth-0 `,`/`;` and parses each chunk as an
+/// expression; chunks that are not expressions (patterns, format specs)
+/// fall back to bare-identifier extraction.
+fn parse_macro_args(tokens: &[Token]) -> Vec<Expr> {
+    let mut chunks: Vec<&[Token]> = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                "," | ";" if depth == 0 => {
+                    chunks.push(&tokens[start..i]);
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    if start < tokens.len() {
+        chunks.push(&tokens[start..]);
+    }
+    let mut args = Vec::new();
+    for chunk in chunks {
+        if chunk.is_empty() {
+            continue;
+        }
+        let mut sub = Parser { t: chunk, pos: 0 };
+        let e = sub.parse_expr(false);
+        if sub.pos >= chunk.len() {
+            args.push(e);
+        } else {
+            // Not a plain expression (e.g. a `matches!` pattern): take
+            // every identifier as a potential local reference.
+            for t in chunk {
+                if t.kind == TokenKind::Ident
+                    && !matches!(t.text.as_str(), "mut" | "ref" | "move" | "_")
+                {
+                    args.push(Expr::Path {
+                        segs: vec![t.text.clone()],
+                        line: t.line,
+                        col: t.col,
+                    });
+                }
+            }
+        }
+    }
+    args
+}
+
+/// Extracts binding names from a pattern token slice: identifiers that
+/// are not path segments, struct-pattern field labels, enum/struct
+/// names, keywords, or uppercase constants.
+pub fn collect_pattern_bindings(tokens: &[Token]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        let text = t.text.as_str();
+        if matches!(text, "ref" | "mut" | "box" | "_" | "in" | "if" | "let") {
+            i += 1;
+            continue;
+        }
+        let next = tokens.get(i + 1);
+        let next_is =
+            |s: &str| matches!(next, Some(n) if n.kind == TokenKind::Punct && n.text == s);
+        // Path segment (`a::b`), tuple-struct (`Some(`), struct pattern
+        // (`Point {`).
+        if next_is(":") {
+            if matches!(tokens.get(i + 2), Some(n) if n.kind == TokenKind::Punct && n.text == ":") {
+                // `::` — skip the whole path.
+                i += 2;
+                continue;
+            }
+            // Struct-pattern field label `f: pat` — the binding is the
+            // pattern on the right.
+            i += 2;
+            continue;
+        }
+        if next_is("(") || next_is("{") {
+            i += 1;
+            continue;
+        }
+        // Uppercase idents are unit variants or constants.
+        if text.chars().next().is_some_and(|c| c.is_uppercase()) {
+            i += 1;
+            continue;
+        }
+        if !names.iter().any(|n| n == text) {
+            names.push(text.to_string());
+        }
+        i += 1;
+    }
+    names
+}
+
+fn join_tokens(tokens: &[Token]) -> String {
+    let mut s = String::new();
+    for t in tokens {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(&t.text);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(&tokenize(src).tokens)
+    }
+
+    #[test]
+    fn fn_signatures_and_impls() {
+        let p = parse(
+            "impl Foo {\n    pub fn bar(&mut self, x: u32, msg: &Message) -> u64 { x as u64 }\n}\nfn free(a: ClientId) {}\n",
+        );
+        assert_eq!(p.fns.len(), 2);
+        let bar = &p.fns[0];
+        assert_eq!(bar.name, "bar");
+        assert_eq!(bar.qual.as_deref(), Some("Foo"));
+        assert_eq!(bar.params.len(), 3);
+        assert_eq!(bar.params[0].name, "self");
+        assert!(bar.params[0].by_mut_ref);
+        assert_eq!(bar.params[2].ty, "& Message");
+        assert!(bar.has_ret);
+        let free = &p.fns[1];
+        assert_eq!(free.qual, None);
+        assert_eq!(free.params[0].ty, "ClientId");
+    }
+
+    #[test]
+    fn struct_fields_and_lead_lines() {
+        let p =
+            parse("#[derive(Debug)]\npub struct S {\n    pub peer: ClientId,\n    n: usize,\n}\n");
+        assert_eq!(p.types.len(), 1);
+        assert_eq!(p.types[0].name, "S");
+        assert_eq!(p.types[0].lead_line, 1);
+        let names: Vec<&str> = p.types[0].fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["peer", "n"]);
+    }
+
+    #[test]
+    fn body_trees_see_calls_and_bindings() {
+        let p = parse(
+            "fn f(d: D) -> u64 {\n    let x = d.peer;\n    let y = anonymize(x);\n    for (i, v) in xs.iter().enumerate() { sink(v); }\n    y\n}\n",
+        );
+        let body = p.fns[0].body.as_ref().unwrap();
+        assert!(matches!(&body.stmts[0], Stmt::Let { names, .. } if names == &["x"]));
+        match &body.stmts[2] {
+            Stmt::Expr(Expr::Loop { bindings, .. }) => {
+                assert_eq!(bindings, &["i", "v"]);
+            }
+            other => panic!("expected loop, got {other:?}"),
+        }
+        assert!(matches!(body.tail.as_deref(), Some(Expr::Path { segs, .. }) if segs == &["y"]));
+    }
+
+    #[test]
+    fn match_and_if_let_bindings() {
+        let p = parse(
+            "fn f(m: M) {\n    if let Some(v) = m.get() { use_it(v); }\n    match m { M::A { id } => h(id), M::B(x) => h(x), _ => {} }\n}\n",
+        );
+        let body = p.fns[0].body.as_ref().unwrap();
+        match &body.stmts[0] {
+            Stmt::Expr(Expr::If { bindings, .. }) => assert_eq!(bindings, &["v"]),
+            other => panic!("expected if-let, got {other:?}"),
+        }
+        match body.tail.as_deref() {
+            Some(Expr::Match { arms, .. }) => {
+                assert_eq!(arms.len(), 3);
+                assert_eq!(arms[0].0, vec!["id"]);
+                assert_eq!(arms[1].0, vec!["x"]);
+            }
+            other => panic!("expected match, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn struct_literals_vs_blocks() {
+        let p = parse(
+            "fn f() {\n    let s = Point { x: 1, y: k };\n    if cond { body(); }\n    let t = Other { k, ..base };\n}\n",
+        );
+        let body = p.fns[0].body.as_ref().unwrap();
+        match &body.stmts[0] {
+            Stmt::Let {
+                init: Some(Expr::Struct { name, fields, .. }),
+                ..
+            } => {
+                assert_eq!(name, "Point");
+                assert_eq!(fields.len(), 2);
+            }
+            other => panic!("expected struct literal, got {other:?}"),
+        }
+        assert!(matches!(&body.stmts[1], Stmt::Expr(Expr::If { .. })));
+        match &body.stmts[2] {
+            Stmt::Let {
+                init: Some(Expr::Struct { fields, rest, .. }),
+                ..
+            } => {
+                assert_eq!(fields[0].0, "k");
+                assert!(rest.is_some());
+            }
+            other => panic!("expected functional update, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn macros_parse_expression_chunks() {
+        let p = parse(
+            "fn f(out: &mut String, id: u32) {\n    writeln!(out, \"{} {}\", i, seal(k, id));\n}\n",
+        );
+        let body = p.fns[0].body.as_ref().unwrap();
+        match &body.stmts[0] {
+            Stmt::Expr(Expr::Macro { name, args, .. }) => {
+                assert_eq!(name, "writeln");
+                assert!(args.len() >= 3);
+                assert!(args
+                    .iter()
+                    .any(|a| matches!(a, Expr::Call { segs, .. } if segs == &["seal"])));
+            }
+            other => panic!("expected macro, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shifts_generics_and_ranges_do_not_confuse() {
+        let p = parse(
+            "fn f(n: u64) -> u64 {\n    let a: Vec<Vec<u8>> = Vec::new();\n    let b = n << 2 >> 1;\n    for i in 0..n { g(i); }\n    b\n}\n",
+        );
+        let body = p.fns[0].body.as_ref().unwrap();
+        assert_eq!(body.stmts.len(), 3);
+        assert!(body.tail.is_some());
+    }
+
+    #[test]
+    fn closures_and_method_chains() {
+        let p = parse("fn f(v: Vec<u32>) -> Vec<u32> {\n    v.iter().map(|x| x + 1).collect::<Vec<u32>>()\n}\n");
+        let body = p.fns[0].body.as_ref().unwrap();
+        match body.tail.as_deref() {
+            Some(Expr::MethodCall { name, .. }) => assert_eq!(name, "collect"),
+            other => panic!("expected method chain, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_input_terminates() {
+        // Unbalanced and nonsense input must not hang or panic.
+        let _ = parse("fn f( { let = = ) } match { => }");
+        let _ = parse("impl < fn fn fn");
+        let _ = parse("fn g() { a.b.(c } ");
+    }
+}

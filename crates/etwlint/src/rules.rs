@@ -29,7 +29,29 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(AtomicsOrderingAudit),
         Box::new(OpcodeCoverage),
         Box::new(VendoredDepBoundary),
+        Box::new(Taint),
     ]
+}
+
+// ---------------------------------------------------------------------------
+// taint
+// ---------------------------------------------------------------------------
+
+/// Workspace-wide anonymisation-soundness dataflow: annotated raw-id
+/// sources must pass through an annotated sanitizer before any annotated
+/// byte-emitting sink. The heavy lifting lives in [`crate::taint`].
+pub struct Taint;
+
+impl Rule for Taint {
+    fn name(&self) -> &'static str {
+        crate::taint::RULE
+    }
+    fn description(&self) -> &'static str {
+        "source→sink dataflow: raw clientIDs/fileIDs must pass an etw-anonymize sanitizer before any byte-emitting sink"
+    }
+    fn check_workspace(&self, ctxs: &[FileContext], out: &mut LintSink) {
+        crate::taint::check(ctxs, out);
+    }
 }
 
 fn is_ident(t: &Token, text: &str) -> bool {

@@ -1,0 +1,1246 @@
+//! Source→sink taint analysis proving anonymisation soundness.
+//!
+//! The lattice is two-point (clean / tainted-by-raw-identifier) with
+//! provenance chains for diagnostics. Taint enters at annotated
+//! *sources* — `// etwlint: source(tag)` on a fn (its return value is
+//! raw), a struct field (every read of that field is raw), or a type
+//! (every value of that type is raw, matched on parameter type text
+//! and struct-literal construction). Taint leaves only through
+//! annotated *sanitizers* (`etwlint: sanitize(tag)`), whose results are
+//! clean by fiat. Annotated *sinks* (`etwlint: sink(tag)`) are the
+//! byte-emitting surfaces; any tainted argument reaching one is a
+//! diagnostic carrying the full source→sink path.
+//!
+//! ## Propagation
+//!
+//! Intra-procedurally a monotone fixpoint runs over local bindings:
+//! assignments, field reads, struct literals, pattern bindings from
+//! tainted scrutinees (`if let` / `match` / `for`), macro arguments
+//! (`write!`-family taints its destination), and calls. Loop bodies are
+//! evaluated twice so loop-carried taint converges.
+//!
+//! Inter-procedurally each workspace fn gets a *summary* computed to
+//! fixpoint over the cross-crate call graph: which parameters flow to
+//! the return value, which `&mut` parameters get tainted, and which
+//! parameters reach a sink (with the path). Calls resolve by qualified
+//! path (`Type::fn`) when available, else by bare/method name across
+//! the whole workspace — ambiguity unions the candidate summaries.
+//! Unresolved calls (std / vendored) conservatively union argument
+//! taint into the result, the receiver, and `&mut` arguments.
+//!
+//! ## Known over-approximations and cuts (see DESIGN.md §15)
+//!
+//! * Taint does not cross channel send/recv or thread boundaries — the
+//!   dynamic sentinel canary test is the runtime complement.
+//! * Values of annotated *types* are always raw: the scheme never
+//!   re-uses `ClientId`/`FileId`/`Message` for anonymised data, so this
+//!   is exact in practice.
+//! * Struct literals whose tainted data lands in *annotated fields* do
+//!   not taint the carrying value — the field annotation re-establishes
+//!   taint at every read, which keeps raw-carrying carriers
+//!   (`DecodedMsg`, checkpoints) precise.
+
+use crate::engine::{AnnKind, FileContext, LintSink};
+use crate::parser::{parse_file, Block, Expr, FnDef, ParsedFile, Stmt};
+use crate::tokenizer::{Token, TokenKind};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::rc::Rc;
+
+/// Rule name used in diagnostics and `allow(...)`.
+pub const RULE: &str = "taint";
+
+/// Maximum rendered path steps in one diagnostic.
+const MAX_STEPS: usize = 12;
+
+/// Methods that return size/shape information, never payload bytes.
+const CLEAN_METHODS: &[&str] = &["len", "is_empty", "capacity", "count"];
+
+/// Runs the workspace taint pass, reporting into `out`.
+pub fn check(ctxs: &[FileContext], out: &mut LintSink) {
+    let world = World::build(ctxs);
+    world.run(out);
+}
+
+/// Files never analysed: tests construct raw sentinel ids on purpose.
+fn exempt_file(path: &str) -> bool {
+    path.starts_with("tests/")
+        || path.contains("/tests/")
+        || path.starts_with("benches/")
+        || path.starts_with("crates/bench/")
+}
+
+// -- taint values -----------------------------------------------------------
+
+struct ChainNode {
+    step: String,
+    prev: Option<Rc<ChainNode>>,
+}
+
+fn chain_push(prev: &Option<Rc<ChainNode>>, step: String) -> Option<Rc<ChainNode>> {
+    Some(Rc::new(ChainNode {
+        step,
+        prev: prev.clone(),
+    }))
+}
+
+fn chain_from_steps(steps: &[String]) -> Option<Rc<ChainNode>> {
+    let mut cur = None;
+    for s in steps {
+        cur = chain_push(&cur, s.clone());
+    }
+    cur
+}
+
+fn chain_steps(chain: &Option<Rc<ChainNode>>) -> Vec<String> {
+    let mut steps = Vec::new();
+    let mut cur = chain.clone();
+    while let Some(node) = cur {
+        steps.push(node.step.clone());
+        cur = node.prev.clone();
+    }
+    steps.reverse();
+    if steps.len() > MAX_STEPS {
+        let cut = steps.len() - MAX_STEPS;
+        steps.drain(1..1 + cut);
+    }
+    steps
+}
+
+#[derive(Clone, Default)]
+struct Taint {
+    /// Bitmask of entry parameters this value depends on.
+    params: u64,
+    /// Concrete raw provenance, when taint originated inside the fn.
+    chain: Option<Rc<ChainNode>>,
+}
+
+impl Taint {
+    fn clean() -> Taint {
+        Taint::default()
+    }
+
+    fn is_tainted(&self) -> bool {
+        self.params != 0 || self.chain.is_some()
+    }
+
+    fn union(&mut self, other: &Taint) {
+        self.params |= other.params;
+        if self.chain.is_none() {
+            self.chain = other.chain.clone();
+        }
+    }
+}
+
+// -- summaries --------------------------------------------------------------
+
+#[derive(Clone, Debug, Default, PartialEq)]
+struct Summary {
+    /// Return value depends on these parameters.
+    ret_params: u64,
+    /// Return value is always raw (path steps to the source).
+    ret_steps: Option<Vec<String>>,
+    /// `&mut` param index → always tainted inside (steps).
+    mut_always: Vec<(usize, Vec<String>)>,
+    /// `&mut` param index → tainted when these params are.
+    mut_from: Vec<(usize, u64)>,
+    /// Param index reaches sink `tag` via steps.
+    sink_params: Vec<(usize, String, Vec<String>)>,
+}
+
+impl Summary {
+    /// Monotone merge; returns whether anything changed.
+    fn absorb(&mut self, new: Summary) -> bool {
+        let mut changed = false;
+        if self.ret_params | new.ret_params != self.ret_params {
+            self.ret_params |= new.ret_params;
+            changed = true;
+        }
+        if self.ret_steps.is_none() && new.ret_steps.is_some() {
+            self.ret_steps = new.ret_steps;
+            changed = true;
+        }
+        for (idx, steps) in new.mut_always {
+            if !self.mut_always.iter().any(|(i, _)| *i == idx) {
+                self.mut_always.push((idx, steps));
+                changed = true;
+            }
+        }
+        for (idx, mask) in new.mut_from {
+            match self.mut_from.iter_mut().find(|(i, _)| *i == idx) {
+                Some((_, m)) => {
+                    if *m | mask != *m {
+                        *m |= mask;
+                        changed = true;
+                    }
+                }
+                None => {
+                    self.mut_from.push((idx, mask));
+                    changed = true;
+                }
+            }
+        }
+        for (idx, tag, steps) in new.sink_params {
+            if !self
+                .sink_params
+                .iter()
+                .any(|(i, t, _)| *i == idx && *t == tag)
+            {
+                self.sink_params.push((idx, tag, steps));
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+// -- the world --------------------------------------------------------------
+
+/// One analysable fn: which file and which fn within it.
+#[derive(Clone, Copy)]
+struct Unit {
+    file: usize,
+    f: usize,
+}
+
+struct World<'a> {
+    ctxs: &'a [FileContext],
+    parsed: Vec<ParsedFile>,
+    units: Vec<Unit>,
+    /// Per-unit annotation, if any (first annotation wins).
+    anns: Vec<Option<(AnnKind, String)>>,
+    /// Units to skip entirely (tests, exempt files, annotated fns).
+    skip: Vec<bool>,
+    by_free: HashMap<String, Vec<usize>>,
+    by_qual: HashMap<String, Vec<usize>>,
+    by_method: HashMap<String, Vec<usize>>,
+    /// Type/alias/impl names defined anywhere in the workspace.
+    known_types: HashSet<String>,
+    /// Struct name -> (file, index into that file's `types`).
+    types_by_name: HashMap<String, (usize, usize)>,
+    /// `type Alias = Target;` resolution, one step per entry.
+    aliases: HashMap<String, String>,
+    tainted_types: HashSet<String>,
+    tainted_fields: HashSet<String>,
+    summaries: std::cell::RefCell<Vec<Summary>>,
+}
+
+impl<'a> World<'a> {
+    fn build(ctxs: &'a [FileContext]) -> World<'a> {
+        let parsed: Vec<ParsedFile> = ctxs.iter().map(|c| parse_file(&c.tokens)).collect();
+        let mut units = Vec::new();
+        let mut anns: Vec<Option<(AnnKind, String)>> = Vec::new();
+        let mut tainted_types = HashSet::new();
+        let mut tainted_fields = HashSet::new();
+        let mut by_free: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut by_qual: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut by_method: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut known_types: HashSet<String> = HashSet::new();
+        let mut types_by_name: HashMap<String, (usize, usize)> = HashMap::new();
+        let mut aliases: HashMap<String, String> = HashMap::new();
+        for (fi, pf) in parsed.iter().enumerate() {
+            for (ti, td) in pf.types.iter().enumerate() {
+                known_types.insert(td.name.clone());
+                types_by_name.entry(td.name.clone()).or_insert((fi, ti));
+            }
+            for f in &pf.fns {
+                if let Some(q) = &f.qual {
+                    known_types.insert(q.clone());
+                }
+            }
+            for (alias, target) in &pf.aliases {
+                known_types.insert(alias.clone());
+                if let Some(first) = first_ident(target) {
+                    aliases.entry(alias.clone()).or_insert(first);
+                }
+            }
+        }
+
+        for (fi, (ctx, pf)) in ctxs.iter().zip(&parsed).enumerate() {
+            // Attachment candidates: (line, what).
+            enum Target {
+                Fn(usize),
+                Type(usize),
+                Field(usize, usize),
+            }
+            let mut cands: Vec<(usize, Target)> = Vec::new();
+            for (i, f) in pf.fns.iter().enumerate() {
+                cands.push((f.lead_line, Target::Fn(i)));
+            }
+            for (i, t) in pf.types.iter().enumerate() {
+                cands.push((t.lead_line, Target::Type(i)));
+                for (j, fld) in t.fields.iter().enumerate() {
+                    cands.push((fld.line, Target::Field(i, j)));
+                }
+            }
+            cands.sort_by_key(|(l, _)| *l);
+            let mut fn_anns: HashMap<usize, (AnnKind, String)> = HashMap::new();
+            for ann in &ctx.annotations {
+                let target = cands
+                    .iter()
+                    .find(|(l, _)| *l >= ann.line && *l <= ann.applies_line + 4);
+                match target {
+                    Some((_, Target::Fn(i))) => {
+                        fn_anns.entry(*i).or_insert((ann.kind, ann.tag.clone()));
+                    }
+                    Some((_, Target::Type(i))) if ann.kind == AnnKind::Source => {
+                        tainted_types.insert(pf.types[*i].name.clone());
+                    }
+                    Some((_, Target::Field(i, j))) if ann.kind == AnnKind::Source => {
+                        tainted_fields.insert(pf.types[*i].fields[*j].name.clone());
+                    }
+                    _ => {}
+                }
+            }
+            for (i, f) in pf.fns.iter().enumerate() {
+                let u = units.len();
+                units.push(Unit { file: fi, f: i });
+                anns.push(fn_anns.remove(&i));
+                if f.qual.is_none() {
+                    by_free.entry(f.name.clone()).or_default().push(u);
+                }
+                if let Some(q) = &f.qual {
+                    by_qual
+                        .entry(format!("{}::{}", q, f.name))
+                        .or_default()
+                        .push(u);
+                }
+                if f.params.first().is_some_and(|p| p.name == "self") {
+                    by_method.entry(f.name.clone()).or_default().push(u);
+                }
+            }
+        }
+        let skip = units
+            .iter()
+            .zip(&anns)
+            .map(|(u, ann)| {
+                let ctx = &ctxs[u.file];
+                let f = &parsed[u.file].fns[u.f];
+                ann.is_some()
+                    || exempt_file(&ctx.rel_path)
+                    || ctx.in_test_code(f.line)
+                    || f.body.is_none()
+            })
+            .collect();
+        let n = units.len();
+        World {
+            ctxs,
+            parsed,
+            units,
+            anns,
+            skip,
+            by_free,
+            by_qual,
+            by_method,
+            known_types,
+            types_by_name,
+            aliases,
+            tainted_types,
+            tainted_fields,
+            summaries: std::cell::RefCell::new(vec![Summary::default(); n]),
+        }
+    }
+
+    fn fn_def(&self, u: usize) -> &FnDef {
+        let unit = self.units[u];
+        &self.parsed[unit.file].fns[unit.f]
+    }
+
+    fn ctx_of(&self, u: usize) -> &FileContext {
+        &self.ctxs[self.units[u].file]
+    }
+
+    fn is_type_tainted(&self, ty: &str) -> bool {
+        ty.split(|c: char| !c.is_alphanumeric() && c != '_')
+            .any(|seg| self.tainted_types.contains(seg))
+    }
+
+    /// Follows `type Alias = Target` links (bounded, cycles break).
+    fn canonical_type(&self, name: &str) -> String {
+        let mut cur = name;
+        for _ in 0..4 {
+            match self.aliases.get(cur) {
+                Some(next) if next != cur => cur = next,
+                _ => break,
+            }
+        }
+        cur.to_string()
+    }
+
+    /// Looks up `Type::name` under the type and its alias target.
+    fn qual_lookup(&self, ty: &str, name: &str) -> Vec<usize> {
+        if let Some(v) = self.by_qual.get(&format!("{ty}::{name}")) {
+            return v.clone();
+        }
+        let canon = self.canonical_type(ty);
+        if canon != ty {
+            if let Some(v) = self.by_qual.get(&format!("{canon}::{name}")) {
+                return v.clone();
+            }
+        }
+        Vec::new()
+    }
+
+    /// Resolves a free/path call to candidate units. Qualified calls
+    /// (`Type::f`, `Self::f`) resolve only through the named type — a
+    /// miss means a std/extern type, never a bare-name fallback. Module
+    /// paths and bare calls resolve over free fns by name.
+    fn resolve_call(&self, segs: &[String], current_qual: Option<&str>) -> Vec<usize> {
+        let Some(name) = segs.last() else {
+            return Vec::new();
+        };
+        if segs.len() >= 2 {
+            let pen = &segs[segs.len() - 2];
+            if pen == "Self" {
+                return match current_qual {
+                    Some(q) => self.qual_lookup(q, name),
+                    None => Vec::new(),
+                };
+            }
+            if starts_uppercase(pen) {
+                return self.qual_lookup(pen, name);
+            }
+            return self.by_free.get(name.as_str()).cloned().unwrap_or_default();
+        }
+        if starts_uppercase(name) {
+            // Tuple-struct construction (`FileId(..)`) or a std type.
+            return Vec::new();
+        }
+        self.by_free.get(name.as_str()).cloned().unwrap_or_default()
+    }
+
+    /// Resolves a method call. With a known receiver type, only that
+    /// type's impls match (a miss is a std/extern method). Otherwise
+    /// candidates are limited to same-file methods of that name.
+    fn resolve_method(&self, name: &str, recv_ty: Option<&str>, file: usize) -> Vec<usize> {
+        if let Some(ty) = recv_ty {
+            return self.qual_lookup(ty, name);
+        }
+        self.by_method
+            .get(name)
+            .map(|v| {
+                v.iter()
+                    .copied()
+                    .filter(|&u| self.units[u].file == file)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn run(&self, out: &mut LintSink) {
+        // Inter-procedural fixpoint over summaries.
+        for _round in 0..12 {
+            let mut changed = false;
+            for u in 0..self.units.len() {
+                if self.skip[u] {
+                    continue;
+                }
+                let new = self.analyze(u, None, &mut HashSet::new());
+                let mut sums = self.summaries.borrow_mut();
+                if sums[u].absorb(new) {
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Final reporting pass.
+        let mut dedup = HashSet::new();
+        for u in 0..self.units.len() {
+            if self.skip[u] {
+                continue;
+            }
+            let _ = self.analyze(u, Some(out), &mut dedup);
+        }
+    }
+
+    /// Analyzes one fn; returns its freshly computed summary. When
+    /// `out` is given, sink reaches with concrete provenance become
+    /// diagnostics.
+    fn analyze(
+        &self,
+        u: usize,
+        out: Option<&mut LintSink>,
+        dedup: &mut HashSet<(String, usize, usize, String)>,
+    ) -> Summary {
+        let def = self.fn_def(u);
+        let ctx = self.ctx_of(u);
+        let mut env: HashMap<String, Taint> = HashMap::new();
+        let mut tyenv: HashMap<String, String> = HashMap::new();
+        if let Some(q) = &def.qual {
+            tyenv.insert("self".into(), q.clone());
+        }
+        let mut param_index: HashMap<String, usize> = HashMap::new();
+        for (i, p) in def.params.iter().enumerate() {
+            let mut t = Taint {
+                params: bit(i),
+                chain: None,
+            };
+            let typed_raw = if p.name == "self" {
+                def.qual.as_deref().is_some_and(|q| self.is_type_tainted(q))
+            } else {
+                self.is_type_tainted(&p.ty)
+            };
+            if typed_raw {
+                t.chain = chain_push(
+                    &None,
+                    format!(
+                        "raw-typed param `{}` of `{}` ({}:{})",
+                        p.name, def.name, ctx.rel_path, def.line
+                    ),
+                );
+            }
+            env.insert(p.name.clone(), t);
+            param_index.insert(p.name.clone(), i);
+            if p.name != "self" {
+                if let Some(w) = first_ident(&p.ty) {
+                    if self.known_types.contains(&w) {
+                        tyenv.insert(p.name.clone(), w);
+                    }
+                }
+            }
+        }
+        let mut a = Analyzer {
+            w: self,
+            ctx,
+            fname: &def.name,
+            qual: def.qual.as_deref(),
+            file: self.units[u].file,
+            env,
+            tyenv,
+            ret: Taint::clean(),
+            summary: Summary::default(),
+            out,
+            dedup,
+        };
+        if let Some(body) = &def.body {
+            let tail = a.eval_block(body);
+            if def.has_ret {
+                a.ret.union(&tail);
+            }
+        }
+        let mut summary = a.summary;
+        summary.ret_params |= a.ret.params;
+        if summary.ret_steps.is_none() && a.ret.chain.is_some() {
+            summary.ret_steps = Some(chain_steps(&a.ret.chain));
+        }
+        // `&mut` parameter escape.
+        for (i, p) in def.params.iter().enumerate() {
+            if !p.by_mut_ref {
+                continue;
+            }
+            if let Some(t) = a.env.get(&p.name) {
+                let from = t.params & !bit(i);
+                if from != 0 {
+                    summary.mut_from.push((i, from));
+                }
+                if let Some(chain) = &t.chain {
+                    summary
+                        .mut_always
+                        .push((i, chain_steps(&Some(chain.clone()))));
+                }
+            }
+        }
+        summary
+    }
+}
+
+fn starts_uppercase(s: &str) -> bool {
+    s.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+}
+
+/// First identifier word of a type text, skipping reference/qualifier
+/// noise — `&mut DatasetWriter<W>` -> `DatasetWriter`.
+fn first_ident(ty: &str) -> Option<String> {
+    ty.split(|c: char| !c.is_alphanumeric() && c != '_')
+        .find(|w| {
+            !w.is_empty()
+                && !matches!(*w, "mut" | "dyn" | "impl" | "const" | "static" | "ref")
+                && w.chars().next().is_some_and(|c| !c.is_ascii_digit())
+        })
+        .map(str::to_string)
+}
+
+fn bit(i: usize) -> u64 {
+    if i < 64 {
+        1u64 << i
+    } else {
+        0
+    }
+}
+
+// -- intra-procedural evaluation --------------------------------------------
+
+struct Analyzer<'w, 'o> {
+    w: &'w World<'w>,
+    ctx: &'w FileContext,
+    fname: &'w str,
+    /// Enclosing impl type of the analyzed fn, if any.
+    qual: Option<&'w str>,
+    /// Index of the file the analyzed fn lives in.
+    file: usize,
+    env: HashMap<String, Taint>,
+    /// Known local types: binding name -> workspace type name.
+    tyenv: HashMap<String, String>,
+    ret: Taint,
+    summary: Summary,
+    out: Option<&'o mut LintSink>,
+    dedup: &'o mut HashSet<(String, usize, usize, String)>,
+}
+
+impl<'w, 'o> Analyzer<'w, 'o> {
+    fn eval_block(&mut self, block: &Block) -> Taint {
+        for stmt in &block.stmts {
+            match stmt {
+                Stmt::Let { names, init } => {
+                    let t = init.as_ref().map(|e| self.eval(e)).unwrap_or_default();
+                    let ty = init.as_ref().and_then(|e| self.infer_type(e));
+                    for n in names {
+                        self.env.insert(n.clone(), t.clone());
+                        match (&ty, names.len()) {
+                            (Some(ty), 1) => {
+                                self.tyenv.insert(n.clone(), ty.clone());
+                            }
+                            _ => {
+                                self.tyenv.remove(n);
+                            }
+                        }
+                    }
+                }
+                Stmt::Assign {
+                    target,
+                    value,
+                    compound,
+                } => {
+                    let t = self.eval(value);
+                    match place_of(target) {
+                        Some(name) if matches!(target, Expr::Path { .. }) && !compound => {
+                            // Strong update for plain `x = …`.
+                            match self.infer_type(value) {
+                                Some(ty) => {
+                                    self.tyenv.insert(name.to_string(), ty);
+                                }
+                                None => {
+                                    self.tyenv.remove(name);
+                                }
+                            }
+                            self.env.insert(name.to_string(), t);
+                        }
+                        Some(name) => {
+                            // Field/index/compound assignment: union.
+                            self.taint_place(name, &t);
+                        }
+                        None => {
+                            let _ = self.eval(target);
+                        }
+                    }
+                }
+                Stmt::Expr(e) => {
+                    let _ = self.eval(e);
+                }
+                Stmt::Return(e) => {
+                    let t = e.as_ref().map(|e| self.eval(e)).unwrap_or_default();
+                    self.ret.union(&t);
+                }
+            }
+        }
+        block
+            .tail
+            .as_ref()
+            .map(|e| self.eval(e))
+            .unwrap_or_default()
+    }
+
+    fn taint_place(&mut self, name: &str, t: &Taint) {
+        if t.is_tainted() {
+            self.env.entry(name.to_string()).or_default().union(t);
+        }
+    }
+
+    fn eval(&mut self, e: &Expr) -> Taint {
+        match e {
+            Expr::Lit => Taint::clean(),
+            Expr::Path { segs, .. } => {
+                if segs.len() == 1 {
+                    self.env.get(&segs[0]).cloned().unwrap_or_default()
+                } else {
+                    Taint::clean()
+                }
+            }
+            Expr::Field {
+                base, name, line, ..
+            } => {
+                let mut t = self.eval(base);
+                if self.w.tainted_fields.contains(name) {
+                    t.union(&Taint {
+                        params: 0,
+                        chain: chain_push(
+                            &None,
+                            format!(
+                                "read of raw field `.{}` ({}:{})",
+                                name, self.ctx.rel_path, line
+                            ),
+                        ),
+                    });
+                }
+                t
+            }
+            Expr::Ref { inner, .. } => self.eval(inner),
+            Expr::Group(items) => {
+                let mut t = Taint::clean();
+                for i in items {
+                    let it = self.eval(i);
+                    t.union(&it);
+                }
+                t
+            }
+            Expr::Block(b) => self.eval_block(b),
+            Expr::Struct {
+                name, fields, rest, ..
+            } => {
+                let mut t = Taint::clean();
+                for (fname, fe) in fields {
+                    let ft = self.eval(fe);
+                    // Annotated fields re-establish taint at read time;
+                    // storing into them does not taint the carrier.
+                    if !self.w.tainted_fields.contains(fname) {
+                        t.union(&ft);
+                    }
+                }
+                if let Some(r) = rest {
+                    let rt = self.eval(r);
+                    t.union(&rt);
+                }
+                if self.w.tainted_types.contains(name) {
+                    t.union(&Taint {
+                        params: 0,
+                        chain: chain_push(&None, format!("construction of raw type `{}`", name)),
+                    });
+                }
+                t
+            }
+            Expr::If {
+                cond,
+                bindings,
+                then_blk,
+                else_expr,
+            } => {
+                let ct = self.eval(cond);
+                let saved = self.env.clone();
+                for b in bindings {
+                    self.env.insert(b.clone(), ct.clone());
+                }
+                let mut value = self.eval_block(then_blk);
+                let then_env = std::mem::replace(&mut self.env, saved);
+                if let Some(el) = else_expr {
+                    let et = self.eval(el);
+                    value.union(&et);
+                }
+                merge_env(&mut self.env, then_env);
+                value
+            }
+            Expr::Match { scrutinee, arms } => {
+                let st = self.eval(scrutinee);
+                let entry = self.env.clone();
+                let mut value = Taint::clean();
+                let mut merged = self.env.clone();
+                for (names, body) in arms {
+                    self.env = entry.clone();
+                    for n in names {
+                        self.env.insert(n.clone(), st.clone());
+                    }
+                    let bt = self.eval(body);
+                    value.union(&bt);
+                    let arm_env = std::mem::take(&mut self.env);
+                    merge_env(&mut merged, arm_env);
+                }
+                self.env = merged;
+                value
+            }
+            Expr::Loop {
+                source,
+                bindings,
+                body,
+            } => {
+                let st = source.as_ref().map(|s| self.eval(s)).unwrap_or_default();
+                // Two passes pick up loop-carried taint.
+                for _ in 0..2 {
+                    for b in bindings {
+                        self.env.insert(b.clone(), st.clone());
+                    }
+                    let _ = self.eval_block(body);
+                }
+                Taint::clean()
+            }
+            Expr::Closure { params, body } => {
+                // Captures evaluate in the defining scope; params shadow.
+                let shadowed: Vec<(String, Option<Taint>)> = params
+                    .iter()
+                    .map(|p| (p.clone(), self.env.insert(p.clone(), Taint::clean())))
+                    .collect();
+                let t = self.eval(body);
+                for (p, old) in shadowed {
+                    match old {
+                        Some(v) => {
+                            self.env.insert(p, v);
+                        }
+                        None => {
+                            self.env.remove(&p);
+                        }
+                    }
+                }
+                t
+            }
+            Expr::Macro {
+                name,
+                args,
+                line,
+                col,
+            } => {
+                let taints: Vec<Taint> = args.iter().map(|a| self.eval(a)).collect();
+                let mut t = Taint::clean();
+                for a in &taints {
+                    t.union(a);
+                }
+                let _ = (line, col);
+                if (name == "write" || name == "writeln") && t.is_tainted() {
+                    if let Some(dst) = args.first().and_then(place_of) {
+                        let dst = dst.to_string();
+                        self.taint_place(&dst, &t);
+                    }
+                }
+                t
+            }
+            Expr::Call {
+                segs,
+                args,
+                line,
+                col,
+            } => {
+                let arg_taints: Vec<Taint> = args.iter().map(|a| self.eval(a)).collect();
+                let cands = self.w.resolve_call(segs, self.qual);
+                let callee = segs.join("::");
+                let arg_refs: Vec<&Expr> = args.iter().collect();
+                let mut t =
+                    self.apply_call(&callee, &cands, &arg_refs, &arg_taints, false, *line, *col);
+                // `FileId(..)`-style tuple-struct construction of a raw
+                // type births a raw identifier.
+                if cands.is_empty() && segs.len() == 1 && self.w.tainted_types.contains(&segs[0]) {
+                    t.union(&Taint {
+                        params: 0,
+                        chain: chain_push(
+                            &None,
+                            format!(
+                                "construction of raw type `{}` ({}:{})",
+                                segs[0], self.ctx.rel_path, line
+                            ),
+                        ),
+                    });
+                }
+                t
+            }
+            Expr::MethodCall {
+                recv,
+                name,
+                args,
+                line,
+                col,
+            } => {
+                let recv_t = self.eval(recv);
+                let arg_taints: Vec<Taint> = args.iter().map(|a| self.eval(a)).collect();
+                if CLEAN_METHODS.contains(&name.as_str()) {
+                    return Taint::clean();
+                }
+                let recv_ty = self.infer_type(recv);
+                let cands = self.w.resolve_method(name, recv_ty.as_deref(), self.file);
+                let mut slots: Vec<&Expr> = vec![recv];
+                slots.extend(args.iter());
+                let mut taints = vec![recv_t];
+                taints.extend(arg_taints);
+                self.apply_call(name, &cands, &slots, &taints, true, *line, *col)
+            }
+        }
+    }
+
+    /// Best-effort local type of an expression: enough to route method
+    /// calls to the right impl. `None` means "unknown" (std types,
+    /// generics), which resolves conservatively.
+    fn infer_type(&self, e: &Expr) -> Option<String> {
+        match e {
+            Expr::Path { segs, .. } if segs.len() == 1 => self.tyenv.get(&segs[0]).cloned(),
+            Expr::Ref { inner, .. } => self.infer_type(inner),
+            Expr::Struct { name, .. } => Some(name.clone()),
+            Expr::Call { segs, .. } => {
+                if segs.len() >= 2 {
+                    let pen = &segs[segs.len() - 2];
+                    if pen == "Self" {
+                        return self.qual.map(str::to_string);
+                    }
+                    if starts_uppercase(pen) && self.w.known_types.contains(pen) {
+                        return Some(pen.clone());
+                    }
+                    None
+                } else {
+                    match segs.first() {
+                        Some(s) if starts_uppercase(s) && self.w.known_types.contains(s) => {
+                            Some(s.clone())
+                        }
+                        _ => None,
+                    }
+                }
+            }
+            Expr::MethodCall { recv, name, .. } if name == "clone" => self.infer_type(recv),
+            Expr::Field { base, name, .. } => {
+                let base_ty = self.infer_type(base)?;
+                let canon = self.w.canonical_type(&base_ty);
+                let (fi, ti) = *self.w.types_by_name.get(&canon)?;
+                let fld = self.w.parsed[fi].types[ti]
+                    .fields
+                    .iter()
+                    .find(|f| f.name == *name)?;
+                let w = first_ident(&fld.ty)?;
+                self.w.known_types.contains(&w).then_some(w)
+            }
+            Expr::Group(items) if items.len() == 1 => self.infer_type(&items[0]),
+            _ => None,
+        }
+    }
+
+    /// Shared call handling: `slots`/`taints` are positional (receiver
+    /// first for method calls, matching parameter order with `self`).
+    #[allow(clippy::too_many_arguments)]
+    fn apply_call(
+        &mut self,
+        callee: &str,
+        cands: &[usize],
+        slots: &[&Expr],
+        taints: &[Taint],
+        is_method: bool,
+        line: usize,
+        col: usize,
+    ) -> Taint {
+        let anns: Vec<(AnnKind, String)> = cands
+            .iter()
+            .filter_map(|&u| self.w.anns[u].clone())
+            .collect();
+        // A sanitizer is a trusted boundary: its result is clean and it
+        // never propagates taint onward.
+        if anns.iter().any(|(k, _)| *k == AnnKind::Sanitize) {
+            return Taint::clean();
+        }
+        if let Some((_, tag)) = anns.iter().find(|(k, _)| *k == AnnKind::Sink) {
+            for (i, t) in taints.iter().enumerate() {
+                if !t.is_tainted() {
+                    continue;
+                }
+                let step = format!(
+                    "argument {} of sink `{}` [{}] ({}:{})",
+                    i, callee, tag, self.ctx.rel_path, line
+                );
+                if t.chain.is_some() {
+                    let mut steps = chain_steps(&t.chain);
+                    steps.push(step.clone());
+                    self.report(line, col, tag, &steps);
+                }
+                for p in mask_bits(t.params) {
+                    self.push_sink(p, tag, vec![step.clone()]);
+                }
+            }
+            return Taint::clean();
+        }
+        if let Some((_, tag)) = anns.iter().find(|(k, _)| *k == AnnKind::Source) {
+            return Taint {
+                params: 0,
+                chain: chain_push(
+                    &None,
+                    format!(
+                        "call to source `{}` [{}] ({}:{})",
+                        callee, tag, self.ctx.rel_path, line
+                    ),
+                ),
+            };
+        }
+        if !cands.is_empty() {
+            let mut result = Taint::clean();
+            // Clone the summaries we need up front so the RefCell
+            // borrow does not overlap recursive evaluation.
+            let sums: Vec<Summary> = {
+                let all = self.w.summaries.borrow();
+                cands.iter().map(|&u| all[u].clone()).collect()
+            };
+            for s in &sums {
+                for p in mask_bits(s.ret_params) {
+                    if let Some(t) = taints.get(p) {
+                        result.union(t);
+                    }
+                }
+                if let Some(steps) = &s.ret_steps {
+                    let mut steps = steps.clone();
+                    steps.push(format!(
+                        "returned by `{}` ({}:{})",
+                        callee, self.ctx.rel_path, line
+                    ));
+                    result.union(&Taint {
+                        params: 0,
+                        chain: chain_from_steps(&steps),
+                    });
+                }
+                for (idx, mask) in &s.mut_from {
+                    let mut t = Taint::clean();
+                    for p in mask_bits(*mask) {
+                        if let Some(at) = taints.get(p) {
+                            t.union(at);
+                        }
+                    }
+                    if t.is_tainted() {
+                        if let Some(place) = slots.get(*idx).and_then(|e| place_of(e)) {
+                            let place = place.to_string();
+                            self.taint_place(&place, &t);
+                        }
+                    }
+                }
+                for (idx, steps) in &s.mut_always {
+                    if let Some(place) = slots.get(*idx).and_then(|e| place_of(e)) {
+                        let mut steps = steps.clone();
+                        steps.push(format!(
+                            "written by `{}` into `{}` ({}:{})",
+                            callee, place, self.ctx.rel_path, line
+                        ));
+                        let place = place.to_string();
+                        let t = Taint {
+                            params: 0,
+                            chain: chain_from_steps(&steps),
+                        };
+                        self.taint_place(&place, &t);
+                    }
+                }
+                for (p, tag, steps) in &s.sink_params {
+                    let Some(t) = taints.get(*p) else { continue };
+                    if !t.is_tainted() {
+                        continue;
+                    }
+                    let via = format!("via `{}` ({}:{})", callee, self.ctx.rel_path, line);
+                    if t.chain.is_some() {
+                        let mut full = chain_steps(&t.chain);
+                        full.push(via.clone());
+                        full.extend(steps.iter().cloned());
+                        self.report(line, col, tag, &full);
+                    }
+                    for q in mask_bits(t.params) {
+                        let mut full = vec![via.clone()];
+                        full.extend(steps.iter().cloned());
+                        self.push_sink(q, tag, full);
+                    }
+                }
+            }
+            return result;
+        }
+        // Unresolved (std / vendored): conservative propagation.
+        let mut t = Taint::clean();
+        for at in taints {
+            t.union(at);
+        }
+        if t.is_tainted() {
+            // Taint the receiver (method calls only) and `&mut` args.
+            for (i, slot) in slots.iter().enumerate() {
+                let is_recv = is_method && i == 0;
+                let is_mut_ref = matches!(slot, Expr::Ref { mutable: true, .. });
+                if (is_recv || is_mut_ref) && slots.len() > 1 {
+                    if let Some(place) = place_of(slot) {
+                        let place = place.to_string();
+                        self.taint_place(&place, &t);
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    fn push_sink(&mut self, param: usize, tag: &str, steps: Vec<String>) {
+        if !self
+            .summary
+            .sink_params
+            .iter()
+            .any(|(p, t, _)| *p == param && t == tag)
+        {
+            self.summary
+                .sink_params
+                .push((param, tag.to_string(), steps));
+        }
+    }
+
+    fn report(&mut self, line: usize, col: usize, tag: &str, steps: &[String]) {
+        let Some(out) = self.out.as_deref_mut() else {
+            return;
+        };
+        let message = format!(
+            "raw identifier may reach `{}` sink (in `{}`): {}",
+            tag,
+            self.fname,
+            steps.join(" -> ")
+        );
+        let key = (self.ctx.rel_path.clone(), line, col, message.clone());
+        if !self.dedup.insert(key) {
+            return;
+        }
+        let token = Token {
+            kind: TokenKind::Ident,
+            text: String::new(),
+            line,
+            col,
+        };
+        self.ctx.report(out, RULE, &token, message);
+    }
+}
+
+fn merge_env(into: &mut HashMap<String, Taint>, from: HashMap<String, Taint>) {
+    for (k, v) in from {
+        into.entry(k).or_default().union(&v);
+    }
+}
+
+fn mask_bits(mask: u64) -> impl Iterator<Item = usize> {
+    (0..64).filter(move |i| mask & (1 << i) != 0)
+}
+
+/// The local variable a place expression roots in, if any.
+fn place_of(e: &Expr) -> Option<&str> {
+    match e {
+        Expr::Path { segs, .. } if segs.len() == 1 && segs[0] != "self" => Some(&segs[0]),
+        Expr::Path { segs, .. } if segs.len() == 1 => Some("self"),
+        Expr::Ref { inner, .. } => place_of(inner),
+        Expr::Field { base, .. } => place_of(base),
+        Expr::Group(items) => items.first().and_then(place_of),
+        _ => None,
+    }
+}
+
+/// Sorted list of (sink tag) families the workspace declares — used by
+/// `--list` style output and tests.
+pub fn declared_sink_tags(ctxs: &[FileContext]) -> BTreeSet<String> {
+    let mut tags = BTreeSet::new();
+    for ctx in ctxs {
+        for ann in &ctx.annotations {
+            if ann.kind == AnnKind::Sink {
+                tags.insert(ann.tag.clone());
+            }
+        }
+    }
+    tags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SourceFile;
+    use crate::lint_files;
+
+    fn file(rel: &str, text: &str) -> SourceFile {
+        SourceFile {
+            rel_path: rel.into(),
+            text: text.into(),
+        }
+    }
+
+    fn taint_diags(src: &str) -> Vec<String> {
+        let report = lint_files(&[file("x.rs", src)]);
+        report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == RULE)
+            .map(|d| d.message.clone())
+            .collect()
+    }
+
+    const PRELUDE: &str = "\
+// etwlint: source(raw-id): fixture raw producer
+fn raw_id() -> u32 { 42 }
+// etwlint: sanitize(raw-id): fixture scheme
+fn anonymize(_x: u32) -> u64 { 0 }
+// etwlint: sink(xml): fixture emitter
+fn emit(_b: u32) {}
+";
+
+    #[test]
+    fn direct_leak_is_reported_with_path() {
+        let diags = taint_diags(&format!(
+            "{PRELUDE}fn leak() {{\n    let x = raw_id();\n    emit(x);\n}}\n"
+        ));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].contains("source `raw_id`"), "{}", diags[0]);
+        assert!(diags[0].contains("sink `emit`"), "{}", diags[0]);
+    }
+
+    #[test]
+    fn sanitized_flow_is_clean() {
+        let diags = taint_diags(&format!(
+            "{PRELUDE}fn ok() {{\n    let x = raw_id();\n    let a = anonymize(x);\n    emit(a as u32);\n}}\n"
+        ));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn interprocedural_leak_through_helper() {
+        let diags = taint_diags(&format!(
+            "{PRELUDE}fn helper(v: u32) {{\n    emit(v);\n}}\nfn leak() {{\n    helper(raw_id());\n}}\n"
+        ));
+        assert!(
+            diags.iter().any(|d| d.contains("via `helper`")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn mut_ref_propagation_and_field_sources() {
+        let src = format!(
+            "{PRELUDE}\
+struct D {{\n    // etwlint: source(raw-id): fixture raw field\n    peer: u32,\n    ts: u64,\n}}\n\
+fn collect(d: &D, out: &mut Vec<u32>) {{\n    out.push(d.peer);\n}}\n\
+fn leak(d: &D) {{\n    let mut buf = Vec::new();\n    collect(d, &mut buf);\n    for v in buf {{ emit(v); }}\n}}\n\
+fn clean(d: &D) {{\n    emit(d.ts as u32);\n}}\n"
+        );
+        let diags = taint_diags(&src);
+        assert!(
+            diags.iter().any(|d| d.contains("raw field `.peer`")),
+            "{diags:?}"
+        );
+        assert!(
+            !diags.iter().any(|d| d.contains("clean")),
+            "ts must stay clean: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn allow_suppresses() {
+        let src = format!(
+            "{PRELUDE}fn leak() {{\n    let x = raw_id();\n    // etwlint: allow(taint): fixture-reviewed exception\n    emit(x);\n}}\n"
+        );
+        let report = lint_files(&[file("x.rs", &src)]);
+        assert!(report.diagnostics.iter().all(|d| d.rule != RULE));
+        assert!(report.suppressed.iter().any(|d| d.rule == RULE));
+    }
+
+    #[test]
+    fn typed_params_are_raw() {
+        let src = "\
+// etwlint: source(raw-id): fixture raw type
+struct ClientId(u32);
+// etwlint: sink(checkpoint): fixture emitter
+fn write_bytes(_b: u32) {}
+fn leak(id: ClientId) { write_bytes(id.0); }
+";
+        let diags = taint_diags(src);
+        assert!(
+            diags.iter().any(|d| d.contains("raw-typed param `id`")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = format!(
+            "{PRELUDE}#[cfg(test)]\nmod tests {{\n    fn t() {{\n        super::emit(super::raw_id());\n    }}\n}}\n"
+        );
+        assert!(taint_diags(&src).is_empty());
+    }
+}

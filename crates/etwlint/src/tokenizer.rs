@@ -574,4 +574,89 @@ mod tests {
         assert_eq!((ts.tokens[0].line, ts.tokens[0].col), (1, 1));
         assert_eq!((ts.tokens[1].line, ts.tokens[1].col), (2, 3));
     }
+
+    #[test]
+    fn nested_generics_close_with_individual_angle_puncts() {
+        // `>>` at the end of a nested generic must lex as two `>` puncts
+        // (the parser's skip_generics counts depth one bracket at a
+        // time), and a shift expression must produce the same tokens —
+        // disambiguation is the parser's job, not the lexer's.
+        let ts = tokenize("fn f(m: BTreeMap<u64, Vec<Option<u8>>>) -> u64 { 1u64 >> 2 }");
+        let gts = ts
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct && t.text == ">")
+            .count();
+        assert_eq!(gts, 6, "three closers, one arrow half, two shift halves");
+        assert!(ts
+            .tokens
+            .iter()
+            .all(|t| t.kind != TokenKind::Punct || t.text.len() == 1));
+    }
+
+    #[test]
+    fn multi_fence_raw_strings_keep_inner_fences() {
+        let ts = tokenize(r####"let a = r##"one "# inner"##;"####);
+        let strs: Vec<String> = ts
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(strs, vec![r##"one "# inner"##.to_string()]);
+    }
+
+    #[test]
+    fn byte_chars_and_escaped_quotes() {
+        let ts = tokenize(r#"let a = b'x'; let b = '\''; let s = "esc \" quote";"#);
+        assert_eq!(
+            ts.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Char)
+                .count(),
+            2
+        );
+        let strs: Vec<String> = ts
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(strs, vec![r#"esc \" quote"#.to_string()]);
+    }
+
+    #[test]
+    fn static_lifetime_is_not_a_char() {
+        let ts = tokenize("fn f(x: &'static str) -> &'static str { x }");
+        assert_eq!(
+            ts.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Lifetime && t.text == "static")
+                .count(),
+            2
+        );
+        assert!(ts.tokens.iter().all(|t| t.kind != TokenKind::Char));
+    }
+
+    #[test]
+    fn comments_inside_macro_bodies_stay_side_tabled() {
+        // An `allow` comment inside a macro invocation must land in the
+        // comment table at its own line, where the engine's suppression
+        // lookup finds it — macro bodies are not opaque to the lexer.
+        let src = "write!(\n    out,\n    // etwlint: allow(taint): reviewed\n    \"{}\",\n    id\n)\n.unwrap();";
+        let ts = tokenize(src);
+        assert_eq!(ts.comments.len(), 1);
+        assert_eq!(ts.comments[0].line, 3);
+        assert!(ts.comments[0].text.contains("allow(taint)"));
+        // The macro's tokens still lex (idents on both sides of it).
+        assert!(idents(src).contains(&"write".to_string()));
+        assert!(idents(src).contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn cr_lf_line_endings_count_lines_once() {
+        let ts = tokenize("a\r\nb\r\nc");
+        let lines: Vec<usize> = ts.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
 }

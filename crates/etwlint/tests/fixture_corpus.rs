@@ -1,0 +1,243 @@
+//! On-disk corpus of known-bad snippets under `tests/fixtures/`: one
+//! file per rule plus one per taint sink family. Each fixture is linted
+//! under a *virtual* path (rules are path-scoped; the corpus itself is
+//! excluded from workspace scans) and must produce exactly the expected
+//! diagnostic — rule, file, line, and message content.
+
+use etwlint::{lint_files, Diagnostic, SourceFile};
+use std::fs;
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Lints one fixture under the virtual path its target rule scans.
+fn lint_fixture(name: &str, virtual_path: &str) -> Vec<Diagnostic> {
+    lint_files(&[SourceFile {
+        rel_path: virtual_path.to_string(),
+        text: fixture(name),
+    }])
+    .diagnostics
+}
+
+struct Case {
+    fixture: &'static str,
+    virtual_path: &'static str,
+    rule: &'static str,
+    line: usize,
+    needle: &'static str,
+}
+
+/// One known-bad fixture per single-file rule. `line` pins the anchor;
+/// `needle` pins the message.
+const RULE_CASES: &[Case] = &[
+    Case {
+        fixture: "no_wall_clock.rs",
+        virtual_path: "crates/netsim/src/fixture.rs",
+        rule: "no-wall-clock",
+        line: 5,
+        needle: "Instant::now",
+    },
+    Case {
+        fixture: "no_panic_hot_path.rs",
+        virtual_path: "crates/core/src/pipeline.rs",
+        rule: "no-panic-hot-path",
+        line: 5,
+        needle: "unwrap",
+    },
+    Case {
+        fixture: "no_alloc_hot_loop.rs",
+        virtual_path: "crates/xmlout/src/encode.rs",
+        rule: "no-alloc-hot-loop",
+        line: 6,
+        needle: "to_string",
+    },
+    Case {
+        fixture: "no_unbounded_channel.rs",
+        virtual_path: "crates/core/src/pipeline.rs",
+        rule: "no-unbounded-channel",
+        line: 5,
+        needle: "unbounded",
+    },
+    Case {
+        fixture: "atomics_ordering_audit.rs",
+        virtual_path: "crates/core/src/lib.rs",
+        rule: "atomics-ordering-audit",
+        line: 7,
+        needle: "ordering",
+    },
+    Case {
+        fixture: "vendored_dep_boundary.rs",
+        virtual_path: "crates/core/src/lib.rs",
+        rule: "vendored-dep-boundary",
+        line: 4,
+        needle: "vendored stand-in",
+    },
+];
+
+#[test]
+fn every_rule_fixture_fires_exactly_once_at_the_expected_line() {
+    for case in RULE_CASES {
+        let diags = lint_fixture(case.fixture, case.virtual_path);
+        let hits: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == case.rule).collect();
+        assert_eq!(
+            hits.len(),
+            1,
+            "{}: expected exactly one `{}` diagnostic, got {:?}",
+            case.fixture,
+            case.rule,
+            diags
+        );
+        let d = hits[0];
+        assert_eq!(d.path, case.virtual_path, "{}", case.fixture);
+        assert_eq!(
+            d.line, case.line,
+            "{}: anchored at the wrong line: {d:?}",
+            case.fixture
+        );
+        assert!(
+            d.message.contains(case.needle),
+            "{}: message {:?} lacks {:?}",
+            case.fixture,
+            d.message,
+            case.needle
+        );
+    }
+}
+
+#[test]
+fn opcode_coverage_fixture_flags_the_unmatched_opcode() {
+    let report = lint_files(&[
+        SourceFile {
+            rel_path: "crates/edonkey/src/messages.rs".into(),
+            text: fixture("opcode_coverage/messages.rs"),
+        },
+        SourceFile {
+            rel_path: "crates/edonkey/src/decoder.rs".into(),
+            text: fixture("opcode_coverage/decoder.rs"),
+        },
+    ]);
+    let hits: Vec<&Diagnostic> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "opcode-coverage")
+        .collect();
+    assert_eq!(hits.len(), 1, "{:?}", report.diagnostics);
+    assert_eq!(hits[0].path, "crates/edonkey/src/messages.rs");
+    assert_eq!(hits[0].line, 4, "anchored at the const declaration");
+    assert!(
+        hits[0].message.contains("OFFER_FILES"),
+        "{}",
+        hits[0].message
+    );
+    assert!(
+        hits[0].message.contains("never matched"),
+        "{}",
+        hits[0].message
+    );
+}
+
+struct TaintCase {
+    fixture: &'static str,
+    tag: &'static str,
+    source_fn: &'static str,
+    sink_fn: &'static str,
+}
+
+/// One known-bad fixture per sink family the workspace declares. Each
+/// diagnostic must carry the full source → sink path.
+const TAINT_CASES: &[TaintCase] = &[
+    TaintCase {
+        fixture: "taint_xml.rs",
+        tag: "xml",
+        source_fn: "raw_client_id",
+        sink_fn: "write_xml_field",
+    },
+    TaintCase {
+        fixture: "taint_checkpoint.rs",
+        tag: "checkpoint",
+        source_fn: "appearance_order",
+        sink_fn: "write_sidecar",
+    },
+    TaintCase {
+        fixture: "taint_trace.rs",
+        tag: "trace",
+        source_fn: "raw_peer",
+        sink_fn: "write_payload",
+    },
+    TaintCase {
+        fixture: "taint_telemetry.rs",
+        tag: "telemetry",
+        source_fn: "raw_file_prefix",
+        sink_fn: "render_metric",
+    },
+    TaintCase {
+        fixture: "taint_ops_http.rs",
+        tag: "ops-http",
+        source_fn: "raw_client_id",
+        sink_fn: "respond",
+    },
+];
+
+#[test]
+fn every_taint_sink_family_fixture_reports_the_full_path() {
+    for case in TAINT_CASES {
+        let diags = lint_fixture(case.fixture, "crates/fixture/src/lib.rs");
+        let hits: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "taint").collect();
+        assert!(
+            !hits.is_empty(),
+            "{}: expected a taint diagnostic, got {diags:?}",
+            case.fixture
+        );
+        let d = hits[0];
+        assert!(
+            d.message.contains(&format!("`{}` sink", case.tag)),
+            "{}: message {:?} lacks the `{}` tag",
+            case.fixture,
+            d.message,
+            case.tag
+        );
+        assert!(
+            d.message.contains(&format!("source `{}`", case.source_fn)),
+            "{}: path start missing from {:?}",
+            case.fixture,
+            d.message
+        );
+        assert!(
+            d.message.contains(&format!("sink `{}`", case.sink_fn)),
+            "{}: path end missing from {:?}",
+            case.fixture,
+            d.message
+        );
+    }
+}
+
+#[test]
+fn interprocedural_fixture_names_the_intermediate_hop() {
+    let diags = lint_fixture("taint_ops_http.rs", "crates/fixture/src/lib.rs");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "taint" && d.message.contains("via `render_row`")),
+        "the ops-http fixture leaks through `render_row`; the path must say so: {diags:?}"
+    );
+}
+
+#[test]
+fn corpus_is_invisible_to_the_workspace_scan() {
+    // The corpus lives inside the workspace but must never reach the
+    // self-scan: every fixture violates a rule by design.
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = etwlint::find_workspace_root(here).expect("workspace root above etwlint");
+    let files = etwlint::collect_sources(&root).expect("workspace scan");
+    assert!(
+        files
+            .iter()
+            .all(|f| !f.rel_path.contains("tests/fixtures/")),
+        "fixture corpus leaked into the workspace scan"
+    );
+}

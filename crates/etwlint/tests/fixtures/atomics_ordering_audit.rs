@@ -1,0 +1,8 @@
+//! Known-bad: an atomic access with no `// ordering:` justification
+//! comment nearby.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,9 @@
+//! Known-bad: allocates per record inside a formatter loop; the encoder
+//! is required to reuse its buffers in steady state.
+
+fn render(names: &[&str]) {
+    for name in names {
+        let owned = name.to_string();
+        drop(owned);
+    }
+}

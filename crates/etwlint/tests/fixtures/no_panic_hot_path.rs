@@ -1,0 +1,6 @@
+//! Known-bad: panics on the capture hot path instead of shedding the
+//! frame and counting it.
+
+fn first_byte(frame: &[u8]) -> u8 {
+    *frame.first().unwrap()
+}

@@ -1,0 +1,7 @@
+//! Known-bad: a raw unbounded channel between pipeline stages — no
+//! depth gauge, no stall accounting, unbounded memory under backlog.
+
+fn plumb() {
+    let (tx, rx) = crossbeam::channel::unbounded::<u64>();
+    drop((tx, rx));
+}

@@ -1,0 +1,7 @@
+//! Known-bad: reads the wall clock in capture code. The capture machine
+//! is a deterministic function of its seed; wall time breaks replay.
+
+fn elapsed_us() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_micros() as u64
+}

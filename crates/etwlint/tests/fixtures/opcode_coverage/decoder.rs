@@ -1,0 +1,4 @@
+use super::messages::opcodes::*;
+pub fn validate(op: u8) -> bool {
+    matches!(op, STATUS_REQ | SEARCH_REQ)
+}

@@ -1,0 +1,16 @@
+pub mod opcodes {
+    pub const STATUS_REQ: u8 = 0x96;
+    pub const SEARCH_REQ: u8 = 0x98;
+    pub const OFFER_FILES: u8 = 0x15;
+}
+use opcodes::*;
+pub fn opcode(m: u8) -> u8 {
+    match m {
+        STATUS_REQ => STATUS_REQ,
+        SEARCH_REQ => SEARCH_REQ,
+        x => x,
+    }
+}
+pub fn encode_offer() -> u8 {
+    OFFER_FILES
+}

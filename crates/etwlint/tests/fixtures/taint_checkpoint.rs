@@ -1,0 +1,15 @@
+//! Known-bad: a raw appearance-order table reaches the checkpoint
+//! sidecar bytes without the sealing layer.
+
+// etwlint: source(raw-id): fixture raw order table
+fn appearance_order() -> u32 {
+    7
+}
+
+// etwlint: sink(checkpoint): fixture sidecar writer
+fn write_sidecar(_line: u32) {}
+
+fn persist() {
+    let order = appearance_order();
+    write_sidecar(order);
+}

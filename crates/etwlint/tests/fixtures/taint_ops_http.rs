@@ -1,0 +1,18 @@
+//! Known-bad: a raw identifier is served on the ops HTTP surface
+//! through an interprocedural hop.
+
+// etwlint: source(raw-id): fixture raw producer
+fn raw_client_id() -> u32 {
+    11
+}
+
+// etwlint: sink(ops-http): fixture HTTP responder
+fn respond(_body: u32) {}
+
+fn render_row(id: u32) {
+    respond(id);
+}
+
+fn serve() {
+    render_row(raw_client_id());
+}

@@ -1,0 +1,15 @@
+//! Known-bad: a raw identifier is exported as a metric value on the
+//! Prometheus surface.
+
+// etwlint: source(raw-id): fixture raw producer
+fn raw_file_prefix() -> u32 {
+    3
+}
+
+// etwlint: sink(telemetry): fixture metrics renderer
+fn render_metric(_value: u32) {}
+
+fn export() {
+    let prefix = raw_file_prefix();
+    render_metric(prefix);
+}

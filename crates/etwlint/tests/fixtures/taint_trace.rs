@@ -1,0 +1,14 @@
+//! Known-bad: a raw identifier lands in a flight-recorder dump payload.
+
+// etwlint: source(raw-id): fixture raw producer
+fn raw_peer() -> u32 {
+    9
+}
+
+// etwlint: sink(trace): fixture dump payload writer
+fn write_payload(_word: u32) {}
+
+fn record() {
+    let peer = raw_peer();
+    write_payload(peer);
+}

@@ -1,0 +1,15 @@
+//! Known-bad: a raw clientID flows into the XML dataset sink without
+//! passing the anonymiser.
+
+// etwlint: source(raw-id): fixture raw producer
+fn raw_client_id() -> u32 {
+    42
+}
+
+// etwlint: sink(xml): fixture dataset emitter
+fn write_xml_field(_field: u32) {}
+
+fn leak() {
+    let id = raw_client_id();
+    write_xml_field(id);
+}

@@ -1,0 +1,4 @@
+//! Known-bad: Rust source reaching into the vendored stand-in tree.
+//! Only Cargo.toml path dependencies may point there.
+
+const STAND_IN: &str = "vendor/rand/src/lib.rs";

@@ -1,0 +1,73 @@
+//! Golden-file tests pinning the machine-readable output formats: the
+//! versioned JSON report (`etwlint-report/1`) and the SARIF 2.1.0 log.
+//! Any byte-level drift in either format is a schema change and must be
+//! deliberate: regenerate with `UPDATE_GOLDEN=1 cargo test -p etwlint
+//! --test format_golden` and review the diff.
+
+use etwlint::output::{render_json_versioned, render_sarif};
+use etwlint::{lint_files, LintReport, SourceFile};
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// A small deterministic report: one taint leak (from the fixture
+/// corpus), one wall-clock hit, and one reviewed suppression.
+fn sample_report() -> LintReport {
+    let taint = fs::read_to_string(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/taint_xml.rs"),
+    )
+    .expect("taint fixture");
+    lint_files(&[
+        SourceFile {
+            rel_path: "crates/fixture/src/lib.rs".into(),
+            text: taint,
+        },
+        SourceFile {
+            rel_path: "crates/netsim/src/clock.rs".into(),
+            text: "fn bad() { let t = Instant::now(); }\n\
+                   // etwlint: allow(no-wall-clock): reviewed fixture exception\n\
+                   fn excused() { let t = Instant::now(); }\n"
+                .into(),
+        },
+    ])
+}
+
+fn check(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(&path, rendered).expect("write golden");
+        return;
+    }
+    let golden = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{}: {e}; run with UPDATE_GOLDEN=1 once", path.display()));
+    assert_eq!(
+        rendered,
+        golden.trim_end_matches('\n'),
+        "{name} drifted from its golden file; if the schema change is \
+         deliberate, regenerate with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn json_report_matches_golden() {
+    check("report.json", &render_json_versioned(&sample_report()));
+}
+
+#[test]
+fn sarif_log_matches_golden() {
+    check("report.sarif", &render_sarif(&sample_report()));
+}
+
+#[test]
+fn sample_report_exercises_all_sections() {
+    // Guard the goldens against silently pinning an empty report.
+    let report = sample_report();
+    assert!(!report.diagnostics.is_empty(), "no diagnostics in sample");
+    assert!(!report.suppressed.is_empty(), "no suppressions in sample");
+    assert!(report.diagnostics.iter().any(|d| d.rule == "taint"));
+}

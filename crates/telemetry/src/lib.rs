@@ -440,6 +440,7 @@ impl Snapshot {
     /// Metric names are sanitised to `[a-zA-Z0-9_]` and prefixed with
     /// `etw_`; histograms emit cumulative `_bucket{le="..."}` series
     /// plus `_sum` and `_count`.
+    // etwlint: sink(telemetry): text is scraped by external collectors
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         for (name, value) in &self.counters {

@@ -106,6 +106,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Vec<SpanEvent>, TraceFileError> {
 }
 
 /// Writes a dump to `path` (create/truncate).
+// etwlint: sink(trace): flight-recorder dump written to disk
 pub fn write_file(path: &Path, events: &[SpanEvent]) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
     f.write_all(&to_bytes(events))?;

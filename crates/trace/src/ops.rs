@@ -108,6 +108,7 @@ fn json_escape(s: &str) -> String {
 /// Builds the full HTTP response for one request head (everything up
 /// to the blank line). Pure, so tests exercise the routing and error
 /// paths without a socket. Returns `(status, response_bytes)`.
+// etwlint: sink(ops-http): body is served to any HTTP client
 pub fn respond(request_head: &str, src: &dyn OpsSource) -> (u16, Vec<u8>) {
     let mut parts = request_head.lines().next().unwrap_or("").split_whitespace();
     let (method, path, version) = (parts.next(), parts.next(), parts.next());
@@ -196,6 +197,7 @@ impl OpsServer {
 
 /// Binds `addr` (e.g. `127.0.0.1:9100`, port 0 for an ephemeral port)
 /// and serves [`OpsSource`] snapshots until [`OpsServer::shutdown`].
+// etwlint: sink(ops-http): spawns the listener that serves responses
 pub fn serve(addr: &str, src: Arc<dyn OpsSource>) -> std::io::Result<OpsServer> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;

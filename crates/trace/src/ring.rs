@@ -123,6 +123,7 @@ impl SpanRing {
     }
 
     /// Step 2: stores the payload words into the claimed slot.
+    // etwlint: sink(trace): event payload stored in the dumpable ring
     pub fn write_payload(&self, ticket: &WriteTicket, ev: SpanEvent) {
         let slot = &self.slots[ticket.index];
         let words = [ev.virtual_us, ev.end_wall_ns, ev.dur_ns, ev.packed];

@@ -102,6 +102,7 @@ pub fn encode_record(out: &mut Vec<u8>, r: &AnonRecord) {
 /// Encodes a batch of records into `out` (appending). The buffer is the
 /// caller's to recycle: clear it, encode the next batch, repeat — the
 /// capacity high-water mark is reached once and reused forever.
+// etwlint: sink(xml): these bytes become the published dataset
 pub fn encode_batch(out: &mut Vec<u8>, records: &[AnonRecord]) {
     for r in records {
         encode_record(out, r);

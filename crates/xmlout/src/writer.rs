@@ -102,6 +102,7 @@ impl<W: Write> DatasetWriter<W> {
     /// `records` records (the encoder is byte-identical to
     /// [`write_record`](Self::write_record), so offsets and the record
     /// counter stay consistent with the serial path).
+    // etwlint: sink(xml): bytes written to the dataset output
     pub fn write_encoded(&mut self, bytes: &[u8], records: u64) -> io::Result<()> {
         debug_assert!(!self.closed);
         self.records += records;
@@ -109,6 +110,7 @@ impl<W: Write> DatasetWriter<W> {
     }
 
     /// Writes one dialog record.
+    // etwlint: sink(xml): record serialised into the dataset output
     pub fn write_record(&mut self, r: &AnonRecord) -> io::Result<()> {
         debug_assert!(!self.closed);
         self.records += 1;

@@ -11,7 +11,7 @@
 //! etwtool serve      [--addr HOST:PORT] [--tiny|--faulty]  campaign + /health.json + /metrics over HTTP
 //! etwtool trace-dump <file.etwtrace>         pretty-print a flight-recorder dump
 //! etwtool trace-check [--dir DIR]            faulty campaign must produce parseable flight dumps
-//! etwtool lint       [--json] [--list]       repo-specific static analysis (etwlint)
+//! etwtool lint       [--format text|json|sarif] [--list]   repo-specific static analysis (etwlint)
 //! etwtool checkpoint-inspect <file.etwckpt>  describe a resume checkpoint sidecar
 //! etwtool spec                               print the format specification
 //! ```
@@ -392,19 +392,40 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
 /// workspace — the same catalogue the ci.sh gate enforces.
 ///
 /// ```text
-/// etwtool lint [--json] [--root DIR] [--list]
+/// etwtool lint [--format text|json|sarif] [--root DIR] [--list]
 /// ```
 ///
-/// Exit codes mirror the standalone binary: 0 clean, 1 unsuppressed
-/// diagnostics, 2 usage/scan error.
+/// `--format json` emits the versioned `etwlint-report/1` document;
+/// `--format sarif` a SARIF 2.1.0 log (what ci.sh archives under
+/// `target/ci/`). Exit codes mirror the standalone binary: 0 clean, 1
+/// unsuppressed diagnostics, 2 usage/scan error.
 fn cmd_lint(args: &[String]) -> ExitCode {
-    let mut json = false;
+    #[derive(PartialEq)]
+    enum Format {
+        Text,
+        Json,
+        Sarif,
+    }
+    let mut format = Format::Text;
     let mut list = false;
     let mut root: Option<std::path::PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                Some(other) => {
+                    eprintln!("etwtool lint: unknown format {other:?} (text|json|sarif)");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("etwtool lint: --format needs an argument (text|json|sarif)");
+                    return ExitCode::from(2);
+                }
+            },
             "--list" => list = true,
             "--root" => match it.next() {
                 Some(dir) => root = Some(std::path::PathBuf::from(dir)),
@@ -443,18 +464,20 @@ fn cmd_lint(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if json {
-        println!("{}", report.render_json());
-    } else {
-        for d in &report.diagnostics {
-            println!("{}", d.render());
+    match format {
+        Format::Json => println!("{}", etwlint::output::render_json_versioned(&report)),
+        Format::Sarif => println!("{}", etwlint::output::render_sarif(&report)),
+        Format::Text => {
+            for d in &report.diagnostics {
+                println!("{}", d.render());
+            }
+            eprintln!(
+                "etwtool lint: {} file(s) scanned, {} diagnostic(s), {} suppressed",
+                report.files_scanned,
+                report.diagnostics.len(),
+                report.suppressed.len()
+            );
         }
-        eprintln!(
-            "etwtool lint: {} file(s) scanned, {} diagnostic(s), {} suppressed",
-            report.files_scanned,
-            report.diagnostics.len(),
-            report.suppressed.len()
-        );
     }
     if report.is_clean() {
         ExitCode::SUCCESS

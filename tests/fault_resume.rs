@@ -196,14 +196,14 @@ proptest! {
 
     /// The checkpoint sidecar round-trips through its text encoding, so
     /// what `repro soak` persists is what resume reads back. Freshly
-    /// encoded sidecars speak version 2.
+    /// encoded sidecars speak version 3 (sealed id payloads).
     #[test]
     fn checkpoint_sidecar_roundtrips(seed in 0u64..1_000) {
         let config = small_faulty(seed);
         let (_, cps, _) = run_writing(&config);
         for cp in &cps {
             let text = cp.encode();
-            prop_assert!(text.starts_with("etwckpt 2\n"));
+            prop_assert!(text.starts_with("etwckpt 3\n"));
             let decoded = Checkpoint::decode(&text).expect("roundtrip");
             prop_assert_eq!(cp, &decoded);
         }
