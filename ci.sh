@@ -23,6 +23,7 @@ STAGES='
 build|cargo build --release|cargo build --release
 test|workspace tests|cargo test -q --workspace
 soak|kill+resume byte identity, fault ledgers|cargo run -q --release --bin repro -- soak --faults --out target/soak
+swarm|real-socket loopback soak: impaired client swarm, exact conservation, live-capture canary|cargo run -q --release --bin repro -- swarm --faults --out target/swarm
 bench|tail + anonymise speedups, trajectory vs newest BENCH_PR*.json|cargo run -q --release --bin repro -- bench --smoke --out target/bench
 matrix|campaign matrix: widths 2^24/2^16 x shards 1/4, byte-identical datasets|cargo run -q --release --bin repro -- matrix
 trace|flight recorder: injected crashes must dump parseable flight_*.etwtrace|cargo run -q --release --bin etwtool -- trace-check --dir target/ci/flight

@@ -42,8 +42,17 @@ pub trait ClientIdAnonymizer {
 }
 
 /// The paper's direct-index array: one cell per possible clientID.
+///
+/// At the paper's full 32-bit width the array covers the entire clientID
+/// space. At narrower test/campaign widths, clientIDs beyond the array —
+/// real on live traffic, where high-ID clients and the peer-server
+/// addresses in ServerList answers are full IPv4 addresses — spill into
+/// a hash side-table instead of being a hard error: the array keeps the
+/// dense low-ID space at one memory access, the spill absorbs the sparse
+/// remainder, and the order-of-appearance contract holds across both.
 pub struct DirectArrayAnonymizer {
     table: Vec<u32>,
+    spill: HashMap<u32, u32>,
     next: u32,
     width_bits: u32,
 }
@@ -59,6 +68,7 @@ impl DirectArrayAnonymizer {
         let size = 1usize << width_bits;
         DirectArrayAnonymizer {
             table: vec![UNSEEN; size],
+            spill: HashMap::new(),
             next: 0,
             width_bits,
         }
@@ -88,6 +98,9 @@ impl DirectArrayAnonymizer {
                 order[v as usize] = raw as u32;
             }
         }
+        for (&raw, &v) in &self.spill {
+            order[v as usize] = raw;
+        }
         order
     }
 
@@ -101,15 +114,10 @@ impl DirectArrayAnonymizer {
         a
     }
 
-    #[inline]
-    fn index(&self, id: ClientId) -> usize {
-        let raw = id.raw() as usize;
-        assert!(
-            raw < self.table.len(),
-            "clientID {raw:#x} outside the configured {}-bit space",
-            self.width_bits
-        );
-        raw
+    /// Number of clientIDs that fell outside the array and live in the
+    /// spill side-table (0 at the paper's full 32-bit width).
+    pub fn spilled(&self) -> usize {
+        self.spill.len()
     }
 }
 
@@ -117,13 +125,21 @@ impl ClientIdAnonymizer for DirectArrayAnonymizer {
     #[inline]
     // etwlint: sanitize(raw-id): raw id becomes its appearance-order index
     fn anonymize(&mut self, id: ClientId) -> u32 {
-        let idx = self.index(id);
-        let cell = &mut self.table[idx];
-        if *cell == UNSEEN {
-            *cell = self.next;
-            self.next += 1;
+        let raw = id.raw();
+        if let Some(cell) = self.table.get_mut(raw as usize) {
+            if *cell == UNSEEN {
+                *cell = self.next;
+                self.next += 1;
+            }
+            *cell
+        } else {
+            let next = &mut self.next;
+            *self.spill.entry(raw).or_insert_with(|| {
+                let v = *next;
+                *next += 1;
+                v
+            })
         }
-        *cell
     }
 
     fn distinct(&self) -> u32 {
@@ -131,8 +147,10 @@ impl ClientIdAnonymizer for DirectArrayAnonymizer {
     }
 
     fn lookup(&self, id: ClientId) -> Option<u32> {
-        let v = self.table[self.index(id)];
-        (v != UNSEEN).then_some(v)
+        match self.table.get(id.raw() as usize) {
+            Some(&v) => (v != UNSEEN).then_some(v),
+            None => self.spill.get(&id.raw()).copied(),
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -288,10 +306,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "outside the configured")]
-    fn out_of_space_id_panics() {
+    fn out_of_space_ids_spill_without_panicking() {
+        // Live traffic carries clientIDs beyond a narrow array: high-ID
+        // clients and peer-server addresses are full IPv4 addresses. They
+        // must encode through the spill side-table, in the same dense
+        // order-of-appearance sequence as array-resident IDs.
         let mut a = DirectArrayAnonymizer::new(8);
-        a.anonymize(ClientId(256));
+        assert_eq!(a.anonymize(ClientId(3)), 0);
+        assert_eq!(a.anonymize(ClientId(0x5216_0a01)), 1, "spilled id");
+        assert_eq!(a.anonymize(ClientId(7)), 2);
+        assert_eq!(a.anonymize(ClientId(0x5216_0a01)), 1, "repeat keeps value");
+        assert_eq!(a.distinct(), 3);
+        assert_eq!(a.spilled(), 1);
+        assert_eq!(a.lookup(ClientId(0x5216_0a01)), Some(1));
+        assert_eq!(a.lookup(ClientId(0x5216_0a02)), None);
+        // The checkpointable order covers both halves and round-trips.
+        let order = a.appearance_order();
+        assert_eq!(order, vec![3, 0x5216_0a01, 7]);
+        let b = DirectArrayAnonymizer::from_order(8, &order);
+        assert_eq!(b.lookup(ClientId(0x5216_0a01)), Some(1));
+        assert_eq!(b.distinct(), 3);
     }
 
     #[test]

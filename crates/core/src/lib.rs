@@ -32,6 +32,7 @@
 pub mod campaign;
 pub mod checkpoint;
 pub mod config;
+pub mod livecap;
 pub mod pipeline;
 pub mod summary;
 pub mod wirepath;

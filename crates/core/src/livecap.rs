@@ -1,0 +1,200 @@
+//! Live capture of the serving loop's own traffic.
+//!
+//! The paper's setup (§2.2) is a capture machine sniffing the UDP
+//! traffic of a live eDonkey server, feeding a decode→anonymise
+//! pipeline, *measuring* whatever it failed to keep up with. This
+//! module is that capture machine for the loopback soak: a
+//! [`PacketTap`] installed on [`etw_server::net::ServerNet`] pushes
+//! every datagram that actually crossed the socket into a bounded
+//! channel; a collector thread re-encapsulates the payloads into
+//! ethernet frames — the exact input format of the unchanged capture
+//! pipeline. When the collector cannot keep up, the tap drops and
+//! *counts* (`capture.live.tap_dropped_total`): capture loss here is
+//! measured, never simulated.
+//!
+//! Identity comes from the swarm's [`Roster`]: the swarm registers
+//! every session's socket address before traffic flows, the collector
+//! maps peer address → clientID the way the paper's capture point knew
+//! its clients by source address.
+
+use crate::pipeline::TimedFrame;
+use crate::wirepath::{encapsulate, Direction};
+use etw_faults::LinkDirection;
+use etw_netsim::clock::VirtualTime;
+use etw_server::net::PacketTap;
+use etw_server::swarm::Roster;
+use etw_telemetry::channel::{metered_bounded, MeteredReceiver, MeteredSender};
+use etw_telemetry::{Counter, Registry};
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+
+/// One datagram as the tap saw it on the wire.
+struct RawPacket {
+    dir: LinkDirection,
+    peer: SocketAddr,
+    bytes: Vec<u8>,
+    now_us: u64,
+}
+
+/// The server-thread half: never blocks. A full channel means the
+/// collector fell behind, and the datagram is lost *to the capture*
+/// (the server already served it) — exactly the loss mode the paper
+/// had to account for.
+struct ChannelTap {
+    tx: MeteredSender<RawPacket>,
+    packets: Counter,
+    dropped: Counter,
+}
+
+impl PacketTap for ChannelTap {
+    fn packet(&mut self, dir: LinkDirection, peer: SocketAddr, payload: &[u8], now_us: u64) {
+        self.packets.inc();
+        let pkt = RawPacket {
+            dir,
+            peer,
+            bytes: payload.to_vec(),
+            now_us,
+        };
+        if self.tx.try_send(pkt).is_err() {
+            self.dropped.inc();
+        }
+    }
+}
+
+/// What the collector gathered once the tap closed.
+#[derive(Debug)]
+pub struct CapturedTraffic {
+    /// Ethernet frames in capture order, ready for the pipeline.
+    pub frames: Vec<TimedFrame>,
+    /// Datagrams the tap saw on the wire.
+    pub tapped: u64,
+    /// Datagrams lost because the capture channel was full.
+    pub tap_dropped: u64,
+    /// Datagrams from peers missing from the roster (skipped).
+    pub unmapped: u64,
+    /// The wall-clock µs of the first captured datagram (capture epoch).
+    pub epoch_us: u64,
+}
+
+impl CapturedTraffic {
+    /// Measured capture loss, as a fraction of datagrams on the wire.
+    pub fn loss_fraction(&self) -> f64 {
+        if self.tapped == 0 {
+            0.0
+        } else {
+            self.tap_dropped as f64 / self.tapped as f64
+        }
+    }
+}
+
+/// A running live capture: the tap to install on the server, and the
+/// collector thread assembling frames behind it.
+pub struct LiveCapture {
+    handle: JoinHandle<CapturedTraffic>,
+    packets: Counter,
+    dropped: Counter,
+}
+
+impl LiveCapture {
+    /// Starts the collector and returns `(capture, tap)`; hand the tap
+    /// to [`etw_server::net::ServerNet::with_tap`]. `queue_cap` bounds
+    /// the capture channel — small caps under load produce *real*,
+    /// counted capture loss.
+    pub fn start(
+        registry: &Registry,
+        roster: &Roster,
+        queue_cap: usize,
+    ) -> (LiveCapture, Box<dyn PacketTap>) {
+        let (tx, rx) = metered_bounded::<RawPacket>(queue_cap, registry, "live_tap");
+        let packets = registry.counter("capture.live.tap_packets_total");
+        let dropped = registry.counter("capture.live.tap_dropped_total");
+        let unmapped = registry.counter("capture.live.unmapped_total");
+        let tap = Box::new(ChannelTap {
+            tx,
+            packets: packets.clone(),
+            dropped: dropped.clone(),
+        });
+        let roster = Roster::clone(roster);
+        let handle = std::thread::Builder::new()
+            .name("etw-livecap".into())
+            .spawn(move || collect(rx, roster, unmapped))
+            .expect("spawn live-capture collector");
+        (
+            LiveCapture {
+                handle,
+                packets,
+                dropped,
+            },
+            tap,
+        )
+    }
+
+    /// Joins the collector. Call only after the tap has been dropped
+    /// (the server is shut down), or this blocks forever.
+    pub fn finish(self) -> CapturedTraffic {
+        let mut captured = match self.handle.join() {
+            Ok(c) => c,
+            Err(_) => CapturedTraffic {
+                frames: Vec::new(),
+                tapped: 0,
+                tap_dropped: 0,
+                unmapped: 0,
+                epoch_us: 0,
+            },
+        };
+        captured.tapped = self.packets.get();
+        captured.tap_dropped = self.dropped.get();
+        captured
+    }
+}
+
+/// The collector loop: peer → clientID via the roster, payload →
+/// ethernet frames via the same wire path the simulator uses, capture
+/// timestamps on the soak's shared µs axis, rebased to the first
+/// datagram.
+fn collect(rx: MeteredReceiver<RawPacket>, roster: Roster, unmapped: Counter) -> CapturedTraffic {
+    let mut frames = Vec::new();
+    let mut ident: u16 = 1;
+    let mut epoch_us: Option<u64> = None;
+    let mut last_ts = 0u64;
+    let mut skipped = 0u64;
+    while let Ok(p) = rx.recv() {
+        let cid = match roster.lock().get(&p.peer) {
+            Some(c) => *c,
+            None => {
+                unmapped.inc();
+                skipped += 1;
+                continue;
+            }
+        };
+        let epoch = *epoch_us.get_or_insert(p.now_us);
+        // Monotonic clamp: the tap stamps before the channel, so a
+        // reordered pair of threads cannot move time backwards.
+        let mut ts = p.now_us.saturating_sub(epoch);
+        if ts < last_ts {
+            ts = last_ts;
+        }
+        last_ts = ts;
+        let dir = match p.dir {
+            LinkDirection::ToServer => Direction::ToServer,
+            LinkDirection::FromServer => Direction::FromServer,
+        };
+        for f in encapsulate(p.bytes, cid, p.peer.port(), dir, ident, 1500) {
+            frames.push(TimedFrame {
+                ts: VirtualTime(ts),
+                bytes: f.to_bytes(),
+            });
+        }
+        ident = ident.wrapping_add(1);
+        if ident == 0 {
+            ident = 1;
+        }
+    }
+    CapturedTraffic {
+        frames,
+        tapped: 0,
+        tap_dropped: 0,
+        unmapped: skipped,
+        epoch_us: epoch_us.unwrap_or(0),
+    }
+}

@@ -194,6 +194,31 @@ fn lane_shard(n_workers: usize, s: usize) -> usize {
     6 + n_workers + s
 }
 
+/// Per-shard ledger handles for the anonymiser pool, feeding the
+/// `etwtool monitor` shard-balance panel. The aggregate `anon.shard.*`
+/// counters answer "how much work"; these answer "how evenly": skew in
+/// `batches_total`/`busy_ns_total` across shards exposes a hot shard,
+/// and `queue_depth` (maintained at the broadcast send and the worker
+/// receive) exposes the backlog behind it. Built outside the worker
+/// loops so the name formatting never allocates per batch.
+struct ShardLaneMetrics {
+    batches: Counter,
+    client_ids: Counter,
+    file_ids: Counter,
+    busy_ns: Counter,
+    queue_depth: Gauge,
+}
+
+fn shard_lane_metrics(registry: &Registry, sindex: usize) -> ShardLaneMetrics {
+    ShardLaneMetrics {
+        batches: registry.counter(&format!("anon.shard{sindex}.batches_total")),
+        client_ids: registry.counter(&format!("anon.shard{sindex}.client_ids_total")),
+        file_ids: registry.counter(&format!("anon.shard{sindex}.file_ids_total")),
+        busy_ns: registry.counter(&format!("anon.shard{sindex}.busy_ns_total")),
+        queue_depth: registry.gauge(&format!("anon.shard{sindex}.queue_depth")),
+    }
+}
+
 /// Shared flight-recorder state for one pipeline run. Each stage thread
 /// writes its own single-writer ring (lane); any thread may trigger a
 /// dump, which seqlock-snapshots every lane and writes one `.etwtrace`
@@ -1434,7 +1459,8 @@ where
                 registry,
                 "shard_in",
             );
-            shard_txs.push(tx);
+            let lane_metrics = shard_lane_metrics(registry, sindex);
+            shard_txs.push((tx, lane_metrics.queue_depth.clone()));
             let out = shard_out_tx.clone();
             let res_pool = res_pool.clone();
             let (batches, cids, fids, ns) = (
@@ -1453,6 +1479,7 @@ where
             shard_handles.push(scope.spawn(move |_| {
                 let mut pt = trace.begin();
                 while let Ok(batch) = rx.recv() {
+                    lane_metrics.queue_depth.add(-1);
                     let w0 = trace.service_begin(&mut pt);
                     let (mut cres, mut fres) = res_pool
                         .lock()
@@ -1462,10 +1489,17 @@ where
                         .unwrap_or_default();
                     let t = ns.start();
                     set.resolve_batch(&batch.client_ids, &batch.file_ids, &mut cres, &mut fres);
-                    ns.record_since(t);
+                    if let Some(t0) = t {
+                        let busy = t0.elapsed().as_nanos() as u64;
+                        ns.record(busy);
+                        lane_metrics.busy_ns.add(busy);
+                    }
                     batches.inc();
+                    lane_metrics.batches.inc();
                     cids.add(cres.len() as u64);
                     fids.add(fres.len() as u64);
+                    lane_metrics.client_ids.add(cres.len() as u64);
+                    lane_metrics.file_ids.add(fres.len() as u64);
                     let last_us = batch.msgs.last().map_or(0, |d| d.ts.0);
                     let r = ShardResult {
                         seq: batch.seq,
@@ -1646,10 +1680,11 @@ where
             next.client_ids.clear();
             next.file_ids.clear();
             let arc = std::sync::Arc::new(std::mem::replace(cur, next));
-            for tx in &shard_txs {
+            for (tx, depth) in &shard_txs {
                 if tx.send(arc.clone()).is_err() {
                     return false;
                 }
+                depth.add(1);
             }
             asm_tx.send(AsmItem::Batch(arc)).is_ok()
         };
@@ -2878,6 +2913,23 @@ mod tests {
         assert_eq!(snap.gauge("chan.shard_in.depth"), 0);
         assert_eq!(snap.gauge("chan.shard_out.depth"), 0);
         assert_eq!(snap.gauge("chan.asm_in.depth"), 0);
+        // Per-shard balance ledgers (the monitor panel's feed): each
+        // shard saw every batch exactly once, the per-shard resolution
+        // counts tile the aggregates, and every backlog drained.
+        let mut cid_sum = 0;
+        let mut fid_sum = 0;
+        for s in 0..4 {
+            assert_eq!(
+                snap.counter(&format!("anon.shard{s}.batches_total")),
+                batches,
+                "shard {s} batch count"
+            );
+            cid_sum += snap.counter(&format!("anon.shard{s}.client_ids_total"));
+            fid_sum += snap.counter(&format!("anon.shard{s}.file_ids_total"));
+            assert_eq!(snap.gauge(&format!("anon.shard{s}.queue_depth")), 0);
+        }
+        assert_eq!(cid_sum, snap.counter("anon.shard.client_ids_total"));
+        assert_eq!(fid_sum, snap.counter("anon.shard.file_ids_total"));
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! The UDP datagram boundary: size limits and a reusable encode buffer.
+//!
+//! Everything else in this crate works on byte slices; this module pins
+//! down what a *datagram* is allowed to look like when the protocol
+//! meets a real socket. The paper's capture machine saw arbitrary UDP
+//! traffic on the server port — other applications, scans, corrupted
+//! frames — so the serving loop treats every datagram as hostile until
+//! the two-step decoder says otherwise, and anything larger than
+//! [`MAX_DATAGRAM`] is rejected before the decoder even runs.
+
+use crate::messages::Message;
+
+/// Hard ceiling on an accepted eDonkey UDP datagram, in bytes.
+///
+/// Real eDonkey UDP messages are small (requests tens of bytes, the
+/// largest answers a few KB); genuine traffic never approaches this.
+/// Anything bigger is either another protocol or an attempt to make the
+/// server buffer garbage, and is counted as malformed (oversize) without
+/// being decoded.
+pub const MAX_DATAGRAM: usize = 4096;
+
+/// Receive-buffer size for the serving socket: large enough that the
+/// kernel never truncates a datagram we would want to classify (UDP's
+/// own maximum payload), so "oversized" is our policy decision, not an
+/// artifact of a short `recv`.
+pub const RECV_BUF: usize = 65536;
+
+/// A reusable encode buffer for the serving hot path: one allocation,
+/// reused for every answer datagram.
+#[derive(Default)]
+pub struct DatagramBuf {
+    buf: Vec<u8>,
+}
+
+impl DatagramBuf {
+    /// An empty buffer (allocates lazily on first encode).
+    pub fn new() -> Self {
+        DatagramBuf::default()
+    }
+
+    /// Encodes `msg` into the reused buffer and returns the wire bytes.
+    pub fn encode(&mut self, msg: &Message) -> &[u8] {
+        msg.encode_into(&mut self.buf);
+        &self.buf
+    }
+
+    /// The bytes of the most recent encode.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::Message;
+
+    #[test]
+    fn encode_matches_message_encode_and_reuses_allocation() {
+        let mut b = DatagramBuf::new();
+        let m1 = Message::StatusRequest { challenge: 77 };
+        let m2 = Message::GetServerList;
+        assert_eq!(b.encode(&m1), m1.encode().as_slice());
+        let cap = b.buf.capacity();
+        assert_eq!(b.encode(&m2), m2.encode().as_slice());
+        assert!(b.buf.capacity() >= 2);
+        assert_eq!(
+            b.buf.capacity(),
+            cap,
+            "no reallocation for a smaller message"
+        );
+    }
+
+    #[test]
+    fn honest_answers_fit_the_ceiling() {
+        // The largest answer the engine can produce: a full SearchResponse
+        // at the default 30-result cap stays well under MAX_DATAGRAM.
+        use crate::ids::{ClientId, FileId};
+        use crate::messages::FileEntry;
+        use crate::tags::{special, Tag, TagList};
+        let results = (0..30u8)
+            .map(|i| FileEntry {
+                file_id: FileId([i; 16]),
+                client_id: ClientId(i as u32 + 1),
+                port: 4662,
+                tags: TagList(vec![
+                    Tag::str(special::FILENAME, "a reasonably long shared file name.mp3"),
+                    Tag::u32(special::FILESIZE, 700_000_000),
+                    Tag::str(special::FILETYPE, "Audio"),
+                    Tag::u32(special::SOURCES, 250),
+                ]),
+            })
+            .collect();
+        let m = Message::SearchResponse { results };
+        assert!(m.encode().len() < MAX_DATAGRAM);
+    }
+}

@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod corrupt;
+pub mod datagram;
 pub mod decoder;
 pub mod error;
 pub mod ids;

@@ -238,6 +238,17 @@ impl Message {
         w.into_bytes()
     }
 
+    /// Serialises into a caller-owned buffer, reusing its allocation.
+    /// `out` is cleared first; afterwards it holds exactly what
+    /// [`Self::encode`] would have returned.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = Writer::from_vec(std::mem::take(out));
+        w.u8(PROTO_EDONKEY);
+        w.u8(self.opcode());
+        self.encode_body(&mut w);
+        *out = w.into_bytes();
+    }
+
     fn encode_body(&self, w: &mut Writer) {
         match self {
             Message::StatusRequest { challenge } => w.u32(*challenge),

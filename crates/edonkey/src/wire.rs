@@ -120,6 +120,14 @@ impl Writer {
         }
     }
 
+    /// Writer reusing an existing allocation (cleared first) — the
+    /// serving loop encodes thousands of answers per second into the
+    /// same buffer instead of allocating one per datagram.
+    pub fn from_vec(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Writer { buf }
+    }
+
     /// Appends one byte.
     #[inline]
     pub fn u8(&mut self, v: u8) {

@@ -1,0 +1,190 @@
+//! Codec hardening corpus: the serving loop feeds every received
+//! datagram — truncated, garbage, oversized, bit-flipped — straight into
+//! the two-step decoder, so the decoder must classify *anything* without
+//! panicking, and its counters must tile: every pushed datagram lands in
+//! exactly one of {decoded, structurally invalid, decode failed, not
+//! eDonkey}.
+
+use etw_edonkey::datagram::MAX_DATAGRAM;
+use etw_edonkey::decoder::{DecodeOutcome, Decoder};
+use etw_edonkey::ids::{ClientId, FileId};
+use etw_edonkey::messages::{opcodes, FileEntry, Message, ServerAddr, Source, PROTO_EDONKEY};
+use etw_edonkey::search::SearchExpr;
+use etw_edonkey::tags::{special, Tag, TagList};
+use proptest::prelude::*;
+
+fn sample_messages() -> Vec<Message> {
+    vec![
+        Message::StatusRequest { challenge: 7 },
+        Message::StatusResponse {
+            challenge: 7,
+            users: 1_000_000,
+            files: 90_000_000,
+        },
+        Message::ServerDescRequest,
+        Message::ServerDescResponse {
+            name: "ten weeks".into(),
+            description: "directory server".into(),
+        },
+        Message::GetServerList,
+        Message::ServerList {
+            servers: vec![ServerAddr {
+                ip: 0x5000_0001,
+                port: 4661,
+            }],
+        },
+        Message::SearchRequest {
+            expr: SearchExpr::and(SearchExpr::keyword("live"), SearchExpr::keyword("1997")),
+        },
+        Message::SearchResponse {
+            results: vec![FileEntry {
+                file_id: FileId([3; 16]),
+                client_id: ClientId(42),
+                port: 4662,
+                tags: TagList(vec![
+                    Tag::str(special::FILENAME, "x.mp3"),
+                    Tag::u32(special::FILESIZE, 1000),
+                ]),
+            }],
+        },
+        Message::GetSources {
+            file_ids: vec![FileId([1; 16]), FileId([2; 16])],
+        },
+        Message::FoundSources {
+            file_id: FileId([1; 16]),
+            sources: vec![Source {
+                client_id: ClientId(9),
+                port: 4662,
+            }],
+        },
+        Message::OfferFiles { files: vec![] },
+    ]
+}
+
+/// Every outcome is one of the four classes, and the counters tile the
+/// handled total — the invariant `server.net.malformed_total` relies on:
+/// the server's malformed ledger is exactly `handled - decoded` for the
+/// eDonkey-marked traffic plus the not-eDonkey and oversize buckets.
+fn classify_and_check(d: &mut Decoder, buf: &[u8]) {
+    let before = d.stats();
+    let outcome = d.push(buf);
+    let after = d.stats();
+    assert_eq!(after.handled, before.handled + 1);
+    let delta = (
+        after.decoded - before.decoded,
+        after.structurally_invalid - before.structurally_invalid,
+        after.decode_failed - before.decode_failed,
+        after.not_edonkey - before.not_edonkey,
+    );
+    let expect = match outcome {
+        DecodeOutcome::Ok(_) => (1, 0, 0, 0),
+        DecodeOutcome::StructurallyInvalid(_) => (0, 1, 0, 0),
+        DecodeOutcome::DecodeFailed(_) => (0, 0, 1, 0),
+        DecodeOutcome::NotEdonkey => (0, 0, 0, 1),
+    };
+    assert_eq!(delta, expect, "counters must tile for {buf:?}");
+}
+
+proptest! {
+    /// Arbitrary bytes never panic the decoder and always land in
+    /// exactly one accounting bucket.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut d = Decoder::new();
+        classify_and_check(&mut d, &bytes);
+    }
+
+    /// Arbitrary bytes behind a valid marker and a valid opcode — the
+    /// adversarial shape: looks like eDonkey, body is noise.
+    #[test]
+    fn marked_garbage_never_panics(
+        op_index in 0usize..11,
+        body in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let ops = [
+            opcodes::STATUS_REQ, opcodes::STATUS_RES, opcodes::SEARCH_REQ,
+            opcodes::SEARCH_RES, opcodes::GET_SOURCES, opcodes::FOUND_SOURCES,
+            opcodes::GET_SERVER_LIST, opcodes::SERVER_LIST, opcodes::SERVER_DESC_REQ,
+            opcodes::SERVER_DESC_RES, opcodes::OFFER_FILES,
+        ];
+        let mut buf = vec![PROTO_EDONKEY, ops[op_index]];
+        buf.extend_from_slice(&body);
+        let mut d = Decoder::new();
+        classify_and_check(&mut d, &buf);
+    }
+
+    /// Every truncation of every valid message is classified, never
+    /// decoded into something longer than what arrived, never a panic.
+    #[test]
+    fn truncations_never_panic(msg_index in 0usize..11, cut in 0usize..200) {
+        let msgs = sample_messages();
+        let full = msgs[msg_index].encode();
+        let keep = cut.min(full.len());
+        let mut d = Decoder::new();
+        classify_and_check(&mut d, &full[..keep]);
+    }
+
+    /// Single-byte corruption of valid messages.
+    #[test]
+    fn bitflips_never_panic(msg_index in 0usize..11, pos in 0usize..200, flip in 1u8..=255) {
+        let msgs = sample_messages();
+        let mut buf = msgs[msg_index].encode();
+        let len = buf.len();
+        buf[pos % len] ^= flip;
+        let mut d = Decoder::new();
+        classify_and_check(&mut d, &buf);
+    }
+}
+
+#[test]
+fn maximum_size_datagrams_are_classified_not_crashed() {
+    // Full-size datagrams at the server's acceptance ceiling and at
+    // UDP's own ceiling: count-prefixed opcodes with absurd declared
+    // counts must be rejected structurally, not by allocation.
+    let mut d = Decoder::new();
+
+    let mut huge = vec![PROTO_EDONKEY, opcodes::SEARCH_RES];
+    huge.extend_from_slice(&u32::MAX.to_le_bytes());
+    huge.resize(MAX_DATAGRAM, 0xAA);
+    assert!(matches!(
+        d.push(&huge),
+        DecodeOutcome::StructurallyInvalid(_)
+    ));
+
+    let mut offer = vec![PROTO_EDONKEY, opcodes::OFFER_FILES];
+    offer.extend_from_slice(&0x00FF_FFFF_u32.to_le_bytes());
+    offer.resize(65507, 0x55);
+    assert!(matches!(
+        d.push(&offer),
+        DecodeOutcome::StructurallyInvalid(_)
+    ));
+
+    // A GetSources body that is all fileIDs, at the ceiling: a valid
+    // (if greedy) message — must decode, not panic.
+    let ids = (MAX_DATAGRAM - 2) / 16;
+    let mut sources = vec![PROTO_EDONKEY, opcodes::GET_SOURCES];
+    sources.resize(2 + ids * 16, 0x11);
+    match d.push(&sources) {
+        DecodeOutcome::Ok(Message::GetSources { file_ids }) => assert_eq!(file_ids.len(), ids),
+        other => panic!("expected GetSources, got {other:?}"),
+    }
+
+    let s = d.stats();
+    assert_eq!(s.handled, 3);
+    assert_eq!(s.decoded, 1);
+    assert_eq!(s.structurally_invalid, 2);
+}
+
+#[test]
+fn empty_and_one_byte_datagrams() {
+    let mut d = Decoder::new();
+    assert!(matches!(d.push(&[]), DecodeOutcome::StructurallyInvalid(_)));
+    assert!(matches!(
+        d.push(&[PROTO_EDONKEY]),
+        DecodeOutcome::StructurallyInvalid(_)
+    ));
+    assert!(matches!(d.push(&[0x00]), DecodeOutcome::NotEdonkey));
+    let s = d.stats();
+    assert_eq!(s.structurally_invalid, 2);
+    assert_eq!(s.not_edonkey, 1);
+}

@@ -144,7 +144,10 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/config.rs",
     "crates/edonkey/src/decoder.rs",
     "crates/faults/src/lib.rs",
+    "crates/faults/src/sock.rs",
     "crates/netsim/src/capture.rs",
+    "crates/server/src/net.rs",
+    "crates/server/src/swarm.rs",
 ];
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
@@ -485,6 +488,8 @@ const HOT_LOOP_FILES: &[&str] = &[
     "crates/core/src/pipeline.rs",
     "crates/anonymize/src/shard.rs",
     "crates/edonkey/src/decoder.rs",
+    "crates/server/src/net.rs",
+    "crates/server/src/swarm.rs",
     "crates/trace/src/lib.rs",
     "crates/trace/src/ring.rs",
     "crates/xmlout/src/encode.rs",

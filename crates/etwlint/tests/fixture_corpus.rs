@@ -181,6 +181,12 @@ const TAINT_CASES: &[TaintCase] = &[
         source_fn: "raw_client_id",
         sink_fn: "respond",
     },
+    TaintCase {
+        fixture: "taint_net.rs",
+        tag: "net",
+        source_fn: "raw_client_id",
+        sink_fn: "send_datagram",
+    },
 ];
 
 #[test]

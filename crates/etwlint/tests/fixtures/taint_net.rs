@@ -1,0 +1,16 @@
+//! Known-bad: a raw identifier flows onto the wire without passing the
+//! encode chokepoint (`wire_encode` in `server::net` is the only
+//! sanctioned path to the socket).
+
+// etwlint: source(raw-id): fixture raw producer
+fn raw_client_id() -> u32 {
+    7
+}
+
+// etwlint: sink(net): fixture socket send
+fn send_datagram(_word: u32) {}
+
+fn answer() {
+    let cid = raw_client_id();
+    send_datagram(cid);
+}

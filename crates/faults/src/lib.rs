@@ -21,6 +21,8 @@
 //! * [`WorkerFaultPlan`] — a schedule of injected decode-worker crashes
 //!   and overload windows, consumed by the supervised pipeline.
 
+pub mod sock;
+
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 

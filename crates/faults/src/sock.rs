@@ -1,0 +1,385 @@
+//! Socket-level impairment: the [`FaultSpec`] semantics applied at the
+//! datagram boundary of a *real* UDP socket.
+//!
+//! [`crate::FaultyLink`] impairs simulated frames flowing through an
+//! iterator; [`SocketImpairment`] impairs datagrams about to be written
+//! to (or just read from) an actual socket. Same spec, same seeded
+//! determinism, same per-direction rates — but the clock is the
+//! caller's wall clock (µs since some epoch the caller owns) instead of
+//! virtual time, because real sockets live in real time.
+//!
+//! The layer is applied at the *sender* boundary: a datagram is offered
+//! to [`SocketImpairment::admit`] immediately before the `sendto`, and
+//! the emitted copies (zero when dropped, two when duplicated) are what
+//! actually hits the wire. Applying faults before the kernel means the
+//! conservation ledger is exact: what the ledger says was delivered is
+//! exactly what entered the loopback, datagram for datagram.
+//!
+//! Ledger identity, per direction (`faults.sock.<dir>.*`):
+//!
+//! ```text
+//! delivered = offered − dropped − outage_dropped + duplicated
+//! ```
+//!
+//! Truncation and delay never change the datagram count: a truncated
+//! datagram still flies (shorter), a delayed one is held in an internal
+//! queue and emitted by [`SocketImpairment::drain_due`] once its
+//! deadline passes (it counts as delivered at that point). Reordering
+//! needs no explicit model here: UDP gives no ordering promise, and
+//! delay already produces real reordering on the wire.
+
+use crate::{in_windows, DirectedRates, FaultSpec, LinkDirection, Window};
+use etw_telemetry::{Counter, Registry};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// One datagram emitted by the impairment layer, tagged with the
+/// caller's routing context (a session index, a peer address — whatever
+/// the caller needs to actually send it).
+#[derive(Debug, Clone)]
+pub struct SockDatagram<C> {
+    /// Caller-supplied routing context, cloned onto duplicates.
+    pub ctx: C,
+    /// Direction the datagram travels.
+    pub dir: LinkDirection,
+    /// The (possibly truncated) payload to put on the wire.
+    pub bytes: Vec<u8>,
+}
+
+/// A datagram held back by the delay fault.
+#[derive(Debug)]
+struct Held<C> {
+    due_us: u64,
+    datagram: SockDatagram<C>,
+}
+
+/// Per-direction `faults.sock.<dir>.*` counters.
+#[derive(Clone)]
+struct SockTelemetry {
+    offered: Counter,
+    delivered: Counter,
+    dropped: Counter,
+    outage_dropped: Counter,
+    duplicated: Counter,
+    truncated: Counter,
+    delayed: Counter,
+}
+
+impl SockTelemetry {
+    fn new(registry: &Registry, dir: &str) -> Self {
+        let name = |what: &str| format!("faults.sock.{dir}.{what}_total");
+        SockTelemetry {
+            offered: registry.counter(&name("offered")),
+            delivered: registry.counter(&name("delivered")),
+            dropped: registry.counter(&name("dropped")),
+            outage_dropped: registry.counter(&name("outage_dropped")),
+            duplicated: registry.counter(&name("duplicated")),
+            truncated: registry.counter(&name("truncated")),
+            delayed: registry.counter(&name("delayed")),
+        }
+    }
+}
+
+/// Ledger snapshot for one direction, read back from the registry by
+/// gates that check conservation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SockLedger {
+    /// Datagrams the application asked to send.
+    pub offered: u64,
+    /// Datagrams that actually went (or will go) on the wire.
+    pub delivered: u64,
+    /// Randomly dropped.
+    pub dropped: u64,
+    /// Lost to an outage window.
+    pub outage_dropped: u64,
+    /// Extra copies emitted.
+    pub duplicated: u64,
+    /// Delivered short.
+    pub truncated: u64,
+    /// Held back before delivery.
+    pub delayed: u64,
+}
+
+impl SockLedger {
+    /// The conservation identity this layer guarantees.
+    pub fn conserves(&self) -> bool {
+        self.delivered == self.offered - self.dropped - self.outage_dropped + self.duplicated
+    }
+
+    /// Reads one direction's ledger out of a metrics snapshot.
+    pub fn from_snapshot(snap: &etw_telemetry::Snapshot, dir: LinkDirection) -> SockLedger {
+        let d = dir_name(dir);
+        let c = |what: &str| snap.counter(&format!("faults.sock.{d}.{what}_total"));
+        SockLedger {
+            offered: c("offered"),
+            delivered: c("delivered"),
+            dropped: c("dropped"),
+            outage_dropped: c("outage_dropped"),
+            duplicated: c("duplicated"),
+            truncated: c("truncated"),
+            delayed: c("delayed"),
+        }
+    }
+}
+
+fn dir_name(dir: LinkDirection) -> &'static str {
+    match dir {
+        LinkDirection::ToServer => "to_server",
+        LinkDirection::FromServer => "from_server",
+    }
+}
+
+/// Seeded datagram-boundary fault injection for one side of a socket.
+///
+/// `C` is the caller's routing context carried through the delay queue
+/// and cloned onto duplicates (e.g. the destination `SocketAddr`, or a
+/// swarm session index).
+pub struct SocketImpairment<C> {
+    spec: FaultSpec,
+    rng: StdRng,
+    to_server: SockTelemetry,
+    from_server: SockTelemetry,
+    held: VecDeque<Held<C>>,
+}
+
+impl<C: Clone> SocketImpairment<C> {
+    /// Builds the layer; all randomness derives from `spec.seed`, so the
+    /// same spec and the same offered sequence produce the same faults.
+    pub fn new(spec: FaultSpec, registry: &Registry) -> Self {
+        let rng = StdRng::seed_from_u64(spec.seed ^ 0x736f_636b); // "sock"
+        SocketImpairment {
+            spec,
+            rng,
+            to_server: SockTelemetry::new(registry, "to_server"),
+            from_server: SockTelemetry::new(registry, "from_server"),
+            held: VecDeque::new(),
+        }
+    }
+
+    fn telemetry(&self, dir: LinkDirection) -> &SockTelemetry {
+        match dir {
+            LinkDirection::ToServer => &self.to_server,
+            LinkDirection::FromServer => &self.from_server,
+        }
+    }
+
+    fn gate(&mut self, rates: &DirectedRates, dir: LinkDirection) -> bool {
+        let rate = rates.rate(dir);
+        rate > 0.0 && self.rng.gen_bool(rate)
+    }
+
+    /// Offers one datagram. Appends zero or more wire-ready datagrams to
+    /// `emit`; a delayed datagram is held internally until
+    /// [`Self::drain_due`] releases it. `now_us` is the caller's wall
+    /// clock in µs since its own epoch (outage [`Window`]s are expressed
+    /// on the same axis).
+    pub fn admit(
+        &mut self,
+        ctx: C,
+        dir: LinkDirection,
+        payload: &[u8],
+        now_us: u64,
+        emit: &mut Vec<SockDatagram<C>>,
+    ) {
+        self.telemetry(dir).offered.inc();
+        if in_windows(&self.spec.outages, now_us) {
+            self.telemetry(dir).outage_dropped.inc();
+            return;
+        }
+        let drop = self.spec.drop;
+        if self.gate(&drop, dir) {
+            self.telemetry(dir).dropped.inc();
+            return;
+        }
+        let mut bytes = payload.to_vec();
+        let truncate = self.spec.truncate;
+        if bytes.len() > 1 && self.gate(&truncate, dir) {
+            let keep = self.rng.gen_range(1..bytes.len() as u64) as usize;
+            bytes.truncate(keep);
+            self.telemetry(dir).truncated.inc();
+        }
+        let duplicate = self.spec.duplicate;
+        let copies = if self.gate(&duplicate, dir) {
+            self.telemetry(dir).duplicated.inc();
+            2
+        } else {
+            1
+        };
+        let delay = self.spec.delay;
+        let delayed = self.spec.delay_max_us > 0 && self.gate(&delay, dir);
+        for _ in 0..copies {
+            let datagram = SockDatagram {
+                ctx: ctx.clone(),
+                dir,
+                bytes: bytes.clone(),
+            };
+            if delayed {
+                let extra = self.rng.gen_range(1..=self.spec.delay_max_us);
+                self.telemetry(dir).delayed.inc();
+                self.held.push_back(Held {
+                    due_us: now_us + extra,
+                    datagram,
+                });
+            } else {
+                self.telemetry(dir).delivered.inc();
+                emit.push(datagram);
+            }
+        }
+    }
+
+    /// Releases every held datagram whose deadline has passed. Call with
+    /// `u64::MAX` to flush the queue at shutdown so the conservation
+    /// ledger closes.
+    pub fn drain_due(&mut self, now_us: u64, emit: &mut Vec<SockDatagram<C>>) {
+        let mut i = 0;
+        while i < self.held.len() {
+            if self.held[i].due_us <= now_us {
+                // Order within the held queue is preserved; order
+                // against fresh traffic is whatever the deadlines say —
+                // that is the reordering this fault exists to cause.
+                if let Some(h) = self.held.remove(i) {
+                    self.telemetry(h.datagram.dir).delivered.inc();
+                    emit.push(h.datagram);
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Datagrams currently held by the delay fault.
+    pub fn held_len(&self) -> usize {
+        self.held.len()
+    }
+
+    /// The µs deadline of the soonest held datagram, if any.
+    pub fn next_due_us(&self) -> Option<u64> {
+        self.held.iter().map(|h| h.due_us).min()
+    }
+}
+
+/// Returns the outage windows shifted onto a wall-µs axis starting at
+/// `epoch_us` — convenience for specs written as offsets from soak
+/// start.
+pub fn shift_windows(windows: &[Window], epoch_us: u64) -> Vec<Window> {
+    windows
+        .iter()
+        .map(|w| Window {
+            start_us: epoch_us + w.start_us,
+            end_us: epoch_us + w.end_us,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etw_telemetry::Registry;
+
+    fn spec(seed: u64) -> FaultSpec {
+        FaultSpec {
+            seed,
+            drop: DirectedRates::symmetric(0.2),
+            duplicate: DirectedRates::symmetric(0.1),
+            truncate: DirectedRates::symmetric(0.1),
+            delay: DirectedRates::symmetric(0.1),
+            delay_max_us: 500,
+            ..FaultSpec::default()
+        }
+    }
+
+    fn run(seed: u64) -> (Vec<usize>, SockLedger) {
+        let reg = Registry::new();
+        let mut imp: SocketImpairment<u32> = SocketImpairment::new(spec(seed), &reg);
+        let mut emit = Vec::new();
+        for i in 0..500u32 {
+            imp.admit(
+                i,
+                LinkDirection::ToServer,
+                &[0xE3; 32],
+                i as u64 * 10,
+                &mut emit,
+            );
+        }
+        imp.drain_due(u64::MAX, &mut emit);
+        let lens: Vec<usize> = emit.iter().map(|d| d.bytes.len()).collect();
+        (
+            lens,
+            SockLedger::from_snapshot(&reg.snapshot(), LinkDirection::ToServer),
+        )
+    }
+
+    #[test]
+    fn ledger_conserves_and_is_deterministic() {
+        let (a, la) = run(7);
+        let (b, lb) = run(7);
+        let (c, _) = run(8);
+        assert_eq!(a, b, "same seed, same faults");
+        assert_ne!(a, c, "different seed, different faults");
+        assert_eq!(la, lb);
+        assert!(la.conserves(), "{la:?}");
+        assert_eq!(la.offered, 500);
+        assert!(la.dropped > 0 && la.duplicated > 0 && la.truncated > 0);
+        assert_eq!(la.delivered as usize, a.len());
+    }
+
+    #[test]
+    fn outage_windows_drop_everything_inside() {
+        let reg = Registry::new();
+        let s = FaultSpec {
+            outages: vec![Window {
+                start_us: 100,
+                end_us: 200,
+            }],
+            ..FaultSpec::default()
+        };
+        let mut imp: SocketImpairment<()> = SocketImpairment::new(s, &reg);
+        let mut emit = Vec::new();
+        for t in [50u64, 150, 250] {
+            imp.admit((), LinkDirection::FromServer, b"x", t, &mut emit);
+        }
+        let l = SockLedger::from_snapshot(&reg.snapshot(), LinkDirection::FromServer);
+        assert_eq!(l.outage_dropped, 1);
+        assert_eq!(l.delivered, 2);
+        assert!(l.conserves());
+    }
+
+    #[test]
+    fn delayed_datagrams_release_on_deadline_only() {
+        let reg = Registry::new();
+        let s = FaultSpec {
+            delay: DirectedRates::symmetric(1.0),
+            delay_max_us: 100,
+            ..FaultSpec::default()
+        };
+        let mut imp: SocketImpairment<u8> = SocketImpairment::new(s, &reg);
+        let mut emit = Vec::new();
+        imp.admit(9, LinkDirection::ToServer, b"held", 1_000, &mut emit);
+        assert!(emit.is_empty());
+        assert_eq!(imp.held_len(), 1);
+        let due = imp.next_due_us().unwrap();
+        assert!(due > 1_000 && due <= 1_100);
+        imp.drain_due(due - 1, &mut emit);
+        assert!(emit.is_empty());
+        imp.drain_due(due, &mut emit);
+        assert_eq!(emit.len(), 1);
+        assert_eq!(emit[0].ctx, 9);
+        let l = SockLedger::from_snapshot(&reg.snapshot(), LinkDirection::ToServer);
+        assert!(l.conserves());
+        assert_eq!(l.delayed, 1);
+    }
+
+    #[test]
+    fn shift_windows_offsets_both_edges() {
+        let w = shift_windows(
+            &[Window {
+                start_us: 10,
+                end_us: 20,
+            }],
+            1_000,
+        );
+        assert_eq!(w[0].start_us, 1_010);
+        assert_eq!(w[0].end_us, 1_020);
+    }
+}

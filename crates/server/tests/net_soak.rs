@@ -1,0 +1,222 @@
+//! Integration tests for the real-socket serving loop: hostile
+//! ingress, per-client backoff, degraded mode, and a small loopback
+//! soak whose ledgers must conserve exactly.
+
+use etw_edonkey::ids::{ClientId, FileId};
+use etw_edonkey::messages::{opcodes, Message, PROTO_EDONKEY};
+use etw_faults::{DirectedRates, FaultSpec};
+use etw_server::engine::ServerEngine;
+use etw_server::net::{NetConfig, NetLedger, ServerNet};
+use etw_server::swarm::{run_loopback_soak, soak_gate_failures, Roster, SoakConfig, SwarmConfig};
+use etw_telemetry::Registry;
+use std::net::UdpSocket;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Spawns a server loop on a thread; returns (addr, shutdown, handle).
+fn spawn_server(
+    cfg: NetConfig,
+    registry: &Registry,
+) -> (
+    std::net::SocketAddr,
+    Arc<AtomicBool>,
+    std::thread::JoinHandle<ServerNet>,
+) {
+    let mut net = ServerNet::bind("127.0.0.1:0", ServerEngine::default(), cfg, registry)
+        .expect("bind server");
+    let addr = net.local_addr();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stop = Arc::clone(&shutdown);
+    let handle = std::thread::spawn(move || {
+        net.run(&stop).expect("serving loop failed");
+        net
+    });
+    (addr, shutdown, handle)
+}
+
+#[test]
+fn hostile_ingress_is_classified_and_conserves() {
+    let registry = Registry::new();
+    let (addr, shutdown, handle) = spawn_server(NetConfig::default(), &registry);
+    let client = UdpSocket::bind("127.0.0.1:0").expect("bind client");
+    client
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .expect("timeout");
+
+    // A valid request: must be answered.
+    let req = Message::StatusRequest { challenge: 99 };
+    client.send_to(&req.encode(), addr).expect("send valid");
+    let mut buf = [0u8; 4096];
+    let (n, _) = client.recv_from(&mut buf).expect("answer arrives");
+    let mut dec = etw_edonkey::decoder::Decoder::new();
+    match dec.push(&buf[..n]) {
+        etw_edonkey::decoder::DecodeOutcome::Ok(Message::StatusResponse { challenge, .. }) => {
+            assert_eq!(challenge, 99)
+        }
+        other => panic!("expected StatusResponse, got {other:?}"),
+    }
+
+    // Garbage of every class.
+    client.send_to(&[0xAB, 0xCD, 0xEF], addr).expect("garbage");
+    client
+        .send_to(&[PROTO_EDONKEY, opcodes::SEARCH_REQ, 0xFF], addr)
+        .expect("marked garbage");
+    let oversized = vec![0xE3u8; 5000];
+    client.send_to(&oversized, addr).expect("oversized");
+    client.send_to(&[], addr).expect("empty");
+
+    std::thread::sleep(Duration::from_millis(200));
+    // ordering: relaxed — one-shot shutdown latch, re-checked every idle loop
+    shutdown.store(true, Ordering::Relaxed);
+    handle.join().expect("no panic");
+
+    let snap = registry.snapshot();
+    let led = NetLedger::from_snapshot(&snap);
+    assert_eq!(led.conservation_failures(), Vec::<String>::new());
+    assert_eq!(led.recv, 5);
+    assert_eq!(led.answered, 1);
+    assert_eq!(led.malformed, 4);
+    assert_eq!(led.malformed_oversize, 1);
+    assert!(led.malformed_structural >= 1);
+    assert_eq!(led.answers_sent, 1);
+}
+
+#[test]
+fn flooding_peer_lands_in_penalty_box() {
+    let registry = Registry::new();
+    let cfg = NetConfig {
+        client_window_max: 10,
+        client_window_us: 10_000_000,
+        client_penalty_us: 10_000_000,
+        ..NetConfig::default()
+    };
+    let (addr, shutdown, handle) = spawn_server(cfg, &registry);
+    let client = UdpSocket::bind("127.0.0.1:0").expect("bind client");
+    let req = Message::GetServerList.encode();
+    for _ in 0..50 {
+        client.send_to(&req, addr).expect("send");
+        // Pace so nothing overruns the receive buffer.
+        std::thread::sleep(Duration::from_micros(300));
+    }
+    std::thread::sleep(Duration::from_millis(300));
+    // ordering: relaxed — one-shot shutdown latch, re-checked every idle loop
+    shutdown.store(true, Ordering::Relaxed);
+    handle.join().expect("no panic");
+
+    let snap = registry.snapshot();
+    let led = NetLedger::from_snapshot(&snap);
+    assert_eq!(led.conservation_failures(), Vec::<String>::new());
+    assert_eq!(led.recv, 50);
+    assert_eq!(led.penalized, 1, "one peer penalized once");
+    assert!(led.shed_backoff > 0, "flood traffic shed: {led:?}");
+    assert!(led.answered <= 11);
+}
+
+#[test]
+fn degraded_mode_sheds_searches_but_answers_source_queries() {
+    // A deliberately tiny server: queue of 8, degraded at 4, one
+    // datagram processed per tick — so a burst forces degraded mode
+    // deterministically.
+    let registry = Registry::new();
+    let cfg = NetConfig {
+        queue_cap: 64,
+        high_water: 4,
+        low_water: 1,
+        recv_burst: 64,
+        proc_budget: 2,
+        idle_sleep_us: 50,
+        ..NetConfig::default()
+    };
+    let (addr, shutdown, handle) = spawn_server(cfg, &registry);
+    let client = UdpSocket::bind("127.0.0.1:0").expect("bind client");
+    let search = Message::SearchRequest {
+        expr: etw_edonkey::search::SearchExpr::keyword("anything"),
+    }
+    .encode();
+    let sources = Message::GetSources {
+        file_ids: vec![FileId([7; 16])],
+    }
+    .encode();
+    for _ in 0..30 {
+        client.send_to(&search, addr).expect("send search");
+        client.send_to(&sources, addr).expect("send sources");
+    }
+    std::thread::sleep(Duration::from_millis(400));
+    // ordering: relaxed — one-shot shutdown latch, re-checked every idle loop
+    shutdown.store(true, Ordering::Relaxed);
+    handle.join().expect("no panic");
+
+    let snap = registry.snapshot();
+    let led = NetLedger::from_snapshot(&snap);
+    assert_eq!(led.conservation_failures(), Vec::<String>::new());
+    assert_eq!(led.recv, 60);
+    assert!(
+        snap.counter("server.net.degraded_entered_total") >= 1,
+        "the burst must have tripped degraded mode"
+    );
+    assert!(led.shed_degraded > 0, "searches shed in degraded mode");
+    // Source queries kept flowing: every processed GetSources answered.
+    assert!(led.answers_sent > 0);
+}
+
+#[test]
+fn small_impaired_soak_conserves_exactly() {
+    let registry = Registry::new();
+    let rate = |p| DirectedRates {
+        to_server: p,
+        from_server: p,
+    };
+    let fault = FaultSpec {
+        seed: 0xBEEF,
+        drop: rate(0.05),
+        duplicate: rate(0.03),
+        truncate: rate(0.04),
+        delay: rate(0.05),
+        delay_max_us: 30_000,
+        ..FaultSpec::default()
+    };
+    let cfg = SoakConfig {
+        swarm: SwarmConfig {
+            sessions: 64,
+            duration_us: 400_000,
+            noise_per_mille: 100,
+            timeout_us: 120_000,
+            think_min_us: 1_000,
+            think_max_us: 10_000,
+            burst_start_us: 100_000,
+            burst_len_us: 150_000,
+            special: vec![(ClientId(0x00CB_714D), FileId([0xC4; 16]))],
+            fault: Some(fault.clone()),
+            ..SwarmConfig::default()
+        },
+        net: NetConfig::default(),
+        server_fault: Some(FaultSpec {
+            seed: 0xF00D,
+            ..fault
+        }),
+    };
+    let roster: Roster = Roster::default();
+    let outcome = run_loopback_soak(cfg, &registry, &roster, None).expect("soak runs");
+    assert!(outcome.server_error.is_none(), "{:?}", outcome.server_error);
+    assert!(
+        outcome.report.sent > 100,
+        "swarm did real work: {:?}",
+        outcome.report
+    );
+    assert!(outcome.report.answers > 0);
+    assert_eq!(roster.lock().len(), 64);
+
+    let snap = registry.snapshot();
+    let failures = soak_gate_failures(&snap, true, true);
+    assert_eq!(failures, Vec::<String>::new());
+    // Impairment really dropped things, and the gate still closed.
+    assert!(
+        snap.counter("faults.sock.to_server.dropped_total") > 0,
+        "the drop fault must have fired"
+    );
+    assert!(
+        snap.counter("server.net.malformed_total") > 0,
+        "noise was seen"
+    );
+}

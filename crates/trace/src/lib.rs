@@ -78,11 +78,15 @@ pub enum StageId {
     Supervisor = 8,
     /// A checkpoint cut.
     Checkpoint = 9,
+    /// The real-socket serving loop (ingress classify + answer).
+    Net = 10,
+    /// The client-swarm load harness driving the serving loop.
+    Swarm = 11,
 }
 
 impl StageId {
     /// Every stage, in pipeline order.
-    pub const ALL: [StageId; 10] = [
+    pub const ALL: [StageId; 12] = [
         StageId::Producer,
         StageId::Decode,
         StageId::Reorder,
@@ -93,6 +97,8 @@ impl StageId {
         StageId::Write,
         StageId::Supervisor,
         StageId::Checkpoint,
+        StageId::Net,
+        StageId::Swarm,
     ];
 
     /// The short name used in metric names (`stage.<name>.*`) and dumps.
@@ -108,6 +114,8 @@ impl StageId {
             StageId::Write => "write",
             StageId::Supervisor => "supervisor",
             StageId::Checkpoint => "checkpoint",
+            StageId::Net => "net",
+            StageId::Swarm => "swarm",
         }
     }
 

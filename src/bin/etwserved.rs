@@ -1,0 +1,174 @@
+//! `etwserved` — the eDonkey directory server on a real UDP socket.
+//!
+//! ```text
+//! etwserved [--bind ADDR] [--duration-secs N] [--impair] [--seed N]
+//! ```
+//!
+//! Binds the serving loop ([`etw_server::net::ServerNet`]) on `--bind`
+//! (default `127.0.0.1:4665`), answers eDonkey UDP queries until
+//! `--duration-secs` elapses (0 = run until the process is killed), then
+//! prints the ingress ledgers and the Prometheus exposition. `--impair`
+//! arms the socket-level fault layer with a deterministic spec — useful
+//! for driving a real client against a degraded server.
+//!
+//! This is the operational face of the serving loop; the CI gate around
+//! the same code path is `repro swarm`.
+
+use edonkey_ten_weeks::faults::sock::SocketImpairment;
+use edonkey_ten_weeks::faults::{DirectedRates, FaultSpec};
+use edonkey_ten_weeks::server::net::{NetConfig, NetLedger, ServerNet};
+use edonkey_ten_weeks::server::{EngineConfig, ServerEngine};
+use edonkey_ten_weeks::telemetry::Registry;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+struct Args {
+    bind: String,
+    duration_secs: u64,
+    impair: bool,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        bind: "127.0.0.1:4665".to_owned(),
+        duration_secs: 0,
+        impair: false,
+        seed: 0xE7_5E12D,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--bind" => {
+                args.bind = argv.next().unwrap_or_else(|| {
+                    eprintln!("--bind needs an address");
+                    std::process::exit(2);
+                })
+            }
+            "--duration-secs" => {
+                args.duration_secs = argv.next().and_then(|w| w.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--duration-secs needs an integer");
+                    std::process::exit(2);
+                })
+            }
+            "--seed" => {
+                args.seed = argv.next().and_then(|w| w.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs an integer");
+                    std::process::exit(2);
+                })
+            }
+            "--impair" => args.impair = true,
+            "-h" | "--help" => {
+                println!(
+                    "usage: etwserved [--bind ADDR] [--duration-secs N] [--impair] [--seed N]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let registry = Registry::new();
+    let engine = ServerEngine::new(EngineConfig::default());
+    let mut net = ServerNet::bind(&args.bind, engine, NetConfig::default(), &registry)
+        .unwrap_or_else(|e| {
+            eprintln!("etwserved: bind {} failed: {e}", args.bind);
+            std::process::exit(1);
+        });
+    if args.impair {
+        let rate = |to, from| DirectedRates {
+            to_server: to,
+            from_server: from,
+        };
+        let spec = FaultSpec {
+            seed: args.seed,
+            drop: rate(0.05, 0.05),
+            duplicate: rate(0.02, 0.02),
+            truncate: rate(0.03, 0.02),
+            delay: rate(0.05, 0.05),
+            delay_max_us: 50_000,
+            ..FaultSpec::default()
+        };
+        net = net.with_impairment(SocketImpairment::new(spec, &registry));
+    }
+    let addr = net.local_addr();
+    println!(
+        "etwserved: listening on {addr}{}{}",
+        if args.impair { " (impaired)" } else { "" },
+        if args.duration_secs > 0 {
+            format!(" for {}s", args.duration_secs)
+        } else {
+            " until killed".to_owned()
+        }
+    );
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    if args.duration_secs > 0 {
+        let stop = Arc::clone(&shutdown);
+        let secs = args.duration_secs;
+        std::thread::Builder::new()
+            .name("etwserved-timer".to_owned())
+            .spawn(move || {
+                std::thread::sleep(std::time::Duration::from_secs(secs));
+                // ordering: release — pairs with the serving loop's
+                // relaxed latch check; strictness is free off the hot path.
+                stop.store(true, Ordering::Release);
+            })
+            .expect("spawn timer");
+    }
+    let net = {
+        let stop = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name("etwserved".to_owned())
+            .spawn(move || {
+                let r = net.run(&stop);
+                (net, r)
+            })
+            .expect("spawn serving loop");
+        match handle.join() {
+            Ok((net, Ok(()))) => net,
+            Ok((_, Err(e))) => {
+                eprintln!("etwserved: serving loop failed: {e}");
+                std::process::exit(1);
+            }
+            Err(_) => {
+                eprintln!("etwserved: serving loop panicked");
+                std::process::exit(1);
+            }
+        }
+    };
+    drop(net);
+
+    let snap = registry.snapshot();
+    let led = NetLedger::from_snapshot(&snap);
+    println!("etwserved: shut down; ingress ledgers:");
+    println!("  received          {}", led.recv);
+    println!("  answered          {}", led.answered);
+    println!("  answers sent      {}", led.answers_sent);
+    println!(
+        "  shed              {} (queue {}, degraded {}, backoff {})",
+        led.shed, led.shed_queue, led.shed_degraded, led.shed_backoff
+    );
+    println!(
+        "  malformed         {} (structural {}, decode {}, not-edonkey {}, oversize {})",
+        led.malformed,
+        led.malformed_structural,
+        led.malformed_decode,
+        led.malformed_not_edonkey,
+        led.malformed_oversize
+    );
+    println!("  penalty boxed     {}", led.penalized);
+    println!("  degraded entries  {}", led.degraded_entered);
+    for failure in led.conservation_failures() {
+        eprintln!("  CONSERVATION VIOLATION: {failure}");
+    }
+    println!("--- /metrics ---");
+    print!("{}", snap.render_prometheus());
+}

@@ -618,6 +618,7 @@ fn print_top(
             snap.gauge(queue),
         );
     }
+    print_shard_balance(snap, prev, refresh_ms);
     // Fault ledger: per-refresh deltas, printed only when something
     // happened in the window so a healthy run stays quiet.
     let ledger = [
@@ -638,6 +639,61 @@ fn print_top(
     if !line.is_empty() {
         println!("   faults{line}");
     }
+}
+
+/// The shard-balance panel: one row per anonymiser shard, from the
+/// per-shard `anon.shard<i>.*` ledgers the pipeline maintains next to
+/// the aggregates. Shown only when the shard pool is actually fanned
+/// out (≥2 shards with work), since a serial tail has nothing to skew.
+/// `skew` is the spread between the busiest and laziest shard in the
+/// refresh window — a persistently hot shard means the id spaces are
+/// striping unevenly across the pool.
+fn print_shard_balance(snap: &Snapshot, prev: &Snapshot, refresh_ms: u64) {
+    const MAX_SHARDS: usize = 16;
+    let active: Vec<usize> = (0..MAX_SHARDS)
+        .filter(|s| snap.counter(&format!("anon.shard{s}.batches_total")) > 0)
+        .collect();
+    if active.len() < 2 {
+        return;
+    }
+    println!(
+        "   {:<9} {:>9} {:>11} {:>11} {:>9} {:>5}",
+        "shard", "ops/s", "clientIDs", "fileIDs", "busy\u{2030}", "q"
+    );
+    let window_ns = refresh_ms.max(1) as f64 * 1e6;
+    let mut min_ops = f64::MAX;
+    let mut max_ops = 0.0f64;
+    let mut min_q = i64::MAX;
+    let mut max_q = i64::MIN;
+    for &s in &active {
+        let ops = snap.counter_delta(prev, &format!("anon.shard{s}.batches_total")) as f64
+            * 1_000.0
+            / refresh_ms.max(1) as f64;
+        let busy = snap.counter_delta(prev, &format!("anon.shard{s}.busy_ns_total")) as f64;
+        let depth = snap.gauge(&format!("anon.shard{s}.queue_depth"));
+        min_ops = min_ops.min(ops);
+        max_ops = max_ops.max(ops);
+        min_q = min_q.min(depth);
+        max_q = max_q.max(depth);
+        println!(
+            "   shard{:<4} {:>9.0} {:>11} {:>11} {:>9.0} {:>5}",
+            s,
+            ops,
+            grouped(snap.counter(&format!("anon.shard{s}.client_ids_total"))),
+            grouped(snap.counter(&format!("anon.shard{s}.file_ids_total"))),
+            busy * 1_000.0 / window_ns,
+            depth,
+        );
+    }
+    println!(
+        "   balance   ops skew {:>5.0}/s ({:.0}..{:.0}), depth skew {} ({}..{})",
+        max_ops - min_ops,
+        min_ops,
+        max_ops,
+        max_q - min_q,
+        min_q,
+        max_q,
+    );
 }
 
 /// Renders samples as a fixed-height unicode sparkline, scaled to the

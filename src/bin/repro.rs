@@ -23,7 +23,7 @@
 //!   the throughput suite (decode-only, tail-only serial vs batched,
 //!   anonymise-only serial vs sharded, end-to-end) plus steady-state
 //!   allocations/record in the formatter; `--record` writes the
-//!   committable `BENCH_PR6.json` baseline (smoke mode instead gates
+//!   committable `BENCH_PR8.json` baseline (smoke mode instead gates
 //!   against the newest committed `BENCH_PR<k>.json` and fails on a
 //!   regression over 20% in end-to-end throughput or in any per-stage
 //!   bench — decode-only, batched tail, sharded anonymise)
@@ -31,6 +31,12 @@
 //!   anonymiser shard counts {1, 4}; within each width every shard
 //!   count must produce the byte-identical dataset and the identical
 //!   checkpoint cuts; exits nonzero on any divergence
+//! * `swarm [--faults] [--sessions N] [--duration-ms MS]` — the
+//!   real-socket soak gate: the UDP serving loop under a loopback
+//!   client swarm (with sentinel sessions and hostile noise), exact
+//!   ledger conservation across real sockets, and the live-captured
+//!   traffic run through the unchanged pipeline and scanned by the
+//!   anonymisation canary; exits nonzero on any violation
 //! * `all`  — everything, sharing one campaign run
 //!
 //! Each figure writes a gnuplot-ready `.dat` series under `--out`
@@ -76,17 +82,21 @@ struct Args {
     soak_seed: Option<u64>,
     /// `bench`: CI mode — short runs, gate against the baseline.
     smoke: bool,
-    /// `bench`: write the committable `BENCH_PR6.json` baseline.
+    /// `bench`: write the committable `BENCH_PR8.json` baseline.
     record: bool,
     /// `bench`: baseline report to gate against (default: the newest
     /// committed `BENCH_PR<k>.json`).
     baseline: Option<PathBuf>,
     /// `bench`: where to write the fresh report.
     bench_out: Option<PathBuf>,
+    /// `swarm`: concurrent client sessions.
+    sessions: usize,
+    /// `swarm`: load-phase duration in milliseconds.
+    duration_ms: u64,
 }
 
 /// Where `repro bench --record` writes the baseline this PR commits.
-const RECORD_PATH: &str = "BENCH_PR6.json";
+const RECORD_PATH: &str = "BENCH_PR8.json";
 
 fn parse_args() -> Args {
     let mut tiny = false;
@@ -99,6 +109,8 @@ fn parse_args() -> Args {
     let mut record = false;
     let mut baseline = None;
     let mut bench_out = None;
+    let mut sessions = 1200usize;
+    let mut duration_ms = 4000u64;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -124,6 +136,18 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 }))
             }
+            "--sessions" => {
+                sessions = argv.next().and_then(|w| w.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--sessions needs a positive integer");
+                    std::process::exit(2);
+                })
+            }
+            "--duration-ms" => {
+                duration_ms = argv.next().and_then(|w| w.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--duration-ms needs a positive integer");
+                    std::process::exit(2);
+                })
+            }
             "--weeks" => {
                 weeks = argv.next().and_then(|w| w.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--weeks needs a positive integer");
@@ -141,7 +165,7 @@ fn parse_args() -> Args {
                     "usage: repro [--tiny] [--weeks N] [--out DIR] \
                      <t1|fig2|fig3|fig4..fig8|health|soak [--faults]|\
                      bench [--smoke|--record] [--baseline FILE] [--bench-out FILE]|\
-                     matrix|all>"
+                     matrix|swarm [--faults] [--sessions N] [--duration-ms MS]|all>"
                 );
                 std::process::exit(0);
             }
@@ -159,6 +183,8 @@ fn parse_args() -> Args {
         record,
         baseline,
         bench_out,
+        sessions,
+        duration_ms,
     }
 }
 
@@ -175,6 +201,10 @@ fn main() {
     }
     if args.what == "matrix" {
         matrix();
+        return;
+    }
+    if args.what == "swarm" {
+        swarm(&args);
         return;
     }
     let needs_campaign = args.what != "fig2";
@@ -750,6 +780,301 @@ fn matrix() {
         println!("matrix OK ({} cells)", WIDTHS.len() * SHARDS.len());
     } else {
         eprintln!("matrix FAILED: {} violation(s)", gate.failures.len());
+        for f in &gate.failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// The real-socket soak gate (`repro swarm`), run by ci.sh:
+///
+/// 1. binds the eDonkey UDP server on a real loopback socket and drives
+///    it with `--sessions` concurrent client sessions (plus noise
+///    sessions sending hostile garbage and two sentinel sessions
+///    carrying the anonymisation canary's raw identifiers), through
+///    seeded socket-level impairment in both directions when `--faults`
+///    is set, with a think-time burst window in the middle;
+/// 2. the conservation gate, from the ledgers alone: client sent ==
+///    server received + impairment drops; server received == answered +
+///    shed + malformed; answers sent == answers received — *exactly*,
+///    across real sockets;
+/// 3. the capture gate: the server's own traffic, sniffed by the live
+///    tap into ethernet frames, flows through the UNCHANGED
+///    decode→anonymise pipeline into a dataset; capture loss is
+///    whatever the tap actually dropped (measured, not simulated);
+/// 4. the canary gate: every output surface of that live-captured
+///    dataset (XML, checkpoint sidecars, flight dumps, /metrics) is
+///    scanned for the sentinel identifiers the sentinel sessions put
+///    on the wire.
+///
+/// Exits nonzero on any violation.
+fn swarm(args: &Args) {
+    use edonkey_ten_weeks::anonymize::fileid::{BucketedArrays, ByteSelector};
+    use edonkey_ten_weeks::anonymize::scheme::PaperScheme;
+    use edonkey_ten_weeks::core::livecap::LiveCapture;
+    use edonkey_ten_weeks::core::pipeline::{
+        run_capture_pipeline_batched, PipelineOptions, TailConfig, TraceOptions,
+    };
+    use edonkey_ten_weeks::faults::{DirectedRates, FaultSpec};
+    use edonkey_ten_weeks::sentinel;
+    use edonkey_ten_weeks::server::net::NetConfig;
+    use edonkey_ten_weeks::server::swarm::{
+        run_loopback_soak, soak_gate_failures, Roster, SoakConfig, SwarmConfig,
+    };
+    use edonkey_ten_weeks::xmlout::writer::DatasetWriter;
+
+    let impaired = args.faults;
+    println!(
+        "== swarm: real-socket loopback soak ({} sessions{}) ==",
+        args.sessions,
+        if impaired { ", impaired" } else { "" }
+    );
+    let mut gate = Gate {
+        failures: Vec::new(),
+    };
+    let registry = Registry::new();
+
+    let rate = |to, from| DirectedRates {
+        to_server: to,
+        from_server: from,
+    };
+    let fault = |seed| FaultSpec {
+        seed,
+        drop: rate(0.04, 0.04),
+        duplicate: rate(0.02, 0.02),
+        truncate: rate(0.03, 0.02),
+        delay: rate(0.04, 0.04),
+        delay_max_us: 40_000,
+        ..FaultSpec::default()
+    };
+    let duration_us = args.duration_ms.max(500) * 1_000;
+    let cfg = SoakConfig {
+        swarm: SwarmConfig {
+            sessions: args.sessions.max(3),
+            seed: 0x5317_0008,
+            duration_us,
+            noise_per_mille: 60,
+            burst_start_us: duration_us / 4,
+            burst_len_us: duration_us / 3,
+            special: vec![
+                (sentinel::client_a(), sentinel::file_a()),
+                (sentinel::client_b(), sentinel::file_b()),
+            ],
+            fault: impaired.then(|| fault(0xC1_1E47)),
+            ..SwarmConfig::default()
+        },
+        net: NetConfig {
+            // Sized so the mid-run burst actually bites: the queue can
+            // fill, degraded mode can engage, and shedding is real.
+            queue_cap: 512,
+            high_water: 384,
+            low_water: 128,
+            proc_budget: 96,
+            ..NetConfig::default()
+        },
+        server_fault: impaired.then(|| fault(0x5E_12F4)),
+    };
+
+    // The capture stack: roster for identity, tap on the server socket,
+    // collector assembling pipeline-ready frames.
+    let roster: Roster = Roster::default();
+    let (capture, tap) = LiveCapture::start(&registry, &roster, 8192);
+
+    // etwlint: allow(no-wall-clock): operator-facing elapsed-time print
+    // in the binary, not simulation state.
+    let started = Instant::now();
+    let outcome = match run_loopback_soak(cfg, &registry, &roster, Some(tap)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("swarm FAILED: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut captured = capture.finish();
+    println!(
+        "  soak done in {:.1}s wall: {} requests, {} sent, {} answers, {} timeouts, {} noise",
+        started.elapsed().as_secs_f64(),
+        grouped(outcome.report.requests),
+        grouped(outcome.report.sent),
+        grouped(outcome.report.answers),
+        grouped(outcome.report.timeouts),
+        grouped(outcome.report.noise),
+    );
+    let snap = registry.snapshot();
+    println!(
+        "  server: {} received, {} answered, {} shed ({} degraded entries), {} malformed",
+        grouped(snap.counter("server.net.recv_total")),
+        grouped(snap.counter("server.net.answered_total")),
+        grouped(snap.counter("server.shed_total")),
+        snap.counter("server.net.degraded_entered_total"),
+        grouped(snap.counter("server.net.malformed_total")),
+    );
+    println!(
+        "  capture: {} datagrams tapped, {} dropped by the tap ({:.3}% measured loss), {} frames",
+        grouped(captured.tapped),
+        grouped(captured.tap_dropped),
+        captured.loss_fraction() * 100.0,
+        grouped(captured.frames.len() as u64),
+    );
+
+    // Gate 1 — nothing crashed.
+    gate.check(
+        outcome.server_error.is_none(),
+        "serving loop exited cleanly",
+    );
+
+    // Gate 2 — exact conservation across real sockets.
+    let failures = soak_gate_failures(&snap, impaired, impaired);
+    for f in &failures {
+        println!("  FAIL: {f}");
+    }
+    let conserved = failures.is_empty();
+    gate.failures.extend(failures);
+    gate.check(conserved, "ledger conservation closed exactly");
+    gate.check(
+        outcome.report.sent > args.sessions as u64,
+        "swarm did real work (sent > sessions)",
+    );
+    if impaired {
+        gate.check(
+            snap.counter("faults.sock.to_server.dropped_total") > 0,
+            "to-server drop fault fired",
+        );
+        gate.check(
+            snap.counter("faults.sock.from_server.dropped_total") > 0,
+            "from-server drop fault fired",
+        );
+    }
+    gate.check(
+        snap.counter("server.net.malformed_total") > 0,
+        "hostile noise reached the malformed ledgers",
+    );
+
+    // Gate 3 — the live-captured traffic flows through the unchanged
+    // pipeline into a dataset, checkpoints and all.
+    let flight_dir = args.out.join("swarm_flight");
+    fs::create_dir_all(&flight_dir).expect("flight dir");
+    let opts = PipelineOptions {
+        checkpoint_interval_us: (duration_us / 4).max(200_000),
+        resume: None,
+        faults: None,
+        trace: Some(TraceOptions {
+            ring_slots: 256,
+            dump_dir: Some(flight_dir.clone()),
+            max_dumps: 8,
+        }),
+    };
+    let seed = 0x5317_0008u64;
+    let mut sidecars = Vec::new();
+    let scratch = args.out.join("swarm_sidecars");
+    fs::create_dir_all(&scratch).expect("sidecar dir");
+    let frames = std::mem::take(&mut captured.frames);
+    let n_frames = frames.len();
+    let pipeline_result = run_capture_pipeline_batched(
+        frames.into_iter(),
+        2,
+        PaperScheme::paper(24),
+        Some(BucketedArrays::new(ByteSelector::FIRST_TWO)),
+        &registry,
+        &opts,
+        TailConfig::default(),
+        DatasetWriter::new(Vec::new()).expect("vec writer"),
+        |cut, writer_bytes| {
+            let cp = Checkpoint::from_pipeline(seed, cut, writer_bytes);
+            let path = scratch.join(format!("swarm_cp_{}.etwckpt", sidecars.len()));
+            cp.write_atomic(&path).expect("sidecar write");
+            sidecars.push(path);
+        },
+    );
+    let (stats, _scheme, _fig3, writer) = match pipeline_result {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("swarm FAILED: pipeline rejected live capture: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "  pipeline: {} frames in, {} records decoded, {} checkpoints",
+        grouped(n_frames as u64),
+        grouped(stats.records),
+        sidecars.len()
+    );
+    gate.check(
+        stats.records > 0,
+        "live-captured frames decode into dataset records",
+    );
+    gate.check(
+        stats.records <= captured.tapped,
+        "no more records than datagrams on the wire",
+    );
+
+    // Gate 4 — the anonymisation canary over every output surface of
+    // the live-captured dataset.
+    let dataset = writer.finish().expect("vec write");
+    let mut leaks = sentinel::scan_surface("live dataset xml", &dataset);
+    for path in &sidecars {
+        let bytes = fs::read(path).expect("sidecar read");
+        leaks.extend(sentinel::scan_surface("checkpoint sidecar", &bytes));
+    }
+    for entry in fs::read_dir(&flight_dir).expect("flight dir").flatten() {
+        let bytes = fs::read(entry.path()).expect("dump read");
+        leaks.extend(sentinel::scan_surface("flight dump", &bytes));
+    }
+    let final_snap = registry.snapshot();
+    leaks.extend(sentinel::scan_surface(
+        "/metrics",
+        final_snap.render_prometheus().as_bytes(),
+    ));
+    for l in &leaks {
+        println!("  FAIL: {l}");
+    }
+    let clean = leaks.is_empty();
+    gate.failures.extend(leaks);
+    gate.check(
+        clean,
+        "no sentinel identifier on any output surface (canary clean)",
+    );
+
+    write(
+        &args.out,
+        "swarm_dataset.xml",
+        &String::from_utf8_lossy(&dataset),
+    );
+    write(&args.out, "swarm.prom", &final_snap.render_prometheus());
+    let report_json = format!(
+        "{{\n  \"sessions\": {},\n  \"sent\": {},\n  \"answers\": {},\n  \"timeouts\": {},\n  \
+         \"retries\": {},\n  \"gave_up\": {},\n  \"noise\": {},\n  \"requests\": {},\n  \
+         \"server_recv\": {},\n  \"server_answered\": {},\n  \"server_shed\": {},\n  \
+         \"server_malformed\": {},\n  \"tapped\": {},\n  \"tap_dropped\": {},\n  \
+         \"capture_loss\": {:.6},\n  \"records\": {}\n}}\n",
+        outcome.report.sessions,
+        outcome.report.sent,
+        outcome.report.answers,
+        outcome.report.timeouts,
+        outcome.report.retries,
+        outcome.report.gave_up,
+        outcome.report.noise,
+        outcome.report.requests,
+        final_snap.counter("server.net.recv_total"),
+        final_snap.counter("server.net.answered_total"),
+        final_snap.counter("server.shed_total"),
+        final_snap.counter("server.net.malformed_total"),
+        captured.tapped,
+        captured.tap_dropped,
+        captured.loss_fraction(),
+        stats.records,
+    );
+    write(&args.out, "swarm_report.json", &report_json);
+
+    if gate.failures.is_empty() {
+        println!(
+            "swarm OK ({} sessions, {} live-captured records, canary clean)",
+            outcome.report.sessions,
+            grouped(stats.records)
+        );
+    } else {
+        eprintln!("swarm FAILED: {} violation(s)", gate.failures.len());
         for f in &gate.failures {
             eprintln!("  - {f}");
         }

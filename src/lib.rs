@@ -38,6 +38,8 @@
 //! See `examples/` for runnable scenarios and `src/bin/repro.rs` for the
 //! binary that regenerates every table and figure of the paper.
 
+pub mod sentinel;
+
 pub use etw_analysis as analysis;
 pub use etw_anonymize as anonymize;
 pub use etw_bench as bench;

@@ -1,0 +1,99 @@
+//! The anonymisation sentinels, shared by the canary test and the live
+//! soak gate.
+//!
+//! A *sentinel* is a distinctive raw identifier injected into real
+//! traffic; after the pipeline runs, every externally visible byte
+//! surface (dataset XML, checkpoint sidecars, flight-recorder dumps,
+//! the Prometheus exposition) is scanned for every plausible encoding
+//! of it — dotted-quad, decimal, hex, raw bytes. A hit means the
+//! anonymiser leaked. The `repro swarm` gate and the
+//! `anonymisation_canary` test share these constants and needles, so
+//! the simulated and the live-captured paths are held to the same bar.
+
+use etw_edonkey::ids::{ClientId, FileId};
+
+/// Sentinel clientIDs inside the 24-bit low-ID space (the direct-array
+/// anonymiser is sized to it), with distinctive lower-octet patterns
+/// that cannot collide with anything the anonymiser emits (its output
+/// is dense small integers).
+pub const SENTINEL_IP_A: [u8; 4] = [0, 203, 113, 77];
+/// Second sentinel clientID.
+pub const SENTINEL_IP_B: [u8; 4] = [0, 198, 51, 100];
+
+/// Sentinel fileID: sixteen distinctive bytes. The full 16-byte pattern
+/// is collision-proof against any honest output; its hex rendering is a
+/// 32-character needle no anonymised index can produce.
+pub const SENTINEL_FILE: [u8; 16] = [
+    0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF, 0xFE, 0xDC, 0xBA, 0x98,
+];
+/// Second sentinel fileID.
+pub const SENTINEL_FILE_2: [u8; 16] = [
+    0xCA, 0xFE, 0xF0, 0x0D, 0x10, 0x32, 0x54, 0x76, 0x98, 0xBA, 0xDC, 0xFE, 0xEF, 0xCD, 0xAB, 0x89,
+];
+
+/// The first sentinel client identity.
+pub fn client_a() -> ClientId {
+    ClientId::from_ipv4(SENTINEL_IP_A)
+}
+
+/// The second sentinel client identity.
+pub fn client_b() -> ClientId {
+    ClientId::from_ipv4(SENTINEL_IP_B)
+}
+
+/// The first sentinel file identity.
+pub fn file_a() -> FileId {
+    FileId(SENTINEL_FILE)
+}
+
+/// The second sentinel file identity.
+pub fn file_b() -> FileId {
+    FileId(SENTINEL_FILE_2)
+}
+
+/// Every encoding a sentinel could leak under, as byte needles.
+pub fn needles() -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    for ip in [SENTINEL_IP_A, SENTINEL_IP_B] {
+        let raw = u32::from_be_bytes(ip);
+        out.push((
+            format!("dotted quad {}.{}.{}.{}", ip[0], ip[1], ip[2], ip[3]),
+            format!("{}.{}.{}.{}", ip[0], ip[1], ip[2], ip[3]).into_bytes(),
+        ));
+        out.push((format!("decimal {raw}"), raw.to_string().into_bytes()));
+        out.push((format!("hex {raw:08x}"), format!("{raw:08x}").into_bytes()));
+        out.push((format!("raw be bytes of {raw:08x}"), ip.to_vec()));
+    }
+    for (name, id) in [("file A", SENTINEL_FILE), ("file B", SENTINEL_FILE_2)] {
+        let hex: String = id.iter().map(|b| format!("{b:02x}")).collect();
+        out.push((format!("{name} hex"), hex.into_bytes()));
+        out.push((format!("{name} raw bytes"), id.to_vec()));
+    }
+    out
+}
+
+/// Naive subsequence search (needles are short, surfaces are scanned
+/// once per run).
+pub fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+    haystack
+        .windows(needle.len())
+        .any(|window| window == needle)
+}
+
+/// Returns every sentinel encoding found in `bytes`, labelled with the
+/// surface name — empty means the surface is clean.
+pub fn scan_surface(surface: &str, bytes: &[u8]) -> Vec<String> {
+    let mut hits = Vec::new();
+    for (desc, needle) in needles() {
+        if contains(bytes, &needle) {
+            hits.push(format!("sentinel leaked: {desc} found in {surface}"));
+        }
+    }
+    hits
+}
+
+/// Panicking form for tests.
+pub fn assert_surface_clean(surface: &str, bytes: &[u8]) {
+    let hits = scan_surface(surface, bytes);
+    assert!(hits.is_empty(), "{}", hits.join("\n"));
+}

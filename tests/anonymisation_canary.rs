@@ -19,27 +19,13 @@ use edonkey_ten_weeks::core::wirepath::{encapsulate, Direction};
 use edonkey_ten_weeks::edonkey::ids::{ClientId, FileId};
 use edonkey_ten_weeks::edonkey::messages::{Message, Source};
 use edonkey_ten_weeks::netsim::clock::VirtualTime;
+use edonkey_ten_weeks::sentinel::{
+    assert_surface_clean, SENTINEL_FILE, SENTINEL_FILE_2, SENTINEL_IP_A, SENTINEL_IP_B,
+};
 use edonkey_ten_weeks::telemetry::Registry;
 use edonkey_ten_weeks::xmlout::writer::DatasetWriter;
 use std::fs;
 use std::path::PathBuf;
-
-/// Sentinel clientIDs inside the 24-bit low-ID space (the direct-array
-/// anonymiser is sized to it), with distinctive lower-octet patterns
-/// that cannot collide with anything the anonymiser emits (its output
-/// is dense small integers).
-const SENTINEL_IP_A: [u8; 4] = [0, 203, 113, 77];
-const SENTINEL_IP_B: [u8; 4] = [0, 198, 51, 100];
-
-/// Sentinel fileID: sixteen distinctive bytes. The full 16-byte pattern
-/// is collision-proof against any honest output; its hex rendering is a
-/// 32-character needle no anonymised index can produce.
-const SENTINEL_FILE: [u8; 16] = [
-    0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF, 0xFE, 0xDC, 0xBA, 0x98,
-];
-const SENTINEL_FILE_2: [u8; 16] = [
-    0xCA, 0xFE, 0xF0, 0x0D, 0x10, 0x32, 0x54, 0x76, 0x98, 0xBA, 0xDC, 0xFE, 0xEF, 0xCD, 0xAB, 0x89,
-];
 
 fn frame(ts: u64, msg: Message, peer: ClientId, dir: Direction, ident: u16) -> TimedFrame {
     let frames = encapsulate(msg.encode(), peer, 4672, dir, ident, 1500);
@@ -47,42 +33,6 @@ fn frame(ts: u64, msg: Message, peer: ClientId, dir: Direction, ident: u16) -> T
     TimedFrame {
         ts: VirtualTime(ts),
         bytes: frames[0].to_bytes(),
-    }
-}
-
-/// Every encoding a sentinel could leak under, as byte needles.
-fn needles() -> Vec<(String, Vec<u8>)> {
-    let mut out = Vec::new();
-    for ip in [SENTINEL_IP_A, SENTINEL_IP_B] {
-        let raw = u32::from_be_bytes(ip);
-        out.push((
-            format!("dotted quad {}.{}.{}.{}", ip[0], ip[1], ip[2], ip[3]),
-            format!("{}.{}.{}.{}", ip[0], ip[1], ip[2], ip[3]).into_bytes(),
-        ));
-        out.push((format!("decimal {raw}"), raw.to_string().into_bytes()));
-        out.push((format!("hex {raw:08x}"), format!("{raw:08x}").into_bytes()));
-        out.push((format!("raw be bytes of {raw:08x}"), ip.to_vec()));
-    }
-    for (name, id) in [("file A", SENTINEL_FILE), ("file B", SENTINEL_FILE_2)] {
-        let hex: String = id.iter().map(|b| format!("{b:02x}")).collect();
-        out.push((format!("{name} hex"), hex.into_bytes()));
-        out.push((format!("{name} raw bytes"), id.to_vec()));
-    }
-    out
-}
-
-fn contains(haystack: &[u8], needle: &[u8]) -> bool {
-    haystack
-        .windows(needle.len())
-        .any(|window| window == needle)
-}
-
-fn assert_surface_clean(surface: &str, bytes: &[u8]) {
-    for (desc, needle) in needles() {
-        assert!(
-            !contains(bytes, &needle),
-            "sentinel leaked: {desc} found in {surface}"
-        );
     }
 }
 
