@@ -34,7 +34,7 @@ pub struct DatasetStats {
     /// Occurrences of each hashed search keyword. The dataset hashes
     /// strings but keeps them *joinable* ("keeping a coherent dataset",
     /// §2.4) — so keyword popularity is still measurable.
-    keyword_counts: std::collections::HashMap<String, u64>,
+    keyword_counts: std::collections::HashMap<std::sync::Arc<str>, u64>,
     /// Records observed.
     records: u64,
     /// Records by family: management, file search, source search,
@@ -321,7 +321,7 @@ mod tests {
             ts_us: 0,
             peer: 0,
             msg: AnonMessage::SearchRequest {
-                expr: AnonSearchExpr::Keyword(kw.to_owned()),
+                expr: AnonSearchExpr::Keyword(kw.into()),
             },
         };
         s.observe(&search("aaaa"));

@@ -21,14 +21,18 @@ use crate::fileid::{BucketedArrays, ByteSelector, FileIdAnonymizer};
 use etw_edonkey::messages::{Family, Message};
 use etw_edonkey::search::{BoolOp, NumCmp, SearchExpr};
 use etw_edonkey::tags::{special, Tag, TagName, TagValue};
+use std::borrow::Cow;
+use std::sync::Arc;
 
 /// An anonymised metadata tag.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct AnonTag {
     /// Human-readable tag name (tag *names* are protocol constants, not
     /// user data, and stay in clear — as in the released dataset's
-    /// formal specification).
-    pub name: String,
+    /// formal specification). `Cow` because the well-known special names
+    /// are static strings: the hot path borrows, only the exotic tail
+    /// allocates.
+    pub name: Cow<'static, str>,
     /// Anonymised value.
     pub value: AnonTagValue,
 }
@@ -36,8 +40,9 @@ pub struct AnonTag {
 /// An anonymised tag value.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum AnonTagValue {
-    /// MD5 hex of the original string.
-    Hashed(String),
+    /// MD5 hex of the original string. Shared with the memo cache, so
+    /// repeated strings cost a refcount bump, not an allocation.
+    Hashed(Arc<str>),
     /// Integer value; file sizes are already reduced to kilo-bytes.
     UInt(u64),
 }
@@ -68,18 +73,18 @@ pub enum AnonSearchExpr {
         right: Box<AnonSearchExpr>,
     },
     /// Hashed keyword.
-    Keyword(String),
+    Keyword(Arc<str>),
     /// Metadata string constraint with hashed value.
     MetaStr {
         /// Tag name in clear.
-        name: String,
+        name: Cow<'static, str>,
         /// MD5 hex of the required value.
-        value: String,
+        value: Arc<str>,
     },
     /// Numeric constraint (file sizes reduced to KB).
     MetaNum {
         /// Tag name in clear.
-        name: String,
+        name: Cow<'static, str>,
         /// ">=" or "<=".
         cmp: &'static str,
         /// Bound (KB for file sizes).
@@ -111,9 +116,9 @@ pub enum AnonMessage {
     /// are encoded by their md5 hash code").
     ServerDescResponse {
         /// MD5 hex of the server name.
-        name: String,
+        name: Arc<str>,
         /// MD5 hex of the description.
-        description: String,
+        description: Arc<str>,
     },
     /// Server-list request.
     GetServerList,
@@ -247,6 +252,16 @@ impl PaperScheme {
             DirectArrayAnonymizer::from_order(client_width_bits, clients),
             BucketedArrays::from_order(selector, files),
         )
+    }
+}
+
+/// Renders a tag name — borrowed statics for the well-known special
+/// names (the overwhelming majority of real traffic), `fmt` only for
+/// the long tail.
+fn tag_name(name: &TagName) -> Cow<'static, str> {
+    match name.static_name() {
+        Some(s) => Cow::Borrowed(s),
+        None => Cow::Owned(name.to_string()),
     }
 }
 
@@ -454,8 +469,8 @@ impl<C: ClientIdAnonymizer, F: FileIdAnonymizer> AnonymizationScheme<C, F> {
                     description: d,
                 },
             ) => {
-                self.strings.anonymize_into(name, n);
-                self.strings.anonymize_into(description, d);
+                *n = self.strings.anonymize(name);
+                *d = self.strings.anonymize(description);
             }
             (Message::GetServerList, AnonMessage::GetServerList) => {}
             (Message::ServerList { servers }, AnonMessage::ServerList { servers: out }) => {
@@ -537,25 +552,12 @@ impl<C: ClientIdAnonymizer, F: FileIdAnonymizer> AnonymizationScheme<C, F> {
     }
 
     fn anonymize_tag_into(&mut self, t: &Tag, out: &mut AnonTag) {
-        use std::fmt::Write as _;
-        out.name.clear();
-        let _ = write!(out.name, "{}", t.name);
-        let is_filesize = matches!(t.name, TagName::Special(special::FILESIZE));
-        match (&t.value, &mut out.value) {
-            (TagValue::Str(s), AnonTagValue::Hashed(h)) => self.strings.anonymize_into(s, h),
-            (TagValue::Str(s), v) => *v = AnonTagValue::Hashed(self.strings.anonymize(s)),
-            (TagValue::U32(x), v) => {
-                *v = AnonTagValue::UInt(if is_filesize {
-                    anonymize_filesize(*x as u64)
-                } else {
-                    *x as u64
-                });
-            }
-        }
+        // Names and hashed values are Cow/Arc: rebuilding the tag is as
+        // cheap as patching it, so the reuse path is plain assignment.
+        *out = self.anonymize_tag(t);
     }
 
     fn anonymize_expr_into(&mut self, e: &SearchExpr, out: &mut AnonSearchExpr) {
-        use std::fmt::Write as _;
         match (e, out) {
             (
                 SearchExpr::Bool { op, left, right },
@@ -574,15 +576,14 @@ impl<C: ClientIdAnonymizer, F: FileIdAnonymizer> AnonymizationScheme<C, F> {
                 self.anonymize_expr_into(right, r);
             }
             (SearchExpr::Keyword(k), AnonSearchExpr::Keyword(s)) => {
-                self.strings.anonymize_into(k, s);
+                *s = self.strings.anonymize(k);
             }
             (
                 SearchExpr::MetaStr { name, value },
                 AnonSearchExpr::MetaStr { name: n, value: v },
             ) => {
-                n.clear();
-                let _ = write!(n, "{name}");
-                self.strings.anonymize_into(value, v);
+                *n = tag_name(name);
+                *v = self.strings.anonymize(value);
             }
             (
                 SearchExpr::MetaNum { name, cmp, value },
@@ -592,8 +593,7 @@ impl<C: ClientIdAnonymizer, F: FileIdAnonymizer> AnonymizationScheme<C, F> {
                     value: v,
                 },
             ) => {
-                n.clear();
-                let _ = write!(n, "{name}");
+                *n = tag_name(name);
                 *c = match cmp {
                     NumCmp::Min => ">=",
                     NumCmp::Max => "<=",
@@ -626,7 +626,7 @@ impl<C: ClientIdAnonymizer, F: FileIdAnonymizer> AnonymizationScheme<C, F> {
             TagValue::U32(v) => AnonTagValue::UInt(*v as u64),
         };
         AnonTag {
-            name: t.name.to_string(),
+            name: tag_name(&t.name),
             value,
         }
     }
@@ -644,13 +644,13 @@ impl<C: ClientIdAnonymizer, F: FileIdAnonymizer> AnonymizationScheme<C, F> {
             },
             SearchExpr::Keyword(k) => AnonSearchExpr::Keyword(self.strings.anonymize(k)),
             SearchExpr::MetaStr { name, value } => AnonSearchExpr::MetaStr {
-                name: name.to_string(),
+                name: tag_name(name),
                 value: self.strings.anonymize(value),
             },
             SearchExpr::MetaNum { name, cmp, value } => {
                 let is_filesize = matches!(name, TagName::Special(special::FILESIZE));
                 AnonSearchExpr::MetaNum {
-                    name: name.to_string(),
+                    name: tag_name(name),
                     cmp: match cmp {
                         NumCmp::Min => ">=",
                         NumCmp::Max => "<=",
@@ -717,7 +717,7 @@ mod tests {
                 let tags = &files[0].tags;
                 assert_eq!(
                     tags[0].value,
-                    AnonTagValue::Hashed(anonymize_string("secret song.mp3"))
+                    AnonTagValue::Hashed(anonymize_string("secret song.mp3").into())
                 );
                 assert_eq!(tags[1].value, AnonTagValue::UInt(5 * 1024));
                 // SOURCES count is not a filesize: passes through.
@@ -746,7 +746,7 @@ mod tests {
                 assert_eq!(op, "and");
                 assert_eq!(
                     *left,
-                    AnonSearchExpr::Keyword(anonymize_string("pink floyd"))
+                    AnonSearchExpr::Keyword(anonymize_string("pink floyd").into())
                 );
                 assert_eq!(
                     *right,
@@ -817,8 +817,8 @@ mod tests {
         let r = s.anonymize(0, ClientId(1), &m);
         match r.msg {
             AnonMessage::ServerDescResponse { name, description } => {
-                assert_eq!(name, anonymize_string("DonkeyServer No1"));
-                assert_eq!(description, anonymize_string("we index things"));
+                assert_eq!(&*name, anonymize_string("DonkeyServer No1"));
+                assert_eq!(&*description, anonymize_string("we index things"));
             }
             other => panic!("{other:?}"),
         }

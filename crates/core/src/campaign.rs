@@ -8,26 +8,19 @@ use crate::pipeline::{
     run_capture_pipeline_batched, run_capture_pipeline_with, PipelineOptions, PipelineStats,
     ResumePoint, TailConfig, TimedFrame, TraceOptions,
 };
-use crate::wirepath::{encapsulate, tcp_noise_frame, Direction, SERVER_IP};
+use crate::source::SourceStream;
 use etw_anonymize::fileid::{BucketedArrays, ByteSelector};
 use etw_anonymize::scheme::{AnonRecord, PaperScheme};
 use etw_anonymize::AnonymizationScheme;
 use etw_anonymize::DirectArrayAnonymizer;
-use etw_edonkey::messages::Message;
 use etw_faults::FaultyLink;
-use etw_netsim::capture::{CaptureBuffer, LossRecorder};
-use etw_netsim::clock::VirtualTime;
-use etw_server::engine::{EngineConfig, ServerEngine};
+use etw_netsim::capture::CaptureBuffer;
 use etw_telemetry::health::{HealthRecorder, HealthSeries};
-use etw_telemetry::{Counter, Gauge, Registry};
+use etw_telemetry::Registry;
 use etw_workload::catalog::Catalog;
 use etw_workload::clients::Population;
-use etw_workload::generator::TrafficGenerator;
 use etw_xmlout::writer::DatasetWriter;
 use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::VecDeque;
 use std::io::{self, Write};
 use std::sync::Arc;
 
@@ -106,221 +99,6 @@ pub struct CampaignReport {
     /// through [`run_campaign_observed`] with an enabled registry and a
     /// non-zero `health_interval_secs`).
     pub health: HealthSeries,
-}
-
-/// Streams frames for the whole campaign: generator events → server
-/// answers → encapsulation → corruption/noise → lossy capture.
-struct FrameStream<'a> {
-    generator: TrafficGenerator<'a>,
-    server: ServerEngine,
-    capture: CaptureBuffer,
-    loss_recorder: LossRecorder,
-    pending: VecDeque<TimedFrame>,
-    rng: StdRng,
-    ident: u16,
-    mtu: usize,
-    p_corrupt: f64,
-    p_corrupt_structural: f64,
-    p_udp_noise: f64,
-    p_tcp_noise: f64,
-    last_tick_sec: u64,
-    last_virtual_us: u64,
-    stats: Arc<Mutex<CaptureSide>>,
-    finished: bool,
-    /// Health snapshotter, driven by the per-second tick. The producer
-    /// thread owns the stream, so the finished series is handed back
-    /// through the shared slot (same pattern as `stats`).
-    health: Option<HealthRecorder>,
-    // Hands the recorder (plus the final virtual timestamp) back to the
-    // driver when the producer ends; the driver cuts the last record
-    // only after the sink has drained, so the final snapshot matches
-    // the report's totals.
-    health_out: Arc<Mutex<Option<(HealthRecorder, u64)>>>,
-    queries_ctr: Counter,
-    answers_ctr: Counter,
-    /// Live campaign progress for concurrent observers (`etwtool
-    /// monitor` polls this from another thread).
-    virtual_secs_gauge: Gauge,
-}
-
-impl<'a> FrameStream<'a> {
-    fn next_ident(&mut self) -> u16 {
-        self.ident = self.ident.wrapping_add(1);
-        self.ident
-    }
-
-    /// Offers a frame to the lossy capture; pushes it to `pending` only
-    /// if the ring accepted it.
-    fn offer(&mut self, ts: VirtualTime, bytes: Vec<u8>) {
-        let mut s = self.stats.lock();
-        s.offered += 1;
-        if self.capture.offer(ts) {
-            s.captured += 1;
-            drop(s);
-            self.pending.push_back(TimedFrame { ts, bytes });
-        } else {
-            s.lost += 1;
-        }
-    }
-
-    fn tick_loss(&mut self, now: VirtualTime) {
-        self.last_virtual_us = self.last_virtual_us.max(now.0);
-        let sec = now.as_secs();
-        if sec > self.last_tick_sec {
-            self.loss_recorder.tick(self.last_tick_sec, &self.capture);
-            self.last_tick_sec = sec;
-            self.capture.sample_telemetry();
-            self.virtual_secs_gauge.set(sec as i64);
-            if let Some(h) = self.health.as_mut() {
-                h.observe(now.0);
-            }
-        }
-    }
-
-    /// Expands one generator event into frames.
-    fn expand_event(&mut self) -> bool {
-        let Some(ev) = self.generator.next() else {
-            return false;
-        };
-        self.tick_loss(ev.t);
-        // Corruption models buggy senders ("many poorly reliable clients
-        // of different kinds", §2.3): the datagram is damaged on the
-        // wire, and the server cannot act on it either.
-        let corrupted = self.rng.gen_bool(self.p_corrupt);
-        let mut bytes = ev.msg.encode();
-        if corrupted {
-            self.damage(&mut bytes);
-        }
-        let answers: Vec<Message> = if corrupted {
-            Vec::new()
-        } else {
-            self.server.handle(ev.client, &ev.msg)
-        };
-        self.stats.lock().queries_generated += 1;
-        self.queries_ctr.inc();
-
-        let ident = self.next_ident();
-        for f in encapsulate(
-            bytes,
-            ev.client,
-            ev.port,
-            Direction::ToServer,
-            ident,
-            self.mtu,
-        ) {
-            self.offer(ev.t, f.to_bytes());
-        }
-        // Answers leave the server within the same microsecond tick as
-        // the query (server turnaround is far below the clock's
-        // resolution at capture scale); this keeps the captured stream —
-        // and therefore the dataset — globally time-ordered.
-        for a in answers {
-            self.stats.lock().answers_generated += 1;
-            self.answers_ctr.inc();
-            // Server answers get garbled in flight too (NAT middleboxes,
-            // truncating resolvers...): the paper's undecodable fraction
-            // is over ALL handled messages, both directions.
-            let mut bytes = a.encode();
-            if self.rng.gen_bool(self.p_corrupt) {
-                self.damage(&mut bytes);
-            }
-            let ident = self.next_ident();
-            for f in encapsulate(
-                bytes,
-                ev.client,
-                ev.port,
-                Direction::FromServer,
-                ident,
-                self.mtu,
-            ) {
-                self.offer(ev.t, f.to_bytes());
-            }
-        }
-        // Background noise sharing the link. TCP comes in small flights
-        // (segments of ongoing transfers): with the default parameters
-        // TCP is roughly half of all frames, as in the paper's capture.
-        if self.rng.gen_bool(self.p_tcp_noise) {
-            let flight = self.rng.gen_range(1..=4);
-            for _ in 0..flight {
-                self.stats.lock().tcp_noise += 1;
-                let f = tcp_noise_frame(self.rng.gen(), SERVER_IP, self.rng.gen_range(40..1400));
-                self.offer(ev.t, f.to_bytes());
-            }
-        }
-        if self.rng.gen_bool(self.p_udp_noise) {
-            self.stats.lock().udp_noise += 1;
-            // Non-eDonkey payload to the server port: reaches the
-            // decoder and is classified NotEdonkey.
-            let mut payload = vec![0u8; self.rng.gen_range(4..64)];
-            self.rng.fill(&mut payload[..]);
-            payload[0] = 0x17; // definitely not 0xE3
-            let ident = self.next_ident();
-            for f in encapsulate(
-                payload,
-                ev.client,
-                ev.port,
-                Direction::ToServer,
-                ident,
-                self.mtu,
-            ) {
-                self.offer(ev.t, f.to_bytes());
-            }
-        }
-        true
-    }
-
-    /// Damages an encoded message so the capture decoder rejects it:
-    /// with probability `p_corrupt_structural` the message fails the
-    /// *structural validation* step (truncated to a bare header — the
-    /// paper's dominant failure, 78 %); otherwise it passes validation
-    /// but fails effective decoding (a search request whose expression
-    /// bytes are garbage).
-    fn damage(&mut self, bytes: &mut Vec<u8>) {
-        self.stats.lock().corrupted += 1;
-        if self.rng.gen_bool(self.p_corrupt_structural) {
-            if bytes.len() <= 2 {
-                // Body-less messages stay valid under truncation; a
-                // trailing junk byte makes them structurally invalid
-                // instead (length mismatch).
-                bytes.push(0xff);
-            } else {
-                bytes.truncate(2);
-            }
-        } else {
-            bytes.clear();
-            bytes.extend_from_slice(&[0xE3, 0x98, 0x7f]);
-        }
-    }
-
-    fn finish(&mut self) {
-        if !self.finished {
-            self.finished = true;
-            self.loss_recorder.tick(self.last_tick_sec, &self.capture);
-            self.capture.sample_telemetry();
-            let mut s = self.stats.lock();
-            s.losses_per_sec = self.loss_recorder.losses_per_sec.clone();
-            drop(s);
-            if let Some(h) = self.health.take() {
-                *self.health_out.lock() = Some((h, self.last_virtual_us));
-            }
-        }
-    }
-}
-
-impl<'a> Iterator for FrameStream<'a> {
-    type Item = TimedFrame;
-
-    fn next(&mut self) -> Option<TimedFrame> {
-        loop {
-            if let Some(f) = self.pending.pop_front() {
-                return Some(f);
-            }
-            if !self.expand_event() {
-                self.finish();
-                return None;
-            }
-        }
-    }
 }
 
 /// Runs a full campaign, streaming anonymised records into `on_record`.
@@ -534,61 +312,28 @@ fn campaign_inner_core<T>(
             .into());
         }
     }
-    let catalog = Catalog::generate(&config.catalog, config.seed ^ 1);
-    let population = Population::generate(&config.population, config.seed ^ 2);
-    let generator = TrafficGenerator::new(
-        &catalog,
-        &population,
-        config.generator.clone(),
-        config.seed ^ 3,
-    );
+    let catalog = Arc::new(Catalog::generate(&config.catalog, config.seed ^ 1));
+    let population = Arc::new(Population::generate(&config.population, config.seed ^ 2));
     let capture_stats = Arc::new(Mutex::new(CaptureSide::default()));
-    // Peer-server addresses must live inside the compressed clientID
-    // space: the anonymiser treats them as IPs like any other (the
-    // paper's 2^32 array covers all of them; our width-limited array
-    // covers the simulation's space).
-    let server_config = EngineConfig {
-        peer_servers: (1..=8u32)
-            .map(|i| etw_edonkey::messages::ServerAddr {
-                ip: i,
-                port: 4661 + (i % 4) as u16,
-            })
-            .collect(),
-        // Real servers size UDP answers to fit the MTU; without this cap
-        // fragmentation would be common instead of rare (paper: 2 981
-        // fragments among 14 G packets).
-        max_search_results: 15,
-        ..EngineConfig::default()
-    };
     let mut capture = CaptureBuffer::new(config.capture_ring, config.capture_drain_pps);
     capture.attach_telemetry(registry);
     let health_out: Arc<Mutex<Option<(HealthRecorder, u64)>>> = Arc::new(Mutex::new(None));
-    let frames = FrameStream {
-        generator,
-        server: ServerEngine::new(server_config),
+    // The sharded front-end: `config.source.source_shards` generator
+    // workers and index shards behind a sequential merger — frame output
+    // is byte-identical for every shard count (DESIGN.md §17).
+    let frames = SourceStream::spawn(
+        catalog,
+        population,
+        config,
+        registry,
         capture,
-        loss_recorder: LossRecorder::new(),
-        pending: VecDeque::new(),
-        rng: StdRng::seed_from_u64(config.seed ^ 4),
-        ident: 0,
-        mtu: config.mtu,
-        p_corrupt: config.p_corrupt,
-        p_corrupt_structural: config.p_corrupt_structural,
-        p_udp_noise: config.p_udp_noise,
-        p_tcp_noise: config.p_tcp_noise,
-        last_tick_sec: 0,
-        last_virtual_us: 0,
-        stats: Arc::clone(&capture_stats),
-        finished: false,
-        health: Some(HealthRecorder::new(
+        Arc::clone(&capture_stats),
+        Some(HealthRecorder::new(
             registry.clone(),
             config.health_interval_secs,
         )),
-        health_out: Arc::clone(&health_out),
-        queries_ctr: registry.counter("campaign.queries_total"),
-        answers_ctr: registry.counter("campaign.answers_total"),
-        virtual_secs_gauge: registry.gauge("campaign.virtual_secs"),
-    };
+        Arc::clone(&health_out),
+    );
 
     // Resume restores the anonymiser by replaying its appearance orders;
     // a fresh run starts empty. Either way the frame stream replays from
@@ -818,6 +563,32 @@ mod tests {
         assert_eq!(n1, n2);
         assert_eq!(c1, c2);
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn dataset_invariant_under_source_shards() {
+        let run = |shards: usize| {
+            let mut config = CampaignConfig::tiny();
+            config.source.source_shards = shards;
+            let mut records = Vec::new();
+            let report = run_campaign(&config, |r| records.push(r));
+            (report, records)
+        };
+        let (base_report, base) = run(1);
+        assert!(base.len() > 500, "records {}", base.len());
+        for shards in [2usize, 4] {
+            let (report, records) = run(shards);
+            assert_eq!(base, records, "{shards} source shards: dataset diverges");
+            assert_eq!(base_report.records, report.records);
+            assert_eq!(base_report.distinct_clients, report.distinct_clients);
+            assert_eq!(base_report.distinct_files, report.distinct_files);
+            assert_eq!(base_report.capture.offered, report.capture.offered);
+            assert_eq!(base_report.capture.lost, report.capture.lost);
+            assert_eq!(
+                base_report.bucket_sizes_alternative,
+                report.bucket_sizes_alternative
+            );
+        }
     }
 
     #[test]

@@ -50,6 +50,11 @@ pub enum ConfigError {
         /// The configured shard count.
         got: usize,
     },
+    /// `source_shards` is not a power of two in `1..=16`.
+    SourceShardsInvalid {
+        /// The configured source shard count.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -82,11 +87,34 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ShardCountInvalid { got } => {
                 write!(f, "anon_shards must be a power of two in 1..=16, got {got}")
             }
+            ConfigError::SourceShardsInvalid { got } => {
+                write!(
+                    f,
+                    "source_shards must be a power of two in 1..=16, got {got}"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// Traffic-source sharding: how many parallel generator workers (and
+/// matching directory-index shards) feed the capture pipeline. The
+/// sharded source is deterministic for any width — DESIGN.md §17
+/// explains why the dataset bytes are shard-count-invariant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SourceConfig {
+    /// Generator workers / directory-index shards. Power of two in
+    /// `1..=16`; 1 keeps the source fully sequential.
+    pub source_shards: usize,
+}
+
+impl Default for SourceConfig {
+    fn default() -> Self {
+        SourceConfig { source_shards: 1 }
+    }
+}
 
 /// Everything the campaign driver needs.
 #[derive(Clone, Debug)]
@@ -125,6 +153,8 @@ pub struct CampaignConfig {
     pub fileid_selector: ByteSelector,
     /// Decoder worker threads in the pipeline.
     pub decode_workers: usize,
+    /// Traffic-source sharding (generator workers + index shards).
+    pub source: SourceConfig,
     /// Also maintain a FIRST_TWO-bytes bucketed store so Fig. 3 can
     /// compare both selectors in one run.
     pub track_fig3: bool,
@@ -167,6 +197,7 @@ impl Default for CampaignConfig {
             p_tcp_noise: 0.8,
             fileid_selector: ByteSelector::ALTERNATIVE,
             decode_workers: 4,
+            source: SourceConfig::default(),
             track_fig3: true,
             health_interval_secs: 3_600,
             faults: FaultSpec::default(),
@@ -276,6 +307,10 @@ impl CampaignConfig {
         if let Some((start_us, end_us)) = self.faults.invalid_window() {
             return Err(ConfigError::FaultWindowInvalid { start_us, end_us });
         }
+        let shards = self.source.source_shards;
+        if !shards.is_power_of_two() || !(1..=16).contains(&shards) {
+            return Err(ConfigError::SourceShardsInvalid { got: shards });
+        }
         Ok(())
     }
 }
@@ -322,6 +357,23 @@ mod tests {
                 value: 1.5
             })
         );
+    }
+
+    #[test]
+    fn bad_source_shards_rejected() {
+        for bad in [0usize, 3, 12, 32] {
+            let mut c = CampaignConfig::tiny();
+            c.source.source_shards = bad;
+            assert_eq!(
+                c.validate(),
+                Err(ConfigError::SourceShardsInvalid { got: bad })
+            );
+        }
+        for good in [1usize, 2, 4, 8, 16] {
+            let mut c = CampaignConfig::tiny();
+            c.source.source_shards = good;
+            c.validate().unwrap();
+        }
     }
 
     #[test]

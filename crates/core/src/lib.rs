@@ -34,6 +34,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod livecap;
 pub mod pipeline;
+pub mod source;
 pub mod summary;
 pub mod wirepath;
 
@@ -47,4 +48,5 @@ pub use pipeline::{
     run_capture_pipeline, run_capture_pipeline_observed, run_capture_pipeline_with,
     PipelineCheckpoint, PipelineOptions, PipelineStats, ResumePoint, TimedFrame, TraceOptions,
 };
+pub use source::{run_source_only, SourceStream};
 pub use summary::{render_t1, t1_key_values};

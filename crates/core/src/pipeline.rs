@@ -432,10 +432,22 @@ struct DecodedMsg {
     msg: Message,
 }
 
-enum WorkerOut {
-    /// Exactly one per input frame.
-    Step(u64, Option<DecodedMsg>),
-}
+/// One decode step, exactly one per input frame: the frame's sequence
+/// number and its decoded message (or `None` for noise, fragments and
+/// tombstones). The front channels move these in [`FRAME_BATCH`]-sized
+/// batches — per-frame sends would cost a channel round-trip (and, on a
+/// loaded host, a context switch) per captured frame, which at capture
+/// rates dwarfs the decode work itself.
+type WorkerStep = (u64, Option<DecodedMsg>);
+
+/// Frames (producer → workers) and steps (workers → sequencer) per
+/// batch on the decode front's channels.
+const FRAME_BATCH: usize = 256;
+
+/// Capacity, in batches, of each worker's input queue and of the shared
+/// worker-output queue. In frames this bounds roughly the same buffering
+/// as the old per-frame caps (1024 and 4096).
+const FRAME_QUEUE: usize = 8;
 
 /// Runs the full pipeline over `frames`, invoking `on_record` for every
 /// anonymised record in deterministic capture order. Returns the final
@@ -608,9 +620,12 @@ where
         let mut reorder: BTreeMap<u64, Option<DecodedMsg>> = BTreeMap::new();
         let mut next_seq = 0u64;
         let mut pt = seq_trace.begin();
-        while let Ok(WorkerOut::Step(seq, decoded)) = out_rx.recv() {
+        while let Ok(batch) = out_rx.recv() {
             let w0 = seq_trace.service_begin(&mut pt);
-            reorder.insert(seq, decoded);
+            let items = batch.len() as u64;
+            for (seq, decoded) in batch {
+                reorder.insert(seq, decoded);
+            }
             while let Some(decoded) = reorder.remove(&next_seq) {
                 next_seq += 1;
                 let Some(d) = decoded else { continue };
@@ -674,7 +689,7 @@ where
             if depth > sink.reorder_depth_hwm.get() {
                 sink.reorder_depth_hwm.set(depth);
             }
-            seq_trace.service_end(&mut pt, depth as u32, last_ts, w0, 1);
+            seq_trace.service_end(&mut pt, depth as u32, last_ts, w0, items);
         }
         debug_assert!(reorder.is_empty(), "holes in the sequence space");
 
@@ -1083,9 +1098,12 @@ where
             .try_recv()
             .unwrap_or_else(|| Vec::with_capacity(tail.batch_records));
         let mut pt = seq_trace.begin();
-        while let Ok(WorkerOut::Step(seq, decoded)) = out_rx.recv() {
+        while let Ok(batch) = out_rx.recv() {
             let w0 = seq_trace.service_begin(&mut pt);
-            reorder.insert(seq, decoded);
+            let items = batch.len() as u64;
+            for (seq, decoded) in batch {
+                reorder.insert(seq, decoded);
+            }
             while let Some(decoded) = reorder.remove(&next_seq) {
                 next_seq += 1;
                 let Some(d) = decoded else { continue };
@@ -1112,7 +1130,7 @@ where
             if depth > reorder_depth_hwm.get() {
                 reorder_depth_hwm.set(depth);
             }
-            seq_trace.service_end(&mut pt, depth as u32, seen_ts, w0, 1);
+            seq_trace.service_end(&mut pt, depth as u32, seen_ts, w0, items);
         }
         debug_assert!(reorder.is_empty(), "holes in the sequence space");
         if !ord_failed && !chunk.is_empty() {
@@ -1689,9 +1707,12 @@ where
             asm_tx.send(AsmItem::Batch(arc)).is_ok()
         };
         let mut pt = seq_trace.begin();
-        while let Ok(WorkerOut::Step(seq, decoded)) = out_rx.recv() {
+        while let Ok(batch) = out_rx.recv() {
             let w0 = seq_trace.service_begin(&mut pt);
-            reorder.insert(seq, decoded);
+            let items = batch.len() as u64;
+            for (seq, decoded) in batch {
+                reorder.insert(seq, decoded);
+            }
             while let Some(decoded) = reorder.remove(&next_seq) {
                 next_seq += 1;
                 let Some(d) = decoded else { continue };
@@ -1767,7 +1788,7 @@ where
             if depth > sink.reorder_depth_hwm.get() {
                 sink.reorder_depth_hwm.set(depth);
             }
-            seq_trace.service_end(&mut pt, depth as u32, last_ts, w0, 1);
+            seq_trace.service_end(&mut pt, depth as u32, last_ts, w0, items);
         }
         debug_assert!(reorder.is_empty(), "holes in the sequence space");
         if !tail_failed {
@@ -1867,7 +1888,7 @@ where
 /// downstream of this same front, so fault injection, shedding and
 /// sequence assignment behave identically in the two.
 type FrontHandles<'scope> = (
-    MeteredReceiver<WorkerOut>,
+    MeteredReceiver<Vec<WorkerStep>>,
     crossbeam::thread::ScopedJoinHandle<'scope, (u64, u64)>,
     Vec<crossbeam::thread::ScopedJoinHandle<'scope, WorkerStats>>,
 );
@@ -1883,7 +1904,8 @@ fn spawn_front<'scope, 'env, I>(
 where
     I: Iterator<Item = TimedFrame> + Send + 'scope,
 {
-    let (out_tx, out_rx) = metered_bounded::<WorkerOut>(4096, registry, "decode_out");
+    let (out_tx, out_rx) =
+        metered_bounded::<Vec<WorkerStep>>(2 * FRAME_QUEUE, registry, "decode_out");
     let mut worker_txs = Vec::with_capacity(n_workers);
     let mut handles = Vec::with_capacity(n_workers);
     let decode_telemetry = DecodeTelemetry {
@@ -1899,8 +1921,9 @@ where
     };
     for windex in 0..n_workers {
         // All worker input channels share the "decode_in" metrics,
-        // so depth reads as frames queued across the stage.
-        let (tx, rx) = metered_bounded::<(u64, TimedFrame)>(1024, registry, "decode_in");
+        // so depth reads as batches queued across the stage.
+        let (tx, rx) =
+            metered_bounded::<Vec<(u64, TimedFrame)>>(FRAME_QUEUE, registry, "decode_in");
         worker_txs.push(tx);
         let out_tx = out_tx.clone();
         let telemetry = decode_telemetry.clone();
@@ -1937,6 +1960,12 @@ where
         // larger than any intra-window stride can.
         const SHED_BURST_GAP_US: u64 = 5_000_000;
         let mut last_shed_us: Option<u64> = None;
+        // Per-worker frame batches: routed frames accumulate locally and
+        // ship [`FRAME_BATCH`] at a time, so the channel (and on a busy
+        // host, the scheduler) is paid per batch, not per frame.
+        let mut batches: Vec<Vec<(u64, TimedFrame)>> = (0..n_workers)
+            .map(|_| Vec::with_capacity(FRAME_BATCH))
+            .collect();
         for frame in frames {
             offered += 1;
             if let Some(plan) = &producer_plan {
@@ -1964,14 +1993,24 @@ where
                 }
             }
             let w = route(&frame.bytes, n_workers);
-            worker_txs[w]
-                .send((seq, frame))
-                // etwlint: allow(no-panic-hot-path): a worker hanging
-                // up mid-run means it already panicked; propagating
-                // beats silently dropping the rest of the trace.
-                .expect("worker hung up early");
+            batches[w].push((seq, frame));
+            if batches[w].len() >= FRAME_BATCH {
+                let full = std::mem::replace(&mut batches[w], Vec::with_capacity(FRAME_BATCH));
+                worker_txs[w]
+                    .send(full)
+                    // etwlint: allow(no-panic-hot-path): a worker hanging
+                    // up mid-run means it already panicked; propagating
+                    // beats silently dropping the rest of the trace.
+                    .expect("worker hung up early");
+            }
             produced.inc();
             seq += 1;
+        }
+        for (w, batch) in batches.into_iter().enumerate() {
+            if !batch.is_empty() {
+                // etwlint: allow(no-panic-hot-path): panic propagation, as above
+                worker_txs[w].send(batch).expect("worker hung up early");
+            }
         }
         (seq, shed_count)
     });
@@ -2021,8 +2060,8 @@ struct WorkerFaultTelemetry {
 }
 
 fn worker_loop(
-    rx: MeteredReceiver<(u64, TimedFrame)>,
-    out: MeteredSender<WorkerOut>,
+    rx: MeteredReceiver<Vec<(u64, TimedFrame)>>,
+    out: MeteredSender<Vec<WorkerStep>>,
     telemetry: DecodeTelemetry,
     trace: StageTrace,
     supervision: Option<(usize, WorkerFaultPlan, WorkerFaultTelemetry)>,
@@ -2035,71 +2074,83 @@ fn worker_loop(
     let mut backoff_left = 0u64;
     let mut degraded = false;
     let mut pt = trace.begin();
-    while let Ok((seq, frame)) = rx.recv() {
-        received += 1;
-        telemetry.frames.inc();
+    'batches: while let Ok(batch) = rx.recv() {
         let w0 = trace.service_begin(&mut pt);
         let t = telemetry.service_ns.start();
-        let decoded = match &supervision {
-            None => process_frame(&mut wire, &mut decoder, &mut ws, &frame),
-            Some((windex, plan, faults)) => {
-                if degraded {
-                    // Out of restart budget: tombstone everything rather
-                    // than stop the capture ("never stop the capture").
-                    faults.tombstoned.inc();
-                    None
-                } else if backoff_left > 0 {
-                    backoff_left -= 1;
-                    faults.backoff_dropped.inc();
-                    faults.tombstoned.inc();
-                    None
-                } else {
-                    let crash_due = plan.crash_due(*windex, received);
-                    let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        if crash_due {
-                            std::panic::panic_any(InjectedWorkerCrash);
-                        }
-                        process_frame(&mut wire, &mut decoder, &mut ws, &frame)
-                    }));
-                    match outcome {
-                        Ok(d) => d,
-                        Err(_) => {
-                            faults.crashes.inc();
-                            faults.tombstoned.inc();
-                            // Salvage the dead instance's accounting,
-                            // then restart with fresh decoder state: a
-                            // crash mid-frame may have left reassembly
-                            // or stream state poisoned.
-                            ws.decoder.merge(&decoder.stats());
-                            merge_reassembly(&mut ws.reassembly, &wire.reassembly_stats());
-                            wire = WireDecoder::new();
-                            decoder = Decoder::new();
-                            trace.event_dump(SpanKind::Crash, "crash", received as u32, frame.ts.0);
-                            if restarts >= plan.max_restarts {
-                                degraded = true;
-                                faults.degraded.inc();
+        let items = batch.len() as u64;
+        let mut last_us = 0u64;
+        let mut steps: Vec<WorkerStep> = Vec::with_capacity(batch.len());
+        for (seq, frame) in batch {
+            received += 1;
+            telemetry.frames.inc();
+            let decoded = match &supervision {
+                None => process_frame(&mut wire, &mut decoder, &mut ws, &frame),
+                Some((windex, plan, faults)) => {
+                    if degraded {
+                        // Out of restart budget: tombstone everything rather
+                        // than stop the capture ("never stop the capture").
+                        faults.tombstoned.inc();
+                        None
+                    } else if backoff_left > 0 {
+                        backoff_left -= 1;
+                        faults.backoff_dropped.inc();
+                        faults.tombstoned.inc();
+                        None
+                    } else {
+                        let crash_due = plan.crash_due(*windex, received);
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            if crash_due {
+                                std::panic::panic_any(InjectedWorkerCrash);
+                            }
+                            process_frame(&mut wire, &mut decoder, &mut ws, &frame)
+                        }));
+                        match outcome {
+                            Ok(d) => d,
+                            Err(_) => {
+                                faults.crashes.inc();
+                                faults.tombstoned.inc();
+                                // Salvage the dead instance's accounting,
+                                // then restart with fresh decoder state: a
+                                // crash mid-frame may have left reassembly
+                                // or stream state poisoned.
+                                ws.decoder.merge(&decoder.stats());
+                                merge_reassembly(&mut ws.reassembly, &wire.reassembly_stats());
+                                wire = WireDecoder::new();
+                                decoder = Decoder::new();
                                 trace.event_dump(
-                                    SpanKind::Degraded,
-                                    "degraded",
-                                    restarts,
+                                    SpanKind::Crash,
+                                    "crash",
+                                    received as u32,
                                     frame.ts.0,
                                 );
-                            } else {
-                                restarts += 1;
-                                faults.restarts.inc();
-                                backoff_left = plan.backoff_after(restarts);
-                                trace.event(SpanKind::Restart, restarts, frame.ts.0);
+                                if restarts >= plan.max_restarts {
+                                    degraded = true;
+                                    faults.degraded.inc();
+                                    trace.event_dump(
+                                        SpanKind::Degraded,
+                                        "degraded",
+                                        restarts,
+                                        frame.ts.0,
+                                    );
+                                } else {
+                                    restarts += 1;
+                                    faults.restarts.inc();
+                                    backoff_left = plan.backoff_after(restarts);
+                                    trace.event(SpanKind::Restart, restarts, frame.ts.0);
+                                }
+                                None
                             }
-                            None
                         }
                     }
                 }
-            }
-        };
+            };
+            last_us = frame.ts.0;
+            steps.push((seq, decoded));
+        }
         telemetry.service_ns.record_since(t);
-        trace.service_end(&mut pt, seq as u32, frame.ts.0, w0, 1);
-        if out.send(WorkerOut::Step(seq, decoded)).is_err() {
-            break;
+        trace.service_end(&mut pt, received as u32, last_us, w0, items);
+        if out.send(steps).is_err() {
+            break 'batches;
         }
     }
     ws.decoder.merge(&decoder.stats());
@@ -2380,14 +2431,19 @@ mod tests {
             |r| records.push(r),
         );
         let snap = registry.snapshot();
-        // Every frame is seen once per stage.
+        // Every frame is seen once per stage; the decode channels tick
+        // per *batch* (frames ride in Vecs), so their counters are
+        // bounded by the frame count and agree with each other — the
+        // worker emits exactly one out-batch per in-batch.
         assert_eq!(snap.counter("stage.producer.frames_total"), stats.frames);
-        assert_eq!(snap.counter("chan.decode_in.sent_total"), stats.frames);
-        assert_eq!(snap.counter("chan.decode_out.sent_total"), stats.frames);
+        let in_batches = snap.counter("chan.decode_in.sent_total");
+        let out_batches = snap.counter("chan.decode_out.sent_total");
+        assert!(in_batches > 0 && in_batches <= stats.frames);
+        assert_eq!(out_batches, in_batches);
         assert_eq!(snap.counter("stage.decode.frames_total"), stats.frames);
         assert_eq!(
             snap.histogram("stage.decode.service_ns").unwrap().count,
-            stats.frames
+            out_batches
         );
         // Sink accounting matches the pipeline stats, direction included.
         assert_eq!(snap.counter("stage.sink.records_total"), stats.records);
@@ -2603,9 +2659,11 @@ mod tests {
         assert_eq!(degraded, 2, "both workers exhaust their budget");
         assert!(backoff > 0);
         // Every frame still produced exactly one sequence step: the sink
-        // never stalls and the channels drain fully.
+        // never stalls and the channels drain fully (decode_out ticks
+        // per batch, so it is bounded by the frame count).
         assert_eq!(stats.frames, 400);
-        assert_eq!(snap.counter("chan.decode_out.sent_total"), stats.frames);
+        let out_batches = snap.counter("chan.decode_out.sent_total");
+        assert!(out_batches > 0 && out_batches <= stats.frames);
         assert_eq!(snap.counter("stage.decode.frames_total"), stats.frames);
         // Tombstoned frames are exactly the records gap (every survivor
         // in this workload decodes to a record).

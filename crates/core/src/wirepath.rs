@@ -88,6 +88,112 @@ pub fn tcp_noise_frame(src: u32, dst: u32, payload_len: usize) -> EthernetFrame 
     EthernetFrame::ipv4(Bytes::from(ip.to_bytes()))
 }
 
+/// Incremental RFC 1071 checksum accumulator (big-endian u16 words; odd
+/// trailing byte padded with zero), folded like
+/// [`internet_checksum`](etw_netsim::packet::internet_checksum).
+fn csum_words(mut sum: u64, data: &[u8]) -> u64 {
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u64::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u64::from(u16::from_be_bytes([*last, 0]));
+    }
+    sum
+}
+
+fn csum_fold(mut sum: u64) -> u16 {
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Serialises one UDP datagram straight to ethernet frame bytes in a
+/// single buffer — byte-identical to `encapsulate(..)` followed by
+/// `EthernetFrame::to_bytes()`, without the intermediate packet structs
+/// and copies. Datagrams that need IP fragmentation (more than `mtu`
+/// bytes of IP packet) take the generic path.
+pub fn datagram_frames(
+    payload: &[u8],
+    client: ClientId,
+    client_port: u16,
+    direction: Direction,
+    ident: u16,
+    mtu: usize,
+    mut emit: impl FnMut(Vec<u8>),
+) {
+    let (src_ip, dst_ip, src_port, dst_port) = match direction {
+        Direction::ToServer => (client_ip(client), SERVER_IP, client_port, SERVER_PORT),
+        Direction::FromServer => (SERVER_IP, client_ip(client), SERVER_PORT, client_port),
+    };
+    let udp_len = 8 + payload.len();
+    if 20 + udp_len > mtu {
+        for f in encapsulate(payload.to_vec(), client, client_port, direction, ident, mtu) {
+            emit(f.to_bytes());
+        }
+        return;
+    }
+    let total_len = 20 + udp_len;
+    let mut out = Vec::with_capacity(14 + total_len);
+    // Ethernet header (fixed simulation MACs, IPv4 ethertype).
+    out.extend_from_slice(&[0x02, 0, 0, 0, 0, 0x01, 0x02, 0, 0, 0, 0, 0x02, 0x08, 0x00]);
+    // IPv4 header.
+    out.push(0x45);
+    out.push(0);
+    out.extend_from_slice(&(total_len as u16).to_be_bytes());
+    out.extend_from_slice(&ident.to_be_bytes());
+    out.extend_from_slice(&[0, 0]); // no fragmentation
+    out.push(64); // ttl
+    out.push(PROTO_UDP);
+    out.extend_from_slice(&[0, 0]); // header checksum placeholder
+    out.extend_from_slice(&src_ip.to_be_bytes());
+    out.extend_from_slice(&dst_ip.to_be_bytes());
+    let ip_csum = csum_fold(csum_words(0, &out[14..34]));
+    out[24..26].copy_from_slice(&ip_csum.to_be_bytes());
+    // UDP header + payload.
+    out.extend_from_slice(&src_port.to_be_bytes());
+    out.extend_from_slice(&dst_port.to_be_bytes());
+    out.extend_from_slice(&(udp_len as u16).to_be_bytes());
+    out.extend_from_slice(&[0, 0]); // udp checksum placeholder
+    out.extend_from_slice(payload);
+    // RFC 768 pseudo-header checksum over addresses + proto + length,
+    // then the UDP bytes themselves.
+    let mut sum = csum_words(0, &src_ip.to_be_bytes());
+    sum = csum_words(sum, &dst_ip.to_be_bytes());
+    sum += u64::from(PROTO_UDP);
+    sum += udp_len as u64;
+    sum = csum_words(sum, &out[34..]);
+    let udp_csum = match csum_fold(sum) {
+        0 => 0xffff,
+        c => c,
+    };
+    out[40..42].copy_from_slice(&udp_csum.to_be_bytes());
+    emit(out);
+}
+
+/// Fast single-buffer equivalent of
+/// `tcp_noise_frame(..).to_bytes()` (zero-filled opaque TCP payload).
+pub fn tcp_noise_frame_bytes(src: u32, dst: u32, payload_len: usize) -> Vec<u8> {
+    let payload_len = payload_len.max(20);
+    let total_len = 20 + payload_len;
+    let mut out = Vec::with_capacity(14 + total_len);
+    out.extend_from_slice(&[0x02, 0, 0, 0, 0, 0x01, 0x02, 0, 0, 0, 0, 0x02, 0x08, 0x00]);
+    out.push(0x45);
+    out.push(0);
+    out.extend_from_slice(&(total_len as u16).to_be_bytes());
+    out.extend_from_slice(&[0, 0, 0, 0]); // ident 0, no fragmentation
+    out.push(64);
+    out.push(PROTO_TCP);
+    out.extend_from_slice(&[0, 0]);
+    out.extend_from_slice(&src.to_be_bytes());
+    out.extend_from_slice(&dst.to_be_bytes());
+    let ip_csum = csum_fold(csum_words(0, &out[14..34]));
+    out[24..26].copy_from_slice(&ip_csum.to_be_bytes());
+    out.resize(14 + total_len, 0);
+    out
+}
+
 /// What the capture machine recovers from one frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Recovered {
@@ -318,5 +424,41 @@ mod tests {
         let b = client_ip(ClientId::low(2));
         assert_ne!(a, b);
         assert_eq!(a & 0xff00_0000, 0x0a00_0000);
+    }
+
+    #[test]
+    fn fast_datagram_frames_match_generic_path() {
+        let mut payloads: Vec<Vec<u8>> =
+            vec![Vec::new(), vec![0xE3], query_bytes(), (0..255u8).collect()];
+        // Odd length, near-MTU length, and over-MTU (fragmenting) cases.
+        payloads.push(vec![0xAB; 1471]);
+        payloads.push(vec![0xCD; 1472]);
+        payloads.push(vec![0x77; 1473]);
+        payloads.push(vec![0x55; 4000]);
+        for client in [ClientId(0x5000_1234), ClientId::low(99)] {
+            for dir in [Direction::ToServer, Direction::FromServer] {
+                for (i, p) in payloads.iter().enumerate() {
+                    let expect: Vec<Vec<u8>> =
+                        encapsulate(p.clone(), client, 4710, dir, i as u16, 1500)
+                            .iter()
+                            .map(|f| f.to_bytes())
+                            .collect();
+                    let mut got = Vec::new();
+                    datagram_frames(p, client, 4710, dir, i as u16, 1500, |b| got.push(b));
+                    assert_eq!(expect, got, "payload case {i} dir {dir:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_tcp_noise_matches_generic_path() {
+        for len in [0usize, 19, 20, 21, 40, 1399] {
+            assert_eq!(
+                tcp_noise_frame(0xdead_beef, SERVER_IP, len).to_bytes(),
+                tcp_noise_frame_bytes(0xdead_beef, SERVER_IP, len),
+                "len {len}"
+            );
+        }
     }
 }

@@ -91,6 +91,30 @@ impl TagName {
             Ok(TagName::Named(s.to_owned()))
         }
     }
+
+    /// The name's fixed rendering, when it has one: every well-known
+    /// special byte maps to a static string identical to its [`Display`]
+    /// output. `None` for unknown special bytes and arbitrary named tags
+    /// (those need the formatting machinery); hot paths rendering tag
+    /// names at volume use this to skip `fmt` entirely.
+    pub fn static_name(&self) -> Option<&'static str> {
+        match self {
+            TagName::Special(b) => match *b {
+                special::FILENAME => Some("filename"),
+                special::FILESIZE => Some("filesize"),
+                special::FILETYPE => Some("filetype"),
+                special::FILEFORMAT => Some("fileformat"),
+                special::SOURCES => Some("sources"),
+                special::COMPLETE_SOURCES => Some("complete_sources"),
+                special::MEDIA_LENGTH => Some("media_length"),
+                special::MEDIA_BITRATE => Some("media_bitrate"),
+                special::VERSION => Some("version"),
+                special::PORT => Some("port"),
+                _ => None,
+            },
+            TagName::Named(_) => None,
+        }
+    }
 }
 
 impl fmt::Display for TagName {

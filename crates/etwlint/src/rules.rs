@@ -486,12 +486,15 @@ fn hex_ranges(t: &[Token]) -> Vec<(u64, u64)> {
 /// fall back to it on a pool miss.
 const HOT_LOOP_FILES: &[&str] = &[
     "crates/core/src/pipeline.rs",
+    "crates/core/src/source.rs",
     "crates/anonymize/src/shard.rs",
     "crates/edonkey/src/decoder.rs",
     "crates/server/src/net.rs",
+    "crates/server/src/shard.rs",
     "crates/server/src/swarm.rs",
     "crates/trace/src/lib.rs",
     "crates/trace/src/ring.rs",
+    "crates/workload/src/session.rs",
     "crates/xmlout/src/encode.rs",
     "crates/xmlout/src/escape.rs",
     "crates/xmlout/src/writer.rs",
@@ -646,10 +649,13 @@ fn loop_body_spans(t: &[Token]) -> Vec<(usize, usize)> {
 const CHANNEL_FILES: &[&str] = &[
     "crates/core/src/pipeline.rs",
     "crates/core/src/campaign.rs",
+    "crates/core/src/source.rs",
     "crates/anonymize/src/shard.rs",
+    "crates/server/src/shard.rs",
     "crates/trace/src/lib.rs",
     "crates/trace/src/ring.rs",
     "crates/trace/src/ops.rs",
+    "crates/workload/src/session.rs",
 ];
 
 /// Raw channel constructors. `metered_bounded` is a single identifier,

@@ -45,9 +45,11 @@
 pub mod engine;
 pub mod index;
 pub mod net;
+pub mod shard;
 pub mod swarm;
 
 pub use engine::{EngineConfig, EngineStats, ServerEngine};
 pub use index::{IndexedFile, ServerIndex};
 pub use net::{NetConfig, NetLedger, PacketTap, ServerNet};
+pub use shard::{shard_of, SearchHit, ShardIndex, SlotKey};
 pub use swarm::{run_loopback_soak, Roster, SoakConfig, SoakOutcome, SwarmConfig, SwarmReport};

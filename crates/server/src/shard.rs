@@ -1,0 +1,334 @@
+//! Per-shard directory-server index for the parallel traffic source.
+//!
+//! [`ServerIndex`](crate::index::ServerIndex) answers decoded wire
+//! messages; this module is its sharded, operation-driven counterpart.
+//! Files are partitioned across shards by fileID, each shard owning the
+//! *whole* record (metadata, keyword postings, source list) of its files,
+//! so announcements and source queries route to exactly one shard while
+//! keyword searches fan out to all shards and merge.
+//!
+//! Two invariants make the merge byte-identical to a single serial index:
+//!
+//! * every file carries a [`SlotKey`] — `(global event sequence, entry
+//!   index within the announcement)` of its **first** announcement. That
+//!   pair is exactly the serial index's slot-assignment order, so sorting
+//!   merged search hits by key reproduces the serial result order no
+//!   matter how files are distributed;
+//! * each shard receives its operations in global sequence order (the
+//!   merger routes them FIFO), so per-file source lists fill in the same
+//!   first-N-arrival order as the serial index's capacity rule, and local
+//!   slots are assigned in ascending key order — which lets the search
+//!   intersect sorted postings and stop after `max_results` hits.
+//!
+//! Names are never re-tokenised here: announcements arrive with interned
+//! keyword token IDs, and searches intersect posting lists of those IDs.
+
+use etw_edonkey::ids::FileId;
+use std::collections::HashMap;
+
+/// Global ordering key of a file: (event sequence of the first
+/// announcement, entry index within that announcement).
+pub type SlotKey = (u64, u16);
+
+/// One search result produced by a shard, ready for the global merge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SearchHit {
+    /// Global ordering key (merge + truncation order).
+    pub key: SlotKey,
+    /// Catalog index backing the file's canonical metadata (the first
+    /// announcement's, as serial indexes keep one canonical name).
+    pub meta_idx: u32,
+    /// Announced file ID.
+    pub file_id: FileId,
+    /// Provider with the smallest clientID (the entry header's source).
+    pub provider: u32,
+    /// That provider's announced port.
+    pub provider_port: u16,
+    /// Live source count (the SOURCES tag value).
+    pub n_sources: u32,
+}
+
+struct ShardFile {
+    id: FileId,
+    key: SlotKey,
+    meta_idx: u32,
+    size: u32,
+    /// Providers in arrival order (clientID raw, port); capped like the
+    /// serial index, with port refresh allowed for known providers.
+    sources: Vec<(u32, u16)>,
+}
+
+/// One shard of the partitioned directory index.
+pub struct ShardIndex {
+    files: Vec<ShardFile>,
+    by_id: HashMap<FileId, u32>,
+    /// Posting lists per interned token, in ascending slot (= key) order.
+    postings: Vec<Vec<u32>>,
+    max_sources_per_file: usize,
+}
+
+impl ShardIndex {
+    /// Creates a shard knowing `n_tokens` interned keywords and keeping
+    /// at most `max_sources_per_file` providers per file.
+    pub fn new(n_tokens: usize, max_sources_per_file: usize) -> Self {
+        ShardIndex {
+            files: Vec::new(),
+            by_id: HashMap::new(),
+            postings: vec![Vec::new(); n_tokens],
+            max_sources_per_file,
+        }
+    }
+
+    /// Distinct files indexed on this shard.
+    pub fn file_count(&self) -> u32 {
+        self.files.len() as u32
+    }
+
+    /// Indexes one announced file entry. `tokens` are the interned
+    /// keywords of the announced name; they index the file only on its
+    /// first announcement (canonical-name rule).
+    #[allow(clippy::too_many_arguments)]
+    pub fn publish(
+        &mut self,
+        key: SlotKey,
+        id: FileId,
+        meta_idx: u32,
+        size: u32,
+        tokens: &[u32],
+        client: u32,
+        port: u16,
+    ) {
+        let slot = match self.by_id.get(&id) {
+            Some(&slot) => slot,
+            None => {
+                let slot = self.files.len() as u32;
+                self.files.push(ShardFile {
+                    id,
+                    key,
+                    meta_idx,
+                    size,
+                    sources: Vec::new(),
+                });
+                self.by_id.insert(id, slot);
+                for &tok in tokens {
+                    let posting = &mut self.postings[tok as usize];
+                    // A name with a repeated keyword must not double-post
+                    // the slot; the newest slot can only ever be last.
+                    if posting.last() != Some(&slot) {
+                        posting.push(slot);
+                    }
+                }
+                slot
+            }
+        };
+        let file = &mut self.files[slot as usize];
+        if let Some(s) = file.sources.iter_mut().find(|(c, _)| *c == client) {
+            s.1 = port;
+        } else if file.sources.len() < self.max_sources_per_file {
+            file.sources.push((client, port));
+        }
+    }
+
+    /// Intersects the posting lists of `tokens` (all must match), applies
+    /// the optional minimum-size constraint, and appends up to
+    /// `max_results` hits in ascending key order.
+    pub fn search(
+        &self,
+        tokens: &[u32],
+        size_min: Option<u32>,
+        max_results: usize,
+        out: &mut Vec<SearchHit>,
+    ) {
+        let Some(&first_tok) = tokens.first() else {
+            return;
+        };
+        let lead = &self.postings[first_tok as usize];
+        let mut cursors: Vec<&[u32]> = tokens[1..]
+            .iter()
+            .map(|&t| self.postings[t as usize].as_slice())
+            .collect();
+        let mut found = 0usize;
+        'cand: for &slot in lead {
+            for c in cursors.iter_mut() {
+                // Postings are ascending; advance each cursor monotonically.
+                let mut i = 0;
+                while i < c.len() && c[i] < slot {
+                    i += 1;
+                }
+                *c = &c[i..];
+                if c.first() != Some(&slot) {
+                    continue 'cand;
+                }
+            }
+            let f = &self.files[slot as usize];
+            if let Some(min) = size_min {
+                if f.size < min {
+                    continue;
+                }
+            }
+            out.push(self.hit(f));
+            found += 1;
+            if found >= max_results {
+                break;
+            }
+        }
+    }
+
+    fn hit(&self, f: &ShardFile) -> SearchHit {
+        let (provider, provider_port) = f
+            .sources
+            .iter()
+            .min_by_key(|(c, _)| *c)
+            .copied()
+            .unwrap_or((0, 0));
+        SearchHit {
+            key: f.key,
+            meta_idx: f.meta_idx,
+            file_id: f.id,
+            provider,
+            provider_port,
+            n_sources: f.sources.len() as u32,
+        }
+    }
+
+    /// Up to `max` sources for `id`, sorted by clientID (the serial
+    /// index's stable answer order). Empty when the file is unknown.
+    pub fn sources_for(&self, id: &FileId, max: usize, out: &mut Vec<(u32, u16)>) {
+        out.clear();
+        if let Some(&slot) = self.by_id.get(id) {
+            out.extend_from_slice(&self.files[slot as usize].sources);
+            out.sort_unstable_by_key(|&(c, _)| c);
+            out.truncate(max);
+        }
+    }
+}
+
+/// Routes a fileID to its owning shard. Byte 2 is used because forged
+/// pollution IDs share their first two prefix bytes — byte 2 is the first
+/// position that varies across all ID families.
+pub fn shard_of(id: &FileId, n_shards: usize) -> usize {
+    id.as_bytes()[2] as usize % n_shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fid(n: u8) -> FileId {
+        FileId([n; 16])
+    }
+
+    fn shard() -> ShardIndex {
+        ShardIndex::new(8, 500)
+    }
+
+    #[test]
+    fn publish_then_search_returns_key_ordered_hits() {
+        let mut s = shard();
+        s.publish((10, 0), fid(1), 100, 50, &[0, 1], 7, 4662);
+        s.publish((10, 1), fid(2), 101, 90, &[0, 2], 8, 4663);
+        s.publish((12, 0), fid(3), 102, 10, &[0], 9, 4664);
+        let mut out = Vec::new();
+        s.search(&[0], None, 10, &mut out);
+        assert_eq!(
+            out.iter().map(|h| h.key).collect::<Vec<_>>(),
+            vec![(10, 0), (10, 1), (12, 0)]
+        );
+        out.clear();
+        s.search(&[0, 1], None, 10, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].file_id, fid(1));
+    }
+
+    #[test]
+    fn search_honours_size_floor_and_result_cap() {
+        let mut s = shard();
+        for i in 0..20u8 {
+            s.publish(
+                (i as u64, 0),
+                fid(i + 1),
+                i as u32,
+                i as u32 * 10,
+                &[3],
+                1,
+                1,
+            );
+        }
+        let mut out = Vec::new();
+        s.search(&[3], Some(100), 4, &mut out);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|h| h.key.0 >= 10));
+        // First hits in key order, not best-match order.
+        assert_eq!(out[0].key, (10, 0));
+    }
+
+    #[test]
+    fn repeated_keyword_posts_slot_once() {
+        let mut s = shard();
+        s.publish((1, 0), fid(1), 0, 10, &[5, 6, 5], 1, 1);
+        let mut out = Vec::new();
+        s.search(&[5], None, 10, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn canonical_metadata_is_first_announcement() {
+        let mut s = shard();
+        s.publish((3, 0), fid(4), 42, 10, &[1], 1, 1111);
+        s.publish((9, 0), fid(4), 77, 99, &[2], 2, 2222);
+        let mut out = Vec::new();
+        s.search(&[1], None, 10, &mut out);
+        assert_eq!(out.len(), 1, "first-announce keywords index the file");
+        assert_eq!(out[0].meta_idx, 42);
+        assert_eq!(out[0].key, (3, 0));
+        assert_eq!(out[0].n_sources, 2);
+        out.clear();
+        s.search(&[2], None, 10, &mut out);
+        assert!(out.is_empty(), "later names must not be indexed");
+    }
+
+    #[test]
+    fn source_cap_first_n_with_port_refresh() {
+        let mut s = ShardIndex::new(4, 3);
+        for c in 1..=10u32 {
+            s.publish((c as u64, 0), fid(7), 0, 1, &[0], c, 4000);
+        }
+        let mut out = Vec::new();
+        s.sources_for(&fid(7), 100, &mut out);
+        assert_eq!(out, vec![(1, 4000), (2, 4000), (3, 4000)]);
+        // A capped-out provider can still refresh its port.
+        s.publish((11, 0), fid(7), 0, 1, &[0], 2, 5555);
+        s.sources_for(&fid(7), 100, &mut out);
+        assert_eq!(out[1], (2, 5555));
+        // Truncation after sorting.
+        s.sources_for(&fid(7), 2, &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn provider_is_min_client_id() {
+        let mut s = shard();
+        s.publish((1, 0), fid(2), 0, 1, &[0], 50, 9);
+        s.publish((2, 0), fid(2), 0, 1, &[0], 3, 8);
+        let mut out = Vec::new();
+        s.search(&[0], None, 10, &mut out);
+        assert_eq!((out[0].provider, out[0].provider_port), (3, 8));
+        assert_eq!(out[0].n_sources, 2);
+    }
+
+    #[test]
+    fn sources_for_unknown_file_is_empty() {
+        let s = shard();
+        let mut out = vec![(1, 1)];
+        s.sources_for(&fid(9), 5, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn shard_routing_uses_third_byte() {
+        let mut id = [0u8; 16];
+        id[2] = 7;
+        assert_eq!(shard_of(&FileId(id), 4), 3);
+        assert_eq!(shard_of(&FileId(id), 1), 0);
+    }
+}

@@ -37,10 +37,15 @@ pub mod catalog;
 pub mod clients;
 pub mod filesizes;
 pub mod generator;
+pub mod session;
 pub mod zipf;
 
 pub use catalog::{Catalog, CatalogFile, CatalogParams};
 pub use clients::{ClassMix, ClientClass, ClientProfile, Population, PopulationParams};
 pub use filesizes::{FileKind, FileSizeModel};
 pub use generator::{GeneratorParams, QueryEvent, TrafficGenerator};
+pub use session::{
+    MergedSessions, MgmtOp, NoiseDraws, PubEntry, SessionShard, SourceBlobs, SrcEvent, SrcOp,
+    WireParams,
+};
 pub use zipf::{BoundedPareto, LogNormal, Zipf};

@@ -12,11 +12,16 @@ use rand::Rng;
 /// Zipf sampler over ranks `0..n` with exponent `s`:
 /// `P(rank = k) ∝ 1 / (k+1)^s`.
 ///
-/// Sampling is by inverse transform over a precomputed cumulative table —
-/// O(log n) per draw, exact, and deterministic given the RNG.
+/// Sampling is by Walker's alias method — O(1) per draw, exact, and
+/// deterministic given the RNG. The cumulative table is kept for
+/// [`pmf`](Zipf::pmf) queries.
 #[derive(Clone, Debug)]
 pub struct Zipf {
     cumulative: Vec<f64>,
+    /// Alias acceptance thresholds: draw column `i`, accept `i` with
+    /// probability `prob[i]`, otherwise take `alias[i]`.
+    prob: Vec<f64>,
+    alias: Vec<u32>,
     s: f64,
 }
 
@@ -25,6 +30,7 @@ impl Zipf {
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "empty Zipf support");
         assert!(s > 0.0, "exponent must be positive");
+        assert!(n <= u32::MAX as usize, "Zipf support too large");
         let mut cumulative = Vec::with_capacity(n);
         let mut acc = 0.0f64;
         for k in 0..n {
@@ -35,7 +41,48 @@ impl Zipf {
         for c in &mut cumulative {
             *c /= total;
         }
-        Zipf { cumulative, s }
+
+        // Vose's stable construction: split columns into under- and
+        // over-full by scaled weight, pair them off so every column is
+        // exactly full.
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0u32; n];
+        let mut scaled: Vec<f64> = (0..n)
+            .map(|k| {
+                let prev = if k == 0 { 0.0 } else { cumulative[k - 1] };
+                (cumulative[k] - prev) * n as f64
+            })
+            .collect();
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (k, &w) in scaled.iter().enumerate() {
+            if w < 1.0 {
+                small.push(k as u32);
+            } else {
+                large.push(k as u32);
+            }
+        }
+        while let (Some(&s_), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s_ as usize] = scaled[s_ as usize];
+            alias[s_ as usize] = l;
+            scaled[l as usize] -= 1.0 - scaled[s_ as usize];
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers are exactly full modulo rounding.
+        for &k in small.iter().chain(large.iter()) {
+            prob[k as usize] = 1.0;
+        }
+
+        Zipf {
+            cumulative,
+            prob,
+            alias,
+            s,
+        }
     }
 
     /// Support size.
@@ -55,13 +102,12 @@ impl Zipf {
 
     /// Draws a rank in `0..n`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
         let u: f64 = rng.gen();
-        match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&u).expect("NaN in CDF"))
-        {
-            Ok(i) => i,
-            Err(i) => i.min(self.cumulative.len() - 1),
+        if u < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
         }
     }
 

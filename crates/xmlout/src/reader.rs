@@ -415,8 +415,8 @@ fn decode_message(n: &Node) -> Result<AnonMessage, XmlError> {
         }),
         "desc_req" => Ok(AnonMessage::ServerDescRequest),
         "desc_res" => Ok(AnonMessage::ServerDescResponse {
-            name: n.attr_str("name")?.to_owned(),
-            description: n.attr_str("desc")?.to_owned(),
+            name: n.attr_str("name")?.into(),
+            description: n.attr_str("desc")?.into(),
         }),
         "server_list_req" => Ok(AnonMessage::GetServerList),
         "server_list" => {
@@ -492,9 +492,9 @@ fn decode_entry(n: &Node, elem: &str) -> Result<AnonFileEntry, XmlError> {
         .iter()
         .map(|c| {
             expect_name(c, "tag")?;
-            let name = c.attr_str("name")?.to_owned();
+            let name: std::borrow::Cow<'static, str> = c.attr_str("name")?.to_owned().into();
             let value = if let Some(h) = c.attr("hash") {
-                AnonTagValue::Hashed(h.to_owned())
+                AnonTagValue::Hashed(h.into())
             } else {
                 AnonTagValue::UInt(c.attr_u64("uint")?)
             };
@@ -526,13 +526,13 @@ fn decode_expr(n: &Node) -> Result<AnonSearchExpr, XmlError> {
                 right: Box::new(decode_expr(r)?),
             })
         }
-        "kw" => Ok(AnonSearchExpr::Keyword(n.attr_str("hash")?.to_owned())),
+        "kw" => Ok(AnonSearchExpr::Keyword(n.attr_str("hash")?.into())),
         "metastr" => Ok(AnonSearchExpr::MetaStr {
-            name: n.attr_str("name")?.to_owned(),
-            value: n.attr_str("hash")?.to_owned(),
+            name: n.attr_str("name")?.to_owned().into(),
+            value: n.attr_str("hash")?.into(),
         }),
         "metanum" => Ok(AnonSearchExpr::MetaNum {
-            name: n.attr_str("name")?.to_owned(),
+            name: n.attr_str("name")?.to_owned().into(),
             cmp: if n.attr_str("cmp")? == "ge" {
                 ">="
             } else {

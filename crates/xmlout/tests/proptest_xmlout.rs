@@ -20,11 +20,14 @@ fn arb_tag() -> impl Strategy<Value = AnonTag> {
     (
         ESCAPY,
         prop_oneof![
-            "[0-9a-f]{32}".prop_map(AnonTagValue::Hashed),
+            "[0-9a-f]{32}".prop_map(|h| AnonTagValue::Hashed(h.into())),
             any::<u64>().prop_map(AnonTagValue::UInt),
         ],
     )
-        .prop_map(|(name, value)| AnonTag { name, value })
+        .prop_map(|(name, value)| AnonTag {
+            name: name.into(),
+            value,
+        })
 }
 
 fn arb_entry() -> impl Strategy<Value = AnonFileEntry> {
@@ -44,14 +47,21 @@ fn arb_entry() -> impl Strategy<Value = AnonFileEntry> {
 
 fn arb_expr() -> impl Strategy<Value = AnonSearchExpr> {
     let leaf = prop_oneof![
-        "[0-9a-f]{32}".prop_map(AnonSearchExpr::Keyword),
-        (ESCAPY, "[0-9a-f]{32}").prop_map(|(name, value)| AnonSearchExpr::MetaStr { name, value }),
+        "[0-9a-f]{32}".prop_map(|k| AnonSearchExpr::Keyword(k.into())),
+        (ESCAPY, "[0-9a-f]{32}").prop_map(|(name, value)| AnonSearchExpr::MetaStr {
+            name: name.into(),
+            value: value.into()
+        }),
         (
             "[a-z_]{1,10}",
             prop_oneof![Just(">="), Just("<=")],
             any::<u64>()
         )
-            .prop_map(|(name, cmp, value)| AnonSearchExpr::MetaNum { name, cmp, value }),
+            .prop_map(|(name, cmp, value)| AnonSearchExpr::MetaNum {
+                name: name.into(),
+                cmp,
+                value
+            }),
     ];
     leaf.prop_recursive(3, 12, 2, |inner| {
         (
@@ -78,8 +88,10 @@ fn arb_message() -> impl Strategy<Value = AnonMessage> {
             }
         }),
         Just(AnonMessage::ServerDescRequest),
-        (ESCAPY, ESCAPY)
-            .prop_map(|(name, description)| AnonMessage::ServerDescResponse { name, description }),
+        (ESCAPY, ESCAPY).prop_map(|(name, description)| AnonMessage::ServerDescResponse {
+            name: name.into(),
+            description: description.into()
+        }),
         Just(AnonMessage::GetServerList),
         prop::collection::vec((any::<u32>(), any::<u16>()), 0..6)
             .prop_map(|servers| AnonMessage::ServerList { servers }),

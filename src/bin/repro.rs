@@ -23,14 +23,16 @@
 //!   the throughput suite (decode-only, tail-only serial vs batched,
 //!   anonymise-only serial vs sharded, end-to-end) plus steady-state
 //!   allocations/record in the formatter; `--record` writes the
-//!   committable `BENCH_PR8.json` baseline (smoke mode instead gates
+//!   committable `BENCH_PR10.json` baseline (smoke mode instead gates
 //!   against the newest committed `BENCH_PR<k>.json` and fails on a
 //!   regression over 20% in end-to-end throughput or in any per-stage
-//!   bench — decode-only, batched tail, sharded anonymise)
+//!   bench — decode-only, batched tail, sharded anonymise, swarm
+//!   serving — plus the decode-ratio floor and the swarm tap's
+//!   permille loss budget)
 //! * `matrix` — the CI campaign matrix: clientID widths {2^24, 2^16} ×
-//!   anonymiser shard counts {1, 4}; within each width every shard
-//!   count must produce the byte-identical dataset and the identical
-//!   checkpoint cuts; exits nonzero on any divergence
+//!   anonymiser shards {1, 4} × source shards {1, 4}; within each width
+//!   every shard combination must produce the byte-identical dataset
+//!   and the identical checkpoint cuts; exits nonzero on any divergence
 //! * `swarm [--faults] [--sessions N] [--duration-ms MS]` — the
 //!   real-socket soak gate: the UDP serving loop under a loopback
 //!   client swarm (with sentinel sessions and hostile noise), exact
@@ -82,7 +84,7 @@ struct Args {
     soak_seed: Option<u64>,
     /// `bench`: CI mode — short runs, gate against the baseline.
     smoke: bool,
-    /// `bench`: write the committable `BENCH_PR8.json` baseline.
+    /// `bench`: write the committable `BENCH_PR10.json` baseline.
     record: bool,
     /// `bench`: baseline report to gate against (default: the newest
     /// committed `BENCH_PR<k>.json`).
@@ -96,7 +98,7 @@ struct Args {
 }
 
 /// Where `repro bench --record` writes the baseline this PR commits.
-const RECORD_PATH: &str = "BENCH_PR8.json";
+const RECORD_PATH: &str = "BENCH_PR10.json";
 
 fn parse_args() -> Args {
     let mut tiny = false;
@@ -564,13 +566,17 @@ fn newest_baseline() -> Option<PathBuf> {
 ///    clientID/fileID shard pool) and end-to-end throughput, plus
 ///    steady-state allocations/record in the formatter (measured via the
 ///    counting global allocator this binary installs);
-/// 2. the self-checks — batched tail ≥ 2× the serial writer on `tiny`,
-///    sharded anonymiser ≥ 1.5× the serial scheme, zero steady-state
-///    allocations/record;
-/// 3. `--smoke` only: the trajectory gate — end-to-end records/sec must
-///    stay within 20% of the newest committed `BENCH_PR<k>.json`.
+/// 2. the self-checks — batched tail and sharded anonymiser over their
+///    speedup floors versus the serial paths, zero steady-state
+///    allocations/record, end-to-end within the decode-ratio budget of
+///    decode-only, and the swarm tap's measured loss under its permille
+///    budget;
+/// 3. `--smoke` only: the trajectory gate — end-to-end, per-stage and
+///    swarm-served records/sec must stay within 20% of the newest
+///    committed `BENCH_PR<k>.json` — plus the synthetic-violation
+///    self-tests proving each floor still rejects.
 ///
-/// `--record` rewrites `BENCH_PR5.json`; commit it to move the
+/// `--record` rewrites `BENCH_PR10.json`; commit it to move the
 /// baseline. Exits nonzero on any failure.
 fn bench(args: &Args) {
     println!(
@@ -612,6 +618,27 @@ fn bench(args: &Args) {
             traced.records_per_sec
         );
     }
+    if let (Some(decode), Some(e2e)) = (
+        report.find("decode_only", "mix"),
+        report.find("end_to_end", "tiny"),
+    ) {
+        println!(
+            "  decode ratio: {:.1}x (decode {:.0} vs end-to-end {:.0} records/s, budget {:.0}x)",
+            decode.records_per_sec / e2e.records_per_sec,
+            decode.records_per_sec,
+            e2e.records_per_sec,
+            suite::MAX_E2E_DECODE_RATIO
+        );
+    }
+    if let (Some(s1), Some(s4)) = (
+        report.find("end_to_end_src1", "tiny"),
+        report.find("end_to_end_src4", "tiny"),
+    ) {
+        println!(
+            "  source shards: 1 -> {:.0} records/s, 4 -> {:.0} records/s",
+            s1.records_per_sec, s4.records_per_sec
+        );
+    }
 
     let mut failures = suite::self_checks(&report);
     if args.smoke {
@@ -632,9 +659,19 @@ fn bench(args: &Args) {
                     );
                 }
                 failures.extend(gate);
-                // Prove the per-stage floor bites: a synthetic 25%
-                // decode slowdown against the same baseline must fail.
+                // Prove the floors bite: a synthetic 25% decode
+                // slowdown, a synthetic front-end starvation past the
+                // decode-ratio budget, and a synthetic swarm slowdown /
+                // 2x-budget tap loss must all be rejected.
                 match suite::demo_gate_rejects_stage_slowdown(&baseline) {
+                    Ok(line) => println!("  {line}"),
+                    Err(why) => failures.push(why),
+                }
+                match suite::demo_ratio_gate_rejects_front_end_rot(&report) {
+                    Ok(line) => println!("  {line}"),
+                    Err(why) => failures.push(why),
+                }
+                match suite::demo_swarm_gates_reject(&report, &baseline) {
                     Ok(line) => println!("  {line}"),
                     Err(why) => failures.push(why),
                 }
@@ -676,13 +713,14 @@ fn bench(args: &Args) {
 
 /// The CI campaign matrix (`repro matrix`), run by ci.sh: a faulty
 /// campaign smoke at every cell of clientID width {2^24, 2^16} ×
-/// anonymiser shard count {1, 4}, each streamed through the batched
-/// tail with checkpoints. Within a width, every shard count must
-/// produce the byte-identical dataset and the identical checkpoint
-/// cuts as the serial (1-shard) cell — the sharded anonymiser's
-/// portability guarantee, exercised at both the narrow test width and
-/// the wide default where clientIDs stripe across every shard's
-/// sub-table. Exits nonzero on any divergence.
+/// anonymiser shard count {1, 4} × source shard count {1, 4}, each
+/// streamed through the batched tail with checkpoints. Within a width,
+/// every cell must produce the byte-identical dataset and the identical
+/// checkpoint cuts as the serial (1 anon shard, 1 source shard) cell —
+/// the sharded anonymiser's and sharded traffic source's portability
+/// guarantee, exercised at both the narrow test width and the wide
+/// default where clientIDs stripe across every shard's sub-table.
+/// Exits nonzero on any divergence.
 fn matrix() {
     use edonkey_ten_weeks::core::campaign::try_run_campaign_to_writer;
     use edonkey_ten_weeks::core::pipeline::TailConfig;
@@ -690,94 +728,99 @@ fn matrix() {
 
     const WIDTHS: [u32; 2] = [24, 16];
     const SHARDS: [usize; 2] = [1, 4];
-    println!("== matrix: clientID width x anonymiser shard count ==");
+    const SRC_SHARDS: [usize; 2] = [1, 4];
+    println!("== matrix: clientID width x anon shards x source shards ==");
     let mut gate = Gate {
         failures: Vec::new(),
     };
     println!(
-        "  {:<8} {:>6} {:>9} {:>11} {:>7}  verdict",
-        "width", "shards", "records", "bytes", "wall_s"
+        "  {:<8} {:>6} {:>6} {:>9} {:>11} {:>7}  verdict",
+        "width", "anon", "src", "records", "bytes", "wall_s"
     );
     for width in WIDTHS {
-        let mut config = CampaignConfig::tiny_faulty();
-        config.population.id_space_bits = width;
-        config.client_space_bits = width;
-        config.generator.duration_secs = 600;
-        config.checkpoint_interval_secs = 120;
         let mut reference: Option<(Vec<u8>, Vec<Checkpoint>, u64)> = None;
         for shards in SHARDS {
-            let tail = TailConfig {
-                anon_shards: shards,
-                ..TailConfig::default()
-            };
-            // etwlint: allow(no-wall-clock): operator-facing elapsed-time
-            // print in the binary, not simulation state.
-            let started = Instant::now();
-            let mut cps: Vec<Checkpoint> = Vec::new();
-            let (report, writer) = try_run_campaign_to_writer(
-                &config,
-                &Registry::disabled(),
-                tail,
-                DatasetWriter::new(Vec::new()).expect("vec write"),
-                |cp| cps.push(cp),
-            )
-            .unwrap_or_else(|e| {
-                eprintln!("invalid matrix configuration: {e}");
-                std::process::exit(2);
-            });
-            let bytes = writer.finish().expect("vec write");
-            let verdict = match &reference {
-                None => "reference".to_owned(),
-                Some((ref_bytes, ref_cps, _)) => {
-                    if &bytes == ref_bytes && &cps == ref_cps {
-                        "identical".to_owned()
-                    } else {
-                        "DIVERGED".to_owned()
+            for src_shards in SRC_SHARDS {
+                let mut config = CampaignConfig::tiny_faulty();
+                config.population.id_space_bits = width;
+                config.client_space_bits = width;
+                config.generator.duration_secs = 600;
+                config.checkpoint_interval_secs = 120;
+                config.source.source_shards = src_shards;
+                let tail = TailConfig {
+                    anon_shards: shards,
+                    ..TailConfig::default()
+                };
+                // etwlint: allow(no-wall-clock): operator-facing
+                // elapsed-time print in the binary, not simulation state.
+                let started = Instant::now();
+                let mut cps: Vec<Checkpoint> = Vec::new();
+                let (report, writer) = try_run_campaign_to_writer(
+                    &config,
+                    &Registry::disabled(),
+                    tail,
+                    DatasetWriter::new(Vec::new()).expect("vec write"),
+                    |cp| cps.push(cp),
+                )
+                .unwrap_or_else(|e| {
+                    eprintln!("invalid matrix configuration: {e}");
+                    std::process::exit(2);
+                });
+                let bytes = writer.finish().expect("vec write");
+                let verdict = match &reference {
+                    None => "reference".to_owned(),
+                    Some((ref_bytes, ref_cps, _)) => {
+                        if &bytes == ref_bytes && &cps == ref_cps {
+                            "identical".to_owned()
+                        } else {
+                            "DIVERGED".to_owned()
+                        }
                     }
-                }
-            };
-            println!(
-                "  2^{width:<6} {shards:>6} {:>9} {:>11} {:>7.2}  {verdict}",
-                grouped(report.records),
-                grouped(bytes.len() as u64),
-                started.elapsed().as_secs_f64()
-            );
-            match &reference {
-                None => {
-                    gate.check(
-                        cps.len() >= 2,
-                        &format!("width 2^{width}: campaign cut at least 2 checkpoints"),
-                    );
-                    gate.check(
-                        report.records > 0,
-                        &format!("width 2^{width}: campaign produced records"),
-                    );
-                    reference = Some((bytes, cps, report.records));
-                }
-                Some((ref_bytes, ref_cps, ref_records)) => {
-                    gate.check(
-                        report.records == *ref_records,
-                        &format!("width 2^{width}, {shards} shards: record count matches 1 shard"),
-                    );
-                    gate.check(
-                        &bytes == ref_bytes,
-                        &format!(
-                            "width 2^{width}, {shards} shards: dataset byte-identical to 1 shard"
-                        ),
-                    );
-                    gate.check(
-                        &cps == ref_cps,
-                        &format!(
-                            "width 2^{width}, {shards} shards: checkpoint cuts identical to 1 shard"
-                        ),
-                    );
+                };
+                println!(
+                    "  2^{width:<6} {shards:>6} {src_shards:>6} {:>9} {:>11} {:>7.2}  {verdict}",
+                    grouped(report.records),
+                    grouped(bytes.len() as u64),
+                    started.elapsed().as_secs_f64()
+                );
+                match &reference {
+                    None => {
+                        gate.check(
+                            cps.len() >= 2,
+                            &format!("width 2^{width}: campaign cut at least 2 checkpoints"),
+                        );
+                        gate.check(
+                            report.records > 0,
+                            &format!("width 2^{width}: campaign produced records"),
+                        );
+                        reference = Some((bytes, cps, report.records));
+                    }
+                    Some((ref_bytes, ref_cps, ref_records)) => {
+                        let cell =
+                            format!("width 2^{width}, {shards} anon / {src_shards} source shards");
+                        gate.check(
+                            report.records == *ref_records,
+                            &format!("{cell}: record count matches serial cell"),
+                        );
+                        gate.check(
+                            &bytes == ref_bytes,
+                            &format!("{cell}: dataset byte-identical to serial cell"),
+                        );
+                        gate.check(
+                            &cps == ref_cps,
+                            &format!("{cell}: checkpoint cuts identical to serial cell"),
+                        );
+                    }
                 }
             }
         }
     }
 
     if gate.failures.is_empty() {
-        println!("matrix OK ({} cells)", WIDTHS.len() * SHARDS.len());
+        println!(
+            "matrix OK ({} cells)",
+            WIDTHS.len() * SHARDS.len() * SRC_SHARDS.len()
+        );
     } else {
         eprintln!("matrix FAILED: {} violation(s)", gate.failures.len());
         for f in &gate.failures {

@@ -130,20 +130,25 @@ proptest! {
 
     /// The batched tail under kill-anywhere: a campaign run through the
     /// overlapped anonymise→format→write stage (random batch size,
-    /// random anonymiser shard count in {1, 2, 4, 8}) must produce the
-    /// *same bytes and the same checkpoints* as the serial writer, and a
-    /// kill at a random checkpoint resumed through the batched tail must
-    /// rebuild the serial run's dataset byte for byte. This is the
+    /// random anonymiser shard count in {1, 2, 4, 8}, random *source*
+    /// shard count in {1, 2, 4, 8}) must produce the *same bytes and
+    /// the same checkpoints* as the serial writer, and a kill at a
+    /// random checkpoint resumed through the batched tail must rebuild
+    /// the serial run's dataset byte for byte. This is the
     /// cross-implementation guarantee that lets `.etwckpt` files written
-    /// by any tail at any shard count resume through any other.
+    /// by any tail at any shard count resume through any other — now
+    /// including the sharded front end: the resume replays generator
+    /// workers and the virtual-time merge from the checkpoint exactly.
     #[test]
     fn killed_batched_campaign_resumes_byte_identical(
         seed in 0u64..1_000,
         batch_records in 1usize..64,
         cp_frac in 0.0f64..1.0,
         shard_pow in 0u32..4,
+        src_pow in 0u32..4,
     ) {
-        let config = small_faulty(seed);
+        let mut config = small_faulty(seed);
+        config.source.source_shards = 1 << src_pow;
         // The serial run is the reference for bytes and checkpoints.
         let (full, cps, records) = run_writing(&config);
         prop_assert!(cps.len() >= 3, "only {} checkpoints", cps.len());

@@ -24,20 +24,24 @@ fn telemetry_counters_obey_conservation_laws() {
     assert_eq!(snap.counter("ring.offered_total"), report.capture.offered);
     assert_eq!(snap.counter("ring.lost_total"), report.capture.lost);
 
-    // Every captured frame is produced into the pipeline, travels the
-    // decode_in channel exactly once, and is seen by exactly one
-    // decode worker.
+    // Every captured frame is produced into the pipeline and seen by
+    // exactly one decode worker. The decode channels tick per *batch*
+    // (frames ride in Vecs since the front end was sharded), so their
+    // counters are bounded by the frame count and agree with each
+    // other — one out-batch per in-batch.
     let frames = snap.counter("stage.producer.frames_total");
     assert_eq!(frames, report.capture.captured);
-    assert_eq!(snap.counter("chan.decode_in.sent_total"), frames);
     assert_eq!(snap.counter("stage.decode.frames_total"), frames);
-    assert_eq!(snap.counter("chan.decode_out.sent_total"), frames);
+    let in_batches = snap.counter("chan.decode_in.sent_total");
+    let out_batches = snap.counter("chan.decode_out.sent_total");
+    assert!(in_batches > 0 && in_batches <= frames);
+    assert_eq!(out_batches, in_batches);
 
-    // The decode service-time histogram saw one sample per frame.
+    // The decode service-time histogram saw one sample per batch.
     let service = snap
         .histogram("stage.decode.service_ns")
         .expect("decode histogram exists");
-    assert_eq!(service.count, frames);
+    assert_eq!(service.count, out_batches);
     assert!(service.sum > 0);
     assert!(service.min <= service.max);
 
